@@ -1,0 +1,146 @@
+// Ablation — two-stage pipeline vs its components (paper Sect. IV-B:
+// "While edit distance could be used alone to identify device-types, this
+// procedure is far more time consuming than classification").
+//
+// Compares three identification strategies on the same train/test split:
+//   rf-only      — per-type forests, argmax probability (no edit distance)
+//   edit-only    — nearest type by summed edit distance to 5 references
+//   hybrid       — the paper's design (classification + discrimination)
+// reporting accuracy and mean identification time.
+//
+// Usage: ablation_pipeline [episodes_per_type]   (default 20)
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/device_identifier.h"
+#include "devices/simulator.h"
+#include "ml/cross_validation.h"
+
+namespace {
+using namespace sentinel;
+using Clock = std::chrono::steady_clock;
+
+struct Outcome {
+  double accuracy = 0.0;
+  double mean_us = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t episodes = bench::ArgCount(argc, argv, 20);
+
+  bench::Header("Ablation: hybrid pipeline vs classification-only vs "
+                "edit-distance-only",
+                "hybrid keeps edit-distance accuracy at classification-like "
+                "cost; edit distance alone is far slower");
+
+  const auto dataset = devices::GenerateFingerprintDataset(episodes, 42);
+  ml::Rng rng(777);
+  const auto folds = ml::StratifiedKFold(dataset.labels, 5, rng);
+  const auto& fold = folds[0];
+  const std::size_t types = devices::DeviceTypeCount();
+
+  // Shared training material.
+  std::vector<core::LabelledFingerprint> train;
+  for (const std::size_t i : fold.train_indices)
+    train.push_back(core::LabelledFingerprint{
+        &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+
+  // Hybrid: the paper's identifier.
+  core::DeviceIdentifier hybrid;
+  hybrid.Train(train);
+
+  // rf-only: same forests, argmax of the positive probability.
+  // (Reuses the hybrid's forests through Identify's matched set would
+  // change semantics, so train an identical bank here.)
+  std::vector<ml::RandomForest> forests(types);
+  for (std::size_t t = 0; t < types; ++t) {
+    ml::Dataset data(features::kFPrimeDim);
+    for (const auto& example : train)
+      data.Add(example.fixed->ToVector(),
+               example.label == static_cast<int>(t) ? 1 : 0);
+    ml::RandomForestConfig config;
+    config.tree_count = 30;
+    config.seed = 31 + t;
+    forests[t].Train(data, config);
+  }
+
+  // edit-only references: 5 per type from the training fold.
+  std::vector<std::vector<const features::Fingerprint*>> references(types);
+  for (const auto& example : train) {
+    auto& refs = references[static_cast<std::size_t>(example.label)];
+    if (refs.size() < 5) refs.push_back(example.full);
+  }
+
+  Outcome rf_only, edit_only, hybrid_outcome;
+  std::size_t total = 0;
+  for (const std::size_t i : fold.test_indices) {
+    const int actual = dataset.labels[i];
+    const auto row = dataset.fixed[i].ToVector();
+    ++total;
+
+    {
+      const auto t0 = Clock::now();
+      double best = -1;
+      std::size_t arg = 0;
+      for (std::size_t t = 0; t < types; ++t) {
+        const double proba = forests[t].PositiveProba(row);
+        if (proba > best) {
+          best = proba;
+          arg = t;
+        }
+      }
+      rf_only.mean_us += std::chrono::duration<double, std::micro>(
+                             Clock::now() - t0)
+                             .count();
+      rf_only.accuracy += (static_cast<int>(arg) == actual) ? 1 : 0;
+    }
+    {
+      const auto t0 = Clock::now();
+      double best = 1e18;
+      std::size_t arg = 0;
+      for (std::size_t t = 0; t < types; ++t) {
+        double score = 0;
+        for (const auto* ref : references[t])
+          score += features::NormalizedEditDistance(dataset.fingerprints[i],
+                                                    *ref);
+        if (score < best) {
+          best = score;
+          arg = t;
+        }
+      }
+      edit_only.mean_us += std::chrono::duration<double, std::micro>(
+                               Clock::now() - t0)
+                               .count();
+      edit_only.accuracy += (static_cast<int>(arg) == actual) ? 1 : 0;
+    }
+    {
+      const auto t0 = Clock::now();
+      const auto result =
+          hybrid.Identify(dataset.fingerprints[i], dataset.fixed[i]);
+      hybrid_outcome.mean_us += std::chrono::duration<double, std::micro>(
+                                    Clock::now() - t0)
+                                    .count();
+      hybrid_outcome.accuracy +=
+          (result.IsKnown() && *result.type == actual) ? 1 : 0;
+    }
+  }
+
+  auto report = [total](const char* name, Outcome& o) {
+    std::printf("%-12s accuracy %.3f   mean time %8.1f us\n", name,
+                o.accuracy / static_cast<double>(total),
+                o.mean_us / static_cast<double>(total));
+  };
+  report("rf-only", rf_only);
+  report("edit-only", edit_only);
+  report("hybrid", hybrid_outcome);
+  std::printf(
+      "\nshape check: the hybrid reaches edit-distance-level accuracy on the "
+      "ambiguous cluster devices at a small multiple of the rf-only cost — "
+      "the paper's scalability argument (edit-only pays the full 27-type "
+      "distance bill on every identification)\n");
+  bench::Footer();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation — training-set size: how many setup episodes per device-type
+// does the identifier need?
+//
+// The paper collects 20 episodes per type ("the typical device setup
+// process was repeated n = 20 times in order to generate sufficient
+// fingerprints for classification model training") without justifying the
+// number. This sweep quantifies the trade-off: global accuracy and the
+// distinct-type floor as functions of episodes per type.
+//
+// Usage: ablation_training_size [repetitions]   (default 3)
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace sentinel;
+  const std::size_t reps = bench::ArgCount(argc, argv, 3);
+
+  bench::Header("Ablation: episodes per type in the training corpus",
+                "the paper uses 20; expect diminishing returns once the "
+                "within-type behavioural variation is covered");
+
+  std::printf("%14s | %8s | %18s | %16s\n", "episodes/type", "global",
+              "distinct-type min", "cluster-type avg");
+
+  for (const std::size_t episodes : {4u, 6u, 8u, 12u, 16u, 20u, 30u}) {
+    const auto dataset = devices::GenerateFingerprintDataset(episodes, 42);
+    eval::CrossValidationConfig config;
+    config.repetitions = reps;
+    // k-fold requires at least k examples per class.
+    config.folds = std::min<std::size_t>(10, episodes);
+    const auto outcome = eval::RunCrossValidation(dataset, config);
+
+    double distinct_min = 1.0;
+    double cluster_sum = 0.0;
+    std::size_t cluster_count = 0;
+    for (const auto& info : devices::DeviceCatalog()) {
+      const double accuracy =
+          outcome.PerTypeAccuracy(static_cast<std::size_t>(info.id));
+      if (info.cluster == devices::SimilarityCluster::kNone) {
+        distinct_min = std::min(distinct_min, accuracy);
+      } else {
+        cluster_sum += accuracy;
+        ++cluster_count;
+      }
+    }
+    std::printf("%14zu | %8.3f | %18.3f | %16.3f%s\n", episodes,
+                outcome.OverallAccuracy(), distinct_min,
+                cluster_sum / static_cast<double>(cluster_count),
+                episodes == 20 ? "   <- paper" : "");
+  }
+  std::printf(
+      "\nshape check: the distinct types saturate with few episodes; extra "
+      "data mostly stabilizes the sibling clusters (whose ceiling is set by "
+      "behavioural overlap, not data volume)\n");
+  bench::Footer();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared formatting helpers for the table/figure reproduction benchmarks.
+// Every bench prints the paper's reported numbers next to the measured
+// ones so the shape comparison is immediate.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace sentinel::bench {
+
+inline void Header(const std::string& experiment, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void Footer() { std::printf("\n"); }
+
+/// Parses argv[1] as a positive integer (e.g. repetition count); returns
+/// `fallback` when absent or malformed.
+inline std::size_t ArgCount(int argc, char** argv, std::size_t fallback) {
+  if (argc < 2) return fallback;
+  const long value = std::strtol(argv[1], nullptr, 10);
+  return value > 0 ? static_cast<std::size_t>(value) : fallback;
+}
+
+}  // namespace sentinel::bench

@@ -1,0 +1,51 @@
+// Fig. 6b — Security Gateway CPU utilization versus concurrent flows,
+// with and without filtering.
+//
+// Paper: utilization grows from ~37% to ~50% between 0 and 150 concurrent
+// flows; the filtering and non-filtering curves nearly coincide — a
+// Raspberry Pi 2 class device suffices for a typical deployment.
+//
+// Usage: fig6b_cpu [measure_seconds]   (default 20)
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fig4_topology.h"
+
+int main(int argc, char** argv) {
+  using namespace sentinel;
+  const auto seconds = bench::ArgCount(argc, argv, 20);
+  const netsim::SimTime window =
+      static_cast<netsim::SimTime>(seconds) * 1'000'000'000ull;
+
+  bench::Header("Fig. 6b: gateway CPU utilization vs concurrent flows",
+                "~36% base load rising to ~50% at 150 flows; filtering "
+                "and non-filtering curves nearly coincide");
+
+  std::printf("%6s | %16s | %16s\n", "flows", "w/o filtering", "w/ filtering");
+  for (int flows = 0; flows <= 150; flows += 10) {
+    double util[2];
+    for (const bool filtering : {false, true}) {
+      auto lab = bench::BuildLabTopology(/*seed=*/17);
+      if (filtering) bench::EnableFiltering(lab);
+      netsim::SimHost* endpoints[] = {lab.d1, lab.d2, lab.d3, lab.d4};
+      for (int f = 0; f < flows; ++f) {
+        auto* src = endpoints[f % 4];
+        auto* dst = f % 2 == 0 ? lab.s_local : lab.s_remote;
+        lab.network->StartFlow(*src, *dst, /*pps=*/5.0, /*payload=*/256,
+                               window);
+      }
+      lab.network->cpu().ResetWindow();
+      const auto start = lab.network->queue().now();
+      lab.network->RunUntil(start + window);
+      util[filtering ? 1 : 0] =
+          lab.network->cpu().Utilization(start, start + window);
+    }
+    std::printf("%6d | %15.1f%% | %15.1f%%\n", flows, 100.0 * util[0],
+                100.0 * util[1]);
+  }
+  std::printf(
+      "\nshape check: linear growth of ~12-13 percentage points across the "
+      "sweep; filtering adds well under 1 point (paper: +0.63%%)\n");
+  bench::Footer();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Microbenchmarks (google-benchmark) for the hot paths behind Table IV and
+// the enforcement datapath: feature extraction, fingerprint construction,
+// edit distance by length, forest prediction, flow-table lookup at cache
+// sizes up to 20000 rules, and enforcement-policy evaluation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+
+#include "core/enforcement.h"
+#include "devices/simulator.h"
+#include "features/edit_distance.h"
+#include "ml/random_forest.h"
+#include "net/pcap.h"
+#include "sdn/flow_table.h"
+
+namespace {
+using namespace sentinel;
+
+const devices::SimulatedEpisode& SampleEpisode() {
+  static const devices::SimulatedEpisode episode = [] {
+    devices::DeviceSimulator simulator(42);
+    return simulator.RunSetupEpisode(devices::FindDeviceType("HueBridge"));
+  }();
+  return episode;
+}
+
+void BM_ParseFrame(benchmark::State& state) {
+  const auto& frame = SampleEpisode().trace.frames().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::ParseFrame(frame));
+  }
+}
+BENCHMARK(BM_ParseFrame);
+
+void BM_FingerprintExtraction(benchmark::State& state) {
+  const auto packets = devices::DeviceSimulator::DevicePackets(SampleEpisode());
+  for (auto _ : state) {
+    auto fp = features::Fingerprint::FromPackets(packets);
+    benchmark::DoNotOptimize(
+        features::FixedFingerprint::FromFingerprint(fp));
+  }
+}
+BENCHMARK(BM_FingerprintExtraction);
+
+void BM_EditDistance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<features::PacketFeatureVector> a(n), b(n);
+  std::mt19937_64 rng(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i][features::kFeatPacketSize] = static_cast<std::uint32_t>(rng() % 64);
+    b[i][features::kFeatPacketSize] = static_cast<std::uint32_t>(rng() % 64);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::EditDistance(a, b));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EditDistance)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_ForestPredict(benchmark::State& state) {
+  static const auto setup = [] {
+    const auto dataset = devices::GenerateFingerprintDataset(10, 42);
+    ml::Dataset data(features::kFPrimeDim);
+    for (std::size_t i = 0; i < dataset.size(); ++i)
+      data.Add(dataset.fixed[i].ToVector(), dataset.labels[i] == 0 ? 1 : 0);
+    auto forest = std::make_unique<ml::RandomForest>();
+    ml::RandomForestConfig config;
+    config.tree_count = 30;
+    forest->Train(data, config);
+    return std::make_pair(std::move(forest), dataset.fixed[0].ToVector());
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.first->PositiveProba(setup.second));
+  }
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  const auto rules = static_cast<std::size_t>(state.range(0));
+  sdn::FlowTable table;
+  for (std::size_t i = 0; i < rules; ++i) {
+    sdn::FlowRule rule;
+    rule.priority = 10;
+    rule.match.eth_src = net::MacAddress::FromUint64(i);
+    rule.match.eth_dst = net::MacAddress::FromUint64(1'000'000 + i);
+    rule.actions = {sdn::ActionOutput{1}};
+    table.Add(std::move(rule));
+  }
+  net::UdpDatagram udp;
+  udp.src_port = 50000;
+  udp.dst_port = 7000;
+  const auto frame = net::BuildUdp4Frame(
+      1, net::MacAddress::FromUint64(rules / 2),
+      net::MacAddress::FromUint64(1'000'000 + rules / 2),
+      net::Ipv4Address(192, 168, 1, 5), net::Ipv4Address(192, 168, 1, 6),
+      udp);
+  const auto packet = net::ParseFrame(frame);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Lookup(packet, 1));
+  }
+}
+BENCHMARK(BM_FlowTableLookup)->RangeMultiplier(10)->Range(10, 20000);
+
+void BM_EnforcementAuthorize(benchmark::State& state) {
+  const auto rules = static_cast<std::size_t>(state.range(0));
+  core::EnforcementEngine engine(
+      *net::MacAddress::Parse("02:00:5e:00:00:01"),
+      net::Ipv4Address(192, 168, 1, 1));
+  for (std::size_t i = 0; i < rules; ++i) {
+    core::EnforcementRule rule;
+    rule.device_mac = net::MacAddress::FromUint64(i);
+    rule.level = core::IsolationLevel::kRestricted;
+    rule.allowed_endpoints = {net::Ipv4Address(52, 1, 2, 3)};
+    engine.Install(std::move(rule));
+  }
+  net::ParsedPacket packet;
+  packet.src_mac = net::MacAddress::FromUint64(rules / 2);
+  packet.dst_mac = *net::MacAddress::Parse("02:00:5e:00:00:01");
+  packet.protocols.Set(net::Protocol::kIp);
+  packet.protocols.Set(net::Protocol::kTcp);
+  packet.src_ip = net::IpAddress(net::Ipv4Address(192, 168, 1, 77));
+  packet.dst_ip = net::IpAddress(net::Ipv4Address(52, 1, 2, 3));
+  packet.src_port = 50000;
+  packet.dst_port = 443;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Authorize(packet));
+  }
+}
+BENCHMARK(BM_EnforcementAuthorize)->RangeMultiplier(10)->Range(10, 20000);
+
+void BM_PcapEncodeDecode(benchmark::State& state) {
+  const auto& frames = SampleEpisode().trace.frames();
+  for (auto _ : state) {
+    const auto blob = net::EncodePcap(frames);
+    benchmark::DoNotOptimize(net::DecodePcap(blob));
+  }
+}
+BENCHMARK(BM_PcapEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Scalability — classification cost vs number of known device-types.
+//
+// Paper Sect. VI-B: "The classification with Random Forest takes very
+// little time (<1 ms) and grows linearly with the number of types to
+// identify. This shows that IoT Sentinel can easily scale to thousands of
+// device-types while keeping classification time below 100 ms and type
+// identification likely below 1 second."
+//
+// This bench trains the real 27-type bank, then scales the bank to N
+// classifiers (cycling the trained forests — inference cost per classifier
+// is what matters) and measures the full classification pass per
+// identification.
+//
+// Usage: scalability_types [probes_per_point]   (default 50)
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "devices/simulator.h"
+#include "features/edit_distance.h"
+#include "ml/random_forest.h"
+
+int main(int argc, char** argv) {
+  using namespace sentinel;
+  using Clock = std::chrono::steady_clock;
+  const std::size_t probes = bench::ArgCount(argc, argv, 50);
+
+  bench::Header("Scalability: classification time vs number of device-types",
+                "grows linearly; thousands of types stay below 100 ms per "
+                "classification pass");
+
+  // Train the real 27 one-vs-rest forests once.
+  const auto dataset = devices::GenerateFingerprintDataset(20, 42);
+  std::vector<ml::RandomForest> bank(devices::DeviceTypeCount());
+  for (std::size_t t = 0; t < bank.size(); ++t) {
+    ml::Dataset data(features::kFPrimeDim);
+    for (std::size_t i = 0; i < dataset.size(); ++i)
+      data.Add(dataset.fixed[i].ToVector(),
+               dataset.labels[i] == static_cast<int>(t) ? 1 : 0);
+    ml::RandomForestConfig config;
+    config.tree_count = 30;
+    config.seed = 7 + t;
+    bank[t].Train(data, config);
+  }
+
+  std::printf("%8s | %18s | %22s\n", "types", "per identification",
+              "projected w/ 7 discrim.");
+  ml::Rng rng(99);
+  std::uniform_int_distribution<std::size_t> pick(0, dataset.size() - 1);
+
+  // Measured single-discrimination cost for the projection column.
+  double discrimination_ns = 0;
+  {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < 100; ++i)
+      (void)features::NormalizedEditDistance(dataset.fingerprints[pick(rng)],
+                                             dataset.fingerprints[pick(rng)]);
+    discrimination_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count() /
+        100.0;
+  }
+
+  for (const std::size_t types : {27u, 100u, 500u, 1000u, 2000u, 5000u}) {
+    double total_ns = 0;
+    for (std::size_t probe = 0; probe < probes; ++probe) {
+      const auto row = dataset.fixed[pick(rng)].ToVector();
+      const auto t0 = Clock::now();
+      std::size_t accepted = 0;
+      for (std::size_t c = 0; c < types; ++c) {
+        if (bank[c % bank.size()].PositiveProba(row) >= 0.35) ++accepted;
+      }
+      total_ns +=
+          std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+      (void)accepted;
+    }
+    const double per_id_ms = total_ns / static_cast<double>(probes) / 1e6;
+    // The discrimination stage depends on matched candidates (paper: 7 on
+    // average), not on the bank size.
+    const double projected_ms =
+        per_id_ms + 7.0 * 5.0 * discrimination_ns / 1e6;
+    std::printf("%8zu | %15.3f ms | %19.3f ms\n", types, per_id_ms,
+                projected_ms);
+  }
+  std::printf(
+      "\nshape check: linear in the type count; even 5000 types stay far "
+      "below the paper's 100 ms budget, and discrimination cost is "
+      "independent of bank size\n");
+  bench::Footer();
+  return 0;
+}

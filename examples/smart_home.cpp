@@ -1,0 +1,103 @@
+// Smart-home onboarding scenario: a Security Gateway watches a family
+// install a mixed fleet of IoT devices. Each device is fingerprinted live
+// from its setup traffic, identified by the IoT Security Service, assessed
+// against the vulnerability database and confined to its isolation level —
+// the paper's end-to-end workflow (Fig. 1 + Fig. 3).
+#include <cstdio>
+#include <map>
+
+#include "core/gateway.h"
+#include "devices/simulator.h"
+
+int main() {
+  using namespace sentinel;
+
+  std::printf("== IoT Sentinel smart-home demo ==\n\n");
+  std::printf("training IoT Security Service (one classifier per type)...\n");
+  const auto service = core::BuildTrainedSecurityService(/*n_per_type=*/20);
+
+  core::SecurityGateway gateway(*service);
+  std::uint64_t wan_frames = 0;
+  gateway.AttachWan([&](const net::Frame&) { ++wan_frames; });
+
+  std::map<std::string, core::IsolationLevel> verdicts;
+  gateway.sentinel().OnIdentification([&](const core::IdentificationEvent& e) {
+    const std::string name = e.assessment.type
+                                 ? e.assessment.type_identifier
+                                 : std::string("<unknown>");
+    verdicts[e.device_mac.ToString()] = e.assessment.level;
+    std::printf("  identified %s as %-18s -> isolation level %s\n",
+                e.device_mac.ToString().c_str(), name.c_str(),
+                core::ToString(e.assessment.level).c_str());
+    for (const auto& advisory : e.assessment.advisories)
+      std::printf("      %s: %s\n", advisory.cve_id.c_str(),
+                  advisory.summary.c_str());
+  });
+
+  // The family installs seven devices over the afternoon.
+  const char* shopping_list[] = {
+      "HueBridge",        "WeMoSwitch",   "EdimaxCam", "Aria",
+      "TP-LinkPlugHS110", "SmarterCoffee", "D-LinkSensor"};
+  devices::DeviceSimulator home(/*seed=*/77);
+  sdn::PortId next_port = 10;
+
+  for (const char* name : shopping_list) {
+    std::printf("\nplugging in %s...\n", name);
+    const auto episode = home.RunSetupEpisode(devices::FindDeviceType(name));
+    const sdn::PortId port = next_port++;
+    gateway.AttachPort(port, [](const net::Frame&) {});
+    for (const auto& frame : episode.trace.frames()) {
+      const auto packet = net::ParseFrame(frame);
+      gateway.Ingress(packet.src_mac == episode.device_mac
+                          ? port
+                          : gateway.config().wan_port,
+                      frame);
+    }
+    gateway.sentinel().FlushIdle(episode.trace.frames().back().timestamp_ns +
+                                 60'000'000'000ull);
+  }
+
+  // A guest's smartphone joins too: not an IoT type -> unknown -> strict.
+  std::printf("\na guest smartphone joins the WiFi...\n");
+  const auto guest = home.RunBackgroundEpisode(
+      devices::BackgroundDeviceKind::kSmartphone);
+  const sdn::PortId guest_port = next_port++;
+  gateway.AttachPort(guest_port, [](const net::Frame&) {});
+  for (const auto& frame : guest.trace.frames()) {
+    const auto packet = net::ParseFrame(frame);
+    gateway.Ingress(packet.src_mac == guest.device_mac
+                        ? guest_port
+                        : gateway.config().wan_port,
+                    frame);
+  }
+  gateway.sentinel().FlushIdle(guest.trace.frames().back().timestamp_ns +
+                               60'000'000'000ull);
+
+  std::printf("\n== fleet summary ==\n");
+  std::size_t trusted = 0, restricted = 0, strict = 0;
+  for (const auto& [mac, level] : verdicts) {
+    switch (level) {
+      case core::IsolationLevel::kTrusted:
+        ++trusted;
+        break;
+      case core::IsolationLevel::kRestricted:
+        ++restricted;
+        break;
+      case core::IsolationLevel::kStrict:
+        ++strict;
+        break;
+    }
+  }
+  std::printf("devices identified: %zu (trusted %zu, restricted %zu, "
+              "strict %zu)\n",
+              verdicts.size(), trusted, restricted, strict);
+  std::printf("enforcement rules cached: %zu\n",
+              gateway.enforcement().rule_count());
+  std::printf("flow rules in the datapath: %zu\n",
+              gateway.datapath().flow_table().size());
+  std::printf("frames forwarded to the Internet during setup: %llu\n",
+              static_cast<unsigned long long>(wan_frames));
+  std::printf("gateway memory attributable to Sentinel: %.1f KiB\n",
+              static_cast<double>(gateway.MemoryBytes()) / 1024.0);
+  return 0;
+}

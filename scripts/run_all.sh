@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite and regenerates every table
+# and figure of the paper (outputs mirrored to test_output.txt /
+# bench_output.txt in the repository root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

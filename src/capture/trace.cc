@@ -1,0 +1,69 @@
+#include "capture/trace.h"
+
+#include <algorithm>
+
+namespace sentinel::capture {
+
+void Trace::SortByTime() {
+  std::stable_sort(frames_.begin(), frames_.end(),
+                   [](const net::Frame& a, const net::Frame& b) {
+                     return a.timestamp_ns < b.timestamp_ns;
+                   });
+}
+
+std::vector<net::ParsedPacket> Trace::Parse() const {
+  std::vector<net::ParsedPacket> out;
+  out.reserve(frames_.size());
+  for (const net::Frame& f : frames_) {
+    try {
+      out.push_back(net::ParseFrame(f));
+    } catch (const net::CodecError&) {
+      // Malformed frame: skip, as a live monitor would.
+    }
+  }
+  return out;
+}
+
+RingTrace::RingTrace(std::size_t capacity) : buffer_(std::max<std::size_t>(1, capacity)) {}
+
+void RingTrace::Append(net::Frame frame) {
+  buffer_[head_] = std::move(frame);
+  head_ = (head_ + 1) % buffer_.size();
+  if (head_ == 0) full_ = true;
+  ++total_appended_;
+}
+
+std::vector<net::Frame> RingTrace::Snapshot() const {
+  std::vector<net::Frame> out;
+  out.reserve(size());
+  if (full_) {
+    for (std::size_t i = head_; i < buffer_.size(); ++i)
+      out.push_back(buffer_[i]);
+  }
+  for (std::size_t i = 0; i < head_; ++i) out.push_back(buffer_[i]);
+  return out;
+}
+
+std::vector<net::Frame> RingTrace::SnapshotFor(const net::MacAddress& mac,
+                                               std::size_t limit) const {
+  std::vector<net::Frame> matched;
+  for (const auto& frame : Snapshot()) {
+    try {
+      if (net::ParseFrame(frame).src_mac == mac) matched.push_back(frame);
+    } catch (const net::CodecError&) {
+    }
+  }
+  if (matched.size() > limit)
+    matched.erase(matched.begin(),
+                  matched.end() - static_cast<std::ptrdiff_t>(limit));
+  return matched;
+}
+
+std::map<net::MacAddress, std::vector<net::ParsedPacket>> SplitBySourceMac(
+    const std::vector<net::ParsedPacket>& packets) {
+  std::map<net::MacAddress, std::vector<net::ParsedPacket>> out;
+  for (const auto& p : packets) out[p.src_mac].push_back(p);
+  return out;
+}
+
+}  // namespace sentinel::capture

@@ -1,0 +1,83 @@
+// Capture traces and per-device traffic splitting.
+//
+// A Trace is an ordered sequence of captured frames as seen on the gateway's
+// monitored interfaces. The gateway fingerprints *per device*, so the
+// splitter groups frames by source MAC while preserving arrival order.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace sentinel::capture {
+
+/// Ordered capture of raw frames (what tcpdump on the gateway records).
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<net::Frame> frames) : frames_(std::move(frames)) {}
+
+  void Append(net::Frame frame) { frames_.push_back(std::move(frame)); }
+  void Append(const Trace& other) {
+    frames_.insert(frames_.end(), other.frames_.begin(), other.frames_.end());
+  }
+
+  [[nodiscard]] const std::vector<net::Frame>& frames() const {
+    return frames_;
+  }
+  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+  [[nodiscard]] bool empty() const { return frames_.empty(); }
+
+  /// Stable-sorts frames by capture timestamp (captures merged from two
+  /// interfaces may interleave out of order).
+  void SortByTime();
+
+  /// Parses every frame; frames that fail to parse are skipped (a real
+  /// monitor drops malformed frames rather than aborting the capture).
+  /// Returns packets in trace order.
+  [[nodiscard]] std::vector<net::ParsedPacket> Parse() const;
+
+ private:
+  std::vector<net::Frame> frames_;
+};
+
+/// Splits a parsed capture by source MAC, preserving per-device order.
+std::map<net::MacAddress, std::vector<net::ParsedPacket>> SplitBySourceMac(
+    const std::vector<net::ParsedPacket>& packets);
+
+/// Callback-based sink used by live components (switch ports, monitors).
+using PacketSink = std::function<void(const net::Frame&)>;
+
+/// Bounded capture buffer: keeps the most recent `capacity` frames,
+/// overwriting the oldest. Gateways run with finite memory; the ring is
+/// what backs "show me the last N frames of this device" style forensics
+/// after an incident.
+class RingTrace {
+ public:
+  explicit RingTrace(std::size_t capacity);
+
+  void Append(net::Frame frame);
+  /// Frames in arrival order (oldest first). Size <= capacity.
+  [[nodiscard]] std::vector<net::Frame> Snapshot() const;
+  /// Most recent frames from `mac` (up to `limit`), oldest first.
+  [[nodiscard]] std::vector<net::Frame> SnapshotFor(
+      const net::MacAddress& mac, std::size_t limit) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return full_ ? buffer_.size() : head_;
+  }
+  [[nodiscard]] std::size_t capacity() const { return buffer_.size(); }
+  [[nodiscard]] std::uint64_t total_appended() const {
+    return total_appended_;
+  }
+
+ private:
+  std::vector<net::Frame> buffer_;
+  std::size_t head_ = 0;  // next write slot
+  bool full_ = false;
+  std::uint64_t total_appended_ = 0;
+};
+
+}  // namespace sentinel::capture

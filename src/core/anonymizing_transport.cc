@@ -1,0 +1,45 @@
+#include "core/anonymizing_transport.h"
+
+namespace sentinel::core {
+
+std::vector<std::uint8_t> AnonymizingTransport::Pad(
+    std::span<const std::uint8_t> payload) const {
+  net::ByteWriter w(payload.size() + config_.cell_bytes);
+  w.WriteU32(static_cast<std::uint32_t>(payload.size()));
+  w.WriteBytes(payload);
+  const std::size_t cell = config_.cell_bytes == 0 ? 1 : config_.cell_bytes;
+  const std::size_t remainder = w.size() % cell;
+  if (remainder != 0) w.WriteZeros(cell - remainder);
+  return std::move(w).Take();
+}
+
+std::vector<std::uint8_t> AnonymizingTransport::Unpad(
+    std::span<const std::uint8_t> cells) {
+  net::ByteReader r(cells);
+  const std::uint32_t length = r.ReadU32();
+  if (length > r.remaining())
+    throw net::CodecError("anonymizer cell: payload length exceeds data");
+  const auto payload = r.ReadBytes(length);
+  return {payload.begin(), payload.end()};
+}
+
+std::vector<std::uint8_t> AnonymizingTransport::RoundTrip(
+    std::span<const std::uint8_t> request) {
+  ++circuits_used_;
+  if (on_latency_) on_latency_(config_.circuit_latency_ns);
+
+  const auto padded = Pad(request);
+  padded_bytes_sent_ += padded.size();
+
+  // The inner transport sees only padded cells; the server side of the
+  // pair unpads, handles, and re-pads symmetrically. For transports that
+  // talk to a raw SecurityServiceServer (the common test setup), the
+  // unpad/pad happens here around the inner round trip.
+  const auto inner_request = Unpad(padded);
+  const auto response = inner_.RoundTrip(inner_request);
+  const auto padded_response = Pad(response);
+  padded_bytes_sent_ += padded_response.size();
+  return Unpad(padded_response);
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,64 @@
+// Privacy-preserving IoTSSP queries (paper Sect. III-B): "Security Gateway
+// can anonymously request the IoT Security Service through anonymization
+// networks such as Tor to ensure privacy preservation."
+//
+// This decorator models the two properties that matter to the system:
+//  - traffic-analysis resistance: requests are padded to fixed-size cells
+//    so the IoTSSP (or an observer) cannot infer fingerprint sizes, which
+//    themselves leak the device-type;
+//  - cost: each round trip pays a circuit latency, which the gateway's
+//    asynchronous identification pipeline tolerates (identification is not
+//    on the data path).
+#pragma once
+
+#include <functional>
+
+#include "core/remote_service.h"
+
+namespace sentinel::core {
+
+struct AnonymizerConfig {
+  /// Requests/responses are padded up to a multiple of this cell size
+  /// (Tor uses 512-byte cells).
+  std::size_t cell_bytes = 512;
+  /// Simulated circuit round-trip latency; surfaced through the
+  /// `on_latency` callback so simulations can account for it.
+  std::uint64_t circuit_latency_ns = 350'000'000;  // 350 ms, typical Tor
+};
+
+/// Wraps any ServiceTransport with padding + latency accounting.
+class AnonymizingTransport : public ServiceTransport {
+ public:
+  AnonymizingTransport(ServiceTransport& inner, AnonymizerConfig config = {})
+      : inner_(inner), config_(config) {}
+
+  /// Called with the simulated circuit latency of each round trip.
+  void OnLatency(std::function<void(std::uint64_t)> callback) {
+    on_latency_ = std::move(callback);
+  }
+
+  std::vector<std::uint8_t> RoundTrip(
+      std::span<const std::uint8_t> request) override;
+
+  /// Bytes actually sent over the (padded) circuit so far.
+  [[nodiscard]] std::uint64_t padded_bytes_sent() const {
+    return padded_bytes_sent_;
+  }
+  [[nodiscard]] std::uint64_t circuits_used() const { return circuits_used_; }
+
+  /// Pads a message to the next cell boundary: u32 payload length followed
+  /// by the payload and zero fill. Exposed for tests.
+  [[nodiscard]] std::vector<std::uint8_t> Pad(
+      std::span<const std::uint8_t> payload) const;
+  /// Inverse of Pad. Throws net::CodecError on malformed cells.
+  static std::vector<std::uint8_t> Unpad(std::span<const std::uint8_t> cells);
+
+ private:
+  ServiceTransport& inner_;
+  AnonymizerConfig config_;
+  std::function<void(std::uint64_t)> on_latency_;
+  std::uint64_t padded_bytes_sent_ = 0;
+  std::uint64_t circuits_used_ = 0;
+};
+
+}  // namespace sentinel::core

@@ -1,0 +1,45 @@
+#include "core/device_monitor.h"
+
+namespace sentinel::core {
+
+std::optional<CompletedCapture> DeviceMonitor::Observe(
+    const net::ParsedPacket& packet) {
+  auto [it, inserted] = states_.try_emplace(packet.src_mac, config_);
+  DeviceState& state = it->second;
+  if (state.fingerprinted) return std::nullopt;
+
+  if (state.tracker.Offer(packet)) {
+    state.vectors.push_back(state.extractor.Extract(packet));
+    if (!state.tracker.Done()) return std::nullopt;
+    // max_packets reached: the phase ends with this packet included.
+    return Finish(packet.src_mac, state);
+  }
+  // The packet arrived after the idle gap: the setup phase ended before it.
+  return Finish(packet.src_mac, state);
+}
+
+std::vector<CompletedCapture> DeviceMonitor::FlushIdle(std::uint64_t now_ns) {
+  std::vector<CompletedCapture> out;
+  for (auto& [mac, state] : states_) {
+    if (state.fingerprinted || state.vectors.empty()) continue;
+    if (state.tracker.CheckIdle(now_ns)) out.push_back(Finish(mac, state));
+  }
+  return out;
+}
+
+void DeviceMonitor::Forget(const net::MacAddress& mac) { states_.erase(mac); }
+
+CompletedCapture DeviceMonitor::Finish(const net::MacAddress& mac,
+                                       DeviceState& state) {
+  state.fingerprinted = true;
+  CompletedCapture capture;
+  capture.device_mac = mac;
+  capture.packet_count = state.vectors.size();
+  capture.full = features::Fingerprint::FromPacketVectors(state.vectors);
+  capture.fixed = features::FixedFingerprint::FromFingerprint(capture.full);
+  state.vectors.clear();
+  state.vectors.shrink_to_fit();
+  return capture;
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,70 @@
+// Device monitoring on the Security Gateway (paper Fig. 1 "Device
+// monitoring" + "Fingerprinting" blocks): tracks every MAC seen on the
+// network, collects the setup-phase packets of new devices, and emits a
+// fingerprint once the setup phase ends.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "capture/setup_phase.h"
+#include "features/fingerprint.h"
+
+namespace sentinel::core {
+
+/// A completed setup capture ready for identification.
+struct CompletedCapture {
+  net::MacAddress device_mac;
+  features::Fingerprint full;
+  features::FixedFingerprint fixed;
+  std::size_t packet_count = 0;
+};
+
+class DeviceMonitor {
+ public:
+  explicit DeviceMonitor(capture::SetupPhaseConfig config = {})
+      : config_(config) {}
+
+  /// Feeds one packet (already attributed to its source device by MAC).
+  /// Returns a capture when this packet completes a device's setup phase.
+  std::optional<CompletedCapture> Observe(const net::ParsedPacket& packet);
+
+  /// Clock-driven flush: returns captures of devices whose setup phase
+  /// ended by idle timeout (no further packets arrived to trigger it).
+  std::vector<CompletedCapture> FlushIdle(std::uint64_t now_ns);
+
+  /// Forgets a device (e.g. after it leaves the network), so a future
+  /// appearance is fingerprinted anew.
+  void Forget(const net::MacAddress& mac);
+
+  [[nodiscard]] bool IsKnown(const net::MacAddress& mac) const {
+    return states_.contains(mac);
+  }
+  /// True while the device's setup phase is still being captured (known
+  /// but not yet fingerprinted).
+  [[nodiscard]] bool IsCollecting(const net::MacAddress& mac) const {
+    const auto it = states_.find(mac);
+    return it != states_.end() && !it->second.fingerprinted;
+  }
+  [[nodiscard]] std::size_t tracked_count() const { return states_.size(); }
+
+ private:
+  struct DeviceState {
+    capture::SetupPhaseTracker tracker;
+    features::FeatureExtractor extractor;
+    std::vector<features::PacketFeatureVector> vectors;
+    bool fingerprinted = false;
+
+    explicit DeviceState(const capture::SetupPhaseConfig& config)
+        : tracker(config) {}
+  };
+
+  CompletedCapture Finish(const net::MacAddress& mac, DeviceState& state);
+
+  capture::SetupPhaseConfig config_;
+  std::unordered_map<net::MacAddress, DeviceState> states_;
+};
+
+}  // namespace sentinel::core

@@ -1,0 +1,123 @@
+#include "core/enforcement.h"
+
+namespace sentinel::core {
+
+void EnforcementEngine::Install(EnforcementRule rule) {
+  rules_[rule.device_mac] = std::move(rule);
+}
+
+bool EnforcementEngine::Remove(const net::MacAddress& mac) {
+  return rules_.erase(mac) > 0;
+}
+
+const EnforcementRule* EnforcementEngine::Find(
+    const net::MacAddress& mac) const {
+  const auto it = rules_.find(mac);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+IsolationLevel EnforcementEngine::EffectiveLevel(
+    const net::MacAddress& mac) const {
+  const EnforcementRule* rule = Find(mac);
+  return rule == nullptr ? IsolationLevel::kStrict : rule->level;
+}
+
+bool EnforcementEngine::IsInfrastructure(
+    const net::ParsedPacket& packet) const {
+  using net::Protocol;
+  if (packet.protocols.Has(Protocol::kArp) ||
+      packet.protocols.Has(Protocol::kEapol) ||
+      packet.protocols.Has(Protocol::kIcmpv6) ||
+      packet.protocols.Has(Protocol::kBootp) ||
+      packet.protocols.Has(Protocol::kDhcp)) {
+    return true;
+  }
+  // DNS/NTP served by the gateway itself.
+  if ((packet.protocols.Has(Protocol::kDns) ||
+       packet.protocols.Has(Protocol::kNtp)) &&
+      packet.dst_ip && packet.dst_ip->IsV4() &&
+      packet.dst_ip->v4() == gateway_ip_) {
+    return true;
+  }
+  return false;
+}
+
+Decision EnforcementEngine::Authorize(const net::ParsedPacket& packet) const {
+  if (IsInfrastructure(packet)) {
+    return {.allow = true, .reason = "infrastructure traffic"};
+  }
+
+  const IsolationLevel src_level = EffectiveLevel(packet.src_mac);
+  const EnforcementRule* src_rule = Find(packet.src_mac);
+  const auto decided_by =
+      src_rule ? std::optional<net::MacAddress>(packet.src_mac) : std::nullopt;
+
+  // Remote (Internet) destination?
+  const bool is_public = packet.dst_ip && packet.dst_ip->IsV4() &&
+                         !packet.dst_ip->v4().IsPrivate() &&
+                         !packet.dst_ip->v4().IsMulticast() &&
+                         packet.dst_ip->v4() != net::Ipv4Address::Broadcast();
+  if (is_public) {
+    switch (src_level) {
+      case IsolationLevel::kTrusted:
+        return {.allow = true,
+                .reason = "trusted device, full Internet access",
+                .decided_by = decided_by};
+      case IsolationLevel::kRestricted:
+        if (src_rule != nullptr &&
+            src_rule->AllowsEndpoint(packet.dst_ip->v4())) {
+          return {.allow = true,
+                  .reason = "restricted device, allowlisted endpoint",
+                  .decided_by = decided_by};
+        }
+        return {.allow = false,
+                .reason = "restricted device, endpoint not allowlisted",
+                .decided_by = decided_by};
+      case IsolationLevel::kStrict:
+        return {.allow = false,
+                .reason = "strict isolation, no Internet access",
+                .decided_by = decided_by};
+    }
+  }
+
+  // Local multicast/broadcast discovery stays within the device's overlay;
+  // the gateway mirrors it only to same-overlay ports, so permitting it
+  // here is safe.
+  if (packet.dst_mac.IsMulticast() || packet.dst_mac.IsBroadcast()) {
+    return {.allow = true,
+            .reason = "local discovery within overlay",
+            .decided_by = decided_by};
+  }
+
+  // Traffic addressed to the gateway itself.
+  if (packet.dst_mac == gateway_mac_) {
+    return {.allow = true,
+            .reason = "gateway services",
+            .decided_by = decided_by};
+  }
+
+  // Device-to-device: both ends must share an overlay (Fig. 3).
+  const IsolationLevel dst_level = EffectiveLevel(packet.dst_mac);
+  if (OverlayOf(src_level) == OverlayOf(dst_level)) {
+    return {.allow = true,
+            .reason = OverlayOf(src_level) == Overlay::kTrusted
+                          ? "both devices in trusted network"
+                          : "both devices in untrusted network",
+            .decided_by = decided_by};
+  }
+  return {.allow = false,
+          .reason = "cross-overlay communication blocked",
+          .decided_by = decided_by};
+}
+
+std::size_t EnforcementEngine::MemoryBytes() const {
+  std::size_t total = sizeof(*this);
+  // unordered_map buckets + nodes.
+  total += rules_.bucket_count() * sizeof(void*);
+  for (const auto& [mac, rule] : rules_) {
+    total += sizeof(mac) + rule.MemoryBytes() + 2 * sizeof(void*);
+  }
+  return total;
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,68 @@
+// Enforcement-rule cache and policy evaluation (paper Sect. V).
+//
+// The Security Gateway keeps one enforcement rule per device in a hash
+// table ("to minimize the lookup time as the enforcement rule cache
+// grows"); for any given flow exactly one rule decides. Policy semantics
+// follow Fig. 3:
+//   strict      — untrusted overlay only, no Internet;
+//   restricted  — untrusted overlay + allowlisted remote endpoints;
+//   trusted     — trusted overlay + full Internet.
+// Devices without a rule (still being fingerprinted) are treated as
+// strict-by-default so a compromised device cannot attack before
+// identification completes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/isolation.h"
+#include "net/frame.h"
+
+namespace sentinel::core {
+
+/// Outcome of a policy check for one packet/flow.
+struct Decision {
+  bool allow = false;
+  std::string reason;
+  /// The enforcement rule that decided (device MAC), if any.
+  std::optional<net::MacAddress> decided_by;
+};
+
+class EnforcementEngine {
+ public:
+  explicit EnforcementEngine(net::MacAddress gateway_mac,
+                             net::Ipv4Address gateway_ip)
+      : gateway_mac_(gateway_mac), gateway_ip_(gateway_ip) {}
+
+  /// Installs (or replaces) the enforcement rule for a device.
+  void Install(EnforcementRule rule);
+  /// Removes a device's rule; returns true if one existed.
+  bool Remove(const net::MacAddress& mac);
+  [[nodiscard]] const EnforcementRule* Find(const net::MacAddress& mac) const;
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+
+  /// Policy check for one packet. Infrastructure traffic (ARP, EAPoL,
+  /// ICMPv6 ND, DHCP, and DNS/NTP to the gateway) is always permitted so
+  /// devices can associate and be fingerprinted.
+  [[nodiscard]] Decision Authorize(const net::ParsedPacket& packet) const;
+
+  /// Isolation level effective for a device (strict when no rule exists).
+  [[nodiscard]] IsolationLevel EffectiveLevel(
+      const net::MacAddress& mac) const;
+
+  /// Real memory footprint of the rule cache (Fig. 6c).
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+  [[nodiscard]] net::MacAddress gateway_mac() const { return gateway_mac_; }
+  [[nodiscard]] net::Ipv4Address gateway_ip() const { return gateway_ip_; }
+
+ private:
+  [[nodiscard]] bool IsInfrastructure(const net::ParsedPacket& packet) const;
+
+  net::MacAddress gateway_mac_;
+  net::Ipv4Address gateway_ip_;
+  std::unordered_map<net::MacAddress, EnforcementRule> rules_;
+};
+
+}  // namespace sentinel::core

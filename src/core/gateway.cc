@@ -1,0 +1,35 @@
+#include "core/gateway.h"
+
+namespace sentinel::core {
+
+SecurityGateway::SecurityGateway(SecurityServiceClient& service,
+                                 SecurityGatewayConfig config)
+    : config_(config),
+      switch_("security-gateway"),
+      controller_(/*learning_switch=*/true),
+      engine_(config.gateway_mac, config.gateway_ip) {
+  if (config.enable_services) {
+    GatewayServicesConfig services_config;
+    services_config.mac = config.gateway_mac;
+    services_config.ip = config.gateway_ip;
+    DnsResolverFn resolver = config.dns_resolver;
+    if (!resolver) {
+      resolver = [](const std::string& name)
+          -> std::optional<net::Ipv4Address> {
+        return devices::NetworkEnvironment().ResolveEndpoint(name);
+      };
+    }
+    services_module_ = std::make_shared<GatewayServicesModule>(
+        services_config, std::move(resolver));
+    // Services answer first; the Sentinel module still sees every packet
+    // because the services module never consumes.
+    controller_.AddModule(services_module_);
+  }
+  SentinelModuleConfig module_config = config.module;
+  module_config.wan_port = config.wan_port;
+  module_ = std::make_shared<SentinelModule>(service, engine_, module_config);
+  controller_.AddModule(module_);
+  switch_.SetController(&controller_);
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,78 @@
+// Security Gateway facade (paper Fig. 1): the SDN switch + controller +
+// Sentinel module + enforcement engine assembled into the component that
+// sits as the home router. This is the top-level object applications embed.
+#pragma once
+
+#include <memory>
+
+#include "core/gateway_services.h"
+#include "core/sentinel_module.h"
+#include "devices/environment.h"
+#include "sdn/controller.h"
+#include "sdn/switch.h"
+
+namespace sentinel::core {
+
+struct SecurityGatewayConfig {
+  net::MacAddress gateway_mac =
+      net::MacAddress({0x02, 0x00, 0x5e, 0x00, 0x00, 0x01});
+  net::Ipv4Address gateway_ip = net::Ipv4Address(192, 168, 1, 1);
+  sdn::PortId wan_port = 1;
+  SentinelModuleConfig module;
+  /// When true the gateway also runs its network services (DHCP, DNS, NTP,
+  /// ARP/ICMP responder) on the datapath, answering devices directly. Off
+  /// by default for deployments where an existing router keeps those roles.
+  bool enable_services = false;
+  /// Upstream DNS resolution for the services module (defaults to the
+  /// deterministic simulator resolver when unset).
+  DnsResolverFn dns_resolver;
+};
+
+class SecurityGateway {
+ public:
+  /// `service` must outlive the gateway.
+  SecurityGateway(SecurityServiceClient& service,
+                  SecurityGatewayConfig config = {});
+
+  /// Attaches a device-facing port (WiFi or Ethernet).
+  void AttachPort(sdn::PortId port, sdn::PortOutput output) {
+    switch_.AttachPort(port, std::move(output));
+  }
+  /// Attaches the Internet uplink.
+  void AttachWan(sdn::PortOutput output) {
+    switch_.AttachPort(config_.wan_port, std::move(output));
+  }
+
+  /// Feeds a frame arriving on `port` through monitoring + enforcement +
+  /// forwarding. Returns true when the frame was forwarded.
+  bool Ingress(sdn::PortId port, const net::Frame& frame) {
+    return switch_.Inject(port, frame);
+  }
+
+  sdn::SoftwareSwitch& datapath() { return switch_; }
+  sdn::Controller& controller() { return controller_; }
+  SentinelModule& sentinel() { return *module_; }
+  EnforcementEngine& enforcement() { return engine_; }
+  /// Gateway network services; only valid when config.enable_services.
+  GatewayServices& services() { return services_module_->services(); }
+  [[nodiscard]] bool has_services() const {
+    return services_module_ != nullptr;
+  }
+  [[nodiscard]] const SecurityGatewayConfig& config() const { return config_; }
+
+  /// Total gateway state attributable to Sentinel (enforcement-rule cache +
+  /// datapath flow table) — the growing component of Fig. 6c.
+  [[nodiscard]] std::size_t MemoryBytes() const {
+    return switch_.MemoryBytes() + engine_.MemoryBytes();
+  }
+
+ private:
+  SecurityGatewayConfig config_;
+  sdn::SoftwareSwitch switch_;
+  sdn::Controller controller_;
+  EnforcementEngine engine_;
+  std::shared_ptr<GatewayServicesModule> services_module_;
+  std::shared_ptr<SentinelModule> module_;
+};
+
+}  // namespace sentinel::core

@@ -1,0 +1,265 @@
+#include "core/gateway_services.h"
+
+namespace sentinel::core {
+
+GatewayServices::GatewayServices(GatewayServicesConfig config,
+                                 DnsResolverFn resolver)
+    : config_(config), resolver_(std::move(resolver)) {}
+
+bool GatewayServices::InPool(net::Ipv4Address ip) const {
+  const std::uint32_t start = config_.pool_start.value();
+  return ip.value() >= start && ip.value() < start + config_.pool_size;
+}
+
+bool GatewayServices::IsFree(net::Ipv4Address ip) const {
+  for (const auto& [mac, lease] : leases_) {
+    if (lease.ip == ip) return false;
+  }
+  return true;
+}
+
+std::optional<net::Ipv4Address> GatewayServices::Allocate(
+    const net::MacAddress& mac, std::optional<net::Ipv4Address> requested,
+    std::uint64_t now_ns) {
+  // Sticky leases: the same device gets its previous address back.
+  const auto existing = leases_.find(mac);
+  if (existing != leases_.end()) {
+    existing->second.expires_at_ns = now_ns + config_.lease_duration_ns;
+    return existing->second.ip;
+  }
+  if (requested && InPool(*requested) && IsFree(*requested)) {
+    leases_[mac] = Lease{*requested, now_ns + config_.lease_duration_ns};
+    return *requested;
+  }
+  for (std::uint8_t offset = 0; offset < config_.pool_size; ++offset) {
+    const net::Ipv4Address candidate(config_.pool_start.value() + offset);
+    if (IsFree(candidate)) {
+      leases_[mac] = Lease{candidate, now_ns + config_.lease_duration_ns};
+      return candidate;
+    }
+  }
+  return std::nullopt;  // pool exhausted
+}
+
+std::optional<net::Ipv4Address> GatewayServices::LeaseOf(
+    const net::MacAddress& mac) const {
+  const auto it = leases_.find(mac);
+  if (it == leases_.end()) return std::nullopt;
+  return it->second.ip;
+}
+
+std::size_t GatewayServices::ExpireLeases(std::uint64_t now_ns) {
+  std::size_t removed = 0;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.expires_at_ns <= now_ns) {
+      it = leases_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<net::Frame> GatewayServices::HandleFrame(const net::Frame& frame) {
+  net::ParsedPacket packet;
+  try {
+    packet = net::ParseFrame(frame);
+  } catch (const net::CodecError&) {
+    return {};
+  }
+  if (packet.src_mac == config_.mac) return {};  // our own traffic
+
+  if (packet.protocols.Has(net::Protocol::kArp))
+    return HandleArp(frame, packet);
+  if (packet.protocols.Has(net::Protocol::kBootp))
+    return HandleDhcp(frame, packet);
+
+  // The remaining services require the packet to target the gateway IP.
+  const bool to_gateway = packet.dst_ip && packet.dst_ip->IsV4() &&
+                          packet.dst_ip->v4() == config_.ip;
+  if (!to_gateway) return {};
+  if (packet.protocols.Has(net::Protocol::kDns))
+    return HandleDns(frame, packet);
+  if (packet.protocols.Has(net::Protocol::kNtp))
+    return HandleNtp(frame, packet);
+  if (packet.protocols.Has(net::Protocol::kIcmp))
+    return HandleIcmp(frame, packet);
+  return {};
+}
+
+std::vector<net::Frame> GatewayServices::HandleArp(
+    const net::Frame& frame, const net::ParsedPacket& packet) {
+  net::ByteReader r(frame.bytes);
+  net::EthernetHeader::Decode(r);
+  const auto arp = net::ArpPacket::Decode(r);
+  if (arp.operation != net::ArpOperation::kRequest ||
+      arp.target_ip != config_.ip) {
+    return {};
+  }
+  net::ArpPacket reply;
+  reply.operation = net::ArpOperation::kReply;
+  reply.sender_mac = config_.mac;
+  reply.sender_ip = config_.ip;
+  reply.target_mac = arp.sender_mac;
+  reply.target_ip = arp.sender_ip;
+  ++counters_.arp_replies;
+  return {net::BuildArpFrame(frame.timestamp_ns, config_.mac, packet.src_mac,
+                             reply)};
+}
+
+std::vector<net::Frame> GatewayServices::HandleDhcp(
+    const net::Frame& frame, const net::ParsedPacket& packet) {
+  net::ByteReader r(frame.bytes);
+  net::EthernetHeader::Decode(r);
+  std::size_t payload_len = 0;
+  net::Ipv4Header::Decode(r, payload_len);
+  const auto udp = net::UdpDatagram::Decode(r);
+  if (udp.dst_port != net::kPortDhcpServer) return {};  // not for the server
+  net::ByteReader dhcp_reader(udp.payload);
+  net::DhcpMessage message;
+  try {
+    message = net::DhcpMessage::Decode(dhcp_reader);
+  } catch (const net::CodecError&) {
+    return {};
+  }
+  if (message.op != 1) return {};  // only client requests
+
+  const auto type = message.MessageType();
+  net::DhcpMessage reply;
+  if (!type.has_value() || *type == net::DhcpMessageType::kDiscover) {
+    // Plain BOOTP and DHCPDISCOVER both get an offer.
+    const auto offered =
+        Allocate(message.client_mac, std::nullopt, frame.timestamp_ns);
+    if (!offered) return {};
+    reply = net::DhcpMessage::Offer(message, *offered, config_.ip);
+    ++counters_.dhcp_offers;
+  } else if (*type == net::DhcpMessageType::kRequest) {
+    std::optional<net::Ipv4Address> requested;
+    for (const auto& option : message.options) {
+      if (option.code == 50 && option.data.size() == 4) {
+        requested = net::Ipv4Address(
+            (std::uint32_t{option.data[0]} << 24) |
+            (std::uint32_t{option.data[1]} << 16) |
+            (std::uint32_t{option.data[2]} << 8) | option.data[3]);
+      }
+    }
+    const auto assigned =
+        Allocate(message.client_mac, requested, frame.timestamp_ns);
+    if (!assigned || (requested && *assigned != *requested)) {
+      ++counters_.dhcp_naks;
+      reply = net::DhcpMessage::Ack(message, net::Ipv4Address::Any(),
+                                    config_.ip);
+      reply.options.front().data = {
+          static_cast<std::uint8_t>(net::DhcpMessageType::kNak)};
+    } else {
+      reply = net::DhcpMessage::Ack(message, *assigned, config_.ip);
+      ++counters_.dhcp_acks;
+    }
+  } else {
+    return {};
+  }
+
+  net::UdpDatagram response;
+  response.src_port = net::kPortDhcpServer;
+  response.dst_port = net::kPortDhcpClient;
+  net::ByteWriter w;
+  reply.Encode(w);
+  response.payload = std::move(w).Take();
+  return {net::BuildUdp4Frame(frame.timestamp_ns, config_.mac,
+                              packet.src_mac, config_.ip,
+                              net::Ipv4Address::Broadcast(), response)};
+}
+
+std::vector<net::Frame> GatewayServices::HandleDns(
+    const net::Frame& frame, const net::ParsedPacket& packet) {
+  net::ByteReader r(frame.bytes);
+  net::EthernetHeader::Decode(r);
+  std::size_t payload_len = 0;
+  net::Ipv4Header::Decode(r, payload_len);
+  const auto udp = net::UdpDatagram::Decode(r);
+  net::ByteReader dns_reader(udp.payload);
+  net::DnsMessage query;
+  try {
+    query = net::DnsMessage::Decode(dns_reader);
+  } catch (const net::CodecError&) {
+    return {};
+  }
+  if (query.IsResponse() || query.questions.empty()) return {};
+
+  const auto answer = resolver_(query.questions.front().name);
+  net::DnsMessage response;
+  if (answer) {
+    response = net::DnsMessage::Response(query, *answer);
+    ++counters_.dns_answers;
+  } else {
+    response.id = query.id;
+    response.flags = 0x8183;  // response, NXDOMAIN
+    response.questions = query.questions;
+    ++counters_.dns_failures;
+  }
+  net::UdpDatagram reply;
+  reply.src_port = net::kPortDns;
+  reply.dst_port = udp.src_port;
+  net::ByteWriter w;
+  response.Encode(w);
+  reply.payload = std::move(w).Take();
+  return {net::BuildUdp4Frame(frame.timestamp_ns, config_.mac, packet.src_mac,
+                              config_.ip, packet.src_ip->v4(), reply)};
+}
+
+std::vector<net::Frame> GatewayServices::HandleNtp(
+    const net::Frame& frame, const net::ParsedPacket& packet) {
+  net::ByteReader r(frame.bytes);
+  net::EthernetHeader::Decode(r);
+  std::size_t payload_len = 0;
+  net::Ipv4Header::Decode(r, payload_len);
+  const auto udp = net::UdpDatagram::Decode(r);
+  net::ByteReader ntp_reader(udp.payload);
+  net::NtpPacket request;
+  try {
+    request = net::NtpPacket::Decode(ntp_reader);
+  } catch (const net::CodecError&) {
+    return {};
+  }
+  if (request.mode != 3) return {};  // only client requests
+
+  net::UdpDatagram reply;
+  reply.src_port = net::kPortNtp;
+  reply.dst_port = udp.src_port;
+  net::ByteWriter w;
+  net::NtpPacket::ServerReply(request, frame.timestamp_ns).Encode(w);
+  reply.payload = std::move(w).Take();
+  ++counters_.ntp_replies;
+  return {net::BuildUdp4Frame(frame.timestamp_ns, config_.mac, packet.src_mac,
+                              config_.ip, packet.src_ip->v4(), reply)};
+}
+
+std::vector<net::Frame> GatewayServices::HandleIcmp(
+    const net::Frame& frame, const net::ParsedPacket& packet) {
+  net::ByteReader r(frame.bytes);
+  net::EthernetHeader::Decode(r);
+  std::size_t payload_len = 0;
+  net::Ipv4Header::Decode(r, payload_len);
+  const auto icmp = net::IcmpMessage::Decode(r, payload_len);
+  if (!icmp.IsEchoRequest()) return {};
+  ++counters_.icmp_replies;
+  return {net::BuildIcmp4Frame(frame.timestamp_ns, config_.mac,
+                               packet.src_mac, config_.ip,
+                               packet.src_ip->v4(),
+                               net::IcmpMessage::EchoReply(icmp))};
+}
+
+GatewayServicesModule::Verdict GatewayServicesModule::OnPacketIn(
+    sdn::SoftwareSwitch& sw, sdn::PortId in_port, const net::Frame& frame,
+    const net::ParsedPacket& packet) {
+  (void)packet;
+  for (const auto& response : services_.HandleFrame(frame)) {
+    // Answers go back out the port the query arrived on.
+    sw.PacketOut(in_port, sdn::kPortController, response);
+  }
+  // Never consume: monitoring/enforcement modules still see the packet.
+  return Verdict::kContinue;
+}
+
+}  // namespace sentinel::core

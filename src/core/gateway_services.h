@@ -1,0 +1,116 @@
+// Network services of the Security Gateway. A consumer gateway router is
+// not just a switch: it runs the DHCP server devices lease addresses from,
+// the DNS resolver they query, and an NTP server; it answers ARP for its
+// own address and responds to pings. The paper's Security Gateway inherits
+// all of these (Sect. III-A), and the setup traffic the fingerprinter sees
+// is largely conversations with these very services.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/frame.h"
+#include "sdn/controller.h"
+
+namespace sentinel::core {
+
+struct GatewayServicesConfig {
+  net::MacAddress mac = net::MacAddress({0x02, 0x00, 0x5e, 0x00, 0x00, 0x01});
+  net::Ipv4Address ip = net::Ipv4Address(192, 168, 1, 1);
+  net::Ipv4Address netmask = net::Ipv4Address(255, 255, 255, 0);
+  /// DHCP pool [pool_start, pool_start + pool_size).
+  net::Ipv4Address pool_start = net::Ipv4Address(192, 168, 1, 100);
+  std::uint8_t pool_size = 150;
+  std::uint64_t lease_duration_ns = 86'400ull * 1'000'000'000;  // 24 h
+};
+
+/// Resolves public DNS names to addresses (deployments forward upstream;
+/// tests plug in the deterministic simulator resolver).
+using DnsResolverFn = std::function<std::optional<net::Ipv4Address>(
+    const std::string& name)>;
+
+class GatewayServices {
+ public:
+  GatewayServices(GatewayServicesConfig config, DnsResolverFn resolver);
+
+  /// Handles one frame if it is addressed to a gateway service (DHCP
+  /// broadcast, ARP for the gateway IP, DNS/NTP to the gateway, ICMP echo
+  /// to the gateway). Returns the response frames to emit (empty when the
+  /// frame is not for the gateway or needs no answer).
+  std::vector<net::Frame> HandleFrame(const net::Frame& frame);
+
+  // ---- DHCP lease table -----------------------------------------------------
+  [[nodiscard]] std::optional<net::Ipv4Address> LeaseOf(
+      const net::MacAddress& mac) const;
+  [[nodiscard]] std::size_t active_leases() const { return leases_.size(); }
+  /// Expires leases whose end time has passed; returns how many.
+  std::size_t ExpireLeases(std::uint64_t now_ns);
+
+  struct Counters {
+    std::uint64_t dhcp_offers = 0;
+    std::uint64_t dhcp_acks = 0;
+    std::uint64_t dhcp_naks = 0;
+    std::uint64_t dns_answers = 0;
+    std::uint64_t dns_failures = 0;
+    std::uint64_t ntp_replies = 0;
+    std::uint64_t arp_replies = 0;
+    std::uint64_t icmp_replies = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] const GatewayServicesConfig& config() const { return config_; }
+
+ private:
+  struct Lease {
+    net::Ipv4Address ip;
+    std::uint64_t expires_at_ns = 0;
+  };
+
+  std::optional<net::Ipv4Address> Allocate(const net::MacAddress& mac,
+                                           std::optional<net::Ipv4Address>
+                                               requested,
+                                           std::uint64_t now_ns);
+  [[nodiscard]] bool InPool(net::Ipv4Address ip) const;
+  [[nodiscard]] bool IsFree(net::Ipv4Address ip) const;
+
+  std::vector<net::Frame> HandleArp(const net::Frame& frame,
+                                    const net::ParsedPacket& packet);
+  std::vector<net::Frame> HandleDhcp(const net::Frame& frame,
+                                     const net::ParsedPacket& packet);
+  std::vector<net::Frame> HandleDns(const net::Frame& frame,
+                                    const net::ParsedPacket& packet);
+  std::vector<net::Frame> HandleNtp(const net::Frame& frame,
+                                    const net::ParsedPacket& packet);
+  std::vector<net::Frame> HandleIcmp(const net::Frame& frame,
+                                     const net::ParsedPacket& packet);
+
+  GatewayServicesConfig config_;
+  DnsResolverFn resolver_;
+  std::unordered_map<net::MacAddress, Lease> leases_;
+  Counters counters_;
+};
+
+/// Controller module exposing the services on the datapath: answers are
+/// sent back out the ingress port; the packet then continues down the
+/// module chain (so the Sentinel monitor still sees it).
+class GatewayServicesModule : public sdn::ControllerModule {
+ public:
+  GatewayServicesModule(GatewayServicesConfig config, DnsResolverFn resolver)
+      : services_(config, std::move(resolver)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "gateway-services";
+  }
+
+  Verdict OnPacketIn(sdn::SoftwareSwitch& sw, sdn::PortId in_port,
+                     const net::Frame& frame,
+                     const net::ParsedPacket& packet) override;
+
+  GatewayServices& services() { return services_; }
+
+ private:
+  GatewayServices services_;
+};
+
+}  // namespace sentinel::core

@@ -1,0 +1,38 @@
+#include "core/incident_registry.h"
+
+namespace sentinel::core {
+
+bool IncidentRegistry::Report(const IncidentReport& report) {
+  TypeState& state = by_type_[report.device_type];
+  ++state.report_count;
+  const bool was_flagged = state.reporters.size() >= threshold_;
+  state.reporters.insert(report.reporter_token);
+  const bool now_flagged = state.reporters.size() >= threshold_;
+  return now_flagged && !was_flagged;
+}
+
+std::size_t IncidentRegistry::ReportCount(
+    const std::string& device_type) const {
+  const auto it = by_type_.find(device_type);
+  return it == by_type_.end() ? 0 : it->second.report_count;
+}
+
+std::size_t IncidentRegistry::DistinctReporters(
+    const std::string& device_type) const {
+  const auto it = by_type_.find(device_type);
+  return it == by_type_.end() ? 0 : it->second.reporters.size();
+}
+
+bool IncidentRegistry::IsFlagged(const std::string& device_type) const {
+  return DistinctReporters(device_type) >= threshold_;
+}
+
+std::vector<std::string> IncidentRegistry::FlaggedTypes() const {
+  std::vector<std::string> out;
+  for (const auto& [type, state] : by_type_) {
+    if (state.reporters.size() >= threshold_) out.push_back(type);
+  }
+  return out;
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,60 @@
+// Crowdsourced incident correlation (paper Sect. III-B): "Crowdsourced
+// information can also be used by cross-correlating security incidents and
+// related device-types as reported by Security Gateways of affected
+// networks."
+//
+// Gateways report incidents (anomalous flows, blocked exfiltration
+// attempts, device compromise indicators) tagged with the affected
+// device-type. Once independent reports for a type cross a threshold, the
+// IoTSSP treats the type as vulnerable even without a published CVE and
+// starts assigning restricted isolation — the crowd acting as an early-
+// warning vulnerability feed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sentinel::core {
+
+struct IncidentReport {
+  std::string device_type;   // catalog identifier
+  std::string description;   // e.g. "outbound scan blocked"
+  /// Anonymous but stable reporter token (one per gateway); repeated
+  /// reports from the same gateway count once towards the threshold.
+  std::uint64_t reporter_token = 0;
+};
+
+class IncidentRegistry {
+ public:
+  /// `distinct_reporters_threshold`: number of *different* gateways that
+  /// must report a type before it is considered compromised-in-the-wild.
+  explicit IncidentRegistry(std::size_t distinct_reporters_threshold = 3)
+      : threshold_(distinct_reporters_threshold) {}
+
+  /// Records a report. Returns true if this report pushed the type over
+  /// the threshold (i.e. the type's status just changed).
+  bool Report(const IncidentReport& report);
+
+  [[nodiscard]] std::size_t ReportCount(const std::string& device_type) const;
+  [[nodiscard]] std::size_t DistinctReporters(
+      const std::string& device_type) const;
+  /// True once >= threshold distinct gateways reported the type.
+  [[nodiscard]] bool IsFlagged(const std::string& device_type) const;
+  /// All flagged types, unordered.
+  [[nodiscard]] std::vector<std::string> FlaggedTypes() const;
+
+  [[nodiscard]] std::size_t threshold() const { return threshold_; }
+
+ private:
+  struct TypeState {
+    std::size_t report_count = 0;
+    std::unordered_set<std::uint64_t> reporters;
+  };
+  std::size_t threshold_;
+  std::unordered_map<std::string, TypeState> by_type_;
+};
+
+}  // namespace sentinel::core

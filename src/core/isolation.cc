@@ -1,0 +1,67 @@
+#include "core/isolation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sentinel::core {
+
+std::string ToString(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kStrict:
+      return "strict";
+    case IsolationLevel::kRestricted:
+      return "restricted";
+    case IsolationLevel::kTrusted:
+      return "trusted";
+  }
+  return "?";
+}
+
+std::uint64_t EnforcementRule::Hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(device_mac.ToUint64());
+  mix(static_cast<std::uint64_t>(level));
+  for (const auto& ip : allowed_endpoints) mix(ip.value());
+  for (const auto& name : allowed_endpoint_names)
+    for (char c : name) mix(static_cast<std::uint8_t>(c));
+  return h;
+}
+
+bool EnforcementRule::AllowsEndpoint(net::Ipv4Address ip) const {
+  if (level == IsolationLevel::kTrusted) return true;
+  if (level == IsolationLevel::kStrict) return false;
+  return std::find(allowed_endpoints.begin(), allowed_endpoints.end(), ip) !=
+         allowed_endpoints.end();
+}
+
+std::string EnforcementRule::ToString() const {
+  std::ostringstream out;
+  out << "Device: " << device_mac.ToString();
+  if (!device_type.empty()) out << " (" << device_type << ")";
+  out << "\nIsolation level: " << core::ToString(level);
+  if (level == IsolationLevel::kRestricted) {
+    out << "\nPermitted addresses:";
+    for (std::size_t i = 0; i < allowed_endpoints.size(); ++i) {
+      out << "\n  " << allowed_endpoints[i].ToString();
+      if (i < allowed_endpoint_names.size())
+        out << " (" << allowed_endpoint_names[i] << ")";
+    }
+  }
+  out << "\nHash: " << Hash();
+  return out.str();
+}
+
+std::size_t EnforcementRule::MemoryBytes() const {
+  std::size_t total = sizeof(*this);
+  total += device_type.capacity();
+  total += allowed_endpoints.capacity() * sizeof(net::Ipv4Address);
+  total += allowed_endpoint_names.capacity() * sizeof(std::string);
+  for (const auto& name : allowed_endpoint_names) total += name.capacity();
+  return total;
+}
+
+}  // namespace sentinel::core

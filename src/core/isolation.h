@@ -1,0 +1,66 @@
+// Isolation levels and enforcement rules (paper Sect. V, Fig. 2/3).
+//
+// Every device is assigned one of three isolation levels after
+// identification; the Security Gateway stores one enforcement rule per
+// device (keyed by MAC) in a hash-table cache and compiles it into flow
+// rules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+
+namespace sentinel::core {
+
+/// Paper Fig. 3: strict / restricted / trusted.
+enum class IsolationLevel : std::uint8_t {
+  /// Untrusted overlay only; no Internet access. Assigned to unknown
+  /// device-types.
+  kStrict = 0,
+  /// Untrusted overlay plus an allowlist of remote endpoints (the vendor
+  /// cloud). Assigned to types with known vulnerabilities.
+  kRestricted = 1,
+  /// Trusted overlay and unrestricted Internet access. Assigned to types
+  /// with no known vulnerabilities.
+  kTrusted = 2,
+};
+
+std::string ToString(IsolationLevel level);
+
+/// The network overlay a level places a device in (Fig. 3: strict and
+/// restricted devices share the untrusted overlay).
+enum class Overlay : std::uint8_t { kUntrusted = 0, kTrusted = 1 };
+
+constexpr Overlay OverlayOf(IsolationLevel level) {
+  return level == IsolationLevel::kTrusted ? Overlay::kTrusted
+                                           : Overlay::kUntrusted;
+}
+
+/// One per-device enforcement rule (paper Fig. 2): MAC, isolation level,
+/// permitted remote endpoints, and a hash used as the cache key / flow
+/// cookie.
+struct EnforcementRule {
+  net::MacAddress device_mac;
+  IsolationLevel level = IsolationLevel::kStrict;
+  /// Identified device-type (catalog identifier), empty if unknown.
+  std::string device_type;
+  /// Remote endpoints the device may reach under kRestricted.
+  std::vector<net::Ipv4Address> allowed_endpoints;
+  /// DNS names behind allowed_endpoints (informational, Fig. 2 shows both).
+  std::vector<std::string> allowed_endpoint_names;
+
+  /// Stable 64-bit hash over MAC + level + endpoints — the value the paper
+  /// stores for "enforcement rule storage in cache".
+  [[nodiscard]] std::uint64_t Hash() const;
+
+  /// True when this rule permits reaching the given remote endpoint.
+  [[nodiscard]] bool AllowsEndpoint(net::Ipv4Address ip) const;
+
+  [[nodiscard]] std::string ToString() const;
+  /// Approximate heap footprint (Fig. 6c memory accounting).
+  [[nodiscard]] std::size_t MemoryBytes() const;
+};
+
+}  // namespace sentinel::core

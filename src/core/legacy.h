@@ -1,0 +1,56 @@
+// Legacy-installation support (paper Sect. VIII-A).
+//
+// When a Security Gateway is retrofitted into an existing network (e.g. as
+// a firmware update to the old router), its devices are already connected:
+// there is no setup burst to fingerprint. Identification instead runs on
+// standby/operational traffic, and the network is split into the untrusted
+// (legacy) and trusted overlays. Clean devices that support WPS re-keying
+// are migrated to the trusted overlay automatically; clean devices without
+// WPS support stay in the untrusted overlay until the user re-introduces
+// them manually; vulnerable devices stay restricted; unidentifiable
+// devices stay strict.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "capture/setup_phase.h"
+#include "capture/trace.h"
+#include "core/enforcement.h"
+#include "core/security_service.h"
+
+namespace sentinel::core {
+
+/// Outcome of the migration planning for one legacy device.
+struct LegacyDeviceReport {
+  net::MacAddress mac;
+  std::optional<devices::DeviceTypeId> type;
+  std::string type_identifier;  // empty if unidentified
+  IsolationLevel level = IsolationLevel::kStrict;
+  /// Device was re-keyed into the trusted overlay via WPS.
+  bool migrated_to_trusted = false;
+  /// Clean device without WPS re-keying: the gateway should prompt the
+  /// user to re-introduce it manually (paper's option 2).
+  bool needs_manual_reintroduction = false;
+  /// Vulnerable device with an uncontrollable side channel: user must be
+  /// notified to remove it.
+  bool requires_user_notification = false;
+  std::size_t packets_observed = 0;
+};
+
+struct LegacyMigrationConfig {
+  /// Sources with fewer parsed packets than this are treated as background
+  /// noise (responders, transient guests) and skipped.
+  std::size_t min_packets = 4;
+  capture::SetupPhaseConfig phase;
+};
+
+/// Plans (and applies, via `engine`) the migration of every device visible
+/// in `standby_capture`. Returns one report per considered device, in MAC
+/// order. Devices already present in `engine` are re-assessed and their
+/// rules replaced.
+std::vector<LegacyDeviceReport> MigrateLegacyNetwork(
+    const capture::Trace& standby_capture, SecurityServiceClient& service,
+    EnforcementEngine& engine, const LegacyMigrationConfig& config = {});
+
+}  // namespace sentinel::core

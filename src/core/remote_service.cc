@@ -1,0 +1,131 @@
+#include "core/remote_service.h"
+
+#include "features/fingerprint_codec.h"
+
+namespace sentinel::core {
+
+namespace {
+
+void WriteString(net::ByteWriter& w, const std::string& s) {
+  w.WriteU16(static_cast<std::uint16_t>(s.size()));
+  w.WriteString(s);
+}
+
+std::string ReadString(net::ByteReader& r) {
+  const std::uint16_t length = r.ReadU16();
+  const auto bytes = r.ReadBytes(length);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+void ExpectHeader(net::ByteReader& r, char a, char b, char c,
+                  const char* what) {
+  if (r.ReadU8() != static_cast<std::uint8_t>(a) ||
+      r.ReadU8() != static_cast<std::uint8_t>(b) ||
+      r.ReadU8() != static_cast<std::uint8_t>(c)) {
+    throw net::CodecError(std::string("bad magic for ") + what);
+  }
+  if (r.ReadU8() != 1)
+    throw net::CodecError(std::string("unsupported version for ") + what);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeAssessRequest(const AssessRequest& request) {
+  net::ByteWriter w;
+  w.WriteU8('S');
+  w.WriteU8('R');
+  w.WriteU8('Q');
+  w.WriteU8(1);
+  features::EncodeFingerprint(w, request.full);
+  features::EncodeFixedFingerprint(w, request.fixed);
+  return std::move(w).Take();
+}
+
+AssessRequest DecodeAssessRequest(std::span<const std::uint8_t> bytes) {
+  net::ByteReader r(bytes);
+  ExpectHeader(r, 'S', 'R', 'Q', "assess request");
+  AssessRequest request;
+  request.full = features::DecodeFingerprint(r);
+  request.fixed = features::DecodeFixedFingerprint(r);
+  return request;
+}
+
+std::vector<std::uint8_t> EncodeAssessResponse(const AssessmentResult& result) {
+  net::ByteWriter w;
+  w.WriteU8('S');
+  w.WriteU8('R');
+  w.WriteU8('S');
+  w.WriteU8(1);
+  w.WriteU8(result.type.has_value() ? 1 : 0);
+  w.WriteU32(static_cast<std::uint32_t>(result.type.value_or(-1)));
+  WriteString(w, result.type_identifier);
+  w.WriteU8(static_cast<std::uint8_t>(result.level));
+  w.WriteU8(result.requires_user_notification ? 1 : 0);
+  w.WriteU16(static_cast<std::uint16_t>(result.allowed_endpoints.size()));
+  for (std::size_t i = 0; i < result.allowed_endpoints.size(); ++i) {
+    w.WriteU32(result.allowed_endpoints[i].value());
+    WriteString(w, i < result.allowed_endpoint_names.size()
+                       ? result.allowed_endpoint_names[i]
+                       : std::string());
+  }
+  w.WriteU16(static_cast<std::uint16_t>(result.advisories.size()));
+  for (const auto& advisory : result.advisories) {
+    WriteString(w, advisory.cve_id);
+    WriteString(w, advisory.device_type);
+    WriteString(w, advisory.summary);
+    w.WriteU32(static_cast<std::uint32_t>(advisory.cvss_score * 1000.0));
+  }
+  return std::move(w).Take();
+}
+
+AssessmentResult DecodeAssessResponse(std::span<const std::uint8_t> bytes) {
+  net::ByteReader r(bytes);
+  ExpectHeader(r, 'S', 'R', 'S', "assess response");
+  AssessmentResult result;
+  const bool known = r.ReadU8() != 0;
+  const auto type = static_cast<std::int32_t>(r.ReadU32());
+  if (known) {
+    result.type = static_cast<devices::DeviceTypeId>(type);
+    result.identification.type = type;
+  }
+  result.type_identifier = ReadString(r);
+  const std::uint8_t level = r.ReadU8();
+  if (level > static_cast<std::uint8_t>(IsolationLevel::kTrusted))
+    throw net::CodecError("invalid isolation level");
+  result.level = static_cast<IsolationLevel>(level);
+  result.requires_user_notification = r.ReadU8() != 0;
+  const std::uint16_t endpoint_count = r.ReadU16();
+  for (std::uint16_t i = 0; i < endpoint_count; ++i) {
+    result.allowed_endpoints.emplace_back(r.ReadU32());
+    result.allowed_endpoint_names.push_back(ReadString(r));
+  }
+  const std::uint16_t advisory_count = r.ReadU16();
+  for (std::uint16_t i = 0; i < advisory_count; ++i) {
+    VulnerabilityRecord advisory;
+    advisory.cve_id = ReadString(r);
+    advisory.device_type = ReadString(r);
+    advisory.summary = ReadString(r);
+    advisory.cvss_score = static_cast<double>(r.ReadU32()) / 1000.0;
+    result.advisories.push_back(std::move(advisory));
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> SecurityServiceServer::Handle(
+    std::span<const std::uint8_t> request_bytes) {
+  ++requests_served_;
+  const AssessRequest request = DecodeAssessRequest(request_bytes);
+  const AssessmentResult result =
+      service_.Assess(request.full, request.fixed);
+  return EncodeAssessResponse(result);
+}
+
+AssessmentResult RemoteSecurityServiceClient::Assess(
+    const features::Fingerprint& full,
+    const features::FixedFingerprint& fixed) {
+  const auto request = EncodeAssessRequest(AssessRequest{full, fixed});
+  const auto response = transport_.RoundTrip(request);
+  return DecodeAssessResponse(response);
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,119 @@
+// Gateway <-> IoT Security Service wire protocol (paper Sect. III).
+//
+// The Security Gateway ships fingerprints to the IoTSSP and receives back
+// the identification verdict, the isolation level and (for restricted
+// devices) the endpoint allowlist. The protocol is deliberately stateless
+// and content-addressed — the IoTSSP "does not store any information about
+// its Security Gateway clients, it just receives fingerprints and returns
+// an isolation level accordingly", which is also what lets a gateway query
+// anonymously (e.g. through Tor).
+//
+// Messages (big-endian, length-prefixed strings):
+//   AssessRequest:  'S''R''Q' ver(1) | Fingerprint F | FixedFingerprint F'
+//   AssessResponse: 'S''R''S' ver(1) | u8 known | i32 type |
+//                   str identifier | u8 level | u8 notify_user |
+//                   u16 n_endpoints  { u32 ip, str name } |
+//                   u16 n_advisories { str cve, str type, str summary,
+//                                      u32 cvss_milli }
+#pragma once
+
+#include <memory>
+
+#include "core/security_service.h"
+
+namespace sentinel::core {
+
+// ---- Message codecs --------------------------------------------------------
+
+struct AssessRequest {
+  features::Fingerprint full;
+  features::FixedFingerprint fixed;
+};
+
+std::vector<std::uint8_t> EncodeAssessRequest(const AssessRequest& request);
+AssessRequest DecodeAssessRequest(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> EncodeAssessResponse(const AssessmentResult& result);
+/// Decodes into an AssessmentResult. Per-stage timings and matched-type
+/// lists are gateway-local diagnostics and do not cross the wire; the
+/// decoded result carries the verdict fields only.
+AssessmentResult DecodeAssessResponse(std::span<const std::uint8_t> bytes);
+
+// ---- Transport & endpoints -------------------------------------------------
+
+/// Request/response transport between a gateway and the IoTSSP. Real
+/// deployments put TLS (or Tor) underneath; tests use the loopback below.
+class ServiceTransport {
+ public:
+  virtual ~ServiceTransport() = default;
+  virtual std::vector<std::uint8_t> RoundTrip(
+      std::span<const std::uint8_t> request) = 0;
+};
+
+/// Server side: owns (a reference to) the SecurityService and answers raw
+/// request bytes — the piece that runs at the IoT Security Service
+/// Provider.
+class SecurityServiceServer {
+ public:
+  explicit SecurityServiceServer(SecurityService& service)
+      : service_(service) {}
+
+  /// Handles one request message; returns the encoded response. Throws
+  /// net::CodecError on malformed requests.
+  std::vector<std::uint8_t> Handle(std::span<const std::uint8_t> request);
+
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_;
+  }
+
+ private:
+  SecurityService& service_;
+  std::uint64_t requests_served_ = 0;
+};
+
+/// In-process transport wiring a client directly to a server (the unit- and
+/// integration-test stand-in for the network path). Tracks traffic volume
+/// so tests can assert on protocol overhead.
+class LoopbackTransport : public ServiceTransport {
+ public:
+  explicit LoopbackTransport(SecurityServiceServer& server)
+      : server_(server) {}
+
+  std::vector<std::uint8_t> RoundTrip(
+      std::span<const std::uint8_t> request) override {
+    ++round_trips_;
+    bytes_sent_ += request.size();
+    auto response = server_.Handle(request);
+    bytes_received_ += response.size();
+    return response;
+  }
+
+  [[nodiscard]] std::uint64_t round_trips() const { return round_trips_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return bytes_received_;
+  }
+
+ private:
+  SecurityServiceServer& server_;
+  std::uint64_t round_trips_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+/// Client side: a SecurityServiceClient the gateway can use exactly like
+/// the in-process service, but which serializes every assessment through a
+/// transport.
+class RemoteSecurityServiceClient : public SecurityServiceClient {
+ public:
+  explicit RemoteSecurityServiceClient(ServiceTransport& transport)
+      : transport_(transport) {}
+
+  AssessmentResult Assess(const features::Fingerprint& full,
+                          const features::FixedFingerprint& fixed) override;
+
+ private:
+  ServiceTransport& transport_;
+};
+
+}  // namespace sentinel::core

@@ -1,0 +1,129 @@
+#include "core/sentinel_module.h"
+
+namespace sentinel::core {
+
+SentinelModule::SentinelModule(SecurityServiceClient& service,
+                               EnforcementEngine& engine,
+                               SentinelModuleConfig config)
+    : service_(service),
+      engine_(engine),
+      config_(config),
+      monitor_(config.setup) {
+  infrastructure_.insert(engine_.gateway_mac());
+}
+
+SentinelModule::Verdict SentinelModule::OnPacketIn(
+    sdn::SoftwareSwitch& sw, sdn::PortId in_port, const net::Frame& frame,
+    const net::ParsedPacket& packet) {
+  // Frames sourced by the gateway/upstream infrastructure are neither
+  // fingerprinted nor policed; default forwarding applies.
+  if (infrastructure_.contains(packet.src_mac)) {
+    return Verdict::kContinue;
+  }
+
+  // 1. Monitoring & fingerprinting of device traffic.
+  if (auto capture = monitor_.Observe(packet)) {
+    HandleCompletedCapture(*capture);
+  }
+
+  // Devices still in their setup phase are not policed yet (the paper
+  // identifies first, then enforces): forward their traffic so the setup
+  // procedure — including cloud registration — can complete, but do not
+  // let the learning switch install fast-path rules that would bypass the
+  // monitor while fingerprinting is in progress.
+  if (monitor_.IsCollecting(packet.src_mac)) {
+    const bool public_dst = packet.dst_ip && packet.dst_ip->IsV4() &&
+                            !packet.dst_ip->v4().IsPrivate() &&
+                            !packet.dst_ip->v4().IsMulticast() &&
+                            packet.dst_ip->v4() != net::Ipv4Address::Broadcast();
+    if (public_dst && config_.wan_port != 0) {
+      sw.PacketOut(config_.wan_port, in_port, frame);
+    } else {
+      sw.PacketOut(sdn::kPortFlood, in_port, frame);
+    }
+    return Verdict::kHandled;
+  }
+
+  // 2. Policy.
+  const Decision decision = engine_.Authorize(packet);
+  if (!decision.allow) {
+    InstallDropRule(sw, packet);
+    ++drops_installed_;
+    if (on_incident_) {
+      const EnforcementRule* rule = engine_.Find(packet.src_mac);
+      on_incident_(IncidentEvent{
+          packet.src_mac, rule != nullptr ? rule->device_type : std::string(),
+          decision.reason});
+    }
+    return Verdict::kHandled;  // drop: do not forward
+  }
+
+  // 3. Permitted Internet-bound traffic: forward on the WAN port with a
+  // specific allow rule (so the learning switch never installs a broader
+  // device->gateway rule that would bypass the endpoint allowlist).
+  const bool is_public = packet.dst_ip && packet.dst_ip->IsV4() &&
+                         !packet.dst_ip->v4().IsPrivate() &&
+                         !packet.dst_ip->v4().IsMulticast() &&
+                         packet.dst_ip->v4() != net::Ipv4Address::Broadcast();
+  if (is_public && config_.wan_port != 0) {
+    InstallWanAllowRule(sw, packet);
+    sw.PacketOut(config_.wan_port, in_port, frame);
+    return Verdict::kHandled;
+  }
+
+  // 4. Local traffic: let the learning switch forward it.
+  return Verdict::kContinue;
+}
+
+void SentinelModule::FlushIdle(std::uint64_t now_ns) {
+  for (const auto& capture : monitor_.FlushIdle(now_ns)) {
+    HandleCompletedCapture(capture);
+  }
+}
+
+void SentinelModule::HandleCompletedCapture(const CompletedCapture& capture) {
+  const AssessmentResult assessment =
+      service_.Assess(capture.full, capture.fixed);
+
+  EnforcementRule rule;
+  rule.device_mac = capture.device_mac;
+  rule.level = assessment.level;
+  rule.device_type = assessment.type_identifier;
+  rule.allowed_endpoints = assessment.allowed_endpoints;
+  rule.allowed_endpoint_names = assessment.allowed_endpoint_names;
+  engine_.Install(std::move(rule));
+
+  if (on_identification_) {
+    on_identification_(IdentificationEvent{capture.device_mac, assessment});
+  }
+}
+
+void SentinelModule::InstallDropRule(sdn::SoftwareSwitch& sw,
+                                     const net::ParsedPacket& packet) {
+  sdn::FlowRule rule;
+  rule.priority = config_.drop_priority;
+  rule.match.eth_src = packet.src_mac;
+  rule.match.eth_dst = packet.dst_mac;
+  if (packet.dst_ip && packet.dst_ip->IsV4() &&
+      !packet.dst_ip->v4().IsPrivate()) {
+    rule.match.ip_dst = packet.dst_ip->v4();
+  }
+  const EnforcementRule* enforcement = engine_.Find(packet.src_mac);
+  rule.cookie = enforcement ? enforcement->Hash() : 0;
+  rule.actions = {};  // drop
+  sdn::Controller::InstallRule(sw, std::move(rule));
+}
+
+void SentinelModule::InstallWanAllowRule(sdn::SoftwareSwitch& sw,
+                                         const net::ParsedPacket& packet) {
+  sdn::FlowRule rule;
+  rule.priority = config_.allow_priority;
+  rule.match.eth_src = packet.src_mac;
+  rule.match.ip_dst = packet.dst_ip->v4();
+  const EnforcementRule* enforcement = engine_.Find(packet.src_mac);
+  rule.cookie = enforcement ? enforcement->Hash() : 0;
+  rule.actions = {sdn::ActionOutput{config_.wan_port}};
+  sdn::Controller::InstallRule(sw, std::move(rule));
+}
+
+}  // namespace sentinel::core

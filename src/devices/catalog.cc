@@ -1,0 +1,168 @@
+#include "devices/catalog.h"
+
+#include <stdexcept>
+
+namespace sentinel::devices {
+
+namespace {
+
+Connectivity Wifi() { return {.wifi = true}; }
+Connectivity WifiEth() { return {.wifi = true, .ethernet = true}; }
+
+std::vector<DeviceTypeInfo> BuildCatalog() {
+  std::vector<DeviceTypeInfo> catalog;
+  auto add = [&](std::string identifier, std::string vendor, std::string model,
+                 Connectivity conn, SimilarityCluster cluster,
+                 std::array<std::uint8_t, 3> oui,
+                 std::vector<std::string> endpoints, bool vulnerable) {
+    DeviceTypeInfo info;
+    info.id = static_cast<DeviceTypeId>(catalog.size());
+    info.identifier = std::move(identifier);
+    info.vendor = std::move(vendor);
+    info.model = std::move(model);
+    info.connectivity = conn;
+    info.cluster = cluster;
+    info.oui = oui;
+    info.cloud_endpoints = std::move(endpoints);
+    info.has_known_vulnerabilities = vulnerable;
+    catalog.push_back(std::move(info));
+  };
+
+  // Table II, Fig. 5 order. OUIs are real vendor prefixes where well known.
+  add("Aria", "Fitbit", "Fitbit Aria WiFi-enabled scale", Wifi(),
+      SimilarityCluster::kNone, {0x20, 0xf8, 0x5e},
+      {"api.fitbit.com", "fwupdate.fitbit.com"}, false);
+  add("HomeMaticPlug", "eQ-3", "Homematic pluggable switch HMIP-PS",
+      {.other = true}, SimilarityCluster::kNone, {0x00, 0x1a, 0x22},
+      {"hmip.homematic.com"}, false);
+  add("Withings", "Withings", "Withings Wireless Scale WS-30", Wifi(),
+      SimilarityCluster::kNone, {0x00, 0x24, 0xe4},
+      {"scalews.withings.net"}, false);
+  add("MAXGateway", "eQ-3", "MAX! Cube LAN Gateway",
+      {.ethernet = true, .other = true}, SimilarityCluster::kNone,
+      {0x00, 0x1a, 0x22}, {"max.eq-3.de"}, true);
+  add("HueBridge", "Philips", "Philips Hue Bridge model 3241312018",
+      {.zigbee = true, .ethernet = true}, SimilarityCluster::kNone,
+      {0x00, 0x17, 0x88}, {"www.meethue.com", "time.meethue.com"}, false);
+  add("HueSwitch", "Philips", "Philips Hue Light Switch PTM 215Z",
+      {.zigbee = true}, SimilarityCluster::kNone, {0x00, 0x17, 0x88},
+      {"www.meethue.com"}, false);
+  add("EdnetGateway", "Ednet", "Ednet.living Starter kit power Gateway",
+      {.wifi = true, .other = true}, SimilarityCluster::kNone,
+      {0x84, 0xc2, 0xe4}, {"cloud.ednet-living.com"}, true);
+  add("EdnetCam", "Ednet", "Ednet Wireless indoor IP camera Cube", WifiEth(),
+      SimilarityCluster::kNone, {0x84, 0xc2, 0xe4},
+      {"cam.ednet.de", "ddns.ednet.de"}, true);
+  add("EdimaxCam", "Edimax", "Edimax IC-3115W Smart HD WiFi Network Camera",
+      WifiEth(), SimilarityCluster::kNone, {0x74, 0xda, 0x38},
+      {"www.myedimax.com", "ic.myedimax.com"}, true);
+  add("Lightify", "Osram", "Osram Lightify Gateway",
+      {.wifi = true, .zigbee = true}, SimilarityCluster::kNone,
+      {0x84, 0x18, 0x26}, {"lightify.osram.com", "ssl.lightify.com"}, false);
+  add("WeMoInsightSwitch", "Belkin", "WeMo Insight Switch model F7C029de",
+      Wifi(), SimilarityCluster::kNone, {0x94, 0x10, 0x3e},
+      {"prod1.wemo2.com", "nat.wemo2.com"}, false);
+  add("WeMoLink", "Belkin", "WeMo Link Lighting Bridge model F7C031vf",
+      {.wifi = true, .zigbee = true}, SimilarityCluster::kNone,
+      {0x94, 0x10, 0x3e}, {"prod1.wemo2.com", "tunnel.wemo2.com"}, false);
+  add("WeMoSwitch", "Belkin", "WeMo Switch model F7C027de", Wifi(),
+      SimilarityCluster::kNone, {0xec, 0x1a, 0x59},
+      {"prod1.wemo2.com", "nat.wemo2.com"}, false);
+  add("D-LinkHomeHub", "D-Link", "D-Link Connected Home Hub DCH-G020",
+      {.wifi = true, .ethernet = true, .zwave = true},
+      SimilarityCluster::kNone, {0xc4, 0x12, 0xf5},
+      {"mydlink.com", "signal.mydlink.com"}, true);
+  add("D-LinkDoorSensor", "D-Link", "D-Link Door & Window sensor",
+      {.zwave = true}, SimilarityCluster::kNone, {0xc4, 0x12, 0xf5},
+      {"mydlink.com"}, false);
+  add("D-LinkDayCam", "D-Link", "D-Link WiFi Day Camera DCS-930L", WifiEth(),
+      SimilarityCluster::kNone, {0xb0, 0xc5, 0x54},
+      {"mydlink.com", "dcs.mydlink.com"}, true);
+  add("D-LinkCam", "D-Link", "D-Link HD IP Camera DCH-935L", Wifi(),
+      SimilarityCluster::kNone, {0xb0, 0xc5, 0x54},
+      {"mydlink.com", "dch.mydlink.com"}, true);
+  // --- Table III cluster: identical hardware & firmware D-Link home devices.
+  add("D-LinkSwitch", "D-Link", "D-Link Smart plug DSP-W215", Wifi(),
+      SimilarityCluster::kDlinkHomeSensors, {0xc4, 0x12, 0xf5},
+      {"mydlink.com", "dsp.mydlink.com"}, true);
+  add("D-LinkWaterSensor", "D-Link", "D-Link Water sensor DCH-S160", Wifi(),
+      SimilarityCluster::kDlinkHomeSensors, {0xc4, 0x12, 0xf5},
+      {"mydlink.com", "dsp.mydlink.com"}, true);
+  add("D-LinkSiren", "D-Link", "D-Link Siren DCH-S220", Wifi(),
+      SimilarityCluster::kDlinkHomeSensors, {0xc4, 0x12, 0xf5},
+      {"mydlink.com", "dsp.mydlink.com"}, true);
+  add("D-LinkSensor", "D-Link", "D-Link WiFi Motion sensor DCH-S150", Wifi(),
+      SimilarityCluster::kDlinkHomeSensors, {0xc4, 0x12, 0xf5},
+      {"mydlink.com", "dsp.mydlink.com"}, true);
+  add("TP-LinkPlugHS110", "TP-Link", "TP-Link WiFi Smart plug HS110", Wifi(),
+      SimilarityCluster::kTplinkPlugs, {0x50, 0xc7, 0xbf},
+      {"devs.tplinkcloud.com"}, false);
+  add("TP-LinkPlugHS100", "TP-Link", "TP-Link WiFi Smart plug HS100", Wifi(),
+      SimilarityCluster::kTplinkPlugs, {0x50, 0xc7, 0xbf},
+      {"devs.tplinkcloud.com"}, false);
+  add("EdimaxPlug1101W", "Edimax", "Edimax SP-1101W Smart Plug Switch", Wifi(),
+      SimilarityCluster::kEdimaxPlugs, {0x74, 0xda, 0x38},
+      {"sp.myedimax.com"}, true);
+  add("EdimaxPlug2101W", "Edimax", "Edimax SP-2101W Smart Plug Switch", Wifi(),
+      SimilarityCluster::kEdimaxPlugs, {0x74, 0xda, 0x38},
+      {"sp.myedimax.com"}, true);
+  add("SmarterCoffee", "Smarter", "SmarterCoffee coffee machine SMC10-EU",
+      Wifi(), SimilarityCluster::kSmarterAppliances, {0x5c, 0xcf, 0x7f},
+      {"api.smarter.am"}, true);
+  add("iKettle2", "Smarter", "Smarter iKettle 2.0 water kettle SMK20-EU",
+      Wifi(), SimilarityCluster::kSmarterAppliances, {0x5c, 0xcf, 0x7f},
+      {"api.smarter.am"}, true);
+
+  // WPS re-keying support (Sect. VIII-A): recent WiFi stacks support it;
+  // the older scales (Aria, Withings), the Ednet camera and the ESP8266-
+  // based Smarter appliances do not, and non-WiFi devices cannot.
+  for (auto& info : catalog) {
+    if (!info.connectivity.wifi) continue;
+    if (info.identifier == "Aria" || info.identifier == "Withings" ||
+        info.identifier == "EdnetCam" || info.identifier == "SmarterCoffee" ||
+        info.identifier == "iKettle2") {
+      continue;
+    }
+    info.supports_wps_rekeying = true;
+  }
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<DeviceTypeInfo>& DeviceCatalog() {
+  static const std::vector<DeviceTypeInfo> kCatalog = BuildCatalog();
+  return kCatalog;
+}
+
+std::size_t DeviceTypeCount() { return DeviceCatalog().size(); }
+
+const DeviceTypeInfo& GetDeviceType(DeviceTypeId id) {
+  const auto& catalog = DeviceCatalog();
+  if (id < 0 || static_cast<std::size_t>(id) >= catalog.size())
+    throw std::out_of_range("unknown device type id");
+  return catalog[static_cast<std::size_t>(id)];
+}
+
+DeviceTypeId FindDeviceType(const std::string& identifier) {
+  for (const auto& info : DeviceCatalog())
+    if (info.identifier == identifier) return info.id;
+  return -1;
+}
+
+const std::vector<DeviceTypeId>& ConfusableDeviceTypes() {
+  static const std::vector<DeviceTypeId> kIds = [] {
+    // Table III numbering 1..10.
+    const char* names[] = {
+        "D-LinkSwitch",     "D-LinkWaterSensor", "D-LinkSiren",
+        "D-LinkSensor",     "TP-LinkPlugHS110",  "TP-LinkPlugHS100",
+        "EdimaxPlug1101W",  "EdimaxPlug2101W",   "SmarterCoffee",
+        "iKettle2"};
+    std::vector<DeviceTypeId> ids;
+    for (const char* n : names) ids.push_back(FindDeviceType(n));
+    return ids;
+  }();
+  return kIds;
+}
+
+}  // namespace sentinel::devices

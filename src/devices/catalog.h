@@ -1,0 +1,86 @@
+// The 27 consumer IoT device-types of the paper's Table II, with the
+// metadata the simulator and the evaluation harness need: vendor OUI,
+// connectivity, vendor cloud endpoints, and the same-vendor similarity
+// cluster the paper's confusion analysis identifies (Table III).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sentinel::devices {
+
+/// Index into the device-type catalog; doubles as the class label used by
+/// the ML layer. Ordering matches the paper's Fig. 5 left-to-right.
+using DeviceTypeId = int;
+
+/// Connectivity technologies from Table II.
+struct Connectivity {
+  bool wifi = false;
+  bool zigbee = false;
+  bool ethernet = false;
+  bool zwave = false;
+  bool other = false;
+};
+
+/// Hardware/firmware similarity clusters behind Table III's confusions.
+/// Devices in the same non-zero cluster share near-identical setup traffic
+/// (same hardware and firmware per the paper: "D-Link water sensor (2),
+/// siren (3) and sensor (4) have identical hardware and firmware version,
+/// as TP-Link plugs (5-6) do").
+enum class SimilarityCluster : std::uint8_t {
+  kNone = 0,
+  kDlinkHomeSensors,  // D-LinkSwitch, D-LinkWaterSensor, D-LinkSiren, D-LinkSensor
+  kTplinkPlugs,       // HS110, HS100
+  kEdimaxPlugs,       // SP-1101W, SP-2101W
+  kSmarterAppliances, // SmarterCoffee, iKettle2
+};
+
+struct DeviceTypeInfo {
+  DeviceTypeId id = 0;
+  std::string identifier;   // e.g. "D-LinkCam"
+  std::string vendor;       // e.g. "D-Link"
+  std::string model;        // e.g. "D-Link HD IP Camera DCH-935L"
+  Connectivity connectivity;
+  SimilarityCluster cluster = SimilarityCluster::kNone;
+  /// First three MAC octets used for instances of this type.
+  std::array<std::uint8_t, 3> oui{};
+  /// Vendor cloud endpoints contacted during setup; these double as the
+  /// Restricted-isolation allowlist the IoT Security Service hands out.
+  std::vector<std::string> cloud_endpoints;
+  /// True when the device supports WiFi Protected Setup re-keying, which
+  /// the paper's legacy-migration path uses to move clean devices into the
+  /// trusted overlay without manual re-introduction (Sect. VIII-A).
+  bool supports_wps_rekeying = false;
+  /// True if the catalog's synthetic CVE database lists vulnerabilities
+  /// for this type (drives the isolation-level assignment in examples and
+  /// integration tests).
+  bool has_known_vulnerabilities = false;
+
+  /// True when the device has a communication channel the Security
+  /// Gateway cannot control (Bluetooth, LTE, proprietary sub-GHz RF).
+  /// For vulnerable devices with such a channel, network isolation is not
+  /// sufficient and the user must be notified to remove the device
+  /// (paper Sect. III-C3).
+  [[nodiscard]] bool HasUncontrollableChannel() const {
+    return connectivity.other;
+  }
+};
+
+/// Full catalog, Table II order. Index == DeviceTypeId.
+const std::vector<DeviceTypeInfo>& DeviceCatalog();
+
+/// Number of device types (27).
+std::size_t DeviceTypeCount();
+
+/// Lookup helpers. FindDeviceType returns -1 when the identifier is
+/// unknown.
+const DeviceTypeInfo& GetDeviceType(DeviceTypeId id);
+DeviceTypeId FindDeviceType(const std::string& identifier);
+
+/// The ten device-types of Table III (paper's low-accuracy set), in the
+/// paper's 1..10 numbering.
+const std::vector<DeviceTypeId>& ConfusableDeviceTypes();
+
+}  // namespace sentinel::devices

@@ -1,0 +1,27 @@
+#include "devices/environment.h"
+
+namespace sentinel::devices {
+
+NetworkEnvironment::NetworkEnvironment()
+    : gateway_mac_(net::MacAddress({0x02, 0x00, 0x5e, 0x00, 0x00, 0x01})),
+      gateway_ip_(net::Ipv4Address(192, 168, 1, 1)) {}
+
+net::Ipv4Address NetworkEnvironment::AllocateAddress() {
+  if (next_host_ == 254) next_host_ = 100;  // wrap the pool
+  return net::Ipv4Address(192, 168, 1, next_host_++);
+}
+
+net::Ipv4Address NetworkEnvironment::ResolveEndpoint(
+    const std::string& name) const {
+  // FNV-1a over the name, folded into the 52.0.0.0/8 block (AWS-style
+  // public space), avoiding .0 and .255 host bytes.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : name) h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ull;
+  const auto b2 = static_cast<std::uint8_t>((h >> 16) & 0xff);
+  const auto b3 = static_cast<std::uint8_t>((h >> 8) & 0xff);
+  auto b4 = static_cast<std::uint8_t>(h & 0xff);
+  if (b4 == 0 || b4 == 255) b4 = 1;
+  return net::Ipv4Address(52, b2, b3, b4);
+}
+
+}  // namespace sentinel::devices

@@ -1,0 +1,48 @@
+// The simulated home network environment a device is set up in: gateway
+// addresses, the DHCP pool, and deterministic DNS resolution of vendor
+// cloud endpoints to stable public IPs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "net/address.h"
+
+namespace sentinel::devices {
+
+class NetworkEnvironment {
+ public:
+  NetworkEnvironment();
+
+  [[nodiscard]] net::MacAddress gateway_mac() const { return gateway_mac_; }
+  [[nodiscard]] net::Ipv4Address gateway_ip() const { return gateway_ip_; }
+  [[nodiscard]] net::Ipv4Address subnet_broadcast() const {
+    return net::Ipv4Address(192, 168, 1, 255);
+  }
+  /// DNS and NTP are served by the gateway, as consumer routers do.
+  [[nodiscard]] net::Ipv4Address dns_server() const { return gateway_ip_; }
+
+  /// Allocates the next DHCP-pool address (192.168.1.100 upward).
+  net::Ipv4Address AllocateAddress();
+
+  /// Deterministically resolves a public endpoint name to a stable public
+  /// IPv4 address (52.0.0.0/8 style). The same name always maps to the
+  /// same address, across processes and runs.
+  [[nodiscard]] net::Ipv4Address ResolveEndpoint(
+      const std::string& name) const;
+
+  /// MAC the gateway uses when answering as an upstream router for public
+  /// destinations (all Internet traffic goes through it).
+  [[nodiscard]] net::MacAddress PublicEndpointMac(
+      net::Ipv4Address /*ip*/) const {
+    return gateway_mac_;
+  }
+
+ private:
+  net::MacAddress gateway_mac_;
+  net::Ipv4Address gateway_ip_;
+  std::uint8_t next_host_ = 100;
+};
+
+}  // namespace sentinel::devices

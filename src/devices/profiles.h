@@ -1,0 +1,42 @@
+// Per-device-type behaviour profiles: the vendor-specific setup scripts
+// (and standby scripts for legacy-mode identification, paper Sect. VIII-A).
+#pragma once
+
+#include "devices/catalog.h"
+#include "devices/script.h"
+
+namespace sentinel::devices {
+
+/// Firmware generation of a device instance. Software updates change a
+/// device's fingerprint (paper Sect. VIII-B); the updated profile differs
+/// from the factory one the way a patched firmware would (changed message
+/// sizes, an added TLS exchange, a removed legacy broadcast).
+enum class FirmwareVersion : std::uint8_t {
+  kFactory = 0,
+  kUpdated = 1,
+};
+
+/// Setup-phase profile for a device type.
+/// Throws std::out_of_range for an unknown id.
+DeviceProfile GetSetupProfile(DeviceTypeId id,
+                              FirmwareVersion firmware = FirmwareVersion::kFactory);
+
+/// Standby/operational traffic profile (periodic heartbeats, keep-alives):
+/// the traffic available for fingerprinting devices already installed in a
+/// legacy network.
+DeviceProfile GetStandbyProfile(DeviceTypeId id);
+
+/// Non-IoT devices present in every real home network. They are not in
+/// the identification catalog: the system must classify them as unknown
+/// device-types (strict isolation) rather than confuse them with an IoT
+/// type — the paper's design implies general-purpose devices get manually
+/// whitelisted by the user.
+enum class BackgroundDeviceKind : std::uint8_t {
+  kSmartphone = 0,
+  kLaptop = 1,
+  kSmartTv = 2,
+};
+
+DeviceProfile GetBackgroundDeviceProfile(BackgroundDeviceKind kind);
+
+}  // namespace sentinel::devices

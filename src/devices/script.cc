@@ -1,0 +1,633 @@
+#include "devices/script.h"
+
+namespace sentinel::devices {
+
+namespace {
+
+constexpr net::MacAddress kMdnsMac({0x01, 0x00, 0x5e, 0x00, 0x00, 0xfb});
+constexpr net::MacAddress kSsdpMac({0x01, 0x00, 0x5e, 0x7f, 0xff, 0xfa});
+const net::Ipv4Address kMdnsIp(224, 0, 0, 251);
+const net::Ipv4Address kSsdpIp(239, 255, 255, 250);
+const net::Ipv4Address kLimitedBroadcast(255, 255, 255, 255);
+
+}  // namespace
+
+ScriptRunner::ScriptRunner(NetworkEnvironment& env, net::MacAddress device_mac,
+                           std::uint64_t start_time_ns, ml::Rng& rng)
+    : env_(env),
+      mac_(device_mac),
+      now_ns_(start_time_ns),
+      rng_(rng),
+      next_port_(49152) {}
+
+capture::Trace ScriptRunner::Run(const DeviceProfile& profile) {
+  trace_ = capture::Trace{};
+  persona_ = &profile.persona;
+  next_port_ = profile.persona.ephemeral_port_base;
+  for (const auto& step : profile.script) {
+    if (step.probability < 1.0) {
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      if (coin(rng_) > step.probability) continue;
+    }
+    Pause(step.delay_ns);
+    Execute(step, profile);
+  }
+  return std::move(trace_);
+}
+
+void ScriptRunner::Execute(const SetupStep& step,
+                           const DeviceProfile& profile) {
+  switch (step.kind) {
+    case StepKind::kWifiAssociate:
+      DoWifiAssociate();
+      break;
+    case StepKind::kDhcpExchange:
+      DoDhcp(profile.persona);
+      break;
+    case StepKind::kBootpRequest:
+      DoBootp();
+      break;
+    case StepKind::kArpProbeAnnounce:
+      DoArpProbeAnnounce();
+      break;
+    case StepKind::kArpResolve:
+      DoArpResolve();
+      break;
+    case StepKind::kIcmpv6Setup:
+      DoIcmpv6Setup();
+      break;
+    case StepKind::kIcmpPingGateway:
+      DoPingGateway(step);
+      break;
+    case StepKind::kMdnsQuery:
+      DoMdnsQuery(step);
+      break;
+    case StepKind::kMdnsAnnounce:
+      DoMdnsAnnounce(step);
+      break;
+    case StepKind::kSsdpMSearch:
+      DoSsdpMSearch(step);
+      break;
+    case StepKind::kSsdpNotify:
+      DoSsdpNotify(step, profile.persona);
+      break;
+    case StepKind::kDnsQuery:
+      DoDnsQuery(step);
+      break;
+    case StepKind::kNtpSync:
+      DoNtpSync(step);
+      break;
+    case StepKind::kHttpGet:
+      DoHttpGet(step, profile.persona);
+      break;
+    case StepKind::kHttpPost:
+      DoHttpPost(step, profile.persona);
+      break;
+    case StepKind::kHttpsSession:
+      DoHttpsSession(step, profile.persona);
+      break;
+    case StepKind::kUdpVendor:
+      DoUdpVendor(step);
+      break;
+    case StepKind::kUdpBroadcast:
+      DoUdpBroadcast(step);
+      break;
+    case StepKind::kTcpVendor:
+      DoTcpVendor(step);
+      break;
+    case StepKind::kLlcFrame:
+      DoLlcFrame(step);
+      break;
+  }
+}
+
+void ScriptRunner::Pause(std::uint64_t mean_ns) {
+  if (mean_ns == 0) return;
+  std::uniform_int_distribution<std::uint64_t> jitter(mean_ns / 2,
+                                                      mean_ns * 3 / 2);
+  now_ns_ += jitter(rng_);
+}
+
+void ScriptRunner::SmallPause() {
+  std::uniform_int_distribution<std::uint64_t> jitter(1'000'000, 8'000'000);
+  now_ns_ += jitter(rng_);
+}
+
+std::uint16_t ScriptRunner::NextEphemeralPort() {
+  const std::uint16_t port = next_port_;
+  next_port_ = static_cast<std::uint16_t>(next_port_ + 1);
+  if (next_port_ < persona_->ephemeral_port_base) {
+    next_port_ = persona_->ephemeral_port_base;
+  }
+  return port;
+}
+
+int ScriptRunner::JitteredSize(const SetupStep& step) {
+  if (step.size_jitter <= 0) return step.size;
+  std::uniform_int_distribution<int> d(-step.size_jitter, step.size_jitter);
+  const int v = step.size + d(rng_);
+  return v < 0 ? 0 : v;
+}
+
+net::Ipv4Meta ScriptRunner::IpMeta() {
+  net::Ipv4Meta meta;
+  meta.ttl = persona_->ip_ttl;
+  std::uniform_int_distribution<std::uint32_t> id(1, 65535);
+  meta.identification = static_cast<std::uint16_t>(id(rng_));
+  meta.options.router_alert = persona_->ip_router_alert;
+  meta.options.padding = persona_->ip_padding;
+  return meta;
+}
+
+void ScriptRunner::JoinMulticastGroup(net::Ipv4Address group) {
+  if (!has_ip_) return;
+  if (!joined_groups_.insert(group.value()).second) return;
+  trace_.Append(net::BuildIgmpFrame(now_ns_, mac_, device_ip_,
+                                    net::IgmpMessage::Join(group)));
+  SmallPause();
+}
+
+net::Ipv4Address ScriptRunner::Resolve(const std::string& name) {
+  auto it = resolved_.find(name);
+  if (it != resolved_.end()) return it->second;
+  // First contact: the device asks the gateway's resolver.
+  SetupStep dns;
+  dns.name = name;
+  DoDnsQuery(dns);
+  const net::Ipv4Address ip = env_.ResolveEndpoint(name);
+  resolved_.emplace(name, ip);
+  return ip;
+}
+
+void ScriptRunner::DoWifiAssociate() {
+  // WPA2 4-way handshake: messages 1 and 3 from the authenticator
+  // (gateway), 2 and 4 from the device.
+  for (int i = 1; i <= 4; ++i) {
+    const bool from_device = (i % 2 == 0);
+    trace_.Append(net::BuildEapolFrame(
+        now_ns_, from_device ? mac_ : env_.gateway_mac(),
+        from_device ? env_.gateway_mac() : mac_,
+        net::EapolFrame::KeyHandshake(i)));
+    SmallPause();
+  }
+}
+
+void ScriptRunner::DoDhcp(const TrafficPersona& persona) {
+  std::uniform_int_distribution<std::uint32_t> xid_dist;
+  const std::uint32_t xid = xid_dist(rng_);
+
+  auto send_from_device = [&](const net::DhcpMessage& msg,
+                              net::Ipv4Address src, net::Ipv4Address dst) {
+    net::UdpDatagram udp;
+    udp.src_port = net::kPortDhcpClient;
+    udp.dst_port = net::kPortDhcpServer;
+    net::ByteWriter w;
+    msg.Encode(w);
+    udp.payload = std::move(w).Take();
+    trace_.Append(net::BuildUdp4Frame(now_ns_, mac_, net::MacAddress::Broadcast(),
+                                      src, dst, udp, IpMeta()));
+  };
+  auto send_from_gateway = [&](const net::DhcpMessage& msg) {
+    net::UdpDatagram udp;
+    udp.src_port = net::kPortDhcpServer;
+    udp.dst_port = net::kPortDhcpClient;
+    net::ByteWriter w;
+    msg.Encode(w);
+    udp.payload = std::move(w).Take();
+    trace_.Append(net::BuildUdp4Frame(now_ns_, env_.gateway_mac(), mac_,
+                                      env_.gateway_ip(), kLimitedBroadcast,
+                                      udp));
+  };
+
+  const auto discover =
+      net::DhcpMessage::Discover(mac_, xid, persona.dhcp_hostname,
+                                 persona.dhcp_param_request);
+  send_from_device(discover, net::Ipv4Address::Any(), kLimitedBroadcast);
+  // Occasional retransmission before the offer arrives, as busy radios do.
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (coin(rng_) < 0.25) {
+    SmallPause();
+    send_from_device(discover, net::Ipv4Address::Any(), kLimitedBroadcast);
+  }
+  SmallPause();
+
+  if (!has_ip_) {
+    device_ip_ = env_.AllocateAddress();
+    has_ip_ = true;
+  }
+  send_from_gateway(
+      net::DhcpMessage::Offer(discover, device_ip_, env_.gateway_ip()));
+  SmallPause();
+
+  const auto request = net::DhcpMessage::Request(
+      mac_, xid, device_ip_, env_.gateway_ip(), persona.dhcp_hostname);
+  send_from_device(request, net::Ipv4Address::Any(), kLimitedBroadcast);
+  SmallPause();
+  send_from_gateway(
+      net::DhcpMessage::Ack(request, device_ip_, env_.gateway_ip()));
+}
+
+void ScriptRunner::DoBootp() {
+  std::uniform_int_distribution<std::uint32_t> xid_dist;
+  net::UdpDatagram udp;
+  udp.src_port = net::kPortDhcpClient;
+  udp.dst_port = net::kPortDhcpServer;
+  net::ByteWriter w;
+  net::DhcpMessage::BootpRequest(mac_, xid_dist(rng_)).Encode(w);
+  udp.payload = std::move(w).Take();
+  trace_.Append(net::BuildUdp4Frame(now_ns_, mac_,
+                                    net::MacAddress::Broadcast(),
+                                    net::Ipv4Address::Any(), kLimitedBroadcast,
+                                    udp, IpMeta()));
+}
+
+void ScriptRunner::DoArpProbeAnnounce() {
+  if (!has_ip_) return;
+  for (int i = 0; i < 2; ++i) {
+    trace_.Append(net::BuildArpFrame(now_ns_, mac_,
+                                     net::MacAddress::Broadcast(),
+                                     net::ArpPacket::Probe(mac_, device_ip_)));
+    SmallPause();
+  }
+  trace_.Append(net::BuildArpFrame(now_ns_, mac_, net::MacAddress::Broadcast(),
+                                   net::ArpPacket::Announce(mac_, device_ip_)));
+}
+
+void ScriptRunner::DoArpResolve() {
+  if (!has_ip_) return;
+  net::ArpPacket req;
+  req.operation = net::ArpOperation::kRequest;
+  req.sender_mac = mac_;
+  req.sender_ip = device_ip_;
+  req.target_ip = env_.gateway_ip();
+  trace_.Append(net::BuildArpFrame(now_ns_, mac_, net::MacAddress::Broadcast(),
+                                   req));
+  SmallPause();
+  net::ArpPacket reply;
+  reply.operation = net::ArpOperation::kReply;
+  reply.sender_mac = env_.gateway_mac();
+  reply.sender_ip = env_.gateway_ip();
+  reply.target_mac = mac_;
+  reply.target_ip = device_ip_;
+  trace_.Append(net::BuildArpFrame(now_ns_, env_.gateway_mac(), mac_, reply));
+}
+
+void ScriptRunner::DoIcmpv6Setup() {
+  const net::Ipv6Address link_local = net::Ipv6Address::LinkLocalFromMac(mac_);
+  const net::Ipv6Address all_nodes = net::Ipv6Address::AllNodesMulticast();
+  const net::MacAddress v6_multicast_mac({0x33, 0x33, 0x00, 0x00, 0x00, 0x01});
+
+  trace_.Append(net::BuildIcmpv6Frame(
+      now_ns_, mac_, v6_multicast_mac, link_local, all_nodes,
+      net::Icmpv6Message::NeighborSolicitation(link_local, mac_)));
+  SmallPause();
+  trace_.Append(net::BuildIcmpv6Frame(
+      now_ns_, mac_, v6_multicast_mac, link_local, all_nodes,
+      net::Icmpv6Message::RouterSolicitation(mac_)));
+  SmallPause();
+  trace_.Append(net::BuildIcmpv6Frame(now_ns_, mac_, v6_multicast_mac,
+                                      link_local, all_nodes,
+                                      net::Icmpv6Message::Mldv2Report()));
+}
+
+void ScriptRunner::DoPingGateway(const SetupStep& step) {
+  if (!has_ip_) return;
+  std::uniform_int_distribution<std::uint32_t> id(1, 65535);
+  const auto ident = static_cast<std::uint16_t>(id(rng_));
+  const int payload = step.size > 0 ? JitteredSize(step) : 32;
+  const auto request = net::IcmpMessage::EchoRequest(
+      ident, 1, static_cast<std::size_t>(payload));
+  trace_.Append(net::BuildIcmp4Frame(now_ns_, mac_, env_.gateway_mac(),
+                                     device_ip_, env_.gateway_ip(), request,
+                                     IpMeta()));
+  SmallPause();
+  trace_.Append(net::BuildIcmp4Frame(now_ns_, env_.gateway_mac(), mac_,
+                                     env_.gateway_ip(), device_ip_,
+                                     net::IcmpMessage::EchoReply(request)));
+}
+
+void ScriptRunner::DoMdnsQuery(const SetupStep& step) {
+  if (!has_ip_) return;
+  JoinMulticastGroup(kMdnsIp);
+  net::UdpDatagram udp;
+  udp.src_port = net::kPortMdns;
+  udp.dst_port = net::kPortMdns;
+  net::ByteWriter w;
+  net::DnsMessage::MdnsQuery(step.name).Encode(w);
+  udp.payload = std::move(w).Take();
+  trace_.Append(net::BuildUdp4Frame(now_ns_, mac_, kMdnsMac, device_ip_,
+                                    kMdnsIp, udp, IpMeta()));
+}
+
+void ScriptRunner::DoMdnsAnnounce(const SetupStep& step) {
+  if (!has_ip_) return;
+  JoinMulticastGroup(kMdnsIp);
+  net::UdpDatagram udp;
+  udp.src_port = net::kPortMdns;
+  udp.dst_port = net::kPortMdns;
+  net::ByteWriter w;
+  net::DnsMessage::MdnsAnnounce(step.extra, step.name, device_ip_).Encode(w);
+  udp.payload = std::move(w).Take();
+  for (int i = 0; i < step.count; ++i) {
+    trace_.Append(net::BuildUdp4Frame(now_ns_, mac_, kMdnsMac, device_ip_,
+                                      kMdnsIp, udp, IpMeta()));
+    if (i + 1 < step.count) SmallPause();
+  }
+}
+
+void ScriptRunner::DoSsdpMSearch(const SetupStep& step) {
+  if (!has_ip_) return;
+  JoinMulticastGroup(kSsdpIp);
+  const std::uint16_t src_port = NextEphemeralPort();
+  net::ByteWriter w;
+  net::SsdpMessage::MSearch(step.name).Encode(w);
+  const auto payload = std::move(w).Take();
+  for (int i = 0; i < step.count; ++i) {
+    net::UdpDatagram udp;
+    udp.src_port = src_port;
+    udp.dst_port = net::kPortSsdp;
+    udp.payload = payload;
+    trace_.Append(net::BuildUdp4Frame(now_ns_, mac_, kSsdpMac, device_ip_,
+                                      kSsdpIp, udp, IpMeta()));
+    if (i + 1 < step.count) SmallPause();
+  }
+}
+
+void ScriptRunner::DoSsdpNotify(const SetupStep& step,
+                                const TrafficPersona& persona) {
+  if (!has_ip_) return;
+  JoinMulticastGroup(kSsdpIp);
+  const std::string location =
+      "http://" + device_ip_.ToString() + ":" +
+      std::to_string(step.port != 0 ? step.port : 49153) + "/setup.xml";
+  net::ByteWriter w;
+  net::SsdpMessage::NotifyAlive(step.name, location, persona.user_agent)
+      .Encode(w);
+  const auto payload = std::move(w).Take();
+  for (int i = 0; i < step.count; ++i) {
+    net::UdpDatagram udp;
+    udp.src_port = NextEphemeralPort();
+    udp.dst_port = net::kPortSsdp;
+    udp.payload = payload;
+    trace_.Append(net::BuildUdp4Frame(now_ns_, mac_, kSsdpMac, device_ip_,
+                                      kSsdpIp, udp, IpMeta()));
+    if (i + 1 < step.count) SmallPause();
+  }
+}
+
+void ScriptRunner::DoDnsQuery(const SetupStep& step) {
+  if (!has_ip_) return;
+  std::uniform_int_distribution<std::uint32_t> id(1, 65535);
+  const auto query_id = static_cast<std::uint16_t>(id(rng_));
+  const auto query = net::DnsMessage::Query(query_id, step.name);
+
+  net::UdpDatagram udp;
+  udp.src_port = NextEphemeralPort();
+  udp.dst_port = net::kPortDns;
+  net::ByteWriter w;
+  query.Encode(w);
+  udp.payload = std::move(w).Take();
+  trace_.Append(net::BuildUdp4Frame(now_ns_, mac_, env_.gateway_mac(),
+                                    device_ip_, env_.dns_server(), udp,
+                                    IpMeta()));
+  SmallPause();
+
+  net::UdpDatagram resp;
+  resp.src_port = net::kPortDns;
+  resp.dst_port = udp.src_port;
+  net::ByteWriter rw;
+  net::DnsMessage::Response(query, env_.ResolveEndpoint(step.name)).Encode(rw);
+  resp.payload = std::move(rw).Take();
+  trace_.Append(net::BuildUdp4Frame(now_ns_, env_.gateway_mac(), mac_,
+                                    env_.dns_server(), device_ip_, resp));
+}
+
+void ScriptRunner::DoNtpSync(const SetupStep& step) {
+  if (!has_ip_) return;
+  const net::Ipv4Address server =
+      step.name.empty() ? env_.gateway_ip() : Resolve(step.name);
+  const net::MacAddress server_mac = env_.PublicEndpointMac(server);
+
+  net::UdpDatagram udp;
+  udp.src_port = NextEphemeralPort();
+  udp.dst_port = net::kPortNtp;
+  net::ByteWriter w;
+  net::NtpPacket::ClientRequest(now_ns_).Encode(w);
+  udp.payload = std::move(w).Take();
+  trace_.Append(net::BuildUdp4Frame(now_ns_, mac_, server_mac, device_ip_,
+                                    server, udp, IpMeta()));
+  SmallPause();
+
+  net::UdpDatagram resp;
+  resp.src_port = net::kPortNtp;
+  resp.dst_port = udp.src_port;
+  net::ByteWriter rw;
+  net::NtpPacket::ServerReply(net::NtpPacket{}, now_ns_).Encode(rw);
+  resp.payload = std::move(rw).Take();
+  trace_.Append(net::BuildUdp4Frame(now_ns_, server_mac, mac_, server,
+                                    device_ip_, resp));
+}
+
+void ScriptRunner::TcpSession(
+    net::Ipv4Address dst_ip, std::uint16_t dst_port,
+    const std::vector<std::vector<std::uint8_t>>& client_payloads,
+    const std::vector<std::vector<std::uint8_t>>& server_payloads) {
+  const net::MacAddress peer_mac = env_.PublicEndpointMac(dst_ip);
+  const std::uint16_t src_port = NextEphemeralPort();
+  std::uniform_int_distribution<std::uint32_t> isn;
+  std::uint32_t client_seq = isn(rng_);
+  std::uint32_t server_seq = isn(rng_);
+
+  auto device_sends = [&](net::TcpSegment seg) {
+    seg.src_port = src_port;
+    seg.dst_port = dst_port;
+    trace_.Append(net::BuildTcp4Frame(now_ns_, mac_, peer_mac, device_ip_,
+                                      dst_ip, seg, IpMeta()));
+  };
+  auto server_sends = [&](net::TcpSegment seg) {
+    seg.src_port = dst_port;
+    seg.dst_port = src_port;
+    trace_.Append(net::BuildTcp4Frame(now_ns_, peer_mac, mac_, dst_ip,
+                                      device_ip_, seg));
+  };
+
+  // Handshake.
+  net::TcpSegment syn =
+      net::TcpSegment::Syn(src_port, dst_port, client_seq, persona_->tcp_mss);
+  device_sends(syn);
+  ++client_seq;
+  SmallPause();
+  net::TcpSegment synack;
+  synack.flags = net::TcpFlags::kSyn | net::TcpFlags::kAck;
+  synack.seq = server_seq;
+  synack.ack = client_seq;
+  synack.options.mss = 1460;
+  server_sends(synack);
+  ++server_seq;
+  SmallPause();
+  net::TcpSegment ack;
+  ack.flags = net::TcpFlags::kAck;
+  ack.seq = client_seq;
+  ack.ack = server_seq;
+  device_sends(ack);
+
+  // Interleaved application data.
+  const std::size_t rounds =
+      std::max(client_payloads.size(), server_payloads.size());
+  for (std::size_t i = 0; i < rounds; ++i) {
+    if (i < client_payloads.size()) {
+      SmallPause();
+      net::TcpSegment data;
+      data.flags = net::TcpFlags::kPsh | net::TcpFlags::kAck;
+      data.seq = client_seq;
+      data.ack = server_seq;
+      data.payload = client_payloads[i];
+      client_seq += static_cast<std::uint32_t>(data.payload.size());
+      device_sends(data);
+    }
+    if (i < server_payloads.size()) {
+      SmallPause();
+      net::TcpSegment data;
+      data.flags = net::TcpFlags::kPsh | net::TcpFlags::kAck;
+      data.seq = server_seq;
+      data.ack = client_seq;
+      data.payload = server_payloads[i];
+      server_seq += static_cast<std::uint32_t>(data.payload.size());
+      server_sends(data);
+      SmallPause();
+      net::TcpSegment client_ack;
+      client_ack.flags = net::TcpFlags::kAck;
+      client_ack.seq = client_seq;
+      client_ack.ack = server_seq;
+      device_sends(client_ack);
+    }
+  }
+
+  // Teardown initiated by the device.
+  SmallPause();
+  net::TcpSegment fin;
+  fin.flags = net::TcpFlags::kFin | net::TcpFlags::kAck;
+  fin.seq = client_seq;
+  fin.ack = server_seq;
+  device_sends(fin);
+  SmallPause();
+  net::TcpSegment finack;
+  finack.flags = net::TcpFlags::kFin | net::TcpFlags::kAck;
+  finack.seq = server_seq;
+  finack.ack = client_seq + 1;
+  server_sends(finack);
+  SmallPause();
+  net::TcpSegment last;
+  last.flags = net::TcpFlags::kAck;
+  last.seq = client_seq + 1;
+  last.ack = server_seq + 1;
+  device_sends(last);
+}
+
+void ScriptRunner::DoHttpGet(const SetupStep& step,
+                             const TrafficPersona& persona) {
+  if (!has_ip_) return;
+  const net::Ipv4Address dst = Resolve(step.name);
+  net::ByteWriter req;
+  net::HttpMessage::Get(step.extra.empty() ? "/" : step.extra, step.name,
+                        persona.user_agent)
+      .Encode(req);
+  net::ByteWriter resp;
+  net::HttpMessage::Ok(static_cast<std::size_t>(
+                           step.size > 0 ? JitteredSize(step) : 512))
+      .Encode(resp);
+  TcpSession(dst, step.port != 0 ? step.port : net::kPortHttp,
+             {std::move(req).Take()}, {std::move(resp).Take()});
+}
+
+void ScriptRunner::DoHttpPost(const SetupStep& step,
+                              const TrafficPersona& persona) {
+  if (!has_ip_) return;
+  const net::Ipv4Address dst = Resolve(step.name);
+  net::ByteWriter req;
+  net::HttpMessage::Post(step.extra.empty() ? "/api" : step.extra, step.name,
+                         persona.user_agent,
+                         static_cast<std::size_t>(JitteredSize(step)))
+      .Encode(req);
+  net::ByteWriter resp;
+  net::HttpMessage::Ok(128).Encode(resp);
+  TcpSession(dst, step.port != 0 ? step.port : net::kPortHttp,
+             {std::move(req).Take()}, {std::move(resp).Take()});
+}
+
+void ScriptRunner::DoHttpsSession(const SetupStep& step,
+                                  const TrafficPersona& persona) {
+  if (!has_ip_) return;
+  (void)persona;
+  const net::Ipv4Address dst = Resolve(step.name);
+
+  std::vector<std::vector<std::uint8_t>> client, server;
+  net::ByteWriter hello;
+  net::TlsRecord::ClientHello(step.name).Encode(hello);
+  client.push_back(std::move(hello).Take());
+  net::ByteWriter shello;
+  net::TlsRecord::ServerHello().Encode(shello);
+  server.push_back(std::move(shello).Take());
+
+  for (int i = 0; i < step.count; ++i) {
+    net::ByteWriter app;
+    net::TlsRecord::ApplicationData(
+        static_cast<std::size_t>(JitteredSize(step) > 0 ? JitteredSize(step)
+                                                        : 256))
+        .Encode(app);
+    client.push_back(std::move(app).Take());
+    net::ByteWriter sapp;
+    net::TlsRecord::ApplicationData(384).Encode(sapp);
+    server.push_back(std::move(sapp).Take());
+  }
+  TcpSession(dst, step.port != 0 ? step.port : net::kPortHttps, client,
+             server);
+}
+
+void ScriptRunner::DoUdpVendor(const SetupStep& step) {
+  if (!has_ip_) return;
+  const net::Ipv4Address dst = Resolve(step.name);
+  for (int i = 0; i < step.count; ++i) {
+    net::UdpDatagram udp;
+    udp.src_port = NextEphemeralPort();
+    udp.dst_port = step.port;
+    udp.payload.assign(static_cast<std::size_t>(JitteredSize(step)), 0x55);
+    trace_.Append(net::BuildUdp4Frame(now_ns_, mac_,
+                                      env_.PublicEndpointMac(dst), device_ip_,
+                                      dst, udp, IpMeta()));
+    if (i + 1 < step.count) SmallPause();
+  }
+}
+
+void ScriptRunner::DoUdpBroadcast(const SetupStep& step) {
+  if (!has_ip_) return;
+  for (int i = 0; i < step.count; ++i) {
+    net::UdpDatagram udp;
+    udp.src_port = step.port;
+    udp.dst_port = step.port;
+    udp.payload.assign(static_cast<std::size_t>(JitteredSize(step)), 0xab);
+    trace_.Append(net::BuildUdp4Frame(now_ns_, mac_,
+                                      net::MacAddress::Broadcast(), device_ip_,
+                                      env_.subnet_broadcast(), udp, IpMeta()));
+    if (i + 1 < step.count) SmallPause();
+  }
+}
+
+void ScriptRunner::DoTcpVendor(const SetupStep& step) {
+  if (!has_ip_) return;
+  const net::Ipv4Address dst = Resolve(step.name);
+  std::vector<std::vector<std::uint8_t>> client, server;
+  for (int i = 0; i < step.count; ++i) {
+    client.emplace_back(static_cast<std::size_t>(JitteredSize(step)), 0x77);
+    server.emplace_back(static_cast<std::size_t>(64), 0x78);
+  }
+  TcpSession(dst, step.port, client, server);
+}
+
+void ScriptRunner::DoLlcFrame(const SetupStep& step) {
+  trace_.Append(net::BuildLlcFrame(
+      now_ns_, mac_, net::MacAddress({0x01, 0x80, 0xc2, 0x00, 0x00, 0x00}),
+      static_cast<std::size_t>(step.size > 0 ? JitteredSize(step) : 38)));
+}
+
+}  // namespace sentinel::devices

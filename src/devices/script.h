@@ -1,0 +1,158 @@
+// Device setup scripts: a declarative description of the protocol exchanges
+// a device performs when inducted into the network, plus the runner that
+// executes a script into a byte-level capture trace.
+//
+// Scripts are behavioural fingerprint generators: the *sequence* of steps,
+// the protocols involved, the endpoints contacted and the message sizes are
+// the properties the paper's fingerprint captures, so each device profile
+// encodes its vendor-specific setup procedure as one of these scripts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "capture/trace.h"
+#include "devices/environment.h"
+#include "ml/rng.h"
+
+namespace sentinel::devices {
+
+enum class StepKind : std::uint8_t {
+  kWifiAssociate,    // EAPoL 4-way handshake
+  kDhcpExchange,     // DISCOVER/OFFER/REQUEST/ACK (+ optional re-tx)
+  kBootpRequest,     // legacy plain BOOTP request
+  kArpProbeAnnounce, // RFC 5227 probe + gratuitous announce
+  kArpResolve,       // ARP request for the gateway + reply
+  kIcmpv6Setup,      // RS + NS + MLDv2 burst
+  kIcmpPingGateway,  // ICMP echo to the gateway
+  kMdnsQuery,        // PTR query for `name` service
+  kMdnsAnnounce,     // service announcement: instance `extra`, service `name`
+  kSsdpMSearch,      // M-SEARCH with ST `name`, `count` repeats
+  kSsdpNotify,       // NOTIFY ssdp:alive bursts
+  kDnsQuery,         // A query for `name` + response from gateway resolver
+  kNtpSync,          // NTP request/reply with `name` server (via gateway)
+  kHttpGet,          // HTTP GET `extra` from host `name`
+  kHttpPost,         // HTTP POST of `size` bytes to host `name`
+  kHttpsSession,     // TLS session to `name`: handshake + `count` app records
+  kUdpVendor,        // proprietary UDP datagram(s) to `name`:`port`
+  kUdpBroadcast,     // proprietary UDP broadcast on `port`
+  kTcpVendor,        // proprietary TCP exchange to `name`:`port`
+  kLlcFrame,         // IEEE 802.3/LLC frame (hub devices)
+};
+
+struct SetupStep {
+  StepKind kind = StepKind::kDhcpExchange;
+  /// Primary name: DNS/SNI hostname, mDNS/SSDP service, NTP server.
+  std::string name;
+  /// Secondary string: HTTP path, mDNS instance, SSDP NT.
+  std::string extra;
+  /// Repeat count for bursty steps (SSDP notifies, app-data records).
+  int count = 1;
+  /// Base payload size in bytes where applicable.
+  int size = 0;
+  /// Uniform +/- jitter applied to `size` per execution.
+  int size_jitter = 0;
+  /// Destination port for vendor-proprietary steps.
+  std::uint16_t port = 0;
+  /// Step executes with this probability (optional behaviours).
+  double probability = 1.0;
+  /// Mean pause before the step; actual pause is jittered.
+  std::uint64_t delay_ns = 60'000'000;  // 60 ms
+};
+
+/// Static, per-type traffic parameters that shape every step.
+struct TrafficPersona {
+  std::string dhcp_hostname;          // option 12 value
+  std::string user_agent;             // HTTP User-Agent
+  std::vector<std::uint8_t> dhcp_param_request;  // option 55 contents
+  /// First ephemeral source port; embedded stacks differ in range.
+  std::uint16_t ephemeral_port_base = 49152;
+  /// TCP MSS advertised in SYNs (1460 for full-size stacks, smaller for
+  /// constrained modules such as the ESP8266 in Smarter appliances).
+  std::uint16_t tcp_mss = 1460;
+  std::uint8_t ip_ttl = 64;
+  /// Some stacks emit IPv4 router-alert/padding options (IGMP-adjacent).
+  bool ip_router_alert = false;
+  bool ip_padding = false;
+};
+
+/// A full device profile: persona + ordered setup script.
+struct DeviceProfile {
+  TrafficPersona persona;
+  std::vector<SetupStep> script;
+};
+
+/// Executes `profile` for one device instance and appends every frame (both
+/// the device's and its peers') to a trace.
+class ScriptRunner {
+ public:
+  ScriptRunner(NetworkEnvironment& env, net::MacAddress device_mac,
+               std::uint64_t start_time_ns, ml::Rng& rng);
+
+  /// Runs the whole script; returns the capture trace of the episode.
+  capture::Trace Run(const DeviceProfile& profile);
+
+  /// Device IP after DHCP (valid once a kDhcpExchange step executed).
+  [[nodiscard]] net::Ipv4Address device_ip() const { return device_ip_; }
+  [[nodiscard]] std::uint64_t now_ns() const { return now_ns_; }
+
+ private:
+  void Execute(const SetupStep& step, const DeviceProfile& profile);
+
+  // Step implementations append frames to trace_ and advance now_ns_.
+  void DoWifiAssociate();
+  void DoDhcp(const TrafficPersona& persona);
+  void DoBootp();
+  void DoArpProbeAnnounce();
+  void DoArpResolve();
+  void DoIcmpv6Setup();
+  void DoPingGateway(const SetupStep& step);
+  void DoMdnsQuery(const SetupStep& step);
+  void DoMdnsAnnounce(const SetupStep& step);
+  void DoSsdpMSearch(const SetupStep& step);
+  void DoSsdpNotify(const SetupStep& step, const TrafficPersona& persona);
+  void DoDnsQuery(const SetupStep& step);
+  void DoNtpSync(const SetupStep& step);
+  void DoHttpGet(const SetupStep& step, const TrafficPersona& persona);
+  void DoHttpPost(const SetupStep& step, const TrafficPersona& persona);
+  void DoHttpsSession(const SetupStep& step, const TrafficPersona& persona);
+  void DoUdpVendor(const SetupStep& step);
+  void DoUdpBroadcast(const SetupStep& step);
+  void DoTcpVendor(const SetupStep& step);
+  void DoLlcFrame(const SetupStep& step);
+
+  /// Resolves `name`, emitting a DNS exchange the first time it is seen.
+  net::Ipv4Address Resolve(const std::string& name);
+  /// Emits an IGMPv2 join (router-alert option, TTL 1) the first time the
+  /// device uses a multicast `group`, as real mDNS/SSDP stacks do.
+  void JoinMulticastGroup(net::Ipv4Address group);
+  /// Advances the clock by roughly `mean_ns` (+/- 50% jitter).
+  void Pause(std::uint64_t mean_ns);
+  /// Small intra-exchange gap (1-8 ms).
+  void SmallPause();
+  std::uint16_t NextEphemeralPort();
+  int JitteredSize(const SetupStep& step);
+  net::Ipv4Meta IpMeta();
+
+  // TCP helpers: emit a full client session carrying `client_payloads`
+  // (device->server) interleaved with server responses.
+  void TcpSession(net::Ipv4Address dst_ip, std::uint16_t dst_port,
+                  const std::vector<std::vector<std::uint8_t>>& client_payloads,
+                  const std::vector<std::vector<std::uint8_t>>& server_payloads);
+
+  NetworkEnvironment& env_;
+  net::MacAddress mac_;
+  net::Ipv4Address device_ip_;
+  bool has_ip_ = false;
+  std::uint64_t now_ns_;
+  ml::Rng& rng_;
+  const TrafficPersona* persona_ = nullptr;
+  std::uint16_t next_port_;
+  std::unordered_map<std::string, net::Ipv4Address> resolved_;
+  std::unordered_set<std::uint32_t> joined_groups_;
+  capture::Trace trace_;
+};
+
+}  // namespace sentinel::devices

@@ -1,0 +1,133 @@
+#include "devices/simulator.h"
+
+#include <algorithm>
+
+namespace sentinel::devices {
+
+DeviceSimulator::DeviceSimulator(std::uint64_t seed) : rng_(seed) {}
+
+net::MacAddress DeviceSimulator::MakeInstanceMac(const DeviceTypeInfo& info) {
+  std::uniform_int_distribution<std::uint32_t> nic(0, 0xffffff);
+  const std::uint32_t suffix = nic(rng_);
+  return net::MacAddress({info.oui[0], info.oui[1], info.oui[2],
+                          static_cast<std::uint8_t>(suffix >> 16),
+                          static_cast<std::uint8_t>(suffix >> 8),
+                          static_cast<std::uint8_t>(suffix)});
+}
+
+SimulatedEpisode DeviceSimulator::RunSetupEpisode(DeviceTypeId type,
+                                                  FirmwareVersion firmware) {
+  const DeviceTypeInfo& info = GetDeviceType(type);
+  SimulatedEpisode episode;
+  episode.type = type;
+  episode.device_mac = MakeInstanceMac(info);
+
+  ScriptRunner runner(env_, episode.device_mac, clock_ns_, rng_);
+  episode.trace = runner.Run(GetSetupProfile(type, firmware));
+  episode.device_ip = runner.device_ip();
+  // Advance the shared clock past this episode (episodes do not overlap in
+  // the paper's collection methodology either).
+  clock_ns_ = runner.now_ns() + 10'000'000'000;
+  return episode;
+}
+
+SimulatedEpisode DeviceSimulator::RunStandbyEpisode(DeviceTypeId type) {
+  const DeviceTypeInfo& info = GetDeviceType(type);
+  SimulatedEpisode episode;
+  episode.type = type;
+  episode.device_mac = MakeInstanceMac(info);
+
+  ScriptRunner runner(env_, episode.device_mac, clock_ns_, rng_);
+  episode.trace = runner.Run(GetStandbyProfile(type));
+  episode.device_ip = runner.device_ip();
+  clock_ns_ = runner.now_ns() + 10'000'000'000;
+  return episode;
+}
+
+SimulatedEpisode DeviceSimulator::RunBackgroundEpisode(
+    BackgroundDeviceKind kind) {
+  SimulatedEpisode episode;
+  episode.type = -1;
+  // Phones and laptops use locally-administered (randomized) MACs.
+  std::uniform_int_distribution<std::uint64_t> nic(0, 0xffffffffffull);
+  episode.device_mac =
+      net::MacAddress::FromUint64(0x060000000000ull | nic(rng_));
+
+  ScriptRunner runner(env_, episode.device_mac, clock_ns_, rng_);
+  episode.trace = runner.Run(GetBackgroundDeviceProfile(kind));
+  episode.device_ip = runner.device_ip();
+  clock_ns_ = runner.now_ns() + 10'000'000'000;
+  return episode;
+}
+
+DeviceSimulator::ConcurrentSetup DeviceSimulator::RunConcurrentSetupEpisodes(
+    const std::vector<DeviceTypeId>& types) {
+  ConcurrentSetup out;
+  const std::uint64_t base = clock_ns_;
+  std::uint64_t latest_end = base;
+  for (const auto type : types) {
+    const DeviceTypeInfo& info = GetDeviceType(type);
+    SimulatedEpisode episode;
+    episode.type = type;
+    episode.device_mac = MakeInstanceMac(info);
+    ScriptRunner runner(env_, episode.device_mac, base, rng_);
+    episode.trace = runner.Run(GetSetupProfile(type));
+    episode.device_ip = runner.device_ip();
+    latest_end = std::max(latest_end, runner.now_ns());
+    out.merged.Append(episode.trace);
+    out.episodes.push_back(std::move(episode));
+  }
+  out.merged.SortByTime();
+  clock_ns_ = latest_end + 10'000'000'000;
+  return out;
+}
+
+std::vector<net::ParsedPacket> DeviceSimulator::DevicePackets(
+    const SimulatedEpisode& episode) {
+  std::vector<net::ParsedPacket> out;
+  for (const auto& packet : episode.trace.Parse()) {
+    if (packet.src_mac == episode.device_mac) out.push_back(packet);
+  }
+  return out;
+}
+
+features::Fingerprint DeviceSimulator::ExtractFingerprint(
+    const SimulatedEpisode& episode) {
+  return features::Fingerprint::FromPackets(DevicePackets(episode));
+}
+
+namespace {
+
+FingerprintDataset GenerateDataset(std::size_t n_per_type, std::uint64_t seed,
+                                   bool standby) {
+  DeviceSimulator simulator(seed);
+  FingerprintDataset dataset;
+  const std::size_t type_count = DeviceTypeCount();
+  dataset.fingerprints.reserve(type_count * n_per_type);
+  for (std::size_t t = 0; t < type_count; ++t) {
+    for (std::size_t i = 0; i < n_per_type; ++i) {
+      const auto episode =
+          standby ? simulator.RunStandbyEpisode(static_cast<DeviceTypeId>(t))
+                  : simulator.RunSetupEpisode(static_cast<DeviceTypeId>(t));
+      auto fp = DeviceSimulator::ExtractFingerprint(episode);
+      dataset.fixed.push_back(features::FixedFingerprint::FromFingerprint(fp));
+      dataset.fingerprints.push_back(std::move(fp));
+      dataset.labels.push_back(static_cast<int>(t));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace
+
+FingerprintDataset GenerateFingerprintDataset(std::size_t n_per_type,
+                                              std::uint64_t seed) {
+  return GenerateDataset(n_per_type, seed, /*standby=*/false);
+}
+
+FingerprintDataset GenerateStandbyFingerprintDataset(std::size_t n_per_type,
+                                                     std::uint64_t seed) {
+  return GenerateDataset(n_per_type, seed, /*standby=*/true);
+}
+
+}  // namespace sentinel::devices

@@ -1,0 +1,170 @@
+#include "eval/experiment.h"
+
+#include <chrono>
+
+#include "features/edit_distance.h"
+
+namespace sentinel::eval {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ToNs(Clock::duration d) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+}  // namespace
+
+CrossValidationOutcome RunCrossValidation(
+    const devices::FingerprintDataset& dataset,
+    const CrossValidationConfig& config) {
+  const std::size_t type_count = devices::DeviceTypeCount();
+  CrossValidationOutcome outcome;
+  outcome.confusion = ml::ConfusionMatrix(type_count);
+  outcome.unknown_per_type.assign(type_count, 0);
+  outcome.candidates_histogram.assign(type_count + 1, 0);
+
+  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    ml::Rng fold_rng(ml::DeriveSeed(config.seed, rep));
+    const auto folds =
+        ml::StratifiedKFold(dataset.labels, config.folds, fold_rng);
+
+    for (std::size_t f = 0; f < folds.size(); ++f) {
+      const auto& fold = folds[f];
+      std::vector<core::LabelledFingerprint> train;
+      train.reserve(fold.train_indices.size());
+      for (const std::size_t i : fold.train_indices) {
+        train.push_back(core::LabelledFingerprint{
+            &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+      }
+      core::IdentifierConfig id_config = config.identifier;
+      id_config.seed = ml::DeriveSeed(config.seed, rep * 1000 + f);
+      core::DeviceIdentifier identifier(id_config);
+      identifier.Train(train);
+
+      for (const std::size_t i : fold.test_indices) {
+        const auto t0 = Clock::now();
+        const auto result =
+            identifier.Identify(dataset.fingerprints[i], dataset.fixed[i]);
+        const auto t1 = Clock::now();
+
+        ++outcome.total_identifications;
+        outcome.classification_ns.push_back(
+            static_cast<double>(result.classification_time.count()));
+        outcome.identification_ns.push_back(ToNs(t1 - t0));
+        if (result.matched_types.size() > 1) {
+          ++outcome.multi_match_count;
+          outcome.discrimination_ns.push_back(
+              static_cast<double>(result.discrimination_time.count()));
+        }
+        outcome.edit_distance_total += result.edit_distance_count;
+        const std::size_t candidates = result.matched_types.size();
+        if (candidates < outcome.candidates_histogram.size())
+          ++outcome.candidates_histogram[candidates];
+
+        const auto actual = static_cast<std::size_t>(dataset.labels[i]);
+        if (result.IsKnown()) {
+          outcome.confusion.Add(actual, static_cast<std::size_t>(*result.type));
+        } else {
+          ++outcome.unknown_per_type[actual];
+        }
+      }
+    }
+  }
+  return outcome;
+}
+
+StepTimings MeasureStepTimings(const devices::FingerprintDataset& dataset,
+                               const CrossValidationConfig& config,
+                               std::size_t probe_count) {
+  StepTimings out;
+  // Train on the full dataset (timing, not accuracy, is measured here).
+  std::vector<core::LabelledFingerprint> train;
+  train.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    train.push_back(core::LabelledFingerprint{
+        &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+  }
+  core::DeviceIdentifier identifier(config.identifier);
+  identifier.Train(train);
+
+  ml::Rng rng(ml::DeriveSeed(config.seed, 0xabcd));
+  std::uniform_int_distribution<std::size_t> pick(0, dataset.size() - 1);
+
+  std::vector<double> single_cls, single_disc, extraction, all_cls, discs, ids;
+
+  // Single classification: time one per-type binary forest directly (the
+  // identifier-level call adds the open-set reference check, which belongs
+  // to the discrimination column).
+  {
+    ml::Dataset data(features::kFPrimeDim);
+    for (std::size_t i = 0; i < dataset.size(); ++i)
+      data.Add(dataset.fixed[i].ToVector(), dataset.labels[i] == 0 ? 1 : 0);
+    ml::RandomForest forest;
+    ml::RandomForestConfig forest_config = config.identifier.forest;
+    forest.Train(data, forest_config);
+    for (std::size_t n = 0; n < probe_count; ++n) {
+      const auto row = dataset.fixed[pick(rng)].ToVector();
+      const auto t0 = Clock::now();
+      (void)forest.PositiveProba(row);
+      single_cls.push_back(ToNs(Clock::now() - t0));
+    }
+  }
+
+  // Single discrimination: one normalized edit distance between two
+  // fingerprints of similar types.
+  for (std::size_t n = 0; n < probe_count; ++n) {
+    const std::size_t a = pick(rng);
+    const std::size_t b = pick(rng);
+    const auto t0 = Clock::now();
+    (void)features::NormalizedEditDistance(dataset.fingerprints[a],
+                                           dataset.fingerprints[b]);
+    single_disc.push_back(ToNs(Clock::now() - t0));
+  }
+
+  // Fingerprint extraction: regenerate an episode and extract.
+  {
+    devices::DeviceSimulator simulator(ml::DeriveSeed(config.seed, 0x77));
+    for (std::size_t n = 0; n < std::min<std::size_t>(probe_count, 54); ++n) {
+      const auto episode = simulator.RunSetupEpisode(
+          static_cast<devices::DeviceTypeId>(n % devices::DeviceTypeCount()));
+      const auto packets = devices::DeviceSimulator::DevicePackets(episode);
+      const auto t0 = Clock::now();
+      const auto fp = features::Fingerprint::FromPackets(packets);
+      (void)features::FixedFingerprint::FromFingerprint(fp);
+      extraction.push_back(ToNs(Clock::now() - t0));
+    }
+  }
+
+  // Full identifications: 27 classifications + discrimination when needed.
+  double discrimination_count_sum = 0.0;
+  std::size_t discrimination_ids = 0;
+  for (std::size_t n = 0; n < probe_count; ++n) {
+    const std::size_t i = pick(rng);
+    const auto t0 = Clock::now();
+    const auto result =
+        identifier.Identify(dataset.fingerprints[i], dataset.fixed[i]);
+    ids.push_back(ToNs(Clock::now() - t0));
+    all_cls.push_back(static_cast<double>(result.classification_time.count()));
+    if (result.matched_types.size() > 1) {
+      discs.push_back(static_cast<double>(result.discrimination_time.count()));
+      discrimination_count_sum +=
+          static_cast<double>(result.edit_distance_count);
+      ++discrimination_ids;
+    }
+  }
+
+  out.single_classification_ns = ml::ComputeMeanStd(single_cls);
+  out.single_discrimination_ns = ml::ComputeMeanStd(single_disc);
+  out.fingerprint_extraction_ns = ml::ComputeMeanStd(extraction);
+  out.all_classifications_ns = ml::ComputeMeanStd(all_cls);
+  out.discriminations_ns = ml::ComputeMeanStd(discs);
+  out.identification_ns = ml::ComputeMeanStd(ids);
+  out.mean_discriminations_per_id =
+      discrimination_ids > 0
+          ? discrimination_count_sum / static_cast<double>(discrimination_ids)
+          : 0.0;
+  return out;
+}
+
+}  // namespace sentinel::eval

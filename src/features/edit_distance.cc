@@ -1,0 +1,45 @@
+#include "features/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sentinel::features {
+
+std::size_t EditDistance(std::span<const PacketFeatureVector> a,
+                         std::span<const PacketFeatureVector> b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+
+  // Three-row rolling OSA dynamic program: prev2 = d[i-2], prev = d[i-1],
+  // cur = d[i].
+  std::vector<std::size_t> prev2(m + 1), prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1,        // deletion
+                         cur[j - 1] + 1,     // insertion
+                         prev[j - 1] + cost  // substitution
+      });
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], prev2[j - 2] + cost);  // transposition
+      }
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double NormalizedEditDistance(const Fingerprint& a, const Fingerprint& b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  const std::size_t d = EditDistance(a.packets(), b.packets());
+  return static_cast<double>(d) / static_cast<double>(longest);
+}
+
+}  // namespace sentinel::features

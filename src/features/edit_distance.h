@@ -1,0 +1,24 @@
+// Damerau-Levenshtein edit distance over packet sequences (paper
+// Sect. IV-B2): fingerprints F are compared as words whose characters are
+// whole packet feature vectors; two characters are equal iff all 23
+// features match. The variant implemented is optimal string alignment
+// (insertion, deletion, substitution, immediate transposition), exactly the
+// operation set the paper lists.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "features/fingerprint.h"
+
+namespace sentinel::features {
+
+/// Absolute OSA edit distance between two packet sequences.
+std::size_t EditDistance(std::span<const PacketFeatureVector> a,
+                         std::span<const PacketFeatureVector> b);
+
+/// Distance normalized by the length of the longer sequence, in [0, 1].
+/// Two empty fingerprints have distance 0.
+double NormalizedEditDistance(const Fingerprint& a, const Fingerprint& b);
+
+}  // namespace sentinel::features

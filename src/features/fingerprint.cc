@@ -1,0 +1,45 @@
+#include "features/fingerprint.h"
+
+#include <algorithm>
+
+namespace sentinel::features {
+
+Fingerprint Fingerprint::FromPacketVectors(
+    const std::vector<PacketFeatureVector>& vectors) {
+  Fingerprint fp;
+  fp.packets_.reserve(vectors.size());
+  for (const auto& v : vectors) {
+    if (!fp.packets_.empty() && fp.packets_.back() == v) continue;
+    fp.packets_.push_back(v);
+  }
+  return fp;
+}
+
+Fingerprint Fingerprint::FromPackets(
+    const std::vector<net::ParsedPacket>& packets) {
+  return FromPacketVectors(FeatureExtractor::ExtractAll(packets));
+}
+
+FixedFingerprint FixedFingerprint::FromFingerprint(
+    const Fingerprint& fingerprint) {
+  FixedFingerprint out;
+  std::vector<const PacketFeatureVector*> unique;
+  unique.reserve(kFPrimePackets);
+  for (const auto& packet : fingerprint.packets()) {
+    const bool seen =
+        std::any_of(unique.begin(), unique.end(),
+                    [&](const PacketFeatureVector* u) { return *u == packet; });
+    if (seen) continue;
+    unique.push_back(&packet);
+    if (unique.size() == kFPrimePackets) break;
+  }
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    for (std::size_t j = 0; j < kFeatureCount; ++j) {
+      out.values_[i * kFeatureCount + j] = static_cast<double>((*unique[i])[j]);
+    }
+  }
+  out.packet_count_ = unique.size();
+  return out;
+}
+
+}  // namespace sentinel::features

@@ -1,0 +1,77 @@
+// Device fingerprints (paper Sect. IV-A).
+//
+// F  — variable-length fingerprint: the sequence of per-packet feature
+//      vectors of the setup phase, with consecutive duplicates removed.
+// F' — fixed-length fingerprint: the first kFPrimePackets (12) *unique*
+//      packet vectors of F concatenated into a 276-value vector,
+//      zero-padded when F has fewer unique packets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "features/packet_features.h"
+
+namespace sentinel::features {
+
+/// Number of packets concatenated into F' (paper: 12 — "long enough to
+/// distinguish device-types and short enough to be fully filled").
+inline constexpr std::size_t kFPrimePackets = 12;
+/// Dimensionality of F' (12 packets x 23 features).
+inline constexpr std::size_t kFPrimeDim = kFPrimePackets * kFeatureCount;
+
+/// Variable-length fingerprint F.
+class Fingerprint {
+ public:
+  Fingerprint() = default;
+
+  /// Builds F from raw per-packet vectors, dropping each packet that equals
+  /// its immediate predecessor (pi == pi+1 in the paper's notation).
+  static Fingerprint FromPacketVectors(
+      const std::vector<PacketFeatureVector>& vectors);
+
+  /// Builds F directly from a device's parsed setup-phase packets.
+  static Fingerprint FromPackets(
+      const std::vector<net::ParsedPacket>& packets);
+
+  [[nodiscard]] const std::vector<PacketFeatureVector>& packets() const {
+    return packets_;
+  }
+  [[nodiscard]] std::size_t size() const { return packets_.size(); }
+  [[nodiscard]] bool empty() const { return packets_.empty(); }
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+ private:
+  std::vector<PacketFeatureVector> packets_;
+};
+
+/// Fixed-length fingerprint F' as a flat numeric vector usable by standard
+/// machine-learning algorithms.
+class FixedFingerprint {
+ public:
+  FixedFingerprint() { values_.fill(0.0); }
+
+  /// Derives F' from F: concatenates the first 12 *unique* packet vectors
+  /// (uniqueness over the whole prefix, not just consecutive) and pads with
+  /// zeros if fewer exist.
+  static FixedFingerprint FromFingerprint(const Fingerprint& fingerprint);
+
+  [[nodiscard]] const std::array<double, kFPrimeDim>& values() const {
+    return values_;
+  }
+  [[nodiscard]] std::vector<double> ToVector() const {
+    return {values_.begin(), values_.end()};
+  }
+  /// Number of real (non-padding) packets encoded.
+  [[nodiscard]] std::size_t packet_count() const { return packet_count_; }
+
+  friend bool operator==(const FixedFingerprint&,
+                         const FixedFingerprint&) = default;
+
+ private:
+  std::array<double, kFPrimeDim> values_{};
+  std::size_t packet_count_ = 0;
+};
+
+}  // namespace sentinel::features

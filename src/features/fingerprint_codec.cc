@@ -1,0 +1,84 @@
+#include "features/fingerprint_codec.h"
+
+namespace sentinel::features {
+
+namespace {
+constexpr std::uint8_t kVersion = 1;
+
+void WriteMagic(net::ByteWriter& w, char a, char b, char c) {
+  w.WriteU8(static_cast<std::uint8_t>(a));
+  w.WriteU8(static_cast<std::uint8_t>(b));
+  w.WriteU8(static_cast<std::uint8_t>(c));
+  w.WriteU8(kVersion);
+}
+
+void ExpectMagic(net::ByteReader& r, char a, char b, char c,
+                 const char* what) {
+  if (r.ReadU8() != static_cast<std::uint8_t>(a) ||
+      r.ReadU8() != static_cast<std::uint8_t>(b) ||
+      r.ReadU8() != static_cast<std::uint8_t>(c)) {
+    throw net::CodecError(std::string("bad magic for ") + what);
+  }
+  const std::uint8_t version = r.ReadU8();
+  if (version != kVersion)
+    throw net::CodecError(std::string("unsupported ") + what + " version " +
+                          std::to_string(version));
+}
+}  // namespace
+
+void EncodeFingerprint(net::ByteWriter& w, const Fingerprint& fingerprint) {
+  WriteMagic(w, 'S', 'F', 'P');
+  w.WriteU16(static_cast<std::uint16_t>(fingerprint.size()));
+  for (const auto& packet : fingerprint.packets())
+    for (const auto value : packet) w.WriteU32(value);
+}
+
+Fingerprint DecodeFingerprint(net::ByteReader& r) {
+  ExpectMagic(r, 'S', 'F', 'P', "fingerprint");
+  const std::uint16_t count = r.ReadU16();
+  std::vector<PacketFeatureVector> packets(count);
+  for (auto& packet : packets)
+    for (auto& value : packet) value = r.ReadU32();
+  // Construct without re-deduplication: the encoded form is already F.
+  // FromPacketVectors would drop legitimately repeated (non-consecutive)
+  // packets only if consecutive — encoded F has no consecutive duplicates
+  // by construction, so the round trip is exact.
+  return Fingerprint::FromPacketVectors(packets);
+}
+
+void EncodeFixedFingerprint(net::ByteWriter& w,
+                            const FixedFingerprint& fixed) {
+  WriteMagic(w, 'S', 'F', 'X');
+  w.WriteU16(static_cast<std::uint16_t>(fixed.packet_count()));
+  for (const double value : fixed.values())
+    w.WriteU32(static_cast<std::uint32_t>(value));
+}
+
+FixedFingerprint DecodeFixedFingerprint(net::ByteReader& r) {
+  ExpectMagic(r, 'S', 'F', 'X', "fixed fingerprint");
+  const std::uint16_t count = r.ReadU16();
+  // Rebuild through a synthetic Fingerprint so invariants (packet_count,
+  // padding) are re-established by the same code path used everywhere.
+  std::vector<PacketFeatureVector> packets(count);
+  std::array<double, kFPrimeDim> values{};
+  for (auto& value : values) value = r.ReadU32();
+  for (std::uint16_t p = 0; p < count; ++p)
+    for (std::size_t f = 0; f < kFeatureCount; ++f)
+      packets[p][f] =
+          static_cast<std::uint32_t>(values[p * kFeatureCount + f]);
+  return FixedFingerprint::FromFingerprint(
+      Fingerprint::FromPacketVectors(packets));
+}
+
+std::vector<std::uint8_t> SerializeFingerprint(const Fingerprint& fingerprint) {
+  net::ByteWriter w;
+  EncodeFingerprint(w, fingerprint);
+  return std::move(w).Take();
+}
+
+Fingerprint ParseFingerprint(std::span<const std::uint8_t> bytes) {
+  net::ByteReader r(bytes);
+  return DecodeFingerprint(r);
+}
+
+}  // namespace sentinel::features

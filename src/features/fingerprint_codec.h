@@ -1,0 +1,30 @@
+// Wire serialization for fingerprints. The Security Gateway "sends device
+// fingerprints to the IoT Security Service for identification" (paper
+// Sect. III-A); this is the compact, versioned binary format that crosses
+// that boundary (and persists fingerprints to disk for offline training).
+//
+// Format (big-endian):
+//   Fingerprint F:        magic 'S''F''P' ver(1) | u16 packet_count |
+//                         packet_count x 23 x u32
+//   FixedFingerprint F':  magic 'S''F''X' ver(1) | u16 packet_count |
+//                         276 x u32 (values are integral by construction)
+#pragma once
+
+#include <vector>
+
+#include "features/fingerprint.h"
+#include "net/byte_io.h"
+
+namespace sentinel::features {
+
+void EncodeFingerprint(net::ByteWriter& w, const Fingerprint& fingerprint);
+Fingerprint DecodeFingerprint(net::ByteReader& r);
+
+void EncodeFixedFingerprint(net::ByteWriter& w, const FixedFingerprint& fixed);
+FixedFingerprint DecodeFixedFingerprint(net::ByteReader& r);
+
+/// Convenience one-shot helpers.
+std::vector<std::uint8_t> SerializeFingerprint(const Fingerprint& fingerprint);
+Fingerprint ParseFingerprint(std::span<const std::uint8_t> bytes);
+
+}  // namespace sentinel::features

@@ -1,0 +1,54 @@
+#include "features/packet_features.h"
+
+namespace sentinel::features {
+
+std::string FeatureName(std::size_t i) {
+  static constexpr const char* kNames[kFeatureCount] = {
+      "ARP",     "LLC",        "IP",           "ICMP",
+      "ICMPv6",  "EAPoL",      "TCP",          "UDP",
+      "HTTP",    "HTTPS",      "DHCP",         "BOOTP",
+      "SSDP",    "DNS",        "MDNS",         "NTP",
+      "ip_padding", "ip_router_alert", "packet_size", "raw_data",
+      "dest_ip_counter", "src_port_class", "dst_port_class"};
+  return i < kFeatureCount ? kNames[i] : "?";
+}
+
+PacketFeatureVector FeatureExtractor::Extract(const net::ParsedPacket& p) {
+  PacketFeatureVector f{};
+  // The 16 protocol flags share numbering with net::Protocol.
+  for (std::size_t i = 0; i < static_cast<std::size_t>(net::kProtocolCount);
+       ++i) {
+    f[i] = p.protocols.Has(static_cast<net::Protocol>(i)) ? 1u : 0u;
+  }
+  f[kFeatIpPadding] = p.ip_opt_padding ? 1u : 0u;
+  f[kFeatIpRouterAlert] = p.ip_opt_router_alert ? 1u : 0u;
+  f[kFeatPacketSize] = p.size_bytes;
+  f[kFeatRawData] = p.has_raw_data ? 1u : 0u;
+
+  if (p.dst_ip.has_value()) {
+    auto [it, inserted] = destination_order_.try_emplace(
+        *p.dst_ip, static_cast<std::uint32_t>(destination_order_.size() + 1));
+    f[kFeatDestIpCounter] = it->second;
+  } else {
+    f[kFeatDestIpCounter] = 0;
+  }
+
+  f[kFeatSrcPortClass] =
+      p.src_port ? static_cast<std::uint32_t>(net::ClassifyPort(*p.src_port))
+                 : 0u;
+  f[kFeatDstPortClass] =
+      p.dst_port ? static_cast<std::uint32_t>(net::ClassifyPort(*p.dst_port))
+                 : 0u;
+  return f;
+}
+
+std::vector<PacketFeatureVector> FeatureExtractor::ExtractAll(
+    const std::vector<net::ParsedPacket>& packets) {
+  FeatureExtractor extractor;
+  std::vector<PacketFeatureVector> out;
+  out.reserve(packets.size());
+  for (const auto& p : packets) out.push_back(extractor.Extract(p));
+  return out;
+}
+
+}  // namespace sentinel::features

@@ -1,0 +1,84 @@
+// The 23 per-packet features of Table I and the stateful extractor that
+// computes them over a device's setup-phase packet stream.
+//
+// Feature order (normative, used by F and F'):
+//   0 ARP    1 LLC    2 IP     3 ICMP   4 ICMPv6  5 EAPoL
+//   6 TCP    7 UDP    8 HTTP   9 HTTPS 10 DHCP   11 BOOTP
+//  12 SSDP  13 DNS   14 MDNS  15 NTP   16 ip_padding  17 ip_router_alert
+//  18 packet_size (int)       19 raw_data
+//  20 dest_ip_counter (int)   21 src_port_class  22 dst_port_class
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace sentinel::features {
+
+inline constexpr std::size_t kFeatureCount = 23;
+
+/// One packet's feature vector. All features are stored as unsigned
+/// integers; binary features take values {0,1}.
+using PacketFeatureVector = std::array<std::uint32_t, kFeatureCount>;
+
+/// Indices into PacketFeatureVector. The first 16 match the Protocol enum.
+enum FeatureIndex : std::size_t {
+  kFeatArp = 0,
+  kFeatLlc,
+  kFeatIp,
+  kFeatIcmp,
+  kFeatIcmpv6,
+  kFeatEapol,
+  kFeatTcp,
+  kFeatUdp,
+  kFeatHttp,
+  kFeatHttps,
+  kFeatDhcp,
+  kFeatBootp,
+  kFeatSsdp,
+  kFeatDns,
+  kFeatMdns,
+  kFeatNtp,
+  kFeatIpPadding,
+  kFeatIpRouterAlert,
+  kFeatPacketSize,
+  kFeatRawData,
+  kFeatDestIpCounter,
+  kFeatSrcPortClass,
+  kFeatDstPortClass,
+};
+
+/// Human-readable feature name for index `i` (used by reports and docs).
+std::string FeatureName(std::size_t i);
+
+/// Computes Table I feature vectors for a single device's packet stream.
+///
+/// The extractor is stateful: the destination-IP counter maps each distinct
+/// destination address to the order in which the device first contacted it
+/// (1, 2, 3, ...), so extraction must see packets in capture order and one
+/// extractor must be used per device per setup episode.
+class FeatureExtractor {
+ public:
+  FeatureExtractor() = default;
+
+  /// Extracts the feature vector for the next packet of this device.
+  PacketFeatureVector Extract(const net::ParsedPacket& packet);
+
+  /// Convenience: extracts all packets in order with a fresh counter.
+  static std::vector<PacketFeatureVector> ExtractAll(
+      const std::vector<net::ParsedPacket>& packets);
+
+  /// Number of distinct destination IPs seen so far.
+  [[nodiscard]] std::size_t distinct_destinations() const {
+    return destination_order_.size();
+  }
+
+ private:
+  std::unordered_map<net::IpAddress, std::uint32_t> destination_order_;
+};
+
+}  // namespace sentinel::features

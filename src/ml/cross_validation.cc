@@ -1,0 +1,42 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace sentinel::ml {
+
+std::vector<Fold> StratifiedKFold(const std::vector<int>& labels,
+                                  std::size_t k, Rng& rng) {
+  if (k < 2) throw std::invalid_argument("StratifiedKFold: k must be >= 2");
+  if (labels.empty())
+    throw std::invalid_argument("StratifiedKFold: empty labels");
+
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    by_class[labels[i]].push_back(i);
+
+  // Deal each class round-robin into fold test sets.
+  std::vector<std::vector<std::size_t>> test_sets(k);
+  std::size_t deal = 0;
+  for (auto& [label, indices] : by_class) {
+    std::shuffle(indices.begin(), indices.end(), rng);
+    for (std::size_t i : indices) {
+      test_sets[deal % k].push_back(i);
+      ++deal;
+    }
+  }
+
+  std::vector<Fold> folds(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    folds[f].test_indices = test_sets[f];
+    for (std::size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      folds[f].train_indices.insert(folds[f].train_indices.end(),
+                                    test_sets[g].begin(), test_sets[g].end());
+    }
+  }
+  return folds;
+}
+
+}  // namespace sentinel::ml

@@ -1,0 +1,25 @@
+// Stratified k-fold splitting, matching the paper's evaluation protocol
+// (stratified 10-fold cross-validation, repeated 10 times).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/rng.h"
+
+namespace sentinel::ml {
+
+/// One fold: disjoint index sets into the original dataset.
+struct Fold {
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+};
+
+/// Produces `k` stratified folds over examples with the given labels: each
+/// class's examples are shuffled and dealt round-robin across folds, so
+/// every fold has (as nearly as possible) the same class mix.
+/// Throws std::invalid_argument for k < 2 or empty labels.
+std::vector<Fold> StratifiedKFold(const std::vector<int>& labels,
+                                  std::size_t k, Rng& rng);
+
+}  // namespace sentinel::ml

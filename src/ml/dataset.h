@@ -1,0 +1,50 @@
+// Tabular dataset container for the classifiers: dense double feature rows
+// plus integer class labels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sentinel::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t feature_count) : feature_count_(feature_count) {}
+
+  /// Appends one labelled example. Throws std::invalid_argument if the row
+  /// width disagrees with the dataset's feature count.
+  void Add(std::vector<double> row, int label) {
+    if (feature_count_ == 0) feature_count_ = row.size();
+    if (row.size() != feature_count_)
+      throw std::invalid_argument("row width mismatch");
+    rows_.push_back(std::move(row));
+    labels_.push_back(label);
+  }
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+  [[nodiscard]] std::size_t feature_count() const { return feature_count_; }
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    return rows_[i];
+  }
+  [[nodiscard]] int label(std::size_t i) const { return labels_[i]; }
+  [[nodiscard]] const std::vector<int>& labels() const { return labels_; }
+
+  /// Largest label value + 1 (0 for an empty dataset).
+  [[nodiscard]] int class_count() const {
+    int max_label = -1;
+    for (int l : labels_)
+      if (l > max_label) max_label = l;
+    return max_label + 1;
+  }
+
+ private:
+  std::size_t feature_count_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+};
+
+}  // namespace sentinel::ml

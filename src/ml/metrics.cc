@@ -1,0 +1,82 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sentinel::ml {
+
+void ConfusionMatrix::Merge(const ConfusionMatrix& other) {
+  if (other.n_ != n_)
+    throw std::invalid_argument("confusion matrix size mismatch");
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t sum = 0;
+  for (auto c : cells_) sum += c;
+  return sum;
+}
+
+std::size_t ConfusionMatrix::RowTotal(std::size_t actual) const {
+  std::size_t sum = 0;
+  for (std::size_t j = 0; j < n_; ++j) sum += At(actual, j);
+  return sum;
+}
+
+double ConfusionMatrix::PerClassAccuracy(std::size_t actual) const {
+  const std::size_t row = RowTotal(actual);
+  if (row == 0) return 0.0;
+  return static_cast<double>(At(actual, actual)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::OverallAccuracy() const {
+  const std::size_t all = total();
+  if (all == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < n_; ++i) diag += At(i, i);
+  return static_cast<double>(diag) / static_cast<double>(all);
+}
+
+std::string ConfusionMatrix::ToString(
+    const std::vector<std::string>& labels) const {
+  std::ostringstream out;
+  out << "A\\P";
+  for (std::size_t j = 0; j < n_; ++j) {
+    out << '\t' << (j < labels.size() ? labels[j] : std::to_string(j + 1));
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < n_; ++i) {
+    out << (i < labels.size() ? labels[i] : std::to_string(i + 1));
+    for (std::size_t j = 0; j < n_; ++j) out << '\t' << At(i, j);
+    out << '\n';
+  }
+  return out.str();
+}
+
+double Accuracy(const std::vector<int>& actual,
+                const std::vector<int>& predicted) {
+  if (actual.size() != predicted.size())
+    throw std::invalid_argument("label vector size mismatch");
+  if (actual.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    if (actual[i] == predicted[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(actual.size());
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (double v : values) sq += (v - out.mean) * (v - out.mean);
+    out.stdev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace sentinel::ml

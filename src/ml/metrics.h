@@ -1,0 +1,56 @@
+// Classification metrics: accuracy, per-class accuracy (the quantity of
+// Fig. 5) and confusion matrices (Table III).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sentinel::ml {
+
+/// Square confusion matrix over `class_count` classes. Rows = actual class,
+/// columns = predicted class, as in the paper's Table III.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t class_count)
+      : n_(class_count), cells_(class_count * class_count, 0) {}
+
+  void Add(std::size_t actual, std::size_t predicted, std::size_t count = 1) {
+    cells_.at(actual * n_ + predicted) += count;
+  }
+  void Merge(const ConfusionMatrix& other);
+
+  [[nodiscard]] std::size_t At(std::size_t actual, std::size_t predicted) const {
+    return cells_.at(actual * n_ + predicted);
+  }
+  [[nodiscard]] std::size_t class_count() const { return n_; }
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] std::size_t RowTotal(std::size_t actual) const;
+
+  /// Fraction of row `actual` on the diagonal — the per-type "ratio of
+  /// correct identification". Returns 0 for empty rows.
+  [[nodiscard]] double PerClassAccuracy(std::size_t actual) const;
+  /// Overall fraction of diagonal mass.
+  [[nodiscard]] double OverallAccuracy() const;
+
+  /// Pretty table (optionally with row/column labels) for report output.
+  [[nodiscard]] std::string ToString(
+      const std::vector<std::string>& labels = {}) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> cells_;
+};
+
+/// Plain accuracy over parallel label vectors.
+double Accuracy(const std::vector<int>& actual,
+                const std::vector<int>& predicted);
+
+/// Mean and (sample) standard deviation of a series.
+struct MeanStd {
+  double mean = 0.0;
+  double stdev = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace sentinel::ml

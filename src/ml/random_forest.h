@@ -1,0 +1,66 @@
+// Random Forest classifier (Breiman 2001): bagged CART trees with per-split
+// feature subsampling. The paper trains one *binary* forest per device-type
+// (Sect. IV-B1); the implementation is general multiclass.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace sentinel::ml {
+
+struct RandomForestConfig {
+  std::size_t tree_count = 30;
+  DecisionTreeConfig tree;
+  /// Bootstrap sample size as a fraction of the training set (1.0 = classic
+  /// bagging with replacement at full size).
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class RandomForest {
+ public:
+  /// Trains `config.tree_count` trees on bootstrap resamples of `data`.
+  void Train(const Dataset& data, const RandomForestConfig& config);
+
+  /// Majority-vote class prediction.
+  [[nodiscard]] int Predict(std::span<const double> row) const;
+
+  /// Mean of the trees' leaf class-frequency estimates; index = class.
+  [[nodiscard]] std::vector<double> PredictProba(
+      std::span<const double> row) const;
+
+  /// Probability of class 1 — convenience for the binary per-device-type
+  /// classifiers.
+  [[nodiscard]] double PositiveProba(std::span<const double> row) const;
+
+  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+  [[nodiscard]] bool trained() const { return !trees_.empty(); }
+  [[nodiscard]] int class_count() const { return class_count_; }
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+  /// Mean feature importances across the forest's trees (normalized MDI).
+  /// Empty before training or after Load() (importances are a training
+  /// artefact and are not serialized).
+  [[nodiscard]] std::vector<double> FeatureImportances() const;
+
+  /// Out-of-bag accuracy estimated during Train(): each example is scored
+  /// by the trees whose bootstrap sample excluded it. Returns NaN when no
+  /// example was out of bag (tiny datasets) or the forest was Load()ed.
+  [[nodiscard]] double oob_accuracy() const { return oob_accuracy_; }
+
+  /// Serializes the trained forest; Load() restores it. The IoT Security
+  /// Service persists its per-type classifier bank this way.
+  void Save(net::ByteWriter& w) const;
+  static RandomForest Load(net::ByteReader& r);
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int class_count_ = 0;
+  double oob_accuracy_ = std::numeric_limits<double>::quiet_NaN();
+};
+
+}  // namespace sentinel::ml

@@ -1,0 +1,21 @@
+// Deterministic PRNG used across training, simulation and evaluation so
+// every experiment in this repository is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace sentinel::ml {
+
+using Rng = std::mt19937_64;
+
+/// Derives an independent child seed from a parent seed and a stream index
+/// (splitmix64 finalizer), so parallel components get decorrelated streams.
+constexpr std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace sentinel::ml

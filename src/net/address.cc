@@ -1,0 +1,134 @@
+#include "net/address.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace sentinel::net {
+
+namespace {
+
+// Parses a 2-digit hex byte at `text[pos]`, returns -1 on failure.
+int ParseHexByte(std::string_view text, std::size_t pos) {
+  if (pos + 2 > text.size()) return -1;
+  int value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data() + pos, text.data() + pos + 2, value, 16);
+  if (ec != std::errc{} || ptr != text.data() + pos + 2) return -1;
+  return value;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::Parse(std::string_view text) {
+  // Expected layout: XX?XX?XX?XX?XX?XX with ':' or '-' separators.
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t pos = static_cast<std::size_t>(i) * 3;
+    if (i > 0) {
+      const char sep = text[pos - 1];
+      if (sep != ':' && sep != '-') return std::nullopt;
+    }
+    const int byte = ParseHexByte(text, pos);
+    if (byte < 0) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(byte);
+  }
+  return MacAddress(octets);
+}
+
+std::string MacAddress::ToString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return std::string(buf);
+}
+
+std::uint64_t MacAddress::ToUint64() const {
+  std::uint64_t v = 0;
+  for (auto o : octets_) v = (v << 8) | o;
+  return v;
+}
+
+MacAddress MacAddress::FromUint64(std::uint64_t value) {
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 5; i >= 0; --i) {
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value);
+    value >>= 8;
+  }
+  return MacAddress(octets);
+}
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  std::uint32_t value = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    int octet = -1;
+    auto [ptr, ec] =
+        std::from_chars(text.data() + pos, text.data() + text.size(), octet);
+    if (ec != std::errc{} || octet < 0 || octet > 255) return std::nullopt;
+    pos = static_cast<std::size_t>(ptr - text.data());
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+bool Ipv4Address::IsPrivate() const {
+  const std::uint32_t v = value_;
+  return (v >> 24) == 10 ||                        // 10/8
+         (v >> 20) == 0xac1 ||                     // 172.16/12
+         (v >> 16) == 0xc0a8 ||                    // 192.168/16
+         (v >> 16) == 0xa9fe;                      // 169.254/16 link-local
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return std::string(buf);
+}
+
+Ipv6Address Ipv6Address::LinkLocalFromMac(const MacAddress& mac) {
+  std::array<std::uint8_t, 16> bytes{};
+  bytes[0] = 0xfe;
+  bytes[1] = 0x80;
+  const auto& o = mac.octets();
+  // EUI-64: flip U/L bit, insert ff:fe in the middle.
+  bytes[8] = static_cast<std::uint8_t>(o[0] ^ 0x02);
+  bytes[9] = o[1];
+  bytes[10] = o[2];
+  bytes[11] = 0xff;
+  bytes[12] = 0xfe;
+  bytes[13] = o[3];
+  bytes[14] = o[4];
+  bytes[15] = o[5];
+  return Ipv6Address(bytes);
+}
+
+Ipv6Address Ipv6Address::AllNodesMulticast() {
+  std::array<std::uint8_t, 16> bytes{};
+  bytes[0] = 0xff;
+  bytes[1] = 0x02;
+  bytes[15] = 0x01;
+  return Ipv6Address(bytes);
+}
+
+std::string Ipv6Address::ToString() const {
+  std::string out;
+  out.reserve(40);
+  char buf[6];
+  for (int g = 0; g < 8; ++g) {
+    const unsigned group =
+        (static_cast<unsigned>(bytes_[static_cast<std::size_t>(g) * 2]) << 8) |
+        bytes_[static_cast<std::size_t>(g) * 2 + 1];
+    std::snprintf(buf, sizeof(buf), g == 0 ? "%x" : ":%x", group);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sentinel::net

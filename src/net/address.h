@@ -1,0 +1,183 @@
+// Address value types for the sentinel network stack: MAC, IPv4, IPv6 and a
+// tagged union over the two IP families. All types are trivially copyable
+// value types with total ordering and std::hash support so they can be used
+// directly as keys in flow tables and rule caches.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace sentinel::net {
+
+/// 48-bit IEEE 802 MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff" or "AA-BB-CC-DD-EE-FF".
+  /// Returns std::nullopt on malformed input.
+  static std::optional<MacAddress> Parse(std::string_view text);
+
+  /// Broadcast address ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddress Broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] bool IsBroadcast() const { return *this == Broadcast(); }
+  /// Group bit (I/G) of the first octet: multicast or broadcast destination.
+  [[nodiscard]] bool IsMulticast() const { return (octets_[0] & 0x01) != 0; }
+  /// Locally-administered bit (U/L) of the first octet.
+  [[nodiscard]] bool IsLocallyAdministered() const {
+    return (octets_[0] & 0x02) != 0;
+  }
+
+  /// Lower-case colon-separated textual form.
+  [[nodiscard]] std::string ToString() const;
+
+  /// Numeric value of the address in the low 48 bits.
+  [[nodiscard]] std::uint64_t ToUint64() const;
+  static MacAddress FromUint64(std::uint64_t value);
+
+  friend constexpr auto operator<=>(const MacAddress&,
+                                    const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// IPv4 address held in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order)
+      : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad "192.168.1.20". Returns std::nullopt on bad input.
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  static constexpr Ipv4Address Any() { return Ipv4Address(0); }
+  static constexpr Ipv4Address Broadcast() {
+    return Ipv4Address(0xffffffffu);
+  }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] bool IsMulticast() const {
+    return (value_ >> 28) == 0xe;  // 224.0.0.0/4
+  }
+  [[nodiscard]] bool IsPrivate() const;
+  [[nodiscard]] std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Ipv4Address&,
+                                    const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv6 address as 16 network-order bytes.
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  constexpr explicit Ipv6Address(std::array<std::uint8_t, 16> bytes)
+      : bytes_(bytes) {}
+
+  /// Builds a link-local (fe80::/64) address with a EUI-64-style suffix
+  /// derived from a MAC address, as IoT devices do during setup.
+  static Ipv6Address LinkLocalFromMac(const MacAddress& mac);
+
+  /// All-nodes multicast ff02::1.
+  static Ipv6Address AllNodesMulticast();
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 16>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] bool IsMulticast() const { return bytes_[0] == 0xff; }
+  /// Canonical-ish textual form (full groups, no ::-compression beyond
+  /// leading-zero trimming within groups).
+  [[nodiscard]] std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Ipv6Address&,
+                                    const Ipv6Address&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+/// Either an IPv4 or an IPv6 address; used where the fingerprinting layer
+/// needs a single comparable "destination address" key (Table I destination
+/// IP counter).
+class IpAddress {
+ public:
+  IpAddress() : addr_(Ipv4Address{}) {}
+  IpAddress(Ipv4Address v4) : addr_(v4) {}          // NOLINT implicit
+  IpAddress(Ipv6Address v6) : addr_(std::move(v6)) {}  // NOLINT implicit
+
+  [[nodiscard]] bool IsV4() const {
+    return std::holds_alternative<Ipv4Address>(addr_);
+  }
+  [[nodiscard]] bool IsV6() const { return !IsV4(); }
+  [[nodiscard]] const Ipv4Address& v4() const {
+    return std::get<Ipv4Address>(addr_);
+  }
+  [[nodiscard]] const Ipv6Address& v6() const {
+    return std::get<Ipv6Address>(addr_);
+  }
+  [[nodiscard]] bool IsMulticast() const {
+    return IsV4() ? v4().IsMulticast() : v6().IsMulticast();
+  }
+  [[nodiscard]] std::string ToString() const {
+    return IsV4() ? v4().ToString() : v6().ToString();
+  }
+
+  friend auto operator<=>(const IpAddress&, const IpAddress&) = default;
+
+ private:
+  std::variant<Ipv4Address, Ipv6Address> addr_;
+};
+
+}  // namespace sentinel::net
+
+template <>
+struct std::hash<sentinel::net::MacAddress> {
+  std::size_t operator()(const sentinel::net::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.ToUint64());
+  }
+};
+
+template <>
+struct std::hash<sentinel::net::Ipv4Address> {
+  std::size_t operator()(const sentinel::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<sentinel::net::Ipv6Address> {
+  std::size_t operator()(const sentinel::net::Ipv6Address& a) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (auto b : a.bytes()) h = (h ^ b) * 0x100000001b3ull;
+    return h;
+  }
+};
+
+template <>
+struct std::hash<sentinel::net::IpAddress> {
+  std::size_t operator()(const sentinel::net::IpAddress& a) const noexcept {
+    if (a.IsV4()) return std::hash<sentinel::net::Ipv4Address>{}(a.v4());
+    return std::hash<sentinel::net::Ipv6Address>{}(a.v6());
+  }
+};

@@ -1,0 +1,72 @@
+#include "net/arp.h"
+
+#include "net/protocols.h"
+
+namespace sentinel::net {
+
+namespace {
+constexpr std::uint16_t kHardwareEthernet = 1;
+constexpr std::uint8_t kMacLen = 6;
+constexpr std::uint8_t kIpv4Len = 4;
+
+MacAddress ReadMac(ByteReader& r) {
+  auto span = r.ReadBytes(6);
+  std::array<std::uint8_t, 6> a{};
+  std::copy(span.begin(), span.end(), a.begin());
+  return MacAddress(a);
+}
+}  // namespace
+
+ArpPacket ArpPacket::Probe(const MacAddress& sender, Ipv4Address candidate) {
+  ArpPacket p;
+  p.operation = ArpOperation::kRequest;
+  p.sender_mac = sender;
+  p.sender_ip = Ipv4Address::Any();
+  p.target_mac = MacAddress{};
+  p.target_ip = candidate;
+  return p;
+}
+
+ArpPacket ArpPacket::Announce(const MacAddress& sender, Ipv4Address ip) {
+  ArpPacket p;
+  p.operation = ArpOperation::kRequest;
+  p.sender_mac = sender;
+  p.sender_ip = ip;
+  p.target_mac = MacAddress{};
+  p.target_ip = ip;
+  return p;
+}
+
+void ArpPacket::Encode(ByteWriter& w) const {
+  w.WriteU16(kHardwareEthernet);
+  w.WriteU16(kEtherTypeIpv4);
+  w.WriteU8(kMacLen);
+  w.WriteU8(kIpv4Len);
+  w.WriteU16(static_cast<std::uint16_t>(operation));
+  w.WriteBytes(sender_mac.octets());
+  w.WriteU32(sender_ip.value());
+  w.WriteBytes(target_mac.octets());
+  w.WriteU32(target_ip.value());
+}
+
+ArpPacket ArpPacket::Decode(ByteReader& r) {
+  const std::uint16_t hw = r.ReadU16();
+  const std::uint16_t proto = r.ReadU16();
+  const std::uint8_t hw_len = r.ReadU8();
+  const std::uint8_t proto_len = r.ReadU8();
+  if (hw != kHardwareEthernet || proto != kEtherTypeIpv4 || hw_len != kMacLen ||
+      proto_len != kIpv4Len) {
+    throw CodecError("unsupported ARP hardware/protocol combination");
+  }
+  ArpPacket p;
+  const std::uint16_t op = r.ReadU16();
+  if (op != 1 && op != 2) throw CodecError("invalid ARP operation");
+  p.operation = static_cast<ArpOperation>(op);
+  p.sender_mac = ReadMac(r);
+  p.sender_ip = Ipv4Address(r.ReadU32());
+  p.target_mac = ReadMac(r);
+  p.target_ip = Ipv4Address(r.ReadU32());
+  return p;
+}
+
+}  // namespace sentinel::net

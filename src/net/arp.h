@@ -1,0 +1,35 @@
+// ARP (RFC 826) for IPv4 over Ethernet, including gratuitous ARP and ARP
+// probe forms used by devices during address acquisition.
+#pragma once
+
+#include <cstdint>
+
+#include "net/address.h"
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+enum class ArpOperation : std::uint16_t {
+  kRequest = 1,
+  kReply = 2,
+};
+
+struct ArpPacket {
+  ArpOperation operation = ArpOperation::kRequest;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;
+  Ipv4Address target_ip;
+
+  static constexpr std::size_t kSize = 28;
+
+  /// ARP probe (RFC 5227): sender IP 0.0.0.0, asking about `candidate`.
+  static ArpPacket Probe(const MacAddress& sender, Ipv4Address candidate);
+  /// Gratuitous ARP announcing ownership of `ip`.
+  static ArpPacket Announce(const MacAddress& sender, Ipv4Address ip);
+
+  void Encode(ByteWriter& w) const;
+  static ArpPacket Decode(ByteReader& r);
+};
+
+}  // namespace sentinel::net

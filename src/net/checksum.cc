@@ -1,0 +1,35 @@
+#include "net/checksum.h"
+
+namespace sentinel::net {
+
+void InternetChecksum::Add(std::span<const std::uint8_t> data) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum_ += std::uint32_t{data[i]} << 8;
+}
+
+void InternetChecksum::AddU16(std::uint16_t v) { sum_ += v; }
+
+std::uint16_t InternetChecksum::Finalize() const {
+  std::uint32_t sum = sum_;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t Checksum(std::span<const std::uint8_t> data) {
+  InternetChecksum sum;
+  sum.Add(data);
+  return sum.Finalize();
+}
+
+void AddPseudoHeader(InternetChecksum& sum, Ipv4Address src, Ipv4Address dst,
+                     std::uint8_t protocol, std::uint16_t length) {
+  sum.AddU32(src.value());
+  sum.AddU32(dst.value());
+  sum.AddU16(protocol);
+  sum.AddU16(length);
+}
+
+}  // namespace sentinel::net

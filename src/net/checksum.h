@@ -1,0 +1,39 @@
+// RFC 1071 internet checksum, used by IPv4, ICMP, UDP and TCP codecs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/address.h"
+
+namespace sentinel::net {
+
+/// Running one's-complement sum that can be fed incrementally (header,
+/// pseudo-header, payload) and finalized once.
+class InternetChecksum {
+ public:
+  /// Adds a byte range. Ranges may be added in any order as long as each
+  /// range starts at an even offset of the conceptual message, which holds
+  /// for all header/payload splits used here.
+  void Add(std::span<const std::uint8_t> data);
+  void AddU16(std::uint16_t v);
+  void AddU32(std::uint32_t v) {
+    AddU16(static_cast<std::uint16_t>(v >> 16));
+    AddU16(static_cast<std::uint16_t>(v));
+  }
+
+  /// One's-complement of the folded sum.
+  [[nodiscard]] std::uint16_t Finalize() const;
+
+ private:
+  std::uint32_t sum_ = 0;
+};
+
+/// Checksums a single contiguous range.
+std::uint16_t Checksum(std::span<const std::uint8_t> data);
+
+/// Adds the IPv4 pseudo-header (src, dst, protocol, length) used by UDP/TCP.
+void AddPseudoHeader(InternetChecksum& sum, Ipv4Address src, Ipv4Address dst,
+                     std::uint8_t protocol, std::uint16_t length);
+
+}  // namespace sentinel::net

@@ -1,0 +1,170 @@
+#include "net/dhcp.h"
+
+namespace sentinel::net {
+
+namespace {
+constexpr std::uint32_t kMagicCookie = 0x63825363;
+constexpr std::uint8_t kOptMessageType = 53;
+constexpr std::uint8_t kOptRequestedIp = 50;
+constexpr std::uint8_t kOptServerId = 54;
+constexpr std::uint8_t kOptHostname = 12;
+constexpr std::uint8_t kOptParamRequestList = 55;
+constexpr std::uint8_t kOptEnd = 255;
+
+DhcpOption MakeTypeOption(DhcpMessageType t) {
+  return DhcpOption{kOptMessageType, {static_cast<std::uint8_t>(t)}};
+}
+
+DhcpOption MakeIpOption(std::uint8_t code, Ipv4Address ip) {
+  const std::uint32_t v = ip.value();
+  return DhcpOption{code,
+                    {static_cast<std::uint8_t>(v >> 24),
+                     static_cast<std::uint8_t>(v >> 16),
+                     static_cast<std::uint8_t>(v >> 8),
+                     static_cast<std::uint8_t>(v)}};
+}
+
+DhcpOption MakeStringOption(std::uint8_t code, const std::string& s) {
+  return DhcpOption{code, std::vector<std::uint8_t>(s.begin(), s.end())};
+}
+}  // namespace
+
+std::optional<DhcpMessageType> DhcpMessage::MessageType() const {
+  for (const auto& opt : options) {
+    if (opt.code == kOptMessageType && opt.data.size() == 1)
+      return static_cast<DhcpMessageType>(opt.data[0]);
+  }
+  return std::nullopt;
+}
+
+DhcpMessage DhcpMessage::Discover(
+    const MacAddress& mac, std::uint32_t xid, const std::string& hostname,
+    const std::vector<std::uint8_t>& param_request) {
+  DhcpMessage m;
+  m.op = 1;
+  m.transaction_id = xid;
+  m.flags = 0x8000;
+  m.client_mac = mac;
+  m.options.push_back(MakeTypeOption(DhcpMessageType::kDiscover));
+  if (!hostname.empty())
+    m.options.push_back(MakeStringOption(kOptHostname, hostname));
+  if (!param_request.empty())
+    m.options.push_back(DhcpOption{kOptParamRequestList, param_request});
+  return m;
+}
+
+DhcpMessage DhcpMessage::Request(const MacAddress& mac, std::uint32_t xid,
+                                 Ipv4Address requested, Ipv4Address server,
+                                 const std::string& hostname) {
+  DhcpMessage m;
+  m.op = 1;
+  m.transaction_id = xid;
+  m.flags = 0x8000;
+  m.client_mac = mac;
+  m.options.push_back(MakeTypeOption(DhcpMessageType::kRequest));
+  m.options.push_back(MakeIpOption(kOptRequestedIp, requested));
+  m.options.push_back(MakeIpOption(kOptServerId, server));
+  if (!hostname.empty())
+    m.options.push_back(MakeStringOption(kOptHostname, hostname));
+  return m;
+}
+
+DhcpMessage DhcpMessage::Offer(const DhcpMessage& discover, Ipv4Address offered,
+                               Ipv4Address server) {
+  DhcpMessage m;
+  m.op = 2;
+  m.transaction_id = discover.transaction_id;
+  m.your_ip = offered;
+  m.server_ip = server;
+  m.client_mac = discover.client_mac;
+  m.options.push_back(MakeTypeOption(DhcpMessageType::kOffer));
+  m.options.push_back(MakeIpOption(kOptServerId, server));
+  return m;
+}
+
+DhcpMessage DhcpMessage::Ack(const DhcpMessage& request, Ipv4Address assigned,
+                             Ipv4Address server) {
+  DhcpMessage m;
+  m.op = 2;
+  m.transaction_id = request.transaction_id;
+  m.your_ip = assigned;
+  m.server_ip = server;
+  m.client_mac = request.client_mac;
+  m.options.push_back(MakeTypeOption(DhcpMessageType::kAck));
+  m.options.push_back(MakeIpOption(kOptServerId, server));
+  return m;
+}
+
+DhcpMessage DhcpMessage::BootpRequest(const MacAddress& mac,
+                                      std::uint32_t xid) {
+  DhcpMessage m;
+  m.op = 1;
+  m.transaction_id = xid;
+  m.client_mac = mac;
+  // No options: the encoder emits a plain BOOTP message without the cookie.
+  return m;
+}
+
+void DhcpMessage::Encode(ByteWriter& w) const {
+  w.WriteU8(op);
+  w.WriteU8(1);  // htype: Ethernet
+  w.WriteU8(6);  // hlen
+  w.WriteU8(0);  // hops
+  w.WriteU32(transaction_id);
+  w.WriteU16(seconds);
+  w.WriteU16(flags);
+  w.WriteU32(client_ip.value());
+  w.WriteU32(your_ip.value());
+  w.WriteU32(server_ip.value());
+  w.WriteU32(gateway_ip.value());
+  w.WriteBytes(client_mac.octets());
+  w.WriteZeros(10);   // chaddr padding
+  w.WriteZeros(64);   // sname
+  w.WriteZeros(128);  // file
+  if (!options.empty()) {
+    w.WriteU32(kMagicCookie);
+    for (const auto& opt : options) {
+      w.WriteU8(opt.code);
+      w.WriteU8(static_cast<std::uint8_t>(opt.data.size()));
+      w.WriteBytes(opt.data);
+    }
+    w.WriteU8(kOptEnd);
+  }
+}
+
+DhcpMessage DhcpMessage::Decode(ByteReader& r) {
+  DhcpMessage m;
+  m.op = r.ReadU8();
+  const std::uint8_t htype = r.ReadU8();
+  const std::uint8_t hlen = r.ReadU8();
+  if (htype != 1 || hlen != 6) throw CodecError("unsupported DHCP hardware");
+  r.ReadU8();  // hops
+  m.transaction_id = r.ReadU32();
+  m.seconds = r.ReadU16();
+  m.flags = r.ReadU16();
+  m.client_ip = Ipv4Address(r.ReadU32());
+  m.your_ip = Ipv4Address(r.ReadU32());
+  m.server_ip = Ipv4Address(r.ReadU32());
+  m.gateway_ip = Ipv4Address(r.ReadU32());
+  auto mac = r.ReadBytes(6);
+  std::array<std::uint8_t, 6> a{};
+  std::copy(mac.begin(), mac.end(), a.begin());
+  m.client_mac = MacAddress(a);
+  r.Skip(10 + 64 + 128);
+  if (r.remaining() >= 4) {
+    const std::uint32_t cookie = r.ReadU32();
+    if (cookie != kMagicCookie) throw CodecError("bad DHCP magic cookie");
+    while (r.remaining() > 0) {
+      const std::uint8_t code = r.ReadU8();
+      if (code == kOptEnd) break;
+      if (code == 0) continue;  // pad
+      const std::uint8_t len = r.ReadU8();
+      auto data = r.ReadBytes(len);
+      m.options.push_back(
+          DhcpOption{code, std::vector<std::uint8_t>(data.begin(), data.end())});
+    }
+  }
+  return m;
+}
+
+}  // namespace sentinel::net

@@ -1,0 +1,67 @@
+// DHCP / BOOTP codec (RFC 2131). IoT devices run the full
+// DISCOVER/OFFER/REQUEST/ACK exchange during setup; some older stacks send
+// plain BOOTP (no option 53), which Table I counts as a separate feature.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+enum class DhcpMessageType : std::uint8_t {
+  kDiscover = 1,
+  kOffer = 2,
+  kRequest = 3,
+  kDecline = 4,
+  kAck = 5,
+  kNak = 6,
+  kRelease = 7,
+  kInform = 8,
+};
+
+struct DhcpOption {
+  std::uint8_t code = 0;
+  std::vector<std::uint8_t> data;
+};
+
+struct DhcpMessage {
+  std::uint8_t op = 1;  // 1 = BOOTREQUEST, 2 = BOOTREPLY
+  std::uint32_t transaction_id = 0;
+  std::uint16_t seconds = 0;
+  std::uint16_t flags = 0;  // 0x8000 = broadcast
+  Ipv4Address client_ip;    // ciaddr
+  Ipv4Address your_ip;      // yiaddr
+  Ipv4Address server_ip;    // siaddr
+  Ipv4Address gateway_ip;   // giaddr
+  MacAddress client_mac;    // chaddr
+  /// Options after the magic cookie. Plain BOOTP messages have none.
+  std::vector<DhcpOption> options;
+
+  /// Message type from option 53, or nullopt for plain BOOTP.
+  [[nodiscard]] std::optional<DhcpMessageType> MessageType() const;
+  /// True when the message carries the DHCP magic cookie + options.
+  [[nodiscard]] bool IsDhcp() const { return !options.empty(); }
+
+  static DhcpMessage Discover(const MacAddress& mac, std::uint32_t xid,
+                              const std::string& hostname,
+                              const std::vector<std::uint8_t>& param_request);
+  static DhcpMessage Request(const MacAddress& mac, std::uint32_t xid,
+                             Ipv4Address requested, Ipv4Address server,
+                             const std::string& hostname);
+  static DhcpMessage Offer(const DhcpMessage& discover, Ipv4Address offered,
+                           Ipv4Address server);
+  static DhcpMessage Ack(const DhcpMessage& request, Ipv4Address assigned,
+                         Ipv4Address server);
+  /// Legacy BOOTP request (no options); a few hub devices emit these.
+  static DhcpMessage BootpRequest(const MacAddress& mac, std::uint32_t xid);
+
+  void Encode(ByteWriter& w) const;
+  static DhcpMessage Decode(ByteReader& r);
+};
+
+}  // namespace sentinel::net

@@ -1,0 +1,177 @@
+#include "net/dns.h"
+
+namespace sentinel::net {
+
+namespace {
+
+void EncodeRecord(ByteWriter& w, const DnsRecord& rec) {
+  EncodeDnsName(w, rec.name);
+  w.WriteU16(static_cast<std::uint16_t>(rec.type));
+  w.WriteU16(rec.klass);
+  w.WriteU32(rec.ttl);
+  w.WriteU16(static_cast<std::uint16_t>(rec.rdata.size()));
+  w.WriteBytes(rec.rdata);
+}
+
+DnsRecord DecodeRecord(ByteReader& r, std::span<const std::uint8_t> full) {
+  DnsRecord rec;
+  rec.name = DecodeDnsName(r, full);
+  rec.type = static_cast<DnsType>(r.ReadU16());
+  rec.klass = r.ReadU16();
+  rec.ttl = r.ReadU32();
+  const std::uint16_t rdlen = r.ReadU16();
+  auto data = r.ReadBytes(rdlen);
+  rec.rdata.assign(data.begin(), data.end());
+  return rec;
+}
+
+}  // namespace
+
+void EncodeDnsName(ByteWriter& w, const std::string& name) {
+  std::size_t start = 0;
+  while (start < name.size()) {
+    std::size_t dot = name.find('.', start);
+    if (dot == std::string::npos) dot = name.size();
+    const std::size_t len = dot - start;
+    if (len == 0 || len > 63) throw CodecError("bad DNS label length");
+    w.WriteU8(static_cast<std::uint8_t>(len));
+    w.WriteString(std::string_view(name).substr(start, len));
+    start = dot + 1;
+  }
+  w.WriteU8(0);
+}
+
+std::string DecodeDnsName(ByteReader& r, std::span<const std::uint8_t> full) {
+  std::string out;
+  int jumps = 0;
+  ByteReader* cur = &r;
+  // Storage for pointer-following readers; at most one level deep at a time,
+  // but chains are allowed up to a jump budget.
+  std::vector<ByteReader> chain;
+  chain.reserve(4);
+  while (true) {
+    const std::uint8_t len = cur->ReadU8();
+    if (len == 0) break;
+    if ((len & 0xc0) == 0xc0) {  // compression pointer
+      const std::uint16_t offset =
+          static_cast<std::uint16_t>((std::uint16_t{len} & 0x3f) << 8) |
+          cur->ReadU8();
+      if (++jumps > 8) throw CodecError("DNS compression loop");
+      if (offset >= full.size()) throw CodecError("DNS pointer out of range");
+      chain.emplace_back(full.subspan(offset));
+      cur = &chain.back();
+      continue;
+    }
+    if ((len & 0xc0) != 0) throw CodecError("bad DNS label flags");
+    auto label = cur->ReadBytes(len);
+    if (!out.empty()) out += '.';
+    out.append(label.begin(), label.end());
+  }
+  return out;
+}
+
+DnsRecord DnsRecord::A(const std::string& name, Ipv4Address ip,
+                       std::uint32_t ttl) {
+  DnsRecord rec;
+  rec.name = name;
+  rec.type = DnsType::kA;
+  rec.ttl = ttl;
+  const std::uint32_t v = ip.value();
+  rec.rdata = {static_cast<std::uint8_t>(v >> 24),
+               static_cast<std::uint8_t>(v >> 16),
+               static_cast<std::uint8_t>(v >> 8),
+               static_cast<std::uint8_t>(v)};
+  return rec;
+}
+
+DnsRecord DnsRecord::Ptr(const std::string& name, const std::string& target,
+                         std::uint32_t ttl) {
+  DnsRecord rec;
+  rec.name = name;
+  rec.type = DnsType::kPtr;
+  rec.ttl = ttl;
+  ByteWriter w;
+  EncodeDnsName(w, target);
+  rec.rdata = std::move(w).Take();
+  return rec;
+}
+
+DnsMessage DnsMessage::Query(std::uint16_t id, const std::string& name,
+                             DnsType type) {
+  DnsMessage m;
+  m.id = id;
+  m.flags = 0x0100;
+  m.questions.push_back(DnsQuestion{name, type, 1});
+  return m;
+}
+
+DnsMessage DnsMessage::Response(const DnsMessage& query,
+                                Ipv4Address answer_ip) {
+  DnsMessage m;
+  m.id = query.id;
+  m.flags = 0x8180;  // response, RD, RA
+  m.questions = query.questions;
+  if (!query.questions.empty())
+    m.answers.push_back(DnsRecord::A(query.questions.front().name, answer_ip));
+  return m;
+}
+
+DnsMessage DnsMessage::MdnsAnnounce(const std::string& instance,
+                                    const std::string& service,
+                                    Ipv4Address ip) {
+  DnsMessage m;
+  m.id = 0;
+  m.flags = 0x8400;  // response, authoritative
+  m.answers.push_back(DnsRecord::Ptr(service, instance + "." + service));
+  m.additional.push_back(DnsRecord::A(instance + ".local", ip));
+  return m;
+}
+
+DnsMessage DnsMessage::MdnsQuery(const std::string& service) {
+  DnsMessage m;
+  m.id = 0;
+  m.flags = 0x0000;
+  m.questions.push_back(DnsQuestion{service, DnsType::kPtr, 1});
+  return m;
+}
+
+void DnsMessage::Encode(ByteWriter& w) const {
+  w.WriteU16(id);
+  w.WriteU16(flags);
+  w.WriteU16(static_cast<std::uint16_t>(questions.size()));
+  w.WriteU16(static_cast<std::uint16_t>(answers.size()));
+  w.WriteU16(static_cast<std::uint16_t>(authority.size()));
+  w.WriteU16(static_cast<std::uint16_t>(additional.size()));
+  for (const auto& q : questions) {
+    EncodeDnsName(w, q.name);
+    w.WriteU16(static_cast<std::uint16_t>(q.type));
+    w.WriteU16(q.klass);
+  }
+  for (const auto& rec : answers) EncodeRecord(w, rec);
+  for (const auto& rec : authority) EncodeRecord(w, rec);
+  for (const auto& rec : additional) EncodeRecord(w, rec);
+}
+
+DnsMessage DnsMessage::Decode(ByteReader& r) {
+  const auto full = r.rest();
+  DnsMessage m;
+  m.id = r.ReadU16();
+  m.flags = r.ReadU16();
+  const std::uint16_t qd = r.ReadU16();
+  const std::uint16_t an = r.ReadU16();
+  const std::uint16_t ns = r.ReadU16();
+  const std::uint16_t ar = r.ReadU16();
+  for (int i = 0; i < qd; ++i) {
+    DnsQuestion q;
+    q.name = DecodeDnsName(r, full);
+    q.type = static_cast<DnsType>(r.ReadU16());
+    q.klass = r.ReadU16();
+    m.questions.push_back(std::move(q));
+  }
+  for (int i = 0; i < an; ++i) m.answers.push_back(DecodeRecord(r, full));
+  for (int i = 0; i < ns; ++i) m.authority.push_back(DecodeRecord(r, full));
+  for (int i = 0; i < ar; ++i) m.additional.push_back(DecodeRecord(r, full));
+  return m;
+}
+
+}  // namespace sentinel::net

@@ -1,0 +1,72 @@
+// DNS message codec (RFC 1035) with name compression on decode; also used
+// for mDNS (RFC 6762), which shares the wire format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+enum class DnsType : std::uint16_t {
+  kA = 1,
+  kPtr = 12,
+  kTxt = 16,
+  kAaaa = 28,
+  kSrv = 33,
+  kAny = 255,
+};
+
+struct DnsQuestion {
+  std::string name;  // dotted form, e.g. "time.nist.gov"
+  DnsType type = DnsType::kA;
+  std::uint16_t klass = 1;  // IN; mDNS sets the top bit for unicast-response
+};
+
+struct DnsRecord {
+  std::string name;
+  DnsType type = DnsType::kA;
+  std::uint16_t klass = 1;
+  std::uint32_t ttl = 120;
+  std::vector<std::uint8_t> rdata;
+
+  static DnsRecord A(const std::string& name, Ipv4Address ip,
+                     std::uint32_t ttl = 120);
+  static DnsRecord Ptr(const std::string& name, const std::string& target,
+                       std::uint32_t ttl = 4500);
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  std::uint16_t flags = 0x0100;  // standard query, RD
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+  std::vector<DnsRecord> authority;
+  std::vector<DnsRecord> additional;
+
+  [[nodiscard]] bool IsResponse() const { return (flags & 0x8000) != 0; }
+
+  static DnsMessage Query(std::uint16_t id, const std::string& name,
+                          DnsType type = DnsType::kA);
+  static DnsMessage Response(const DnsMessage& query, Ipv4Address answer_ip);
+  /// mDNS announcement of `instance` offering `service` (e.g.
+  /// "_hue._tcp.local"), as service-discovery capable devices send.
+  static DnsMessage MdnsAnnounce(const std::string& instance,
+                                 const std::string& service, Ipv4Address ip);
+  /// mDNS query for a service type (QU question, id 0, no RD).
+  static DnsMessage MdnsQuery(const std::string& service);
+
+  void Encode(ByteWriter& w) const;
+  static DnsMessage Decode(ByteReader& r);
+};
+
+/// Encodes a dotted name into DNS label format (no compression).
+void EncodeDnsName(ByteWriter& w, const std::string& name);
+/// Decodes a possibly-compressed name from `r`, using `full` for pointer
+/// targets.
+std::string DecodeDnsName(ByteReader& r, std::span<const std::uint8_t> full);
+
+}  // namespace sentinel::net

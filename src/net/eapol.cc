@@ -1,0 +1,34 @@
+#include "net/eapol.h"
+
+namespace sentinel::net {
+
+EapolFrame EapolFrame::KeyHandshake(int index) {
+  EapolFrame f;
+  f.type = EapolType::kKey;
+  // EAPOL-Key descriptor: 95 bytes fixed; messages 2 and 3 carry key data.
+  std::size_t body_size = 95;
+  if (index == 2) body_size += 22;   // WPA IE
+  if (index == 3) body_size += 56;   // encrypted GTK KDE
+  f.body.assign(body_size, 0);
+  if (!f.body.empty()) f.body[0] = 2;  // descriptor type: RSN
+  return f;
+}
+
+void EapolFrame::Encode(ByteWriter& w) const {
+  w.WriteU8(version);
+  w.WriteU8(static_cast<std::uint8_t>(type));
+  w.WriteU16(static_cast<std::uint16_t>(body.size()));
+  w.WriteBytes(body);
+}
+
+EapolFrame EapolFrame::Decode(ByteReader& r) {
+  EapolFrame f;
+  f.version = r.ReadU8();
+  f.type = static_cast<EapolType>(r.ReadU8());
+  const std::uint16_t len = r.ReadU16();
+  auto body = r.ReadBytes(len);
+  f.body.assign(body.begin(), body.end());
+  return f;
+}
+
+}  // namespace sentinel::net

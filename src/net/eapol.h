@@ -1,0 +1,32 @@
+// EAPoL (IEEE 802.1X) codec — the 4-way WPA2 key handshake frames visible
+// when a device authenticates to the gateway's WiFi interface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+enum class EapolType : std::uint8_t {
+  kEapPacket = 0,
+  kStart = 1,
+  kLogoff = 2,
+  kKey = 3,
+};
+
+struct EapolFrame {
+  std::uint8_t version = 2;  // 802.1X-2004
+  EapolType type = EapolType::kKey;
+  std::vector<std::uint8_t> body;
+
+  /// Message `index` (1-4) of a WPA2 4-way handshake with a realistic body
+  /// size (95-byte key frame + optional key data).
+  static EapolFrame KeyHandshake(int index);
+
+  void Encode(ByteWriter& w) const;
+  static EapolFrame Decode(ByteReader& r);
+};
+
+}  // namespace sentinel::net

@@ -1,0 +1,38 @@
+#include "net/ethernet.h"
+
+namespace sentinel::net {
+
+void EthernetHeader::Encode(ByteWriter& w) const {
+  w.WriteBytes(dst.octets());
+  w.WriteBytes(src.octets());
+  w.WriteU16(ether_type);
+}
+
+EthernetHeader EthernetHeader::Decode(ByteReader& r) {
+  EthernetHeader h;
+  auto dst = r.ReadBytes(6);
+  auto src = r.ReadBytes(6);
+  std::array<std::uint8_t, 6> d{}, s{};
+  std::copy(dst.begin(), dst.end(), d.begin());
+  std::copy(src.begin(), src.end(), s.begin());
+  h.dst = MacAddress(d);
+  h.src = MacAddress(s);
+  h.ether_type = r.ReadU16();
+  return h;
+}
+
+void LlcHeader::Encode(ByteWriter& w) const {
+  w.WriteU8(dsap);
+  w.WriteU8(ssap);
+  w.WriteU8(control);
+}
+
+LlcHeader LlcHeader::Decode(ByteReader& r) {
+  LlcHeader h;
+  h.dsap = r.ReadU8();
+  h.ssap = r.ReadU8();
+  h.control = r.ReadU8();
+  return h;
+}
+
+}  // namespace sentinel::net

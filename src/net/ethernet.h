@@ -1,0 +1,42 @@
+// Ethernet II and IEEE 802.3/LLC framing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/address.h"
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+/// Ethernet II header (dst, src, ethertype). For IEEE 802.3 frames the
+/// type field instead carries the payload length (<= 1500) and an LLC
+/// header follows; see LlcHeader.
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = 0;  // or length if <= 1500
+
+  static constexpr std::size_t kSize = 14;
+  /// True when the type/length field is an IEEE 802.3 length, meaning an
+  /// LLC header follows instead of an Ethernet II payload.
+  [[nodiscard]] bool IsLengthField() const { return ether_type <= 1500; }
+
+  void Encode(ByteWriter& w) const;
+  static EthernetHeader Decode(ByteReader& r);
+};
+
+/// IEEE 802.2 LLC header (DSAP/SSAP/control), as emitted by some IoT hubs
+/// (e.g. spanning-tree or vendor discovery frames).
+struct LlcHeader {
+  std::uint8_t dsap = 0x42;
+  std::uint8_t ssap = 0x42;
+  std::uint8_t control = 0x03;
+
+  static constexpr std::size_t kSize = 3;
+
+  void Encode(ByteWriter& w) const;
+  static LlcHeader Decode(ByteReader& r);
+};
+
+}  // namespace sentinel::net

@@ -1,0 +1,320 @@
+#include "net/frame.h"
+
+namespace sentinel::net {
+
+namespace {
+
+bool PortIs(const ParsedPacket& p, std::uint16_t port) {
+  return (p.src_port && *p.src_port == port) ||
+         (p.dst_port && *p.dst_port == port);
+}
+
+// Application-protocol attribution by well-known port, mirroring what a
+// passive monitor (and the paper's scapy-based extractor) can infer without
+// payload inspection. DHCP additionally requires the magic cookie, which
+// distinguishes it from plain BOOTP.
+void ClassifyApplication(ParsedPacket& p,
+                         std::span<const std::uint8_t> transport_payload,
+                         bool is_tcp) {
+  bool recognized = false;
+  if (!is_tcp) {
+    if (PortIs(p, kPortDhcpServer) || PortIs(p, kPortDhcpClient)) {
+      p.protocols.Set(Protocol::kBootp);
+      recognized = true;
+      // DHCP proper: BOOTP body (236 bytes) followed by the magic cookie.
+      if (transport_payload.size() >= 240 && transport_payload[236] == 0x63 &&
+          transport_payload[237] == 0x82 && transport_payload[238] == 0x53 &&
+          transport_payload[239] == 0x63) {
+        p.protocols.Set(Protocol::kDhcp);
+      }
+    } else if (PortIs(p, kPortDns)) {
+      p.protocols.Set(Protocol::kDns);
+      recognized = true;
+    } else if (PortIs(p, kPortMdns)) {
+      p.protocols.Set(Protocol::kMdns);
+      recognized = true;
+    } else if (PortIs(p, kPortSsdp)) {
+      p.protocols.Set(Protocol::kSsdp);
+      recognized = true;
+    } else if (PortIs(p, kPortNtp)) {
+      p.protocols.Set(Protocol::kNtp);
+      recognized = true;
+    }
+  } else {
+    if (PortIs(p, kPortHttp) || PortIs(p, kPortHttpAlt)) {
+      p.protocols.Set(Protocol::kHttp);
+    } else if (PortIs(p, kPortHttps) || PortIs(p, kPortHttpsAlt)) {
+      p.protocols.Set(Protocol::kHttps);
+    }
+    // HTTP bodies and TLS records are opaque to the monitor: any non-empty
+    // TCP payload counts as raw data.
+  }
+  if (!transport_payload.empty() && !recognized) p.has_raw_data = true;
+}
+
+void ParseIpv4(ParsedPacket& p, ByteReader& r) {
+  std::size_t payload_len = 0;
+  const Ipv4Header ip = Ipv4Header::Decode(r, payload_len);
+  p.protocols.Set(Protocol::kIp);
+  p.src_ip = IpAddress(ip.src);
+  p.dst_ip = IpAddress(ip.dst);
+  p.ip_opt_padding = ip.options.padding;
+  p.ip_opt_router_alert = ip.options.router_alert;
+  if (payload_len > r.remaining()) throw CodecError("IPv4 payload truncated");
+
+  switch (ip.protocol) {
+    case kIpProtoIcmp: {
+      p.protocols.Set(Protocol::kIcmp);
+      const IcmpMessage icmp = IcmpMessage::Decode(r, payload_len);
+      if (!icmp.payload.empty()) p.has_raw_data = true;
+      break;
+    }
+    case kIpProtoUdp: {
+      p.protocols.Set(Protocol::kUdp);
+      const UdpDatagram udp = UdpDatagram::Decode(r);
+      p.src_port = udp.src_port;
+      p.dst_port = udp.dst_port;
+      ClassifyApplication(p, udp.payload, /*is_tcp=*/false);
+      break;
+    }
+    case kIpProtoTcp: {
+      p.protocols.Set(Protocol::kTcp);
+      const TcpSegment tcp = TcpSegment::Decode(r, payload_len);
+      p.src_port = tcp.src_port;
+      p.dst_port = tcp.dst_port;
+      ClassifyApplication(p, tcp.payload, /*is_tcp=*/true);
+      break;
+    }
+    case kIpProtoIgmp: {
+      // IGMP is not one of Table I's application protocols, but it is a
+      // recognized header (no raw data) and carries the router-alert IP
+      // option the fingerprint does track.
+      IgmpMessage::Decode(r);
+      break;
+    }
+    default:
+      if (payload_len > 0) p.has_raw_data = true;
+      break;
+  }
+}
+
+void ParseIpv6(ParsedPacket& p, ByteReader& r) {
+  std::size_t payload_len = 0;
+  const Ipv6Header ip = Ipv6Header::Decode(r, payload_len);
+  p.protocols.Set(Protocol::kIp);
+  p.src_ip = IpAddress(ip.src);
+  p.dst_ip = IpAddress(ip.dst);
+  if (payload_len > r.remaining()) throw CodecError("IPv6 payload truncated");
+
+  switch (ip.next_header) {
+    case kIpProtoIcmpv6: {
+      p.protocols.Set(Protocol::kIcmpv6);
+      Icmpv6Message::Decode(r, payload_len);
+      break;
+    }
+    case kIpProtoUdp: {
+      p.protocols.Set(Protocol::kUdp);
+      const UdpDatagram udp = UdpDatagram::Decode(r);
+      p.src_port = udp.src_port;
+      p.dst_port = udp.dst_port;
+      ClassifyApplication(p, udp.payload, /*is_tcp=*/false);
+      break;
+    }
+    case kIpProtoTcp: {
+      p.protocols.Set(Protocol::kTcp);
+      const TcpSegment tcp = TcpSegment::Decode(r, payload_len);
+      p.src_port = tcp.src_port;
+      p.dst_port = tcp.dst_port;
+      ClassifyApplication(p, tcp.payload, /*is_tcp=*/true);
+      break;
+    }
+    default:
+      if (payload_len > 0) p.has_raw_data = true;
+      break;
+  }
+}
+
+}  // namespace
+
+ParsedPacket ParseFrame(const Frame& frame) {
+  ByteReader r(frame.bytes);
+  const EthernetHeader eth = EthernetHeader::Decode(r);
+
+  ParsedPacket p;
+  p.timestamp_ns = frame.timestamp_ns;
+  p.src_mac = eth.src;
+  p.dst_mac = eth.dst;
+  p.size_bytes = static_cast<std::uint32_t>(frame.bytes.size());
+
+  if (eth.IsLengthField()) {
+    p.protocols.Set(Protocol::kLlc);
+    LlcHeader::Decode(r);
+    if (r.remaining() > 0) p.has_raw_data = true;
+    return p;
+  }
+
+  switch (eth.ether_type) {
+    case kEtherTypeArp:
+      p.protocols.Set(Protocol::kArp);
+      ArpPacket::Decode(r);
+      break;
+    case kEtherTypeEapol:
+      p.protocols.Set(Protocol::kEapol);
+      EapolFrame::Decode(r);
+      break;
+    case kEtherTypeIpv4:
+      ParseIpv4(p, r);
+      break;
+    case kEtherTypeIpv6:
+      ParseIpv6(p, r);
+      break;
+    default:
+      // Unknown ethertype: visible but unattributable payload.
+      if (r.remaining() > 0) p.has_raw_data = true;
+      break;
+  }
+  return p;
+}
+
+namespace {
+
+Frame Finish(std::uint64_t ts_ns, ByteWriter&& w) {
+  Frame f;
+  f.timestamp_ns = ts_ns;
+  f.bytes = std::move(w).Take();
+  return f;
+}
+
+ByteWriter StartEthernet(const MacAddress& src, const MacAddress& dst,
+                         std::uint16_t ether_type) {
+  ByteWriter w(128);
+  EthernetHeader{dst, src, ether_type}.Encode(w);
+  return w;
+}
+
+}  // namespace
+
+Frame BuildArpFrame(std::uint64_t ts_ns, const MacAddress& src,
+                    const MacAddress& dst, const ArpPacket& arp) {
+  ByteWriter w = StartEthernet(src, dst, kEtherTypeArp);
+  arp.Encode(w);
+  return Finish(ts_ns, std::move(w));
+}
+
+Frame BuildEapolFrame(std::uint64_t ts_ns, const MacAddress& src,
+                      const MacAddress& dst, const EapolFrame& eapol) {
+  ByteWriter w = StartEthernet(src, dst, kEtherTypeEapol);
+  eapol.Encode(w);
+  return Finish(ts_ns, std::move(w));
+}
+
+Frame BuildLlcFrame(std::uint64_t ts_ns, const MacAddress& src,
+                    const MacAddress& dst, std::size_t payload_size) {
+  const std::uint16_t length =
+      static_cast<std::uint16_t>(LlcHeader::kSize + payload_size);
+  ByteWriter w = StartEthernet(src, dst, length);
+  LlcHeader{}.Encode(w);
+  w.WriteZeros(payload_size);
+  return Finish(ts_ns, std::move(w));
+}
+
+namespace {
+
+Frame BuildIpv4Frame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                     const MacAddress& dst_mac, Ipv4Address src_ip,
+                     Ipv4Address dst_ip, std::uint8_t protocol,
+                     const Ipv4Meta& meta,
+                     std::span<const std::uint8_t> payload) {
+  ByteWriter w = StartEthernet(src_mac, dst_mac, kEtherTypeIpv4);
+  Ipv4Header ip;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.protocol = protocol;
+  ip.ttl = meta.ttl;
+  ip.identification = meta.identification;
+  ip.options = meta.options;
+  ip.Encode(w, payload);
+  return Finish(ts_ns, std::move(w));
+}
+
+}  // namespace
+
+Frame BuildUdp4Frame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                     const MacAddress& dst_mac, Ipv4Address src_ip,
+                     Ipv4Address dst_ip, const UdpDatagram& udp,
+                     const Ipv4Meta& meta) {
+  ByteWriter payload;
+  udp.Encode(payload, src_ip, dst_ip);
+  return BuildIpv4Frame(ts_ns, src_mac, dst_mac, src_ip, dst_ip, kIpProtoUdp,
+                        meta, payload.bytes());
+}
+
+Frame BuildTcp4Frame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                     const MacAddress& dst_mac, Ipv4Address src_ip,
+                     Ipv4Address dst_ip, const TcpSegment& tcp,
+                     const Ipv4Meta& meta) {
+  ByteWriter payload;
+  tcp.Encode(payload, src_ip, dst_ip);
+  return BuildIpv4Frame(ts_ns, src_mac, dst_mac, src_ip, dst_ip, kIpProtoTcp,
+                        meta, payload.bytes());
+}
+
+Frame BuildIcmp4Frame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                      const MacAddress& dst_mac, Ipv4Address src_ip,
+                      Ipv4Address dst_ip, const IcmpMessage& icmp,
+                      const Ipv4Meta& meta) {
+  ByteWriter payload;
+  icmp.Encode(payload);
+  return BuildIpv4Frame(ts_ns, src_mac, dst_mac, src_ip, dst_ip, kIpProtoIcmp,
+                        meta, payload.bytes());
+}
+
+MacAddress MulticastMacFor(Ipv4Address group) {
+  const std::uint32_t v = group.value();
+  return MacAddress({0x01, 0x00, 0x5e,
+                     static_cast<std::uint8_t>((v >> 16) & 0x7f),
+                     static_cast<std::uint8_t>(v >> 8),
+                     static_cast<std::uint8_t>(v)});
+}
+
+Frame BuildIgmpFrame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                     Ipv4Address src_ip, const IgmpMessage& igmp) {
+  ByteWriter payload;
+  igmp.Encode(payload);
+  Ipv4Meta meta;
+  meta.ttl = 1;
+  meta.options.router_alert = true;
+  return BuildIpv4Frame(ts_ns, src_mac, MulticastMacFor(igmp.group), src_ip,
+                        igmp.group, kIpProtoIgmp, meta, payload.bytes());
+}
+
+Frame BuildIcmpv6Frame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                       const MacAddress& dst_mac, const Ipv6Address& src_ip,
+                       const Ipv6Address& dst_ip, const Icmpv6Message& msg) {
+  ByteWriter payload;
+  msg.Encode(payload, src_ip, dst_ip);
+  ByteWriter w = StartEthernet(src_mac, dst_mac, kEtherTypeIpv6);
+  Ipv6Header ip;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.next_header = kIpProtoIcmpv6;
+  ip.Encode(w, payload.bytes());
+  return Finish(ts_ns, std::move(w));
+}
+
+Frame BuildUdp6Frame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                     const MacAddress& dst_mac, const Ipv6Address& src_ip,
+                     const Ipv6Address& dst_ip, const UdpDatagram& udp) {
+  ByteWriter payload;
+  udp.EncodeNoChecksum(payload);
+  ByteWriter w = StartEthernet(src_mac, dst_mac, kEtherTypeIpv6);
+  Ipv6Header ip;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.next_header = kIpProtoUdp;
+  ip.hop_limit = 255;
+  ip.Encode(w, payload.bytes());
+  return Finish(ts_ns, std::move(w));
+}
+
+}  // namespace sentinel::net

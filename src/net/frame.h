@@ -1,0 +1,120 @@
+// Full-stack frame construction and parsing.
+//
+// A Frame is the raw on-the-wire byte image of one Ethernet frame plus its
+// capture timestamp — exactly what tcpdump/libpcap would hand the Security
+// Gateway. ParseFrame() decodes the protocol stack and produces a
+// ParsedPacket summary carrying everything the Table I feature extractor
+// needs (protocol flags, IP options, addresses, ports, size, raw-data flag).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/address.h"
+#include "net/arp.h"
+#include "net/dhcp.h"
+#include "net/dns.h"
+#include "net/eapol.h"
+#include "net/ethernet.h"
+#include "net/http.h"
+#include "net/icmp.h"
+#include "net/igmp.h"
+#include "net/ipv4.h"
+#include "net/ipv6.h"
+#include "net/ntp.h"
+#include "net/protocols.h"
+#include "net/ssdp.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+
+namespace sentinel::net {
+
+/// One captured Ethernet frame: wire bytes + capture timestamp.
+struct Frame {
+  std::uint64_t timestamp_ns = 0;
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] std::size_t size() const { return bytes.size(); }
+};
+
+/// Protocol-stack summary of a frame, sufficient for fingerprinting
+/// (payloads are deliberately not retained beyond the raw-data flag, so the
+/// pipeline works identically on encrypted traffic).
+struct ParsedPacket {
+  std::uint64_t timestamp_ns = 0;
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  ProtocolSet protocols;
+  std::optional<IpAddress> src_ip;
+  std::optional<IpAddress> dst_ip;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+  bool ip_opt_padding = false;
+  bool ip_opt_router_alert = false;
+  std::uint32_t size_bytes = 0;
+  /// Unparsed payload above the recognized headers (HTTP bodies, TLS
+  /// records, vendor-proprietary UDP — anything a passive monitor cannot
+  /// attribute to a known application protocol).
+  bool has_raw_data = false;
+};
+
+/// Parses the protocol stack of `frame`. Throws CodecError on frames too
+/// malformed to attribute to a source MAC; tolerates unknown upper layers
+/// (they simply set has_raw_data).
+ParsedPacket ParseFrame(const Frame& frame);
+
+// ---- Builders -------------------------------------------------------------
+// Each builder returns a complete, checksummed wire frame. Builders are
+// used both by the device-behaviour simulator and by tests.
+
+Frame BuildArpFrame(std::uint64_t ts_ns, const MacAddress& src,
+                    const MacAddress& dst, const ArpPacket& arp);
+
+Frame BuildEapolFrame(std::uint64_t ts_ns, const MacAddress& src,
+                      const MacAddress& dst, const EapolFrame& eapol);
+
+/// IEEE 802.3 + LLC frame with `payload_size` opaque payload bytes.
+Frame BuildLlcFrame(std::uint64_t ts_ns, const MacAddress& src,
+                    const MacAddress& dst, std::size_t payload_size);
+
+struct Ipv4Meta {
+  std::uint8_t ttl = 64;
+  std::uint16_t identification = 0;
+  Ipv4Options options;
+};
+
+Frame BuildUdp4Frame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                     const MacAddress& dst_mac, Ipv4Address src_ip,
+                     Ipv4Address dst_ip, const UdpDatagram& udp,
+                     const Ipv4Meta& meta = {});
+
+Frame BuildTcp4Frame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                     const MacAddress& dst_mac, Ipv4Address src_ip,
+                     Ipv4Address dst_ip, const TcpSegment& tcp,
+                     const Ipv4Meta& meta = {});
+
+Frame BuildIcmp4Frame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                      const MacAddress& dst_mac, Ipv4Address src_ip,
+                      Ipv4Address dst_ip, const IcmpMessage& icmp,
+                      const Ipv4Meta& meta = {});
+
+/// IGMP membership report/leave for `group`, addressed to the group's
+/// multicast MAC, TTL 1, with the Router Alert IP option set (RFC 2236).
+Frame BuildIgmpFrame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                     Ipv4Address src_ip, const IgmpMessage& igmp);
+
+/// Multicast MAC address for an IPv4 multicast group (01:00:5e + low 23
+/// bits of the group address).
+MacAddress MulticastMacFor(Ipv4Address group);
+
+Frame BuildIcmpv6Frame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                       const MacAddress& dst_mac, const Ipv6Address& src_ip,
+                       const Ipv6Address& dst_ip, const Icmpv6Message& msg);
+
+/// UDP over IPv6 (mDNS over v6 and similar).
+Frame BuildUdp6Frame(std::uint64_t ts_ns, const MacAddress& src_mac,
+                     const MacAddress& dst_mac, const Ipv6Address& src_ip,
+                     const Ipv6Address& dst_ip, const UdpDatagram& udp);
+
+}  // namespace sentinel::net

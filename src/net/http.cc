@@ -1,0 +1,139 @@
+#include "net/http.h"
+
+namespace sentinel::net {
+
+HttpMessage HttpMessage::Get(const std::string& path, const std::string& host,
+                             const std::string& user_agent) {
+  HttpMessage m;
+  m.start_line = "GET " + path + " HTTP/1.1";
+  m.headers = {{"Host", host},
+               {"User-Agent", user_agent},
+               {"Accept", "*/*"},
+               {"Connection", "keep-alive"}};
+  return m;
+}
+
+HttpMessage HttpMessage::Post(const std::string& path, const std::string& host,
+                              const std::string& user_agent,
+                              std::size_t body_size) {
+  HttpMessage m;
+  m.start_line = "POST " + path + " HTTP/1.1";
+  m.body.assign(body_size, std::uint8_t{'x'});
+  m.headers = {{"Host", host},
+               {"User-Agent", user_agent},
+               {"Content-Type", "application/json"},
+               {"Content-Length", std::to_string(body_size)}};
+  return m;
+}
+
+HttpMessage HttpMessage::Ok(std::size_t body_size) {
+  HttpMessage m;
+  m.start_line = "HTTP/1.1 200 OK";
+  m.body.assign(body_size, std::uint8_t{'y'});
+  m.headers = {{"Content-Type", "application/json"},
+               {"Content-Length", std::to_string(body_size)}};
+  return m;
+}
+
+void HttpMessage::Encode(ByteWriter& w) const {
+  w.WriteString(start_line);
+  w.WriteString("\r\n");
+  for (const auto& [name, value] : headers) {
+    w.WriteString(name);
+    w.WriteString(": ");
+    w.WriteString(value);
+    w.WriteString("\r\n");
+  }
+  w.WriteString("\r\n");
+  w.WriteBytes(body);
+}
+
+HttpMessage HttpMessage::Decode(ByteReader& r) {
+  auto bytes = r.ReadBytes(r.remaining());
+  const std::string text(bytes.begin(), bytes.end());
+  HttpMessage m;
+  std::size_t pos = text.find("\r\n");
+  if (pos == std::string::npos) throw CodecError("HTTP: missing start line");
+  m.start_line = text.substr(0, pos);
+  pos += 2;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find("\r\n", pos);
+    if (eol == std::string::npos) throw CodecError("HTTP: unterminated header");
+    if (eol == pos) {  // blank line: body follows
+      pos = eol + 2;
+      m.body.assign(text.begin() + static_cast<std::ptrdiff_t>(pos),
+                    text.end());
+      return m;
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) throw CodecError("HTTP: bad header");
+    std::size_t vstart = colon + 1;
+    while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+    m.headers.emplace_back(line.substr(0, colon), line.substr(vstart));
+    pos = eol + 2;
+  }
+  return m;
+}
+
+TlsRecord TlsRecord::ClientHello(const std::string& sni_hostname) {
+  TlsRecord rec;
+  rec.content_type = TlsContentType::kHandshake;
+  // Handshake header (type=1 ClientHello) + plausible hello body with the
+  // SNI hostname embedded so record sizes track endpoint names, as real
+  // ClientHellos do.
+  ByteWriter body;
+  body.WriteU8(1);  // ClientHello
+  const std::size_t fixed = 2 + 32 + 1 + 32 + 2 + 16 + 2 + 9 + sni_hostname.size();
+  body.WriteU8(0);
+  body.WriteU16(static_cast<std::uint16_t>(fixed));
+  body.WriteU16(0x0303);   // client version
+  body.WriteZeros(32);     // random
+  body.WriteU8(32);        // session id length
+  body.WriteZeros(32);
+  body.WriteU16(16);       // cipher suites length
+  body.WriteZeros(16);
+  body.WriteU16(0x0100);   // compression
+  body.WriteU16(0);        // extension type: server_name
+  body.WriteU16(static_cast<std::uint16_t>(sni_hostname.size() + 5));
+  body.WriteU16(static_cast<std::uint16_t>(sni_hostname.size() + 3));
+  body.WriteU8(0);  // host_name
+  body.WriteU16(static_cast<std::uint16_t>(sni_hostname.size()));
+  body.WriteString(sni_hostname);
+  rec.fragment = std::move(body).Take();
+  return rec;
+}
+
+TlsRecord TlsRecord::ServerHello() {
+  TlsRecord rec;
+  rec.content_type = TlsContentType::kHandshake;
+  rec.fragment.assign(90, 0);
+  rec.fragment[0] = 2;  // ServerHello
+  return rec;
+}
+
+TlsRecord TlsRecord::ApplicationData(std::size_t size) {
+  TlsRecord rec;
+  rec.content_type = TlsContentType::kApplicationData;
+  rec.fragment.assign(size, 0xaa);
+  return rec;
+}
+
+void TlsRecord::Encode(ByteWriter& w) const {
+  w.WriteU8(static_cast<std::uint8_t>(content_type));
+  w.WriteU16(version);
+  w.WriteU16(static_cast<std::uint16_t>(fragment.size()));
+  w.WriteBytes(fragment);
+}
+
+TlsRecord TlsRecord::Decode(ByteReader& r) {
+  TlsRecord rec;
+  rec.content_type = static_cast<TlsContentType>(r.ReadU8());
+  rec.version = r.ReadU16();
+  const std::uint16_t len = r.ReadU16();
+  auto frag = r.ReadBytes(len);
+  rec.fragment.assign(frag.begin(), frag.end());
+  return rec;
+}
+
+}  // namespace sentinel::net

@@ -1,0 +1,58 @@
+// HTTP/1.1 request/response text codec and a minimal TLS record header
+// builder for HTTPS traffic. The fingerprinter never reads payloads, but
+// realistic byte-level traffic needs plausible message bodies and sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+struct HttpMessage {
+  /// "GET /setup HTTP/1.1" or "HTTP/1.1 200 OK".
+  std::string start_line;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::vector<std::uint8_t> body;
+
+  static HttpMessage Get(const std::string& path, const std::string& host,
+                         const std::string& user_agent);
+  static HttpMessage Post(const std::string& path, const std::string& host,
+                          const std::string& user_agent,
+                          std::size_t body_size);
+  static HttpMessage Ok(std::size_t body_size);
+
+  [[nodiscard]] bool IsRequest() const {
+    return start_line.rfind("HTTP/", 0) != 0;
+  }
+
+  void Encode(ByteWriter& w) const;
+  static HttpMessage Decode(ByteReader& r);
+};
+
+/// TLS record content types.
+enum class TlsContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+/// One TLS record (header + opaque fragment). Enough structure to emit a
+/// realistic-looking ClientHello/ServerHello/AppData exchange on port 443.
+struct TlsRecord {
+  TlsContentType content_type = TlsContentType::kHandshake;
+  std::uint16_t version = 0x0303;  // TLS 1.2
+  std::vector<std::uint8_t> fragment;
+
+  static TlsRecord ClientHello(const std::string& sni_hostname);
+  static TlsRecord ServerHello();
+  static TlsRecord ApplicationData(std::size_t size);
+
+  void Encode(ByteWriter& w) const;
+  static TlsRecord Decode(ByteReader& r);
+};
+
+}  // namespace sentinel::net

@@ -1,0 +1,113 @@
+#include "net/icmp.h"
+
+#include "net/checksum.h"
+#include "net/protocols.h"
+
+namespace sentinel::net {
+
+IcmpMessage IcmpMessage::EchoRequest(std::uint16_t id, std::uint16_t seq,
+                                     std::size_t payload_size) {
+  IcmpMessage m;
+  m.type = 8;
+  m.identifier = id;
+  m.sequence = seq;
+  m.payload.resize(payload_size);
+  for (std::size_t i = 0; i < payload_size; ++i)
+    m.payload[i] = static_cast<std::uint8_t>(i);
+  return m;
+}
+
+IcmpMessage IcmpMessage::EchoReply(const IcmpMessage& request) {
+  IcmpMessage m = request;
+  m.type = 0;
+  return m;
+}
+
+void IcmpMessage::Encode(ByteWriter& w) const {
+  const std::size_t start = w.size();
+  w.WriteU8(type);
+  w.WriteU8(code);
+  w.WriteU16(0);  // checksum placeholder
+  w.WriteU16(identifier);
+  w.WriteU16(sequence);
+  w.WriteBytes(payload);
+  w.PatchU16(start + 2, Checksum(w.bytes().subspan(start)));
+}
+
+IcmpMessage IcmpMessage::Decode(ByteReader& r, std::size_t length) {
+  if (length < 8) throw CodecError("ICMP message too short");
+  IcmpMessage m;
+  m.type = r.ReadU8();
+  m.code = r.ReadU8();
+  r.ReadU16();  // checksum
+  m.identifier = r.ReadU16();
+  m.sequence = r.ReadU16();
+  auto rest = r.ReadBytes(length - 8);
+  m.payload.assign(rest.begin(), rest.end());
+  return m;
+}
+
+Icmpv6Message Icmpv6Message::RouterSolicitation(const MacAddress& source_mac) {
+  Icmpv6Message m;
+  m.type = Icmpv6Type::kRouterSolicitation;
+  m.body.assign(4, 0);  // reserved
+  // Source link-layer address option (type 1, length 1).
+  m.body.push_back(1);
+  m.body.push_back(1);
+  const auto& o = source_mac.octets();
+  m.body.insert(m.body.end(), o.begin(), o.end());
+  return m;
+}
+
+Icmpv6Message Icmpv6Message::NeighborSolicitation(const Ipv6Address& target,
+                                                  const MacAddress& source_mac) {
+  Icmpv6Message m;
+  m.type = Icmpv6Type::kNeighborSolicitation;
+  m.body.assign(4, 0);  // reserved
+  m.body.insert(m.body.end(), target.bytes().begin(), target.bytes().end());
+  m.body.push_back(1);  // source link-layer option
+  m.body.push_back(1);
+  const auto& o = source_mac.octets();
+  m.body.insert(m.body.end(), o.begin(), o.end());
+  return m;
+}
+
+Icmpv6Message Icmpv6Message::Mldv2Report() {
+  Icmpv6Message m;
+  m.type = Icmpv6Type::kMldv2Report;
+  // Reserved (2) + number of records (2) = 0: empty report is enough for
+  // fingerprinting, which never inspects the body.
+  m.body.assign(4, 0);
+  return m;
+}
+
+void Icmpv6Message::Encode(ByteWriter& w, const Ipv6Address& src,
+                           const Ipv6Address& dst) const {
+  const std::size_t start = w.size();
+  w.WriteU8(static_cast<std::uint8_t>(type));
+  w.WriteU8(code);
+  w.WriteU16(0);  // checksum placeholder
+  w.WriteBytes(body);
+
+  InternetChecksum sum;
+  sum.Add(src.bytes());
+  sum.Add(dst.bytes());
+  const std::uint32_t length = static_cast<std::uint32_t>(4 + body.size());
+  sum.AddU32(length);
+  sum.AddU32(kIpProtoIcmpv6);
+  sum.Add(w.bytes().subspan(start));
+  w.PatchU16(start + 2, sum.Finalize());
+}
+
+Icmpv6Message Icmpv6Message::Decode(ByteReader& r, std::size_t length) {
+  if (length < 4) throw CodecError("ICMPv6 message too short");
+  Icmpv6Message m;
+  m.type = static_cast<Icmpv6Type>(r.ReadU8());
+  m.code = r.ReadU8();
+  r.ReadU16();  // checksum
+  auto rest = r.ReadBytes(length - 4);
+  m.body.assign(rest.begin(), rest.end());
+  return m;
+}
+
+}  // namespace sentinel::net

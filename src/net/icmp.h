@@ -1,0 +1,58 @@
+// ICMP (v4) echo and ICMPv6 (neighbour discovery, router solicitation,
+// multicast listener report) codecs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/address.h"
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+/// ICMPv4 message. Payload carried verbatim.
+struct IcmpMessage {
+  std::uint8_t type = 8;  // echo request
+  std::uint8_t code = 0;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+  std::vector<std::uint8_t> payload;
+
+  static IcmpMessage EchoRequest(std::uint16_t id, std::uint16_t seq,
+                                 std::size_t payload_size);
+  static IcmpMessage EchoReply(const IcmpMessage& request);
+
+  [[nodiscard]] bool IsEchoRequest() const { return type == 8; }
+  [[nodiscard]] bool IsEchoReply() const { return type == 0; }
+
+  void Encode(ByteWriter& w) const;
+  static IcmpMessage Decode(ByteReader& r, std::size_t length);
+};
+
+/// Common ICMPv6 message types seen during device setup.
+enum class Icmpv6Type : std::uint8_t {
+  kRouterSolicitation = 133,
+  kRouterAdvertisement = 134,
+  kNeighborSolicitation = 135,
+  kNeighborAdvertisement = 136,
+  kMldv2Report = 143,
+};
+
+struct Icmpv6Message {
+  Icmpv6Type type = Icmpv6Type::kRouterSolicitation;
+  std::uint8_t code = 0;
+  std::vector<std::uint8_t> body;  // type-specific body after the checksum
+
+  static Icmpv6Message RouterSolicitation(const MacAddress& source_mac);
+  static Icmpv6Message NeighborSolicitation(const Ipv6Address& target,
+                                            const MacAddress& source_mac);
+  static Icmpv6Message Mldv2Report();
+
+  /// Encodes with a pseudo-header checksum over src/dst.
+  void Encode(ByteWriter& w, const Ipv6Address& src,
+              const Ipv6Address& dst) const;
+  static Icmpv6Message Decode(ByteReader& r, std::size_t length);
+};
+
+}  // namespace sentinel::net

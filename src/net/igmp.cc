@@ -1,0 +1,28 @@
+#include "net/igmp.h"
+
+#include "net/checksum.h"
+
+namespace sentinel::net {
+
+void IgmpMessage::Encode(ByteWriter& w) const {
+  const std::size_t start = w.size();
+  w.WriteU8(static_cast<std::uint8_t>(type));
+  w.WriteU8(max_response_time);
+  w.WriteU16(0);  // checksum placeholder
+  w.WriteU32(group.value());
+  w.PatchU16(start + 2, Checksum(w.bytes().subspan(start, kSize)));
+}
+
+IgmpMessage IgmpMessage::Decode(ByteReader& r) {
+  IgmpMessage m;
+  const std::uint8_t type = r.ReadU8();
+  if (type != 0x11 && type != 0x16 && type != 0x17 && type != 0x12)
+    throw CodecError("unknown IGMP type");
+  m.type = static_cast<IgmpType>(type);
+  m.max_response_time = r.ReadU8();
+  r.ReadU16();  // checksum
+  m.group = Ipv4Address(r.ReadU32());
+  return m;
+}
+
+}  // namespace sentinel::net

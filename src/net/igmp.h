@@ -1,0 +1,40 @@
+// IGMPv2 membership reports/queries (RFC 2236). Devices that speak mDNS or
+// SSDP join 224.0.0.251 / 239.255.255.250 first, and IGMP is sent with the
+// IPv4 Router Alert option (and TTL 1) — the real-world source of the
+// router-alert and padding features in the paper's Table I.
+#pragma once
+
+#include <cstdint>
+
+#include "net/address.h"
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+inline constexpr std::uint8_t kIpProtoIgmp = 2;
+
+enum class IgmpType : std::uint8_t {
+  kMembershipQuery = 0x11,
+  kMembershipReportV2 = 0x16,
+  kLeaveGroup = 0x17,
+};
+
+struct IgmpMessage {
+  IgmpType type = IgmpType::kMembershipReportV2;
+  std::uint8_t max_response_time = 0;
+  Ipv4Address group;
+
+  static constexpr std::size_t kSize = 8;
+
+  static IgmpMessage Join(Ipv4Address group) {
+    return IgmpMessage{IgmpType::kMembershipReportV2, 0, group};
+  }
+  static IgmpMessage Leave(Ipv4Address group) {
+    return IgmpMessage{IgmpType::kLeaveGroup, 0, group};
+  }
+
+  void Encode(ByteWriter& w) const;
+  static IgmpMessage Decode(ByteReader& r);
+};
+
+}  // namespace sentinel::net

@@ -1,0 +1,101 @@
+#include "net/ipv4.h"
+
+#include "net/checksum.h"
+
+namespace sentinel::net {
+
+namespace {
+constexpr std::uint8_t kOptNop = 1;
+constexpr std::uint8_t kOptRouterAlert = 148;  // copied|class0|number20
+}  // namespace
+
+std::size_t Ipv4Options::EncodedSize() const {
+  std::size_t len = 0;
+  if (router_alert) len += 4;  // kind, length, 2-byte value
+  if (padding) len += 4;       // four NOPs keep 4-byte alignment
+  return len;
+}
+
+void Ipv4Header::Encode(ByteWriter& w,
+                        std::span<const std::uint8_t> payload) const {
+  const std::size_t header_len = HeaderSize();
+  const std::size_t start = w.size();
+  const std::uint16_t total_len =
+      static_cast<std::uint16_t>(header_len + payload.size());
+
+  w.WriteU8(static_cast<std::uint8_t>(0x40 | (header_len / 4)));  // ver+IHL
+  w.WriteU8(dscp_ecn);
+  w.WriteU16(total_len);
+  w.WriteU16(identification);
+  w.WriteU16(static_cast<std::uint16_t>((std::uint16_t{flags} << 13) |
+                                        (fragment_offset & 0x1fff)));
+  w.WriteU8(ttl);
+  w.WriteU8(protocol);
+  w.WriteU16(0);  // checksum placeholder
+  w.WriteU32(src.value());
+  w.WriteU32(dst.value());
+  if (options.router_alert) {
+    w.WriteU8(kOptRouterAlert);
+    w.WriteU8(4);
+    w.WriteU16(0);  // Router shall examine packet (RFC 2113)
+  }
+  if (options.padding) {
+    for (int i = 0; i < 4; ++i) w.WriteU8(kOptNop);
+  }
+  const std::uint16_t cksum =
+      Checksum(w.bytes().subspan(start, header_len));
+  w.PatchU16(start + 10, cksum);
+  w.WriteBytes(payload);
+}
+
+Ipv4Header Ipv4Header::Decode(ByteReader& r, std::size_t& payload_length) {
+  const std::size_t start = r.position();
+  const std::uint8_t ver_ihl = r.ReadU8();
+  if ((ver_ihl >> 4) != 4) throw CodecError("not an IPv4 header");
+  const std::size_t header_len = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if (header_len < 20) throw CodecError("IPv4 IHL too small");
+
+  Ipv4Header h;
+  h.dscp_ecn = r.ReadU8();
+  const std::uint16_t total_len = r.ReadU16();
+  h.identification = r.ReadU16();
+  const std::uint16_t flags_frag = r.ReadU16();
+  h.flags = static_cast<std::uint8_t>(flags_frag >> 13);
+  h.fragment_offset = flags_frag & 0x1fff;
+  h.ttl = r.ReadU8();
+  h.protocol = r.ReadU8();
+  r.ReadU16();  // checksum (verified over the raw bytes below)
+  h.src = Ipv4Address(r.ReadU32());
+  h.dst = Ipv4Address(r.ReadU32());
+
+  std::size_t options_len = header_len - 20;
+  while (options_len > 0) {
+    const std::uint8_t kind = r.ReadU8();
+    --options_len;
+    if (kind == 0) {  // EOL: rest of options area is padding
+      h.options.padding = true;
+      r.Skip(options_len);
+      options_len = 0;
+      break;
+    }
+    if (kind == kOptNop) {
+      h.options.padding = true;
+      continue;
+    }
+    if (options_len == 0) throw CodecError("truncated IPv4 option");
+    const std::uint8_t opt_len = r.ReadU8();
+    --options_len;
+    if (opt_len < 2 || opt_len - 2 > static_cast<int>(options_len))
+      throw CodecError("bad IPv4 option length");
+    if (kind == kOptRouterAlert) h.options.router_alert = true;
+    r.Skip(static_cast<std::size_t>(opt_len - 2));
+    options_len -= static_cast<std::size_t>(opt_len - 2);
+  }
+
+  if (total_len < header_len) throw CodecError("IPv4 total length < header");
+  payload_length = total_len - header_len;
+  (void)start;
+  return h;
+}
+
+}  // namespace sentinel::net

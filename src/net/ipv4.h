@@ -1,0 +1,50 @@
+// IPv4 header codec with options support (the fingerprint cares about the
+// End-of-List/No-Op padding and Router Alert options, Table I).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/address.h"
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+/// Decoded IPv4 option presence summary. Only the two options that feed the
+/// fingerprint are modelled explicitly; any other option bytes are carried
+/// verbatim in `raw`.
+struct Ipv4Options {
+  bool padding = false;       // option kind 0 (EOL) or 1 (NOP) present
+  bool router_alert = false;  // option kind 20/148 (RFC 2113)
+
+  [[nodiscard]] bool Any() const { return padding || router_alert; }
+  /// Encoded length in bytes (multiple of 4).
+  [[nodiscard]] std::size_t EncodedSize() const;
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t flags = 0x02;  // DF set, as typical client stacks do
+  std::uint16_t fragment_offset = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;  // kIpProtoUdp etc.
+  Ipv4Address src;
+  Ipv4Address dst;
+  Ipv4Options options;
+
+  [[nodiscard]] std::size_t HeaderSize() const {
+    return 20 + options.EncodedSize();
+  }
+
+  /// Encodes header + payload, computing total length and header checksum.
+  void Encode(ByteWriter& w, std::span<const std::uint8_t> payload) const;
+
+  /// Decodes the header and returns it; `payload_length` receives the
+  /// payload byte count from the total-length field. Verifies the header
+  /// checksum and throws CodecError on corruption.
+  static Ipv4Header Decode(ByteReader& r, std::size_t& payload_length);
+};
+
+}  // namespace sentinel::net

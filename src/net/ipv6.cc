@@ -1,0 +1,36 @@
+#include "net/ipv6.h"
+
+namespace sentinel::net {
+
+void Ipv6Header::Encode(ByteWriter& w,
+                        std::span<const std::uint8_t> payload) const {
+  w.WriteU32((std::uint32_t{6} << 28) |
+             (std::uint32_t{traffic_class} << 20) | (flow_label & 0xfffff));
+  w.WriteU16(static_cast<std::uint16_t>(payload.size()));
+  w.WriteU8(next_header);
+  w.WriteU8(hop_limit);
+  w.WriteBytes(src.bytes());
+  w.WriteBytes(dst.bytes());
+  w.WriteBytes(payload);
+}
+
+Ipv6Header Ipv6Header::Decode(ByteReader& r, std::size_t& payload_length) {
+  const std::uint32_t first = r.ReadU32();
+  if ((first >> 28) != 6) throw CodecError("not an IPv6 header");
+  Ipv6Header h;
+  h.traffic_class = static_cast<std::uint8_t>((first >> 20) & 0xff);
+  h.flow_label = first & 0xfffff;
+  payload_length = r.ReadU16();
+  h.next_header = r.ReadU8();
+  h.hop_limit = r.ReadU8();
+  std::array<std::uint8_t, 16> a{};
+  auto s = r.ReadBytes(16);
+  std::copy(s.begin(), s.end(), a.begin());
+  h.src = Ipv6Address(a);
+  s = r.ReadBytes(16);
+  std::copy(s.begin(), s.end(), a.begin());
+  h.dst = Ipv6Address(a);
+  return h;
+}
+
+}  // namespace sentinel::net

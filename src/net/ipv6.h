@@ -1,0 +1,28 @@
+// Minimal IPv6 header codec — enough for the ICMPv6 neighbour-discovery and
+// mDNS-over-IPv6 traffic IoT devices emit during setup.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/address.h"
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+struct Ipv6Header {
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;
+  std::uint8_t next_header = 0;  // kIpProtoIcmpv6, kIpProtoUdp, ...
+  std::uint8_t hop_limit = 255;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  static constexpr std::size_t kSize = 40;
+
+  void Encode(ByteWriter& w, std::span<const std::uint8_t> payload) const;
+  /// `payload_length` receives the value of the payload-length field.
+  static Ipv6Header Decode(ByteReader& r, std::size_t& payload_length);
+};
+
+}  // namespace sentinel::net

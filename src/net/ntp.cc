@@ -1,0 +1,50 @@
+#include "net/ntp.h"
+
+namespace sentinel::net {
+
+NtpPacket NtpPacket::ClientRequest(std::uint64_t transmit_timestamp) {
+  NtpPacket p;
+  p.mode = 3;
+  p.transmit_timestamp = transmit_timestamp;
+  return p;
+}
+
+NtpPacket NtpPacket::ServerReply(const NtpPacket& request,
+                                 std::uint64_t server_time) {
+  NtpPacket p;
+  p.mode = 4;
+  p.stratum = 2;
+  p.transmit_timestamp = server_time;
+  (void)request;
+  return p;
+}
+
+void NtpPacket::Encode(ByteWriter& w) const {
+  w.WriteU8(static_cast<std::uint8_t>((leap << 6) | (version << 3) | mode));
+  w.WriteU8(stratum);
+  w.WriteU8(poll);
+  w.WriteU8(static_cast<std::uint8_t>(precision));
+  w.WriteU32(0);  // root delay
+  w.WriteU32(0);  // root dispersion
+  w.WriteU32(0);  // reference id
+  w.WriteU64(0);  // reference timestamp
+  w.WriteU64(0);  // origin timestamp
+  w.WriteU64(0);  // receive timestamp
+  w.WriteU64(transmit_timestamp);
+}
+
+NtpPacket NtpPacket::Decode(ByteReader& r) {
+  NtpPacket p;
+  const std::uint8_t first = r.ReadU8();
+  p.leap = first >> 6;
+  p.version = (first >> 3) & 0x7;
+  p.mode = first & 0x7;
+  p.stratum = r.ReadU8();
+  p.poll = r.ReadU8();
+  p.precision = static_cast<std::int8_t>(r.ReadU8());
+  r.Skip(4 + 4 + 4 + 8 + 8 + 8);
+  p.transmit_timestamp = r.ReadU64();
+  return p;
+}
+
+}  // namespace sentinel::net

@@ -1,0 +1,30 @@
+// NTP (RFC 5905) client/server packet codec. Devices sync their clocks
+// right after joining the network, typically before opening TLS sessions.
+#pragma once
+
+#include <cstdint>
+
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+struct NtpPacket {
+  std::uint8_t leap = 0;      // leap indicator
+  std::uint8_t version = 4;
+  std::uint8_t mode = 3;      // 3 = client, 4 = server
+  std::uint8_t stratum = 0;
+  std::uint8_t poll = 6;
+  std::int8_t precision = -20;
+  std::uint64_t transmit_timestamp = 0;  // NTP 64-bit format
+
+  static constexpr std::size_t kSize = 48;
+
+  static NtpPacket ClientRequest(std::uint64_t transmit_timestamp);
+  static NtpPacket ServerReply(const NtpPacket& request,
+                               std::uint64_t server_time);
+
+  void Encode(ByteWriter& w) const;
+  static NtpPacket Decode(ByteReader& r);
+};
+
+}  // namespace sentinel::net

@@ -1,0 +1,150 @@
+#include "net/pcap.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;          // native order, usec
+constexpr std::uint32_t kMagicSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 65535;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+std::vector<std::uint8_t> EncodePcap(const std::vector<Frame>& frames) {
+  ByteWriter w(24 + frames.size() * 96);
+  // Global header, little-endian as is conventional on x86 writers.
+  w.WriteU32Le(kMagic);
+  w.WriteU16Le(2);   // version major
+  w.WriteU16Le(4);   // version minor
+  w.WriteU32Le(0);   // thiszone
+  w.WriteU32Le(0);   // sigfigs
+  w.WriteU32Le(kSnapLen);
+  w.WriteU32Le(kLinkTypeEthernet);
+  for (const Frame& f : frames) {
+    const std::uint64_t usec = f.timestamp_ns / 1000;
+    w.WriteU32Le(static_cast<std::uint32_t>(usec / 1000000));
+    w.WriteU32Le(static_cast<std::uint32_t>(usec % 1000000));
+    w.WriteU32Le(static_cast<std::uint32_t>(f.bytes.size()));  // incl_len
+    w.WriteU32Le(static_cast<std::uint32_t>(f.bytes.size()));  // orig_len
+    w.WriteBytes(f.bytes);
+  }
+  return std::move(w).Take();
+}
+
+std::vector<Frame> DecodePcap(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const std::uint32_t magic = r.ReadU32Le();
+  bool swapped = false;
+  if (magic == kMagicSwapped) {
+    swapped = true;
+  } else if (magic != kMagic) {
+    throw CodecError("not a classic pcap file (bad magic)");
+  }
+  auto u16 = [&] { return swapped ? r.ReadU16() : r.ReadU16Le(); };
+  auto u32 = [&] { return swapped ? r.ReadU32() : r.ReadU32Le(); };
+
+  u16();  // version major
+  u16();  // version minor
+  u32();  // thiszone
+  u32();  // sigfigs
+  u32();  // snaplen
+  const std::uint32_t link_type = u32();
+  if (link_type != kLinkTypeEthernet)
+    throw CodecError("unsupported pcap link type " + std::to_string(link_type));
+
+  std::vector<Frame> frames;
+  while (r.remaining() > 0) {
+    const std::uint32_t ts_sec = u32();
+    const std::uint32_t ts_usec = u32();
+    const std::uint32_t incl_len = u32();
+    u32();  // orig_len
+    if (incl_len > kSnapLen) throw CodecError("pcap record too large");
+    auto bytes = r.ReadBytes(incl_len);
+    Frame f;
+    f.timestamp_ns =
+        (std::uint64_t{ts_sec} * 1000000 + ts_usec) * 1000;
+    f.bytes.assign(bytes.begin(), bytes.end());
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+namespace {
+
+std::vector<std::uint8_t> EncodeGlobalHeader() {
+  ByteWriter w(24);
+  w.WriteU32Le(kMagic);
+  w.WriteU16Le(2);
+  w.WriteU16Le(4);
+  w.WriteU32Le(0);
+  w.WriteU32Le(0);
+  w.WriteU32Le(kSnapLen);
+  w.WriteU32Le(kLinkTypeEthernet);
+  return std::move(w).Take();
+}
+
+}  // namespace
+
+PcapFileSink::PcapFileSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "wb")) {
+  if (file_ == nullptr)
+    throw std::runtime_error("cannot open " + path + " for writing");
+  const auto header = EncodeGlobalHeader();
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("short write of pcap header to " + path);
+  }
+}
+
+PcapFileSink::~PcapFileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void PcapFileSink::Append(const Frame& frame) {
+  ByteWriter w(16 + frame.bytes.size());
+  const std::uint64_t usec = frame.timestamp_ns / 1000;
+  w.WriteU32Le(static_cast<std::uint32_t>(usec / 1000000));
+  w.WriteU32Le(static_cast<std::uint32_t>(usec % 1000000));
+  w.WriteU32Le(static_cast<std::uint32_t>(frame.bytes.size()));
+  w.WriteU32Le(static_cast<std::uint32_t>(frame.bytes.size()));
+  w.WriteBytes(frame.bytes);
+  const auto record = w.bytes();
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size())
+    throw std::runtime_error("short write of pcap record");
+  std::fflush(file_);
+  ++frames_written_;
+}
+
+void WritePcapFile(const std::string& path, const std::vector<Frame>& frames) {
+  const auto data = EncodePcap(frames);
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  if (std::fwrite(data.data(), 1, data.size(), f.get()) != data.size())
+    throw std::runtime_error("short write to " + path);
+}
+
+std::vector<Frame> ReadPcapFile(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open " + path + " for reading");
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0)
+    data.insert(data.end(), buf, buf + n);
+  return DecodePcap(data);
+}
+
+}  // namespace sentinel::net

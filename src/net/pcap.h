@@ -1,0 +1,54 @@
+// Classic libpcap capture-file format (magic 0xa1b2c3d4, LINKTYPE_ETHERNET)
+// reader and writer. Lets the toolchain exchange traces with tcpdump or
+// Wireshark, standing in for the paper's live libpcap capture path.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace sentinel::net {
+
+/// Writes `frames` as a classic pcap file (microsecond timestamps,
+/// Ethernet link type). Throws std::runtime_error on I/O failure.
+void WritePcapFile(const std::string& path, const std::vector<Frame>& frames);
+
+/// Reads a classic pcap file produced by WritePcapFile, tcpdump or
+/// Wireshark. Handles both byte orders. Throws std::runtime_error on I/O
+/// failure and CodecError on malformed content.
+std::vector<Frame> ReadPcapFile(const std::string& path);
+
+/// In-memory variants used by tests and by transports that move captures
+/// between gateway and security service without touching disk.
+std::vector<std::uint8_t> EncodePcap(const std::vector<Frame>& frames);
+std::vector<Frame> DecodePcap(std::span<const std::uint8_t> data);
+
+/// Streaming pcap writer: opens the file and writes the global header on
+/// construction, appends one record per Append() and flushes each record —
+/// the long-running capture path of a gateway that logs everything it
+/// monitors (a crash loses at most the frame being written).
+class PcapFileSink {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit PcapFileSink(const std::string& path);
+  ~PcapFileSink();
+
+  PcapFileSink(const PcapFileSink&) = delete;
+  PcapFileSink& operator=(const PcapFileSink&) = delete;
+
+  /// Appends one frame. Throws std::runtime_error on I/O failure.
+  void Append(const Frame& frame);
+
+  [[nodiscard]] std::uint64_t frames_written() const {
+    return frames_written_;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t frames_written_ = 0;
+};
+
+}  // namespace sentinel::net

@@ -1,0 +1,43 @@
+#include "net/protocols.h"
+
+namespace sentinel::net {
+
+std::string_view ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kArp:
+      return "ARP";
+    case Protocol::kLlc:
+      return "LLC";
+    case Protocol::kIp:
+      return "IP";
+    case Protocol::kIcmp:
+      return "ICMP";
+    case Protocol::kIcmpv6:
+      return "ICMPv6";
+    case Protocol::kEapol:
+      return "EAPoL";
+    case Protocol::kTcp:
+      return "TCP";
+    case Protocol::kUdp:
+      return "UDP";
+    case Protocol::kHttp:
+      return "HTTP";
+    case Protocol::kHttps:
+      return "HTTPS";
+    case Protocol::kDhcp:
+      return "DHCP";
+    case Protocol::kBootp:
+      return "BOOTP";
+    case Protocol::kSsdp:
+      return "SSDP";
+    case Protocol::kDns:
+      return "DNS";
+    case Protocol::kMdns:
+      return "mDNS";
+    case Protocol::kNtp:
+      return "NTP";
+  }
+  return "?";
+}
+
+}  // namespace sentinel::net

@@ -1,0 +1,101 @@
+// Protocol identifiers shared across the stack: the 16 protocols of the
+// paper's Table I plus the numeric constants (ethertypes, IP protocol
+// numbers, well-known ports) the codecs need.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sentinel::net {
+
+/// The protocols that contribute binary features to the IoT Sentinel packet
+/// fingerprint (Table I). Order is normative: feature vectors use it.
+enum class Protocol : std::uint8_t {
+  // Link layer
+  kArp = 0,
+  kLlc,
+  // Network layer
+  kIp,
+  kIcmp,
+  kIcmpv6,
+  kEapol,
+  // Transport layer
+  kTcp,
+  kUdp,
+  // Application layer
+  kHttp,
+  kHttps,
+  kDhcp,
+  kBootp,
+  kSsdp,
+  kDns,
+  kMdns,
+  kNtp,
+};
+
+inline constexpr int kProtocolCount = 16;
+
+/// Small value-type set of Protocol flags.
+class ProtocolSet {
+ public:
+  constexpr ProtocolSet() = default;
+
+  constexpr void Set(Protocol p) {
+    bits_ |= std::uint32_t{1} << static_cast<unsigned>(p);
+  }
+  [[nodiscard]] constexpr bool Has(Protocol p) const {
+    return (bits_ & (std::uint32_t{1} << static_cast<unsigned>(p))) != 0;
+  }
+  [[nodiscard]] constexpr bool Empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+
+  friend constexpr bool operator==(ProtocolSet, ProtocolSet) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Human-readable protocol name ("ARP", "mDNS", ...).
+std::string_view ProtocolName(Protocol p);
+
+// ---- Ethertypes (Ethernet II) ----
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+inline constexpr std::uint16_t kEtherTypeIpv6 = 0x86dd;
+inline constexpr std::uint16_t kEtherTypeEapol = 0x888e;
+
+// ---- IP protocol numbers ----
+inline constexpr std::uint8_t kIpProtoIcmp = 1;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+inline constexpr std::uint8_t kIpProtoIcmpv6 = 58;
+
+// ---- Well-known ports used for application-protocol detection ----
+inline constexpr std::uint16_t kPortHttp = 80;
+inline constexpr std::uint16_t kPortHttpAlt = 8080;
+inline constexpr std::uint16_t kPortHttps = 443;
+inline constexpr std::uint16_t kPortHttpsAlt = 8443;
+inline constexpr std::uint16_t kPortDns = 53;
+inline constexpr std::uint16_t kPortMdns = 5353;
+inline constexpr std::uint16_t kPortSsdp = 1900;
+inline constexpr std::uint16_t kPortNtp = 123;
+inline constexpr std::uint16_t kPortDhcpServer = 67;
+inline constexpr std::uint16_t kPortDhcpClient = 68;
+
+/// Network port classes used by Table I's two port features.
+///   no port -> 0, well-known [0,1023] -> 1, registered [1024,49151] -> 2,
+///   dynamic [49152,65535] -> 3.
+enum class PortClass : std::uint8_t {
+  kNone = 0,
+  kWellKnown = 1,
+  kRegistered = 2,
+  kDynamic = 3,
+};
+
+constexpr PortClass ClassifyPort(std::uint16_t port) {
+  if (port <= 1023) return PortClass::kWellKnown;
+  if (port <= 49151) return PortClass::kRegistered;
+  return PortClass::kDynamic;
+}
+
+}  // namespace sentinel::net

@@ -1,0 +1,68 @@
+#include "net/ssdp.h"
+
+namespace sentinel::net {
+
+SsdpMessage SsdpMessage::MSearch(const std::string& search_target,
+                                 int mx_seconds) {
+  SsdpMessage m;
+  m.start_line = "M-SEARCH * HTTP/1.1";
+  m.headers = {{"HOST", "239.255.255.250:1900"},
+               {"MAN", "\"ssdp:discover\""},
+               {"MX", std::to_string(mx_seconds)},
+               {"ST", search_target}};
+  return m;
+}
+
+SsdpMessage SsdpMessage::NotifyAlive(const std::string& notification_type,
+                                     const std::string& location_url,
+                                     const std::string& server_token) {
+  SsdpMessage m;
+  m.start_line = "NOTIFY * HTTP/1.1";
+  m.headers = {{"HOST", "239.255.255.250:1900"},
+               {"CACHE-CONTROL", "max-age=1800"},
+               {"LOCATION", location_url},
+               {"NT", notification_type},
+               {"NTS", "ssdp:alive"},
+               {"SERVER", server_token}};
+  return m;
+}
+
+bool SsdpMessage::IsMSearch() const {
+  return start_line.rfind("M-SEARCH", 0) == 0;
+}
+
+void SsdpMessage::Encode(ByteWriter& w) const {
+  w.WriteString(start_line);
+  w.WriteString("\r\n");
+  for (const auto& [name, value] : headers) {
+    w.WriteString(name);
+    w.WriteString(": ");
+    w.WriteString(value);
+    w.WriteString("\r\n");
+  }
+  w.WriteString("\r\n");
+}
+
+SsdpMessage SsdpMessage::Decode(ByteReader& r) {
+  auto bytes = r.ReadBytes(r.remaining());
+  const std::string text(bytes.begin(), bytes.end());
+  SsdpMessage m;
+  std::size_t pos = text.find("\r\n");
+  if (pos == std::string::npos) throw CodecError("SSDP: missing start line");
+  m.start_line = text.substr(0, pos);
+  pos += 2;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find("\r\n", pos);
+    if (eol == std::string::npos || eol == pos) break;  // blank line = end
+    const std::string line = text.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) throw CodecError("SSDP: bad header line");
+    std::size_t vstart = colon + 1;
+    while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+    m.headers.emplace_back(line.substr(0, colon), line.substr(vstart));
+    pos = eol + 2;
+  }
+  return m;
+}
+
+}  // namespace sentinel::net

@@ -1,0 +1,34 @@
+// SSDP (Simple Service Discovery Protocol, UPnP) — HTTP-over-UDP text
+// messages sent to 239.255.255.250:1900. Many smart plugs and cameras send
+// M-SEARCH and NOTIFY bursts during setup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+struct SsdpMessage {
+  /// Start line, e.g. "M-SEARCH * HTTP/1.1" or "NOTIFY * HTTP/1.1".
+  std::string start_line;
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  static SsdpMessage MSearch(const std::string& search_target,
+                             int mx_seconds = 3);
+  static SsdpMessage NotifyAlive(const std::string& notification_type,
+                                 const std::string& location_url,
+                                 const std::string& server_token);
+
+  [[nodiscard]] bool IsMSearch() const;
+
+  void Encode(ByteWriter& w) const;
+  static SsdpMessage Decode(ByteReader& r);
+};
+
+/// SSDP multicast destination 239.255.255.250.
+inline constexpr std::uint32_t kSsdpMulticastIp = 0xeffffffa;
+
+}  // namespace sentinel::net

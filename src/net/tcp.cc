@@ -1,0 +1,146 @@
+#include "net/tcp.h"
+
+#include "net/checksum.h"
+#include "net/protocols.h"
+
+namespace sentinel::net {
+
+namespace {
+std::size_t RoundUp4(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+}  // namespace
+
+std::size_t TcpOptions::EncodedSize() const {
+  std::size_t n = 0;
+  if (mss) n += 4;
+  if (window_scale) n += 3;
+  if (sack_permitted) n += 2;
+  if (timestamps) n += 10;
+  return RoundUp4(n);
+}
+
+TcpSegment TcpSegment::Syn(std::uint16_t src_port, std::uint16_t dst_port,
+                           std::uint32_t seq, std::uint16_t mss) {
+  TcpSegment s;
+  s.src_port = src_port;
+  s.dst_port = dst_port;
+  s.seq = seq;
+  s.flags = TcpFlags::kSyn;
+  s.options.mss = mss;
+  s.options.sack_permitted = true;
+  return s;
+}
+
+void TcpSegment::Encode(ByteWriter& w, Ipv4Address src,
+                        Ipv4Address dst) const {
+  const std::size_t start = w.size();
+  const std::size_t header_len = HeaderSize();
+  w.WriteU16(src_port);
+  w.WriteU16(dst_port);
+  w.WriteU32(seq);
+  w.WriteU32(ack);
+  w.WriteU8(static_cast<std::uint8_t>((header_len / 4) << 4));
+  w.WriteU8(flags);
+  w.WriteU16(window);
+  w.WriteU16(0);  // checksum placeholder
+  w.WriteU16(0);  // urgent pointer
+
+  std::size_t opt_bytes = 0;
+  if (options.mss) {
+    w.WriteU8(2);
+    w.WriteU8(4);
+    w.WriteU16(*options.mss);
+    opt_bytes += 4;
+  }
+  if (options.window_scale) {
+    w.WriteU8(3);
+    w.WriteU8(3);
+    w.WriteU8(*options.window_scale);
+    opt_bytes += 3;
+  }
+  if (options.sack_permitted) {
+    w.WriteU8(4);
+    w.WriteU8(2);
+    opt_bytes += 2;
+  }
+  if (options.timestamps) {
+    w.WriteU8(8);
+    w.WriteU8(10);
+    w.WriteU32(0);
+    w.WriteU32(0);
+    opt_bytes += 10;
+  }
+  // NOP padding to the 4-byte boundary implied by the data offset.
+  while (opt_bytes % 4 != 0) {
+    w.WriteU8(1);
+    ++opt_bytes;
+  }
+  w.WriteBytes(payload);
+
+  const std::uint16_t total =
+      static_cast<std::uint16_t>(header_len + payload.size());
+  InternetChecksum sum;
+  AddPseudoHeader(sum, src, dst, kIpProtoTcp, total);
+  sum.Add(w.bytes().subspan(start, total));
+  w.PatchU16(start + 16, sum.Finalize());
+}
+
+TcpSegment TcpSegment::Decode(ByteReader& r, std::size_t total_length) {
+  if (total_length < 20) throw CodecError("TCP segment too short");
+  TcpSegment s;
+  s.src_port = r.ReadU16();
+  s.dst_port = r.ReadU16();
+  s.seq = r.ReadU32();
+  s.ack = r.ReadU32();
+  const std::uint8_t offset_byte = r.ReadU8();
+  const std::size_t header_len = static_cast<std::size_t>(offset_byte >> 4) * 4;
+  if (header_len < 20 || header_len > total_length)
+    throw CodecError("bad TCP data offset");
+  s.flags = r.ReadU8();
+  s.window = r.ReadU16();
+  r.ReadU16();  // checksum
+  r.ReadU16();  // urgent
+
+  std::size_t opt_len = header_len - 20;
+  while (opt_len > 0) {
+    const std::uint8_t kind = r.ReadU8();
+    --opt_len;
+    if (kind == 0) {  // EOL
+      r.Skip(opt_len);
+      opt_len = 0;
+      break;
+    }
+    if (kind == 1) continue;  // NOP
+    if (opt_len == 0) throw CodecError("truncated TCP option");
+    const std::uint8_t len = r.ReadU8();
+    --opt_len;
+    if (len < 2 || static_cast<std::size_t>(len - 2) > opt_len)
+      throw CodecError("bad TCP option length");
+    switch (kind) {
+      case 2:
+        if (len != 4) throw CodecError("bad MSS option");
+        s.options.mss = r.ReadU16();
+        break;
+      case 3:
+        if (len != 3) throw CodecError("bad window-scale option");
+        s.options.window_scale = r.ReadU8();
+        break;
+      case 4:
+        s.options.sack_permitted = true;
+        break;
+      case 8:
+        if (len != 10) throw CodecError("bad timestamp option");
+        s.options.timestamps = true;
+        r.Skip(8);
+        break;
+      default:
+        r.Skip(static_cast<std::size_t>(len - 2));
+        break;
+    }
+    opt_len -= static_cast<std::size_t>(len - 2);
+  }
+  auto body = r.ReadBytes(total_length - header_len);
+  s.payload.assign(body.begin(), body.end());
+  return s;
+}
+
+}  // namespace sentinel::net

@@ -1,0 +1,58 @@
+// TCP segment codec (RFC 793) with common options (MSS, window scale, SACK
+// permitted, timestamps) as emitted by embedded IoT stacks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/address.h"
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+/// TCP flag bits.
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+struct TcpOptions {
+  std::optional<std::uint16_t> mss;          // kind 2
+  std::optional<std::uint8_t> window_scale;  // kind 3
+  bool sack_permitted = false;               // kind 4
+  bool timestamps = false;                   // kind 8 (values not modelled)
+
+  [[nodiscard]] std::size_t EncodedSize() const;
+};
+
+struct TcpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  TcpOptions options;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t HeaderSize() const {
+    return 20 + options.EncodedSize();
+  }
+  [[nodiscard]] bool Has(std::uint8_t flag) const {
+    return (flags & flag) != 0;
+  }
+
+  /// Client SYN with typical embedded-stack options.
+  static TcpSegment Syn(std::uint16_t src_port, std::uint16_t dst_port,
+                        std::uint32_t seq, std::uint16_t mss = 1460);
+
+  void Encode(ByteWriter& w, Ipv4Address src, Ipv4Address dst) const;
+  static TcpSegment Decode(ByteReader& r, std::size_t total_length);
+};
+
+}  // namespace sentinel::net

@@ -1,0 +1,47 @@
+#include "net/udp.h"
+
+#include "net/checksum.h"
+#include "net/protocols.h"
+
+namespace sentinel::net {
+
+void UdpDatagram::Encode(ByteWriter& w, Ipv4Address src,
+                         Ipv4Address dst) const {
+  const std::size_t start = w.size();
+  const std::uint16_t length =
+      static_cast<std::uint16_t>(kHeaderSize + payload.size());
+  w.WriteU16(src_port);
+  w.WriteU16(dst_port);
+  w.WriteU16(length);
+  w.WriteU16(0);  // checksum placeholder
+  w.WriteBytes(payload);
+
+  InternetChecksum sum;
+  AddPseudoHeader(sum, src, dst, kIpProtoUdp, length);
+  sum.Add(w.bytes().subspan(start, length));
+  std::uint16_t cksum = sum.Finalize();
+  if (cksum == 0) cksum = 0xffff;  // RFC 768: 0 means "no checksum"
+  w.PatchU16(start + 6, cksum);
+}
+
+void UdpDatagram::EncodeNoChecksum(ByteWriter& w) const {
+  w.WriteU16(src_port);
+  w.WriteU16(dst_port);
+  w.WriteU16(static_cast<std::uint16_t>(kHeaderSize + payload.size()));
+  w.WriteU16(0);
+  w.WriteBytes(payload);
+}
+
+UdpDatagram UdpDatagram::Decode(ByteReader& r) {
+  UdpDatagram d;
+  d.src_port = r.ReadU16();
+  d.dst_port = r.ReadU16();
+  const std::uint16_t length = r.ReadU16();
+  if (length < kHeaderSize) throw CodecError("UDP length too small");
+  r.ReadU16();  // checksum
+  auto body = r.ReadBytes(length - kHeaderSize);
+  d.payload.assign(body.begin(), body.end());
+  return d;
+}
+
+}  // namespace sentinel::net

@@ -1,0 +1,28 @@
+// UDP datagram codec (RFC 768) with IPv4 pseudo-header checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/address.h"
+#include "net/byte_io.h"
+
+namespace sentinel::net {
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::vector<std::uint8_t> payload;
+
+  static constexpr std::size_t kHeaderSize = 8;
+
+  /// Encodes header + payload with the IPv4 pseudo-header checksum.
+  void Encode(ByteWriter& w, Ipv4Address src, Ipv4Address dst) const;
+  /// Encodes with checksum 0 (legal for IPv4; used over IPv6 simulation
+  /// where we do not verify).
+  void EncodeNoChecksum(ByteWriter& w) const;
+  static UdpDatagram Decode(ByteReader& r);
+};
+
+}  // namespace sentinel::net

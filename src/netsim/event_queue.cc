@@ -1,0 +1,33 @@
+#include "netsim/event_queue.h"
+
+namespace sentinel::netsim {
+
+void EventQueue::ScheduleAt(SimTime when, Callback callback) {
+  if (when < now_) when = now_;
+  events_.push(Event{when, next_seq_++, std::move(callback)});
+}
+
+bool EventQueue::RunNext() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle instead (shared ownership is cheap here).
+  Event event = events_.top();
+  events_.pop();
+  now_ = event.time;
+  event.callback();
+  return true;
+}
+
+std::size_t EventQueue::Run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && RunNext()) ++count;
+  return count;
+}
+
+std::size_t EventQueue::RunUntil(SimTime until) {
+  std::size_t count = 0;
+  while (!events_.empty() && events_.top().time <= until && RunNext()) ++count;
+  return count;
+}
+
+}  // namespace sentinel::netsim

@@ -1,0 +1,55 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks with a
+// deterministic tie-break (FIFO among equal timestamps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sentinel::netsim {
+
+using SimTime = std::uint64_t;  // nanoseconds since simulation start
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` at absolute time `when` (clamped to now()).
+  void ScheduleAt(SimTime when, Callback callback);
+  /// Schedules `callback` `delay` after the current time.
+  void ScheduleAfter(SimTime delay, Callback callback) {
+    ScheduleAt(now_ + delay, std::move(callback));
+  }
+
+  /// Runs the earliest event. Returns false when the queue is empty.
+  bool RunNext();
+  /// Runs events until the queue empties or `max_events` have run.
+  /// Returns the number of events executed.
+  std::size_t Run(std::size_t max_events = SIZE_MAX);
+  /// Runs events with timestamps <= `until`.
+  std::size_t RunUntil(SimTime until);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sentinel::netsim

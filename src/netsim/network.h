@@ -1,0 +1,213 @@
+// Simulated gateway network reproducing the paper's lab topology (Fig. 4):
+// wireless devices D1..Dn on a shared WiFi medium, wired hosts, a local
+// server and a remote (WAN) server, all hanging off a Security-Gateway
+// switch. Models:
+//   - per-link propagation latency (+jitter),
+//   - WiFi airtime contention as a shared single-server medium,
+//   - gateway packet processing as a single-server queue with a
+//     configurable per-packet service time (the R-Pi CPU),
+//   - CPU busy-time and memory accounting for Fig. 6b/6c.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/rng.h"
+#include "netsim/event_queue.h"
+#include "sdn/controller.h"
+#include "sdn/switch.h"
+
+namespace sentinel::netsim {
+
+enum class LinkKind : std::uint8_t {
+  kWifi,      // shared medium, contention
+  kEthernet,  // dedicated, low latency
+  kWan,       // dedicated, higher latency (remote server)
+};
+
+struct LinkProfile {
+  LinkKind kind = LinkKind::kWifi;
+  /// One-way propagation+driver latency.
+  SimTime base_latency_ns = 6'000'000;  // 6 ms
+  SimTime jitter_ns = 500'000;          // +/- 0.5 ms uniform
+  /// Per-frame loss probability on this link (applied independently to
+  /// each direction). 0 = lossless, the default for the paper's lab.
+  double loss_probability = 0.0;
+};
+
+/// Shared WiFi medium: packets serialize over the air one at a time;
+/// airtime depends on frame size. Models AP-side contention, the effect
+/// behind Fig. 6a's latency-vs-flows curve.
+class SharedMedium {
+ public:
+  explicit SharedMedium(double megabits_per_second = 12.0,
+                        SimTime per_frame_overhead_ns = 250'000)
+      : bits_per_ns_(megabits_per_second / 1000.0),
+        overhead_ns_(per_frame_overhead_ns) {}
+
+  /// Reserves airtime for a frame of `bytes` starting no earlier than
+  /// `now`; returns the transmission completion time.
+  SimTime Transmit(SimTime now, std::size_t bytes);
+
+  [[nodiscard]] SimTime busy_until() const { return busy_until_; }
+
+ private:
+  double bits_per_ns_;
+  SimTime overhead_ns_;
+  SimTime busy_until_ = 0;
+};
+
+/// Gateway CPU model: single-server queue with per-packet service cost.
+class GatewayCpu {
+ public:
+  /// `service_ns` = per-packet forwarding cost; `filter_extra_ns` is added
+  /// while filtering is enabled (rule-cache lookup + policy evaluation).
+  GatewayCpu(SimTime service_ns, SimTime filter_extra_ns)
+      : service_ns_(service_ns), filter_extra_ns_(filter_extra_ns) {}
+
+  void set_filtering(bool on) { filtering_ = on; }
+  [[nodiscard]] bool filtering() const { return filtering_; }
+
+  /// Enqueues one packet arriving at `now`; returns the time processing
+  /// completes. Accumulates busy time.
+  SimTime Process(SimTime now);
+
+  /// CPU utilization over [window_start, window_end): busy fraction plus
+  /// the base system load of the R-Pi deployment (~36% in Fig. 6b).
+  [[nodiscard]] double Utilization(SimTime window_start, SimTime window_end,
+                                   double base_load = 0.36) const;
+
+  void ResetWindow() { busy_ns_ = 0; }
+  [[nodiscard]] SimTime busy_ns() const { return busy_ns_; }
+
+ private:
+  SimTime service_ns_;
+  SimTime filter_extra_ns_;
+  bool filtering_ = false;
+  SimTime busy_until_ = 0;
+  SimTime busy_ns_ = 0;
+};
+
+class Network;
+
+/// A simulated host: wireless IoT device, wired server, or WAN server.
+class SimHost {
+ public:
+  SimHost(Network& network, std::string name, net::MacAddress mac,
+          net::Ipv4Address ip, LinkProfile link, sdn::PortId port);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] net::MacAddress mac() const { return mac_; }
+  [[nodiscard]] net::Ipv4Address ip() const { return ip_; }
+  [[nodiscard]] sdn::PortId port() const { return port_; }
+  [[nodiscard]] const LinkProfile& link() const { return link_; }
+
+  /// Sends a raw frame into the network (uplink).
+  void SendFrame(net::Frame frame);
+
+  /// Sends an ICMP echo request; `on_rtt` fires with the measured RTT when
+  /// the reply arrives.
+  void Ping(const SimHost& target, std::function<void(SimTime rtt_ns)> on_rtt,
+            std::size_t payload = 56);
+
+  /// Sends one UDP datagram to `target`.
+  void SendUdp(const SimHost& target, std::uint16_t dst_port,
+               std::size_t payload);
+
+  /// Delivery from the network (downlink). Echo requests are answered.
+  void Deliver(const net::Frame& frame);
+
+  [[nodiscard]] std::uint64_t received_count() const { return received_; }
+  [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
+
+ private:
+  Network& network_;
+  std::string name_;
+  net::MacAddress mac_;
+  net::Ipv4Address ip_;
+  LinkProfile link_;
+  sdn::PortId port_;
+  std::uint16_t next_icmp_id_ = 1;
+  std::uint16_t next_udp_port_ = 50000;
+  std::unordered_map<std::uint32_t, std::pair<SimTime, std::function<void(SimTime)>>>
+      pending_pings_;  // key = (id<<16)|seq
+  std::uint64_t received_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+/// The simulated network: switch + controller + hosts + media.
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 7);
+
+  /// Adds a host on the next free port. Returned pointer is stable and
+  /// owned by the network.
+  SimHost* AddHost(const std::string& name, net::Ipv4Address ip,
+                   LinkProfile link);
+
+  /// Installs exact bidirectional forwarding rules for every host pair
+  /// (static forwarding; keeps latency benchmarks independent of the
+  /// learning path).
+  void InstallStaticForwarding();
+
+  /// Starts a constant-rate UDP flow src -> dst. Flows run until
+  /// `duration_ns` elapses.
+  void StartFlow(SimHost& src, const SimHost& dst, double packets_per_second,
+                 std::size_t payload, SimTime duration_ns);
+
+  /// Runs the simulation until the event queue drains (or max_events).
+  std::size_t Run(std::size_t max_events = SIZE_MAX) {
+    return queue_.Run(max_events);
+  }
+  std::size_t RunUntil(SimTime until) { return queue_.RunUntil(until); }
+
+  EventQueue& queue() { return queue_; }
+  sdn::SoftwareSwitch& gateway_switch() { return switch_; }
+  sdn::Controller& controller() { return controller_; }
+  GatewayCpu& cpu() { return cpu_; }
+  ml::Rng& rng() { return rng_; }
+  [[nodiscard]] SimHost* HostByIp(net::Ipv4Address ip);
+
+  /// Gateway process memory: baseline footprint plus live datapath state.
+  /// `extra_bytes` lets callers account state held by higher layers (the
+  /// Sentinel enforcement-rule cache).
+  [[nodiscard]] std::size_t GatewayMemoryBytes(std::size_t extra_bytes = 0) const;
+
+  /// Frames dropped by lossy links so far (both directions).
+  [[nodiscard]] std::uint64_t frames_lost() const { return frames_lost_; }
+
+  // -- internal plumbing used by SimHost ------------------------------------
+  void HostTransmit(SimHost& host, net::Frame frame);
+
+ private:
+  void DeliverToHost(SimHost& host, const net::Frame& frame);
+  SimTime LinkDelay(const LinkProfile& link);
+  bool LinkDrops(const LinkProfile& link);
+
+  EventQueue queue_;
+  sdn::SoftwareSwitch switch_;
+  sdn::Controller controller_;
+  GatewayCpu cpu_;
+  /// Userspace redirection cost per gateway pass while filtering is on
+  /// (the wireless-isolation OVS detour of Sect. V) — adds latency without
+  /// consuming CPU budget.
+  SimTime filtering_pipeline_ns_ = 120'000;
+  SharedMedium wifi_;
+  ml::Rng rng_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+  /// Keeps flow generators alive for the network's lifetime (their events
+  /// hold only weak references).
+  std::vector<std::shared_ptr<std::function<void()>>> flows_;
+  sdn::PortId next_port_ = 1;
+  std::uint64_t frames_lost_ = 0;
+  /// Baseline gateway process footprint (OS + controller runtime) — the
+  /// flat component of Fig. 6c.
+  std::size_t base_memory_bytes_ = 38ull * 1024 * 1024;
+};
+
+}  // namespace sentinel::netsim

@@ -1,0 +1,43 @@
+#include "sdn/controller.h"
+
+namespace sentinel::sdn {
+
+void Controller::OnPacketIn(SoftwareSwitch& sw, PortId in_port,
+                            const net::Frame& frame) {
+  net::ParsedPacket packet;
+  try {
+    packet = net::ParseFrame(frame);
+  } catch (const net::CodecError&) {
+    return;
+  }
+
+  for (const auto& module : modules_) {
+    if (module->OnPacketIn(sw, in_port, frame, packet) ==
+        ControllerModule::Verdict::kHandled) {
+      return;
+    }
+  }
+
+  if (!learning_switch_) return;
+
+  // Learn the source location.
+  mac_to_port_[packet.src_mac.ToUint64()] = in_port;
+
+  const auto dst = mac_to_port_.find(packet.dst_mac.ToUint64());
+  if (dst == mac_to_port_.end() || packet.dst_mac.IsMulticast()) {
+    // Unknown or multicast destination: flood without installing state.
+    sw.PacketOut(kPortFlood, in_port, frame);
+    return;
+  }
+
+  // Known destination: install an exact forwarding rule and forward.
+  FlowRule rule;
+  rule.priority = 10;
+  rule.match.eth_src = packet.src_mac;
+  rule.match.eth_dst = packet.dst_mac;
+  rule.actions = {ActionOutput{dst->second}};
+  InstallRule(sw, std::move(rule));
+  sw.PacketOut(dst->second, in_port, frame);
+}
+
+}  // namespace sentinel::sdn

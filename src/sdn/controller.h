@@ -1,0 +1,70 @@
+// SDN controller (Floodlight stand-in) with pluggable modules. The
+// Sentinel enforcement logic is implemented as one such module
+// (core/sentinel_module.h), exactly as the paper describes: "We wrote a
+// custom module for Floodlight SDN controller to perform network
+// monitoring tasks, fingerprint generation and to manage communications
+// with IoT Security Service."
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sdn/switch.h"
+
+namespace sentinel::sdn {
+
+/// Controller module interface. Modules see every packet-in and can
+/// install flow rules through the controller.
+class ControllerModule {
+ public:
+  virtual ~ControllerModule() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Result of packet-in handling.
+  enum class Verdict {
+    kContinue,  // let later modules (and default forwarding) run
+    kHandled,   // stop the chain; the module forwarded/dropped itself
+  };
+
+  /// Called for every packet the switch could not handle in its tables.
+  virtual Verdict OnPacketIn(SoftwareSwitch& sw, PortId in_port,
+                             const net::Frame& frame,
+                             const net::ParsedPacket& packet) = 0;
+};
+
+/// A simple synchronous controller: learning-switch forwarding by default,
+/// with a module chain consulted first.
+class Controller {
+ public:
+  explicit Controller(bool learning_switch = true)
+      : learning_switch_(learning_switch) {}
+
+  /// Registers a module; modules run in registration order.
+  void AddModule(std::shared_ptr<ControllerModule> module) {
+    modules_.push_back(std::move(module));
+  }
+
+  /// Entry point invoked by switches on table miss. Applies modules, then
+  /// (optionally) MAC-learning forwarding: learned destination -> output +
+  /// install exact flow, unknown -> flood.
+  void OnPacketIn(SoftwareSwitch& sw, PortId in_port, const net::Frame& frame);
+
+  /// Installs a rule into the switch's table (FlowMod).
+  static void InstallRule(SoftwareSwitch& sw, FlowRule rule) {
+    sw.flow_table().Add(std::move(rule));
+  }
+
+  [[nodiscard]] const std::unordered_map<std::uint64_t, PortId>& mac_table()
+      const {
+    return mac_to_port_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<ControllerModule>> modules_;
+  bool learning_switch_;
+  std::unordered_map<std::uint64_t, PortId> mac_to_port_;
+};
+
+}  // namespace sentinel::sdn

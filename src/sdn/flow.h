@@ -1,0 +1,103 @@
+// OpenFlow-style match/action flow rules, the substrate the Security
+// Gateway's enforcement compiles into (paper Sect. V: Open vSwitch managed
+// by a custom Floodlight module).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace sentinel::sdn {
+
+using PortId = std::uint32_t;
+
+/// Reserved logical ports.
+inline constexpr PortId kPortController = 0xfffffffd;
+inline constexpr PortId kPortFlood = 0xfffffffb;
+
+/// Wildcardable match over the packet summary a switch extracts. An unset
+/// field matches anything.
+struct FlowMatch {
+  std::optional<PortId> in_port;
+  std::optional<net::MacAddress> eth_src;
+  std::optional<net::MacAddress> eth_dst;
+  std::optional<std::uint16_t> eth_type;
+  std::optional<net::Ipv4Address> ip_src;
+  std::optional<net::Ipv4Address> ip_dst;
+  std::optional<std::uint8_t> ip_proto;
+  std::optional<std::uint16_t> tp_src;
+  std::optional<std::uint16_t> tp_dst;
+
+  /// True when every set field matches `packet` (arriving on `in`).
+  [[nodiscard]] bool Matches(const net::ParsedPacket& packet, PortId in) const;
+
+  /// True when no field is set (matches everything).
+  [[nodiscard]] bool IsWildcard() const;
+  /// True when src/dst MACs and ethertype are all exact — such rules are
+  /// eligible for the exact-match hash cache.
+  [[nodiscard]] bool IsExactOnMacs() const;
+
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const FlowMatch&, const FlowMatch&) = default;
+};
+
+/// Forwarding actions. An empty action list means drop.
+struct ActionOutput {
+  PortId port = 0;
+  friend bool operator==(const ActionOutput&, const ActionOutput&) = default;
+};
+struct ActionFlood {
+  friend bool operator==(const ActionFlood&, const ActionFlood&) = default;
+};
+struct ActionToController {
+  friend bool operator==(const ActionToController&,
+                         const ActionToController&) = default;
+};
+using FlowAction = std::variant<ActionOutput, ActionFlood, ActionToController>;
+
+struct FlowRule {
+  std::uint16_t priority = 0;
+  FlowMatch match;
+  std::vector<FlowAction> actions;  // empty = drop
+  /// Cookie chosen by the installing module (the Sentinel module stores the
+  /// enforcement-rule hash here, tying flow rules back to their policy).
+  std::uint64_t cookie = 0;
+
+  /// OpenFlow-style timeouts (0 = never expires). Idle timeout counts from
+  /// the last matched packet; hard timeout from installation. Expiry is
+  /// driven by FlowTable::ExpireRules.
+  std::uint64_t idle_timeout_ns = 0;
+  std::uint64_t hard_timeout_ns = 0;
+
+  // Counters maintained by the switch.
+  mutable std::uint64_t packet_count = 0;
+  mutable std::uint64_t byte_count = 0;
+  mutable std::uint64_t installed_at_ns = 0;
+  mutable std::uint64_t last_hit_ns = 0;
+
+  /// True when the rule has timed out as of `now_ns`.
+  [[nodiscard]] bool IsExpired(std::uint64_t now_ns) const {
+    if (hard_timeout_ns != 0 && now_ns >= installed_at_ns &&
+        now_ns - installed_at_ns >= hard_timeout_ns)
+      return true;
+    if (idle_timeout_ns != 0) {
+      const std::uint64_t reference =
+          last_hit_ns != 0 ? last_hit_ns : installed_at_ns;
+      if (now_ns >= reference && now_ns - reference >= idle_timeout_ns)
+        return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool IsDrop() const { return actions.empty(); }
+  [[nodiscard]] std::string ToString() const;
+  /// Approximate heap footprint (for the memory benchmarks).
+  [[nodiscard]] std::size_t MemoryBytes() const;
+};
+
+}  // namespace sentinel::sdn

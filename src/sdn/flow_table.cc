@@ -1,0 +1,182 @@
+#include "sdn/flow_table.h"
+
+#include <algorithm>
+
+namespace sentinel::sdn {
+
+namespace {
+
+void InsertByPriority(std::vector<FlowRule*>& rules, FlowRule* rule) {
+  const auto pos = std::upper_bound(
+      rules.begin(), rules.end(), rule,
+      [](const FlowRule* a, const FlowRule* b) {
+        return a->priority > b->priority;
+      });
+  rules.insert(pos, rule);
+}
+
+void Erase(std::vector<FlowRule*>& rules, const FlowRule* rule) {
+  rules.erase(std::remove(rules.begin(), rules.end(), rule), rules.end());
+}
+
+}  // namespace
+
+std::uint64_t FlowTable::Add(FlowRule rule, std::uint64_t now_ns) {
+  rule.installed_at_ns = now_ns;
+  // FlowMod replace semantics.
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->match == rule.match && it->priority == rule.priority) {
+      it->actions = std::move(rule.actions);
+      it->cookie = rule.cookie;
+      it->idle_timeout_ns = rule.idle_timeout_ns;
+      it->hard_timeout_ns = rule.hard_timeout_ns;
+      it->installed_at_ns = now_ns;
+      return next_id_++;
+    }
+  }
+  rules_.push_back(std::move(rule));
+  FlowRule* stored = &rules_.back();
+  if (stored->match.IsExactOnMacs()) {
+    const MacPairKey key{stored->match.eth_src->ToUint64(),
+                         stored->match.eth_dst->ToUint64()};
+    InsertByPriority(exact_index_[key], stored);
+  } else {
+    InsertByPriority(wildcard_rules_, stored);
+  }
+  return next_id_++;
+}
+
+std::size_t FlowTable::RemoveByCookie(std::uint64_t cookie) {
+  std::size_t removed = 0;
+  for (auto it = rules_.begin(); it != rules_.end();) {
+    if (it->cookie != cookie) {
+      ++it;
+      continue;
+    }
+    if (it->match.IsExactOnMacs()) {
+      const MacPairKey key{it->match.eth_src->ToUint64(),
+                           it->match.eth_dst->ToUint64()};
+      auto index_it = exact_index_.find(key);
+      if (index_it != exact_index_.end()) {
+        Erase(index_it->second, &*it);
+        if (index_it->second.empty()) exact_index_.erase(index_it);
+      }
+    } else {
+      Erase(wildcard_rules_, &*it);
+    }
+    it = rules_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+std::size_t FlowTable::RemoveByMac(const net::MacAddress& mac) {
+  std::size_t removed = 0;
+  for (auto it = rules_.begin(); it != rules_.end();) {
+    const bool hit = (it->match.eth_src && *it->match.eth_src == mac) ||
+                     (it->match.eth_dst && *it->match.eth_dst == mac);
+    if (!hit) {
+      ++it;
+      continue;
+    }
+    if (it->match.IsExactOnMacs()) {
+      const MacPairKey key{it->match.eth_src->ToUint64(),
+                           it->match.eth_dst->ToUint64()};
+      auto index_it = exact_index_.find(key);
+      if (index_it != exact_index_.end()) {
+        Erase(index_it->second, &*it);
+        if (index_it->second.empty()) exact_index_.erase(index_it);
+      }
+    } else {
+      Erase(wildcard_rules_, &*it);
+    }
+    it = rules_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+std::size_t FlowTable::ExpireRules(std::uint64_t now_ns) {
+  std::size_t removed = 0;
+  for (auto it = rules_.begin(); it != rules_.end();) {
+    if (!it->IsExpired(now_ns)) {
+      ++it;
+      continue;
+    }
+    if (it->match.IsExactOnMacs()) {
+      const MacPairKey key{it->match.eth_src->ToUint64(),
+                           it->match.eth_dst->ToUint64()};
+      auto index_it = exact_index_.find(key);
+      if (index_it != exact_index_.end()) {
+        Erase(index_it->second, &*it);
+        if (index_it->second.empty()) exact_index_.erase(index_it);
+      }
+    } else {
+      Erase(wildcard_rules_, &*it);
+    }
+    it = rules_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+void FlowTable::Clear() {
+  rules_.clear();
+  wildcard_rules_.clear();
+  exact_index_.clear();
+}
+
+const FlowRule* FlowTable::Lookup(const net::ParsedPacket& packet,
+                                  PortId in_port) const {
+  ++stats_.lookups;
+  const FlowRule* best = nullptr;
+
+  const MacPairKey key{packet.src_mac.ToUint64(), packet.dst_mac.ToUint64()};
+  const auto it = exact_index_.find(key);
+  if (it != exact_index_.end()) {
+    for (const FlowRule* rule : it->second) {
+      if (rule->match.Matches(packet, in_port)) {
+        best = rule;
+        ++stats_.hash_hits;
+        break;  // sorted by priority
+      }
+    }
+  }
+
+  // Wildcard rules are sorted by descending priority, so the scan can stop
+  // as soon as remaining priorities cannot beat the exact-match hit.
+  for (const FlowRule* rule : wildcard_rules_) {
+    if (best && rule->priority <= best->priority) break;
+    if (rule->match.Matches(packet, in_port)) {
+      best = rule;
+      ++stats_.linear_hits;
+      break;
+    }
+  }
+
+  if (best == nullptr) ++stats_.misses;
+  return best;
+}
+
+std::vector<const FlowRule*> FlowTable::Rules() const {
+  std::vector<const FlowRule*> out;
+  out.reserve(rules_.size());
+  for (const auto& rule : rules_) out.push_back(&rule);
+  return out;
+}
+
+std::size_t FlowTable::MemoryBytes() const {
+  std::size_t total = sizeof(*this);
+  for (const auto& rule : rules_)
+    total += rule.MemoryBytes() + 2 * sizeof(void*);  // list node overhead
+  total += wildcard_rules_.capacity() * sizeof(FlowRule*);
+  // unordered_map: buckets + one node per entry.
+  total += exact_index_.bucket_count() * sizeof(void*);
+  for (const auto& [key, rules] : exact_index_) {
+    total += sizeof(key) + sizeof(void*) * 2 +
+             rules.capacity() * sizeof(FlowRule*);
+  }
+  return total;
+}
+
+}  // namespace sentinel::sdn

@@ -1,0 +1,91 @@
+#include "sdn/switch.h"
+
+#include "sdn/controller.h"
+
+namespace sentinel::sdn {
+
+SoftwareSwitch::SoftwareSwitch(std::string datapath_id)
+    : datapath_id_(std::move(datapath_id)) {}
+
+void SoftwareSwitch::AttachPort(PortId port, PortOutput output) {
+  ports_[port] = std::move(output);
+}
+
+void SoftwareSwitch::DetachPort(PortId port) { ports_.erase(port); }
+
+bool SoftwareSwitch::Inject(PortId in_port, const net::Frame& frame) {
+  ++counters_.received;
+  net::ParsedPacket packet;
+  try {
+    packet = net::ParseFrame(frame);
+  } catch (const net::CodecError&) {
+    ++counters_.malformed;
+    return false;
+  }
+
+  const FlowRule* rule = table_.Lookup(packet, in_port);
+  if (rule == nullptr) {
+    ++counters_.packet_ins;
+    if (controller_ != nullptr) controller_->OnPacketIn(*this, in_port, frame);
+    // The controller may have installed rules and/or forwarded the frame
+    // itself; from the datapath's perspective this frame is handled.
+    return true;
+  }
+
+  rule->packet_count++;
+  rule->byte_count += frame.size();
+  rule->last_hit_ns = frame.timestamp_ns;
+  if (rule->IsDrop()) {
+    ++counters_.dropped;
+    return false;
+  }
+  bool forwarded = false;
+  for (const auto& action : rule->actions) {
+    if (const auto* out = std::get_if<ActionOutput>(&action)) {
+      Output(out->port, in_port, frame);
+      forwarded = true;
+    } else if (std::holds_alternative<ActionFlood>(action)) {
+      Flood(in_port, frame);
+      forwarded = true;
+    } else if (std::holds_alternative<ActionToController>(action)) {
+      ++counters_.packet_ins;
+      if (controller_ != nullptr)
+        controller_->OnPacketIn(*this, in_port, frame);
+    }
+  }
+  if (forwarded) ++counters_.forwarded;
+  return forwarded;
+}
+
+void SoftwareSwitch::PacketOut(PortId out_port, PortId in_port,
+                               const net::Frame& frame) {
+  ++counters_.forwarded;
+  Output(out_port, in_port, frame);
+}
+
+void SoftwareSwitch::Output(PortId out_port, PortId in_port,
+                            const net::Frame& frame) {
+  if (out_port == kPortFlood) {
+    Flood(in_port, frame);
+    return;
+  }
+  const auto it = ports_.find(out_port);
+  if (it != ports_.end() && it->second) it->second(frame);
+}
+
+void SoftwareSwitch::Flood(PortId in_port, const net::Frame& frame) {
+  ++counters_.flooded;
+  for (const auto& [port, output] : ports_) {
+    if (port == in_port || !output) continue;
+    output(frame);
+  }
+}
+
+std::size_t SoftwareSwitch::MemoryBytes() const {
+  std::size_t total = sizeof(*this) + table_.MemoryBytes();
+  total += ports_.size() * (sizeof(PortId) + sizeof(PortOutput) +
+                            2 * sizeof(void*));
+  return total;
+}
+
+}  // namespace sentinel::sdn

@@ -1,0 +1,259 @@
+// Gateway network services tests: DHCP lease lifecycle, DNS resolution,
+// NTP, ARP/ICMP responders, and the live-datapath module where a device
+// leases its address from the real DHCP server.
+#include <gtest/gtest.h>
+
+#include "core/gateway.h"
+#include "core/gateway_services.h"
+#include "devices/simulator.h"
+
+namespace sentinel::core {
+namespace {
+
+const net::MacAddress kDevice = *net::MacAddress::Parse("50:c7:bf:00:00:aa");
+const net::Ipv4Address kDeviceIp(192, 168, 1, 100);
+
+GatewayServices MakeServices() {
+  GatewayServicesConfig config;
+  config.pool_size = 5;  // small pool: exhaustion is testable
+  return GatewayServices(config, [](const std::string& name)
+                             -> std::optional<net::Ipv4Address> {
+    if (name == "nx.example") return std::nullopt;
+    return devices::NetworkEnvironment().ResolveEndpoint(name);
+  });
+}
+
+net::Frame DhcpFrame(const net::DhcpMessage& message,
+                     const net::MacAddress& src) {
+  net::UdpDatagram udp;
+  udp.src_port = net::kPortDhcpClient;
+  udp.dst_port = net::kPortDhcpServer;
+  net::ByteWriter w;
+  message.Encode(w);
+  udp.payload = std::move(w).Take();
+  return net::BuildUdp4Frame(1'000, src, net::MacAddress::Broadcast(),
+                             net::Ipv4Address::Any(),
+                             net::Ipv4Address::Broadcast(), udp);
+}
+
+net::DhcpMessage DecodeDhcpResponse(const net::Frame& frame) {
+  net::ByteReader r(frame.bytes);
+  net::EthernetHeader::Decode(r);
+  std::size_t payload_len = 0;
+  net::Ipv4Header::Decode(r, payload_len);
+  const auto udp = net::UdpDatagram::Decode(r);
+  net::ByteReader dhcp(udp.payload);
+  return net::DhcpMessage::Decode(dhcp);
+}
+
+TEST(GatewayServicesTest, DhcpDiscoverOfferRequestAck) {
+  auto services = MakeServices();
+
+  const auto discover =
+      net::DhcpMessage::Discover(kDevice, 0x42, "plug", {1, 3, 6});
+  auto responses = services.HandleFrame(DhcpFrame(discover, kDevice));
+  ASSERT_EQ(responses.size(), 1u);
+  const auto offer = DecodeDhcpResponse(responses[0]);
+  ASSERT_EQ(*offer.MessageType(), net::DhcpMessageType::kOffer);
+  EXPECT_EQ(offer.your_ip, kDeviceIp);  // first pool address
+  EXPECT_EQ(offer.transaction_id, 0x42u);
+
+  const auto request = net::DhcpMessage::Request(
+      kDevice, 0x42, offer.your_ip, services.config().ip, "plug");
+  responses = services.HandleFrame(DhcpFrame(request, kDevice));
+  ASSERT_EQ(responses.size(), 1u);
+  const auto ack = DecodeDhcpResponse(responses[0]);
+  ASSERT_EQ(*ack.MessageType(), net::DhcpMessageType::kAck);
+  EXPECT_EQ(ack.your_ip, kDeviceIp);
+  EXPECT_EQ(services.LeaseOf(kDevice), kDeviceIp);
+  EXPECT_EQ(services.counters().dhcp_offers, 1u);
+  EXPECT_EQ(services.counters().dhcp_acks, 1u);
+}
+
+TEST(GatewayServicesTest, LeasesAreStickyAndPoolExhausts) {
+  auto services = MakeServices();
+  // Exhaust the 5-address pool with distinct devices.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto mac = net::MacAddress::FromUint64(0x100 + i);
+    const auto discover = net::DhcpMessage::Discover(mac, i, "d", {});
+    ASSERT_EQ(services.HandleFrame(DhcpFrame(discover, mac)).size(), 1u);
+  }
+  EXPECT_EQ(services.active_leases(), 5u);
+
+  // A sixth device gets nothing.
+  const auto sixth = net::MacAddress::FromUint64(0x999);
+  EXPECT_TRUE(services
+                  .HandleFrame(DhcpFrame(
+                      net::DhcpMessage::Discover(sixth, 9, "d", {}), sixth))
+                  .empty());
+
+  // A known device re-discovering gets its previous address back.
+  const auto mac0 = net::MacAddress::FromUint64(0x100);
+  const auto lease_before = services.LeaseOf(mac0);
+  const auto responses = services.HandleFrame(
+      DhcpFrame(net::DhcpMessage::Discover(mac0, 77, "d", {}), mac0));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(DecodeDhcpResponse(responses[0]).your_ip, *lease_before);
+  EXPECT_EQ(services.active_leases(), 5u);
+}
+
+TEST(GatewayServicesTest, RequestForTakenAddressGetsNak) {
+  auto services = MakeServices();
+  // Device A leases the first pool address.
+  const auto a = net::MacAddress::FromUint64(0xa);
+  services.HandleFrame(DhcpFrame(net::DhcpMessage::Discover(a, 1, "a", {}), a));
+  services.HandleFrame(DhcpFrame(
+      net::DhcpMessage::Request(a, 1, kDeviceIp, services.config().ip, "a"),
+      a));
+  ASSERT_EQ(services.LeaseOf(a), kDeviceIp);
+
+  // Device B requests that same address directly (stale lease on its side):
+  // the server assigns a different one, and since the request named a
+  // specific address it must NAK rather than silently substitute.
+  const auto b = net::MacAddress::FromUint64(0xb);
+  const auto responses = services.HandleFrame(DhcpFrame(
+      net::DhcpMessage::Request(b, 2, kDeviceIp, services.config().ip, "b"),
+      b));
+  ASSERT_EQ(responses.size(), 1u);
+  const auto reply = DecodeDhcpResponse(responses[0]);
+  ASSERT_TRUE(reply.MessageType().has_value());
+  EXPECT_EQ(*reply.MessageType(), net::DhcpMessageType::kNak);
+  EXPECT_EQ(services.counters().dhcp_naks, 1u);
+}
+
+TEST(GatewayServicesTest, LeaseExpiryFreesAddresses) {
+  GatewayServicesConfig config;
+  config.pool_size = 1;
+  config.lease_duration_ns = 1'000;
+  GatewayServices services(config, [](const std::string&) {
+    return std::optional<net::Ipv4Address>{};
+  });
+  const auto mac = net::MacAddress::FromUint64(1);
+  services.HandleFrame(DhcpFrame(net::DhcpMessage::Discover(mac, 1, "", {}),
+                                 mac));
+  ASSERT_EQ(services.active_leases(), 1u);
+  EXPECT_EQ(services.ExpireLeases(500), 0u);        // still valid
+  EXPECT_EQ(services.ExpireLeases(10'000'000), 1u);  // expired
+  EXPECT_EQ(services.active_leases(), 0u);
+}
+
+TEST(GatewayServicesTest, DnsAnswersAndNxdomain) {
+  auto services = MakeServices();
+  auto make_query = [&](const std::string& name) {
+    net::UdpDatagram udp;
+    udp.src_port = 50001;
+    udp.dst_port = net::kPortDns;
+    net::ByteWriter w;
+    net::DnsMessage::Query(7, name).Encode(w);
+    udp.payload = std::move(w).Take();
+    return net::BuildUdp4Frame(1, kDevice, services.config().mac, kDeviceIp,
+                               services.config().ip, udp);
+  };
+
+  auto responses = services.HandleFrame(make_query("api.fitbit.com"));
+  ASSERT_EQ(responses.size(), 1u);
+  {
+    net::ByteReader r(responses[0].bytes);
+    net::EthernetHeader::Decode(r);
+    std::size_t len = 0;
+    net::Ipv4Header::Decode(r, len);
+    const auto udp = net::UdpDatagram::Decode(r);
+    EXPECT_EQ(udp.dst_port, 50001);
+    net::ByteReader dns(udp.payload);
+    const auto answer = net::DnsMessage::Decode(dns);
+    EXPECT_TRUE(answer.IsResponse());
+    ASSERT_EQ(answer.answers.size(), 1u);
+  }
+
+  responses = services.HandleFrame(make_query("nx.example"));
+  ASSERT_EQ(responses.size(), 1u);
+  {
+    net::ByteReader r(responses[0].bytes);
+    net::EthernetHeader::Decode(r);
+    std::size_t len = 0;
+    net::Ipv4Header::Decode(r, len);
+    const auto udp = net::UdpDatagram::Decode(r);
+    net::ByteReader dns(udp.payload);
+    const auto answer = net::DnsMessage::Decode(dns);
+    EXPECT_TRUE(answer.IsResponse());
+    EXPECT_TRUE(answer.answers.empty());
+    EXPECT_EQ(answer.flags & 0x000f, 3u);  // NXDOMAIN
+  }
+  EXPECT_EQ(services.counters().dns_answers, 1u);
+  EXPECT_EQ(services.counters().dns_failures, 1u);
+}
+
+TEST(GatewayServicesTest, ArpNtpAndPingResponders) {
+  auto services = MakeServices();
+
+  // ARP who-has the gateway.
+  net::ArpPacket who_has;
+  who_has.operation = net::ArpOperation::kRequest;
+  who_has.sender_mac = kDevice;
+  who_has.sender_ip = kDeviceIp;
+  who_has.target_ip = services.config().ip;
+  auto responses = services.HandleFrame(net::BuildArpFrame(
+      1, kDevice, net::MacAddress::Broadcast(), who_has));
+  ASSERT_EQ(responses.size(), 1u);
+  {
+    net::ByteReader r(responses[0].bytes);
+    net::EthernetHeader::Decode(r);
+    const auto reply = net::ArpPacket::Decode(r);
+    EXPECT_EQ(reply.operation, net::ArpOperation::kReply);
+    EXPECT_EQ(reply.sender_mac, services.config().mac);
+    EXPECT_EQ(reply.sender_ip, services.config().ip);
+  }
+  // ARP for a different IP: silence.
+  who_has.target_ip = net::Ipv4Address(192, 168, 1, 55);
+  EXPECT_TRUE(services
+                  .HandleFrame(net::BuildArpFrame(
+                      1, kDevice, net::MacAddress::Broadcast(), who_has))
+                  .empty());
+
+  // NTP.
+  net::UdpDatagram ntp;
+  ntp.src_port = 50002;
+  ntp.dst_port = net::kPortNtp;
+  net::ByteWriter w;
+  net::NtpPacket::ClientRequest(123).Encode(w);
+  ntp.payload = std::move(w).Take();
+  responses = services.HandleFrame(net::BuildUdp4Frame(
+      1, kDevice, services.config().mac, kDeviceIp, services.config().ip,
+      ntp));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(services.counters().ntp_replies, 1u);
+
+  // Ping.
+  responses = services.HandleFrame(net::BuildIcmp4Frame(
+      1, kDevice, services.config().mac, kDeviceIp, services.config().ip,
+      net::IcmpMessage::EchoRequest(1, 1, 16)));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(services.counters().icmp_replies, 1u);
+}
+
+TEST(GatewayServicesTest, LiveDatapathLeaseThroughModule) {
+  // A gateway with services enabled: a device broadcasts DHCPDISCOVER on
+  // its port and the offer comes back out the same port.
+  auto service = BuildTrainedSecurityService(/*n_per_type=*/5, /*seed=*/5);
+  SecurityGatewayConfig config;
+  config.enable_services = true;
+  SecurityGateway gateway(*service, config);
+  ASSERT_TRUE(gateway.has_services());
+
+  std::vector<net::Frame> received;
+  gateway.AttachPort(10, [&](const net::Frame& f) { received.push_back(f); });
+  gateway.AttachWan([](const net::Frame&) {});
+
+  gateway.Ingress(
+      10, DhcpFrame(net::DhcpMessage::Discover(kDevice, 0x77, "cam", {1, 3}),
+                    kDevice));
+  ASSERT_FALSE(received.empty());
+  const auto offer = DecodeDhcpResponse(received.front());
+  EXPECT_EQ(*offer.MessageType(), net::DhcpMessageType::kOffer);
+  EXPECT_EQ(gateway.services().LeaseOf(kDevice), offer.your_ip);
+  // The Sentinel monitor also saw the packet (services don't consume).
+  EXPECT_TRUE(gateway.sentinel().monitor().IsKnown(kDevice));
+}
+
+}  // namespace
+}  // namespace sentinel::core

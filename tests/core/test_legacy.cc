@@ -1,0 +1,146 @@
+// Legacy-migration tests (Sect. VIII-A): identification from standby
+// traffic and the WPS-rekeying overlay migration rules.
+#include <gtest/gtest.h>
+
+#include "core/legacy.h"
+#include "devices/simulator.h"
+
+namespace sentinel::core {
+namespace {
+
+class LegacyMigrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Legacy mode identifies from operational traffic, so the classifier
+    // bank must be trained on standby episodes (Sect. VIII-A).
+    service_ = BuildTrainedSecurityService(/*n_per_type=*/12, /*seed=*/42,
+                                           IdentifierConfig{},
+                                           TrainingTrafficMode::kStandby)
+                   .release();
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+  }
+
+  LegacyMigrationTest()
+      : engine_(*net::MacAddress::Parse("02:00:5e:00:00:01"),
+                net::Ipv4Address(192, 168, 1, 1)) {}
+
+  static SecurityService* service_;
+  EnforcementEngine engine_;
+};
+
+SecurityService* LegacyMigrationTest::service_ = nullptr;
+
+TEST_F(LegacyMigrationTest, MigratesMixedLegacyFleet) {
+  devices::DeviceSimulator simulator(31415);
+  // A legacy network: a clean WPS-capable gateway (Lightify), a clean
+  // scale without WPS (Withings), and a vulnerable plug (EdimaxPlug1101W).
+  const auto lightify = simulator.RunStandbyEpisode(
+      devices::FindDeviceType("Lightify"));
+  const auto withings = simulator.RunStandbyEpisode(
+      devices::FindDeviceType("Withings"));
+  const auto edimax = simulator.RunStandbyEpisode(
+      devices::FindDeviceType("EdimaxPlug1101W"));
+
+  capture::Trace combined;
+  combined.Append(lightify.trace);
+  combined.Append(withings.trace);
+  combined.Append(edimax.trace);
+  combined.SortByTime();
+
+  const auto reports = MigrateLegacyNetwork(combined, *service_, engine_);
+
+  // Every device got a rule; the gateway itself was skipped.
+  EXPECT_EQ(engine_.rule_count(), reports.size());
+  ASSERT_GE(reports.size(), 3u);
+
+  auto find = [&](net::MacAddress mac) -> const LegacyDeviceReport* {
+    for (const auto& report : reports)
+      if (report.mac == mac) return &report;
+    return nullptr;
+  };
+
+  const auto* lightify_report = find(lightify.device_mac);
+  ASSERT_NE(lightify_report, nullptr);
+  if (lightify_report->type_identifier == "Lightify") {
+    // Clean + WPS: re-keyed into the trusted overlay.
+    EXPECT_TRUE(lightify_report->migrated_to_trusted);
+    EXPECT_EQ(lightify_report->level, IsolationLevel::kTrusted);
+    EXPECT_FALSE(lightify_report->needs_manual_reintroduction);
+  }
+
+  const auto* withings_report = find(withings.device_mac);
+  ASSERT_NE(withings_report, nullptr);
+  if (withings_report->type_identifier == "Withings") {
+    // Clean but no WPS re-keying: stays untrusted, manual re-introduction.
+    EXPECT_FALSE(withings_report->migrated_to_trusted);
+    EXPECT_EQ(withings_report->level, IsolationLevel::kRestricted);
+    EXPECT_TRUE(withings_report->needs_manual_reintroduction);
+  }
+
+  const auto* edimax_report = find(edimax.device_mac);
+  ASSERT_NE(edimax_report, nullptr);
+  if (edimax_report->type_identifier == "EdimaxPlug1101W") {
+    // Vulnerable: restricted regardless of WPS support.
+    EXPECT_FALSE(edimax_report->migrated_to_trusted);
+    EXPECT_EQ(edimax_report->level, IsolationLevel::kRestricted);
+    EXPECT_FALSE(edimax_report->needs_manual_reintroduction);
+    const auto* rule = engine_.Find(edimax.device_mac);
+    ASSERT_NE(rule, nullptr);
+    EXPECT_FALSE(rule->allowed_endpoints.empty());
+  }
+
+  // At least two of the three standby fingerprints must identify correctly
+  // (the legacy mode is expected to be weaker than setup-phase mode but
+  // far better than chance — ablation_legacy quantifies this).
+  int correct = 0;
+  correct += lightify_report->type_identifier == "Lightify";
+  correct += withings_report->type_identifier == "Withings";
+  correct += edimax_report->type_identifier == "EdimaxPlug1101W";
+  EXPECT_GE(correct, 2);
+}
+
+TEST_F(LegacyMigrationTest, UnknownLegacyDeviceIsolatedStrictly) {
+  // Hand-built traffic resembling no catalog type.
+  const auto alien = *net::MacAddress::Parse("de:ad:00:00:77:01");
+  capture::Trace trace;
+  for (int i = 0; i < 10; ++i) {
+    net::UdpDatagram udp;
+    udp.src_port = static_cast<std::uint16_t>(1200 + i);
+    udp.dst_port = 4444;
+    udp.payload.assign(static_cast<std::size_t>(700 + 31 * i), 0x11);
+    trace.Append(net::BuildUdp4Frame(
+        static_cast<std::uint64_t>(i) * 50'000'000, alien,
+        net::MacAddress::Broadcast(), net::Ipv4Address(192, 168, 1, 77),
+        net::Ipv4Address(192, 168, 1, 255), udp));
+    trace.Append(net::BuildLlcFrame(
+        static_cast<std::uint64_t>(i) * 50'000'000 + 10'000'000, alien,
+        net::MacAddress::Broadcast(), 90 + static_cast<std::size_t>(i)));
+  }
+  const auto reports = MigrateLegacyNetwork(trace, *service_, engine_);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].type.has_value());
+  EXPECT_EQ(reports[0].level, IsolationLevel::kStrict);
+  EXPECT_EQ(engine_.EffectiveLevel(alien), IsolationLevel::kStrict);
+}
+
+TEST_F(LegacyMigrationTest, NoiseSourcesSkipped) {
+  // A source with fewer than min_packets frames is ignored.
+  const auto ghost = *net::MacAddress::Parse("aa:bb:cc:00:00:99");
+  capture::Trace trace;
+  net::UdpDatagram udp;
+  udp.src_port = 1234;
+  udp.dst_port = 80;
+  udp.payload = {1};
+  trace.Append(net::BuildUdp4Frame(0, ghost, net::MacAddress::Broadcast(),
+                                   net::Ipv4Address(192, 168, 1, 9),
+                                   net::Ipv4Address(192, 168, 1, 255), udp));
+  const auto reports = MigrateLegacyNetwork(trace, *service_, engine_);
+  EXPECT_TRUE(reports.empty());
+  EXPECT_EQ(engine_.rule_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sentinel::core

@@ -1,0 +1,172 @@
+// Live end-to-end integration inside the discrete-event simulator: a
+// device's setup traffic is replayed over the simulated network at its
+// original timestamps; the Sentinel controller module fingerprints it
+// in-band, queries the security service, installs enforcement, and the
+// datapath then confines the device — all under simulated time, with the
+// monitor's idle flush driven by scheduled housekeeping events.
+#include <gtest/gtest.h>
+
+#include "core/enforcement.h"
+#include "core/security_service.h"
+#include "core/sentinel_module.h"
+#include "devices/simulator.h"
+#include "netsim/network.h"
+
+namespace sentinel::core {
+namespace {
+
+class LiveNetsimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    service_ = BuildTrainedSecurityService(/*n_per_type=*/10, /*seed=*/42)
+                   .release();
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+  }
+  static SecurityService* service_;
+};
+
+SecurityService* LiveNetsimTest::service_ = nullptr;
+
+TEST_F(LiveNetsimTest, DeviceIdentifiedAndConfinedUnderSimulatedTime) {
+  netsim::Network network(21);
+  auto* device_host = network.AddHost(
+      "iot-device", net::Ipv4Address(192, 168, 1, 100),
+      {netsim::LinkKind::kWifi, 6'000'000, 300'000});
+  auto* victim = network.AddHost("victim", net::Ipv4Address(192, 168, 1, 50),
+                                 {netsim::LinkKind::kWifi, 6'000'000, 300'000});
+  auto* wan = network.AddHost("uplink", net::Ipv4Address(52, 99, 99, 99),
+                              {netsim::LinkKind::kWan, 4'000'000, 500'000});
+
+  // Wire the Sentinel module into the simulator's controller.
+  EnforcementEngine engine(
+      *net::MacAddress::Parse("02:00:5e:00:00:01"),
+      net::Ipv4Address(192, 168, 1, 1));
+  SentinelModuleConfig module_config;
+  module_config.wan_port = wan->port();
+  auto module =
+      std::make_shared<SentinelModule>(*service_, engine, module_config);
+  std::vector<IdentificationEvent> events;
+  module->OnIdentification(
+      [&](const IdentificationEvent& event) { events.push_back(event); });
+  network.controller().AddModule(module);
+
+  // Give the trusted victim its enforcement verdict up front (it was
+  // onboarded earlier).
+  EnforcementRule victim_rule;
+  victim_rule.device_mac = victim->mac();
+  victim_rule.level = IsolationLevel::kTrusted;
+  engine.Install(victim_rule);
+
+  // Simulate an EdnetCam (vulnerable) setup episode and replay the
+  // device's frames over the simulated WiFi at their original timestamps.
+  devices::DeviceSimulator simulator(777);
+  const auto episode =
+      simulator.RunSetupEpisode(devices::FindDeviceType("EdnetCam"));
+  module->AddInfrastructureMac(
+      *net::MacAddress::Parse("02:00:5e:00:00:01"));  // episode responder
+
+  const std::uint64_t base = episode.trace.frames().front().timestamp_ns;
+  std::uint64_t last_offset = 0;
+  for (const auto& frame : episode.trace.frames()) {
+    const auto packet = net::ParseFrame(frame);
+    if (packet.src_mac != episode.device_mac) continue;  // device side only
+    const std::uint64_t offset = frame.timestamp_ns - base;
+    last_offset = offset;
+    network.queue().ScheduleAt(offset, [device_host, frame]() {
+      device_host->SendFrame(frame);
+    });
+  }
+
+  // Periodic monitor housekeeping, as the gateway runs it. The recurring
+  // event holds the callback by weak_ptr so no ownership cycle forms.
+  auto flush = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_flush = flush;
+  *flush = [&network, module, weak_flush]() {
+    module->FlushIdle(network.queue().now());
+    if (network.queue().now() < 120'000'000'000ull) {
+      network.queue().ScheduleAfter(2'000'000'000, [weak_flush]() {
+        if (const auto self = weak_flush.lock()) (*self)();
+      });
+    }
+  };
+  network.queue().ScheduleAfter(2'000'000'000, [weak_flush]() {
+    if (const auto self = weak_flush.lock()) (*self)();
+  });
+
+  // Run until the setup replay and the idle flush have completed.
+  network.RunUntil(last_offset + 30'000'000'000ull);
+
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].device_mac, episode.device_mac);
+  EXPECT_EQ(events[0].assessment.type_identifier, "EdnetCam");
+  EXPECT_EQ(events[0].assessment.level, IsolationLevel::kRestricted);
+  EXPECT_EQ(engine.EffectiveLevel(episode.device_mac),
+            IsolationLevel::kRestricted);
+
+  // Post-identification, the (now restricted) camera attacks the trusted
+  // victim over the simulated network: the datapath must drop it.
+  const auto victim_received = victim->received_count();
+  net::UdpDatagram attack;
+  attack.src_port = 50000;
+  attack.dst_port = 23;
+  attack.payload = {0x41};
+  const auto attack_frame = net::BuildUdp4Frame(
+      network.queue().now(), episode.device_mac, victim->mac(),
+      episode.device_ip, victim->ip(), attack);
+  network.queue().ScheduleAfter(1'000'000, [device_host, attack_frame]() {
+    device_host->SendFrame(attack_frame);
+  });
+  network.RunUntil(network.queue().now() + 5'000'000'000ull);
+  EXPECT_EQ(victim->received_count(), victim_received);
+  EXPECT_GT(module->drops_installed(), 0u);
+
+  // And the drop is now enforced in the flow table without controller help.
+  const auto packet_ins = network.gateway_switch().counters().packet_ins;
+  network.queue().ScheduleAfter(1'000'000, [device_host, attack_frame]() {
+    device_host->SendFrame(attack_frame);
+  });
+  network.RunUntil(network.queue().now() + 5'000'000'000ull);
+  EXPECT_EQ(network.gateway_switch().counters().packet_ins, packet_ins);
+  EXPECT_EQ(victim->received_count(), victim_received);
+}
+
+TEST_F(LiveNetsimTest, SetupTrafficReachesWanDuringFingerprinting) {
+  netsim::Network network(22);
+  auto* device_host = network.AddHost(
+      "iot-device", net::Ipv4Address(192, 168, 1, 101),
+      {netsim::LinkKind::kWifi, 6'000'000, 300'000});
+  auto* wan = network.AddHost("uplink", net::Ipv4Address(52, 88, 88, 88),
+                              {netsim::LinkKind::kWan, 4'000'000, 500'000});
+
+  EnforcementEngine engine(
+      *net::MacAddress::Parse("02:00:5e:00:00:01"),
+      net::Ipv4Address(192, 168, 1, 1));
+  SentinelModuleConfig module_config;
+  module_config.wan_port = wan->port();
+  auto module =
+      std::make_shared<SentinelModule>(*service_, engine, module_config);
+  network.controller().AddModule(module);
+
+  devices::DeviceSimulator simulator(778);
+  const auto episode =
+      simulator.RunSetupEpisode(devices::FindDeviceType("Aria"));
+  const std::uint64_t base = episode.trace.frames().front().timestamp_ns;
+  for (const auto& frame : episode.trace.frames()) {
+    const auto packet = net::ParseFrame(frame);
+    if (packet.src_mac != episode.device_mac) continue;
+    network.queue().ScheduleAt(frame.timestamp_ns - base,
+                               [device_host, frame]() {
+                                 device_host->SendFrame(frame);
+                               });
+  }
+  network.Run();
+  // Cloud-bound setup packets were forwarded out the WAN port while the
+  // device was still being fingerprinted.
+  EXPECT_GT(wan->received_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sentinel::core

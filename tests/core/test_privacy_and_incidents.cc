@@ -1,0 +1,148 @@
+// Tests for the anonymizing transport (padded IoTSSP queries) and the
+// crowdsourced incident registry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/anonymizing_transport.h"
+#include "devices/simulator.h"
+
+namespace sentinel::core {
+namespace {
+
+class PrivacyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    service_ = BuildTrainedSecurityService(/*n_per_type=*/10, /*seed=*/42)
+                   .release();
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+  }
+  static SecurityService* service_;
+};
+
+SecurityService* PrivacyTest::service_ = nullptr;
+
+TEST_F(PrivacyTest, PaddingRoundTripAndCellAlignment) {
+  SecurityServiceServer server(*service_);
+  LoopbackTransport loopback(server);
+  AnonymizingTransport anonymized(loopback, {.cell_bytes = 512});
+
+  for (std::size_t size : {1u, 100u, 508u, 509u, 512u, 1000u, 4096u}) {
+    std::vector<std::uint8_t> payload(size, 0xab);
+    const auto padded = anonymized.Pad(payload);
+    EXPECT_EQ(padded.size() % 512, 0u) << size;
+    EXPECT_GE(padded.size(), size + 4);
+    EXPECT_EQ(AnonymizingTransport::Unpad(padded), payload) << size;
+  }
+}
+
+TEST_F(PrivacyTest, UnpadRejectsCorruptLength) {
+  std::vector<std::uint8_t> cells(512, 0);
+  cells[0] = 0xff;  // length far larger than the cell
+  cells[1] = 0xff;
+  EXPECT_THROW(AnonymizingTransport::Unpad(cells), net::CodecError);
+}
+
+TEST_F(PrivacyTest, AssessmentsUnchangedThroughAnonymizer) {
+  SecurityServiceServer server(*service_);
+  LoopbackTransport loopback(server);
+  AnonymizingTransport anonymized(loopback, {.cell_bytes = 512});
+  RemoteSecurityServiceClient direct_client(loopback);
+  RemoteSecurityServiceClient anonymous_client(anonymized);
+
+  std::uint64_t total_latency = 0;
+  anonymized.OnLatency([&](std::uint64_t ns) { total_latency += ns; });
+
+  devices::DeviceSimulator simulator(88);
+  for (const char* name : {"HueBridge", "EdimaxCam"}) {
+    const auto episode =
+        simulator.RunSetupEpisode(devices::FindDeviceType(name));
+    const auto full = devices::DeviceSimulator::ExtractFingerprint(episode);
+    const auto fixed = features::FixedFingerprint::FromFingerprint(full);
+    const auto direct = direct_client.Assess(full, fixed);
+    const auto anonymous = anonymized.circuits_used();
+    const auto via_tor = anonymous_client.Assess(full, fixed);
+    EXPECT_EQ(anonymized.circuits_used(), anonymous + 1);
+    EXPECT_EQ(direct.type.has_value(), via_tor.type.has_value());
+    if (direct.type) {
+      EXPECT_EQ(*direct.type, *via_tor.type);
+    }
+    EXPECT_EQ(direct.level, via_tor.level);
+  }
+  EXPECT_EQ(total_latency, 2u * 350'000'000u);
+  // Every padded message is cell-aligned, so sizes leak only the bucket.
+  EXPECT_EQ(anonymized.padded_bytes_sent() % 512, 0u);
+}
+
+TEST_F(PrivacyTest, PaddingHidesFingerprintSizeBuckets) {
+  SecurityServiceServer server(*service_);
+  LoopbackTransport loopback(server);
+  AnonymizingTransport anonymized(loopback, {.cell_bytes = 4096});
+
+  // Fingerprints of very different device types produce identically-sized
+  // padded requests when they fall in the same bucket.
+  std::set<std::size_t> padded_sizes;
+  devices::DeviceSimulator simulator(89);
+  for (const char* name : {"Aria", "HueSwitch", "WeMoSwitch"}) {
+    const auto episode =
+        simulator.RunSetupEpisode(devices::FindDeviceType(name));
+    const auto full = devices::DeviceSimulator::ExtractFingerprint(episode);
+    const auto fixed = features::FixedFingerprint::FromFingerprint(full);
+    const auto request = EncodeAssessRequest(AssessRequest{full, fixed});
+    padded_sizes.insert(anonymized.Pad(request).size());
+  }
+  EXPECT_EQ(padded_sizes.size(), 1u);  // all in the 4 KiB bucket
+}
+
+TEST(IncidentRegistry, ThresholdCountsDistinctReporters) {
+  IncidentRegistry registry(/*threshold=*/3);
+  // The same gateway reporting repeatedly does not flag the type.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(registry.Report(
+        IncidentReport{"EdnetGateway", "outbound scan", /*reporter=*/1}));
+  }
+  EXPECT_FALSE(registry.IsFlagged("EdnetGateway"));
+  EXPECT_EQ(registry.ReportCount("EdnetGateway"), 10u);
+  EXPECT_EQ(registry.DistinctReporters("EdnetGateway"), 1u);
+
+  EXPECT_FALSE(registry.Report(
+      IncidentReport{"EdnetGateway", "telnet brute force", 2}));
+  // Third distinct reporter flips the status exactly once.
+  EXPECT_TRUE(registry.Report(
+      IncidentReport{"EdnetGateway", "C2 beaconing", 3}));
+  EXPECT_TRUE(registry.IsFlagged("EdnetGateway"));
+  EXPECT_FALSE(registry.Report(
+      IncidentReport{"EdnetGateway", "more beaconing", 4}));
+  EXPECT_EQ(registry.FlaggedTypes(),
+            std::vector<std::string>{"EdnetGateway"});
+}
+
+TEST_F(PrivacyTest, CrowdsourcedIncidentsRestrictCleanType) {
+  // A fresh service (suite fixture is shared; incidents are sticky).
+  auto service = BuildTrainedSecurityService(/*n_per_type=*/10, /*seed=*/43);
+  devices::DeviceSimulator simulator(90);
+  const auto type = devices::FindDeviceType("WeMoSwitch");  // no CVEs
+  const auto episode = simulator.RunSetupEpisode(type);
+  const auto full = devices::DeviceSimulator::ExtractFingerprint(episode);
+  const auto fixed = features::FixedFingerprint::FromFingerprint(full);
+
+  const auto before = service->Assess(full, fixed);
+  ASSERT_TRUE(before.type.has_value());
+  EXPECT_EQ(before.level, IsolationLevel::kTrusted);
+
+  for (std::uint64_t gateway = 1; gateway <= 3; ++gateway) {
+    service->ReportIncident(
+        IncidentReport{"WeMoSwitch", "participated in DDoS", gateway});
+  }
+  const auto after = service->Assess(full, fixed);
+  EXPECT_EQ(after.level, IsolationLevel::kRestricted);
+  ASSERT_FALSE(after.advisories.empty());
+  EXPECT_NE(after.advisories[0].cve_id.find("CROWD-"), std::string::npos);
+  EXPECT_FALSE(after.allowed_endpoints.empty());
+}
+
+}  // namespace
+}  // namespace sentinel::core

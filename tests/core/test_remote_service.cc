@@ -1,0 +1,145 @@
+// Gateway <-> IoTSSP protocol tests: codec round trips, remote-vs-local
+// equivalence, and robustness against malformed messages.
+#include <gtest/gtest.h>
+
+#include "core/remote_service.h"
+#include "devices/simulator.h"
+
+namespace sentinel::core {
+namespace {
+
+class RemoteServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    service_ = BuildTrainedSecurityService(/*n_per_type=*/10, /*seed=*/42)
+                   .release();
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+  }
+
+  static std::pair<features::Fingerprint, features::FixedFingerprint>
+  Probe(const char* type_name, std::uint64_t seed) {
+    devices::DeviceSimulator simulator(seed);
+    const auto episode =
+        simulator.RunSetupEpisode(devices::FindDeviceType(type_name));
+    auto full = devices::DeviceSimulator::ExtractFingerprint(episode);
+    auto fixed = features::FixedFingerprint::FromFingerprint(full);
+    return {std::move(full), std::move(fixed)};
+  }
+
+  static SecurityService* service_;
+};
+
+SecurityService* RemoteServiceTest::service_ = nullptr;
+
+TEST_F(RemoteServiceTest, RequestCodecRoundTrip) {
+  const auto [full, fixed] = Probe("HueBridge", 1);
+  const auto bytes = EncodeAssessRequest(AssessRequest{full, fixed});
+  const auto decoded = DecodeAssessRequest(bytes);
+  EXPECT_EQ(decoded.full, full);
+  EXPECT_EQ(decoded.fixed, fixed);
+}
+
+TEST_F(RemoteServiceTest, ResponseCodecRoundTrip) {
+  AssessmentResult result;
+  result.type = 8;
+  result.type_identifier = "EdimaxCam";
+  result.level = IsolationLevel::kRestricted;
+  result.requires_user_notification = true;
+  result.allowed_endpoints = {net::Ipv4Address(52, 1, 2, 3)};
+  result.allowed_endpoint_names = {"www.myedimax.com"};
+  result.advisories.push_back(VulnerabilityRecord{
+      "CVE-2016-5555", "EdimaxCam", "stack overflow in RTSP parser", 9.8});
+
+  const auto decoded = DecodeAssessResponse(EncodeAssessResponse(result));
+  ASSERT_TRUE(decoded.type.has_value());
+  EXPECT_EQ(*decoded.type, 8);
+  EXPECT_EQ(decoded.type_identifier, "EdimaxCam");
+  EXPECT_EQ(decoded.level, IsolationLevel::kRestricted);
+  EXPECT_TRUE(decoded.requires_user_notification);
+  ASSERT_EQ(decoded.allowed_endpoints.size(), 1u);
+  EXPECT_EQ(decoded.allowed_endpoints[0], net::Ipv4Address(52, 1, 2, 3));
+  EXPECT_EQ(decoded.allowed_endpoint_names[0], "www.myedimax.com");
+  ASSERT_EQ(decoded.advisories.size(), 1u);
+  EXPECT_EQ(decoded.advisories[0].cve_id, "CVE-2016-5555");
+  EXPECT_NEAR(decoded.advisories[0].cvss_score, 9.8, 1e-3);
+}
+
+TEST_F(RemoteServiceTest, UnknownVerdictRoundTrip) {
+  AssessmentResult result;  // type unset, strict
+  const auto decoded = DecodeAssessResponse(EncodeAssessResponse(result));
+  EXPECT_FALSE(decoded.type.has_value());
+  EXPECT_EQ(decoded.level, IsolationLevel::kStrict);
+  EXPECT_TRUE(decoded.allowed_endpoints.empty());
+}
+
+TEST_F(RemoteServiceTest, RemoteMatchesLocalVerdicts) {
+  SecurityServiceServer server(*service_);
+  LoopbackTransport transport(server);
+  RemoteSecurityServiceClient remote(transport);
+
+  for (const char* name : {"Aria", "EdimaxCam", "WeMoSwitch", "MAXGateway"}) {
+    const auto [full, fixed] =
+        Probe(name, 1000 + static_cast<std::uint64_t>(name[0]));
+    const auto local = service_->Assess(full, fixed);
+    const auto over_wire = remote.Assess(full, fixed);
+    EXPECT_EQ(local.type.has_value(), over_wire.type.has_value()) << name;
+    if (local.type) {
+      EXPECT_EQ(*local.type, *over_wire.type) << name;
+    }
+    EXPECT_EQ(local.level, over_wire.level) << name;
+    EXPECT_EQ(local.allowed_endpoints, over_wire.allowed_endpoints) << name;
+    EXPECT_EQ(local.requires_user_notification,
+              over_wire.requires_user_notification)
+        << name;
+    EXPECT_EQ(local.advisories.size(), over_wire.advisories.size()) << name;
+  }
+  EXPECT_EQ(transport.round_trips(), 4u);
+  EXPECT_EQ(server.requests_served(), 4u);
+  EXPECT_GT(transport.bytes_sent(), 0u);
+  EXPECT_GT(transport.bytes_received(), 0u);
+}
+
+TEST_F(RemoteServiceTest, UserNotificationForVulnerableRfDevice) {
+  // MAXGateway: vulnerable + proprietary RF side channel the gateway
+  // cannot control -> user notification required (Sect. III-C3).
+  SecurityServiceServer server(*service_);
+  LoopbackTransport transport(server);
+  RemoteSecurityServiceClient remote(transport);
+  const auto [full, fixed] = Probe("MAXGateway", 2024);
+  const auto verdict = remote.Assess(full, fixed);
+  ASSERT_TRUE(verdict.type.has_value());
+  EXPECT_EQ(verdict.type_identifier, "MAXGateway");
+  EXPECT_TRUE(verdict.requires_user_notification);
+
+  // EdimaxCam is vulnerable but WiFi/Ethernet-only: isolation suffices.
+  const auto [cam_full, cam_fixed] = Probe("EdimaxCam", 2025);
+  const auto cam = remote.Assess(cam_full, cam_fixed);
+  ASSERT_TRUE(cam.type.has_value());
+  EXPECT_FALSE(cam.requires_user_notification);
+}
+
+TEST_F(RemoteServiceTest, ServerRejectsMalformedRequests) {
+  SecurityServiceServer server(*service_);
+  const std::vector<std::uint8_t> garbage = {1, 2, 3, 4, 5};
+  EXPECT_THROW(server.Handle(garbage), net::CodecError);
+
+  const auto [full, fixed] = Probe("Aria", 3);
+  auto bytes = EncodeAssessRequest(AssessRequest{full, fixed});
+  bytes.resize(bytes.size() - 5);
+  EXPECT_THROW(server.Handle(bytes), net::CodecError);
+}
+
+TEST_F(RemoteServiceTest, ResponseRejectsInvalidIsolationLevel) {
+  AssessmentResult result;
+  auto bytes = EncodeAssessResponse(result);
+  // Level byte sits right after magic(4) + known(1) + type(4) +
+  // identifier string (u16 len = 0).
+  bytes[4 + 1 + 4 + 2] = 9;
+  EXPECT_THROW(DecodeAssessResponse(bytes), net::CodecError);
+}
+
+}  // namespace
+}  // namespace sentinel::core

@@ -1,0 +1,191 @@
+// Coverage for the SecurityService surface (type assessment, builder
+// modes) and the SentinelModule's incident hook.
+#include <gtest/gtest.h>
+
+#include "core/gateway.h"
+#include "devices/simulator.h"
+
+namespace sentinel::core {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    service_ = BuildTrainedSecurityService(/*n_per_type=*/10, /*seed=*/42)
+                   .release();
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+  }
+  static SecurityService* service_;
+};
+
+SecurityService* ServiceTest::service_ = nullptr;
+
+TEST_F(ServiceTest, AssessTypeByCatalogId) {
+  // Vulnerable catalog types assess restricted, clean ones trusted.
+  EXPECT_EQ(service_->AssessType(devices::FindDeviceType("EdimaxCam")),
+            IsolationLevel::kRestricted);
+  EXPECT_EQ(service_->AssessType(devices::FindDeviceType("WeMoSwitch")),
+            IsolationLevel::kTrusted);
+  EXPECT_THROW((void)service_->AssessType(999), std::out_of_range);
+}
+
+TEST_F(ServiceTest, BuilderTrainsOneClassifierPerCatalogType) {
+  EXPECT_EQ(service_->identifier().type_count(), devices::DeviceTypeCount());
+  EXPECT_GT(service_->vulnerability_db().size(), 0u);
+}
+
+TEST_F(ServiceTest, VulnerableTypesGetEndpointAllowlists) {
+  devices::DeviceSimulator simulator(2030);
+  const auto type = devices::FindDeviceType("D-LinkDayCam");
+  const auto episode = simulator.RunSetupEpisode(type);
+  const auto full = devices::DeviceSimulator::ExtractFingerprint(episode);
+  const auto verdict = service_->Assess(
+      full, features::FixedFingerprint::FromFingerprint(full));
+  ASSERT_TRUE(verdict.type.has_value());
+  ASSERT_EQ(verdict.level, IsolationLevel::kRestricted);
+  // The allowlist resolves the catalog's cloud endpoints, names aligned.
+  const auto& info = devices::GetDeviceType(type);
+  ASSERT_EQ(verdict.allowed_endpoints.size(), info.cloud_endpoints.size());
+  EXPECT_EQ(verdict.allowed_endpoint_names, info.cloud_endpoints);
+  devices::NetworkEnvironment resolver;
+  for (std::size_t i = 0; i < info.cloud_endpoints.size(); ++i) {
+    EXPECT_EQ(verdict.allowed_endpoints[i],
+              resolver.ResolveEndpoint(info.cloud_endpoints[i]));
+  }
+}
+
+TEST_F(ServiceTest, SentinelModuleEmitsIncidentsOnPolicyDenials) {
+  SecurityGateway gateway(*service_);
+  gateway.AttachWan([](const net::Frame&) {});
+  gateway.AttachPort(10, [](const net::Frame&) {});
+  std::vector<IncidentEvent> incidents;
+  gateway.sentinel().OnIncident(
+      [&](const IncidentEvent& event) { incidents.push_back(event); });
+
+  // Onboard a vulnerable camera, then have it probe a forbidden endpoint.
+  devices::DeviceSimulator simulator(2031);
+  const auto episode =
+      simulator.RunSetupEpisode(devices::FindDeviceType("EdnetCam"));
+  for (const auto& frame : episode.trace.frames()) {
+    const auto packet = net::ParseFrame(frame);
+    gateway.Ingress(packet.src_mac == episode.device_mac
+                        ? sdn::PortId{10}
+                        : gateway.config().wan_port,
+                    frame);
+  }
+  gateway.sentinel().FlushIdle(episode.trace.frames().back().timestamp_ns +
+                               60'000'000'000ull);
+  ASSERT_TRUE(incidents.empty());
+
+  net::UdpDatagram probe;
+  probe.src_port = 50000;
+  probe.dst_port = 6667;  // IRC C2
+  probe.payload = {1, 2, 3};
+  gateway.Ingress(10, net::BuildUdp4Frame(0, episode.device_mac,
+                                          gateway.config().gateway_mac,
+                                          episode.device_ip,
+                                          net::Ipv4Address(198, 51, 100, 99),
+                                          probe));
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].device_mac, episode.device_mac);
+  EXPECT_EQ(incidents[0].device_type, "EdnetCam");
+  EXPECT_FALSE(incidents[0].description.empty());
+
+  // Feeding incidents from 3 gateways back into the service flags the type
+  // for the whole fleet (crowdsourcing loop).
+  auto fresh_service = BuildTrainedSecurityService(10, 77);
+  for (std::uint64_t gw = 1; gw <= 3; ++gw) {
+    fresh_service->ReportIncident(IncidentReport{
+        incidents[0].device_type, incidents[0].description, gw});
+  }
+  EXPECT_TRUE(fresh_service->incidents().IsFlagged("EdnetCam"));
+}
+
+TEST_F(ServiceTest, BackgroundDevicesReportedAsUnknown) {
+  // Phones, laptops and TVs are not catalog types; the identifier must
+  // report them unknown (-> strict isolation) rather than confuse them
+  // with an IoT type, for every background kind.
+  devices::DeviceSimulator simulator(2233);
+  for (const auto kind : {devices::BackgroundDeviceKind::kSmartphone,
+                          devices::BackgroundDeviceKind::kLaptop,
+                          devices::BackgroundDeviceKind::kSmartTv}) {
+    int unknown = 0;
+    const int probes = 6;
+    for (int i = 0; i < probes; ++i) {
+      const auto episode = simulator.RunBackgroundEpisode(kind);
+      const auto full = devices::DeviceSimulator::ExtractFingerprint(episode);
+      const auto verdict = service_->Assess(
+          full, features::FixedFingerprint::FromFingerprint(full));
+      if (!verdict.type.has_value()) {
+        ++unknown;
+        EXPECT_EQ(verdict.level, IsolationLevel::kStrict);
+      }
+    }
+    EXPECT_GE(unknown, probes - 1) << static_cast<int>(kind);
+  }
+}
+
+TEST(EnvironmentTest, ResolveEndpointIsDeterministicAndPublic) {
+  devices::NetworkEnvironment a, b;
+  const auto ip1 = a.ResolveEndpoint("api.fitbit.com");
+  EXPECT_EQ(ip1, b.ResolveEndpoint("api.fitbit.com"));
+  EXPECT_NE(ip1, a.ResolveEndpoint("api.fitbit.org"));
+  EXPECT_FALSE(ip1.IsPrivate());
+  EXPECT_FALSE(ip1.IsMulticast());
+}
+
+TEST(EnvironmentTest, AddressPoolAllocatesAndWraps) {
+  devices::NetworkEnvironment env;
+  const auto first = env.AllocateAddress();
+  EXPECT_EQ(first, net::Ipv4Address(192, 168, 1, 100));
+  net::Ipv4Address last = first;
+  for (int i = 0; i < 300; ++i) last = env.AllocateAddress();  // wraps
+  EXPECT_TRUE(last.IsPrivate());
+  EXPECT_NE(last.value() & 0xff, 0xffu);  // never the broadcast address
+}
+
+TEST(ProtocolsTest, NamesAndPortClasses) {
+  EXPECT_EQ(net::ProtocolName(net::Protocol::kMdns), "mDNS");
+  EXPECT_EQ(net::ProtocolName(net::Protocol::kEapol), "EAPoL");
+  EXPECT_EQ(net::ClassifyPort(0), net::PortClass::kWellKnown);
+  EXPECT_EQ(net::ClassifyPort(1023), net::PortClass::kWellKnown);
+  EXPECT_EQ(net::ClassifyPort(1024), net::PortClass::kRegistered);
+  EXPECT_EQ(net::ClassifyPort(49151), net::PortClass::kRegistered);
+  EXPECT_EQ(net::ClassifyPort(49152), net::PortClass::kDynamic);
+  EXPECT_EQ(net::ClassifyPort(65535), net::PortClass::kDynamic);
+
+  net::ProtocolSet set;
+  EXPECT_TRUE(set.Empty());
+  set.Set(net::Protocol::kTcp);
+  set.Set(net::Protocol::kHttps);
+  EXPECT_TRUE(set.Has(net::Protocol::kTcp));
+  EXPECT_FALSE(set.Has(net::Protocol::kUdp));
+  net::ProtocolSet other;
+  other.Set(net::Protocol::kHttps);
+  other.Set(net::Protocol::kTcp);
+  EXPECT_EQ(set, other);
+}
+
+TEST(FlowToStringTest, RendersMatchesAndActions) {
+  sdn::FlowRule rule;
+  rule.priority = 42;
+  rule.match.eth_src = *net::MacAddress::Parse("aa:bb:cc:dd:ee:ff");
+  rule.match.ip_dst = net::Ipv4Address(52, 1, 2, 3);
+  rule.match.tp_dst = 443;
+  rule.actions = {sdn::ActionOutput{7}};
+  const auto text = rule.ToString();
+  EXPECT_NE(text.find("prio=42"), std::string::npos);
+  EXPECT_NE(text.find("aa:bb:cc:dd:ee:ff"), std::string::npos);
+  EXPECT_NE(text.find("52.1.2.3"), std::string::npos);
+  EXPECT_NE(text.find("output:7"), std::string::npos);
+
+  sdn::FlowRule drop;
+  EXPECT_NE(drop.ToString().find("drop"), std::string::npos);
+  EXPECT_NE(drop.ToString().find("match[*]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sentinel::core

@@ -1,0 +1,117 @@
+// Evaluation-harness tests: the cross-validation protocol and the timing
+// instrumentation behave structurally as the paper prescribes.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace sentinel::eval {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  // Shared small dataset: 6 episodes x 27 types. Kept modest so the suite
+  // stays fast; accuracy claims are validated by the benchmarks.
+  static void SetUpTestSuite() {
+    dataset_ = new devices::FingerprintDataset(
+        devices::GenerateFingerprintDataset(6, 2024));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static devices::FingerprintDataset* dataset_;
+};
+
+devices::FingerprintDataset* EvalTest::dataset_ = nullptr;
+
+TEST_F(EvalTest, CrossValidationCoversEveryExampleOncePerRepetition) {
+  CrossValidationConfig config;
+  config.folds = 6;
+  config.repetitions = 2;
+  config.identifier.forest.tree_count = 10;
+  const auto outcome = RunCrossValidation(*dataset_, config);
+
+  const std::size_t expected =
+      config.repetitions * dataset_->size();
+  std::size_t unknowns = 0;
+  for (const auto u : outcome.unknown_per_type) unknowns += u;
+  EXPECT_EQ(outcome.total_identifications, expected);
+  EXPECT_EQ(outcome.confusion.total() + unknowns, expected);
+}
+
+TEST_F(EvalTest, DistinctTypesIdentifiedNearPerfectly) {
+  CrossValidationConfig config;
+  config.folds = 6;
+  config.repetitions = 1;
+  config.identifier.forest.tree_count = 15;
+  const auto outcome = RunCrossValidation(*dataset_, config);
+
+  // The headline shape: distinct (non-clustered) types identify well even
+  // with this deliberately tiny training set (5 episodes per type), and
+  // overall accuracy is far above chance (1/27 = 0.037). The full-size
+  // protocol (bench/fig5_accuracy) reaches the paper's 0.95+/type.
+  for (const auto& info : devices::DeviceCatalog()) {
+    if (info.cluster != devices::SimilarityCluster::kNone) continue;
+    EXPECT_GE(outcome.PerTypeAccuracy(static_cast<std::size_t>(info.id)), 0.8)
+        << info.identifier;
+  }
+  EXPECT_GT(outcome.OverallAccuracy(), 0.6);
+}
+
+TEST_F(EvalTest, ConfusablePairsConfuseWithinCluster) {
+  CrossValidationConfig config;
+  config.folds = 6;
+  config.repetitions = 2;
+  config.identifier.forest.tree_count = 15;
+  const auto outcome = RunCrossValidation(*dataset_, config);
+
+  // Mispredictions of clustered devices land inside their own cluster.
+  const auto& catalog = devices::DeviceCatalog();
+  for (const auto& info : catalog) {
+    if (info.cluster == devices::SimilarityCluster::kNone) continue;
+    const auto actual = static_cast<std::size_t>(info.id);
+    for (std::size_t predicted = 0; predicted < catalog.size(); ++predicted) {
+      if (catalog[predicted].cluster == info.cluster) continue;
+      EXPECT_EQ(outcome.confusion.At(actual, predicted), 0u)
+          << info.identifier << " misidentified as "
+          << catalog[predicted].identifier;
+    }
+  }
+}
+
+TEST_F(EvalTest, DiscriminationStatsAreConsistent) {
+  CrossValidationConfig config;
+  config.folds = 6;
+  config.repetitions = 1;
+  config.identifier.forest.tree_count = 10;
+  const auto outcome = RunCrossValidation(*dataset_, config);
+
+  EXPECT_GT(outcome.multi_match_count, 0u);  // the clusters multi-match
+  EXPECT_EQ(outcome.discrimination_ns.size(), outcome.multi_match_count);
+  EXPECT_GT(outcome.edit_distance_total, 0u);
+  // Every discrimination involves 2..27 candidates.
+  EXPECT_EQ(outcome.candidates_histogram[1] + outcome.multi_match_count +
+                outcome.candidates_histogram[0],
+            outcome.total_identifications);
+}
+
+TEST_F(EvalTest, StepTimingsArePlausible) {
+  CrossValidationConfig config;
+  config.identifier.forest.tree_count = 10;
+  const auto timings = MeasureStepTimings(*dataset_, config, /*probes=*/50);
+
+  // Classification of one fingerprint through one forest: sub-millisecond.
+  EXPECT_GT(timings.single_classification_ns.mean, 0.0);
+  EXPECT_LT(timings.single_classification_ns.mean, 1e6);
+  // One edit-distance computation is far slower than one classification
+  // (the paper's core scalability argument, Table IV).
+  EXPECT_GT(timings.single_discrimination_ns.mean,
+            timings.single_classification_ns.mean);
+  // End-to-end identification >= the all-classifier pass alone.
+  EXPECT_GE(timings.identification_ns.mean,
+            timings.all_classifications_ns.mean);
+  EXPECT_GT(timings.fingerprint_extraction_ns.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace sentinel::eval

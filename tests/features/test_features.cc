@@ -1,0 +1,149 @@
+// Tests for Table I feature extraction and the F / F' fingerprints.
+#include <gtest/gtest.h>
+
+#include "features/fingerprint.h"
+#include "features/packet_features.h"
+
+namespace sentinel::features {
+namespace {
+
+net::ParsedPacket BasicPacket() {
+  net::ParsedPacket p;
+  p.src_mac = *net::MacAddress::Parse("aa:00:00:00:00:01");
+  p.dst_mac = *net::MacAddress::Parse("02:00:5e:00:00:01");
+  p.size_bytes = 100;
+  return p;
+}
+
+TEST(PacketFeatures, ProtocolFlagsMatchTableIOrder) {
+  net::ParsedPacket p = BasicPacket();
+  p.protocols.Set(net::Protocol::kIp);
+  p.protocols.Set(net::Protocol::kUdp);
+  p.protocols.Set(net::Protocol::kDns);
+  FeatureExtractor extractor;
+  const auto f = extractor.Extract(p);
+  EXPECT_EQ(f[kFeatIp], 1u);
+  EXPECT_EQ(f[kFeatUdp], 1u);
+  EXPECT_EQ(f[kFeatDns], 1u);
+  EXPECT_EQ(f[kFeatArp], 0u);
+  EXPECT_EQ(f[kFeatTcp], 0u);
+  EXPECT_EQ(f[kFeatPacketSize], 100u);
+}
+
+TEST(PacketFeatures, PortClasses) {
+  net::ParsedPacket p = BasicPacket();
+  p.src_port = 443;    // well-known
+  p.dst_port = 49152;  // dynamic
+  FeatureExtractor extractor;
+  auto f = extractor.Extract(p);
+  EXPECT_EQ(f[kFeatSrcPortClass], 1u);
+  EXPECT_EQ(f[kFeatDstPortClass], 3u);
+
+  p.src_port = 1024;  // registered
+  p.dst_port.reset();
+  f = FeatureExtractor{}.Extract(p);
+  EXPECT_EQ(f[kFeatSrcPortClass], 2u);
+  EXPECT_EQ(f[kFeatDstPortClass], 0u);  // no port
+}
+
+TEST(PacketFeatures, DestinationIpCounterCountsFirstContactOrder) {
+  FeatureExtractor extractor;
+  const net::IpAddress gw = net::Ipv4Address(192, 168, 1, 1);
+  const net::IpAddress cloud = net::Ipv4Address(52, 1, 2, 3);
+
+  net::ParsedPacket p = BasicPacket();
+  p.dst_ip = gw;
+  EXPECT_EQ(extractor.Extract(p)[kFeatDestIpCounter], 1u);
+  p.dst_ip = cloud;
+  EXPECT_EQ(extractor.Extract(p)[kFeatDestIpCounter], 2u);
+  p.dst_ip = gw;  // revisiting keeps the original counter value
+  EXPECT_EQ(extractor.Extract(p)[kFeatDestIpCounter], 1u);
+  EXPECT_EQ(extractor.distinct_destinations(), 2u);
+
+  net::ParsedPacket no_ip = BasicPacket();
+  EXPECT_EQ(extractor.Extract(no_ip)[kFeatDestIpCounter], 0u);
+}
+
+TEST(PacketFeatures, IpOptionsAndRawData) {
+  net::ParsedPacket p = BasicPacket();
+  p.ip_opt_padding = true;
+  p.ip_opt_router_alert = true;
+  p.has_raw_data = true;
+  const auto f = FeatureExtractor{}.Extract(p);
+  EXPECT_EQ(f[kFeatIpPadding], 1u);
+  EXPECT_EQ(f[kFeatIpRouterAlert], 1u);
+  EXPECT_EQ(f[kFeatRawData], 1u);
+}
+
+TEST(PacketFeatures, FeatureNamesAreDistinct) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kFeatureCount; ++i) names.insert(FeatureName(i));
+  EXPECT_EQ(names.size(), kFeatureCount);
+}
+
+PacketFeatureVector Vec(std::uint32_t size, std::uint32_t counter = 0) {
+  PacketFeatureVector v{};
+  v[kFeatPacketSize] = size;
+  v[kFeatDestIpCounter] = counter;
+  return v;
+}
+
+TEST(Fingerprint, ConsecutiveDuplicatesRemoved) {
+  const auto fp =
+      Fingerprint::FromPacketVectors({Vec(1), Vec(1), Vec(2), Vec(1), Vec(1)});
+  // Paper: p_{i+1} dropped when equal to p_i; non-consecutive repeats stay.
+  ASSERT_EQ(fp.size(), 3u);
+  EXPECT_EQ(fp.packets()[0][kFeatPacketSize], 1u);
+  EXPECT_EQ(fp.packets()[1][kFeatPacketSize], 2u);
+  EXPECT_EQ(fp.packets()[2][kFeatPacketSize], 1u);
+}
+
+TEST(Fingerprint, EmptyInput) {
+  const auto fp = Fingerprint::FromPacketVectors({});
+  EXPECT_TRUE(fp.empty());
+  const auto fixed = FixedFingerprint::FromFingerprint(fp);
+  EXPECT_EQ(fixed.packet_count(), 0u);
+  for (double v : fixed.values()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(FixedFingerprint, TakesFirstTwelveUniquePackets) {
+  std::vector<PacketFeatureVector> vectors;
+  for (std::uint32_t i = 0; i < 20; ++i) vectors.push_back(Vec(i + 1));
+  const auto fixed = FixedFingerprint::FromFingerprint(
+      Fingerprint::FromPacketVectors(vectors));
+  EXPECT_EQ(fixed.packet_count(), kFPrimePackets);
+  // First packet's size is at index kFeatPacketSize; the 12th packet's size
+  // lands at 11*23 + kFeatPacketSize.
+  EXPECT_EQ(fixed.values()[kFeatPacketSize], 1.0);
+  EXPECT_EQ(fixed.values()[11 * kFeatureCount + kFeatPacketSize], 12.0);
+  // The 13th unique packet (size 13) must not appear anywhere.
+  for (std::size_t i = 0; i < kFPrimePackets; ++i)
+    EXPECT_NE(fixed.values()[i * kFeatureCount + kFeatPacketSize], 13.0);
+}
+
+TEST(FixedFingerprint, UniquenessIsGlobalNotConsecutive) {
+  // a b a b ... — only 2 unique packets even though F keeps them all.
+  std::vector<PacketFeatureVector> vectors;
+  for (int i = 0; i < 10; ++i) vectors.push_back(Vec(i % 2 == 0 ? 7 : 9));
+  const auto fp = Fingerprint::FromPacketVectors(vectors);
+  EXPECT_EQ(fp.size(), 10u);  // alternating, no consecutive dups
+  const auto fixed = FixedFingerprint::FromFingerprint(fp);
+  EXPECT_EQ(fixed.packet_count(), 2u);
+}
+
+TEST(FixedFingerprint, ZeroPaddingForShortFingerprints) {
+  const auto fixed = FixedFingerprint::FromFingerprint(
+      Fingerprint::FromPacketVectors({Vec(5), Vec(6)}));
+  EXPECT_EQ(fixed.packet_count(), 2u);
+  // Everything past the 2nd packet block is zero.
+  for (std::size_t i = 2 * kFeatureCount; i < kFPrimeDim; ++i)
+    EXPECT_EQ(fixed.values()[i], 0.0);
+  EXPECT_EQ(fixed.ToVector().size(), kFPrimeDim);
+}
+
+TEST(FixedFingerprint, DimensionIs276) {
+  EXPECT_EQ(kFPrimeDim, 276u);  // 12 packets x 23 features, per the paper
+}
+
+}  // namespace
+}  // namespace sentinel::features

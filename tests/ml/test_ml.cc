@@ -1,0 +1,280 @@
+// Tests for the ML substrate: CART trees, Random Forests, metrics and
+// stratified cross-validation.
+#include <gtest/gtest.h>
+
+#include "ml/cross_validation.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+
+namespace sentinel::ml {
+namespace {
+
+// Linearly separable two-class blob dataset.
+Dataset SeparableBlobs(std::size_t per_class, std::uint64_t seed) {
+  Rng rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.5);
+  Dataset data(2);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.Add({0.0 + noise(rng), 0.0 + noise(rng)}, 0);
+    data.Add({5.0 + noise(rng), 5.0 + noise(rng)}, 1);
+  }
+  return data;
+}
+
+// XOR-style dataset a single split cannot solve.
+Dataset XorData(std::size_t per_quadrant, std::uint64_t seed) {
+  Rng rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  Dataset data(2);
+  for (std::size_t i = 0; i < per_quadrant; ++i) {
+    const double a = u(rng), b = u(rng);
+    data.Add({a, b}, 0);
+    data.Add({a + 2, b + 2}, 0);
+    data.Add({a + 2, b}, 1);
+    data.Add({a, b + 2}, 1);
+  }
+  return data;
+}
+
+TEST(Dataset, RejectsMismatchedRowWidth) {
+  Dataset data(3);
+  data.Add({1, 2, 3}, 0);
+  EXPECT_THROW(data.Add({1, 2}, 1), std::invalid_argument);
+  EXPECT_EQ(data.class_count(), 1);
+}
+
+TEST(DecisionTree, LearnsSeparableData) {
+  const auto data = SeparableBlobs(50, 1);
+  Rng rng(2);
+  DecisionTree tree;
+  tree.Train(data, DecisionTreeConfig{}, rng);
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.1, -0.2}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{5.2, 4.9}), 1);
+  EXPECT_GT(tree.node_count(), 0u);
+}
+
+TEST(DecisionTree, SolvesXorWithDepth) {
+  const auto data = XorData(30, 3);
+  Rng rng(4);
+  DecisionTreeConfig config;
+  config.max_features = 2;  // consider both features at every split
+  DecisionTree tree;
+  tree.Train(data, config, rng);
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.5, 0.5}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{2.5, 2.5}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{2.5, 0.5}), 1);
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.5, 2.5}), 1);
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, PureLeafProbabilities) {
+  const auto data = SeparableBlobs(30, 5);
+  Rng rng(6);
+  DecisionTree tree;
+  tree.Train(data, DecisionTreeConfig{}, rng);
+  const auto proba = tree.PredictProba(std::vector<double>{0.0, 0.0});
+  ASSERT_EQ(proba.size(), 2u);
+  EXPECT_DOUBLE_EQ(proba[0], 1.0);
+  EXPECT_DOUBLE_EQ(proba[1], 0.0);
+}
+
+TEST(DecisionTree, MaxDepthLimitsGrowth) {
+  const auto data = XorData(30, 7);
+  Rng rng(8);
+  DecisionTreeConfig config;
+  config.max_depth = 1;
+  DecisionTree tree;
+  tree.Train(data, config, rng);
+  EXPECT_LE(tree.depth(), 1u);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  const auto data = SeparableBlobs(20, 9);
+  Rng rng(10);
+  DecisionTreeConfig config;
+  config.min_samples_leaf = 10;
+  DecisionTree tree;
+  tree.Train(data, config, rng);
+  // With blobs of 20 per class and min leaf 10 the tree stays tiny.
+  EXPECT_LE(tree.node_count(), 7u);
+}
+
+TEST(DecisionTree, EmptyTrainingThrows) {
+  Dataset data(2);
+  Rng rng(1);
+  DecisionTree tree;
+  EXPECT_THROW(tree.Train(data, DecisionTreeConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST(DecisionTree, TrainOnIndicesSubset) {
+  auto data = SeparableBlobs(20, 11);
+  // Poison a few rows with flipped labels, then train only on clean ones.
+  data.Add({0.0, 0.0}, 1);
+  data.Add({5.0, 5.0}, 0);
+  std::vector<std::size_t> clean;
+  for (std::size_t i = 0; i < data.size() - 2; ++i) clean.push_back(i);
+  Rng rng(12);
+  DecisionTree tree;
+  tree.Train(data, clean, DecisionTreeConfig{}, rng);
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.0, 0.0}), 0);
+}
+
+TEST(RandomForest, MajorityVoteOnSeparableData) {
+  const auto data = SeparableBlobs(40, 13);
+  RandomForestConfig config;
+  config.tree_count = 15;
+  RandomForest forest;
+  forest.Train(data, config);
+  EXPECT_EQ(forest.tree_count(), 15u);
+  EXPECT_EQ(forest.Predict(std::vector<double>{-0.5, 0.3}), 0);
+  EXPECT_EQ(forest.Predict(std::vector<double>{5.5, 5.1}), 1);
+}
+
+TEST(RandomForest, ProbaSumsToOne) {
+  const auto data = XorData(25, 14);
+  RandomForestConfig config;
+  config.tree_count = 9;
+  RandomForest forest;
+  forest.Train(data, config);
+  const auto proba = forest.PredictProba(std::vector<double>{1.0, 1.0});
+  double sum = 0;
+  for (double v : proba) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(forest.PositiveProba(std::vector<double>{2.5, 0.5}), 1.0, 0.35);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  const auto data = XorData(20, 15);
+  RandomForestConfig config;
+  config.tree_count = 7;
+  config.seed = 1234;
+  RandomForest f1, f2;
+  f1.Train(data, config);
+  f2.Train(data, config);
+  for (double x = 0.25; x < 4.0; x += 0.5) {
+    for (double y = 0.25; y < 4.0; y += 0.5) {
+      const std::vector<double> row{x, y};
+      EXPECT_EQ(f1.Predict(row), f2.Predict(row));
+      EXPECT_EQ(f1.PredictProba(row), f2.PredictProba(row));
+    }
+  }
+}
+
+TEST(RandomForest, InvalidConfigThrows) {
+  const auto data = SeparableBlobs(5, 16);
+  RandomForest forest;
+  RandomForestConfig config;
+  config.tree_count = 0;
+  EXPECT_THROW(forest.Train(data, config), std::invalid_argument);
+  EXPECT_THROW(forest.Train(Dataset(2), RandomForestConfig{}),
+               std::invalid_argument);
+}
+
+TEST(RandomForest, MemoryBytesGrowsWithTrees) {
+  const auto data = SeparableBlobs(30, 17);
+  RandomForest small, large;
+  RandomForestConfig config;
+  config.tree_count = 5;
+  small.Train(data, config);
+  config.tree_count = 50;
+  large.Train(data, config);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(RandomForest, FeatureImportancesIdentifyTheSignalFeature) {
+  // Class depends only on feature 1; features 0 and 2 are noise.
+  Rng rng(99);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  Dataset data(3);
+  for (int i = 0; i < 200; ++i) {
+    const double signal = u(rng);
+    data.Add({u(rng), signal, u(rng)}, signal > 0.5 ? 1 : 0);
+  }
+  RandomForest forest;
+  RandomForestConfig config;
+  config.tree_count = 20;
+  config.tree.max_features = 3;
+  forest.Train(data, config);
+  const auto importances = forest.FeatureImportances();
+  ASSERT_EQ(importances.size(), 3u);
+  EXPECT_GT(importances[1], 0.7);
+  EXPECT_GT(importances[1], importances[0] + importances[2]);
+  // Normalized per tree, so the mean sums to ~1.
+  EXPECT_NEAR(importances[0] + importances[1] + importances[2], 1.0, 1e-9);
+}
+
+TEST(ConfusionMatrix, AccuracyAndTotals) {
+  ConfusionMatrix m(3);
+  m.Add(0, 0, 8);
+  m.Add(0, 1, 2);
+  m.Add(1, 1, 10);
+  m.Add(2, 0, 5);
+  m.Add(2, 2, 5);
+  EXPECT_EQ(m.total(), 30u);
+  EXPECT_EQ(m.RowTotal(0), 10u);
+  EXPECT_DOUBLE_EQ(m.PerClassAccuracy(0), 0.8);
+  EXPECT_DOUBLE_EQ(m.PerClassAccuracy(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.PerClassAccuracy(2), 0.5);
+  EXPECT_DOUBLE_EQ(m.OverallAccuracy(), 23.0 / 30.0);
+}
+
+TEST(ConfusionMatrix, MergeAddsCells) {
+  ConfusionMatrix a(2), b(2);
+  a.Add(0, 0, 3);
+  b.Add(0, 0, 4);
+  b.Add(1, 0, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.At(0, 0), 7u);
+  EXPECT_EQ(a.At(1, 0), 1u);
+  ConfusionMatrix c(3);
+  EXPECT_THROW(a.Merge(c), std::invalid_argument);
+}
+
+TEST(Metrics, AccuracyAndMeanStd) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3, 4}, {1, 2, 0, 4}), 0.75);
+  EXPECT_THROW(Accuracy({1}, {1, 2}), std::invalid_argument);
+
+  const auto stats = ComputeMeanStd({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_NEAR(stats.stdev, 2.138, 0.001);  // sample stdev
+  EXPECT_DOUBLE_EQ(ComputeMeanStd({}).mean, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeMeanStd({3.0}).stdev, 0.0);
+}
+
+TEST(StratifiedKFold, FoldsPartitionAndStratify) {
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c)
+    for (int i = 0; i < 20; ++i) labels.push_back(c);
+  Rng rng(18);
+  const auto folds = StratifiedKFold(labels, 10, rng);
+  ASSERT_EQ(folds.size(), 10u);
+
+  std::vector<int> seen(labels.size(), 0);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.test_indices.size() + fold.train_indices.size(),
+              labels.size());
+    // Each fold's test set has 2 of each class (20 per class / 10 folds).
+    std::array<int, 3> counts{};
+    for (auto i : fold.test_indices) {
+      counts[static_cast<std::size_t>(labels[i])]++;
+      seen[i]++;
+    }
+    EXPECT_EQ(counts[0], 2);
+    EXPECT_EQ(counts[1], 2);
+    EXPECT_EQ(counts[2], 2);
+  }
+  // Every example appears in exactly one test fold.
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(StratifiedKFold, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(StratifiedKFold({1, 2}, 1, rng), std::invalid_argument);
+  EXPECT_THROW(StratifiedKFold({}, 5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sentinel::ml

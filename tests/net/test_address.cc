@@ -1,0 +1,124 @@
+#include "net/address.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sentinel::net {
+namespace {
+
+TEST(MacAddress, ParseAndFormatRoundTrip) {
+  const auto mac = MacAddress::Parse("13:73:74:7e:a9:c2");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->ToString(), "13:73:74:7e:a9:c2");
+}
+
+TEST(MacAddress, ParseAcceptsDashesAndUppercase) {
+  const auto mac = MacAddress::Parse("AA-BB-CC-DD-EE-FF");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->ToString(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::Parse("").has_value());
+  EXPECT_FALSE(MacAddress::Parse("aa:bb:cc:dd:ee").has_value());
+  EXPECT_FALSE(MacAddress::Parse("aa:bb:cc:dd:ee:f").has_value());
+  EXPECT_FALSE(MacAddress::Parse("aa:bb:cc:dd:ee:fff").has_value());
+  EXPECT_FALSE(MacAddress::Parse("gg:bb:cc:dd:ee:ff").has_value());
+  EXPECT_FALSE(MacAddress::Parse("aa.bb.cc.dd.ee.ff").has_value());
+}
+
+TEST(MacAddress, Uint64RoundTrip) {
+  const auto mac = *MacAddress::Parse("01:02:03:04:05:06");
+  EXPECT_EQ(mac.ToUint64(), 0x010203040506ull);
+  EXPECT_EQ(MacAddress::FromUint64(mac.ToUint64()), mac);
+}
+
+TEST(MacAddress, BroadcastAndMulticastBits) {
+  EXPECT_TRUE(MacAddress::Broadcast().IsBroadcast());
+  EXPECT_TRUE(MacAddress::Broadcast().IsMulticast());
+  const auto multicast = *MacAddress::Parse("01:00:5e:00:00:fb");
+  EXPECT_TRUE(multicast.IsMulticast());
+  EXPECT_FALSE(multicast.IsBroadcast());
+  const auto unicast = *MacAddress::Parse("02:00:00:00:00:01");
+  EXPECT_FALSE(unicast.IsMulticast());
+  EXPECT_TRUE(unicast.IsLocallyAdministered());
+}
+
+TEST(MacAddress, HashDistinguishesAddresses) {
+  std::unordered_set<MacAddress> set;
+  for (std::uint64_t i = 0; i < 100; ++i)
+    set.insert(MacAddress::FromUint64(i));
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(Ipv4Address, ParseAndFormat) {
+  const auto ip = Ipv4Address::Parse("192.168.1.20");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->ToString(), "192.168.1.20");
+  EXPECT_EQ(ip->value(), 0xc0a80114u);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1..2.3").has_value());
+}
+
+TEST(Ipv4Address, PrivateRanges) {
+  EXPECT_TRUE(Ipv4Address(10, 1, 2, 3).IsPrivate());
+  EXPECT_TRUE(Ipv4Address(172, 16, 0, 1).IsPrivate());
+  EXPECT_TRUE(Ipv4Address(172, 31, 255, 1).IsPrivate());
+  EXPECT_FALSE(Ipv4Address(172, 32, 0, 1).IsPrivate());
+  EXPECT_TRUE(Ipv4Address(192, 168, 1, 1).IsPrivate());
+  EXPECT_TRUE(Ipv4Address(169, 254, 0, 5).IsPrivate());
+  EXPECT_FALSE(Ipv4Address(52, 1, 2, 3).IsPrivate());
+  EXPECT_FALSE(Ipv4Address(8, 8, 8, 8).IsPrivate());
+}
+
+TEST(Ipv4Address, Multicast) {
+  EXPECT_TRUE(Ipv4Address(224, 0, 0, 251).IsMulticast());
+  EXPECT_TRUE(Ipv4Address(239, 255, 255, 250).IsMulticast());
+  EXPECT_FALSE(Ipv4Address(192, 168, 1, 1).IsMulticast());
+}
+
+TEST(Ipv6Address, LinkLocalFromMacUsesEui64) {
+  const auto mac = *MacAddress::Parse("00:17:88:01:02:03");
+  const auto ip = Ipv6Address::LinkLocalFromMac(mac);
+  EXPECT_EQ(ip.bytes()[0], 0xfe);
+  EXPECT_EQ(ip.bytes()[1], 0x80);
+  EXPECT_EQ(ip.bytes()[8], 0x02);  // U/L bit flipped
+  EXPECT_EQ(ip.bytes()[11], 0xff);
+  EXPECT_EQ(ip.bytes()[12], 0xfe);
+  EXPECT_EQ(ip.bytes()[15], 0x03);
+  EXPECT_FALSE(ip.IsMulticast());
+}
+
+TEST(Ipv6Address, AllNodesMulticast) {
+  EXPECT_TRUE(Ipv6Address::AllNodesMulticast().IsMulticast());
+  EXPECT_EQ(Ipv6Address::AllNodesMulticast().ToString(),
+            "ff02:0:0:0:0:0:0:1");
+}
+
+TEST(IpAddress, VariantComparesAcrossFamilies) {
+  const IpAddress v4 = Ipv4Address(192, 168, 1, 1);
+  const IpAddress v6 = Ipv6Address::AllNodesMulticast();
+  EXPECT_TRUE(v4.IsV4());
+  EXPECT_TRUE(v6.IsV6());
+  EXPECT_NE(v4, v6);
+  EXPECT_EQ(v4, IpAddress(Ipv4Address(192, 168, 1, 1)));
+}
+
+TEST(IpAddress, HashSeparatesFamilies) {
+  std::unordered_set<IpAddress> set;
+  set.insert(Ipv4Address(1, 2, 3, 4));
+  set.insert(Ipv6Address::AllNodesMulticast());
+  set.insert(Ipv4Address(1, 2, 3, 4));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sentinel::net

@@ -1,0 +1,97 @@
+#include "net/byte_io.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel::net {
+namespace {
+
+TEST(ByteWriter, BigEndianIntegers) {
+  ByteWriter w;
+  w.WriteU8(0x01);
+  w.WriteU16(0x0203);
+  w.WriteU32(0x04050607);
+  w.WriteU64(0x08090a0b0c0d0e0full);
+  const auto bytes = w.bytes();
+  ASSERT_EQ(bytes.size(), 15u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[1], 0x02);
+  EXPECT_EQ(bytes[2], 0x03);
+  EXPECT_EQ(bytes[3], 0x04);
+  EXPECT_EQ(bytes[6], 0x07);
+  EXPECT_EQ(bytes[7], 0x08);
+  EXPECT_EQ(bytes[14], 0x0f);
+}
+
+TEST(ByteWriter, LittleEndianVariants) {
+  ByteWriter w;
+  w.WriteU16Le(0x0102);
+  w.WriteU32Le(0x03040506);
+  const auto bytes = w.bytes();
+  EXPECT_EQ(bytes[0], 0x02);
+  EXPECT_EQ(bytes[1], 0x01);
+  EXPECT_EQ(bytes[2], 0x06);
+  EXPECT_EQ(bytes[5], 0x03);
+}
+
+TEST(ByteWriter, PatchU16Backpatches) {
+  ByteWriter w;
+  w.WriteU32(0);
+  w.PatchU16(1, 0xbeef);
+  EXPECT_EQ(w.bytes()[1], 0xbe);
+  EXPECT_EQ(w.bytes()[2], 0xef);
+}
+
+TEST(ByteWriter, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.WriteU16(0);
+  EXPECT_THROW(w.PatchU16(1, 0), CodecError);
+}
+
+TEST(ByteReader, RoundTripAllWidths) {
+  ByteWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x1122334455667788ull);
+  w.WriteU16Le(0x99aa);
+  const auto data = std::move(w).Take();
+
+  ByteReader r(data);
+  EXPECT_EQ(r.ReadU8(), 0xab);
+  EXPECT_EQ(r.ReadU16(), 0x1234);
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 0x1122334455667788ull);
+  EXPECT_EQ(r.ReadU16Le(), 0x99aa);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteReader, OverrunThrows) {
+  const std::uint8_t data[] = {1, 2, 3};
+  ByteReader r(data);
+  r.ReadU16();
+  EXPECT_THROW(r.ReadU16(), CodecError);
+  EXPECT_EQ(r.remaining(), 1u);  // failed read consumed nothing
+}
+
+TEST(ByteReader, SkipAndPeek) {
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  ByteReader r(data);
+  EXPECT_EQ(r.PeekU8(), 1);
+  r.Skip(2);
+  EXPECT_EQ(r.PeekU8(), 3);
+  EXPECT_EQ(r.position(), 2u);
+  EXPECT_THROW(r.Skip(3), CodecError);
+}
+
+TEST(ByteReader, ReadBytesReturnsView) {
+  const std::uint8_t data[] = {9, 8, 7, 6};
+  ByteReader r(data);
+  const auto span = r.ReadBytes(3);
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[0], 9);
+  EXPECT_EQ(span[2], 7);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace sentinel::net

@@ -1,0 +1,443 @@
+// Round-trip and structural tests for the per-protocol wire codecs.
+#include <gtest/gtest.h>
+
+#include "net/arp.h"
+#include "net/checksum.h"
+#include "net/protocols.h"
+#include "net/dhcp.h"
+#include "net/dns.h"
+#include "net/eapol.h"
+#include "net/http.h"
+#include "net/icmp.h"
+#include "net/igmp.h"
+#include "net/ipv4.h"
+#include "net/ipv6.h"
+#include "net/ntp.h"
+#include "net/ssdp.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+
+namespace sentinel::net {
+namespace {
+
+const MacAddress kMac = *MacAddress::Parse("0a:0b:0c:0d:0e:0f");
+const Ipv4Address kSrc(192, 168, 1, 100);
+const Ipv4Address kDst(192, 168, 1, 1);
+
+TEST(ArpCodec, RoundTrip) {
+  ArpPacket probe = ArpPacket::Probe(kMac, Ipv4Address(192, 168, 1, 55));
+  ByteWriter w;
+  probe.Encode(w);
+  EXPECT_EQ(w.size(), ArpPacket::kSize);
+  ByteReader r(w.bytes());
+  const ArpPacket decoded = ArpPacket::Decode(r);
+  EXPECT_EQ(decoded.operation, ArpOperation::kRequest);
+  EXPECT_EQ(decoded.sender_mac, kMac);
+  EXPECT_EQ(decoded.sender_ip, Ipv4Address::Any());
+  EXPECT_EQ(decoded.target_ip, Ipv4Address(192, 168, 1, 55));
+}
+
+TEST(ArpCodec, AnnounceSetsSenderEqualsTarget) {
+  const ArpPacket announce = ArpPacket::Announce(kMac, kSrc);
+  EXPECT_EQ(announce.sender_ip, announce.target_ip);
+}
+
+TEST(ArpCodec, RejectsBadOperation) {
+  ByteWriter w;
+  ArpPacket::Probe(kMac, kSrc).Encode(w);
+  auto bytes = std::move(w).Take();
+  bytes[7] = 9;  // operation low byte
+  ByteReader r(bytes);
+  EXPECT_THROW(ArpPacket::Decode(r), CodecError);
+}
+
+TEST(Ipv4Codec, RoundTripWithoutOptions) {
+  Ipv4Header h;
+  h.src = kSrc;
+  h.dst = kDst;
+  h.protocol = kIpProtoUdp;
+  h.ttl = 47;
+  h.identification = 0x1234;
+  const std::uint8_t payload[] = {1, 2, 3, 4, 5};
+  ByteWriter w;
+  h.Encode(w, payload);
+  EXPECT_EQ(w.size(), 20u + 5u);
+
+  ByteReader r(w.bytes());
+  std::size_t payload_len = 0;
+  const Ipv4Header d = Ipv4Header::Decode(r, payload_len);
+  EXPECT_EQ(payload_len, 5u);
+  EXPECT_EQ(d.src, kSrc);
+  EXPECT_EQ(d.dst, kDst);
+  EXPECT_EQ(d.ttl, 47);
+  EXPECT_EQ(d.identification, 0x1234);
+  EXPECT_FALSE(d.options.Any());
+}
+
+TEST(Ipv4Codec, RoundTripWithOptions) {
+  Ipv4Header h;
+  h.src = kSrc;
+  h.dst = kDst;
+  h.protocol = kIpProtoUdp;
+  h.options.router_alert = true;
+  h.options.padding = true;
+  ByteWriter w;
+  h.Encode(w, {});
+  EXPECT_EQ(w.size(), 28u);  // 20 + 4 (router alert) + 4 (padding)
+
+  ByteReader r(w.bytes());
+  std::size_t payload_len = 0;
+  const Ipv4Header d = Ipv4Header::Decode(r, payload_len);
+  EXPECT_TRUE(d.options.router_alert);
+  EXPECT_TRUE(d.options.padding);
+  EXPECT_EQ(payload_len, 0u);
+}
+
+TEST(Ipv4Codec, ChecksumIsValidOnWire) {
+  Ipv4Header h;
+  h.src = kSrc;
+  h.dst = kDst;
+  h.protocol = kIpProtoTcp;
+  ByteWriter w;
+  h.Encode(w, {});
+  // The header with its checksum folded in must sum to zero.
+  EXPECT_EQ(Checksum(w.bytes().subspan(0, 20)), 0);
+}
+
+TEST(Ipv6Codec, RoundTrip) {
+  Ipv6Header h;
+  h.src = Ipv6Address::LinkLocalFromMac(kMac);
+  h.dst = Ipv6Address::AllNodesMulticast();
+  h.next_header = kIpProtoUdp;
+  h.hop_limit = 255;
+  const std::uint8_t payload[] = {0xaa, 0xbb};
+  ByteWriter w;
+  h.Encode(w, payload);
+  EXPECT_EQ(w.size(), Ipv6Header::kSize + 2);
+
+  ByteReader r(w.bytes());
+  std::size_t payload_len = 0;
+  const Ipv6Header d = Ipv6Header::Decode(r, payload_len);
+  EXPECT_EQ(payload_len, 2u);
+  EXPECT_EQ(d.src, h.src);
+  EXPECT_EQ(d.dst, h.dst);
+  EXPECT_EQ(d.next_header, kIpProtoUdp);
+}
+
+TEST(UdpCodec, RoundTripAndChecksum) {
+  UdpDatagram udp;
+  udp.src_port = 49152;
+  udp.dst_port = 53;
+  udp.payload = {1, 2, 3, 4};
+  ByteWriter w;
+  udp.Encode(w, kSrc, kDst);
+  EXPECT_EQ(w.size(), 12u);
+
+  ByteReader r(w.bytes());
+  const UdpDatagram d = UdpDatagram::Decode(r);
+  EXPECT_EQ(d.src_port, 49152);
+  EXPECT_EQ(d.dst_port, 53);
+  EXPECT_EQ(d.payload, udp.payload);
+
+  // Verify the pseudo-header checksum: recomputing over the wire bytes
+  // plus the pseudo-header must give zero.
+  InternetChecksum sum;
+  AddPseudoHeader(sum, kSrc, kDst, kIpProtoUdp, 12);
+  sum.Add(w.bytes());
+  EXPECT_EQ(sum.Finalize(), 0);
+}
+
+TEST(TcpCodec, SynRoundTripWithOptions) {
+  const TcpSegment syn = TcpSegment::Syn(50000, 443, 0xdeadbeef, 1460);
+  ByteWriter w;
+  syn.Encode(w, kSrc, kDst);
+
+  ByteReader r(w.bytes());
+  const TcpSegment d = TcpSegment::Decode(r, w.size());
+  EXPECT_EQ(d.src_port, 50000);
+  EXPECT_EQ(d.dst_port, 443);
+  EXPECT_EQ(d.seq, 0xdeadbeefu);
+  EXPECT_TRUE(d.Has(TcpFlags::kSyn));
+  ASSERT_TRUE(d.options.mss.has_value());
+  EXPECT_EQ(*d.options.mss, 1460);
+  EXPECT_TRUE(d.options.sack_permitted);
+}
+
+TEST(TcpCodec, PayloadRoundTrip) {
+  TcpSegment seg;
+  seg.src_port = 50001;
+  seg.dst_port = 80;
+  seg.flags = TcpFlags::kPsh | TcpFlags::kAck;
+  seg.payload.assign(100, 0x42);
+  ByteWriter w;
+  seg.Encode(w, kSrc, kDst);
+  ByteReader r(w.bytes());
+  const TcpSegment d = TcpSegment::Decode(r, w.size());
+  EXPECT_EQ(d.payload.size(), 100u);
+  EXPECT_TRUE(d.Has(TcpFlags::kPsh));
+}
+
+TEST(TcpCodec, ChecksumCoversPseudoHeader) {
+  const TcpSegment syn = TcpSegment::Syn(1, 2, 3);
+  ByteWriter w;
+  syn.Encode(w, kSrc, kDst);
+  InternetChecksum sum;
+  AddPseudoHeader(sum, kSrc, kDst, kIpProtoTcp,
+                  static_cast<std::uint16_t>(w.size()));
+  sum.Add(w.bytes());
+  EXPECT_EQ(sum.Finalize(), 0);
+}
+
+TEST(IcmpCodec, EchoRoundTrip) {
+  const IcmpMessage request = IcmpMessage::EchoRequest(7, 3, 32);
+  ByteWriter w;
+  request.Encode(w);
+  ByteReader r(w.bytes());
+  const IcmpMessage d = IcmpMessage::Decode(r, w.size());
+  EXPECT_TRUE(d.IsEchoRequest());
+  EXPECT_EQ(d.identifier, 7);
+  EXPECT_EQ(d.sequence, 3);
+  EXPECT_EQ(d.payload.size(), 32u);
+
+  const IcmpMessage reply = IcmpMessage::EchoReply(request);
+  EXPECT_TRUE(reply.IsEchoReply());
+  EXPECT_EQ(reply.identifier, request.identifier);
+}
+
+TEST(Icmpv6Codec, NeighborSolicitationRoundTrip) {
+  const auto target = Ipv6Address::LinkLocalFromMac(kMac);
+  const auto msg = Icmpv6Message::NeighborSolicitation(target, kMac);
+  ByteWriter w;
+  msg.Encode(w, target, Ipv6Address::AllNodesMulticast());
+  ByteReader r(w.bytes());
+  const auto d = Icmpv6Message::Decode(r, w.size());
+  EXPECT_EQ(d.type, Icmpv6Type::kNeighborSolicitation);
+  EXPECT_EQ(d.body.size(), msg.body.size());
+}
+
+TEST(EapolCodec, KeyHandshakeSizesDifferPerMessage) {
+  const auto m1 = EapolFrame::KeyHandshake(1);
+  const auto m2 = EapolFrame::KeyHandshake(2);
+  const auto m3 = EapolFrame::KeyHandshake(3);
+  EXPECT_LT(m1.body.size(), m2.body.size());
+  EXPECT_LT(m2.body.size(), m3.body.size());
+
+  ByteWriter w;
+  m3.Encode(w);
+  ByteReader r(w.bytes());
+  const auto d = EapolFrame::Decode(r);
+  EXPECT_EQ(d.type, EapolType::kKey);
+  EXPECT_EQ(d.body.size(), m3.body.size());
+}
+
+TEST(DhcpCodec, DiscoverRoundTrip) {
+  const auto discover = DhcpMessage::Discover(kMac, 0xcafe, "smart-plug",
+                                              {1, 3, 6, 15});
+  ByteWriter w;
+  discover.Encode(w);
+  ByteReader r(w.bytes());
+  const auto d = DhcpMessage::Decode(r);
+  EXPECT_EQ(d.client_mac, kMac);
+  EXPECT_EQ(d.transaction_id, 0xcafeu);
+  ASSERT_TRUE(d.MessageType().has_value());
+  EXPECT_EQ(*d.MessageType(), DhcpMessageType::kDiscover);
+  EXPECT_TRUE(d.IsDhcp());
+}
+
+TEST(DhcpCodec, PlainBootpHasNoOptions) {
+  const auto bootp = DhcpMessage::BootpRequest(kMac, 1);
+  ByteWriter w;
+  bootp.Encode(w);
+  EXPECT_EQ(w.size(), 236u);  // no magic cookie, no options
+  ByteReader r(w.bytes());
+  const auto d = DhcpMessage::Decode(r);
+  EXPECT_FALSE(d.IsDhcp());
+  EXPECT_FALSE(d.MessageType().has_value());
+}
+
+TEST(DhcpCodec, OfferAckCarryAssignedAddress) {
+  const auto discover = DhcpMessage::Discover(kMac, 5, "x", {});
+  const auto offer = DhcpMessage::Offer(discover, kSrc, kDst);
+  EXPECT_EQ(offer.your_ip, kSrc);
+  EXPECT_EQ(offer.op, 2);
+  ASSERT_TRUE(offer.MessageType().has_value());
+  EXPECT_EQ(*offer.MessageType(), DhcpMessageType::kOffer);
+}
+
+TEST(DnsCodec, QueryResponseRoundTrip) {
+  const auto query = DnsMessage::Query(42, "devs.tplinkcloud.com");
+  ByteWriter w;
+  query.Encode(w);
+  ByteReader r(w.bytes());
+  const auto d = DnsMessage::Decode(r);
+  EXPECT_EQ(d.id, 42);
+  ASSERT_EQ(d.questions.size(), 1u);
+  EXPECT_EQ(d.questions[0].name, "devs.tplinkcloud.com");
+  EXPECT_FALSE(d.IsResponse());
+
+  const auto response = DnsMessage::Response(query, Ipv4Address(52, 1, 2, 3));
+  ByteWriter w2;
+  response.Encode(w2);
+  ByteReader r2(w2.bytes());
+  const auto d2 = DnsMessage::Decode(r2);
+  EXPECT_TRUE(d2.IsResponse());
+  ASSERT_EQ(d2.answers.size(), 1u);
+  EXPECT_EQ(d2.answers[0].rdata.size(), 4u);
+}
+
+TEST(DnsCodec, CompressionPointerDecoding) {
+  // Hand-craft a response with a compression pointer to offset 12 (the
+  // question name).
+  ByteWriter w;
+  w.WriteU16(1);       // id
+  w.WriteU16(0x8180);  // response flags
+  w.WriteU16(1);       // qd
+  w.WriteU16(1);       // an
+  w.WriteU16(0);
+  w.WriteU16(0);
+  EncodeDnsName(w, "a.example.com");
+  w.WriteU16(1);  // type A
+  w.WriteU16(1);  // class IN
+  w.WriteU8(0xc0);  // pointer to offset 12
+  w.WriteU8(12);
+  w.WriteU16(1);
+  w.WriteU16(1);
+  w.WriteU32(60);
+  w.WriteU16(4);
+  w.WriteU32(0x01020304);
+
+  ByteReader r(w.bytes());
+  const auto d = DnsMessage::Decode(r);
+  ASSERT_EQ(d.answers.size(), 1u);
+  EXPECT_EQ(d.answers[0].name, "a.example.com");
+}
+
+TEST(DnsCodec, MdnsAnnounceStructure) {
+  const auto announce =
+      DnsMessage::MdnsAnnounce("Hue Bridge", "_hue._tcp.local", kSrc);
+  EXPECT_TRUE(announce.IsResponse());
+  EXPECT_EQ(announce.id, 0);
+  ASSERT_EQ(announce.answers.size(), 1u);
+  EXPECT_EQ(announce.answers[0].type, DnsType::kPtr);
+}
+
+TEST(DnsCodec, RejectsOversizedLabel) {
+  ByteWriter w;
+  EXPECT_THROW(EncodeDnsName(w, std::string(64, 'a') + ".com"), CodecError);
+}
+
+TEST(IgmpCodec, JoinRoundTripAndChecksum) {
+  const auto join = IgmpMessage::Join(Ipv4Address(224, 0, 0, 251));
+  ByteWriter w;
+  join.Encode(w);
+  EXPECT_EQ(w.size(), IgmpMessage::kSize);
+  EXPECT_EQ(Checksum(w.bytes()), 0);  // checksum folded in
+
+  ByteReader r(w.bytes());
+  const auto d = IgmpMessage::Decode(r);
+  EXPECT_EQ(d.type, IgmpType::kMembershipReportV2);
+  EXPECT_EQ(d.group, Ipv4Address(224, 0, 0, 251));
+
+  const auto leave = IgmpMessage::Leave(Ipv4Address(239, 255, 255, 250));
+  EXPECT_EQ(leave.type, IgmpType::kLeaveGroup);
+}
+
+TEST(IgmpCodec, RejectsUnknownType) {
+  ByteWriter w;
+  IgmpMessage::Join(Ipv4Address(224, 0, 0, 1)).Encode(w);
+  auto bytes = std::move(w).Take();
+  bytes[0] = 0x99;
+  ByteReader r(bytes);
+  EXPECT_THROW(IgmpMessage::Decode(r), CodecError);
+}
+
+TEST(SsdpCodec, MSearchRoundTrip) {
+  const auto msg = SsdpMessage::MSearch("upnp:rootdevice", 3);
+  ByteWriter w;
+  msg.Encode(w);
+  ByteReader r(w.bytes());
+  const auto d = SsdpMessage::Decode(r);
+  EXPECT_TRUE(d.IsMSearch());
+  EXPECT_EQ(d.headers.size(), 4u);
+  EXPECT_EQ(d.headers[3].first, "ST");
+  EXPECT_EQ(d.headers[3].second, "upnp:rootdevice");
+}
+
+TEST(SsdpCodec, NotifyCarriesLocation) {
+  const auto msg = SsdpMessage::NotifyAlive("urn:Belkin:device:controllee:1",
+                                            "http://192.168.1.5:49153/setup.xml",
+                                            "WeMo/1.0");
+  ByteWriter w;
+  msg.Encode(w);
+  ByteReader r(w.bytes());
+  const auto d = SsdpMessage::Decode(r);
+  EXPECT_FALSE(d.IsMSearch());
+  bool found = false;
+  for (const auto& [name, value] : d.headers) {
+    if (name == "LOCATION") {
+      found = true;
+      EXPECT_EQ(value, "http://192.168.1.5:49153/setup.xml");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NtpCodec, RoundTrip) {
+  const auto request = NtpPacket::ClientRequest(0x12345678);
+  ByteWriter w;
+  request.Encode(w);
+  EXPECT_EQ(w.size(), NtpPacket::kSize);
+  ByteReader r(w.bytes());
+  const auto d = NtpPacket::Decode(r);
+  EXPECT_EQ(d.mode, 3);
+  EXPECT_EQ(d.version, 4);
+  EXPECT_EQ(d.transmit_timestamp, 0x12345678ull);
+
+  const auto reply = NtpPacket::ServerReply(d, 99);
+  EXPECT_EQ(reply.mode, 4);
+  EXPECT_GT(reply.stratum, 0);
+}
+
+TEST(HttpCodec, GetRoundTrip) {
+  const auto get = HttpMessage::Get("/setup.xml", "192.168.1.5", "WeMo/1.0");
+  ByteWriter w;
+  get.Encode(w);
+  ByteReader r(w.bytes());
+  const auto d = HttpMessage::Decode(r);
+  EXPECT_TRUE(d.IsRequest());
+  EXPECT_EQ(d.start_line, "GET /setup.xml HTTP/1.1");
+  EXPECT_EQ(d.headers[0].second, "192.168.1.5");
+}
+
+TEST(HttpCodec, PostBodySize) {
+  const auto post = HttpMessage::Post("/api", "host", "agent", 256);
+  ByteWriter w;
+  post.Encode(w);
+  ByteReader r(w.bytes());
+  const auto d = HttpMessage::Decode(r);
+  EXPECT_EQ(d.body.size(), 256u);
+  EXPECT_FALSE(HttpMessage::Ok(0).IsRequest());
+}
+
+TEST(TlsCodec, ClientHelloEmbedsSni) {
+  const auto hello = TlsRecord::ClientHello("api.fitbit.com");
+  ByteWriter w;
+  hello.Encode(w);
+  ByteReader r(w.bytes());
+  const auto d = TlsRecord::Decode(r);
+  EXPECT_EQ(d.content_type, TlsContentType::kHandshake);
+  EXPECT_EQ(d.fragment.size(), hello.fragment.size());
+  // SNI length affects the record size.
+  const auto hello2 = TlsRecord::ClientHello("x.co");
+  EXPECT_NE(hello.fragment.size(), hello2.fragment.size());
+}
+
+TEST(TlsCodec, ApplicationDataSize) {
+  const auto app = TlsRecord::ApplicationData(300);
+  ByteWriter w;
+  app.Encode(w);
+  EXPECT_EQ(w.size(), 5u + 300u);
+}
+
+}  // namespace
+}  // namespace sentinel::net

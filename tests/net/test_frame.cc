@@ -1,0 +1,267 @@
+// Frame builder/parser tests, including property-based randomized
+// round-trips: whatever the builders emit, the parser must classify with
+// the correct protocol flags, addresses, ports and sizes.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sentinel::net {
+namespace {
+
+const MacAddress kDev = *MacAddress::Parse("50:c7:bf:01:02:03");
+const MacAddress kGw = *MacAddress::Parse("02:00:5e:00:00:01");
+const Ipv4Address kDevIp(192, 168, 1, 100);
+const Ipv4Address kGwIp(192, 168, 1, 1);
+
+TEST(ParseFrame, ArpFrame) {
+  const auto frame =
+      BuildArpFrame(123, kDev, MacAddress::Broadcast(),
+                    ArpPacket::Probe(kDev, kDevIp));
+  const auto p = ParseFrame(frame);
+  EXPECT_EQ(p.timestamp_ns, 123u);
+  EXPECT_EQ(p.src_mac, kDev);
+  EXPECT_TRUE(p.protocols.Has(Protocol::kArp));
+  EXPECT_FALSE(p.protocols.Has(Protocol::kIp));
+  EXPECT_FALSE(p.src_ip.has_value());  // ARP carries no IP header
+  EXPECT_FALSE(p.has_raw_data);
+  EXPECT_EQ(p.size_bytes, frame.bytes.size());
+}
+
+TEST(ParseFrame, EapolFrame) {
+  const auto frame =
+      BuildEapolFrame(1, kDev, kGw, EapolFrame::KeyHandshake(2));
+  const auto p = ParseFrame(frame);
+  EXPECT_TRUE(p.protocols.Has(Protocol::kEapol));
+  EXPECT_FALSE(p.protocols.Has(Protocol::kIp));
+}
+
+TEST(ParseFrame, LlcFrame) {
+  const auto frame = BuildLlcFrame(1, kDev, kGw, 40);
+  const auto p = ParseFrame(frame);
+  EXPECT_TRUE(p.protocols.Has(Protocol::kLlc));
+  EXPECT_TRUE(p.has_raw_data);
+}
+
+TEST(ParseFrame, DhcpDiscoverSetsBothDhcpAndBootp) {
+  net::UdpDatagram udp;
+  udp.src_port = kPortDhcpClient;
+  udp.dst_port = kPortDhcpServer;
+  ByteWriter w;
+  DhcpMessage::Discover(kDev, 1, "plug", {1, 3, 6}).Encode(w);
+  udp.payload = std::move(w).Take();
+  const auto frame =
+      BuildUdp4Frame(1, kDev, MacAddress::Broadcast(), Ipv4Address::Any(),
+                     Ipv4Address::Broadcast(), udp);
+  const auto p = ParseFrame(frame);
+  EXPECT_TRUE(p.protocols.Has(Protocol::kUdp));
+  EXPECT_TRUE(p.protocols.Has(Protocol::kBootp));
+  EXPECT_TRUE(p.protocols.Has(Protocol::kDhcp));
+  EXPECT_FALSE(p.has_raw_data);
+  ASSERT_TRUE(p.src_port.has_value());
+  EXPECT_EQ(*p.src_port, kPortDhcpClient);
+}
+
+TEST(ParseFrame, PlainBootpSetsOnlyBootp) {
+  net::UdpDatagram udp;
+  udp.src_port = kPortDhcpClient;
+  udp.dst_port = kPortDhcpServer;
+  ByteWriter w;
+  DhcpMessage::BootpRequest(kDev, 1).Encode(w);
+  udp.payload = std::move(w).Take();
+  const auto frame =
+      BuildUdp4Frame(1, kDev, MacAddress::Broadcast(), Ipv4Address::Any(),
+                     Ipv4Address::Broadcast(), udp);
+  const auto p = ParseFrame(frame);
+  EXPECT_TRUE(p.protocols.Has(Protocol::kBootp));
+  EXPECT_FALSE(p.protocols.Has(Protocol::kDhcp));
+}
+
+TEST(ParseFrame, DnsVsMdnsByPort) {
+  UdpDatagram dns;
+  dns.src_port = 50000;
+  dns.dst_port = kPortDns;
+  ByteWriter w;
+  DnsMessage::Query(1, "example.com").Encode(w);
+  dns.payload = std::move(w).Take();
+  const auto p1 = ParseFrame(BuildUdp4Frame(1, kDev, kGw, kDevIp, kGwIp, dns));
+  EXPECT_TRUE(p1.protocols.Has(Protocol::kDns));
+  EXPECT_FALSE(p1.protocols.Has(Protocol::kMdns));
+
+  UdpDatagram mdns = dns;
+  mdns.src_port = kPortMdns;
+  mdns.dst_port = kPortMdns;
+  const auto p2 = ParseFrame(
+      BuildUdp4Frame(1, kDev, kGw, kDevIp, Ipv4Address(224, 0, 0, 251), mdns));
+  EXPECT_TRUE(p2.protocols.Has(Protocol::kMdns));
+  EXPECT_FALSE(p2.protocols.Has(Protocol::kDns));
+}
+
+TEST(ParseFrame, HttpAndHttpsByTcpPort) {
+  TcpSegment seg;
+  seg.src_port = 50000;
+  seg.dst_port = kPortHttp;
+  seg.flags = TcpFlags::kPsh | TcpFlags::kAck;
+  seg.payload.assign(50, 'x');
+  const auto p1 = ParseFrame(BuildTcp4Frame(1, kDev, kGw, kDevIp, kGwIp, seg));
+  EXPECT_TRUE(p1.protocols.Has(Protocol::kHttp));
+  EXPECT_TRUE(p1.protocols.Has(Protocol::kTcp));
+  EXPECT_TRUE(p1.has_raw_data);  // HTTP payload is opaque to the monitor
+
+  seg.dst_port = kPortHttps;
+  const auto p2 = ParseFrame(BuildTcp4Frame(1, kDev, kGw, kDevIp, kGwIp, seg));
+  EXPECT_TRUE(p2.protocols.Has(Protocol::kHttps));
+  EXPECT_FALSE(p2.protocols.Has(Protocol::kHttp));
+}
+
+TEST(ParseFrame, EmptyTcpSynHasNoRawData) {
+  const auto syn = TcpSegment::Syn(50000, 443, 1);
+  const auto p = ParseFrame(BuildTcp4Frame(1, kDev, kGw, kDevIp, kGwIp, syn));
+  EXPECT_FALSE(p.has_raw_data);
+  EXPECT_TRUE(p.protocols.Has(Protocol::kHttps));  // port classification
+}
+
+TEST(ParseFrame, IpOptionsSurfaceInSummary) {
+  UdpDatagram udp;
+  udp.src_port = 1;
+  udp.dst_port = 2;
+  Ipv4Meta meta;
+  meta.options.router_alert = true;
+  meta.options.padding = true;
+  const auto p =
+      ParseFrame(BuildUdp4Frame(1, kDev, kGw, kDevIp, kGwIp, udp, meta));
+  EXPECT_TRUE(p.ip_opt_router_alert);
+  EXPECT_TRUE(p.ip_opt_padding);
+}
+
+TEST(ParseFrame, Icmpv6NeighborDiscovery) {
+  const auto src = Ipv6Address::LinkLocalFromMac(kDev);
+  const auto frame = BuildIcmpv6Frame(
+      1, kDev, MacAddress({0x33, 0x33, 0, 0, 0, 1}), src,
+      Ipv6Address::AllNodesMulticast(),
+      Icmpv6Message::RouterSolicitation(kDev));
+  const auto p = ParseFrame(frame);
+  EXPECT_TRUE(p.protocols.Has(Protocol::kIcmpv6));
+  EXPECT_TRUE(p.protocols.Has(Protocol::kIp));
+  ASSERT_TRUE(p.dst_ip.has_value());
+  EXPECT_TRUE(p.dst_ip->IsV6());
+}
+
+TEST(ParseFrame, IgmpFrameHasRouterAlertAndNoRawData) {
+  const auto frame = BuildIgmpFrame(
+      1, kDev, kDevIp, IgmpMessage::Join(Ipv4Address(224, 0, 0, 251)));
+  const auto p = ParseFrame(frame);
+  EXPECT_TRUE(p.protocols.Has(Protocol::kIp));
+  EXPECT_TRUE(p.ip_opt_router_alert);
+  EXPECT_FALSE(p.has_raw_data);
+  ASSERT_TRUE(p.dst_ip.has_value());
+  EXPECT_TRUE(p.dst_ip->v4().IsMulticast());
+  EXPECT_TRUE(p.dst_mac.IsMulticast());
+  EXPECT_EQ(p.dst_mac, MulticastMacFor(Ipv4Address(224, 0, 0, 251)));
+}
+
+TEST(ParseFrame, MulticastMacMapping) {
+  // 239.255.255.250 -> 01:00:5e:7f:ff:fa (high bit of second byte masked).
+  EXPECT_EQ(MulticastMacFor(Ipv4Address(239, 255, 255, 250)).ToString(),
+            "01:00:5e:7f:ff:fa");
+  EXPECT_EQ(MulticastMacFor(Ipv4Address(224, 0, 0, 251)).ToString(),
+            "01:00:5e:00:00:fb");
+}
+
+TEST(ParseFrame, VendorUdpIsRawData) {
+  UdpDatagram udp;
+  udp.src_port = 50000;
+  udp.dst_port = 9999;  // unrecognized port
+  udp.payload.assign(64, 0x55);
+  const auto p = ParseFrame(BuildUdp4Frame(1, kDev, kGw, kDevIp, kGwIp, udp));
+  EXPECT_TRUE(p.has_raw_data);
+  EXPECT_EQ(*p.dst_port, 9999);
+}
+
+TEST(ParseFrame, TruncatedFrameThrows) {
+  auto frame = BuildArpFrame(1, kDev, kGw, ArpPacket::Probe(kDev, kDevIp));
+  frame.bytes.resize(20);  // cut inside the ARP body
+  EXPECT_THROW(ParseFrame(frame), CodecError);
+}
+
+TEST(ParseFrame, CorruptedIpVersionThrows) {
+  UdpDatagram udp;
+  udp.src_port = 1;
+  udp.dst_port = 2;
+  auto frame = BuildUdp4Frame(1, kDev, kGw, kDevIp, kGwIp, udp);
+  frame.bytes[14] = 0x90;  // IP version 9
+  EXPECT_THROW(ParseFrame(frame), CodecError);
+}
+
+// ---- Property-based round-trip over randomized frames ----------------------
+
+class RandomizedFrameRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomizedFrameRoundTrip, ParsePreservesInvariants) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> kind_dist(0, 4);
+  std::uniform_int_distribution<std::uint32_t> u32;
+  std::uniform_int_distribution<int> size_dist(0, 400);
+  std::uniform_int_distribution<int> port_dist(1, 65535);
+
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto src = MacAddress::FromUint64(u32(rng));
+    const auto dst = MacAddress::FromUint64(u32(rng));
+    const Ipv4Address sip(u32(rng));
+    const Ipv4Address dip(u32(rng));
+    Frame frame;
+    switch (kind_dist(rng)) {
+      case 0:
+        frame = BuildArpFrame(iter, src, dst, ArpPacket::Probe(src, dip));
+        break;
+      case 1: {
+        UdpDatagram udp;
+        udp.src_port = static_cast<std::uint16_t>(port_dist(rng));
+        udp.dst_port = static_cast<std::uint16_t>(port_dist(rng));
+        udp.payload.assign(static_cast<std::size_t>(size_dist(rng)), 0xcd);
+        frame = BuildUdp4Frame(iter, src, dst, sip, dip, udp);
+        break;
+      }
+      case 2: {
+        TcpSegment seg;
+        seg.src_port = static_cast<std::uint16_t>(port_dist(rng));
+        seg.dst_port = static_cast<std::uint16_t>(port_dist(rng));
+        seg.flags = TcpFlags::kAck;
+        seg.payload.assign(static_cast<std::size_t>(size_dist(rng)), 0xef);
+        frame = BuildTcp4Frame(iter, src, dst, sip, dip, seg);
+        break;
+      }
+      case 3:
+        frame = BuildIcmp4Frame(iter, src, dst, sip, dip,
+                                IcmpMessage::EchoRequest(1, 1, 16));
+        break;
+      default:
+        frame = BuildEapolFrame(iter, src, dst, EapolFrame::KeyHandshake(1));
+        break;
+    }
+
+    const auto p = ParseFrame(frame);
+    EXPECT_EQ(p.src_mac, src);
+    EXPECT_EQ(p.dst_mac, dst);
+    EXPECT_EQ(p.size_bytes, frame.bytes.size());
+    EXPECT_EQ(p.timestamp_ns, static_cast<std::uint64_t>(iter));
+    if (p.protocols.Has(Protocol::kIp)) {
+      ASSERT_TRUE(p.src_ip.has_value());
+      EXPECT_EQ(p.src_ip->v4(), sip);
+      EXPECT_EQ(p.dst_ip->v4(), dip);
+    }
+    // Exactly one link/network protocol class claims the frame.
+    const int base_protocols = (p.protocols.Has(Protocol::kArp) ? 1 : 0) +
+                               (p.protocols.Has(Protocol::kEapol) ? 1 : 0) +
+                               (p.protocols.Has(Protocol::kLlc) ? 1 : 0) +
+                               (p.protocols.Has(Protocol::kIp) ? 1 : 0);
+    EXPECT_EQ(base_protocols, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedFrameRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace sentinel::net

@@ -1,0 +1,205 @@
+// Discrete-event simulator tests: event ordering, media contention,
+// gateway queueing, host behaviours and end-to-end pings.
+#include <gtest/gtest.h>
+
+#include "netsim/network.h"
+
+namespace sentinel::netsim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(300, [&] { order.push_back(3); });
+  queue.ScheduleAt(100, [&] { order.push_back(1); });
+  queue.ScheduleAt(200, [&] { order.push_back(2); });
+  queue.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 300u);
+}
+
+TEST(EventQueue, FifoTieBreakAtEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    queue.ScheduleAt(100, [&order, i] { order.push_back(i); });
+  queue.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NestedSchedulingAndRunUntil) {
+  EventQueue queue;
+  int fired = 0;
+  queue.ScheduleAt(10, [&] {
+    ++fired;
+    queue.ScheduleAfter(20, [&] { ++fired; });  // at t=30
+  });
+  queue.RunUntil(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.RunUntil(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue queue;
+  std::uint64_t seen = 1;
+  queue.ScheduleAt(100, [&] {
+    queue.ScheduleAt(5, [&] { seen = queue.now(); });  // in the past
+  });
+  queue.Run();
+  EXPECT_EQ(seen, 100u);  // clamped, not time-travelled
+}
+
+TEST(SharedMedium, SerializesTransmissions) {
+  SharedMedium medium(/*mbps=*/8.0, /*overhead=*/0);
+  // 1000 bytes at 8 Mbps = 1 ms.
+  const SimTime t1 = medium.Transmit(0, 1000);
+  EXPECT_EQ(t1, 1'000'000u);
+  // Second frame queued behind the first.
+  const SimTime t2 = medium.Transmit(0, 1000);
+  EXPECT_EQ(t2, 2'000'000u);
+  // After the medium is idle, transmission starts immediately.
+  const SimTime t3 = medium.Transmit(10'000'000, 1000);
+  EXPECT_EQ(t3, 11'000'000u);
+}
+
+TEST(GatewayCpu, QueueingAndBusyAccounting) {
+  GatewayCpu cpu(/*service=*/100, /*filter_extra=*/50);
+  EXPECT_EQ(cpu.Process(0), 100u);
+  EXPECT_EQ(cpu.Process(0), 200u);  // queued behind the first
+  EXPECT_EQ(cpu.Process(500), 600u);
+  EXPECT_EQ(cpu.busy_ns(), 300u);
+
+  cpu.set_filtering(true);
+  EXPECT_EQ(cpu.Process(1000), 1150u);
+  EXPECT_EQ(cpu.busy_ns(), 450u);
+}
+
+TEST(GatewayCpu, UtilizationIncludesBaseLoad) {
+  GatewayCpu cpu(100, 0);
+  for (int i = 0; i < 10; ++i) cpu.Process(static_cast<SimTime>(i) * 1000);
+  // 1000 ns busy over a 10000 ns window = 10% + 36% base.
+  EXPECT_NEAR(cpu.Utilization(0, 10'000), 0.46, 1e-9);
+  cpu.ResetWindow();
+  EXPECT_NEAR(cpu.Utilization(0, 10'000), 0.36, 1e-9);
+}
+
+TEST(Network, PingMeasuresRoundTrip) {
+  Network network(1);
+  auto* d1 = network.AddHost("D1", net::Ipv4Address(192, 168, 1, 11),
+                             {LinkKind::kWifi, 6'000'000, 500'000});
+  auto* d2 = network.AddHost("D2", net::Ipv4Address(192, 168, 1, 12),
+                             {LinkKind::kWifi, 6'000'000, 500'000});
+  network.InstallStaticForwarding();
+
+  SimTime rtt = 0;
+  d1->Ping(*d2, [&](SimTime value) { rtt = value; });
+  network.Run();
+  // Two WiFi uplinks + two downlinks at ~6 ms each: RTT in the low 20s ms.
+  EXPECT_GT(rtt, 18'000'000u);
+  EXPECT_LT(rtt, 32'000'000u);
+  EXPECT_EQ(d2->received_count(), 1u);
+}
+
+TEST(Network, EthernetFasterThanWifi) {
+  Network network(2);
+  auto* wifi = network.AddHost("D1", net::Ipv4Address(192, 168, 1, 11),
+                               {LinkKind::kWifi, 6'000'000, 100'000});
+  auto* eth = network.AddHost("S", net::Ipv4Address(192, 168, 1, 2),
+                              {LinkKind::kEthernet, 1'500'000, 100'000});
+  auto* wifi2 = network.AddHost("D2", net::Ipv4Address(192, 168, 1, 12),
+                                {LinkKind::kWifi, 6'000'000, 100'000});
+  network.InstallStaticForwarding();
+
+  SimTime to_server = 0, to_device = 0;
+  wifi->Ping(*eth, [&](SimTime v) { to_server = v; });
+  network.Run();
+  wifi->Ping(*wifi2, [&](SimTime v) { to_device = v; });
+  network.Run();
+  EXPECT_LT(to_server, to_device);
+}
+
+TEST(Network, BackgroundFlowsDeliverAtConfiguredRate) {
+  Network network(3);
+  auto* src = network.AddHost("D1", net::Ipv4Address(192, 168, 1, 11),
+                              {LinkKind::kEthernet, 1'000'000, 0});
+  auto* dst = network.AddHost("D2", net::Ipv4Address(192, 168, 1, 12),
+                              {LinkKind::kEthernet, 1'000'000, 0});
+  network.InstallStaticForwarding();
+  network.StartFlow(*src, *dst, /*pps=*/100.0, /*payload=*/100,
+                    /*duration=*/1'000'000'000);
+  network.Run();
+  // ~100 packets in 1 second (+/- phase effects).
+  EXPECT_GE(dst->received_count(), 95u);
+  EXPECT_LE(dst->received_count(), 105u);
+}
+
+TEST(Network, UnknownDestinationFloodsViaLearningController) {
+  Network network(4);
+  auto* a = network.AddHost("A", net::Ipv4Address(192, 168, 1, 21),
+                            {LinkKind::kEthernet, 1'000'000, 0});
+  auto* b = network.AddHost("B", net::Ipv4Address(192, 168, 1, 22),
+                            {LinkKind::kEthernet, 1'000'000, 0});
+  auto* c = network.AddHost("C", net::Ipv4Address(192, 168, 1, 23),
+                            {LinkKind::kEthernet, 1'000'000, 0});
+  // No static rules: first packet floods.
+  a->SendUdp(*b, 7000, 50);
+  network.Run();
+  EXPECT_EQ(b->received_count() + c->received_count(), 2u);  // flooded to both
+}
+
+TEST(Network, GatewayMemoryGrowsWithFlowRules) {
+  Network network(5);
+  for (int i = 0; i < 10; ++i) {
+    network.AddHost("H" + std::to_string(i),
+                    net::Ipv4Address(192, 168, 1, static_cast<std::uint8_t>(50 + i)),
+                    {LinkKind::kEthernet, 1'000'000, 0});
+  }
+  const std::size_t before = network.GatewayMemoryBytes();
+  network.InstallStaticForwarding();  // 90 rules
+  const std::size_t after = network.GatewayMemoryBytes();
+  EXPECT_GT(after, before);
+  EXPECT_EQ(network.GatewayMemoryBytes(1000) - after, 1000u);
+}
+
+TEST(Network, LossyLinksDropFrames) {
+  Network network(7);
+  LinkProfile lossy{LinkKind::kEthernet, 1'000'000, 0};
+  lossy.loss_probability = 0.5;
+  auto* src = network.AddHost("lossy-src", net::Ipv4Address(10, 0, 0, 1),
+                              lossy);
+  auto* dst = network.AddHost("sink", net::Ipv4Address(10, 0, 0, 2),
+                              {LinkKind::kEthernet, 1'000'000, 0});
+  network.InstallStaticForwarding();
+  for (int i = 0; i < 200; ++i) src->SendUdp(*dst, 7000, 64);
+  network.Run();
+  // Roughly half the frames vanish on the uplink.
+  EXPECT_GT(network.frames_lost(), 60u);
+  EXPECT_LT(dst->received_count(), 150u);
+  EXPECT_EQ(dst->received_count() + network.frames_lost(), 200u);
+}
+
+TEST(Network, LosslessLinksLoseNothing) {
+  Network network(8);
+  auto* src = network.AddHost("a", net::Ipv4Address(10, 0, 0, 1),
+                              {LinkKind::kEthernet, 1'000'000, 0});
+  auto* dst = network.AddHost("b", net::Ipv4Address(10, 0, 0, 2),
+                              {LinkKind::kEthernet, 1'000'000, 0});
+  network.InstallStaticForwarding();
+  for (int i = 0; i < 100; ++i) src->SendUdp(*dst, 7000, 64);
+  network.Run();
+  EXPECT_EQ(network.frames_lost(), 0u);
+  EXPECT_EQ(dst->received_count(), 100u);
+}
+
+TEST(Network, HostByIpFindsHosts) {
+  Network network(6);
+  auto* a = network.AddHost("A", net::Ipv4Address(10, 0, 0, 1),
+                            {LinkKind::kEthernet, 1'000'000, 0});
+  EXPECT_EQ(network.HostByIp(net::Ipv4Address(10, 0, 0, 1)), a);
+  EXPECT_EQ(network.HostByIp(net::Ipv4Address(10, 0, 0, 2)), nullptr);
+}
+
+}  // namespace
+}  // namespace sentinel::netsim

@@ -1,0 +1,162 @@
+// Flow-rule timeout semantics and a property-based churn test: under a
+// random add/remove/expire workload the two-tier table must always agree
+// with a naive reference implementation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sdn/flow_table.h"
+#include "sdn/switch.h"
+
+namespace sentinel::sdn {
+namespace {
+
+const net::MacAddress kA = *net::MacAddress::Parse("aa:00:00:00:00:01");
+const net::MacAddress kB = *net::MacAddress::Parse("bb:00:00:00:00:02");
+
+net::Frame Frame(const net::MacAddress& src, const net::MacAddress& dst,
+                 std::uint64_t ts = 0) {
+  net::UdpDatagram udp;
+  udp.src_port = 50000;
+  udp.dst_port = 7000;
+  udp.payload = {1};
+  return net::BuildUdp4Frame(ts, src, dst, net::Ipv4Address(10, 0, 0, 1),
+                             net::Ipv4Address(10, 0, 0, 2), udp);
+}
+
+FlowRule Rule(const net::MacAddress& src, const net::MacAddress& dst,
+              std::uint64_t idle_ns = 0, std::uint64_t hard_ns = 0) {
+  FlowRule rule;
+  rule.priority = 10;
+  rule.match.eth_src = src;
+  rule.match.eth_dst = dst;
+  rule.idle_timeout_ns = idle_ns;
+  rule.hard_timeout_ns = hard_ns;
+  rule.actions = {ActionOutput{1}};
+  return rule;
+}
+
+TEST(FlowTimeouts, HardTimeoutExpiresRegardlessOfTraffic) {
+  FlowTable table;
+  table.Add(Rule(kA, kB, 0, /*hard=*/1'000'000'000), /*now=*/0);
+
+  // Keep the rule busy: hard timeout must still fire.
+  const auto packet = net::ParseFrame(Frame(kA, kB, 900'000'000));
+  ASSERT_NE(table.Lookup(packet, 1), nullptr);
+  EXPECT_EQ(table.ExpireRules(999'999'999), 0u);
+  EXPECT_EQ(table.ExpireRules(1'000'000'000), 1u);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(FlowTimeouts, IdleTimeoutCountsFromLastHit) {
+  FlowTable table;
+  table.Add(Rule(kA, kB, /*idle=*/500'000'000, 0), /*now=*/0);
+
+  // Traffic at t=400ms refreshes the idle clock (the switch stamps
+  // last_hit via Inject; emulate by looking up and setting it the same
+  // way the datapath does).
+  SoftwareSwitch sw;
+  sw.AttachPort(1, [](const net::Frame&) {});
+  sw.flow_table().Add(Rule(kA, kB, 500'000'000, 0), 0);
+  sw.Inject(2, Frame(kA, kB, 400'000'000));
+  EXPECT_EQ(sw.ExpireFlows(800'000'000), 0u);  // idle since 400ms only
+  EXPECT_EQ(sw.ExpireFlows(900'000'000), 1u);  // 500ms idle reached
+  (void)table;
+}
+
+TEST(FlowTimeouts, ZeroTimeoutsNeverExpire) {
+  FlowTable table;
+  table.Add(Rule(kA, kB), 0);
+  EXPECT_EQ(table.ExpireRules(UINT64_MAX / 2), 0u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTimeouts, ReplaceResetsInstallationTime) {
+  FlowTable table;
+  table.Add(Rule(kA, kB, 0, 1'000'000'000), 0);
+  // Re-install the same match at t=900ms: hard timeout restarts.
+  table.Add(Rule(kA, kB, 0, 1'000'000'000), 900'000'000);
+  EXPECT_EQ(table.ExpireRules(1'500'000'000), 0u);
+  EXPECT_EQ(table.ExpireRules(1'900'000'000), 1u);
+}
+
+// ---- Property: churned table always agrees with a naive reference ----------
+
+class FlowTableChurn : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FlowTableChurn, MatchesNaiveReference) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> op(0, 9);
+  std::uniform_int_distribution<std::uint64_t> mac_pool(0, 7);
+  std::uniform_int_distribution<int> prio(1, 5);
+
+  FlowTable table;
+  // Reference: plain vector of (priority, match, cookie) — highest
+  // priority wins, first-installed wins ties.
+  struct RefRule {
+    std::uint16_t priority;
+    FlowMatch match;
+    std::uint64_t cookie;
+  };
+  std::vector<RefRule> reference;
+  std::uint64_t next_cookie = 1;
+
+  auto ref_replace = [&](const RefRule& rule) {
+    for (auto& existing : reference) {
+      if (existing.match == rule.match &&
+          existing.priority == rule.priority) {
+        existing.cookie = rule.cookie;
+        return;
+      }
+    }
+    reference.push_back(rule);
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const int operation = op(rng);
+    if (operation < 6) {  // add
+      FlowRule rule;
+      rule.priority = static_cast<std::uint16_t>(prio(rng));
+      rule.match.eth_src = net::MacAddress::FromUint64(mac_pool(rng));
+      rule.match.eth_dst = net::MacAddress::FromUint64(100 + mac_pool(rng));
+      if (op(rng) < 2) rule.match.eth_dst.reset();  // some wildcard rules
+      rule.cookie = next_cookie++;
+      rule.actions = {ActionOutput{1}};
+      ref_replace(RefRule{rule.priority, rule.match, rule.cookie});
+      table.Add(std::move(rule));
+    } else if (operation < 8 && !reference.empty()) {  // remove by cookie
+      std::uniform_int_distribution<std::size_t> pick(0, reference.size() - 1);
+      const std::uint64_t cookie = reference[pick(rng)].cookie;
+      std::erase_if(reference,
+                    [cookie](const RefRule& r) { return r.cookie == cookie; });
+      table.RemoveByCookie(cookie);
+    } else {  // verify with random probes
+      for (int probe = 0; probe < 5; ++probe) {
+        const auto src = net::MacAddress::FromUint64(mac_pool(rng));
+        const auto dst = net::MacAddress::FromUint64(100 + mac_pool(rng));
+        const auto packet = net::ParseFrame(Frame(src, dst));
+
+        const RefRule* expected = nullptr;
+        for (const auto& rule : reference) {
+          if (!rule.match.Matches(packet, 1)) continue;
+          if (expected == nullptr || rule.priority > expected->priority)
+            expected = &rule;
+        }
+        const FlowRule* actual = table.Lookup(packet, 1);
+        if (expected == nullptr) {
+          EXPECT_EQ(actual, nullptr) << "step " << step;
+        } else {
+          ASSERT_NE(actual, nullptr) << "step " << step;
+          EXPECT_EQ(actual->priority, expected->priority) << "step " << step;
+        }
+      }
+    }
+    EXPECT_EQ(table.size(), reference.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableChurn,
+                         ::testing::Values(7u, 42u, 99u, 1234u));
+
+}  // namespace
+}  // namespace sentinel::sdn

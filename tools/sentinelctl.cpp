@@ -1,0 +1,295 @@
+// sentinelctl — command-line front end to the IoT Sentinel library.
+//
+//   sentinelctl catalog
+//       List the known device-type catalog with connectivity, cluster and
+//       vulnerability metadata.
+//   sentinelctl train <model.bin> [--episodes N] [--seed S] [--standby]
+//       Train the per-type classifier bank and persist it.
+//   sentinelctl record <out.pcap> <device-type> [--seed S] [--updated]
+//                      [--standby]
+//       Simulate a device episode and write it as a standard pcap.
+//   sentinelctl identify <model.bin> <capture.pcap>
+//       Identify every device in a capture and print the assessment
+//       (isolation level, allowlist, advisories).
+//   sentinelctl fingerprint <capture.pcap>
+//       Dump the fingerprint matrices F extracted from a capture.
+//   sentinelctl evaluate [--episodes N] [--reps R] [--seed S] [--out f.md]
+//       Run the paper's cross-validation protocol and print accuracy
+//       (optionally also written as a Markdown report).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "capture/setup_phase.h"
+#include "capture/trace.h"
+#include "core/device_identifier.h"
+#include "core/vulnerability_db.h"
+#include "devices/simulator.h"
+#include "eval/experiment.h"
+#include "net/pcap.h"
+
+namespace {
+using namespace sentinel;
+
+struct Options {
+  std::vector<std::string> positional;
+  std::size_t episodes = 20;
+  std::size_t reps = 10;
+  std::uint64_t seed = 42;
+  bool standby = false;
+  bool updated = false;
+  std::string out_path;
+};
+
+Options ParseOptions(int argc, char** argv, int first) {
+  Options options;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--episodes") {
+      options.episodes = std::stoul(next_value());
+    } else if (arg == "--reps") {
+      options.reps = std::stoul(next_value());
+    } else if (arg == "--seed") {
+      options.seed = std::stoull(next_value());
+    } else if (arg == "--standby") {
+      options.standby = true;
+    } else if (arg == "--updated") {
+      options.updated = true;
+    } else if (arg == "--out") {
+      options.out_path = next_value();
+    } else if (arg.rfind("--", 0) == 0) {
+      throw std::runtime_error("unknown option " + arg);
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return options;
+}
+
+int CmdCatalog() {
+  std::printf("%-20s %-10s %-28s %-5s %-4s %s\n", "identifier", "vendor",
+              "connectivity", "CVEs", "WPS", "cloud endpoints");
+  for (const auto& info : devices::DeviceCatalog()) {
+    std::string connectivity;
+    if (info.connectivity.wifi) connectivity += "wifi ";
+    if (info.connectivity.zigbee) connectivity += "zigbee ";
+    if (info.connectivity.ethernet) connectivity += "ethernet ";
+    if (info.connectivity.zwave) connectivity += "zwave ";
+    if (info.connectivity.other) connectivity += "other ";
+    std::string endpoints;
+    for (const auto& endpoint : info.cloud_endpoints) {
+      if (!endpoints.empty()) endpoints += ", ";
+      endpoints += endpoint;
+    }
+    std::printf("%-20s %-10s %-28s %-5s %-4s %s\n", info.identifier.c_str(),
+                info.vendor.c_str(), connectivity.c_str(),
+                info.has_known_vulnerabilities ? "yes" : "no",
+                info.supports_wps_rekeying ? "yes" : "no", endpoints.c_str());
+  }
+  return 0;
+}
+
+int CmdTrain(const Options& options) {
+  if (options.positional.empty())
+    throw std::runtime_error("train: missing <model.bin>");
+  const auto& path = options.positional[0];
+  std::printf("simulating %zu %s episodes per type...\n", options.episodes,
+              options.standby ? "standby" : "setup");
+  const auto dataset =
+      options.standby
+          ? devices::GenerateStandbyFingerprintDataset(options.episodes,
+                                                       options.seed)
+          : devices::GenerateFingerprintDataset(options.episodes,
+                                                options.seed);
+  std::vector<core::LabelledFingerprint> train;
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    train.push_back(core::LabelledFingerprint{
+        &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+  core::DeviceIdentifier identifier;
+  identifier.Train(train);
+  identifier.SaveToFile(path);
+  std::printf("trained %zu per-type classifiers -> %s (%.1f KiB in memory)\n",
+              identifier.type_count(), path.c_str(),
+              static_cast<double>(identifier.MemoryBytes()) / 1024.0);
+  std::printf("mean out-of-bag accuracy of the binary classifiers: %.3f\n",
+              identifier.MeanOobAccuracy());
+  return 0;
+}
+
+int CmdRecord(const Options& options) {
+  if (options.positional.size() < 2)
+    throw std::runtime_error("record: need <out.pcap> <device-type>");
+  const auto& path = options.positional[0];
+  const auto type = devices::FindDeviceType(options.positional[1]);
+  if (type < 0)
+    throw std::runtime_error("unknown device type '" + options.positional[1] +
+                             "' (see `sentinelctl catalog`)");
+  devices::DeviceSimulator simulator(options.seed);
+  const auto episode =
+      options.standby
+          ? simulator.RunStandbyEpisode(type)
+          : simulator.RunSetupEpisode(
+                type, options.updated ? devices::FirmwareVersion::kUpdated
+                                      : devices::FirmwareVersion::kFactory);
+  net::WritePcapFile(path, episode.trace.frames());
+  std::printf("wrote %zu frames (%s, %s traffic) to %s\n",
+              episode.trace.size(), options.positional[1].c_str(),
+              options.standby ? "standby"
+                              : (options.updated ? "updated-firmware setup"
+                                                 : "setup"),
+              path.c_str());
+  return 0;
+}
+
+int CmdIdentify(const Options& options) {
+  if (options.positional.size() < 2)
+    throw std::runtime_error("identify: need <model.bin> <capture.pcap>");
+  const auto identifier =
+      core::DeviceIdentifier::LoadFromFile(options.positional[0]);
+  const auto db = core::VulnerabilityDb::SeedFromCatalog();
+
+  capture::Trace trace(net::ReadPcapFile(options.positional[1]));
+  trace.SortByTime();
+  const auto by_mac = capture::SplitBySourceMac(trace.Parse());
+  for (const auto& [mac, packets] : by_mac) {
+    if (packets.size() < 4) continue;
+    const auto end = capture::DetectSetupPhaseEnd(packets);
+    const std::vector<net::ParsedPacket> window(
+        packets.begin(), packets.begin() + static_cast<std::ptrdiff_t>(end));
+    const auto full = features::Fingerprint::FromPackets(window);
+    const auto fixed = features::FixedFingerprint::FromFingerprint(full);
+    const auto result = identifier.Identify(full, fixed);
+
+    std::printf("%s: %zu packets", mac.ToString().c_str(), packets.size());
+    if (!result.IsKnown()) {
+      std::printf(" -> UNKNOWN device-type (isolation: strict)\n");
+      continue;
+    }
+    const auto& info = devices::GetDeviceType(*result.type);
+    const auto advisories = db.Query(info.identifier);
+    std::printf(" -> %s (%s)\n", info.identifier.c_str(), info.model.c_str());
+    if (advisories.empty()) {
+      std::printf("   no known vulnerabilities -> isolation: trusted\n");
+    } else {
+      std::printf("   %zu advisories -> isolation: restricted, allowlist:\n",
+                  advisories.size());
+      for (const auto& endpoint : info.cloud_endpoints)
+        std::printf("     %s\n", endpoint.c_str());
+      for (const auto& advisory : advisories)
+        std::printf("     %s (CVSS %.1f)\n", advisory.cve_id.c_str(),
+                    advisory.cvss_score);
+    }
+  }
+  return 0;
+}
+
+int CmdFingerprint(const Options& options) {
+  if (options.positional.empty())
+    throw std::runtime_error("fingerprint: need <capture.pcap>");
+  capture::Trace trace(net::ReadPcapFile(options.positional[0]));
+  trace.SortByTime();
+  const auto by_mac = capture::SplitBySourceMac(trace.Parse());
+  for (const auto& [mac, packets] : by_mac) {
+    const auto fingerprint = features::Fingerprint::FromPackets(packets);
+    std::printf("%s: F is 23 x %zu\n", mac.ToString().c_str(),
+                fingerprint.size());
+    for (std::size_t i = 0; i < fingerprint.size(); ++i) {
+      std::printf("  p%-3zu", i + 1);
+      for (const auto value : fingerprint.packets()[i])
+        std::printf(" %4u", value);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Options& options) {
+  std::printf("dataset: 27 types x %zu episodes; %zu repetitions of "
+              "stratified 10-fold CV\n",
+              options.episodes, options.reps);
+  const auto dataset =
+      devices::GenerateFingerprintDataset(options.episodes, options.seed);
+  eval::CrossValidationConfig config;
+  config.repetitions = options.reps;
+  const auto outcome = eval::RunCrossValidation(dataset, config);
+  for (std::size_t t = 0; t < devices::DeviceTypeCount(); ++t) {
+    std::printf("%-20s %.3f\n",
+                devices::GetDeviceType(static_cast<int>(t)).identifier.c_str(),
+                outcome.PerTypeAccuracy(t));
+  }
+  std::printf("%-20s %.3f (paper: 0.815)\n", "GLOBAL",
+              outcome.OverallAccuracy());
+
+  if (!options.out_path.empty()) {
+    std::FILE* f = std::fopen(options.out_path.c_str(), "w");
+    if (f == nullptr)
+      throw std::runtime_error("cannot write " + options.out_path);
+    std::fprintf(f, "# IoT Sentinel identification report\n\n");
+    std::fprintf(f,
+                 "Protocol: %zu episodes/type, %zu repetitions of stratified "
+                 "%zu-fold cross-validation, seed %llu.\n\n",
+                 options.episodes, options.reps, config.folds,
+                 static_cast<unsigned long long>(options.seed));
+    std::fprintf(f, "| device-type | accuracy |\n|---|---|\n");
+    for (std::size_t t = 0; t < devices::DeviceTypeCount(); ++t) {
+      std::fprintf(
+          f, "| %s | %.3f |\n",
+          devices::GetDeviceType(static_cast<int>(t)).identifier.c_str(),
+          outcome.PerTypeAccuracy(t));
+    }
+    std::fprintf(f, "| **GLOBAL** | **%.3f** |\n\n",
+                 outcome.OverallAccuracy());
+    std::fprintf(f,
+                 "Multi-match rate: %.1f%%; unknown verdicts: %zu of %zu.\n",
+                 100.0 * static_cast<double>(outcome.multi_match_count) /
+                     static_cast<double>(outcome.total_identifications),
+                 [&] {
+                   std::size_t u = 0;
+                   for (const auto v : outcome.unknown_per_type) u += v;
+                   return u;
+                 }(),
+                 outcome.total_identifications);
+    std::fclose(f);
+    std::printf("wrote %s\n", options.out_path.c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sentinelctl <command> [args]\n"
+               "  catalog\n"
+               "  train <model.bin> [--episodes N] [--seed S] [--standby]\n"
+               "  record <out.pcap> <device-type> [--seed S] [--updated] "
+               "[--standby]\n"
+               "  identify <model.bin> <capture.pcap>\n"
+               "  fingerprint <capture.pcap>\n"
+               "  evaluate [--episodes N] [--reps R] [--seed S]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  try {
+    const Options options = ParseOptions(argc, argv, 2);
+    if (command == "catalog") return CmdCatalog();
+    if (command == "train") return CmdTrain(options);
+    if (command == "record") return CmdRecord(options);
+    if (command == "identify") return CmdIdentify(options);
+    if (command == "fingerprint") return CmdFingerprint(options);
+    if (command == "evaluate") return CmdEvaluate(options);
+    return Usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sentinelctl %s: %s\n", command.c_str(),
+                 error.what());
+    return 1;
+  }
+}
