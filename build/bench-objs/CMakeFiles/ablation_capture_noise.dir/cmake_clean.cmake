@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_capture_noise"
+  "../bench/ablation_capture_noise.pdb"
+  "CMakeFiles/ablation_capture_noise.dir/ablation_capture_noise.cc.o"
+  "CMakeFiles/ablation_capture_noise.dir/ablation_capture_noise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capture_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

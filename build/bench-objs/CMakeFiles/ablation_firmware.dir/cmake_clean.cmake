@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_firmware"
+  "../bench/ablation_firmware.pdb"
+  "CMakeFiles/ablation_firmware.dir/ablation_firmware.cc.o"
+  "CMakeFiles/ablation_firmware.dir/ablation_firmware.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fprime_len"
+  "../bench/ablation_fprime_len.pdb"
+  "CMakeFiles/ablation_fprime_len.dir/ablation_fprime_len.cc.o"
+  "CMakeFiles/ablation_fprime_len.dir/ablation_fprime_len.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fprime_len.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

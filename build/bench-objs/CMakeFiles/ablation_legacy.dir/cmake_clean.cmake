@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_legacy"
+  "../bench/ablation_legacy.pdb"
+  "CMakeFiles/ablation_legacy.dir/ablation_legacy.cc.o"
+  "CMakeFiles/ablation_legacy.dir/ablation_legacy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_training_size"
+  "../bench/ablation_training_size.pdb"
+  "CMakeFiles/ablation_training_size.dir/ablation_training_size.cc.o"
+  "CMakeFiles/ablation_training_size.dir/ablation_training_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_training_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

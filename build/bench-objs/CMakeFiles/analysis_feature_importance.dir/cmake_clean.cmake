@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_feature_importance"
+  "../bench/analysis_feature_importance.pdb"
+  "CMakeFiles/analysis_feature_importance.dir/analysis_feature_importance.cc.o"
+  "CMakeFiles/analysis_feature_importance.dir/analysis_feature_importance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_feature_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

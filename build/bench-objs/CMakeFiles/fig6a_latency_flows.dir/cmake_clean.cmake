@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_latency_flows"
+  "../bench/fig6a_latency_flows.pdb"
+  "CMakeFiles/fig6a_latency_flows.dir/fig6a_latency_flows.cc.o"
+  "CMakeFiles/fig6a_latency_flows.dir/fig6a_latency_flows.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_latency_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

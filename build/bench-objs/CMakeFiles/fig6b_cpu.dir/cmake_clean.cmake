@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_cpu"
+  "../bench/fig6b_cpu.pdb"
+  "CMakeFiles/fig6b_cpu.dir/fig6b_cpu.cc.o"
+  "CMakeFiles/fig6b_cpu.dir/fig6b_cpu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6c_memory"
+  "../bench/fig6c_memory.pdb"
+  "CMakeFiles/fig6c_memory.dir/fig6c_memory.cc.o"
+  "CMakeFiles/fig6c_memory.dir/fig6c_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

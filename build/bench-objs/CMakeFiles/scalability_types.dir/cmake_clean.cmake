@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scalability_types"
+  "../bench/scalability_types.pdb"
+  "CMakeFiles/scalability_types.dir/scalability_types.cc.o"
+  "CMakeFiles/scalability_types.dir/scalability_types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_confusion"
+  "../bench/table3_confusion.pdb"
+  "CMakeFiles/table3_confusion.dir/table3_confusion.cc.o"
+  "CMakeFiles/table3_confusion.dir/table3_confusion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_confusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_timing"
+  "../bench/table4_timing.pdb"
+  "CMakeFiles/table4_timing.dir/table4_timing.cc.o"
+  "CMakeFiles/table4_timing.dir/table4_timing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

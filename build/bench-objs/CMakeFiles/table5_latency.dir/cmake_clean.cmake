@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_latency"
+  "../bench/table5_latency.pdb"
+  "CMakeFiles/table5_latency.dir/table5_latency.cc.o"
+  "CMakeFiles/table5_latency.dir/table5_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

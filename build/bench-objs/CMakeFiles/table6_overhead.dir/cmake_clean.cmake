@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_overhead"
+  "../bench/table6_overhead.pdb"
+  "CMakeFiles/table6_overhead.dir/table6_overhead.cc.o"
+  "CMakeFiles/table6_overhead.dir/table6_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_retrofit.dir/legacy_retrofit.cpp.o"
+  "CMakeFiles/legacy_retrofit.dir/legacy_retrofit.cpp.o.d"
+  "legacy_retrofit"
+  "legacy_retrofit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_retrofit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_roundtrip.dir/pcap_roundtrip.cpp.o"
+  "CMakeFiles/pcap_roundtrip.dir/pcap_roundtrip.cpp.o.d"
+  "pcap_roundtrip"
+  "pcap_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

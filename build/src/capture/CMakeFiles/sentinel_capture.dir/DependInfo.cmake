@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/setup_phase.cc" "src/capture/CMakeFiles/sentinel_capture.dir/setup_phase.cc.o" "gcc" "src/capture/CMakeFiles/sentinel_capture.dir/setup_phase.cc.o.d"
+  "/root/repo/src/capture/trace.cc" "src/capture/CMakeFiles/sentinel_capture.dir/trace.cc.o" "gcc" "src/capture/CMakeFiles/sentinel_capture.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sentinel_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_capture.dir/setup_phase.cc.o"
+  "CMakeFiles/sentinel_capture.dir/setup_phase.cc.o.d"
+  "CMakeFiles/sentinel_capture.dir/trace.cc.o"
+  "CMakeFiles/sentinel_capture.dir/trace.cc.o.d"
+  "libsentinel_capture.a"
+  "libsentinel_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anonymizing_transport.cc" "src/core/CMakeFiles/sentinel_core.dir/anonymizing_transport.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/anonymizing_transport.cc.o.d"
+  "/root/repo/src/core/device_identifier.cc" "src/core/CMakeFiles/sentinel_core.dir/device_identifier.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/device_identifier.cc.o.d"
+  "/root/repo/src/core/device_monitor.cc" "src/core/CMakeFiles/sentinel_core.dir/device_monitor.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/device_monitor.cc.o.d"
+  "/root/repo/src/core/enforcement.cc" "src/core/CMakeFiles/sentinel_core.dir/enforcement.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/enforcement.cc.o.d"
+  "/root/repo/src/core/gateway.cc" "src/core/CMakeFiles/sentinel_core.dir/gateway.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/gateway.cc.o.d"
+  "/root/repo/src/core/gateway_services.cc" "src/core/CMakeFiles/sentinel_core.dir/gateway_services.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/gateway_services.cc.o.d"
+  "/root/repo/src/core/incident_registry.cc" "src/core/CMakeFiles/sentinel_core.dir/incident_registry.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/incident_registry.cc.o.d"
+  "/root/repo/src/core/isolation.cc" "src/core/CMakeFiles/sentinel_core.dir/isolation.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/isolation.cc.o.d"
+  "/root/repo/src/core/legacy.cc" "src/core/CMakeFiles/sentinel_core.dir/legacy.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/legacy.cc.o.d"
+  "/root/repo/src/core/remote_service.cc" "src/core/CMakeFiles/sentinel_core.dir/remote_service.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/remote_service.cc.o.d"
+  "/root/repo/src/core/security_service.cc" "src/core/CMakeFiles/sentinel_core.dir/security_service.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/security_service.cc.o.d"
+  "/root/repo/src/core/sentinel_module.cc" "src/core/CMakeFiles/sentinel_core.dir/sentinel_module.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/sentinel_module.cc.o.d"
+  "/root/repo/src/core/vulnerability_db.cc" "src/core/CMakeFiles/sentinel_core.dir/vulnerability_db.cc.o" "gcc" "src/core/CMakeFiles/sentinel_core.dir/vulnerability_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/sentinel_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/sentinel_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/sentinel_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sentinel_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sentinel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/sentinel_sdn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

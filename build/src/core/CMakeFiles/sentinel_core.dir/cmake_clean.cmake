@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_core.dir/anonymizing_transport.cc.o"
+  "CMakeFiles/sentinel_core.dir/anonymizing_transport.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/device_identifier.cc.o"
+  "CMakeFiles/sentinel_core.dir/device_identifier.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/device_monitor.cc.o"
+  "CMakeFiles/sentinel_core.dir/device_monitor.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/enforcement.cc.o"
+  "CMakeFiles/sentinel_core.dir/enforcement.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/gateway.cc.o"
+  "CMakeFiles/sentinel_core.dir/gateway.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/gateway_services.cc.o"
+  "CMakeFiles/sentinel_core.dir/gateway_services.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/incident_registry.cc.o"
+  "CMakeFiles/sentinel_core.dir/incident_registry.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/isolation.cc.o"
+  "CMakeFiles/sentinel_core.dir/isolation.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/legacy.cc.o"
+  "CMakeFiles/sentinel_core.dir/legacy.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/remote_service.cc.o"
+  "CMakeFiles/sentinel_core.dir/remote_service.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/security_service.cc.o"
+  "CMakeFiles/sentinel_core.dir/security_service.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/sentinel_module.cc.o"
+  "CMakeFiles/sentinel_core.dir/sentinel_module.cc.o.d"
+  "CMakeFiles/sentinel_core.dir/vulnerability_db.cc.o"
+  "CMakeFiles/sentinel_core.dir/vulnerability_db.cc.o.d"
+  "libsentinel_core.a"
+  "libsentinel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/catalog.cc" "src/devices/CMakeFiles/sentinel_devices.dir/catalog.cc.o" "gcc" "src/devices/CMakeFiles/sentinel_devices.dir/catalog.cc.o.d"
+  "/root/repo/src/devices/environment.cc" "src/devices/CMakeFiles/sentinel_devices.dir/environment.cc.o" "gcc" "src/devices/CMakeFiles/sentinel_devices.dir/environment.cc.o.d"
+  "/root/repo/src/devices/profiles.cc" "src/devices/CMakeFiles/sentinel_devices.dir/profiles.cc.o" "gcc" "src/devices/CMakeFiles/sentinel_devices.dir/profiles.cc.o.d"
+  "/root/repo/src/devices/script.cc" "src/devices/CMakeFiles/sentinel_devices.dir/script.cc.o" "gcc" "src/devices/CMakeFiles/sentinel_devices.dir/script.cc.o.d"
+  "/root/repo/src/devices/simulator.cc" "src/devices/CMakeFiles/sentinel_devices.dir/simulator.cc.o" "gcc" "src/devices/CMakeFiles/sentinel_devices.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/sentinel_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/sentinel_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sentinel_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sentinel_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_devices.dir/catalog.cc.o"
+  "CMakeFiles/sentinel_devices.dir/catalog.cc.o.d"
+  "CMakeFiles/sentinel_devices.dir/environment.cc.o"
+  "CMakeFiles/sentinel_devices.dir/environment.cc.o.d"
+  "CMakeFiles/sentinel_devices.dir/profiles.cc.o"
+  "CMakeFiles/sentinel_devices.dir/profiles.cc.o.d"
+  "CMakeFiles/sentinel_devices.dir/script.cc.o"
+  "CMakeFiles/sentinel_devices.dir/script.cc.o.d"
+  "CMakeFiles/sentinel_devices.dir/simulator.cc.o"
+  "CMakeFiles/sentinel_devices.dir/simulator.cc.o.d"
+  "libsentinel_devices.a"
+  "libsentinel_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_eval.dir/experiment.cc.o"
+  "CMakeFiles/sentinel_eval.dir/experiment.cc.o.d"
+  "libsentinel_eval.a"
+  "libsentinel_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

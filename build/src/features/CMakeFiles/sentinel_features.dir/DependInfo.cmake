@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/edit_distance.cc" "src/features/CMakeFiles/sentinel_features.dir/edit_distance.cc.o" "gcc" "src/features/CMakeFiles/sentinel_features.dir/edit_distance.cc.o.d"
+  "/root/repo/src/features/fingerprint.cc" "src/features/CMakeFiles/sentinel_features.dir/fingerprint.cc.o" "gcc" "src/features/CMakeFiles/sentinel_features.dir/fingerprint.cc.o.d"
+  "/root/repo/src/features/fingerprint_codec.cc" "src/features/CMakeFiles/sentinel_features.dir/fingerprint_codec.cc.o" "gcc" "src/features/CMakeFiles/sentinel_features.dir/fingerprint_codec.cc.o.d"
+  "/root/repo/src/features/packet_features.cc" "src/features/CMakeFiles/sentinel_features.dir/packet_features.cc.o" "gcc" "src/features/CMakeFiles/sentinel_features.dir/packet_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sentinel_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

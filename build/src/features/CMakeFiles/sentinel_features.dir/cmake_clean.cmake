@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_features.dir/edit_distance.cc.o"
+  "CMakeFiles/sentinel_features.dir/edit_distance.cc.o.d"
+  "CMakeFiles/sentinel_features.dir/fingerprint.cc.o"
+  "CMakeFiles/sentinel_features.dir/fingerprint.cc.o.d"
+  "CMakeFiles/sentinel_features.dir/fingerprint_codec.cc.o"
+  "CMakeFiles/sentinel_features.dir/fingerprint_codec.cc.o.d"
+  "CMakeFiles/sentinel_features.dir/packet_features.cc.o"
+  "CMakeFiles/sentinel_features.dir/packet_features.cc.o.d"
+  "libsentinel_features.a"
+  "libsentinel_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

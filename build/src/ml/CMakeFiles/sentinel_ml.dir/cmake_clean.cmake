@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/sentinel_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/sentinel_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/sentinel_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/sentinel_ml.dir/metrics.cc.o"
+  "CMakeFiles/sentinel_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/sentinel_ml.dir/random_forest.cc.o"
+  "CMakeFiles/sentinel_ml.dir/random_forest.cc.o.d"
+  "libsentinel_ml.a"
+  "libsentinel_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cc" "src/net/CMakeFiles/sentinel_net.dir/address.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/address.cc.o.d"
+  "/root/repo/src/net/arp.cc" "src/net/CMakeFiles/sentinel_net.dir/arp.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/arp.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/sentinel_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/dhcp.cc" "src/net/CMakeFiles/sentinel_net.dir/dhcp.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/dhcp.cc.o.d"
+  "/root/repo/src/net/dns.cc" "src/net/CMakeFiles/sentinel_net.dir/dns.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/dns.cc.o.d"
+  "/root/repo/src/net/eapol.cc" "src/net/CMakeFiles/sentinel_net.dir/eapol.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/eapol.cc.o.d"
+  "/root/repo/src/net/ethernet.cc" "src/net/CMakeFiles/sentinel_net.dir/ethernet.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/ethernet.cc.o.d"
+  "/root/repo/src/net/frame.cc" "src/net/CMakeFiles/sentinel_net.dir/frame.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/frame.cc.o.d"
+  "/root/repo/src/net/http.cc" "src/net/CMakeFiles/sentinel_net.dir/http.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/http.cc.o.d"
+  "/root/repo/src/net/icmp.cc" "src/net/CMakeFiles/sentinel_net.dir/icmp.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/icmp.cc.o.d"
+  "/root/repo/src/net/igmp.cc" "src/net/CMakeFiles/sentinel_net.dir/igmp.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/igmp.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/sentinel_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/ipv6.cc" "src/net/CMakeFiles/sentinel_net.dir/ipv6.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/ipv6.cc.o.d"
+  "/root/repo/src/net/ntp.cc" "src/net/CMakeFiles/sentinel_net.dir/ntp.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/ntp.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/net/CMakeFiles/sentinel_net.dir/pcap.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/pcap.cc.o.d"
+  "/root/repo/src/net/protocols.cc" "src/net/CMakeFiles/sentinel_net.dir/protocols.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/protocols.cc.o.d"
+  "/root/repo/src/net/ssdp.cc" "src/net/CMakeFiles/sentinel_net.dir/ssdp.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/ssdp.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/sentinel_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/sentinel_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/sentinel_net.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

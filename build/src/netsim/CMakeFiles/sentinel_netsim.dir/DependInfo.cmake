@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/event_queue.cc" "src/netsim/CMakeFiles/sentinel_netsim.dir/event_queue.cc.o" "gcc" "src/netsim/CMakeFiles/sentinel_netsim.dir/event_queue.cc.o.d"
+  "/root/repo/src/netsim/network.cc" "src/netsim/CMakeFiles/sentinel_netsim.dir/network.cc.o" "gcc" "src/netsim/CMakeFiles/sentinel_netsim.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/sentinel_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sentinel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/sentinel_sdn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_netsim.dir/event_queue.cc.o"
+  "CMakeFiles/sentinel_netsim.dir/event_queue.cc.o.d"
+  "CMakeFiles/sentinel_netsim.dir/network.cc.o"
+  "CMakeFiles/sentinel_netsim.dir/network.cc.o.d"
+  "libsentinel_netsim.a"
+  "libsentinel_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

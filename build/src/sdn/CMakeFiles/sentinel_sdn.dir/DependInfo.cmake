@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdn/controller.cc" "src/sdn/CMakeFiles/sentinel_sdn.dir/controller.cc.o" "gcc" "src/sdn/CMakeFiles/sentinel_sdn.dir/controller.cc.o.d"
+  "/root/repo/src/sdn/flow.cc" "src/sdn/CMakeFiles/sentinel_sdn.dir/flow.cc.o" "gcc" "src/sdn/CMakeFiles/sentinel_sdn.dir/flow.cc.o.d"
+  "/root/repo/src/sdn/flow_table.cc" "src/sdn/CMakeFiles/sentinel_sdn.dir/flow_table.cc.o" "gcc" "src/sdn/CMakeFiles/sentinel_sdn.dir/flow_table.cc.o.d"
+  "/root/repo/src/sdn/switch.cc" "src/sdn/CMakeFiles/sentinel_sdn.dir/switch.cc.o" "gcc" "src/sdn/CMakeFiles/sentinel_sdn.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sentinel_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_sdn.dir/controller.cc.o"
+  "CMakeFiles/sentinel_sdn.dir/controller.cc.o.d"
+  "CMakeFiles/sentinel_sdn.dir/flow.cc.o"
+  "CMakeFiles/sentinel_sdn.dir/flow.cc.o.d"
+  "CMakeFiles/sentinel_sdn.dir/flow_table.cc.o"
+  "CMakeFiles/sentinel_sdn.dir/flow_table.cc.o.d"
+  "CMakeFiles/sentinel_sdn.dir/switch.cc.o"
+  "CMakeFiles/sentinel_sdn.dir/switch.cc.o.d"
+  "libsentinel_sdn.a"
+  "libsentinel_sdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_sdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_timeouts_test.dir/sdn/test_flow_timeouts.cc.o"
+  "CMakeFiles/flow_timeouts_test.dir/sdn/test_flow_timeouts.cc.o.d"
+  "flow_timeouts_test"
+  "flow_timeouts_test.pdb"
+  "flow_timeouts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_timeouts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_services_test.dir/core/test_gateway_services.cc.o"
+  "CMakeFiles/gateway_services_test.dir/core/test_gateway_services.cc.o.d"
+  "gateway_services_test"
+  "gateway_services_test.pdb"
+  "gateway_services_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

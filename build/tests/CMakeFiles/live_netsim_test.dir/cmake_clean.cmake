@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_netsim_test.dir/core/test_live_netsim.cc.o"
+  "CMakeFiles/live_netsim_test.dir/core/test_live_netsim.cc.o.d"
+  "live_netsim_test"
+  "live_netsim_test.pdb"
+  "live_netsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_netsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/test_address.cc.o"
+  "CMakeFiles/net_test.dir/net/test_address.cc.o.d"
+  "CMakeFiles/net_test.dir/net/test_byte_io.cc.o"
+  "CMakeFiles/net_test.dir/net/test_byte_io.cc.o.d"
+  "CMakeFiles/net_test.dir/net/test_checksum.cc.o"
+  "CMakeFiles/net_test.dir/net/test_checksum.cc.o.d"
+  "CMakeFiles/net_test.dir/net/test_codecs.cc.o"
+  "CMakeFiles/net_test.dir/net/test_codecs.cc.o.d"
+  "CMakeFiles/net_test.dir/net/test_frame.cc.o"
+  "CMakeFiles/net_test.dir/net/test_frame.cc.o.d"
+  "CMakeFiles/net_test.dir/net/test_pcap.cc.o"
+  "CMakeFiles/net_test.dir/net/test_pcap.cc.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

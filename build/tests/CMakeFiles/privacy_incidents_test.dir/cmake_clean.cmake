@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_incidents_test.dir/core/test_privacy_and_incidents.cc.o"
+  "CMakeFiles/privacy_incidents_test.dir/core/test_privacy_and_incidents.cc.o.d"
+  "privacy_incidents_test"
+  "privacy_incidents_test.pdb"
+  "privacy_incidents_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_incidents_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_service_test.dir/core/test_remote_service.cc.o"
+  "CMakeFiles/remote_service_test.dir/core/test_remote_service.cc.o.d"
+  "remote_service_test"
+  "remote_service_test.pdb"
+  "remote_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

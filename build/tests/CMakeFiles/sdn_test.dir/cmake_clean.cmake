@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_test.dir/sdn/test_sdn.cc.o"
+  "CMakeFiles/sdn_test.dir/sdn/test_sdn.cc.o.d"
+  "sdn_test"
+  "sdn_test.pdb"
+  "sdn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

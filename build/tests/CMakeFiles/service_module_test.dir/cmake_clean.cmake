@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_module_test.dir/core/test_service_and_module.cc.o"
+  "CMakeFiles/service_module_test.dir/core/test_service_and_module.cc.o.d"
+  "service_module_test"
+  "service_module_test.pdb"
+  "service_module_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/capture_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/devices_test[1]_include.cmake")
+include("/root/repo/build/tests/sdn_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_timeouts_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/remote_service_test[1]_include.cmake")
+include("/root/repo/build/tests/legacy_test[1]_include.cmake")
+include("/root/repo/build/tests/live_netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/privacy_incidents_test[1]_include.cmake")
+include("/root/repo/build/tests/service_module_test[1]_include.cmake")
+include("/root/repo/build/tests/gateway_services_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")

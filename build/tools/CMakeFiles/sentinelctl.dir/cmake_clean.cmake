@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinelctl.dir/sentinelctl.cpp.o"
+  "CMakeFiles/sentinelctl.dir/sentinelctl.cpp.o.d"
+  "sentinelctl"
+  "sentinelctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinelctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sentinelctl.
+# This may be replaced when dependencies are built.
