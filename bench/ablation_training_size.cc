@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "eval/experiment.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace sentinel;
@@ -24,13 +25,14 @@ int main(int argc, char** argv) {
   std::printf("%14s | %8s | %18s | %16s\n", "episodes/type", "global",
               "distinct-type min", "cluster-type avg");
 
+  util::ThreadPool pool;
   for (const std::size_t episodes : {4u, 6u, 8u, 12u, 16u, 20u, 30u}) {
     const auto dataset = devices::GenerateFingerprintDataset(episodes, 42);
     eval::CrossValidationConfig config;
     config.repetitions = reps;
     // k-fold requires at least k examples per class.
     config.folds = std::min<std::size_t>(10, episodes);
-    const auto outcome = eval::RunCrossValidation(dataset, config);
+    const auto outcome = eval::RunCrossValidation(dataset, config, &pool);
 
     double distinct_min = 1.0;
     double cluster_sum = 0.0;

@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "eval/experiment.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -39,7 +40,8 @@ int main(int argc, char** argv) {
   config.repetitions = reps;
   std::printf("running %zu repetitions of stratified 10-fold CV...\n\n",
               reps);
-  const auto outcome = eval::RunCrossValidation(dataset, config);
+  util::ThreadPool pool;  // sized by SENTINEL_THREADS / hardware
+  const auto outcome = eval::RunCrossValidation(dataset, config, &pool);
 
   std::printf("%-20s %10s %10s\n", "device-type", "paper", "measured");
   for (std::size_t t = 0; t < devices::DeviceTypeCount(); ++t) {

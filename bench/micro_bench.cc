@@ -7,12 +7,14 @@
 #include <memory>
 #include <random>
 
+#include "core/device_identifier.h"
 #include "core/enforcement.h"
 #include "devices/simulator.h"
 #include "features/edit_distance.h"
 #include "ml/random_forest.h"
 #include "net/pcap.h"
 #include "sdn/flow_table.h"
+#include "util/thread_pool.h"
 
 namespace {
 using namespace sentinel;
@@ -75,6 +77,66 @@ void BM_ForestPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForestPredict);
+
+// Forest training scaling curve: 30 trees on a binary one-vs-rest dataset
+// (the Security Service's per-type workload), by thread count. arg = pool
+// threads; 1 uses the sequential path. Real time, because the work runs on
+// pool workers.
+void BM_ForestTrain(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  static const ml::Dataset& data = [] {
+    const auto dataset = devices::GenerateFingerprintDataset(10, 42);
+    auto* d = new ml::Dataset(features::kFPrimeDim);
+    for (std::size_t i = 0; i < dataset.size(); ++i)
+      d->Add(dataset.fixed[i].ToVector(), dataset.labels[i] == 0 ? 1 : 0);
+    return *d;
+  }();
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+  ml::RandomForestConfig config;
+  config.tree_count = 30;
+  for (auto _ : state) {
+    ml::RandomForest forest;
+    forest.Train(data, config, pool.get());
+    benchmark::DoNotOptimize(forest.oob_accuracy());
+  }
+}
+BENCHMARK(BM_ForestTrain)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Classifier-bank training scaling curve: the full 27-type
+// DeviceIdentifier::Train (27 one-vs-rest forests + reference retention),
+// by thread count.
+void BM_BankTrain(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  static const devices::FingerprintDataset& dataset = [] {
+    return *new devices::FingerprintDataset(
+        devices::GenerateFingerprintDataset(10, 42));
+  }();
+  static const std::vector<core::LabelledFingerprint>& train = [] {
+    auto* examples = new std::vector<core::LabelledFingerprint>();
+    examples->reserve(dataset.size());
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      examples->push_back(core::LabelledFingerprint{
+          &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+    }
+    return *examples;
+  }();
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+  for (auto _ : state) {
+    core::DeviceIdentifier identifier;
+    identifier.set_thread_pool(pool.get());
+    identifier.Train(train);
+    benchmark::DoNotOptimize(identifier.type_count());
+  }
+}
+BENCHMARK(BM_BankTrain)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FlowTableLookup(benchmark::State& state) {
   const auto rules = static_cast<std::size_t>(state.range(0));

@@ -8,6 +8,7 @@
 
 #include "bench_util.h"
 #include "eval/experiment.h"
+#include "util/thread_pool.h"
 
 namespace {
 // Paper Table III (rows = actual, columns = predicted, counts out of 200).
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
   const auto dataset = devices::GenerateFingerprintDataset(20, 42);
   eval::CrossValidationConfig config;
   config.repetitions = reps;
-  const auto outcome = eval::RunCrossValidation(dataset, config);
+  util::ThreadPool pool;
+  const auto outcome = eval::RunCrossValidation(dataset, config, &pool);
 
   const auto& confusable = devices::ConfusableDeviceTypes();
   std::printf("\nPaper (A\\P, counts / 200):\n    ");

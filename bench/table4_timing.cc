@@ -19,6 +19,7 @@
 
 #include "bench_util.h"
 #include "eval/experiment.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace sentinel;
@@ -30,7 +31,8 @@ int main(int argc, char** argv) {
 
   const auto dataset = devices::GenerateFingerprintDataset(20, 42);
   eval::CrossValidationConfig config;
-  const auto timings = eval::MeasureStepTimings(dataset, config, probes);
+  util::ThreadPool pool;  // accelerates model training; probes stay sequential
+  const auto timings = eval::MeasureStepTimings(dataset, config, probes, &pool);
 
   auto row = [](const char* step, double paper_ms, ml::MeanStd measured_ns) {
     std::printf("%-38s %12.3f %12.4f (+/-%.4f)\n", step, paper_ms,

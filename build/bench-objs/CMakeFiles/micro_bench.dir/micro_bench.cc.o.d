@@ -239,16 +239,22 @@ bench-objs/CMakeFiles/micro_bench.dir/micro_bench.cc.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/core/enforcement.h /usr/include/c++/12/optional \
+ /root/repo/src/core/device_identifier.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/features/edit_distance.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/features/fingerprint.h \
+ /root/repo/src/features/packet_features.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/core/isolation.h \
- /root/repo/src/net/address.h /usr/include/c++/12/array \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/net/frame.h /root/repo/src/net/arp.h \
- /root/repo/src/net/byte_io.h /usr/include/c++/12/span \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/net/frame.h \
+ /root/repo/src/net/address.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/variant \
+ /root/repo/src/net/arp.h /root/repo/src/net/byte_io.h \
  /root/repo/src/net/dhcp.h /root/repo/src/net/dns.h \
  /root/repo/src/net/eapol.h /root/repo/src/net/ethernet.h \
  /root/repo/src/net/http.h /root/repo/src/net/icmp.h \
@@ -256,16 +262,24 @@ bench-objs/CMakeFiles/micro_bench.dir/micro_bench.cc.o: \
  /root/repo/src/net/ipv6.h /root/repo/src/net/ntp.h \
  /root/repo/src/net/protocols.h /root/repo/src/net/ssdp.h \
  /root/repo/src/net/tcp.h /root/repo/src/net/udp.h \
+ /root/repo/src/ml/random_forest.h /root/repo/src/ml/decision_tree.h \
+ /root/repo/src/ml/dataset.h /root/repo/src/ml/rng.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/core/enforcement.h /root/repo/src/core/isolation.h \
  /root/repo/src/devices/simulator.h /root/repo/src/capture/trace.h \
  /root/repo/src/devices/catalog.h /root/repo/src/devices/environment.h \
  /root/repo/src/devices/profiles.h /root/repo/src/devices/script.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ml/rng.h \
- /root/repo/src/features/fingerprint.h \
- /root/repo/src/features/packet_features.h \
- /root/repo/src/features/edit_distance.h \
- /root/repo/src/ml/random_forest.h /root/repo/src/ml/decision_tree.h \
- /root/repo/src/ml/dataset.h /root/repo/src/net/pcap.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/pcap.h \
  /root/repo/src/sdn/flow_table.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/sdn/flow.h

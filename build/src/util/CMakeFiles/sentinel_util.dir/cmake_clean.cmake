@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_util.dir/thread_pool.cc.o"
+  "CMakeFiles/sentinel_util.dir/thread_pool.cc.o.d"
+  "libsentinel_util.a"
+  "libsentinel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -320,7 +320,18 @@ tests/CMakeFiles/ml_test.dir/ml/test_ml.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/ml/dataset.h \
- /usr/include/c++/12/span /root/repo/src/ml/decision_tree.h \
- /root/repo/src/net/byte_io.h /root/repo/src/ml/metrics.h \
- /root/repo/src/ml/random_forest.h
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/ml/dataset.h /usr/include/c++/12/span \
+ /root/repo/src/ml/decision_tree.h /root/repo/src/net/byte_io.h \
+ /root/repo/src/ml/metrics.h /root/repo/src/ml/random_forest.h

@@ -5,9 +5,11 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
 include("/root/repo/build/tests/capture_test[1]_include.cmake")
 include("/root/repo/build/tests/features_test[1]_include.cmake")
 include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_determinism_test[1]_include.cmake")
 include("/root/repo/build/tests/devices_test[1]_include.cmake")
 include("/root/repo/build/tests/sdn_test[1]_include.cmake")
 include("/root/repo/build/tests/flow_timeouts_test[1]_include.cmake")

@@ -16,37 +16,34 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-std::vector<double> ToRow(const features::FixedFingerprint& fixed) {
-  return fixed.ToVector();
-}
-
 }  // namespace
 
 void DeviceIdentifier::TrainOne(
     PerType& entry, const std::vector<LabelledFingerprint>& positives,
-    const std::vector<const features::FixedFingerprint*>& negative_pool,
+    const std::vector<const std::vector<double>*>& positive_rows,
+    const std::vector<const std::vector<double>*>& negative_rows,
     std::uint64_t salt) {
   if (positives.empty())
     throw std::invalid_argument("TrainOne: no positive examples");
 
   ml::Rng rng(ml::DeriveSeed(config_.seed, salt));
   const std::size_t want_negatives =
-      std::min(negative_pool.size(), config_.negative_ratio * positives.size());
+      std::min(negative_rows.size(), config_.negative_ratio * positives.size());
 
   // Sample negatives without replacement (partial Fisher-Yates).
-  std::vector<const features::FixedFingerprint*> pool = negative_pool;
+  std::vector<const std::vector<double>*> sampled = negative_rows;
   for (std::size_t i = 0; i < want_negatives; ++i) {
-    std::uniform_int_distribution<std::size_t> pick(i, pool.size() - 1);
-    std::swap(pool[i], pool[pick(rng)]);
+    std::uniform_int_distribution<std::size_t> pick(i, sampled.size() - 1);
+    std::swap(sampled[i], sampled[pick(rng)]);
   }
 
   ml::Dataset data(features::kFPrimeDim);
-  for (const auto& example : positives) data.Add(ToRow(*example.fixed), 1);
-  for (std::size_t i = 0; i < want_negatives; ++i) data.Add(ToRow(*pool[i]), 0);
+  for (const auto* row : positive_rows) data.Add(*row, 1);
+  for (std::size_t i = 0; i < want_negatives; ++i) data.Add(*sampled[i], 0);
 
   ml::RandomForestConfig forest_config = config_.forest;
   forest_config.seed = ml::DeriveSeed(config_.seed, salt ^ 0xf0f0f0f0ull);
-  entry.classifier.Train(data, forest_config);
+  entry.classifier.Train(data, forest_config, pool_);
 
   entry.references.clear();
   entry.references.reserve(positives.size());
@@ -57,22 +54,51 @@ void DeviceIdentifier::Train(const std::vector<LabelledFingerprint>& examples) {
   types_.clear();
   labels_.clear();
 
-  std::map<int, std::vector<LabelledFingerprint>> by_label;
-  for (const auto& example : examples) by_label[example.label].push_back(example);
+  // Flatten each example's F' exactly once. Every per-type classifier sees
+  // the same flattening (as a positive for its own type, as a candidate
+  // negative for all others), so doing it inside the per-type loop would
+  // redo identical work ~(1 + negative_ratio) times per example.
+  std::vector<std::vector<double>> rows(examples.size());
+  util::ParallelFor(pool_, examples.size(), [&](std::size_t i) {
+    rows[i] = examples[i].fixed->ToVector();
+  });
 
-  for (const auto& [label, positives] : by_label) {
-    std::vector<const features::FixedFingerprint*> negatives;
-    negatives.reserve(examples.size() - positives.size());
-    for (const auto& example : examples) {
-      if (example.label != label) negatives.push_back(example.fixed);
+  std::map<int, std::vector<std::size_t>> by_label;
+  for (std::size_t i = 0; i < examples.size(); ++i)
+    by_label[examples[i].label].push_back(i);
+
+  std::vector<int> ordered_labels;
+  ordered_labels.reserve(by_label.size());
+  for (const auto& group : by_label) ordered_labels.push_back(group.first);
+
+  // One-vs-rest training is a map over independent label entries: each
+  // entry derives all its randomness from (seed, label), writes only its
+  // own slot, and the slots are laid out in ascending label order up
+  // front — so the parallel bank is identical to the sequential one.
+  types_.resize(ordered_labels.size());
+  util::ParallelFor(pool_, ordered_labels.size(), [&](std::size_t j) {
+    const int label = ordered_labels[j];
+    const auto& positive_indices = by_label.at(label);
+    std::vector<LabelledFingerprint> positives;
+    std::vector<const std::vector<double>*> positive_rows;
+    positives.reserve(positive_indices.size());
+    positive_rows.reserve(positive_indices.size());
+    for (const std::size_t i : positive_indices) {
+      positives.push_back(examples[i]);
+      positive_rows.push_back(&rows[i]);
+    }
+    std::vector<const std::vector<double>*> negative_rows;
+    negative_rows.reserve(examples.size() - positives.size());
+    for (std::size_t i = 0; i < examples.size(); ++i) {
+      if (examples[i].label != label) negative_rows.push_back(&rows[i]);
     }
     PerType entry;
     entry.label = label;
-    TrainOne(entry, positives, negatives,
+    TrainOne(entry, positives, positive_rows, negative_rows,
              static_cast<std::uint64_t>(label) + 1);
-    types_.push_back(std::move(entry));
-    labels_.push_back(label);
-  }
+    types_[j] = std::move(entry);
+  });
+  labels_ = std::move(ordered_labels);
 }
 
 void DeviceIdentifier::AddType(
@@ -80,12 +106,22 @@ void DeviceIdentifier::AddType(
     const std::vector<LabelledFingerprint>& negatives) {
   if (std::find(labels_.begin(), labels_.end(), label) != labels_.end())
     throw std::invalid_argument("AddType: label already trained");
-  std::vector<const features::FixedFingerprint*> pool;
-  pool.reserve(negatives.size());
-  for (const auto& example : negatives) pool.push_back(example.fixed);
+  std::vector<std::vector<double>> positive_storage(examples.size());
+  std::vector<std::vector<double>> negative_storage(negatives.size());
+  std::vector<const std::vector<double>*> positive_rows(examples.size());
+  std::vector<const std::vector<double>*> negative_rows(negatives.size());
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    positive_storage[i] = examples[i].fixed->ToVector();
+    positive_rows[i] = &positive_storage[i];
+  }
+  for (std::size_t i = 0; i < negatives.size(); ++i) {
+    negative_storage[i] = negatives[i].fixed->ToVector();
+    negative_rows[i] = &negative_storage[i];
+  }
   PerType entry;
   entry.label = label;
-  TrainOne(entry, examples, pool, static_cast<std::uint64_t>(label) + 1);
+  TrainOne(entry, examples, positive_rows, negative_rows,
+           static_cast<std::uint64_t>(label) + 1);
   types_.push_back(std::move(entry));
   labels_.push_back(label);
 }
@@ -96,12 +132,19 @@ IdentificationResult DeviceIdentifier::Identify(
   IdentificationResult result;
   const auto row = fixed.ToVector();
 
-  // Stage 1: every per-type classifier votes.
+  // Stage 1: every per-type classifier votes. The scan parallelizes over
+  // the bank (votes land in per-type slots); candidates are then collected
+  // in bank order, so the match list is scan-order independent.
   const auto t0 = Clock::now();
-  for (const auto& entry : types_) {
-    if (entry.classifier.PositiveProba(row) >= config_.acceptance_threshold) {
-      result.matched_types.push_back(entry.label);
-    }
+  std::vector<char> accepted(types_.size(), 0);
+  util::ParallelFor(pool_, types_.size(), [&](std::size_t k) {
+    accepted[k] = types_[k].classifier.PositiveProba(row) >=
+                          config_.acceptance_threshold
+                      ? 1
+                      : 0;
+  });
+  for (std::size_t k = 0; k < types_.size(); ++k) {
+    if (accepted[k]) result.matched_types.push_back(types_[k].label);
   }
   result.classification_time = Clock::now() - t0;
 
@@ -143,9 +186,20 @@ IdentificationResult DeviceIdentifier::Identify(
       std::uniform_int_distribution<std::size_t> pick(i, indices.size() - 1);
       std::swap(indices[i], indices[pick(reference_rng)]);
     }
+    // The edit distances themselves consume no randomness, so they can run
+    // in parallel; summing the per-reference results in index order keeps
+    // the floating-point score identical to the sequential loop. (The
+    // candidate loop around this stays sequential: the reference picks and
+    // tie-break coins interleave on one RNG stream, which is part of the
+    // per-probe determinism contract.)
+    std::vector<double> distances(take);
+    util::ParallelFor(pool_, take, [&](std::size_t i) {
+      distances[i] =
+          features::NormalizedEditDistance(full, references[indices[i]]);
+    });
     double score = 0.0;
     for (std::size_t i = 0; i < take; ++i) {
-      score += features::NormalizedEditDistance(full, references[indices[i]]);
+      score += distances[i];
       ++result.edit_distance_count;
     }
     result.dissimilarity_scores.push_back(score);

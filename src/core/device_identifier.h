@@ -17,6 +17,7 @@
 #include "features/edit_distance.h"
 #include "features/fingerprint.h"
 #include "ml/random_forest.h"
+#include "util/thread_pool.h"
 
 namespace sentinel::core {
 
@@ -75,6 +76,18 @@ class DeviceIdentifier {
   explicit DeviceIdentifier(IdentifierConfig config = {})
       : config_(config) {}
 
+  /// Opts this identifier into parallel execution: Train() spreads the
+  /// per-type classifiers (and each classifier's trees) over the pool, and
+  /// Identify() parallelizes the classifier-bank scan plus the per-candidate
+  /// edit-distance computations. nullptr (the default) is fully sequential.
+  /// Results are identical either way — parallel sections only fill
+  /// per-index slots that are merged in deterministic order — so callers can
+  /// flip this on without changing any output. The pool is runtime wiring,
+  /// not model state: it is never serialized and a Load()ed identifier
+  /// starts sequential.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] util::ThreadPool* thread_pool() const { return pool_; }
+
   /// Trains one classifier per distinct label in `examples` and stores
   /// reference fingerprints for discrimination. Labels may be sparse; the
   /// identifier reports them back verbatim.
@@ -116,14 +129,20 @@ class DeviceIdentifier {
     std::vector<features::Fingerprint> references;
   };
 
+  /// Trains one per-type binary classifier. Rows are the pre-flattened F'
+  /// vectors of the positives / candidate negatives (flattening is hoisted
+  /// to Train()/AddType() so each example is converted once, not once per
+  /// classifier that samples it).
   void TrainOne(PerType& entry,
                 const std::vector<LabelledFingerprint>& positives,
-                const std::vector<const features::FixedFingerprint*>& negatives,
+                const std::vector<const std::vector<double>*>& positive_rows,
+                const std::vector<const std::vector<double>*>& negative_rows,
                 std::uint64_t salt);
 
   IdentifierConfig config_;
   std::vector<PerType> types_;
   std::vector<int> labels_;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace sentinel::core

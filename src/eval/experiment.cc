@@ -15,9 +15,27 @@ double ToNs(Clock::duration d) {
 }
 }  // namespace
 
+namespace {
+
+// Everything one fold contributes to the aggregate outcome, accumulated
+// privately while folds run in parallel and merged in fold order.
+struct FoldPartial {
+  ml::ConfusionMatrix confusion{0};
+  std::vector<std::size_t> unknown_per_type;
+  std::vector<std::size_t> candidates_histogram;
+  std::size_t total_identifications = 0;
+  std::size_t multi_match_count = 0;
+  std::size_t edit_distance_total = 0;
+  std::vector<double> classification_ns;
+  std::vector<double> discrimination_ns;
+  std::vector<double> identification_ns;
+};
+
+}  // namespace
+
 CrossValidationOutcome RunCrossValidation(
     const devices::FingerprintDataset& dataset,
-    const CrossValidationConfig& config) {
+    const CrossValidationConfig& config, util::ThreadPool* pool) {
   const std::size_t type_count = devices::DeviceTypeCount();
   CrossValidationOutcome outcome;
   outcome.confusion = ml::ConfusionMatrix(type_count);
@@ -29,8 +47,18 @@ CrossValidationOutcome RunCrossValidation(
     const auto folds =
         ml::StratifiedKFold(dataset.labels, config.folds, fold_rng);
 
-    for (std::size_t f = 0; f < folds.size(); ++f) {
+    // Folds are independent experiments (each derives its identifier seed
+    // from (seed, rep, fold) and holds its own model), so they evaluate in
+    // parallel; nested parallelism inside Train() lets idle workers help
+    // whichever fold is still training.
+    std::vector<FoldPartial> partials(folds.size());
+    ml::ForEachFold(folds, pool, [&](std::size_t f) {
       const auto& fold = folds[f];
+      FoldPartial& part = partials[f];
+      part.confusion = ml::ConfusionMatrix(type_count);
+      part.unknown_per_type.assign(type_count, 0);
+      part.candidates_histogram.assign(type_count + 1, 0);
+
       std::vector<core::LabelledFingerprint> train;
       train.reserve(fold.train_indices.size());
       for (const std::size_t i : fold.train_indices) {
@@ -40,6 +68,7 @@ CrossValidationOutcome RunCrossValidation(
       core::IdentifierConfig id_config = config.identifier;
       id_config.seed = ml::DeriveSeed(config.seed, rep * 1000 + f);
       core::DeviceIdentifier identifier(id_config);
+      identifier.set_thread_pool(pool);
       identifier.Train(train);
 
       for (const std::size_t i : fold.test_indices) {
@@ -48,27 +77,47 @@ CrossValidationOutcome RunCrossValidation(
             identifier.Identify(dataset.fingerprints[i], dataset.fixed[i]);
         const auto t1 = Clock::now();
 
-        ++outcome.total_identifications;
-        outcome.classification_ns.push_back(
+        ++part.total_identifications;
+        part.classification_ns.push_back(
             static_cast<double>(result.classification_time.count()));
-        outcome.identification_ns.push_back(ToNs(t1 - t0));
+        part.identification_ns.push_back(ToNs(t1 - t0));
         if (result.matched_types.size() > 1) {
-          ++outcome.multi_match_count;
-          outcome.discrimination_ns.push_back(
+          ++part.multi_match_count;
+          part.discrimination_ns.push_back(
               static_cast<double>(result.discrimination_time.count()));
         }
-        outcome.edit_distance_total += result.edit_distance_count;
+        part.edit_distance_total += result.edit_distance_count;
         const std::size_t candidates = result.matched_types.size();
-        if (candidates < outcome.candidates_histogram.size())
-          ++outcome.candidates_histogram[candidates];
+        if (candidates < part.candidates_histogram.size())
+          ++part.candidates_histogram[candidates];
 
         const auto actual = static_cast<std::size_t>(dataset.labels[i]);
         if (result.IsKnown()) {
-          outcome.confusion.Add(actual, static_cast<std::size_t>(*result.type));
+          part.confusion.Add(actual, static_cast<std::size_t>(*result.type));
         } else {
-          ++outcome.unknown_per_type[actual];
+          ++part.unknown_per_type[actual];
         }
       }
+    });
+
+    for (const auto& part : partials) {
+      outcome.confusion.Merge(part.confusion);
+      for (std::size_t a = 0; a < type_count; ++a)
+        outcome.unknown_per_type[a] += part.unknown_per_type[a];
+      for (std::size_t c = 0; c < part.candidates_histogram.size(); ++c)
+        outcome.candidates_histogram[c] += part.candidates_histogram[c];
+      outcome.total_identifications += part.total_identifications;
+      outcome.multi_match_count += part.multi_match_count;
+      outcome.edit_distance_total += part.edit_distance_total;
+      outcome.classification_ns.insert(outcome.classification_ns.end(),
+                                       part.classification_ns.begin(),
+                                       part.classification_ns.end());
+      outcome.discrimination_ns.insert(outcome.discrimination_ns.end(),
+                                       part.discrimination_ns.begin(),
+                                       part.discrimination_ns.end());
+      outcome.identification_ns.insert(outcome.identification_ns.end(),
+                                       part.identification_ns.begin(),
+                                       part.identification_ns.end());
     }
   }
   return outcome;
@@ -76,7 +125,8 @@ CrossValidationOutcome RunCrossValidation(
 
 StepTimings MeasureStepTimings(const devices::FingerprintDataset& dataset,
                                const CrossValidationConfig& config,
-                               std::size_t probe_count) {
+                               std::size_t probe_count,
+                               util::ThreadPool* pool) {
   StepTimings out;
   // Train on the full dataset (timing, not accuracy, is measured here).
   std::vector<core::LabelledFingerprint> train;
@@ -86,7 +136,11 @@ StepTimings MeasureStepTimings(const devices::FingerprintDataset& dataset,
         &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
   }
   core::DeviceIdentifier identifier(config.identifier);
+  identifier.set_thread_pool(pool);
   identifier.Train(train);
+  // The probe loops below time individual pipeline steps; keep them
+  // single-threaded so the measurements match the paper's per-step costs.
+  identifier.set_thread_pool(nullptr);
 
   ml::Rng rng(ml::DeriveSeed(config.seed, 0xabcd));
   std::uniform_int_distribution<std::size_t> pick(0, dataset.size() - 1);
@@ -102,7 +156,7 @@ StepTimings MeasureStepTimings(const devices::FingerprintDataset& dataset,
       data.Add(dataset.fixed[i].ToVector(), dataset.labels[i] == 0 ? 1 : 0);
     ml::RandomForest forest;
     ml::RandomForestConfig forest_config = config.identifier.forest;
-    forest.Train(data, forest_config);
+    forest.Train(data, forest_config, pool);
     for (std::size_t n = 0; n < probe_count; ++n) {
       const auto row = dataset.fixed[pick(rng)].ToVector();
       const auto t0 = Clock::now();

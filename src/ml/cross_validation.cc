@@ -39,4 +39,9 @@ std::vector<Fold> StratifiedKFold(const std::vector<int>& labels,
   return folds;
 }
 
+void ForEachFold(const std::vector<Fold>& folds, util::ThreadPool* pool,
+                 const std::function<void(std::size_t)>& fn) {
+  util::ParallelFor(pool, folds.size(), fn);
+}
+
 }  // namespace sentinel::ml

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "ml/rng.h"
+#include "util/thread_pool.h"
 
 namespace sentinel::ml {
 
@@ -21,5 +23,13 @@ struct Fold {
 /// Throws std::invalid_argument for k < 2 or empty labels.
 std::vector<Fold> StratifiedKFold(const std::vector<int>& labels,
                                   std::size_t k, Rng& rng);
+
+/// Runs fn(fold_index) for every fold, in parallel on `pool` when provided
+/// (nullptr = sequential, in fold order). Folds are independent by
+/// construction, so `fn` must only write per-fold state; callers merge the
+/// per-fold results in fold order after this returns, which keeps repeated
+/// runs (and N-thread vs 1-thread runs) identical.
+void ForEachFold(const std::vector<Fold>& folds, util::ThreadPool* pool,
+                 const std::function<void(std::size_t)>& fn);
 
 }  // namespace sentinel::ml

@@ -5,8 +5,8 @@
 
 namespace sentinel::ml {
 
-void RandomForest::Train(const Dataset& data,
-                         const RandomForestConfig& config) {
+void RandomForest::Train(const Dataset& data, const RandomForestConfig& config,
+                         util::ThreadPool* pool) {
   if (data.empty())
     throw std::invalid_argument("RandomForest::Train: empty dataset");
   if (config.tree_count == 0)
@@ -18,17 +18,18 @@ void RandomForest::Train(const Dataset& data,
   const std::size_t sample_size = std::max<std::size_t>(
       1, static_cast<std::size_t>(config.bootstrap_fraction *
                                   static_cast<double>(data.size())));
-  // Out-of-bag vote tally: votes[i][c] over trees whose bootstrap missed i.
-  std::vector<std::vector<std::uint32_t>> oob_votes(
-      data.size(),
-      std::vector<std::uint32_t>(static_cast<std::size_t>(class_count_), 0));
-  std::vector<bool> in_bag(data.size());
+  // Each tree records its out-of-bag predictions in a private list; the
+  // shared votes[i][c] tally is built from those lists in tree order after
+  // the (possibly parallel) training loop, keeping the result independent
+  // of scheduling.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> oob_local(
+      config.tree_count);
 
-  for (std::size_t t = 0; t < config.tree_count; ++t) {
+  util::ParallelFor(pool, config.tree_count, [&](std::size_t t) {
     Rng rng(DeriveSeed(config.seed, t));
     std::uniform_int_distribution<std::size_t> pick(0, data.size() - 1);
     std::vector<std::size_t> bootstrap(sample_size);
-    std::fill(in_bag.begin(), in_bag.end(), false);
+    std::vector<bool> in_bag(data.size(), false);
     for (auto& i : bootstrap) {
       i = pick(rng);
       in_bag[i] = true;
@@ -36,9 +37,18 @@ void RandomForest::Train(const Dataset& data,
     trees_[t].Train(data, bootstrap, config.tree, rng);
     for (std::size_t i = 0; i < data.size(); ++i) {
       if (in_bag[i]) continue;
-      oob_votes[i][static_cast<std::size_t>(trees_[t].Predict(data.row(i)))]++;
+      oob_local[t].emplace_back(
+          static_cast<std::uint32_t>(i),
+          static_cast<std::uint32_t>(trees_[t].Predict(data.row(i))));
     }
-  }
+  });
+
+  // Out-of-bag vote tally: votes[i][c] over trees whose bootstrap missed i.
+  std::vector<std::vector<std::uint32_t>> oob_votes(
+      data.size(),
+      std::vector<std::uint32_t>(static_cast<std::size_t>(class_count_), 0));
+  for (const auto& local : oob_local)
+    for (const auto& [i, c] : local) oob_votes[i][c]++;
 
   std::size_t scored = 0, correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
@@ -81,6 +91,14 @@ std::vector<double> RandomForest::PredictProba(
   }
   for (auto& v : proba) v /= static_cast<double>(trees_.size());
   return proba;
+}
+
+std::vector<std::vector<double>> RandomForest::PredictProba(
+    std::span<const std::vector<double>> rows, util::ThreadPool* pool) const {
+  std::vector<std::vector<double>> out(rows.size());
+  util::ParallelFor(pool, rows.size(),
+                    [&](std::size_t i) { out[i] = PredictProba(rows[i]); });
+  return out;
 }
 
 double RandomForest::PositiveProba(std::span<const double> row) const {

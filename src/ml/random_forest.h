@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ml/decision_tree.h"
+#include "util/thread_pool.h"
 
 namespace sentinel::ml {
 
@@ -24,7 +25,13 @@ struct RandomForestConfig {
 class RandomForest {
  public:
   /// Trains `config.tree_count` trees on bootstrap resamples of `data`.
-  void Train(const Dataset& data, const RandomForestConfig& config);
+  /// With a non-null `pool` the trees train in parallel; each tree's RNG is
+  /// derived from (config.seed, tree index) and out-of-bag votes are
+  /// tallied per tree and merged in tree order after the join, so the
+  /// trained forest (and its Save() bytes and oob_accuracy()) is
+  /// bit-identical to a sequential run.
+  void Train(const Dataset& data, const RandomForestConfig& config,
+             util::ThreadPool* pool = nullptr);
 
   /// Majority-vote class prediction.
   [[nodiscard]] int Predict(std::span<const double> row) const;
@@ -32,6 +39,13 @@ class RandomForest {
   /// Mean of the trees' leaf class-frequency estimates; index = class.
   [[nodiscard]] std::vector<double> PredictProba(
       std::span<const double> row) const;
+
+  /// Batch variant: one probability vector per input row, in input order.
+  /// Rows are scored in parallel on `pool` when provided (each row's
+  /// result is independent, so the output is identical either way).
+  [[nodiscard]] std::vector<std::vector<double>> PredictProba(
+      std::span<const std::vector<double>> rows,
+      util::ThreadPool* pool = nullptr) const;
 
   /// Probability of class 1 — convenience for the binary per-device-type
   /// classifiers.

@@ -1,0 +1,135 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace sentinel::util {
+
+std::size_t HardwareThreads() {
+  if (const char* env = std::getenv("SENTINEL_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && value > 0) return static_cast<std::size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) thread_count = 1;
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared loop state: indices are claimed via `next` and completion is
+// counted via `finished`, so the join below never depends on the enqueued
+// helper tasks actually being scheduled (the nested-ParallelFor deadlock
+// hazard). The function object lives here so late-running helpers never
+// touch a reference into the caller's (possibly unwound) frame.
+struct ParallelForState {
+  explicit ParallelForState(std::size_t total_count,
+                            std::function<void(std::size_t)> body)
+      : total(total_count), fn(std::move(body)) {}
+
+  const std::size_t total;
+  std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> finished{0};
+  std::atomic<bool> aborted{false};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;  // guarded by mutex; first exception wins
+};
+
+// Claims and runs indices until the range is exhausted. Every claimed
+// index increments `finished` exactly once, whether it ran, was skipped
+// after an error, or threw itself.
+void ExecuteRange(ParallelForState& state) {
+  for (;;) {
+    const std::size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state.total) return;
+    if (!state.aborted.load(std::memory_order_relaxed)) {
+      try {
+        state.fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          if (!state.error) state.error = std::current_exception();
+        }
+        state.aborted.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (state.finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state.total) {
+      // Wake the caller; the lock orders the notify against its wait.
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 std::function<void(std::size_t)> fn) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->thread_count() <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>(count, std::move(fn));
+  // The caller is one worker; enqueue at most count - 1 helpers. Helpers
+  // that run after the range is drained exit immediately.
+  const std::size_t helpers = std::min(pool->thread_count(), count - 1);
+  for (std::size_t h = 0; h < helpers; ++h)
+    pool->Submit([state] { ExecuteRange(*state); });
+
+  ExecuteRange(*state);
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+      return state->finished.load(std::memory_order_acquire) == state->total;
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace sentinel::util

@@ -1,0 +1,85 @@
+// Reusable fixed-size thread pool plus data-parallel helpers. This is the
+// concurrency substrate for the embarrassingly parallel hot loops of the
+// Security Service: per-tree forest training, the per-type classifier bank,
+// and cross-validation folds.
+//
+// Determinism contract: every parallel entry point takes an explicit
+// `ThreadPool*` where nullptr (or a single-thread pool) selects a purely
+// sequential fallback that executes indices in order. Parallel callers are
+// responsible for writing results into per-index slots and merging them in
+// index order after the join, so an N-thread run produces bit-identical
+// results to a 1-thread run.
+//
+// Deadlock safety: ParallelFor is caller-participating — the invoking
+// thread claims loop indices from the same shared counter as the pool
+// workers and completion is tracked by an index-completion count, never by
+// helper-task execution. A nested ParallelFor issued from inside a pool
+// worker therefore always terminates (worst case the nested caller runs
+// every index itself), which is what makes it safe to parallelize
+// cross-validation folds whose fold bodies parallelize forest training in
+// turn.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sentinel::util {
+
+/// Worker count to use by default: the `SENTINEL_THREADS` environment
+/// variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (minimum 1).
+std::size_t HardwareThreads();
+
+/// Fixed-size FIFO task pool. Tasks submitted via Submit() must not throw;
+/// exception-safe fan-out belongs to ParallelFor/ParallelMap, which catch
+/// inside the worker and rethrow on the calling thread.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t thread_count = HardwareThreads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Invokes fn(i) for every i in [0, count). With a null pool (or a pool of
+/// one thread, or count <= 1) the loop runs sequentially in index order on
+/// the calling thread. Otherwise the calling thread and up to
+/// pool->thread_count() workers claim indices from a shared counter; the
+/// call returns only after every index has completed. The first exception
+/// thrown by fn aborts the remaining (unclaimed) indices and is rethrown
+/// here. Safe to call from inside a pool worker (see header comment).
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 std::function<void(std::size_t)> fn);
+
+/// Maps fn over items, returning results in input order. R must be
+/// default-constructible (results are written into a pre-sized vector).
+template <typename In, typename Fn>
+auto ParallelMap(ThreadPool* pool, const std::vector<In>& items, Fn&& fn) {
+  using R = decltype(fn(items[0]));
+  std::vector<R> out(items.size());
+  ParallelFor(pool, items.size(),
+              [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+}  // namespace sentinel::util

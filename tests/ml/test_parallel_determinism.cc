@@ -1,0 +1,140 @@
+// Determinism contract of the parallel training/identification paths: an
+// N-thread run must be bit-identical to the sequential (pool = nullptr)
+// run — same serialized models, same OOB estimate, same identification
+// verdicts. These tests are the ones the ThreadSanitizer CI job exercises.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/device_identifier.h"
+#include "devices/simulator.h"
+#include "ml/random_forest.h"
+#include "net/byte_io.h"
+#include "util/thread_pool.h"
+
+namespace sentinel {
+namespace {
+
+std::vector<std::uint8_t> SaveForest(const ml::RandomForest& forest) {
+  net::ByteWriter w;
+  forest.Save(w);
+  const auto bytes = w.bytes();
+  return {bytes.begin(), bytes.end()};
+}
+
+std::vector<std::uint8_t> SaveBank(const core::DeviceIdentifier& identifier) {
+  net::ByteWriter w;
+  identifier.Save(w);
+  const auto bytes = w.bytes();
+  return {bytes.begin(), bytes.end()};
+}
+
+ml::Dataset BinaryDataset(const devices::FingerprintDataset& dataset) {
+  ml::Dataset data(features::kFPrimeDim);
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    data.Add(dataset.fixed[i].ToVector(), dataset.labels[i] == 0 ? 1 : 0);
+  return data;
+}
+
+std::vector<core::LabelledFingerprint> ToExamples(
+    const devices::FingerprintDataset& dataset) {
+  std::vector<core::LabelledFingerprint> examples;
+  examples.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    examples.push_back(core::LabelledFingerprint{
+        &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+  }
+  return examples;
+}
+
+TEST(ParallelDeterminism, ForestTrainsIdenticallyWith1AndNThreads) {
+  const auto dataset = devices::GenerateFingerprintDataset(4, 7);
+  const auto data = BinaryDataset(dataset);
+  ml::RandomForestConfig config;
+  config.tree_count = 20;
+  config.seed = 5;
+
+  ml::RandomForest sequential;
+  sequential.Train(data, config, nullptr);
+
+  util::ThreadPool pool(4);
+  ml::RandomForest parallel;
+  parallel.Train(data, config, &pool);
+
+  EXPECT_EQ(SaveForest(sequential), SaveForest(parallel));
+  EXPECT_EQ(sequential.oob_accuracy(), parallel.oob_accuracy());
+}
+
+TEST(ParallelDeterminism, BatchPredictProbaMatchesPerRow) {
+  const auto dataset = devices::GenerateFingerprintDataset(4, 7);
+  const auto data = BinaryDataset(dataset);
+  ml::RandomForestConfig config;
+  config.tree_count = 10;
+  ml::RandomForest forest;
+  forest.Train(data, config);
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t i = 0; i < 40; ++i)
+    rows.push_back(dataset.fixed[i].ToVector());
+
+  util::ThreadPool pool(4);
+  const auto batch_seq = forest.PredictProba(rows, nullptr);
+  const auto batch_par = forest.PredictProba(rows, &pool);
+  ASSERT_EQ(batch_seq.size(), rows.size());
+  ASSERT_EQ(batch_par.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batch_seq[i], forest.PredictProba(rows[i]));
+    EXPECT_EQ(batch_par[i], batch_seq[i]);
+  }
+}
+
+TEST(ParallelDeterminism, ClassifierBankTrainsIdenticallyWith1AndNThreads) {
+  const auto dataset = devices::GenerateFingerprintDataset(3, 2024);
+  const auto examples = ToExamples(dataset);
+
+  core::IdentifierConfig config;
+  config.forest.tree_count = 10;
+
+  core::DeviceIdentifier sequential(config);
+  sequential.Train(examples);
+
+  util::ThreadPool pool(4);
+  core::DeviceIdentifier parallel(config);
+  parallel.set_thread_pool(&pool);
+  parallel.Train(examples);
+
+  EXPECT_EQ(sequential.labels(), parallel.labels());
+  EXPECT_EQ(sequential.MeanOobAccuracy(), parallel.MeanOobAccuracy());
+  EXPECT_EQ(SaveBank(sequential), SaveBank(parallel));
+}
+
+TEST(ParallelDeterminism, IdentifyAgreesAcrossThreadCounts) {
+  const auto dataset = devices::GenerateFingerprintDataset(3, 99);
+  const auto examples = ToExamples(dataset);
+
+  core::IdentifierConfig config;
+  config.forest.tree_count = 10;
+
+  core::DeviceIdentifier sequential(config);
+  sequential.Train(examples);
+
+  util::ThreadPool pool(4);
+  core::DeviceIdentifier parallel(config);
+  parallel.set_thread_pool(&pool);
+  parallel.Train(examples);
+
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto a = sequential.Identify(dataset.fingerprints[i],
+                                       dataset.fixed[i]);
+    const auto b = parallel.Identify(dataset.fingerprints[i],
+                                     dataset.fixed[i]);
+    EXPECT_EQ(a.type, b.type) << "example " << i;
+    EXPECT_EQ(a.matched_types, b.matched_types) << "example " << i;
+    EXPECT_EQ(a.dissimilarity_scores, b.dissimilarity_scores)
+        << "example " << i;
+    EXPECT_EQ(a.edit_distance_count, b.edit_distance_count) << "example " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sentinel

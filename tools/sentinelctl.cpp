@@ -28,6 +28,7 @@
 #include "devices/simulator.h"
 #include "eval/experiment.h"
 #include "net/pcap.h"
+#include "util/thread_pool.h"
 
 namespace {
 using namespace sentinel;
@@ -111,7 +112,10 @@ int CmdTrain(const Options& options) {
     train.push_back(core::LabelledFingerprint{
         &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
   core::DeviceIdentifier identifier;
+  util::ThreadPool pool;
+  identifier.set_thread_pool(&pool);
   identifier.Train(train);
+  identifier.set_thread_pool(nullptr);
   identifier.SaveToFile(path);
   std::printf("trained %zu per-type classifiers -> %s (%.1f KiB in memory)\n",
               identifier.type_count(), path.c_str(),
@@ -216,7 +220,8 @@ int CmdEvaluate(const Options& options) {
       devices::GenerateFingerprintDataset(options.episodes, options.seed);
   eval::CrossValidationConfig config;
   config.repetitions = options.reps;
-  const auto outcome = eval::RunCrossValidation(dataset, config);
+  util::ThreadPool pool;
+  const auto outcome = eval::RunCrossValidation(dataset, config, &pool);
   for (std::size_t t = 0; t < devices::DeviceTypeCount(); ++t) {
     std::printf("%-20s %.3f\n",
                 devices::GetDeviceType(static_cast<int>(t)).identifier.c_str(),
