@@ -4,7 +4,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace sentinel::bench {
 
@@ -24,5 +28,40 @@ inline std::size_t ArgCount(int argc, char** argv, std::size_t fallback) {
   const long value = std::strtol(argv[1], nullptr, 10);
   return value > 0 ? static_cast<std::size_t>(value) : fallback;
 }
+
+/// RAII metrics session for benches. Activated by `--metrics-out <file>`
+/// on the command line or the SENTINEL_METRICS_OUT environment variable:
+/// installs a registry as the process default (thread pools and the
+/// instrumented pipeline then report into it) and writes the Prometheus
+/// exposition on destruction. Inactive — null registry, zero overhead,
+/// byte-identical bench output — when neither is given.
+class MetricsSession {
+ public:
+  MetricsSession(int argc, char** argv) {
+    if (const char* env = std::getenv("SENTINEL_METRICS_OUT")) path_ = env;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc)
+        path_ = argv[i + 1];
+    }
+    if (!path_.empty()) obs::SetDefaultRegistry(&registry_);
+  }
+  ~MetricsSession() {
+    if (path_.empty()) return;
+    obs::SetDefaultRegistry(nullptr);
+    registry_.WriteFile(path_);
+    std::printf("wrote metrics to %s\n", path_.c_str());
+  }
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+
+  /// The session registry, or nullptr when the session is inactive.
+  obs::MetricsRegistry* registry() {
+    return path_.empty() ? nullptr : &registry_;
+  }
+
+ private:
+  obs::MetricsRegistry registry_;
+  std::string path_;
+};
 
 }  // namespace sentinel::bench

@@ -9,6 +9,7 @@
 #include "core/enforcement.h"
 #include "ml/metrics.h"
 #include "netsim/network.h"
+#include "obs/metrics.h"
 
 namespace sentinel::bench {
 
@@ -48,6 +49,11 @@ inline LabSetup BuildLabTopology(std::uint64_t seed = 7) {
   lab.enforcement = std::make_unique<core::EnforcementEngine>(
       *net::MacAddress::Parse("02:00:5e:00:00:01"),
       net::Ipv4Address(192, 168, 1, 1));
+  // When a bench MetricsSession is active, the lab datapath and enforcement
+  // engine report into the same registry as the live gateway; a null default
+  // registry leaves them uninstrumented.
+  net.gateway_switch().set_metrics(obs::DefaultRegistry());
+  lab.enforcement->set_metrics(obs::DefaultRegistry());
   return lab;
 }
 
@@ -83,10 +89,18 @@ inline void EnableFiltering(LabSetup& lab) {
 /// background flows instead of waiting for them to finish.
 inline ml::MeanStd PingSeries(LabSetup& lab, netsim::SimHost& src,
                               netsim::SimHost& dst, int iterations) {
+  obs::MetricsRegistry* metrics = obs::DefaultRegistry();
+  obs::Histogram* rtt_hist =
+      metrics != nullptr
+          ? &metrics->GetHistogram("sentinel_bench_ping_rtt_ns",
+                                   "simulated ping round-trip time in the "
+                                   "Fig. 4 lab topology")
+          : nullptr;
   std::vector<double> rtts;
   for (int i = 0; i < iterations; ++i) {
     src.Ping(dst, [&](netsim::SimTime rtt) {
       rtts.push_back(static_cast<double>(rtt) / 1e6);
+      if (rtt_hist != nullptr) rtt_hist->Observe(static_cast<double>(rtt));
     });
     lab.network->RunUntil(lab.network->queue().now() + 1'000'000'000ull);
   }

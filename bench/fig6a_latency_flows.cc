@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace sentinel;
   const int iterations = static_cast<int>(bench::ArgCount(argc, argv, 15));
+  bench::MetricsSession session(argc, argv);
 
   bench::Header("Fig. 6a: latency vs number of concurrent flows",
                 "latency increase from 20 to 150 concurrent flows is "

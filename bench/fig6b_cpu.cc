@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace sentinel;
   const auto seconds = bench::ArgCount(argc, argv, 20);
+  bench::MetricsSession session(argc, argv);
   const netsim::SimTime window =
       static_cast<netsim::SimTime>(seconds) * 1'000'000'000ull;
 
@@ -39,6 +40,17 @@ int main(int argc, char** argv) {
       lab.network->RunUntil(start + window);
       util[filtering ? 1 : 0] =
           lab.network->cpu().Utilization(start, start + window);
+      if (auto* metrics = session.registry()) {
+        metrics->GetHistogram(
+                   filtering ? "sentinel_bench_cpu_utilization_filtering"
+                             : "sentinel_bench_cpu_utilization_baseline",
+                   "gateway CPU utilization ratio per measurement window",
+                   {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0})
+            .Observe(util[filtering ? 1 : 0]);
+        metrics->GetGauge("sentinel_bench_concurrent_flows",
+                          "concurrent flows in the most recent window")
+            .Set(static_cast<double>(flows));
+      }
     }
     std::printf("%6d | %15.1f%% | %15.1f%%\n", flows, 100.0 * util[0],
                 100.0 * util[1]);

@@ -24,6 +24,7 @@
 int main(int argc, char** argv) {
   using namespace sentinel;
   const std::size_t probes = bench::ArgCount(argc, argv, 300);
+  bench::MetricsSession session(argc, argv);
 
   bench::Header("Table IV: time consumption for device-type identification",
                 "classification ~0.014 ms each; edit-distance discrimination "
@@ -32,7 +33,8 @@ int main(int argc, char** argv) {
   const auto dataset = devices::GenerateFingerprintDataset(20, 42);
   eval::CrossValidationConfig config;
   util::ThreadPool pool;  // accelerates model training; probes stay sequential
-  const auto timings = eval::MeasureStepTimings(dataset, config, probes, &pool);
+  const auto timings = eval::MeasureStepTimings(dataset, config, probes, &pool,
+                                                session.registry());
 
   auto row = [](const char* step, double paper_ms, ml::MeanStd measured_ns) {
     std::printf("%-38s %12.3f %12.4f (+/-%.4f)\n", step, paper_ms,

@@ -27,6 +27,7 @@ constexpr PaperRow kPaper[] = {
 int main(int argc, char** argv) {
   using namespace sentinel;
   const int iterations = static_cast<int>(bench::ArgCount(argc, argv, 15));
+  bench::MetricsSession session(argc, argv);
 
   bench::Header("Table V: user-experienced latency with/without filtering",
                 "filtering adds only a fraction of a millisecond per pair; "

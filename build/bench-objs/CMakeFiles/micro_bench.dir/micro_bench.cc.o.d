@@ -264,8 +264,9 @@ bench-objs/CMakeFiles/micro_bench.dir/micro_bench.cc.o: \
  /root/repo/src/net/tcp.h /root/repo/src/net/udp.h \
  /root/repo/src/ml/random_forest.h /root/repo/src/ml/decision_tree.h \
  /root/repo/src/ml/dataset.h /root/repo/src/ml/rng.h \
- /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -273,12 +274,11 @@ bench-objs/CMakeFiles/micro_bench.dir/micro_bench.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/core/enforcement.h /root/repo/src/core/isolation.h \
- /root/repo/src/devices/simulator.h /root/repo/src/capture/trace.h \
- /root/repo/src/devices/catalog.h /root/repo/src/devices/environment.h \
- /root/repo/src/devices/profiles.h /root/repo/src/devices/script.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/thread /root/repo/src/core/enforcement.h \
+ /root/repo/src/core/isolation.h /root/repo/src/devices/simulator.h \
+ /root/repo/src/capture/trace.h /root/repo/src/devices/catalog.h \
+ /root/repo/src/devices/environment.h /root/repo/src/devices/profiles.h \
+ /root/repo/src/devices/script.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/pcap.h \
  /root/repo/src/sdn/flow_table.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \

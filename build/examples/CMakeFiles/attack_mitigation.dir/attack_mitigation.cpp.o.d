@@ -224,8 +224,14 @@ examples/CMakeFiles/attack_mitigation.dir/attack_mitigation.cpp.o: \
  /root/repo/src/sdn/controller.h /root/repo/src/sdn/switch.h \
  /root/repo/src/sdn/flow_table.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/sdn/flow.h /root/repo/src/core/sentinel_module.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sdn/flow.h \
+ /root/repo/src/core/sentinel_module.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/device_monitor.h \
  /root/repo/src/capture/setup_phase.h \
@@ -234,8 +240,6 @@ examples/CMakeFiles/attack_mitigation.dir/attack_mitigation.cpp.o: \
  /root/repo/src/core/enforcement.h /root/repo/src/core/isolation.h \
  /root/repo/src/core/security_service.h \
  /root/repo/src/core/device_identifier.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
@@ -270,19 +274,15 @@ examples/CMakeFiles/attack_mitigation.dir/attack_mitigation.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/core/incident_registry.h \
+ /usr/include/c++/12/thread /root/repo/src/core/incident_registry.h \
  /root/repo/src/core/vulnerability_db.h /root/repo/src/devices/catalog.h \
  /root/repo/src/devices/environment.h /root/repo/src/devices/simulator.h \
- /root/repo/src/capture/trace.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/devices/profiles.h /root/repo/src/devices/script.h
+ /root/repo/src/capture/trace.h /root/repo/src/devices/profiles.h \
+ /root/repo/src/devices/script.h

@@ -222,4 +222,10 @@ src/core/CMakeFiles/sentinel_core.dir/gateway_services.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sdn/switch.h \
  /root/repo/src/sdn/flow_table.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/sdn/flow.h
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sdn/flow.h

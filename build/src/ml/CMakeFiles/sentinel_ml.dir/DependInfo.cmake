@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/net/CMakeFiles/sentinel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/sentinel_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/sentinel_util.dir/DependInfo.cmake"
   )
 

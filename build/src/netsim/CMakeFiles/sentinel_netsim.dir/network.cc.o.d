@@ -243,8 +243,14 @@ src/netsim/CMakeFiles/sentinel_netsim.dir/network.cc.o: \
  /root/repo/src/sdn/controller.h /root/repo/src/sdn/switch.h \
  /root/repo/src/sdn/flow_table.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/sdn/flow.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/net/frame.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sdn/flow.h \
+ /usr/include/c++/12/variant /root/repo/src/net/frame.h \
  /root/repo/src/net/address.h /root/repo/src/net/arp.h \
  /root/repo/src/net/byte_io.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/net/dhcp.h \

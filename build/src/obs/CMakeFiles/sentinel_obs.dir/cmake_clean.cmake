@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_obs.dir/log.cc.o"
+  "CMakeFiles/sentinel_obs.dir/log.cc.o.d"
+  "CMakeFiles/sentinel_obs.dir/metrics.cc.o"
+  "CMakeFiles/sentinel_obs.dir/metrics.cc.o.d"
+  "libsentinel_obs.a"
+  "libsentinel_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -211,8 +211,15 @@ src/sdn/CMakeFiles/sentinel_sdn.dir/controller.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/sdn/flow_table.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/sdn/flow.h /usr/include/c++/12/optional \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sdn/flow.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/variant \
  /root/repo/src/net/frame.h /root/repo/src/net/address.h \
  /root/repo/src/net/arp.h /root/repo/src/net/byte_io.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \

@@ -303,9 +303,11 @@ tests/CMakeFiles/live_netsim_test.dir/core/test_live_netsim.cc.o: \
  /root/repo/src/net/ipv4.h /root/repo/src/net/ipv6.h \
  /root/repo/src/net/ntp.h /root/repo/src/net/protocols.h \
  /root/repo/src/net/ssdp.h /root/repo/src/net/tcp.h \
- /root/repo/src/net/udp.h /root/repo/src/core/security_service.h \
+ /root/repo/src/net/udp.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/security_service.h \
  /root/repo/src/core/device_identifier.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/features/edit_distance.h \
  /root/repo/src/features/fingerprint.h \
  /root/repo/src/features/packet_features.h \
@@ -339,16 +341,14 @@ tests/CMakeFiles/live_netsim_test.dir/core/test_live_netsim.cc.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/core/incident_registry.h \
+ /usr/include/c++/12/thread /root/repo/src/core/incident_registry.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/vulnerability_db.h /root/repo/src/devices/catalog.h \

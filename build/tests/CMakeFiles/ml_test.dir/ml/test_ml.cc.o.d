@@ -332,6 +332,7 @@ tests/CMakeFiles/ml_test.dir/ml/test_ml.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/ml/dataset.h /usr/include/c++/12/span \
- /root/repo/src/ml/decision_tree.h /root/repo/src/net/byte_io.h \
- /root/repo/src/ml/metrics.h /root/repo/src/ml/random_forest.h
+ /root/repo/src/obs/metrics.h /root/repo/src/ml/dataset.h \
+ /usr/include/c++/12/span /root/repo/src/ml/decision_tree.h \
+ /root/repo/src/net/byte_io.h /root/repo/src/ml/metrics.h \
+ /root/repo/src/ml/random_forest.h

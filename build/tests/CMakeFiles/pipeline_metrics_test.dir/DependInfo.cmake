@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/test_pipeline_metrics.cc" "tests/CMakeFiles/pipeline_metrics_test.dir/obs/test_pipeline_metrics.cc.o" "gcc" "tests/CMakeFiles/pipeline_metrics_test.dir/obs/test_pipeline_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/sentinel_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sentinel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/sentinel_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/sentinel_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/sentinel_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sentinel_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/sentinel_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/sentinel_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sentinel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sentinel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/sentinel_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_metrics_test.dir/obs/test_pipeline_metrics.cc.o"
+  "CMakeFiles/pipeline_metrics_test.dir/obs/test_pipeline_metrics.cc.o.d"
+  "pipeline_metrics_test"
+  "pipeline_metrics_test.pdb"
+  "pipeline_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -296,13 +296,16 @@ tests/CMakeFiles/sdn_test.dir/sdn/test_sdn.cc.o: \
  /root/repo/src/sdn/controller.h /root/repo/src/sdn/switch.h \
  /root/repo/src/sdn/flow_table.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/sdn/flow.h /root/repo/src/net/frame.h \
- /root/repo/src/net/address.h /root/repo/src/net/arp.h \
- /root/repo/src/net/byte_io.h /usr/include/c++/12/span \
- /root/repo/src/net/dhcp.h /root/repo/src/net/dns.h \
- /root/repo/src/net/eapol.h /root/repo/src/net/ethernet.h \
- /root/repo/src/net/http.h /root/repo/src/net/icmp.h \
- /root/repo/src/net/igmp.h /root/repo/src/net/ipv4.h \
- /root/repo/src/net/ipv6.h /root/repo/src/net/ntp.h \
- /root/repo/src/net/protocols.h /root/repo/src/net/ssdp.h \
- /root/repo/src/net/tcp.h /root/repo/src/net/udp.h
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sdn/flow.h \
+ /root/repo/src/net/frame.h /root/repo/src/net/address.h \
+ /root/repo/src/net/arp.h /root/repo/src/net/byte_io.h \
+ /usr/include/c++/12/span /root/repo/src/net/dhcp.h \
+ /root/repo/src/net/dns.h /root/repo/src/net/eapol.h \
+ /root/repo/src/net/ethernet.h /root/repo/src/net/http.h \
+ /root/repo/src/net/icmp.h /root/repo/src/net/igmp.h \
+ /root/repo/src/net/ipv4.h /root/repo/src/net/ipv6.h \
+ /root/repo/src/net/ntp.h /root/repo/src/net/protocols.h \
+ /root/repo/src/net/ssdp.h /root/repo/src/net/tcp.h \
+ /root/repo/src/net/udp.h

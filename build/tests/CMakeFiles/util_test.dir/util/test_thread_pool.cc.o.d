@@ -306,4 +306,4 @@ tests/CMakeFiles/util_test.dir/util/test_thread_pool.cc.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/util/thread_pool.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/thread /root/repo/src/obs/metrics.h

@@ -6,6 +6,8 @@
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/net_test[1]_include.cmake")
 include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_metrics_test[1]_include.cmake")
 include("/root/repo/build/tests/capture_test[1]_include.cmake")
 include("/root/repo/build/tests/features_test[1]_include.cmake")
 include("/root/repo/build/tests/ml_test[1]_include.cmake")

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/net/CMakeFiles/sentinel_net.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/sentinel_util.dir/DependInfo.cmake"
   "/root/repo/build/src/sdn/CMakeFiles/sentinel_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/sentinel_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

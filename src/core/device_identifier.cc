@@ -10,6 +10,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/log.h"
+#include "obs/scoped_timer.h"
+
 namespace sentinel::core {
 
 namespace {
@@ -17,6 +20,43 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 }  // namespace
+
+void DeviceIdentifier::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    handles_ = IdentifierMetrics{};
+    return;
+  }
+  handles_.bank_train_ns = &registry->GetHistogram(
+      "sentinel_identifier_bank_train_ns",
+      "wall time to train the full per-type classifier bank");
+  handles_.classification_ns = &registry->GetHistogram(
+      "sentinel_identifier_classification_ns",
+      "stage-1 classifier-bank scan time per fingerprint");
+  handles_.discrimination_ns = &registry->GetHistogram(
+      "sentinel_identifier_discrimination_ns",
+      "stage-2 edit-distance discrimination time per fingerprint");
+  handles_.identify_total = &registry->GetCounter(
+      "sentinel_identifier_identify_total", "fingerprints identified");
+  handles_.unknown_total = &registry->GetCounter(
+      "sentinel_identifier_unknown_total",
+      "fingerprints reported as new/unknown device-types");
+  handles_.multi_match_total = &registry->GetCounter(
+      "sentinel_identifier_multi_match_total",
+      "fingerprints accepted by more than one per-type classifier");
+  handles_.accepts_total = &registry->GetCounter(
+      "sentinel_identifier_accepts_total",
+      "per-type classifier acceptances across all bank scans");
+  handles_.edit_distance_total = &registry->GetCounter(
+      "sentinel_identifier_edit_distance_total",
+      "Damerau-Levenshtein computations in discrimination");
+  handles_.tiebreak_total = &registry->GetCounter(
+      "sentinel_identifier_tiebreak_total",
+      "equal-dissimilarity tie-break coin flips");
+  handles_.types = &registry->GetGauge(
+      "sentinel_identifier_types", "device-types in the trained bank");
+  handles_.types->Set(static_cast<double>(types_.size()));
+}
 
 void DeviceIdentifier::TrainOne(
     PerType& entry, const std::vector<LabelledFingerprint>& positives,
@@ -43,7 +83,7 @@ void DeviceIdentifier::TrainOne(
 
   ml::RandomForestConfig forest_config = config_.forest;
   forest_config.seed = ml::DeriveSeed(config_.seed, salt ^ 0xf0f0f0f0ull);
-  entry.classifier.Train(data, forest_config, pool_);
+  entry.classifier.Train(data, forest_config, pool_, metrics_);
 
   entry.references.clear();
   entry.references.reserve(positives.size());
@@ -51,6 +91,7 @@ void DeviceIdentifier::TrainOne(
 }
 
 void DeviceIdentifier::Train(const std::vector<LabelledFingerprint>& examples) {
+  obs::ScopedTimer bank_timer(handles_.bank_train_ns);
   types_.clear();
   labels_.clear();
 
@@ -99,6 +140,10 @@ void DeviceIdentifier::Train(const std::vector<LabelledFingerprint>& examples) {
     types_[j] = std::move(entry);
   });
   labels_ = std::move(ordered_labels);
+  if (handles_.types != nullptr)
+    handles_.types->Set(static_cast<double>(types_.size()));
+  SENTINEL_LOG_INFO("identifier", "bank_trained", {"types", types_.size()},
+                    {"examples", examples.size()});
 }
 
 void DeviceIdentifier::AddType(
@@ -124,6 +169,10 @@ void DeviceIdentifier::AddType(
            static_cast<std::uint64_t>(label) + 1);
   types_.push_back(std::move(entry));
   labels_.push_back(label);
+  if (handles_.types != nullptr)
+    handles_.types->Set(static_cast<double>(types_.size()));
+  SENTINEL_LOG_INFO("identifier", "type_added", {"label", label},
+                    {"types", types_.size()});
 }
 
 IdentificationResult DeviceIdentifier::Identify(
@@ -147,8 +196,21 @@ IdentificationResult DeviceIdentifier::Identify(
     if (accepted[k]) result.matched_types.push_back(types_[k].label);
   }
   result.classification_time = Clock::now() - t0;
+  if (handles_.identify_total != nullptr) {
+    handles_.identify_total->Increment();
+    handles_.accepts_total->Increment(result.matched_types.size());
+    handles_.classification_ns->Observe(
+        static_cast<double>(result.classification_time.count()));
+    if (result.matched_types.size() > 1)
+      handles_.multi_match_total->Increment();
+  }
 
-  if (result.matched_types.empty()) return result;  // unknown device-type
+  if (result.matched_types.empty()) {
+    if (handles_.unknown_total != nullptr) handles_.unknown_total->Increment();
+    SENTINEL_LOG_DEBUG("identifier", "identified", {"outcome", "unknown"},
+                       {"matches", std::size_t{0}});
+    return result;  // unknown device-type
+  }
 
   // Stage 2: edit-distance discrimination over the candidates. For a
   // single match the paper assigns directly; here the same reference
@@ -212,18 +274,32 @@ IdentificationResult DeviceIdentifier::Identify(
       best_label = label;
       best_take = std::max<std::size_t>(1, take);
     } else if (score == best_score) {
+      if (handles_.tiebreak_total != nullptr)
+        handles_.tiebreak_total->Increment();
       std::uniform_int_distribution<int> coin(0, 1);
       if (coin(reference_rng) == 1) best_label = label;
     }
   }
   result.discrimination_time = Clock::now() - t1;
+  if (handles_.discrimination_ns != nullptr) {
+    handles_.discrimination_ns->Observe(
+        static_cast<double>(result.discrimination_time.count()));
+    handles_.edit_distance_total->Increment(result.edit_distance_count);
+  }
   // Open-set gate: if even the winner is (on average) nearly maximally
   // distant from its own references, the device is like none of them.
   if (best_score / static_cast<double>(best_take) >
       config_.rejection_distance) {
+    if (handles_.unknown_total != nullptr) handles_.unknown_total->Increment();
+    SENTINEL_LOG_DEBUG("identifier", "identified", {"outcome", "rejected"},
+                       {"matches", result.matched_types.size()},
+                       {"best_score", best_score});
     return result;  // new device-type
   }
   result.type = best_label;
+  SENTINEL_LOG_DEBUG("identifier", "identified", {"outcome", "known"},
+                     {"label", best_label},
+                     {"matches", result.matched_types.size()});
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "features/edit_distance.h"
 #include "features/fingerprint.h"
 #include "ml/random_forest.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace sentinel::core {
@@ -88,6 +89,18 @@ class DeviceIdentifier {
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
   [[nodiscard]] util::ThreadPool* thread_pool() const { return pool_; }
 
+  /// Attaches identification telemetry to `registry`: bank-scan accept and
+  /// tie-break counters, edit-distance totals, classification /
+  /// discrimination latency histograms, bank-training time and the
+  /// type-count gauge. Like the thread pool, the registry is runtime
+  /// wiring, not model state — it is never serialized, a Load()ed
+  /// identifier starts uninstrumented, and with nullptr (the default)
+  /// Identify() takes no clock reads beyond the per-stage timings it
+  /// already reports in IdentificationResult. Timing never feeds back into
+  /// classification, so results are identical with metrics on or off.
+  void set_metrics(obs::MetricsRegistry* registry);
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
   /// Trains one classifier per distinct label in `examples` and stores
   /// reference fingerprints for discrimination. Labels may be sparse; the
   /// identifier reports them back verbatim.
@@ -139,10 +152,27 @@ class DeviceIdentifier {
                 const std::vector<const std::vector<double>*>& negative_rows,
                 std::uint64_t salt);
 
+  /// Metric handles resolved once in set_metrics(); all-null when no
+  /// registry is attached, so each hot-path record is a single branch.
+  struct IdentifierMetrics {
+    obs::Histogram* bank_train_ns = nullptr;
+    obs::Histogram* classification_ns = nullptr;
+    obs::Histogram* discrimination_ns = nullptr;
+    obs::Counter* identify_total = nullptr;
+    obs::Counter* unknown_total = nullptr;
+    obs::Counter* multi_match_total = nullptr;
+    obs::Counter* accepts_total = nullptr;
+    obs::Counter* edit_distance_total = nullptr;
+    obs::Counter* tiebreak_total = nullptr;
+    obs::Gauge* types = nullptr;
+  };
+
   IdentifierConfig config_;
   std::vector<PerType> types_;
   std::vector<int> labels_;
   util::ThreadPool* pool_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  IdentifierMetrics handles_;
 };
 
 }  // namespace sentinel::core

@@ -1,10 +1,37 @@
 #include "core/device_monitor.h"
 
+#include "obs/log.h"
+#include "obs/scoped_timer.h"
+
 namespace sentinel::core {
+
+void DeviceMonitor::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    handles_ = MonitorMetrics{};
+    return;
+  }
+  handles_.capture_ns = &registry->GetHistogram(
+      "sentinel_stage_capture_ns",
+      "per-packet setup-phase capture time (tracking + feature extraction)");
+  handles_.fingerprint_ns = &registry->GetHistogram(
+      "sentinel_stage_fingerprint_ns",
+      "fingerprint assembly time when a setup phase completes");
+  handles_.packets_total = &registry->GetCounter(
+      "sentinel_monitor_packets_total", "packets observed by the monitor");
+  handles_.captures_total = &registry->GetCounter(
+      "sentinel_monitor_captures_total", "setup-phase captures completed");
+  handles_.tracked = &registry->GetGauge(
+      "sentinel_monitor_tracked_devices", "distinct MACs currently tracked");
+  handles_.tracked->Set(static_cast<double>(states_.size()));
+}
 
 std::optional<CompletedCapture> DeviceMonitor::Observe(
     const net::ParsedPacket& packet) {
+  obs::ScopedTimer capture_timer(handles_.capture_ns);
+  if (handles_.packets_total != nullptr) handles_.packets_total->Increment();
   auto [it, inserted] = states_.try_emplace(packet.src_mac, config_);
+  if (inserted && handles_.tracked != nullptr)
+    handles_.tracked->Set(static_cast<double>(states_.size()));
   DeviceState& state = it->second;
   if (state.fingerprinted) return std::nullopt;
 
@@ -12,9 +39,11 @@ std::optional<CompletedCapture> DeviceMonitor::Observe(
     state.vectors.push_back(state.extractor.Extract(packet));
     if (!state.tracker.Done()) return std::nullopt;
     // max_packets reached: the phase ends with this packet included.
+    capture_timer.Stop();  // fingerprint assembly is its own stage
     return Finish(packet.src_mac, state);
   }
   // The packet arrived after the idle gap: the setup phase ended before it.
+  capture_timer.Stop();
   return Finish(packet.src_mac, state);
 }
 
@@ -27,10 +56,15 @@ std::vector<CompletedCapture> DeviceMonitor::FlushIdle(std::uint64_t now_ns) {
   return out;
 }
 
-void DeviceMonitor::Forget(const net::MacAddress& mac) { states_.erase(mac); }
+void DeviceMonitor::Forget(const net::MacAddress& mac) {
+  states_.erase(mac);
+  if (handles_.tracked != nullptr)
+    handles_.tracked->Set(static_cast<double>(states_.size()));
+}
 
 CompletedCapture DeviceMonitor::Finish(const net::MacAddress& mac,
                                        DeviceState& state) {
+  obs::ScopedTimer fingerprint_timer(handles_.fingerprint_ns);
   state.fingerprinted = true;
   CompletedCapture capture;
   capture.device_mac = mac;
@@ -39,6 +73,10 @@ CompletedCapture DeviceMonitor::Finish(const net::MacAddress& mac,
   capture.fixed = features::FixedFingerprint::FromFingerprint(capture.full);
   state.vectors.clear();
   state.vectors.shrink_to_fit();
+  if (handles_.captures_total != nullptr) handles_.captures_total->Increment();
+  SENTINEL_LOG_DEBUG("monitor", "capture_complete",
+                     {"mac", mac.ToString()},
+                     {"packets", capture.packet_count});
   return capture;
 }
 

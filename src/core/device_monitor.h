@@ -11,6 +11,7 @@
 
 #include "capture/setup_phase.h"
 #include "features/fingerprint.h"
+#include "obs/metrics.h"
 
 namespace sentinel::core {
 
@@ -50,6 +51,14 @@ class DeviceMonitor {
   }
   [[nodiscard]] std::size_t tracked_count() const { return states_.size(); }
 
+  /// Attaches capture/fingerprint telemetry: the `sentinel_stage_capture_ns`
+  /// histogram (per-packet setup-phase bookkeeping + feature extraction),
+  /// the `sentinel_stage_fingerprint_ns` histogram (fingerprint assembly
+  /// when a setup phase completes), packet/capture counters and the
+  /// tracked-devices gauge. nullptr detaches; the uninstrumented path takes
+  /// no clock reads.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct DeviceState {
     capture::SetupPhaseTracker tracker;
@@ -61,10 +70,19 @@ class DeviceMonitor {
         : tracker(config) {}
   };
 
+  struct MonitorMetrics {
+    obs::Histogram* capture_ns = nullptr;
+    obs::Histogram* fingerprint_ns = nullptr;
+    obs::Counter* packets_total = nullptr;
+    obs::Counter* captures_total = nullptr;
+    obs::Gauge* tracked = nullptr;
+  };
+
   CompletedCapture Finish(const net::MacAddress& mac, DeviceState& state);
 
   capture::SetupPhaseConfig config_;
   std::unordered_map<net::MacAddress, DeviceState> states_;
+  MonitorMetrics handles_;
 };
 
 }  // namespace sentinel::core

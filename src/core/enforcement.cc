@@ -1,13 +1,63 @@
 #include "core/enforcement.h"
 
+#include "obs/log.h"
+#include "obs/scoped_timer.h"
+
 namespace sentinel::core {
 
+void EnforcementEngine::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    handles_ = EnforcementMetrics{};
+    return;
+  }
+  handles_.enforce_ns = &registry->GetHistogram(
+      "sentinel_stage_enforce_ns",
+      "enforcement-rule installation time per identified device");
+  handles_.rules_strict_total = &registry->GetCounter(
+      "sentinel_enforce_rules_strict_total",
+      "enforcement rules installed at strict isolation");
+  handles_.rules_restricted_total = &registry->GetCounter(
+      "sentinel_enforce_rules_restricted_total",
+      "enforcement rules installed at restricted isolation");
+  handles_.rules_trusted_total = &registry->GetCounter(
+      "sentinel_enforce_rules_trusted_total",
+      "enforcement rules installed at trusted isolation");
+  handles_.denied_total = &registry->GetCounter(
+      "sentinel_enforce_denied_total", "flows denied by policy evaluation");
+  handles_.rules = &registry->GetGauge(
+      "sentinel_enforce_rules", "devices in the enforcement-rule cache");
+  handles_.rules->Set(static_cast<double>(rules_.size()));
+}
+
 void EnforcementEngine::Install(EnforcementRule rule) {
+  obs::ScopedTimer enforce_timer(handles_.enforce_ns);
+  if (handles_.rules_strict_total != nullptr) {
+    switch (rule.level) {
+      case IsolationLevel::kStrict:
+        handles_.rules_strict_total->Increment();
+        break;
+      case IsolationLevel::kRestricted:
+        handles_.rules_restricted_total->Increment();
+        break;
+      case IsolationLevel::kTrusted:
+        handles_.rules_trusted_total->Increment();
+        break;
+    }
+  }
+  SENTINEL_LOG_INFO("enforcement", "rule_installed",
+                    {"mac", rule.device_mac.ToString()},
+                    {"type", rule.device_type},
+                    {"level", ToString(rule.level)});
   rules_[rule.device_mac] = std::move(rule);
+  if (handles_.rules != nullptr)
+    handles_.rules->Set(static_cast<double>(rules_.size()));
 }
 
 bool EnforcementEngine::Remove(const net::MacAddress& mac) {
-  return rules_.erase(mac) > 0;
+  const bool removed = rules_.erase(mac) > 0;
+  if (removed && handles_.rules != nullptr)
+    handles_.rules->Set(static_cast<double>(rules_.size()));
+  return removed;
 }
 
 const EnforcementRule* EnforcementEngine::Find(
@@ -70,10 +120,12 @@ Decision EnforcementEngine::Authorize(const net::ParsedPacket& packet) const {
                   .reason = "restricted device, allowlisted endpoint",
                   .decided_by = decided_by};
         }
+        if (handles_.denied_total != nullptr) handles_.denied_total->Increment();
         return {.allow = false,
                 .reason = "restricted device, endpoint not allowlisted",
                 .decided_by = decided_by};
       case IsolationLevel::kStrict:
+        if (handles_.denied_total != nullptr) handles_.denied_total->Increment();
         return {.allow = false,
                 .reason = "strict isolation, no Internet access",
                 .decided_by = decided_by};
@@ -105,6 +157,7 @@ Decision EnforcementEngine::Authorize(const net::ParsedPacket& packet) const {
                           : "both devices in untrusted network",
             .decided_by = decided_by};
   }
+  if (handles_.denied_total != nullptr) handles_.denied_total->Increment();
   return {.allow = false,
           .reason = "cross-overlay communication blocked",
           .decided_by = decided_by};

@@ -18,6 +18,7 @@
 
 #include "core/isolation.h"
 #include "net/frame.h"
+#include "obs/metrics.h"
 
 namespace sentinel::core {
 
@@ -57,12 +58,28 @@ class EnforcementEngine {
   [[nodiscard]] net::MacAddress gateway_mac() const { return gateway_mac_; }
   [[nodiscard]] net::Ipv4Address gateway_ip() const { return gateway_ip_; }
 
+  /// Attaches enforcement telemetry: the `sentinel_stage_enforce_ns`
+  /// histogram (rule installation time), per-isolation-level install
+  /// counters, the denied-flows counter, and the rule-cache size gauge.
+  /// nullptr detaches; the uninstrumented path takes no clock reads.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
+  struct EnforcementMetrics {
+    obs::Histogram* enforce_ns = nullptr;
+    obs::Counter* rules_strict_total = nullptr;
+    obs::Counter* rules_restricted_total = nullptr;
+    obs::Counter* rules_trusted_total = nullptr;
+    obs::Counter* denied_total = nullptr;
+    obs::Gauge* rules = nullptr;
+  };
+
   [[nodiscard]] bool IsInfrastructure(const net::ParsedPacket& packet) const;
 
   net::MacAddress gateway_mac_;
   net::Ipv4Address gateway_ip_;
   std::unordered_map<net::MacAddress, EnforcementRule> rules_;
+  EnforcementMetrics handles_;
 };
 
 }  // namespace sentinel::core

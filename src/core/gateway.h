@@ -66,6 +66,19 @@ class SecurityGateway {
     return switch_.MemoryBytes() + engine_.MemoryBytes();
   }
 
+  /// Attaches one metrics registry across the whole gateway: datapath
+  /// (switch + flow table), Sentinel module (monitor + identify stage) and
+  /// enforcement engine. The pipeline-stage histograms
+  /// `sentinel_stage_{capture,fingerprint,identify,enforce}_ns` all come
+  /// live through this one call. nullptr detaches everything. Runtime
+  /// wiring only — nothing here alters forwarding or identification
+  /// results.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    switch_.set_metrics(registry);
+    module_->set_metrics(registry);
+    engine_.set_metrics(registry);
+  }
+
  private:
   SecurityGatewayConfig config_;
   sdn::SoftwareSwitch switch_;

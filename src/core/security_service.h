@@ -71,6 +71,13 @@ class SecurityService : public SecurityServiceClient {
   [[nodiscard]] const DeviceIdentifier& identifier() const {
     return identifier_;
   }
+  /// Mutable access for runtime wiring (thread pool, metrics registry).
+  DeviceIdentifier& identifier() { return identifier_; }
+  /// Forwards a metrics registry to the embedded identifier so Assess()
+  /// records bank-scan and discrimination telemetry.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    identifier_.set_metrics(registry);
+  }
   [[nodiscard]] const VulnerabilityDb& vulnerability_db() const { return db_; }
   [[nodiscard]] const IncidentRegistry& incidents() const {
     return incidents_;

@@ -1,5 +1,8 @@
 #include "core/sentinel_module.h"
 
+#include "obs/log.h"
+#include "obs/scoped_timer.h"
+
 namespace sentinel::core {
 
 SentinelModule::SentinelModule(SecurityServiceClient& service,
@@ -10,6 +13,29 @@ SentinelModule::SentinelModule(SecurityServiceClient& service,
       config_(config),
       monitor_(config.setup) {
   infrastructure_.insert(engine_.gateway_mac());
+}
+
+void SentinelModule::set_metrics(obs::MetricsRegistry* registry) {
+  monitor_.set_metrics(registry);
+  if (registry == nullptr) {
+    handles_ = ModuleMetrics{};
+    return;
+  }
+  handles_.identify_ns = &registry->GetHistogram(
+      "sentinel_stage_identify_ns",
+      "device-type identification time (Security Service assessment)");
+  handles_.identifications_total = &registry->GetCounter(
+      "sentinel_module_identifications_total",
+      "completed captures submitted for assessment");
+  handles_.drops_total = &registry->GetCounter(
+      "sentinel_module_drop_rules_total",
+      "drop rules installed for denied flows");
+  handles_.wan_allows_total = &registry->GetCounter(
+      "sentinel_module_wan_allow_rules_total",
+      "specific WAN allow rules installed for permitted public flows");
+  handles_.incidents_total = &registry->GetCounter(
+      "sentinel_module_incidents_total",
+      "policy denials from already-identified devices");
 }
 
 SentinelModule::Verdict SentinelModule::OnPacketIn(
@@ -49,6 +75,13 @@ SentinelModule::Verdict SentinelModule::OnPacketIn(
   if (!decision.allow) {
     InstallDropRule(sw, packet);
     ++drops_installed_;
+    if (handles_.drops_total != nullptr) {
+      handles_.drops_total->Increment();
+      handles_.incidents_total->Increment();
+    }
+    SENTINEL_LOG_INFO("module", "flow_denied",
+                      {"mac", packet.src_mac.ToString()},
+                      {"reason", decision.reason});
     if (on_incident_) {
       const EnforcementRule* rule = engine_.Find(packet.src_mac);
       on_incident_(IncidentEvent{
@@ -67,6 +100,8 @@ SentinelModule::Verdict SentinelModule::OnPacketIn(
                          packet.dst_ip->v4() != net::Ipv4Address::Broadcast();
   if (is_public && config_.wan_port != 0) {
     InstallWanAllowRule(sw, packet);
+    if (handles_.wan_allows_total != nullptr)
+      handles_.wan_allows_total->Increment();
     sw.PacketOut(config_.wan_port, in_port, frame);
     return Verdict::kHandled;
   }
@@ -82,8 +117,16 @@ void SentinelModule::FlushIdle(std::uint64_t now_ns) {
 }
 
 void SentinelModule::HandleCompletedCapture(const CompletedCapture& capture) {
+  obs::ScopedTimer identify_timer(handles_.identify_ns);
   const AssessmentResult assessment =
       service_.Assess(capture.full, capture.fixed);
+  identify_timer.Stop();  // rule installation is the enforce stage
+  if (handles_.identifications_total != nullptr)
+    handles_.identifications_total->Increment();
+  SENTINEL_LOG_INFO("module", "device_identified",
+                    {"mac", capture.device_mac.ToString()},
+                    {"type", assessment.type_identifier},
+                    {"level", static_cast<int>(assessment.level)});
 
   EnforcementRule rule;
   rule.device_mac = capture.device_mac;

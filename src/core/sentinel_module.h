@@ -10,6 +10,7 @@
 #include "core/device_monitor.h"
 #include "core/enforcement.h"
 #include "core/security_service.h"
+#include "obs/metrics.h"
 #include "sdn/controller.h"
 
 namespace sentinel::core {
@@ -81,12 +82,28 @@ class SentinelModule : public sdn::ControllerModule {
     return drops_installed_;
   }
 
+  /// Attaches controller-module telemetry and propagates the registry to
+  /// the embedded DeviceMonitor. The module records the
+  /// `sentinel_stage_identify_ns` histogram around the Security Service
+  /// assessment (the monitor owns the capture/fingerprint stages, the
+  /// enforcement engine the enforce stage) plus drop-rule / WAN-allow /
+  /// incident / identification counters. nullptr detaches everything.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   void HandleCompletedCapture(const CompletedCapture& capture);
   void InstallDropRule(sdn::SoftwareSwitch& sw,
                        const net::ParsedPacket& packet);
   void InstallWanAllowRule(sdn::SoftwareSwitch& sw,
                            const net::ParsedPacket& packet);
+
+  struct ModuleMetrics {
+    obs::Histogram* identify_ns = nullptr;
+    obs::Counter* identifications_total = nullptr;
+    obs::Counter* drops_total = nullptr;
+    obs::Counter* wan_allows_total = nullptr;
+    obs::Counter* incidents_total = nullptr;
+  };
 
   SecurityServiceClient& service_;
   EnforcementEngine& engine_;
@@ -96,6 +113,7 @@ class SentinelModule : public sdn::ControllerModule {
   std::function<void(const IdentificationEvent&)> on_identification_;
   std::function<void(const IncidentEvent&)> on_incident_;
   std::uint64_t drops_installed_ = 0;
+  ModuleMetrics handles_;
 };
 
 }  // namespace sentinel::core

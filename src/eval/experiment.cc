@@ -35,7 +35,8 @@ struct FoldPartial {
 
 CrossValidationOutcome RunCrossValidation(
     const devices::FingerprintDataset& dataset,
-    const CrossValidationConfig& config, util::ThreadPool* pool) {
+    const CrossValidationConfig& config, util::ThreadPool* pool,
+    obs::MetricsRegistry* metrics) {
   const std::size_t type_count = devices::DeviceTypeCount();
   CrossValidationOutcome outcome;
   outcome.confusion = ml::ConfusionMatrix(type_count);
@@ -69,6 +70,7 @@ CrossValidationOutcome RunCrossValidation(
       id_config.seed = ml::DeriveSeed(config.seed, rep * 1000 + f);
       core::DeviceIdentifier identifier(id_config);
       identifier.set_thread_pool(pool);
+      identifier.set_metrics(metrics);
       identifier.Train(train);
 
       for (const std::size_t i : fold.test_indices) {
@@ -126,8 +128,22 @@ CrossValidationOutcome RunCrossValidation(
 StepTimings MeasureStepTimings(const devices::FingerprintDataset& dataset,
                                const CrossValidationConfig& config,
                                std::size_t probe_count,
-                               util::ThreadPool* pool) {
+                               util::ThreadPool* pool,
+                               obs::MetricsRegistry* metrics) {
   StepTimings out;
+  obs::Histogram* stage_fingerprint_ns =
+      metrics != nullptr
+          ? &metrics->GetHistogram(
+                "sentinel_stage_fingerprint_ns",
+                "fingerprint assembly time when a setup phase completes")
+          : nullptr;
+  obs::Histogram* stage_identify_ns =
+      metrics != nullptr
+          ? &metrics->GetHistogram(
+                "sentinel_stage_identify_ns",
+                "device-type identification time (Security Service "
+                "assessment)")
+          : nullptr;
   // Train on the full dataset (timing, not accuracy, is measured here).
   std::vector<core::LabelledFingerprint> train;
   train.reserve(dataset.size());
@@ -137,6 +153,7 @@ StepTimings MeasureStepTimings(const devices::FingerprintDataset& dataset,
   }
   core::DeviceIdentifier identifier(config.identifier);
   identifier.set_thread_pool(pool);
+  identifier.set_metrics(metrics);
   identifier.Train(train);
   // The probe loops below time individual pipeline steps; keep them
   // single-threaded so the measurements match the paper's per-step costs.
@@ -156,7 +173,7 @@ StepTimings MeasureStepTimings(const devices::FingerprintDataset& dataset,
       data.Add(dataset.fixed[i].ToVector(), dataset.labels[i] == 0 ? 1 : 0);
     ml::RandomForest forest;
     ml::RandomForestConfig forest_config = config.identifier.forest;
-    forest.Train(data, forest_config, pool);
+    forest.Train(data, forest_config, pool, metrics);
     for (std::size_t n = 0; n < probe_count; ++n) {
       const auto row = dataset.fixed[pick(rng)].ToVector();
       const auto t0 = Clock::now();
@@ -187,6 +204,8 @@ StepTimings MeasureStepTimings(const devices::FingerprintDataset& dataset,
       const auto fp = features::Fingerprint::FromPackets(packets);
       (void)features::FixedFingerprint::FromFingerprint(fp);
       extraction.push_back(ToNs(Clock::now() - t0));
+      if (stage_fingerprint_ns != nullptr)
+        stage_fingerprint_ns->Observe(extraction.back());
     }
   }
 
@@ -199,6 +218,7 @@ StepTimings MeasureStepTimings(const devices::FingerprintDataset& dataset,
     const auto result =
         identifier.Identify(dataset.fingerprints[i], dataset.fixed[i]);
     ids.push_back(ToNs(Clock::now() - t0));
+    if (stage_identify_ns != nullptr) stage_identify_ns->Observe(ids.back());
     all_cls.push_back(static_cast<double>(result.classification_time.count()));
     if (result.matched_types.size() > 1) {
       discs.push_back(static_cast<double>(result.discrimination_time.count()));

@@ -56,9 +56,13 @@ struct CrossValidationOutcome {
 /// forest training); per-fold results are merged in fold order, so the
 /// accuracy/confusion outcome is identical to a sequential run. Only the
 /// recorded wall-clock timings vary with scheduling, as they always do.
+/// With a non-null `metrics`, every fold identifier records its bank-scan
+/// and discrimination telemetry into the shared registry (counters are
+/// atomic, so concurrent folds aggregate correctly).
 CrossValidationOutcome RunCrossValidation(
     const devices::FingerprintDataset& dataset,
-    const CrossValidationConfig& config, util::ThreadPool* pool = nullptr);
+    const CrossValidationConfig& config, util::ThreadPool* pool = nullptr,
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// Single-step timing measurements for Table IV, measured on a trained
 /// identifier over the given dataset.
@@ -74,10 +78,16 @@ struct StepTimings {
 
 /// `pool` accelerates the one-off training of the measured identifier; the
 /// timed probe sections always run sequentially so the per-step numbers
-/// stay comparable with the paper's single-core measurements.
+/// stay comparable with the paper's single-core measurements. With a
+/// non-null `metrics`, each probe's extraction and identification times
+/// are also observed into the `sentinel_stage_fingerprint_ns` /
+/// `sentinel_stage_identify_ns` histograms (the same series the live
+/// gateway records), so the Table IV bench and production telemetry share
+/// one exposition path.
 StepTimings MeasureStepTimings(const devices::FingerprintDataset& dataset,
                                const CrossValidationConfig& config,
                                std::size_t probe_count = 200,
-                               util::ThreadPool* pool = nullptr);
+                               util::ThreadPool* pool = nullptr,
+                               obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace sentinel::eval

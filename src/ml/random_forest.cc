@@ -3,14 +3,27 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/scoped_timer.h"
+
 namespace sentinel::ml {
 
 void RandomForest::Train(const Dataset& data, const RandomForestConfig& config,
-                         util::ThreadPool* pool) {
+                         util::ThreadPool* pool,
+                         obs::MetricsRegistry* metrics) {
   if (data.empty())
     throw std::invalid_argument("RandomForest::Train: empty dataset");
   if (config.tree_count == 0)
     throw std::invalid_argument("RandomForest::Train: zero trees");
+  obs::Histogram* tree_hist =
+      metrics != nullptr
+          ? &metrics->GetHistogram("sentinel_ml_tree_train_ns",
+                                   "single-tree bagging + CART training time")
+          : nullptr;
+  obs::ScopedTimer forest_timer(
+      metrics != nullptr
+          ? &metrics->GetHistogram("sentinel_ml_forest_train_ns",
+                                   "whole-forest training time")
+          : nullptr);
   trees_.clear();
   trees_.resize(config.tree_count);
   class_count_ = data.class_count();
@@ -26,6 +39,7 @@ void RandomForest::Train(const Dataset& data, const RandomForestConfig& config,
       config.tree_count);
 
   util::ParallelFor(pool, config.tree_count, [&](std::size_t t) {
+    obs::ScopedTimer tree_timer(tree_hist);
     Rng rng(DeriveSeed(config.seed, t));
     std::uniform_int_distribution<std::size_t> pick(0, data.size() - 1);
     std::vector<std::size_t> bootstrap(sample_size);
@@ -69,6 +83,22 @@ void RandomForest::Train(const Dataset& data, const RandomForestConfig& config,
   oob_accuracy_ = scored == 0 ? std::numeric_limits<double>::quiet_NaN()
                               : static_cast<double>(correct) /
                                     static_cast<double>(scored);
+  if (metrics != nullptr) {
+    metrics
+        ->GetCounter("sentinel_ml_trees_trained_total",
+                     "decision trees trained across all forests")
+        .Increment(config.tree_count);
+    if (scored > 0) {
+      metrics
+          ->GetGauge("sentinel_ml_oob_accuracy",
+                     "out-of-bag accuracy of the most recently trained forest")
+          .Set(oob_accuracy_);
+      metrics
+          ->GetCounter("sentinel_ml_oob_scored_total",
+                       "training examples with at least one out-of-bag vote")
+          .Increment(scored);
+    }
+  }
 }
 
 int RandomForest::Predict(std::span<const double> row) const {

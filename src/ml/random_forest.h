@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ml/decision_tree.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace sentinel::ml {
@@ -29,9 +30,13 @@ class RandomForest {
   /// derived from (config.seed, tree index) and out-of-bag votes are
   /// tallied per tree and merged in tree order after the join, so the
   /// trained forest (and its Save() bytes and oob_accuracy()) is
-  /// bit-identical to a sequential run.
+  /// bit-identical to a sequential run. With a non-null `metrics`, training
+  /// records per-tree and whole-forest timing histograms plus the OOB
+  /// accuracy gauge; timing never feeds back into the model, so the trained
+  /// bytes are identical with metrics on or off.
   void Train(const Dataset& data, const RandomForestConfig& config,
-             util::ThreadPool* pool = nullptr);
+             util::ThreadPool* pool = nullptr,
+             obs::MetricsRegistry* metrics = nullptr);
 
   /// Majority-vote class prediction.
   [[nodiscard]] int Predict(std::span<const double> row) const;

@@ -1,0 +1,133 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace sentinel::obs {
+
+namespace {
+
+std::atomic<int> g_threshold{-1};  // -1 = not yet initialized from env
+
+std::mutex g_sink_mutex;
+std::function<void(std::string_view)> g_sink;  // guarded by g_sink_mutex
+
+LogLevel InitThresholdFromEnv() {
+  const char* env = std::getenv("SENTINEL_LOG");
+  return env == nullptr ? LogLevel::kOff : ParseLogLevel(env);
+}
+
+bool NeedsQuoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\n' || c == '\t')
+      return true;
+  }
+  return false;
+}
+
+void AppendValue(std::string& line, const std::string& value) {
+  if (!NeedsQuoting(value)) {
+    line += value;
+    return;
+  }
+  line += '"';
+  for (const char c : value) {
+    if (c == '"' || c == '\\') line += '\\';
+    if (c == '\n') {
+      line += "\\n";
+      continue;
+    }
+    line += c;
+  }
+  line += '"';
+}
+
+}  // namespace
+
+LogLevel ParseLogLevel(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      break;
+  }
+  return "off";
+}
+
+LogLevel LogThreshold() {
+  int current = g_threshold.load(std::memory_order_relaxed);
+  if (current < 0) {
+    const LogLevel from_env = InitThresholdFromEnv();
+    // First caller wins; a concurrent SetLogThreshold() overrides anyway.
+    int expected = -1;
+    g_threshold.compare_exchange_strong(expected, static_cast<int>(from_env),
+                                        std::memory_order_relaxed);
+    current = g_threshold.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(current);
+}
+
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Log(LogLevel level, std::string_view component, std::string_view event,
+         std::initializer_list<LogField> fields) {
+  if (!LogEnabled(level)) return;
+
+  const auto now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+
+  std::string line;
+  line.reserve(96);
+  line += "ts=" + std::to_string(now_ns);
+  line += " level=";
+  line += LogLevelName(level);
+  line += " component=";
+  line += component;
+  line += " event=";
+  line += event;
+  for (const auto& field : fields) {
+    line += ' ';
+    line += field.key;
+    line += '=';
+    AppendValue(line, field.value);
+  }
+
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void SetLogSink(std::function<void(std::string_view)> sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+}  // namespace sentinel::obs

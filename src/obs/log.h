@@ -1,0 +1,102 @@
+// Leveled structured logging, off by default. The `SENTINEL_LOG`
+// environment variable selects the threshold (trace|debug|info|warn|error,
+// anything else or unset = off); records are single `key=value` lines on
+// stderr so they grep/awk cleanly:
+//
+//   ts=1723790461123456789 level=info component=thread_pool event=started
+//   threads=8 source=env
+//
+// The level check is a relaxed atomic load, so disabled call sites cost one
+// branch; the SENTINEL_LOG_* macros additionally skip field construction
+// entirely when the level is off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace sentinel::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Parses a level name ("debug"); unknown names map to kOff.
+LogLevel ParseLogLevel(std::string_view name);
+const char* LogLevelName(LogLevel level);
+
+/// Current threshold: initialized from SENTINEL_LOG on first use.
+LogLevel LogThreshold();
+/// Overrides the threshold at runtime (tests, sentinelctl flags).
+void SetLogThreshold(LogLevel level);
+
+inline bool LogEnabled(LogLevel level) {
+  return level >= LogThreshold() && LogThreshold() != LogLevel::kOff;
+}
+
+/// One key=value pair. Arithmetic values format via to_string; everything
+/// string-like is copied. Values containing spaces, quotes or '=' are
+/// double-quoted on output.
+struct LogField {
+  template <typename T>
+  LogField(std::string_view k, T&& v) : key(k) {
+    using D = std::decay_t<T>;
+    if constexpr (std::is_same_v<D, bool>) {
+      value = v ? "true" : "false";
+    } else if constexpr (std::is_arithmetic_v<D>) {
+      value = std::to_string(v);
+    } else {
+      value = std::string(std::string_view(v));
+    }
+  }
+
+  std::string_view key;
+  std::string value;
+};
+
+/// Emits one record (if `level` passes the threshold — callers using the
+/// macros below have already checked, but Log() re-checks so direct calls
+/// are safe too).
+void Log(LogLevel level, std::string_view component, std::string_view event,
+         std::initializer_list<LogField> fields = {});
+
+/// Redirects output (default: stderr). Pass nullptr to restore stderr.
+/// The sink receives the fully formatted line without the trailing newline.
+void SetLogSink(std::function<void(std::string_view)> sink);
+
+}  // namespace sentinel::obs
+
+// The field list is pasted back verbatim by __VA_ARGS__, so braced fields
+// ({"key", value}) survive macro expansion. Fields are only evaluated when
+// the level is enabled.
+#define SENTINEL_LOG_AT(level_, component_, event_, ...)             \
+  do {                                                               \
+    if (::sentinel::obs::LogEnabled(level_)) {                       \
+      ::sentinel::obs::Log(level_, component_, event_,               \
+                           {__VA_ARGS__});                           \
+    }                                                                \
+  } while (0)
+
+#define SENTINEL_LOG_TRACE(component_, event_, ...)                 \
+  SENTINEL_LOG_AT(::sentinel::obs::LogLevel::kTrace, component_,    \
+                  event_ __VA_OPT__(, ) __VA_ARGS__)
+#define SENTINEL_LOG_DEBUG(component_, event_, ...)                 \
+  SENTINEL_LOG_AT(::sentinel::obs::LogLevel::kDebug, component_,    \
+                  event_ __VA_OPT__(, ) __VA_ARGS__)
+#define SENTINEL_LOG_INFO(component_, event_, ...)                  \
+  SENTINEL_LOG_AT(::sentinel::obs::LogLevel::kInfo, component_,     \
+                  event_ __VA_OPT__(, ) __VA_ARGS__)
+#define SENTINEL_LOG_WARN(component_, event_, ...)                  \
+  SENTINEL_LOG_AT(::sentinel::obs::LogLevel::kWarn, component_,     \
+                  event_ __VA_OPT__(, ) __VA_ARGS__)
+#define SENTINEL_LOG_ERROR(component_, event_, ...)                 \
+  SENTINEL_LOG_AT(::sentinel::obs::LogLevel::kError, component_,    \
+                  event_ __VA_OPT__(, ) __VA_ARGS__)

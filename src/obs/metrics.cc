@@ -1,0 +1,252 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace sentinel::obs {
+
+namespace {
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// Values render at full round-trip precision; bucket bounds use compact %g
+// ("1e+06") since the chosen bounds are exact in either form.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FormatBound(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBoundsNs();
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicAdd(sum_squares_, value * value);
+}
+
+Histogram::Snapshot Histogram::Read() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.sum_squares = sum_squares_.load(std::memory_order_relaxed);
+  snap.buckets.reserve(bounds_.size() + 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets.emplace_back(bounds_[i], cumulative);
+  }
+  cumulative += buckets_[bounds_.size()].load(std::memory_order_relaxed);
+  snap.buckets.emplace_back(std::numeric_limits<double>::infinity(),
+                            cumulative);
+  return snap;
+}
+
+double Histogram::Snapshot::Mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double Histogram::Snapshot::Stdev() const {
+  if (count == 0) return 0.0;
+  const double mean = Mean();
+  const double variance =
+      std::max(0.0, sum_squares / static_cast<double>(count) - mean * mean);
+  return std::sqrt(variance);
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBoundsNs() {
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> b;
+    // 1 µs .. 10 s in 1-2-5 steps; sub-microsecond observations land in
+    // the first bucket, pathological stalls in +Inf.
+    for (double decade = 1e3; decade <= 1e10; decade *= 10.0) {
+      b.push_back(decade);
+      if (decade < 1e10) {
+        b.push_back(decade * 2.0);
+        b.push_back(decade * 5.0);
+      }
+    }
+    return b;
+  }();
+  return kBounds;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot.value) {
+    slot.help = help;
+    slot.value = std::make_unique<Counter>();
+  }
+  return *slot.value;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot.value) {
+    slot.help = help;
+    slot.value = std::make_unique<Gauge>();
+  }
+  return *slot.value;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot.value) {
+    slot.help = help;
+    slot.value = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot.value;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    if (!counter.help.empty())
+      out += "# HELP " + name + " " + counter.help + "\n";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(counter.value->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    if (!gauge.help.empty()) out += "# HELP " + name + " " + gauge.help + "\n";
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatDouble(gauge.value->Value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    if (!histogram.help.empty())
+      out += "# HELP " + name + " " + histogram.help + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    const auto snap = histogram.value->Read();
+    for (const auto& [bound, cumulative] : snap.buckets) {
+      const std::string le =
+          std::isinf(bound) ? "+Inf" : FormatBound(bound);
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + FormatDouble(snap.sum) + "\n";
+    out += name + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": " + std::to_string(counter.value->Value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": " + FormatDouble(gauge.value->Value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const auto snap = histogram.value->Read();
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": {\"count\": " + std::to_string(snap.count) +
+           ", \"sum\": " + FormatDouble(snap.sum) +
+           ", \"mean\": " + FormatDouble(snap.Mean()) +
+           ", \"stdev\": " + FormatDouble(snap.Stdev()) + ", \"buckets\": [";
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      const auto& [bound, cumulative] = snap.buckets[i];
+      out += "{\"le\": ";
+      if (std::isinf(bound)) {
+        out += "\"+Inf\"";
+      } else {
+        out += FormatBound(bound);
+      }
+      out += ", \"count\": " + std::to_string(cumulative) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::WriteFile(const std::string& path, bool json) const {
+  const std::string body = json ? RenderJson() : RenderPrometheus();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("cannot open " + path + " for writing");
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size())
+    throw std::runtime_error("short write to " + path);
+}
+
+namespace {
+std::atomic<MetricsRegistry*> g_default_registry{nullptr};
+}  // namespace
+
+MetricsRegistry* DefaultRegistry() {
+  return g_default_registry.load(std::memory_order_acquire);
+}
+
+void SetDefaultRegistry(MetricsRegistry* registry) {
+  g_default_registry.store(registry, std::memory_order_release);
+}
+
+}  // namespace sentinel::obs

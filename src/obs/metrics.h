@@ -1,0 +1,145 @@
+// Dependency-free observability substrate: a thread-safe registry of named
+// counters, gauges and fixed-bucket latency histograms, exposable as
+// Prometheus-style text or JSON.
+//
+// Design constraints (ROADMAP: "fast as the hardware allows"):
+// - Every instrument is lock-free on the hot path (relaxed atomics; the
+//   registry mutex guards registration only, and handles returned by
+//   Get*() stay valid for the registry's lifetime).
+// - Instrumented components hold plain pointers that default to nullptr;
+//   with no registry attached the instrumentation reduces to one branch —
+//   no clock reads, no allocation — so uninstrumented runs stay
+//   bit-identical to pre-instrumentation builds.
+// - Exposition renders in deterministic (lexicographic) name order so
+//   metric dumps diff cleanly across runs.
+//
+// Naming scheme (see DESIGN.md "Observability"): `sentinel_<subsystem>_
+// <name>` with `_total` for counters and `_ns` for nanosecond histograms;
+// pipeline stages share the `sentinel_stage_<stage>_ns` family.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sentinel::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value instrument (worker counts, cache sizes, accuracies).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus semantics: `bounds` are inclusive
+/// upper bounds, plus an implicit +Inf bucket; sum and sum-of-squares are
+/// tracked so mean/stdev (the ml::MeanStd the benches print) derive
+/// directly from the exposition data.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double sum_squares = 0.0;
+    /// (upper bound, cumulative count); the final entry is +Inf.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+
+    [[nodiscard]] double Mean() const;
+    [[nodiscard]] double Stdev() const;
+  };
+  [[nodiscard]] Snapshot Read() const;
+
+  [[nodiscard]] std::uint64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Default bounds for nanosecond latencies: 1 µs .. 10 s, roughly
+  /// logarithmic (1-2-5 per decade).
+  static const std::vector<double>& DefaultLatencyBoundsNs();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds + Inf
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> sum_squares_{0.0};
+};
+
+/// Thread-safe name -> instrument registry. Get*() registers on first use
+/// and returns the same instance on every subsequent call; references stay
+/// valid for the registry's lifetime, so components resolve their handles
+/// once and touch only atomics afterwards.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name,
+                          const std::string& help = "",
+                          std::vector<double> bounds = {});
+
+  /// Prometheus text exposition format, metrics in lexicographic order.
+  [[nodiscard]] std::string RenderPrometheus() const;
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  [[nodiscard]] std::string RenderJson() const;
+  /// Writes one of the above to `path`; throws std::runtime_error on I/O
+  /// failure.
+  void WriteFile(const std::string& path, bool json = false) const;
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string help;
+    std::unique_ptr<T> value;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Named<Counter>> counters_;
+  std::map<std::string, Named<Gauge>> gauges_;
+  std::map<std::string, Named<Histogram>> histograms_;
+};
+
+/// Process-wide default registry: nullptr (observability off) unless a
+/// front end installs one. Components that cannot be handed a registry
+/// explicitly (e.g. a ThreadPool constructed inside a bench) consult this
+/// at construction time.
+MetricsRegistry* DefaultRegistry();
+void SetDefaultRegistry(MetricsRegistry* registry);
+
+}  // namespace sentinel::obs

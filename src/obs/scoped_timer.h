@@ -1,0 +1,56 @@
+// RAII stage timing. A ScopedTimer constructed with a null histogram is a
+// no-op — no clock read, no atomic traffic — which is what lets the hot
+// path carry permanent instrumentation without a measurable cost when no
+// registry is attached. Timers nest naturally as stack objects (outer span
+// = pipeline stage, inner spans = sub-steps), each observing into its own
+// histogram on destruction.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace sentinel::obs {
+
+/// Monotonic now() in nanoseconds (steady clock).
+inline std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class ScopedTimer {
+ public:
+  /// Disabled (free) when `histogram` is nullptr.
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_ns_(histogram_ ? NowNs() : 0) {}
+
+  /// Convenience: resolves the histogram by name, disabled when `registry`
+  /// is nullptr. Name resolution takes the registry lock — hot paths should
+  /// pre-resolve a Histogram* instead.
+  ScopedTimer(MetricsRegistry* registry, const char* name)
+      : ScopedTimer(registry ? &registry->GetHistogram(name) : nullptr) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  /// Ends the span early and records it; idempotent. Returns the elapsed
+  /// nanoseconds (0 when disabled or already stopped).
+  std::uint64_t Stop() {
+    if (histogram_ == nullptr) return 0;
+    const std::uint64_t elapsed = NowNs() - start_ns_;
+    histogram_->Observe(static_cast<double>(elapsed));
+    histogram_ = nullptr;
+    return elapsed;
+  }
+
+ private:
+  Histogram* histogram_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace sentinel::obs

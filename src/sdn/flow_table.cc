@@ -21,8 +21,37 @@ void Erase(std::vector<FlowRule*>& rules, const FlowRule* rule) {
 
 }  // namespace
 
+void FlowTable::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    handles_ = TableMetrics{};
+    return;
+  }
+  handles_.lookups_total = &registry->GetCounter(
+      "sentinel_flowtable_lookups_total", "flow-table lookups");
+  handles_.hash_hits_total = &registry->GetCounter(
+      "sentinel_flowtable_hash_hits_total",
+      "lookups resolved by the exact-match MAC-pair hash index");
+  handles_.linear_hits_total = &registry->GetCounter(
+      "sentinel_flowtable_linear_hits_total",
+      "lookups resolved by the priority-ordered wildcard scan");
+  handles_.misses_total = &registry->GetCounter(
+      "sentinel_flowtable_misses_total",
+      "lookups matching no rule (punted to the controller)");
+  handles_.installed_total = &registry->GetCounter(
+      "sentinel_flowtable_installed_total",
+      "flow rules installed (including FlowMod replacements)");
+  handles_.expired_total = &registry->GetCounter(
+      "sentinel_flowtable_expired_total",
+      "flow rules removed by idle/hard timeout");
+  handles_.rules = &registry->GetGauge(
+      "sentinel_flowtable_rules", "flow rules currently in the table");
+  handles_.rules->Set(static_cast<double>(rules_.size()));
+}
+
 std::uint64_t FlowTable::Add(FlowRule rule, std::uint64_t now_ns) {
   rule.installed_at_ns = now_ns;
+  if (handles_.installed_total != nullptr)
+    handles_.installed_total->Increment();
   // FlowMod replace semantics.
   for (auto it = rules_.begin(); it != rules_.end(); ++it) {
     if (it->match == rule.match && it->priority == rule.priority) {
@@ -43,6 +72,8 @@ std::uint64_t FlowTable::Add(FlowRule rule, std::uint64_t now_ns) {
   } else {
     InsertByPriority(wildcard_rules_, stored);
   }
+  if (handles_.rules != nullptr)
+    handles_.rules->Set(static_cast<double>(rules_.size()));
   return next_id_++;
 }
 
@@ -67,6 +98,8 @@ std::size_t FlowTable::RemoveByCookie(std::uint64_t cookie) {
     it = rules_.erase(it);
     ++removed;
   }
+  if (removed > 0 && handles_.rules != nullptr)
+    handles_.rules->Set(static_cast<double>(rules_.size()));
   return removed;
 }
 
@@ -93,6 +126,8 @@ std::size_t FlowTable::RemoveByMac(const net::MacAddress& mac) {
     it = rules_.erase(it);
     ++removed;
   }
+  if (removed > 0 && handles_.rules != nullptr)
+    handles_.rules->Set(static_cast<double>(rules_.size()));
   return removed;
 }
 
@@ -117,6 +152,10 @@ std::size_t FlowTable::ExpireRules(std::uint64_t now_ns) {
     it = rules_.erase(it);
     ++removed;
   }
+  if (removed > 0 && handles_.expired_total != nullptr)
+    handles_.expired_total->Increment(removed);
+  if (removed > 0 && handles_.rules != nullptr)
+    handles_.rules->Set(static_cast<double>(rules_.size()));
   return removed;
 }
 
@@ -124,11 +163,13 @@ void FlowTable::Clear() {
   rules_.clear();
   wildcard_rules_.clear();
   exact_index_.clear();
+  if (handles_.rules != nullptr) handles_.rules->Set(0.0);
 }
 
 const FlowRule* FlowTable::Lookup(const net::ParsedPacket& packet,
                                   PortId in_port) const {
   ++stats_.lookups;
+  if (handles_.lookups_total != nullptr) handles_.lookups_total->Increment();
   const FlowRule* best = nullptr;
 
   const MacPairKey key{packet.src_mac.ToUint64(), packet.dst_mac.ToUint64()};
@@ -138,6 +179,8 @@ const FlowRule* FlowTable::Lookup(const net::ParsedPacket& packet,
       if (rule->match.Matches(packet, in_port)) {
         best = rule;
         ++stats_.hash_hits;
+        if (handles_.hash_hits_total != nullptr)
+          handles_.hash_hits_total->Increment();
         break;  // sorted by priority
       }
     }
@@ -150,11 +193,16 @@ const FlowRule* FlowTable::Lookup(const net::ParsedPacket& packet,
     if (rule->match.Matches(packet, in_port)) {
       best = rule;
       ++stats_.linear_hits;
+      if (handles_.linear_hits_total != nullptr)
+        handles_.linear_hits_total->Increment();
       break;
     }
   }
 
-  if (best == nullptr) ++stats_.misses;
+  if (best == nullptr) {
+    ++stats_.misses;
+    if (handles_.misses_total != nullptr) handles_.misses_total->Increment();
+  }
   return best;
 }
 

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sdn/flow.h"
 
 namespace sentinel::sdn {
@@ -57,7 +58,23 @@ class FlowTable {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Mirrors the Stats counters (lookups, hash/linear hits, misses) plus
+  /// installed/expired totals and a table-size gauge into `registry`.
+  /// nullptr detaches. Registry counters accumulate across tables sharing
+  /// one registry; the local Stats struct stays per-table.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
+  struct TableMetrics {
+    obs::Counter* lookups_total = nullptr;
+    obs::Counter* hash_hits_total = nullptr;
+    obs::Counter* linear_hits_total = nullptr;
+    obs::Counter* misses_total = nullptr;
+    obs::Counter* installed_total = nullptr;
+    obs::Counter* expired_total = nullptr;
+    obs::Gauge* rules = nullptr;
+  };
+
   struct MacPairKey {
     std::uint64_t src = 0;
     std::uint64_t dst = 0;
@@ -78,6 +95,7 @@ class FlowTable {
       exact_index_;
   std::uint64_t next_id_ = 1;
   mutable Stats stats_;
+  TableMetrics handles_;
 };
 
 }  // namespace sentinel::sdn

@@ -1,11 +1,38 @@
 #include "sdn/switch.h"
 
+#include "obs/scoped_timer.h"
 #include "sdn/controller.h"
 
 namespace sentinel::sdn {
 
 SoftwareSwitch::SoftwareSwitch(std::string datapath_id)
     : datapath_id_(std::move(datapath_id)) {}
+
+void SoftwareSwitch::set_metrics(obs::MetricsRegistry* registry) {
+  table_.set_metrics(registry);
+  if (registry == nullptr) {
+    handles_ = SwitchMetrics{};
+    return;
+  }
+  handles_.ingress_ns = &registry->GetHistogram(
+      "sentinel_switch_ingress_ns",
+      "end-to-end datapath time per injected frame (lookup + actions, "
+      "including any controller packet-in handling)");
+  handles_.received_total = &registry->GetCounter(
+      "sentinel_switch_received_total", "frames injected into the datapath");
+  handles_.forwarded_total = &registry->GetCounter(
+      "sentinel_switch_forwarded_total", "frames forwarded by rule or "
+      "controller PacketOut");
+  handles_.flooded_total = &registry->GetCounter(
+      "sentinel_switch_flooded_total", "frames flooded to all other ports");
+  handles_.dropped_total = &registry->GetCounter(
+      "sentinel_switch_dropped_total", "frames dropped by drop rules");
+  handles_.packet_ins_total = &registry->GetCounter(
+      "sentinel_switch_packet_ins_total", "table misses punted to the "
+      "controller");
+  handles_.malformed_total = &registry->GetCounter(
+      "sentinel_switch_malformed_total", "frames that failed to parse");
+}
 
 void SoftwareSwitch::AttachPort(PortId port, PortOutput output) {
   ports_[port] = std::move(output);
@@ -14,18 +41,24 @@ void SoftwareSwitch::AttachPort(PortId port, PortOutput output) {
 void SoftwareSwitch::DetachPort(PortId port) { ports_.erase(port); }
 
 bool SoftwareSwitch::Inject(PortId in_port, const net::Frame& frame) {
+  obs::ScopedTimer ingress_timer(handles_.ingress_ns);
   ++counters_.received;
+  if (handles_.received_total != nullptr) handles_.received_total->Increment();
   net::ParsedPacket packet;
   try {
     packet = net::ParseFrame(frame);
   } catch (const net::CodecError&) {
     ++counters_.malformed;
+    if (handles_.malformed_total != nullptr)
+      handles_.malformed_total->Increment();
     return false;
   }
 
   const FlowRule* rule = table_.Lookup(packet, in_port);
   if (rule == nullptr) {
     ++counters_.packet_ins;
+    if (handles_.packet_ins_total != nullptr)
+      handles_.packet_ins_total->Increment();
     if (controller_ != nullptr) controller_->OnPacketIn(*this, in_port, frame);
     // The controller may have installed rules and/or forwarded the frame
     // itself; from the datapath's perspective this frame is handled.
@@ -37,6 +70,7 @@ bool SoftwareSwitch::Inject(PortId in_port, const net::Frame& frame) {
   rule->last_hit_ns = frame.timestamp_ns;
   if (rule->IsDrop()) {
     ++counters_.dropped;
+    if (handles_.dropped_total != nullptr) handles_.dropped_total->Increment();
     return false;
   }
   bool forwarded = false;
@@ -49,17 +83,25 @@ bool SoftwareSwitch::Inject(PortId in_port, const net::Frame& frame) {
       forwarded = true;
     } else if (std::holds_alternative<ActionToController>(action)) {
       ++counters_.packet_ins;
+      if (handles_.packet_ins_total != nullptr)
+        handles_.packet_ins_total->Increment();
       if (controller_ != nullptr)
         controller_->OnPacketIn(*this, in_port, frame);
     }
   }
-  if (forwarded) ++counters_.forwarded;
+  if (forwarded) {
+    ++counters_.forwarded;
+    if (handles_.forwarded_total != nullptr)
+      handles_.forwarded_total->Increment();
+  }
   return forwarded;
 }
 
 void SoftwareSwitch::PacketOut(PortId out_port, PortId in_port,
                                const net::Frame& frame) {
   ++counters_.forwarded;
+  if (handles_.forwarded_total != nullptr)
+    handles_.forwarded_total->Increment();
   Output(out_port, in_port, frame);
 }
 
@@ -75,6 +117,7 @@ void SoftwareSwitch::Output(PortId out_port, PortId in_port,
 
 void SoftwareSwitch::Flood(PortId in_port, const net::Frame& frame) {
   ++counters_.flooded;
+  if (handles_.flooded_total != nullptr) handles_.flooded_total->Increment();
   for (const auto& [port, output] : ports_) {
     if (port == in_port || !output) continue;
     output(frame);

@@ -58,11 +58,27 @@ class SoftwareSwitch {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Attaches datapath telemetry: the `sentinel_switch_ingress_ns`
+  /// histogram timing Inject() end-to-end, registry counters mirroring the
+  /// Counters struct, and the embedded flow table's series (see
+  /// FlowTable::set_metrics). nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Total memory attributable to the datapath (flow table + port map),
   /// for the Fig. 6c accounting.
   [[nodiscard]] std::size_t MemoryBytes() const;
 
  private:
+  struct SwitchMetrics {
+    obs::Histogram* ingress_ns = nullptr;
+    obs::Counter* received_total = nullptr;
+    obs::Counter* forwarded_total = nullptr;
+    obs::Counter* flooded_total = nullptr;
+    obs::Counter* dropped_total = nullptr;
+    obs::Counter* packet_ins_total = nullptr;
+    obs::Counter* malformed_total = nullptr;
+  };
+
   void Output(PortId out_port, PortId in_port, const net::Frame& frame);
   void Flood(PortId in_port, const net::Frame& frame);
 
@@ -71,6 +87,7 @@ class SoftwareSwitch {
   std::unordered_map<PortId, PortOutput> ports_;
   Controller* controller_ = nullptr;
   Counters counters_;
+  SwitchMetrics handles_;
 };
 
 }  // namespace sentinel::sdn

@@ -6,6 +6,9 @@
 #include <memory>
 #include <utility>
 
+#include "obs/log.h"
+#include "obs/scoped_timer.h"
+
 namespace sentinel::util {
 
 std::size_t HardwareThreads() {
@@ -23,6 +26,36 @@ ThreadPool::ThreadPool(std::size_t thread_count) {
   workers_.reserve(thread_count);
   for (std::size_t i = 0; i < thread_count; ++i)
     workers_.emplace_back([this] { WorkerLoop(); });
+  // Record the resolved worker count: bench runs otherwise only know what
+  // SENTINEL_THREADS *requested*, not what the pool actually started.
+  const char* env = std::getenv("SENTINEL_THREADS");
+  SENTINEL_LOG_INFO("thread_pool", "started",
+                    {"threads", workers_.size()},
+                    {"sentinel_threads", env != nullptr ? env : "unset"},
+                    {"source", env != nullptr ? "env" : "hardware"});
+  AttachMetrics(obs::DefaultRegistry());
+}
+
+void ThreadPool::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = PoolMetrics{};
+    return;
+  }
+  metrics_.threads = &registry->GetGauge(
+      "sentinel_pool_threads", "resolved worker count of the thread pool");
+  metrics_.queue_depth = &registry->GetGauge(
+      "sentinel_pool_queue_depth", "tasks waiting in the pool queue");
+  metrics_.queue_wait_ns = &registry->GetHistogram(
+      "sentinel_pool_queue_wait_ns", "submit-to-dequeue task latency");
+  metrics_.task_run_ns = &registry->GetHistogram(
+      "sentinel_pool_task_run_ns", "task execution time on a worker");
+  metrics_.tasks_total = &registry->GetCounter(
+      "sentinel_pool_tasks_total", "tasks executed by pool workers");
+  metrics_.busy_ns_total = &registry->GetCounter(
+      "sentinel_pool_busy_ns_total",
+      "cumulative worker busy time (utilization = busy_ns / (threads * "
+      "wall_ns))");
+  metrics_.threads->Set(static_cast<double>(workers_.size()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -35,9 +68,26 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  if (metrics_.tasks_total != nullptr) {
+    // Wrap only when instrumented: the uninstrumented submit path stays
+    // allocation- and clock-free beyond the task itself.
+    const std::uint64_t enqueued_ns = obs::NowNs();
+    PoolMetrics& m = metrics_;
+    task = [m, enqueued_ns, inner = std::move(task)] {
+      const std::uint64_t start_ns = obs::NowNs();
+      m.queue_wait_ns->Observe(static_cast<double>(start_ns - enqueued_ns));
+      inner();
+      const std::uint64_t run_ns = obs::NowNs() - start_ns;
+      m.task_run_ns->Observe(static_cast<double>(run_ns));
+      m.busy_ns_total->Increment(run_ns);
+      m.tasks_total->Increment();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    if (metrics_.queue_depth != nullptr)
+      metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -51,6 +101,8 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (metrics_.queue_depth != nullptr)
+        metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
     }
     task();
   }

@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace sentinel::util {
 
 /// Worker count to use by default: the `SENTINEL_THREADS` environment
@@ -51,7 +53,26 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
+  /// Attaches pool instrumentation to `registry` (queue depth gauge, queue
+  /// wait + task run histograms, task/busy-ns counters, worker-count
+  /// gauge). Pass nullptr to detach. Not thread-safe against concurrent
+  /// Submit()/ParallelFor — wire it up before handing the pool out, as
+  /// with DeviceIdentifier::set_thread_pool. The constructor attaches
+  /// automatically when obs::DefaultRegistry() is installed, so fronts
+  /// that install a default registry before building their pool get
+  /// telemetry without extra plumbing.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
+  struct PoolMetrics {
+    obs::Gauge* threads = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* queue_wait_ns = nullptr;
+    obs::Histogram* task_run_ns = nullptr;
+    obs::Counter* tasks_total = nullptr;
+    obs::Counter* busy_ns_total = nullptr;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
@@ -59,6 +80,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  PoolMetrics metrics_;  // all-null when no registry is attached
 };
 
 /// Invokes fn(i) for every i in [0, count). With a null pool (or a pool of

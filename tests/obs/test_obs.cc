@@ -1,0 +1,246 @@
+// Unit tests for the observability substrate: instrument semantics,
+// exposition formats, scoped timers, structured logging, and a
+// ThreadPool::ParallelFor hammer that TSan uses to vet the lock-free
+// hot path (this test binary is part of the CI sanitizer job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "util/thread_pool.h"
+
+namespace sentinel::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  g.Add(-1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.0);
+}
+
+TEST(HistogramTest, PlacesObservationsInBuckets) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.Observe(5.0);     // <= 10
+  h.Observe(10.0);    // <= 10 (bounds are inclusive)
+  h.Observe(50.0);    // <= 100
+  h.Observe(5000.0);  // +Inf only
+
+  const auto snap = h.Read();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5065.0);
+  ASSERT_EQ(snap.buckets.size(), 4u);  // 3 bounds + Inf
+  // Cumulative (Prometheus) counts.
+  EXPECT_EQ(snap.buckets[0].second, 2u);
+  EXPECT_EQ(snap.buckets[1].second, 3u);
+  EXPECT_EQ(snap.buckets[2].second, 3u);
+  EXPECT_EQ(snap.buckets[3].second, 4u);
+}
+
+TEST(HistogramTest, MeanAndStdevDeriveFromSnapshot) {
+  Histogram h(Histogram::DefaultLatencyBoundsNs());
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.Observe(v);
+  const auto snap = h.Read();
+  EXPECT_DOUBLE_EQ(snap.Mean(), 5.0);
+  EXPECT_NEAR(snap.Stdev(), 2.0, 1e-9);  // population stdev
+}
+
+TEST(RegistryTest, GetReturnsSameInstanceForSameName) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("sentinel_test_total", "help");
+  Counter& b = registry.GetCounter("sentinel_test_total");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.Value(), 1u);
+
+  Histogram& h1 = registry.GetHistogram("sentinel_test_ns");
+  Histogram& h2 = registry.GetHistogram("sentinel_test_ns");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(RegistryTest, PrometheusExpositionFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("sentinel_events_total", "events seen").Increment(3);
+  registry.GetGauge("sentinel_workers", "worker count").Set(8);
+  auto& h = registry.GetHistogram("sentinel_latency_ns", "latency",
+                                  {100.0, 1000.0});
+  h.Observe(50.0);
+  h.Observe(500.0);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP sentinel_events_total events seen"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sentinel_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sentinel_events_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sentinel_workers gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sentinel_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("sentinel_latency_ns_bucket{le=\"100\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("sentinel_latency_ns_bucket{le=\"1000\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("sentinel_latency_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("sentinel_latency_ns_sum 550"), std::string::npos);
+  EXPECT_NE(text.find("sentinel_latency_ns_count 2"), std::string::npos);
+}
+
+TEST(RegistryTest, RendersDeterministicOrderAcrossCalls) {
+  MetricsRegistry registry;
+  registry.GetCounter("sentinel_b_total").Increment();
+  registry.GetCounter("sentinel_a_total").Increment();
+  const std::string first = registry.RenderPrometheus();
+  const std::string second = registry.RenderPrometheus();
+  EXPECT_EQ(first, second);
+  EXPECT_LT(first.find("sentinel_a_total"), first.find("sentinel_b_total"));
+}
+
+TEST(RegistryTest, JsonRendersAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("sentinel_c_total").Increment(7);
+  registry.GetGauge("sentinel_g").Set(1.5);
+  registry.GetHistogram("sentinel_h_ns").Observe(42.0);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"sentinel_c_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsNoOp) {
+  ScopedTimer timer(static_cast<Histogram*>(nullptr));
+  EXPECT_EQ(timer.Stop(), 0u);
+}
+
+TEST(ScopedTimerTest, NullRegistryIsNoOp) {
+  ScopedTimer timer(static_cast<MetricsRegistry*>(nullptr), "sentinel_x_ns");
+  EXPECT_EQ(timer.Stop(), 0u);
+}
+
+TEST(ScopedTimerTest, ObservesExactlyOnce) {
+  Histogram h(Histogram::DefaultLatencyBoundsNs());
+  {
+    ScopedTimer timer(&h);
+    timer.Stop();
+    timer.Stop();  // idempotent
+  }                // destructor must not double-observe
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(ScopedTimerTest, DestructorObservesWhenNotStopped) {
+  Histogram h(Histogram::DefaultLatencyBoundsNs());
+  { ScopedTimer timer(&h); }
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+class LogCaptureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogSink([this](std::string_view line) {
+      lines_.emplace_back(line);
+    });
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogThreshold(LogLevel::kOff);
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogCaptureTest, ThresholdFiltersLowerLevels) {
+  SetLogThreshold(LogLevel::kInfo);
+  SENTINEL_LOG_DEBUG("test", "hidden");
+  SENTINEL_LOG_INFO("test", "shown");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("level=info"), std::string::npos);
+  EXPECT_NE(lines_[0].find("component=test"), std::string::npos);
+  EXPECT_NE(lines_[0].find("event=shown"), std::string::npos);
+  EXPECT_NE(lines_[0].find("ts="), std::string::npos);
+}
+
+TEST_F(LogCaptureTest, OffSuppressesEverything) {
+  SetLogThreshold(LogLevel::kOff);
+  SENTINEL_LOG_ERROR("test", "silent");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogCaptureTest, FieldsFormatAndQuote) {
+  SetLogThreshold(LogLevel::kInfo);
+  SENTINEL_LOG_INFO("test", "fields", {"count", 12}, {"ratio", 0.5},
+                    {"flag", true}, {"name", "two words"});
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("count=12"), std::string::npos);
+  EXPECT_NE(lines_[0].find("flag=true"), std::string::npos);
+  EXPECT_NE(lines_[0].find("name=\"two words\""), std::string::npos);
+}
+
+TEST(LogLevelTest, ParseNamesAndUnknowns) {
+  EXPECT_EQ(ParseLogLevel("trace"), LogLevel::kTrace);
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("bogus"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel(""), LogLevel::kOff);
+}
+
+// One registry hammered from every pool worker at once: counters, gauges,
+// histograms and first-use registration all race here, which is exactly
+// what the TSan CI job is meant to observe.
+TEST(RegistryConcurrencyTest, ParallelForHammersOneRegistry) {
+  MetricsRegistry registry;
+  util::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 256;
+  constexpr std::size_t kIters = 200;
+
+  util::ParallelFor(&pool, kTasks, [&](std::size_t i) {
+    // First-use registration races with reads from other workers.
+    Counter& c = registry.GetCounter("sentinel_hammer_total");
+    Histogram& h = registry.GetHistogram("sentinel_hammer_ns");
+    Gauge& g = registry.GetGauge("sentinel_hammer_gauge");
+    for (std::size_t k = 0; k < kIters; ++k) {
+      c.Increment();
+      h.Observe(static_cast<double>(i * kIters + k));
+      g.Set(static_cast<double>(i));
+      ScopedTimer timer(&h);
+    }
+    // Rendering concurrently with writes must also be race-free.
+    if (i % 64 == 0) (void)registry.RenderPrometheus();
+  });
+
+  EXPECT_EQ(registry.GetCounter("sentinel_hammer_total").Value(),
+            kTasks * kIters);
+  // Each iteration observes twice: the explicit Observe and the timer.
+  EXPECT_EQ(registry.GetHistogram("sentinel_hammer_ns").Count(),
+            2 * kTasks * kIters);
+}
+
+TEST(DefaultRegistryTest, InstallAndReset) {
+  EXPECT_EQ(DefaultRegistry(), nullptr);
+  MetricsRegistry registry;
+  SetDefaultRegistry(&registry);
+  EXPECT_EQ(DefaultRegistry(), &registry);
+  SetDefaultRegistry(nullptr);
+  EXPECT_EQ(DefaultRegistry(), nullptr);
+}
+
+}  // namespace
+}  // namespace sentinel::obs

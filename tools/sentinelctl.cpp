@@ -16,6 +16,14 @@
 //   sentinelctl evaluate [--episodes N] [--reps R] [--seed S] [--out f.md]
 //       Run the paper's cross-validation protocol and print accuracy
 //       (optionally also written as a Markdown report).
+//   sentinelctl stats [--episodes N] [--seed S] [--json]
+//       Exercise the full gateway pipeline on simulated episodes and dump
+//       the collected metrics registry.
+//
+// `train`, `identify`, `evaluate` and `stats` accept
+// `--metrics-out <file>` to write the run's metrics registry (Prometheus
+// text, or JSON with `--json`).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -24,10 +32,15 @@
 #include "capture/setup_phase.h"
 #include "capture/trace.h"
 #include "core/device_identifier.h"
+#include "core/device_monitor.h"
+#include "core/gateway.h"
 #include "core/vulnerability_db.h"
+#include "devices/environment.h"
 #include "devices/simulator.h"
 #include "eval/experiment.h"
 #include "net/pcap.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -40,8 +53,20 @@ struct Options {
   std::uint64_t seed = 42;
   bool standby = false;
   bool updated = false;
+  bool json = false;
   std::string out_path;
+  std::string metrics_out;
 };
+
+/// Writes the run's metrics to --metrics-out when requested.
+void DumpMetrics(const obs::MetricsRegistry& registry,
+                 const Options& options) {
+  if (options.metrics_out.empty()) return;
+  registry.WriteFile(options.metrics_out, options.json);
+  std::printf("wrote metrics (%s) to %s\n",
+              options.json ? "json" : "prometheus",
+              options.metrics_out.c_str());
+}
 
 Options ParseOptions(int argc, char** argv, int first) {
   Options options;
@@ -61,8 +86,12 @@ Options ParseOptions(int argc, char** argv, int first) {
       options.standby = true;
     } else if (arg == "--updated") {
       options.updated = true;
+    } else if (arg == "--json") {
+      options.json = true;
     } else if (arg == "--out") {
       options.out_path = next_value();
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = next_value();
     } else if (arg.rfind("--", 0) == 0) {
       throw std::runtime_error("unknown option " + arg);
     } else {
@@ -111,17 +140,24 @@ int CmdTrain(const Options& options) {
   for (std::size_t i = 0; i < dataset.size(); ++i)
     train.push_back(core::LabelledFingerprint{
         &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+  obs::MetricsRegistry registry;
+  if (!options.metrics_out.empty()) obs::SetDefaultRegistry(&registry);
   core::DeviceIdentifier identifier;
-  util::ThreadPool pool;
-  identifier.set_thread_pool(&pool);
-  identifier.Train(train);
-  identifier.set_thread_pool(nullptr);
+  {
+    util::ThreadPool pool;  // auto-attaches to the default registry
+    identifier.set_thread_pool(&pool);
+    if (!options.metrics_out.empty()) identifier.set_metrics(&registry);
+    identifier.Train(train);
+    identifier.set_thread_pool(nullptr);
+  }
+  obs::SetDefaultRegistry(nullptr);
   identifier.SaveToFile(path);
   std::printf("trained %zu per-type classifiers -> %s (%.1f KiB in memory)\n",
               identifier.type_count(), path.c_str(),
               static_cast<double>(identifier.MemoryBytes()) / 1024.0);
   std::printf("mean out-of-bag accuracy of the binary classifiers: %.3f\n",
               identifier.MeanOobAccuracy());
+  DumpMetrics(registry, options);
   return 0;
 }
 
@@ -153,42 +189,82 @@ int CmdRecord(const Options& options) {
 int CmdIdentify(const Options& options) {
   if (options.positional.size() < 2)
     throw std::runtime_error("identify: need <model.bin> <capture.pcap>");
-  const auto identifier =
+  auto identifier =
       core::DeviceIdentifier::LoadFromFile(options.positional[0]);
   const auto db = core::VulnerabilityDb::SeedFromCatalog();
 
-  capture::Trace trace(net::ReadPcapFile(options.positional[1]));
-  trace.SortByTime();
-  const auto by_mac = capture::SplitBySourceMac(trace.Parse());
-  for (const auto& [mac, packets] : by_mac) {
-    if (packets.size() < 4) continue;
-    const auto end = capture::DetectSetupPhaseEnd(packets);
-    const std::vector<net::ParsedPacket> window(
-        packets.begin(), packets.begin() + static_cast<std::ptrdiff_t>(end));
-    const auto full = features::Fingerprint::FromPackets(window);
-    const auto fixed = features::FixedFingerprint::FromFingerprint(full);
-    const auto result = identifier.Identify(full, fixed);
+  // The capture flows through the same pipeline stages the live gateway
+  // runs — monitor (capture + fingerprint), identifier, enforcement-rule
+  // installation — so --metrics-out reports the full stage breakdown.
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics =
+      options.metrics_out.empty() ? nullptr : &registry;
+  core::DeviceMonitor monitor;
+  core::EnforcementEngine engine(net::MacAddress({0x02, 0, 0x5e, 0, 0, 1}),
+                                 net::Ipv4Address(192, 168, 1, 1));
+  obs::Histogram* stage_identify_ns = nullptr;
+  if (metrics != nullptr) {
+    monitor.set_metrics(metrics);
+    engine.set_metrics(metrics);
+    identifier.set_metrics(metrics);
+    stage_identify_ns = &metrics->GetHistogram(
+        "sentinel_stage_identify_ns",
+        "device-type identification time (Security Service assessment)");
+  }
 
-    std::printf("%s: %zu packets", mac.ToString().c_str(), packets.size());
+  const auto HandleCapture = [&](const core::CompletedCapture& capture) {
+    if (capture.packet_count < 4) return;  // too little traffic to judge
+    obs::ScopedTimer identify_timer(stage_identify_ns);
+    const auto result = identifier.Identify(capture.full, capture.fixed);
+    identify_timer.Stop();
+
+    core::EnforcementRule rule;
+    rule.device_mac = capture.device_mac;
+    std::printf("%s: %zu packets", capture.device_mac.ToString().c_str(),
+                capture.packet_count);
     if (!result.IsKnown()) {
       std::printf(" -> UNKNOWN device-type (isolation: strict)\n");
-      continue;
+      engine.Install(std::move(rule));  // strict by default
+      return;
     }
     const auto& info = devices::GetDeviceType(*result.type);
     const auto advisories = db.Query(info.identifier);
+    rule.device_type = info.identifier;
     std::printf(" -> %s (%s)\n", info.identifier.c_str(), info.model.c_str());
     if (advisories.empty()) {
       std::printf("   no known vulnerabilities -> isolation: trusted\n");
+      rule.level = core::IsolationLevel::kTrusted;
     } else {
       std::printf("   %zu advisories -> isolation: restricted, allowlist:\n",
                   advisories.size());
-      for (const auto& endpoint : info.cloud_endpoints)
+      rule.level = core::IsolationLevel::kRestricted;
+      devices::NetworkEnvironment environment;
+      for (const auto& endpoint : info.cloud_endpoints) {
         std::printf("     %s\n", endpoint.c_str());
+        rule.allowed_endpoint_names.push_back(endpoint);
+        rule.allowed_endpoints.push_back(
+            environment.ResolveEndpoint(endpoint));
+      }
       for (const auto& advisory : advisories)
         std::printf("     %s (CVSS %.1f)\n", advisory.cve_id.c_str(),
                     advisory.cvss_score);
     }
+    engine.Install(std::move(rule));
+  };
+
+  capture::Trace trace(net::ReadPcapFile(options.positional[1]));
+  trace.SortByTime();
+  std::uint64_t last_ns = 0;
+  for (const auto& packet : trace.Parse()) {
+    last_ns = std::max(last_ns, packet.timestamp_ns);
+    if (const auto capture = monitor.Observe(packet)) HandleCapture(*capture);
   }
+  // Devices whose setup phase never hit the idle gap in-capture.
+  for (const auto& capture :
+       monitor.FlushIdle(last_ns + 60'000'000'000ull)) {
+    HandleCapture(capture);
+  }
+  DumpMetrics(registry, options);
   return 0;
 }
 
@@ -220,8 +296,15 @@ int CmdEvaluate(const Options& options) {
       devices::GenerateFingerprintDataset(options.episodes, options.seed);
   eval::CrossValidationConfig config;
   config.repetitions = options.reps;
-  util::ThreadPool pool;
-  const auto outcome = eval::RunCrossValidation(dataset, config, &pool);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics =
+      options.metrics_out.empty() ? nullptr : &registry;
+  if (metrics != nullptr) obs::SetDefaultRegistry(metrics);
+  const auto outcome = [&] {
+    util::ThreadPool pool;  // auto-attaches to the default registry
+    return eval::RunCrossValidation(dataset, config, &pool, metrics);
+  }();
+  obs::SetDefaultRegistry(nullptr);
   for (std::size_t t = 0; t < devices::DeviceTypeCount(); ++t) {
     std::printf("%-20s %.3f\n",
                 devices::GetDeviceType(static_cast<int>(t)).identifier.c_str(),
@@ -262,19 +345,98 @@ int CmdEvaluate(const Options& options) {
     std::fclose(f);
     std::printf("wrote %s\n", options.out_path.c_str());
   }
+  DumpMetrics(registry, options);
+  return 0;
+}
+
+int CmdStats(const Options& options) {
+  // End-to-end observability demo: train a Security Service, stream a few
+  // simulated setup episodes through a fully wired Security Gateway, and
+  // dump everything the metrics registry collected along the way.
+  obs::MetricsRegistry registry;
+  obs::SetDefaultRegistry(&registry);
+
+  std::printf("training security service (%zu episodes/type, seed %llu)...\n",
+              options.episodes,
+              static_cast<unsigned long long>(options.seed));
+  const auto dataset =
+      devices::GenerateFingerprintDataset(options.episodes, options.seed);
+  std::vector<core::LabelledFingerprint> train;
+  train.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    train.push_back(core::LabelledFingerprint{
+        &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+  core::DeviceIdentifier identifier;
+  {
+    util::ThreadPool pool;  // auto-attaches to the default registry
+    identifier.set_thread_pool(&pool);
+    identifier.set_metrics(&registry);
+    identifier.Train(train);
+    identifier.set_thread_pool(nullptr);
+  }
+  core::SecurityService service(std::move(identifier),
+                                core::VulnerabilityDb::SeedFromCatalog());
+
+  core::SecurityGateway gateway(service);
+  gateway.set_metrics(&registry);
+  constexpr sdn::PortId kDevicePort = 10;
+  gateway.AttachWan([](const net::Frame&) {});
+  gateway.AttachPort(kDevicePort, [](const net::Frame&) {});
+
+  const std::size_t demo_devices =
+      std::min<std::size_t>(devices::DeviceTypeCount(), 5);
+  std::printf("streaming %zu device setup episodes through the gateway...\n",
+              demo_devices);
+  devices::DeviceSimulator simulator(options.seed + 1);
+  for (std::size_t t = 0; t < demo_devices; ++t) {
+    const auto episode =
+        simulator.RunSetupEpisode(static_cast<devices::DeviceTypeId>(t));
+    for (const auto& frame : episode.trace.frames()) {
+      const auto packet = net::ParseFrame(frame);
+      const auto port = packet.src_mac == episode.device_mac
+                            ? kDevicePort
+                            : gateway.config().wan_port;
+      gateway.Ingress(port, frame);
+    }
+    const auto last = episode.trace.frames().back().timestamp_ns;
+    gateway.sentinel().FlushIdle(last + 60'000'000'000ull);
+  }
+  obs::SetDefaultRegistry(nullptr);
+
+  const std::string rendered =
+      options.json ? registry.RenderJson() : registry.RenderPrometheus();
+  std::fputs(rendered.c_str(), stdout);
+  DumpMetrics(registry, options);
   return 0;
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: sentinelctl <command> [args]\n"
-               "  catalog\n"
-               "  train <model.bin> [--episodes N] [--seed S] [--standby]\n"
-               "  record <out.pcap> <device-type> [--seed S] [--updated] "
-               "[--standby]\n"
-               "  identify <model.bin> <capture.pcap>\n"
-               "  fingerprint <capture.pcap>\n"
-               "  evaluate [--episodes N] [--reps R] [--seed S]\n");
+  std::fprintf(
+      stderr,
+      "usage: sentinelctl <command> [args]\n"
+      "\n"
+      "commands:\n"
+      "  catalog\n"
+      "      List the device-type catalog with connectivity and\n"
+      "      vulnerability metadata.\n"
+      "  train <model.bin> [--episodes N] [--seed S] [--standby]\n"
+      "      Train the per-type classifier bank and persist it.\n"
+      "  record <out.pcap> <device-type> [--seed S] [--updated] [--standby]\n"
+      "      Simulate a device episode and write it as a standard pcap.\n"
+      "  identify <model.bin> <capture.pcap>\n"
+      "      Run captures through monitoring, identification and\n"
+      "      enforcement; print each device's assessment.\n"
+      "  fingerprint <capture.pcap>\n"
+      "      Dump the fingerprint matrices F extracted from a capture.\n"
+      "  evaluate [--episodes N] [--reps R] [--seed S] [--out report.md]\n"
+      "      Run the paper's cross-validation protocol and print accuracy.\n"
+      "  stats [--episodes N] [--seed S] [--json]\n"
+      "      Exercise the full gateway pipeline on simulated episodes and\n"
+      "      dump the collected metrics registry.\n"
+      "\n"
+      "train/identify/evaluate/stats also accept --metrics-out <file>\n"
+      "(Prometheus text; JSON with --json). Set SENTINEL_LOG=info|debug for\n"
+      "structured logs on stderr; SENTINEL_THREADS caps the worker pool.\n");
   return 2;
 }
 
@@ -291,6 +453,7 @@ int main(int argc, char** argv) {
     if (command == "identify") return CmdIdentify(options);
     if (command == "fingerprint") return CmdFingerprint(options);
     if (command == "evaluate") return CmdEvaluate(options);
+    if (command == "stats") return CmdStats(options);
     return Usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sentinelctl %s: %s\n", command.c_str(),
