@@ -217,11 +217,11 @@ bench-objs/CMakeFiles/ablation_fprime_len.dir/ablation_fprime_len.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/frame.h \
- /usr/include/c++/12/optional /root/repo/src/net/address.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /root/repo/src/net/frame.h /root/repo/src/net/address.h \
  /usr/include/c++/12/variant /root/repo/src/net/arp.h \
- /root/repo/src/net/byte_io.h /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/net/dhcp.h \
+ /root/repo/src/net/byte_io.h /root/repo/src/net/dhcp.h \
  /root/repo/src/net/dns.h /root/repo/src/net/eapol.h \
  /root/repo/src/net/ethernet.h /root/repo/src/net/http.h \
  /root/repo/src/net/icmp.h /root/repo/src/net/igmp.h \

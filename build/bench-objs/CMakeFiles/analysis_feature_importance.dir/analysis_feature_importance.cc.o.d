@@ -221,10 +221,10 @@ bench-objs/CMakeFiles/analysis_feature_importance.dir/analysis_feature_importanc
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/net/frame.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/optional /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/net/frame.h \
  /root/repo/src/net/address.h /usr/include/c++/12/variant \
  /root/repo/src/net/arp.h /root/repo/src/net/byte_io.h \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/net/dhcp.h /root/repo/src/net/dns.h \
  /root/repo/src/net/eapol.h /root/repo/src/net/ethernet.h \
  /root/repo/src/net/http.h /root/repo/src/net/icmp.h \

@@ -141,24 +141,23 @@ src/devices/CMakeFiles/sentinel_devices.dir/profiles.cc.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/net/frame.h \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h /root/repo/src/net/address.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/net/arp.h /root/repo/src/net/byte_io.h \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /usr/include/c++/12/stdexcept /root/repo/src/net/dhcp.h \
- /root/repo/src/net/dns.h /root/repo/src/net/eapol.h \
- /root/repo/src/net/ethernet.h /root/repo/src/net/http.h \
- /root/repo/src/net/icmp.h /root/repo/src/net/igmp.h \
- /root/repo/src/net/ipv4.h /root/repo/src/net/ipv6.h \
- /root/repo/src/net/ntp.h /root/repo/src/net/protocols.h \
- /root/repo/src/net/ssdp.h /root/repo/src/net/tcp.h \
- /root/repo/src/net/udp.h /root/repo/src/devices/environment.h \
- /root/repo/src/ml/rng.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/net/frame.h \
+ /root/repo/src/net/address.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/net/arp.h \
+ /root/repo/src/net/byte_io.h /usr/include/c++/12/stdexcept \
+ /root/repo/src/net/dhcp.h /root/repo/src/net/dns.h \
+ /root/repo/src/net/eapol.h /root/repo/src/net/ethernet.h \
+ /root/repo/src/net/http.h /root/repo/src/net/icmp.h \
+ /root/repo/src/net/igmp.h /root/repo/src/net/ipv4.h \
+ /root/repo/src/net/ipv6.h /root/repo/src/net/ntp.h \
+ /root/repo/src/net/protocols.h /root/repo/src/net/ssdp.h \
+ /root/repo/src/net/tcp.h /root/repo/src/net/udp.h \
+ /root/repo/src/devices/environment.h /root/repo/src/ml/rng.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

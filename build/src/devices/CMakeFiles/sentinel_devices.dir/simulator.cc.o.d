@@ -106,11 +106,12 @@ src/devices/CMakeFiles/sentinel_devices.dir/simulator.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/net/frame.h \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h /root/repo/src/net/address.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/bits/ranges_base.h \
+ /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -128,8 +129,6 @@ src/devices/CMakeFiles/sentinel_devices.dir/simulator.cc.o: \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
- /usr/include/c++/12/bits/ranges_base.h \
- /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/bits/string_view.tcc \
  /usr/include/c++/12/ext/string_conversions.h /usr/include/c++/12/cstdio \
  /usr/include/stdio.h /usr/include/x86_64-linux-gnu/bits/types/__fpos_t.h \
@@ -143,10 +142,10 @@ src/devices/CMakeFiles/sentinel_devices.dir/simulator.cc.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/net/frame.h \
+ /root/repo/src/net/address.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/net/arp.h \
- /root/repo/src/net/byte_io.h /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /usr/include/c++/12/stdexcept \
+ /root/repo/src/net/byte_io.h /usr/include/c++/12/stdexcept \
  /root/repo/src/net/dhcp.h /root/repo/src/net/dns.h \
  /root/repo/src/net/eapol.h /root/repo/src/net/ethernet.h \
  /root/repo/src/net/http.h /root/repo/src/net/icmp.h \

@@ -257,4 +257,5 @@ src/ml/CMakeFiles/sentinel_ml.dir/random_forest.cc.o: \
  /root/repo/src/obs/scoped_timer.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/check.h \
+ /usr/include/c++/12/iostream

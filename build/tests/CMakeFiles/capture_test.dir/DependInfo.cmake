@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/capture/test_capture.cc" "tests/CMakeFiles/capture_test.dir/capture/test_capture.cc.o" "gcc" "tests/CMakeFiles/capture_test.dir/capture/test_capture.cc.o.d"
+  "/root/repo/tests/capture/test_trace_errors.cc" "tests/CMakeFiles/capture_test.dir/capture/test_trace_errors.cc.o" "gcc" "tests/CMakeFiles/capture_test.dir/capture/test_trace_errors.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/capture_test.dir/capture/test_capture.cc.o"
   "CMakeFiles/capture_test.dir/capture/test_capture.cc.o.d"
+  "CMakeFiles/capture_test.dir/capture/test_trace_errors.cc.o"
+  "CMakeFiles/capture_test.dir/capture/test_trace_errors.cc.o.d"
   "capture_test"
   "capture_test.pdb"
   "capture_test[1]_tests.cmake"

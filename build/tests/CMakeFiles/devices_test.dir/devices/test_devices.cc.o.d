@@ -296,9 +296,9 @@ tests/CMakeFiles/devices_test.dir/devices/test_devices.cc.o: \
  /root/repo/src/devices/catalog.h /root/repo/src/devices/profiles.h \
  /root/repo/src/devices/script.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/capture/trace.h \
- /root/repo/src/net/frame.h /root/repo/src/net/address.h \
- /root/repo/src/net/arp.h /root/repo/src/net/byte_io.h \
- /usr/include/c++/12/span /root/repo/src/net/dhcp.h \
+ /usr/include/c++/12/span /root/repo/src/net/frame.h \
+ /root/repo/src/net/address.h /root/repo/src/net/arp.h \
+ /root/repo/src/net/byte_io.h /root/repo/src/net/dhcp.h \
  /root/repo/src/net/dns.h /root/repo/src/net/eapol.h \
  /root/repo/src/net/ethernet.h /root/repo/src/net/http.h \
  /root/repo/src/net/icmp.h /root/repo/src/net/igmp.h \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_check.cc" "tests/CMakeFiles/util_test.dir/util/test_check.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_check.cc.o.d"
   "/root/repo/tests/util/test_thread_pool.cc" "tests/CMakeFiles/util_test.dir/util/test_thread_pool.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_thread_pool.cc.o.d"
   )
 

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/test_check.cc.o"
+  "CMakeFiles/util_test.dir/util/test_check.cc.o.d"
   "CMakeFiles/util_test.dir/util/test_thread_pool.cc.o"
   "CMakeFiles/util_test.dir/util/test_thread_pool.cc.o.d"
   "util_test"

@@ -18,6 +18,7 @@ include("/root/repo/build/tests/flow_timeouts_test[1]_include.cmake")
 include("/root/repo/build/tests/netsim_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/vulnerability_feed_test[1]_include.cmake")
 include("/root/repo/build/tests/remote_service_test[1]_include.cmake")
 include("/root/repo/build/tests/legacy_test[1]_include.cmake")
 include("/root/repo/build/tests/live_netsim_test[1]_include.cmake")

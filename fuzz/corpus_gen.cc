@@ -1,0 +1,150 @@
+// Seed-corpus generator. Emits one directory per harness under the output
+// root (default: the current directory):
+//
+//   corpus_gen [out_root]
+//     -> <out_root>/pcap/*            seeds for fuzz_pcap
+//     -> <out_root>/packet_features/* seeds for fuzz_packet_features
+//     -> <out_root>/fingerprint_codec/* seeds for fuzz_fingerprint_codec
+//     -> <out_root>/vulnerability_db/* seeds for fuzz_vulnerability_db
+//
+// The seeds are checked in under fuzz/corpus/ so fuzz runs start from
+// structurally valid inputs (plus a few near-valid negatives); regenerate
+// with this tool if the wire formats change.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "capture/trace.h"
+#include "core/vulnerability_db.h"
+#include "features/fingerprint.h"
+#include "features/fingerprint_codec.h"
+#include "net/byte_io.h"
+#include "net/frame.h"
+#include "net/pcap.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sentinel;  // NOLINT: small generator tool
+
+void WriteSeed(const fs::path& dir, const std::string& name,
+               std::span<const std::uint8_t> bytes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::printf("  %s/%s (%zu bytes)\n", dir.string().c_str(), name.c_str(),
+              bytes.size());
+}
+
+void WriteSeed(const fs::path& dir, const std::string& name,
+               std::string_view text) {
+  WriteSeed(dir, name,
+            std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(text.data()),
+                text.size()));
+}
+
+/// A short, protocol-diverse setup-phase capture: ARP probe, DHCP-port UDP,
+/// HTTP-port TCP, and a duplicate — the shapes the extractor cares about.
+std::vector<net::Frame> SetupPhaseFrames() {
+  const net::MacAddress dev({0x02, 0x00, 0x00, 0x00, 0x00, 0x01});
+  const net::MacAddress gw({0x02, 0x00, 0x00, 0x00, 0x00, 0xfe});
+  const net::Ipv4Address dev_ip(10, 0, 0, 2);
+  const net::Ipv4Address gw_ip(10, 0, 0, 1);
+
+  std::vector<net::Frame> frames;
+  frames.push_back(net::BuildArpFrame(1000, dev, net::MacAddress::Broadcast(),
+                                      net::ArpPacket::Probe(dev, dev_ip)));
+
+  net::UdpDatagram dhcp;
+  dhcp.src_port = 68;
+  dhcp.dst_port = 67;
+  dhcp.payload.assign(64, 0x00);
+  frames.push_back(net::BuildUdp4Frame(2000, dev, net::MacAddress::Broadcast(),
+                                       net::Ipv4Address::Any(),
+                                       net::Ipv4Address::Broadcast(), dhcp));
+
+  net::TcpSegment http;
+  http.src_port = 50000;
+  http.dst_port = 80;
+  http.flags = net::TcpFlags::kPsh | net::TcpFlags::kAck;
+  http.payload.assign(32, 'x');
+  frames.push_back(net::BuildTcp4Frame(3000, dev, gw, dev_ip, gw_ip, http));
+
+  frames.push_back(net::BuildTcp4Frame(4000, dev, gw, dev_ip, gw_ip, http));
+  return frames;
+}
+
+void EmitPcapSeeds(const fs::path& dir) {
+  WriteSeed(dir, "empty_capture.pcap", net::EncodePcap({}));
+  const auto capture = net::EncodePcap(SetupPhaseFrames());
+  WriteSeed(dir, "setup_phase.pcap", capture);
+  WriteSeed(dir, "truncated_record.pcap",
+            std::span<const std::uint8_t>(capture).first(30));
+  WriteSeed(dir, "bad_magic.bin", std::string_view("not a capture file"));
+}
+
+void EmitPacketFeatureSeeds(const fs::path& dir) {
+  // The harness's input format: up to 8 frames, each a u16 big-endian
+  // length prefix followed by that many frame-image bytes.
+  net::ByteWriter w;
+  for (const auto& frame : SetupPhaseFrames()) {
+    w.WriteU16(static_cast<std::uint16_t>(frame.bytes.size()));
+    w.WriteBytes(frame.bytes);
+  }
+  WriteSeed(dir, "setup_phase.frames", w.bytes());
+
+  net::ByteWriter runt;
+  runt.WriteU16(5);
+  runt.WriteString("short");
+  WriteSeed(dir, "runt_frame.frames", runt.bytes());
+}
+
+void EmitFingerprintSeeds(const fs::path& dir) {
+  std::vector<net::ParsedPacket> packets;
+  for (const auto& frame : SetupPhaseFrames())
+    packets.push_back(net::ParseFrame(frame));
+  const auto fingerprint = features::Fingerprint::FromPackets(packets);
+
+  WriteSeed(dir, "fingerprint.bin",
+            features::SerializeFingerprint(fingerprint));
+  WriteSeed(dir, "empty_fingerprint.bin",
+            features::SerializeFingerprint(features::Fingerprint()));
+
+  net::ByteWriter w;
+  features::EncodeFixedFingerprint(
+      w, features::FixedFingerprint::FromFingerprint(fingerprint));
+  WriteSeed(dir, "fixed_fingerprint.bin", w.bytes());
+}
+
+void EmitFeedSeeds(const fs::path& dir) {
+  WriteSeed(dir, "catalog.feed",
+            core::VulnerabilityDb::SeedFromCatalog().DumpFeed());
+  WriteSeed(dir, "handwritten.feed",
+            std::string_view("# operator-maintained advisories\n"
+                             "CVE-2016-10401|D-LinkCam|8.1|hard-coded "
+                             "credentials in setup | config service\n"
+                             "\n"
+                             "CVE-2017-0144|EdimaxPlug|9.3|remote code "
+                             "execution\n"));
+  WriteSeed(dir, "bad_score.feed",
+            std::string_view("CVE-2020-1|HueSwitch|eleven|score not "
+                             "numeric\n"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+  std::printf("writing seed corpora under %s\n", root.string().c_str());
+  EmitPcapSeeds(root / "pcap");
+  EmitPacketFeatureSeeds(root / "packet_features");
+  EmitFingerprintSeeds(root / "fingerprint_codec");
+  EmitFeedSeeds(root / "vulnerability_db");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fuzz target: the fingerprint wire codec (features/fingerprint_codec.cc)
+// — fingerprints cross the gateway/security-service boundary, so the
+// decoder must survive arbitrary bytes.
+//
+// Properties enforced:
+//   - ParseFingerprint / DecodeFixedFingerprint either throw
+//     net::CodecError or produce structurally valid objects.
+//   - Decoded F round-trips: serialize(parse(x)) re-parses to an equal
+//     fingerprint.
+//   - Decoded F' always respects the 12-packet / 276-value bounds.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "features/fingerprint.h"
+#include "features/fingerprint_codec.h"
+#include "net/byte_io.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace feat = sentinel::features;
+  const std::span<const std::uint8_t> input(data, size);
+
+  // Variable-length fingerprint F.
+  try {
+    const feat::Fingerprint fingerprint = feat::ParseFingerprint(input);
+    const auto bytes = feat::SerializeFingerprint(fingerprint);
+    const feat::Fingerprint again = feat::ParseFingerprint(bytes);
+    SENTINEL_CHECK(again == fingerprint)
+        << "fingerprint round trip not a fixed point (size "
+        << fingerprint.size() << ")";
+  } catch (const sentinel::net::CodecError&) {
+    // Typed rejection is the expected failure mode for hostile bytes.
+  }
+
+  // Fixed-length fingerprint F'.
+  try {
+    sentinel::net::ByteReader r(input);
+    const feat::FixedFingerprint fixed = feat::DecodeFixedFingerprint(r);
+    SENTINEL_CHECK(fixed.packet_count() <= feat::kFPrimePackets)
+        << "decoded F' claims " << fixed.packet_count() << " packets";
+    sentinel::net::ByteWriter w;
+    feat::EncodeFixedFingerprint(w, fixed);
+    sentinel::net::ByteReader r2(w.bytes());
+    const feat::FixedFingerprint again = feat::DecodeFixedFingerprint(r2);
+    SENTINEL_CHECK(again == fixed) << "F' round trip not a fixed point";
+  } catch (const sentinel::net::CodecError&) {
+  }
+  return 0;
+}

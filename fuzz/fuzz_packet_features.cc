@@ -1,0 +1,81 @@
+// Fuzz target: frame parsing + the 23-feature extractor
+// (features/packet_features.cc) — the path every hostile setup-phase frame
+// takes before classification.
+//
+// Properties enforced:
+//   - ParseFrame either throws net::CodecError or yields a packet the
+//     extractor can consume; no other escape.
+//   - Every extracted vector is exactly kFeatureCount wide (type-level) and
+//     its binary features are in {0, 1}.
+//   - Fingerprint construction (duplicate removal) and F' derivation
+//     (12-packet cap, zero padding) hold on adversarial packet streams.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "features/fingerprint.h"
+#include "features/packet_features.h"
+#include "net/byte_io.h"
+#include "net/frame.h"
+#include "util/check.h"
+
+namespace {
+
+using sentinel::features::FeatureExtractor;
+using sentinel::features::Fingerprint;
+using sentinel::features::FixedFingerprint;
+using sentinel::features::kFeatureCount;
+using sentinel::features::kFPrimePackets;
+
+void CheckBinaryFeatures(
+    const sentinel::features::PacketFeatureVector& features) {
+  // Indices 0..17 and 19 are binary per Table I (18 = packet_size,
+  // 20..22 = counters/classes).
+  for (std::size_t i = 0; i < 18; ++i) {
+    SENTINEL_CHECK(features[i] <= 1)
+        << "binary feature " << i << " = " << features[i];
+  }
+  SENTINEL_CHECK(features[19] <= 1)
+      << "raw_data flag = " << features[19];
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Interpret the input as up to 8 frames: 2-byte length prefix, then that
+  // many bytes of frame image — lets the fuzzer explore multi-packet
+  // streams (the destination-IP counter is stateful across packets).
+  sentinel::net::ByteReader r({data, size});
+  std::vector<sentinel::net::ParsedPacket> packets;
+  FeatureExtractor extractor;
+  for (int frame_no = 0; frame_no < 8 && r.remaining() >= 2; ++frame_no) {
+    const std::uint16_t len = r.ReadU16();
+    const std::size_t take = std::min<std::size_t>(len, r.remaining());
+    const auto bytes = r.ReadBytes(take);
+    sentinel::net::Frame frame;
+    frame.timestamp_ns = static_cast<std::uint64_t>(frame_no) * 1000;
+    frame.bytes.assign(bytes.begin(), bytes.end());
+    try {
+      packets.push_back(sentinel::net::ParseFrame(frame));
+    } catch (const sentinel::net::CodecError&) {
+      continue;  // malformed frame: the monitor drops it
+    }
+    CheckBinaryFeatures(extractor.Extract(packets.back()));
+  }
+  if (packets.empty()) return 0;
+
+  const auto fingerprint = Fingerprint::FromPackets(packets);
+  SENTINEL_CHECK(fingerprint.size() <= packets.size())
+      << "duplicate removal grew the fingerprint";
+  const auto fixed = FixedFingerprint::FromFingerprint(fingerprint);
+  SENTINEL_CHECK(fixed.packet_count() <= kFPrimePackets)
+      << "F' packet count " << fixed.packet_count();
+  // Zero padding beyond the encoded packets.
+  const auto& values = fixed.values();
+  for (std::size_t i = fixed.packet_count() * kFeatureCount;
+       i < values.size(); ++i) {
+    SENTINEL_CHECK(values[i] == 0.0) << "F' padding not zero at " << i;
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Standalone driver for the fuzz harnesses, used when the toolchain has no
+// libFuzzer (-fsanitize=fuzzer is Clang-only). It replays every corpus
+// file and then runs a deterministic mutation loop seeded from the corpus,
+// so `ctest`-style smoke runs and gcc+ASan/UBSan environments still
+// exercise the harnesses:
+//
+//   fuzz_pcap corpus/pcap                 # replay a corpus directory
+//   fuzz_pcap --iters 10000 corpus/pcap   # replay + 10k mutated inputs
+//
+// With Clang the same harness sources link against libFuzzer instead and
+// this file is not compiled in.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+// Deterministic xorshift64* — the driver must behave identically across
+// runs so CI failures reproduce locally.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+  std::uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  }
+};
+
+std::vector<std::uint8_t> Mutate(const std::vector<std::uint8_t>& seed,
+                                 Rng& rng) {
+  std::vector<std::uint8_t> out = seed;
+  const std::uint64_t ops = 1 + rng.Next() % 8;
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    switch (rng.Next() % 5) {
+      case 0:  // flip a byte
+        if (!out.empty()) out[rng.Next() % out.size()] ^=
+            static_cast<std::uint8_t>(rng.Next());
+        break;
+      case 1:  // truncate
+        if (!out.empty()) out.resize(rng.Next() % out.size());
+        break;
+      case 2: {  // insert a random byte
+        const std::size_t at = out.empty() ? 0 : rng.Next() % out.size();
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   static_cast<std::uint8_t>(rng.Next()));
+        break;
+      }
+      case 3: {  // overwrite a run with one value
+        if (out.empty()) break;
+        const std::size_t at = rng.Next() % out.size();
+        const std::size_t len =
+            std::min<std::size_t>(out.size() - at, 1 + rng.Next() % 16);
+        std::memset(out.data() + at, static_cast<int>(rng.Next() & 0xff),
+                    len);
+        break;
+      }
+      case 4: {  // duplicate a chunk to the end
+        if (out.empty() || out.size() > (1u << 20)) break;
+        const std::size_t at = rng.Next() % out.size();
+        const std::size_t len =
+            std::min<std::size_t>(out.size() - at, 1 + rng.Next() % 64);
+        out.insert(out.end(), out.begin() + static_cast<std::ptrdiff_t>(at),
+                   out.begin() + static_cast<std::ptrdiff_t>(at + len));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iterations = 0;
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iterations = std::strtoull(argv[++i], nullptr, 10);
+      continue;
+    }
+    // Ignore libFuzzer-style -flags so invocations stay interchangeable.
+    if (argv[i][0] == '-') continue;
+    const std::filesystem::path p(argv[i]);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p))
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+    } else {
+      inputs.push_back(p);
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());  // deterministic replay order
+
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (const auto& path : inputs) {
+    seeds.push_back(ReadFile(path));
+    LLVMFuzzerTestOneInput(seeds.back().data(), seeds.back().size());
+  }
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", seeds.size());
+
+  if (iterations > 0) {
+    if (seeds.empty()) seeds.push_back({});  // mutate from scratch
+    Rng rng(0xdecafbad);
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+      const auto input = Mutate(seeds[i % seeds.size()], rng);
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+    }
+    std::fprintf(stderr, "ran %llu mutated iterations\n",
+                 static_cast<unsigned long long>(iterations));
+  }
+  return 0;
+}

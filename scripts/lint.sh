@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Static-analysis gate. Runs the exact suite CI runs:
+#
+#   1. clang-format --dry-run -Werror over every tracked C++ file
+#   2. clang-tidy (root .clang-tidy, tests/.clang-tidy overlay) over src/
+#      and fuzz/, using a compile_commands.json export
+#   3. cppcheck (warning+performance+portability, .cppcheck-suppressions)
+#
+# Usage:
+#   scripts/lint.sh            # run everything available
+#   scripts/lint.sh --format   # just the format check
+#   scripts/lint.sh --tidy     # just clang-tidy
+#   scripts/lint.sh --cppcheck # just cppcheck
+#
+# Tools that are not installed are skipped with a warning so the script is
+# useful on minimal toolchains; set SENTINEL_LINT_STRICT=1 (CI does) to
+# turn a missing tool into a failure instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STRICT="${SENTINEL_LINT_STRICT:-0}"
+BUILD_DIR="${SENTINEL_LINT_BUILD_DIR:-build-lint}"
+MODE="${1:-all}"
+MODE="${MODE#--}"
+FAILED=0
+
+have() { command -v "$1" > /dev/null 2>&1; }
+
+skip_or_fail() {
+  if [[ "$STRICT" == "1" ]]; then
+    echo "lint: $1 not found and SENTINEL_LINT_STRICT=1" >&2
+    FAILED=1
+  else
+    echo "lint: $1 not found; skipping (set SENTINEL_LINT_STRICT=1 to fail)" >&2
+  fi
+}
+
+cxx_sources() {
+  git ls-files -- 'src/**/*.cc' 'src/**/*.h' 'tests/**/*.cc' \
+    'fuzz/*.cc' 'bench/**/*.cc' 'examples/**/*.cc' 'tools/**/*.cc'
+}
+
+run_format() {
+  if ! have clang-format; then skip_or_fail clang-format; return; fi
+  echo "== clang-format =="
+  if ! cxx_sources | xargs clang-format --dry-run -Werror; then
+    echo "lint: formatting violations (fix with: cxx_sources | xargs clang-format -i)" >&2
+    FAILED=1
+  fi
+}
+
+run_tidy() {
+  if ! have clang-tidy; then skip_or_fail clang-tidy; return; fi
+  echo "== clang-tidy =="
+  if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DSENTINEL_FUZZ=ON > /dev/null
+  fi
+  # Analyze the library and fuzz sources; tests inherit the overlay config
+  # but are not gated (gtest macros generate too much noise to block on).
+  if ! git ls-files -- 'src/**/*.cc' 'fuzz/*.cc' |
+    xargs clang-tidy -p "$BUILD_DIR" --quiet; then
+    FAILED=1
+  fi
+}
+
+run_cppcheck() {
+  if ! have cppcheck; then skip_or_fail cppcheck; return; fi
+  echo "== cppcheck =="
+  if ! cppcheck --enable=warning,performance,portability --std=c++20 \
+    --language=c++ --error-exitcode=1 --inline-suppr --quiet \
+    --suppressions-list=.cppcheck-suppressions -I src src fuzz; then
+    FAILED=1
+  fi
+}
+
+case "$MODE" in
+  format) run_format ;;
+  tidy) run_tidy ;;
+  cppcheck) run_cppcheck ;;
+  all)
+    run_format
+    run_tidy
+    run_cppcheck
+    ;;
+  *)
+    echo "usage: scripts/lint.sh [--format|--tidy|--cppcheck]" >&2
+    exit 2
+    ;;
+esac
+
+if [[ "$FAILED" != "0" ]]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: OK"

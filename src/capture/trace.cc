@@ -1,8 +1,134 @@
 #include "capture/trace.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "net/byte_io.h"
+#include "util/check.h"
 
 namespace sentinel::capture {
+
+std::string ToString(TraceErrorKind kind) {
+  switch (kind) {
+    case TraceErrorKind::kTruncatedHeader:
+      return "truncated_header";
+    case TraceErrorKind::kBadMagic:
+      return "bad_magic";
+    case TraceErrorKind::kUnsupportedLinkType:
+      return "unsupported_link_type";
+    case TraceErrorKind::kTruncatedRecord:
+      return "truncated_record";
+    case TraceErrorKind::kOversizedRecord:
+      return "oversized_record";
+  }
+  return "unknown";
+}
+
+std::string TraceError::ToString() const {
+  return capture::ToString(kind) + " at record " +
+         std::to_string(record_index) + (detail.empty() ? "" : ": " + detail);
+}
+
+namespace {
+
+// Classic pcap framing (mirrors net/pcap.cc, which owns the throwing
+// codec; this reader classifies failures instead of throwing).
+constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+constexpr std::uint32_t kPcapMagicSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 65535;
+constexpr std::size_t kGlobalHeaderBytes = 24;
+constexpr std::size_t kRecordHeaderBytes = 16;
+
+std::optional<Trace> Fail(TraceError* error, TraceErrorKind kind,
+                          std::size_t record_index, std::string detail) {
+  if (error != nullptr)
+    *error = TraceError{kind, record_index, std::move(detail)};
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Trace> Trace::FromPcap(std::span<const std::uint8_t> data,
+                                     TraceError* error) {
+  if (data.size() < kGlobalHeaderBytes)
+    return Fail(error, TraceErrorKind::kTruncatedHeader, 0,
+                "global header needs " + std::to_string(kGlobalHeaderBytes) +
+                    " bytes, have " + std::to_string(data.size()));
+  net::ByteReader r(data);
+  const std::uint32_t magic = r.ReadU32Le();
+  bool swapped = false;
+  if (magic == kPcapMagicSwapped) {
+    swapped = true;
+  } else if (magic != kPcapMagic) {
+    return Fail(error, TraceErrorKind::kBadMagic, 0,
+                "magic 0x" + [magic] {
+                  char buf[9];
+                  std::snprintf(buf, sizeof(buf), "%08x", magic);
+                  return std::string(buf);
+                }());
+  }
+  auto u32 = [&] { return swapped ? r.ReadU32() : r.ReadU32Le(); };
+
+  r.Skip(2 + 2 + 4 + 4);  // version major/minor, thiszone, sigfigs
+  u32();                  // snaplen (writers disagree; records re-checked)
+  const std::uint32_t link_type = u32();
+  if (link_type != kLinkTypeEthernet)
+    return Fail(error, TraceErrorKind::kUnsupportedLinkType, 0,
+                "link type " + std::to_string(link_type));
+
+  std::vector<net::Frame> frames;
+  std::size_t record = 0;
+  while (r.remaining() > 0) {
+    if (r.remaining() < kRecordHeaderBytes)
+      return Fail(error, TraceErrorKind::kTruncatedRecord, record,
+                  "record header needs " +
+                      std::to_string(kRecordHeaderBytes) + " bytes, have " +
+                      std::to_string(r.remaining()));
+    const std::uint32_t ts_sec = u32();
+    const std::uint32_t ts_usec = u32();
+    const std::uint32_t incl_len = u32();
+    u32();  // orig_len
+    if (incl_len > kSnapLen)
+      return Fail(error, TraceErrorKind::kOversizedRecord, record,
+                  "incl_len " + std::to_string(incl_len) + " exceeds snap " +
+                      std::to_string(kSnapLen));
+    if (r.remaining() < incl_len)
+      return Fail(error, TraceErrorKind::kTruncatedRecord, record,
+                  "payload needs " + std::to_string(incl_len) +
+                      " bytes, have " + std::to_string(r.remaining()));
+    const auto bytes = r.ReadBytes(incl_len);
+    net::Frame f;
+    f.timestamp_ns = (std::uint64_t{ts_sec} * 1000000 + ts_usec) * 1000;
+    f.bytes.assign(bytes.begin(), bytes.end());
+    frames.push_back(std::move(f));
+    ++record;
+  }
+  SENTINEL_DCHECK(r.AtEnd()) << "pcap walk left " << r.remaining()
+                             << " unconsumed bytes";
+  return Trace(std::move(frames));
+}
+
+std::optional<Trace> Trace::FromPcapFile(const std::string& path,
+                                         TraceError* error) {
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open " + path + " for reading");
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0)
+    data.insert(data.end(), buf, buf + n);
+  if (std::ferror(f.get()) != 0)
+    throw std::runtime_error("read error on " + path);
+  return FromPcap(data, error);
+}
 
 void Trace::SortByTime() {
   std::stable_sort(frames_.begin(), frames_.end(),

@@ -5,13 +5,42 @@
 // splitter groups frames by source MAC while preserving arrival order.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "net/frame.h"
 
 namespace sentinel::capture {
+
+/// Why an untrusted capture failed to parse. One enumerator per malformed-
+/// input class seen during fuzz bring-up, so callers (and tests) can react
+/// to the specific failure instead of matching exception strings.
+enum class TraceErrorKind {
+  kTruncatedHeader,      ///< global pcap header shorter than 24 bytes
+  kBadMagic,             ///< magic is neither 0xa1b2c3d4 nor its swap
+  kUnsupportedLinkType,  ///< link type other than LINKTYPE_ETHERNET
+  kTruncatedRecord,      ///< record header or payload cut short
+  kOversizedRecord,      ///< incl_len above the 65535 snap length
+};
+
+/// Human-readable name of a TraceErrorKind ("truncated_record", ...).
+std::string ToString(TraceErrorKind kind);
+
+/// Typed parse error for a capture. `record_index` is the index of the
+/// record being parsed when the failure hit (0 while still inside the
+/// global header).
+struct TraceError {
+  TraceErrorKind kind = TraceErrorKind::kBadMagic;
+  std::size_t record_index = 0;
+  std::string detail;
+
+  [[nodiscard]] std::string ToString() const;
+};
 
 /// Ordered capture of raw frames (what tcpdump on the gateway records).
 class Trace {
@@ -38,6 +67,20 @@ class Trace {
   /// monitor drops malformed frames rather than aborting the capture).
   /// Returns packets in trace order.
   [[nodiscard]] std::vector<net::ParsedPacket> Parse() const;
+
+  /// Parses a classic pcap byte image into a Trace. All-or-nothing: on
+  /// malformed input `error` is filled and nullopt is returned — never a
+  /// partially-filled Trace (truncated hostile captures must not
+  /// masquerade as short legitimate ones). `error` may be nullptr when the
+  /// caller only needs the success/failure bit.
+  [[nodiscard]] static std::optional<Trace> FromPcap(
+      std::span<const std::uint8_t> data, TraceError* error = nullptr);
+
+  /// Reads and parses a pcap capture file. I/O failures (missing file,
+  /// unreadable) throw std::runtime_error; malformed content reports a
+  /// typed TraceError like FromPcap.
+  [[nodiscard]] static std::optional<Trace> FromPcapFile(
+      const std::string& path, TraceError* error = nullptr);
 
  private:
   std::vector<net::Frame> frames_;

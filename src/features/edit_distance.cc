@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/check.h"
+
 namespace sentinel::features {
 
 std::size_t EditDistance(std::span<const PacketFeatureVector> a,
@@ -39,6 +41,11 @@ double NormalizedEditDistance(const Fingerprint& a, const Fingerprint& b) {
   const std::size_t longest = std::max(a.size(), b.size());
   if (longest == 0) return 0.0;
   const std::size_t d = EditDistance(a.packets(), b.packets());
+  // The OSA distance is bounded by the longer sequence length, so the
+  // normalized value the tie-breaker ranks on is always in [0, 1].
+  SENTINEL_CHECK(d <= longest)
+      << "edit distance " << d << " exceeds longer fingerprint length "
+      << longest;
   return static_cast<double>(d) / static_cast<double>(longest);
 }
 

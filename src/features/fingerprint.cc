@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace sentinel::features {
 
 Fingerprint Fingerprint::FromPacketVectors(
@@ -12,6 +14,14 @@ Fingerprint Fingerprint::FromPacketVectors(
     if (!fp.packets_.empty() && fp.packets_.back() == v) continue;
     fp.packets_.push_back(v);
   }
+  // Duplicate removal is monotone: it never grows the sequence, and the
+  // result has no consecutive duplicates (pi != pi+1, paper Sect. IV-A).
+  SENTINEL_CHECK(fp.packets_.size() <= vectors.size())
+      << "duplicate removal grew the fingerprint: " << vectors.size()
+      << " -> " << fp.packets_.size();
+  SENTINEL_DCHECK(std::adjacent_find(fp.packets_.begin(), fp.packets_.end()) ==
+                  fp.packets_.end())
+      << "consecutive duplicate survived FromPacketVectors";
   return fp;
 }
 
@@ -33,12 +43,23 @@ FixedFingerprint FixedFingerprint::FromFingerprint(
     unique.push_back(&packet);
     if (unique.size() == kFPrimePackets) break;
   }
+  SENTINEL_CHECK(unique.size() <= kFPrimePackets)
+      << "F' holds at most " << kFPrimePackets << " unique packets, got "
+      << unique.size();
   for (std::size_t i = 0; i < unique.size(); ++i) {
     for (std::size_t j = 0; j < kFeatureCount; ++j) {
       out.values_[i * kFeatureCount + j] = static_cast<double>((*unique[i])[j]);
     }
   }
   out.packet_count_ = unique.size();
+  // F' is exactly kFPrimeDim wide with zero padding past the encoded
+  // packets (the classifier bank depends on the fixed width).
+  static_assert(kFPrimeDim == kFPrimePackets * kFeatureCount);
+  SENTINEL_DCHECK(std::all_of(
+      out.values_.begin() +
+          static_cast<std::ptrdiff_t>(unique.size() * kFeatureCount),
+      out.values_.end(), [](double v) { return v == 0.0; }))
+      << "F' padding not zeroed";
   return out;
 }
 

@@ -1,5 +1,9 @@
 #include "features/fingerprint_codec.h"
 
+#include <limits>
+
+#include "util/check.h"
+
 namespace sentinel::features {
 
 namespace {
@@ -27,6 +31,9 @@ void ExpectMagic(net::ByteReader& r, char a, char b, char c,
 }  // namespace
 
 void EncodeFingerprint(net::ByteWriter& w, const Fingerprint& fingerprint) {
+  if (fingerprint.size() > std::numeric_limits<std::uint16_t>::max())
+    throw net::CodecError("fingerprint too long to encode: " +
+                          std::to_string(fingerprint.size()) + " packets");
   WriteMagic(w, 'S', 'F', 'P');
   w.WriteU16(static_cast<std::uint16_t>(fingerprint.size()));
   for (const auto& packet : fingerprint.packets())
@@ -36,6 +43,15 @@ void EncodeFingerprint(net::ByteWriter& w, const Fingerprint& fingerprint) {
 Fingerprint DecodeFingerprint(net::ByteReader& r) {
   ExpectMagic(r, 'S', 'F', 'P', "fingerprint");
   const std::uint16_t count = r.ReadU16();
+  // Reject truncated input before sizing buffers from the (untrusted)
+  // count, so a 7-byte hostile message cannot cost a multi-megabyte
+  // allocation.
+  const std::size_t need =
+      std::size_t{count} * kFeatureCount * sizeof(std::uint32_t);
+  if (r.remaining() < need)
+    throw net::CodecError("fingerprint truncated: need " +
+                          std::to_string(need) + " bytes, have " +
+                          std::to_string(r.remaining()));
   std::vector<PacketFeatureVector> packets(count);
   for (auto& packet : packets)
     for (auto& value : packet) value = r.ReadU32();
@@ -48,6 +64,9 @@ Fingerprint DecodeFingerprint(net::ByteReader& r) {
 
 void EncodeFixedFingerprint(net::ByteWriter& w,
                             const FixedFingerprint& fixed) {
+  SENTINEL_CHECK(fixed.packet_count() <= kFPrimePackets)
+      << "F' encodes at most " << kFPrimePackets << " packets, got "
+      << fixed.packet_count();
   WriteMagic(w, 'S', 'F', 'X');
   w.WriteU16(static_cast<std::uint16_t>(fixed.packet_count()));
   for (const double value : fixed.values())
@@ -57,15 +76,24 @@ void EncodeFixedFingerprint(net::ByteWriter& w,
 FixedFingerprint DecodeFixedFingerprint(net::ByteReader& r) {
   ExpectMagic(r, 'S', 'F', 'X', "fixed fingerprint");
   const std::uint16_t count = r.ReadU16();
+  // A hostile count above kFPrimePackets would index past the fixed
+  // kFPrimeDim value block below — reject it as malformed input.
+  if (count > kFPrimePackets)
+    throw net::CodecError("fixed fingerprint claims " + std::to_string(count) +
+                          " packets; F' holds at most " +
+                          std::to_string(kFPrimePackets));
   // Rebuild through a synthetic Fingerprint so invariants (packet_count,
   // padding) are re-established by the same code path used everywhere.
   std::vector<PacketFeatureVector> packets(count);
   std::array<double, kFPrimeDim> values{};
   for (auto& value : values) value = r.ReadU32();
-  for (std::uint16_t p = 0; p < count; ++p)
-    for (std::size_t f = 0; f < kFeatureCount; ++f)
+  for (std::size_t p = 0; p < count; ++p) {
+    for (std::size_t f = 0; f < kFeatureCount; ++f) {
+      SENTINEL_DCHECK_BOUNDS(p * kFeatureCount + f, values.size());
       packets[p][f] =
           static_cast<std::uint32_t>(values[p * kFeatureCount + f]);
+    }
+  }
   return FixedFingerprint::FromFingerprint(
       Fingerprint::FromPacketVectors(packets));
 }

@@ -1,5 +1,7 @@
 #include "features/packet_features.h"
 
+#include "util/check.h"
+
 namespace sentinel::features {
 
 std::string FeatureName(std::size_t i) {
@@ -15,7 +17,12 @@ std::string FeatureName(std::size_t i) {
 
 PacketFeatureVector FeatureExtractor::Extract(const net::ParsedPacket& p) {
   PacketFeatureVector f{};
-  // The 16 protocol flags share numbering with net::Protocol.
+  // The 16 protocol flags share numbering with net::Protocol, and every
+  // named index must land inside the 23-wide Table I vector.
+  static_assert(static_cast<std::size_t>(net::kProtocolCount) <= kFeatureCount,
+                "protocol flags exceed the packet feature vector");
+  static_assert(kFeatDstPortClass == kFeatureCount - 1,
+                "feature indices out of sync with kFeatureCount");
   for (std::size_t i = 0; i < static_cast<std::size_t>(net::kProtocolCount);
        ++i) {
     f[i] = p.protocols.Has(static_cast<net::Protocol>(i)) ? 1u : 0u;

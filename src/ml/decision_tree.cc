@@ -5,6 +5,8 @@
 #include <cstring>
 #include <numeric>
 
+#include "util/check.h"
+
 namespace sentinel::ml {
 
 namespace {
@@ -194,25 +196,40 @@ std::int32_t DecisionTree::Build(const Dataset& data,
 }
 
 int DecisionTree::Predict(std::span<const double> row) const {
+  SENTINEL_CHECK(!nodes_.empty()) << "Predict on an untrained tree";
   std::size_t node = 0;
   while (nodes_[node].left != -1) {
+    SENTINEL_DCHECK_BOUNDS(nodes_[node].feature, row.size());
     node = row[static_cast<std::size_t>(nodes_[node].feature)] <=
                    nodes_[node].threshold
                ? static_cast<std::size_t>(nodes_[node].left)
                : static_cast<std::size_t>(nodes_[node].right);
+    SENTINEL_DCHECK_BOUNDS(node, nodes_.size());
   }
   return nodes_[node].majority;
 }
 
 std::span<const double> DecisionTree::PredictProba(
     std::span<const double> row) const {
+  SENTINEL_CHECK(!nodes_.empty()) << "PredictProba on an untrained tree";
   std::size_t node = 0;
   while (nodes_[node].left != -1) {
+    SENTINEL_DCHECK_BOUNDS(nodes_[node].feature, row.size());
     node = row[static_cast<std::size_t>(nodes_[node].feature)] <=
                    nodes_[node].threshold
                ? static_cast<std::size_t>(nodes_[node].left)
                : static_cast<std::size_t>(nodes_[node].right);
+    SENTINEL_DCHECK_BOUNDS(node, nodes_.size());
   }
+  // The leaf's probability block must lie inside leaf_probas_ (Load()
+  // re-validates this for deserialized trees; Build() guarantees it for
+  // freshly trained ones).
+  SENTINEL_CHECK(nodes_[node].proba_offset >= 0 &&
+                 static_cast<std::size_t>(nodes_[node].proba_offset) +
+                         static_cast<std::size_t>(class_count_) <=
+                     leaf_probas_.size())
+      << "leaf probability block [" << nodes_[node].proba_offset << ", +"
+      << class_count_ << ") outside " << leaf_probas_.size() << " entries";
   return std::span<const double>(leaf_probas_)
       .subspan(static_cast<std::size_t>(nodes_[node].proba_offset),
                static_cast<std::size_t>(class_count_));
@@ -272,6 +289,9 @@ DecisionTree DecisionTree::Load(net::ByteReader& r) {
     throw net::CodecError("unsupported decision-tree version");
   DecisionTree tree;
   tree.class_count_ = static_cast<int>(r.ReadU32());
+  if (tree.class_count_ < 1)
+    throw net::CodecError("decision tree: invalid class count " +
+                          std::to_string(tree.class_count_));
   tree.depth_ = r.ReadU32();
   const std::uint32_t node_count = r.ReadU32();
   tree.nodes_.resize(node_count);
@@ -297,11 +317,18 @@ DecisionTree DecisionTree::Load(net::ByteReader& r) {
                   static_cast<std::size_t>(tree.class_count_) >
               tree.leaf_probas_.size())
         throw net::CodecError("decision tree: leaf probabilities out of range");
+      // The majority label feeds vote-tally indexing in RandomForest.
+      if (node.majority < 0 || node.majority >= tree.class_count_)
+        throw net::CodecError("decision tree: majority label out of range");
     } else {
       if (node.left < 0 || node.right < 0 ||
           static_cast<std::uint32_t>(node.left) >= node_count ||
           static_cast<std::uint32_t>(node.right) >= node_count)
         throw net::CodecError("decision tree: child index out of range");
+      // A negative split feature on an internal node would index
+      // row[SIZE_MAX] during Predict.
+      if (node.feature < 0)
+        throw net::CodecError("decision tree: negative split feature");
     }
   }
   return tree;

@@ -43,6 +43,8 @@ class DecisionTree {
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t depth() const { return depth_; }
+  /// Class-space width seen at training (or load) time.
+  [[nodiscard]] int class_count() const { return class_count_; }
   [[nodiscard]] bool trained() const { return !nodes_.empty(); }
   /// Approximate heap footprint in bytes (used by memory-accounting
   /// benchmarks).

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/scoped_timer.h"
+#include "util/check.h"
 
 namespace sentinel::ml {
 
@@ -103,8 +104,11 @@ void RandomForest::Train(const Dataset& data, const RandomForestConfig& config,
 
 int RandomForest::Predict(std::span<const double> row) const {
   std::vector<std::size_t> votes(static_cast<std::size_t>(class_count_), 0);
-  for (const auto& tree : trees_)
-    votes[static_cast<std::size_t>(tree.Predict(row))]++;
+  for (const auto& tree : trees_) {
+    const int label = tree.Predict(row);
+    SENTINEL_CHECK_BOUNDS(label, votes.size());
+    votes[static_cast<std::size_t>(label)]++;
+  }
   std::size_t best = 0;
   for (std::size_t c = 1; c < votes.size(); ++c)
     if (votes[c] > votes[best]) best = c;
@@ -172,10 +176,22 @@ RandomForest RandomForest::Load(net::ByteReader& r) {
     throw net::CodecError("unsupported random-forest version");
   RandomForest forest;
   forest.class_count_ = static_cast<int>(r.ReadU32());
+  if (forest.class_count_ < 1)
+    throw net::CodecError("random forest: invalid class count " +
+                          std::to_string(forest.class_count_));
   const std::uint32_t tree_count = r.ReadU32();
   forest.trees_.reserve(tree_count);
-  for (std::uint32_t i = 0; i < tree_count; ++i)
-    forest.trees_.push_back(DecisionTree::Load(r));
+  for (std::uint32_t i = 0; i < tree_count; ++i) {
+    DecisionTree tree = DecisionTree::Load(r);
+    // Per-tree labels index the forest-wide vote tally, so every tree
+    // must agree with the forest on the class space.
+    if (tree.class_count() != forest.class_count_)
+      throw net::CodecError(
+          "random forest: tree class count " +
+          std::to_string(tree.class_count()) + " != forest class count " +
+          std::to_string(forest.class_count_));
+    forest.trees_.push_back(std::move(tree));
+  }
   return forest;
 }
 

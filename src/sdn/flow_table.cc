@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace sentinel::sdn {
+
+FlowTable::MacPairKey FlowTable::ExactKey(const FlowMatch& match) {
+  SENTINEL_CHECK(match.eth_src.has_value() && match.eth_dst.has_value())
+      << "exact-match rule indexed without both MAC operands: "
+      << match.ToString();
+  return MacPairKey{match.eth_src->ToUint64(), match.eth_dst->ToUint64()};
+}
 
 namespace {
 
@@ -66,9 +75,7 @@ std::uint64_t FlowTable::Add(FlowRule rule, std::uint64_t now_ns) {
   rules_.push_back(std::move(rule));
   FlowRule* stored = &rules_.back();
   if (stored->match.IsExactOnMacs()) {
-    const MacPairKey key{stored->match.eth_src->ToUint64(),
-                         stored->match.eth_dst->ToUint64()};
-    InsertByPriority(exact_index_[key], stored);
+    InsertByPriority(exact_index_[ExactKey(stored->match)], stored);
   } else {
     InsertByPriority(wildcard_rules_, stored);
   }
@@ -85,9 +92,7 @@ std::size_t FlowTable::RemoveByCookie(std::uint64_t cookie) {
       continue;
     }
     if (it->match.IsExactOnMacs()) {
-      const MacPairKey key{it->match.eth_src->ToUint64(),
-                           it->match.eth_dst->ToUint64()};
-      auto index_it = exact_index_.find(key);
+      auto index_it = exact_index_.find(ExactKey(it->match));
       if (index_it != exact_index_.end()) {
         Erase(index_it->second, &*it);
         if (index_it->second.empty()) exact_index_.erase(index_it);
@@ -113,9 +118,7 @@ std::size_t FlowTable::RemoveByMac(const net::MacAddress& mac) {
       continue;
     }
     if (it->match.IsExactOnMacs()) {
-      const MacPairKey key{it->match.eth_src->ToUint64(),
-                           it->match.eth_dst->ToUint64()};
-      auto index_it = exact_index_.find(key);
+      auto index_it = exact_index_.find(ExactKey(it->match));
       if (index_it != exact_index_.end()) {
         Erase(index_it->second, &*it);
         if (index_it->second.empty()) exact_index_.erase(index_it);
@@ -139,9 +142,7 @@ std::size_t FlowTable::ExpireRules(std::uint64_t now_ns) {
       continue;
     }
     if (it->match.IsExactOnMacs()) {
-      const MacPairKey key{it->match.eth_src->ToUint64(),
-                           it->match.eth_dst->ToUint64()};
-      auto index_it = exact_index_.find(key);
+      auto index_it = exact_index_.find(ExactKey(it->match));
       if (index_it != exact_index_.end()) {
         Erase(index_it->second, &*it);
         if (index_it->second.empty()) exact_index_.erase(index_it);

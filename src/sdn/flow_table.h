@@ -80,6 +80,9 @@ class FlowTable {
     std::uint64_t dst = 0;
     friend bool operator==(const MacPairKey&, const MacPairKey&) = default;
   };
+  /// Hash-index key for an exact-match rule. Checks the key invariant the
+  /// index depends on: IsExactOnMacs() implies both MAC operands are set.
+  static MacPairKey ExactKey(const FlowMatch& match);
   struct MacPairHash {
     std::size_t operator()(const MacPairKey& k) const noexcept {
       return std::hash<std::uint64_t>{}(k.src * 0x9e3779b97f4a7c15ull ^ k.dst);

@@ -1,0 +1,116 @@
+// Contract-check macros guarding the pipeline's hot invariants.
+//
+// SENTINEL_CHECK(cond)            — always on; on failure prints file:line,
+//                                   the condition text and any streamed
+//                                   context to stderr, then aborts. Use for
+//                                   invariants whose violation would corrupt
+//                                   results or memory (codec bounds, index
+//                                   math, table keys).
+// SENTINEL_DCHECK(cond)           — as CHECK in debug / fuzz builds
+//                                   (SENTINEL_DCHECKS_ENABLED); compiles to
+//                                   nothing in release builds, so it may
+//                                   guard per-packet / per-node conditions
+//                                   that are too hot to branch on in
+//                                   production.
+// SENTINEL_CHECK_BOUNDS(i, size)  — CHECK that 0 <= i < size, printing both
+//                                   values on failure.
+// SENTINEL_DCHECK_BOUNDS(i, size) — debug-only bounds variant.
+//
+// All macros stream extra context:
+//   SENTINEL_CHECK(fp.size() <= kFPrimePackets)
+//       << "F' overflow: " << fp.size() << " unique packets";
+// The streamed operands are evaluated only on the failure path.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <type_traits>
+
+#if !defined(SENTINEL_DCHECKS_ENABLED)
+#if defined(SENTINEL_FORCE_DCHECKS) || !defined(NDEBUG)
+#define SENTINEL_DCHECKS_ENABLED 1
+#else
+#define SENTINEL_DCHECKS_ENABLED 0
+#endif
+#endif
+
+namespace sentinel::util::internal {
+
+/// Collects the failure message; its destructor reports and aborts. Built
+/// only on the (cold) failure branch, so the stream machinery costs nothing
+/// when the condition holds.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << ": SENTINEL_CHECK failed: " << condition;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  ~CheckFailure() {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+    std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets a ternary discard the stream expression with matching (void) type.
+struct CheckVoidify {
+  void operator&(std::ostream&) const {}
+};
+
+/// index in [0, size), correct for any mix of signed/unsigned operand
+/// types (avoids the "unsigned >= 0 is always true" trap a naive macro
+/// comparison would hit).
+template <typename Index, typename Size>
+constexpr bool IndexInRange(Index index, Size size) {
+  if constexpr (std::is_signed_v<Index>) {
+    if (index < 0) return false;
+  }
+  return static_cast<std::uint64_t>(index) < static_cast<std::uint64_t>(size);
+}
+
+}  // namespace sentinel::util::internal
+
+#define SENTINEL_CHECK(condition)                           \
+  (__builtin_expect(static_cast<bool>(condition), 1))       \
+      ? (void)0                                             \
+      : ::sentinel::util::internal::CheckVoidify() &        \
+            ::sentinel::util::internal::CheckFailure(       \
+                __FILE__, __LINE__, #condition)             \
+                .stream()                                   \
+                << " "
+
+// Bounds check: index must be in [0, size). Both operands are evaluated
+// exactly once.
+#define SENTINEL_CHECK_BOUNDS(index, size)                            \
+  do {                                                                \
+    const auto sentinel_check_index_ = (index);                       \
+    const auto sentinel_check_size_ = (size);                         \
+    SENTINEL_CHECK(::sentinel::util::internal::IndexInRange(          \
+        sentinel_check_index_, sentinel_check_size_))                 \
+        << "index " << sentinel_check_index_ << " out of range [0, "  \
+        << sentinel_check_size_ << ")";                               \
+  } while (false)
+
+#if SENTINEL_DCHECKS_ENABLED
+#define SENTINEL_DCHECK(condition) SENTINEL_CHECK(condition)
+#define SENTINEL_DCHECK_BOUNDS(index, size) SENTINEL_CHECK_BOUNDS(index, size)
+#else
+// Compiled out: the operands are parsed (so they cannot silently rot) but
+// never evaluated — the ternary always takes the (void)0 branch.
+#define SENTINEL_DCHECK(condition)                       \
+  (true) ? (void)0                                       \
+         : ::sentinel::util::internal::CheckVoidify() &  \
+               ::std::cerr << (false && (condition))
+#define SENTINEL_DCHECK_BOUNDS(index, size) \
+  SENTINEL_DCHECK((void(index), void(size), true))
+#endif

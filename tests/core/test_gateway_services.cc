@@ -73,7 +73,7 @@ TEST(GatewayServicesTest, DhcpDiscoverOfferRequestAck) {
 TEST(GatewayServicesTest, LeasesAreStickyAndPoolExhausts) {
   auto services = MakeServices();
   // Exhaust the 5-address pool with distinct devices.
-  for (std::uint64_t i = 0; i < 5; ++i) {
+  for (std::uint32_t i = 0; i < 5; ++i) {
     const auto mac = net::MacAddress::FromUint64(0x100 + i);
     const auto discover = net::DhcpMessage::Discover(mac, i, "d", {});
     ASSERT_EQ(services.HandleFrame(DhcpFrame(discover, mac)).size(), 1u);

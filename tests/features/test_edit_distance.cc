@@ -71,6 +71,41 @@ TEST(NormalizedEditDistance, EmptyPairIsZero) {
   EXPECT_DOUBLE_EQ(NormalizedEditDistance(empty, empty), 0.0);
 }
 
+TEST(NormalizedEditDistance, EmptyVersusNonEmptyIsOne) {
+  // Inserting every packet of the non-empty side = longer-length edits.
+  const Fingerprint empty;
+  const auto b = Fingerprint::FromPacketVectors(Seq({1, 2, 3}));
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance(empty, b), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance(b, empty), 1.0);
+}
+
+TEST(NormalizedEditDistance, SinglePacketFingerprints) {
+  const auto a = Fingerprint::FromPacketVectors(Seq({7}));
+  const auto same = Fingerprint::FromPacketVectors(Seq({7}));
+  const auto other = Fingerprint::FromPacketVectors(Seq({8}));
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance(a, same), 0.0);
+  // One substitution over max length 1: the distance saturates at 1.
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance(a, other), 1.0);
+}
+
+TEST(NormalizedEditDistance, AllDuplicatePacketsCollapseBeforeComparison) {
+  // F removes consecutive duplicates, so an all-duplicate stream is a
+  // single-packet fingerprint regardless of its raw length.
+  const auto a = Fingerprint::FromPacketVectors(Seq({5, 5, 5, 5, 5, 5}));
+  const auto b = Fingerprint::FromPacketVectors(Seq({5, 5}));
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance(a, b), 0.0);
+}
+
+TEST(NormalizedEditDistance, NormalizesByLongerDedupedLength) {
+  // {1,1,1,1} dedups to {1}; distance to {1,2,3} is 2 insertions over the
+  // longer deduped length 3 — the raw (pre-dedup) lengths must not leak in.
+  const auto a = Fingerprint::FromPacketVectors(Seq({1, 1, 1, 1}));
+  const auto b = Fingerprint::FromPacketVectors(Seq({1, 2, 3}));
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance(a, b), 2.0 / 3.0);
+}
+
 // ---- Property-based axioms --------------------------------------------------
 
 class EditDistanceProperties : public ::testing::TestWithParam<unsigned> {};

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace sentinel::net {
 namespace {
 
@@ -66,8 +68,11 @@ TEST(ByteReader, RoundTripAllWidths) {
 }
 
 TEST(ByteReader, OverrunThrows) {
-  const std::uint8_t data[] = {1, 2, 3};
-  ByteReader r(data);
+  // One spare byte beyond the reader's span: GCC's -Warray-bounds cannot
+  // see that Require() throws before the out-of-range access and would
+  // otherwise flag the deliberately-overrunning ReadU16 below.
+  const std::uint8_t data[] = {1, 2, 3, 0};
+  ByteReader r(std::span<const std::uint8_t>(data).first(3));
   r.ReadU16();
   EXPECT_THROW(r.ReadU16(), CodecError);
   EXPECT_EQ(r.remaining(), 1u);  // failed read consumed nothing

@@ -1,0 +1,72 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace sentinel::util {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  SENTINEL_CHECK(1 + 1 == 2) << "never shown";
+  SENTINEL_CHECK_BOUNDS(0, 1);
+  SENTINEL_CHECK_BOUNDS(std::size_t{2}, std::size_t{3});
+  SUCCEED();
+}
+
+TEST(Check, StreamOperandsNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return 0;
+  };
+  SENTINEL_CHECK(true) << "cost " << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithContext) {
+  const int width = 22;
+  EXPECT_DEATH(SENTINEL_CHECK(width == 23) << "packet width " << width,
+               "SENTINEL_CHECK failed: width == 23.*packet width 22");
+}
+
+TEST(CheckDeathTest, BoundsCheckReportsIndexAndSize) {
+  const std::vector<int> v(4);
+  EXPECT_DEATH(SENTINEL_CHECK_BOUNDS(7, v.size()),
+               "index 7 out of range \\[0, 4\\)");
+}
+
+TEST(CheckDeathTest, BoundsCheckRejectsNegativeSignedIndex) {
+  EXPECT_DEATH(SENTINEL_CHECK_BOUNDS(-1, 10),
+               "index -1 out of range \\[0, 10\\)");
+}
+
+TEST(Check, BoundsOperandsEvaluatedExactlyOnce) {
+  int index_evals = 0;
+  int size_evals = 0;
+  SENTINEL_CHECK_BOUNDS((++index_evals, 0), (++size_evals, 5));
+  EXPECT_EQ(index_evals, 1);
+  EXPECT_EQ(size_evals, 1);
+}
+
+#if SENTINEL_DCHECKS_ENABLED
+TEST(CheckDeathTest, DcheckAbortsWhenEnabled) {
+  EXPECT_DEATH(SENTINEL_DCHECK(false) << "debug invariant",
+               "SENTINEL_CHECK failed: false.*debug invariant");
+}
+#else
+TEST(Check, DcheckCompiledOutInRelease) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  SENTINEL_DCHECK(count()) << "never shown";
+  SENTINEL_DCHECK_BOUNDS(99, 3);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+}  // namespace
+}  // namespace sentinel::util
