@@ -13,6 +13,8 @@
 #include "features/edit_distance.h"
 #include "ml/random_forest.h"
 #include "net/pcap.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "sdn/flow_table.h"
 #include "util/thread_pool.h"
 
@@ -199,6 +201,52 @@ void BM_PcapEncodeDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PcapEncodeDecode);
+
+// Cost of a span site per tracing mode (range(0)): 0 = detached (no
+// tracer anywhere — the single-branch contract every per-packet call site
+// pays), 1 = attached root span, 2 = attached root + nested child with
+// two args (the shape of the per-device identify stage).
+void BM_TraceOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  obs::Tracer tracer;
+  for (auto _ : state) {
+    switch (mode) {
+      case 0: {
+        obs::ScopedSpan span("sentinel_bench_detached");
+        benchmark::DoNotOptimize(span.enabled());
+        break;
+      }
+      case 1: {
+        obs::ScopedSpan span(&tracer, "sentinel_bench_root");
+        benchmark::DoNotOptimize(span.enabled());
+        break;
+      }
+      default: {
+        obs::ScopedSpan root(&tracer, "sentinel_bench_root");
+        obs::ScopedSpan child("sentinel_bench_child");
+        child.AddArg("label", "HueBridge");
+        child.AddArg("proba", "0.92");
+        benchmark::DoNotOptimize(child.enabled());
+        break;
+      }
+    }
+  }
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->Arg(2);
+
+// Journal append cost: the flight recorder takes a mutex and copies one
+// event into a per-device ring (never on the per-packet fast path when
+// detached, which is a null check).
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  obs::FlightRecorder recorder;
+  const auto mac = *net::MacAddress::Parse("02:00:00:00:00:01");
+  for (auto _ : state) {
+    recorder.Record(mac, {.kind = obs::DeviceEventKind::kPacketObserved,
+                          .timestamp_ns = 1,
+                          .flag = true});
+  }
+}
+BENCHMARK(BM_FlightRecorderRecord);
 
 }  // namespace
 

@@ -1,0 +1,60 @@
+#include "core/decision_journal.h"
+
+#include <algorithm>
+
+#include "devices/catalog.h"
+
+namespace sentinel::core {
+
+std::string DeviceLabelName(int label) {
+  const auto& catalog = devices::DeviceCatalog();
+  if (label >= 0 && static_cast<std::size_t>(label) < catalog.size())
+    return catalog[static_cast<std::size_t>(label)].identifier;
+  return "type-" + std::to_string(label);
+}
+
+void JournalAssessment(obs::FlightRecorder* recorder,
+                       const net::MacAddress& mac,
+                       const AssessmentResult& assessment) {
+  if (recorder == nullptr) return;
+  const IdentificationResult& id = assessment.identification;
+
+  const std::size_t votes =
+      std::min(id.bank_labels.size(), id.bank_probabilities.size());
+  for (std::size_t k = 0; k < votes; ++k) {
+    recorder->Record(
+        mac, {.kind = obs::DeviceEventKind::kClassifierVote,
+              .label = DeviceLabelName(id.bank_labels[k]),
+              .value = id.bank_probabilities[k],
+              .extra = id.acceptance_threshold,
+              .flag = id.bank_probabilities[k] >= id.acceptance_threshold});
+  }
+
+  const std::size_t scores =
+      std::min(id.matched_types.size(), id.dissimilarity_scores.size());
+  for (std::size_t k = 0; k < scores; ++k) {
+    recorder->Record(mac, {.kind = obs::DeviceEventKind::kTieBreakScore,
+                           .label = DeviceLabelName(id.matched_types[k]),
+                           .value = id.dissimilarity_scores[k]});
+  }
+
+  recorder->Record(mac, {.kind = obs::DeviceEventKind::kVerdict,
+                         .label = assessment.type.has_value()
+                                      ? assessment.type_identifier
+                                      : std::string("unknown"),
+                         .flag = assessment.type.has_value()});
+
+  for (const auto& advisory : assessment.advisories) {
+    recorder->Record(mac, {.kind = obs::DeviceEventKind::kVulnerabilityHit,
+                           .label = advisory.cve_id,
+                           .value = advisory.cvss_score});
+  }
+
+  recorder->Record(
+      mac, {.kind = obs::DeviceEventKind::kEnforcementLevel,
+            .label = ToString(assessment.level),
+            .value = static_cast<double>(assessment.allowed_endpoints.size()),
+            .flag = assessment.requires_user_notification});
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,24 @@
+// Bridges an IoTSSP assessment into the per-device flight recorder: one
+// call journals every classifier's accept/reject vote with its probability,
+// all tie-break dissimilarity scores, the verdict, vulnerability-DB hits
+// and the enforcement level. Shared by the SentinelModule (online gateway
+// path) and sentinelctl (offline identify/explain) so both tell the same
+// identification story.
+#pragma once
+
+#include "core/security_service.h"
+#include "net/address.h"
+#include "obs/flight_recorder.h"
+
+namespace sentinel::core {
+
+/// No-op when `recorder` is nullptr.
+void JournalAssessment(obs::FlightRecorder* recorder,
+                       const net::MacAddress& mac,
+                       const AssessmentResult& assessment);
+
+/// Human-readable device-type name for a classifier label: the catalog
+/// identifier when the label is a catalog id, else "type-<label>".
+std::string DeviceLabelName(int label);
+
+}  // namespace sentinel::core

@@ -12,6 +12,7 @@
 
 #include "obs/log.h"
 #include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace sentinel::core {
 
@@ -117,8 +118,13 @@ void DeviceIdentifier::Train(const std::vector<LabelledFingerprint>& examples) {
   // own slot, and the slots are laid out in ascending label order up
   // front — so the parallel bank is identical to the sequential one.
   types_.resize(ordered_labels.size());
+  const obs::TraceContext trace_parent = obs::CurrentTraceContext();
   util::ParallelFor(pool_, ordered_labels.size(), [&](std::size_t j) {
+    obs::ScopedTraceContext trace_carry(trace_parent);
+    obs::ScopedSpan type_span("sentinel_identifier_train_type");
     const int label = ordered_labels[j];
+    if (type_span.enabled())
+      type_span.AddArg("label", std::to_string(label));
     const auto& positive_indices = by_label.at(label);
     std::vector<LabelledFingerprint> positives;
     std::vector<const std::vector<double>*> positive_rows;
@@ -179,23 +185,32 @@ IdentificationResult DeviceIdentifier::Identify(
     const features::Fingerprint& full,
     const features::FixedFingerprint& fixed) const {
   IdentificationResult result;
+  result.acceptance_threshold = config_.acceptance_threshold;
   const auto row = fixed.ToVector();
 
   // Stage 1: every per-type classifier votes. The scan parallelizes over
   // the bank (votes land in per-type slots); candidates are then collected
-  // in bank order, so the match list is scan-order independent.
+  // in bank order, so the match list is scan-order independent. The raw
+  // probabilities are kept as provenance: the verdict only consumes the
+  // threshold comparison, but the flight recorder journals every vote.
+  obs::ScopedSpan bank_span("sentinel_identifier_bank_scan");
   const auto t0 = Clock::now();
-  std::vector<char> accepted(types_.size(), 0);
+  result.bank_probabilities.assign(types_.size(), 0.0);
   util::ParallelFor(pool_, types_.size(), [&](std::size_t k) {
-    accepted[k] = types_[k].classifier.PositiveProba(row) >=
-                          config_.acceptance_threshold
-                      ? 1
-                      : 0;
+    result.bank_probabilities[k] = types_[k].classifier.PositiveProba(row);
   });
+  result.bank_labels.reserve(types_.size());
   for (std::size_t k = 0; k < types_.size(); ++k) {
-    if (accepted[k]) result.matched_types.push_back(types_[k].label);
+    result.bank_labels.push_back(types_[k].label);
+    if (result.bank_probabilities[k] >= config_.acceptance_threshold)
+      result.matched_types.push_back(types_[k].label);
   }
   result.classification_time = Clock::now() - t0;
+  if (bank_span.enabled()) {
+    bank_span.AddArg("types", std::to_string(types_.size()));
+    bank_span.AddArg("matches", std::to_string(result.matched_types.size()));
+  }
+  bank_span.End();
   if (handles_.identify_total != nullptr) {
     handles_.identify_total->Increment();
     handles_.accepts_total->Increment(result.matched_types.size());
@@ -223,6 +238,7 @@ IdentificationResult DeviceIdentifier::Identify(
   // a given fingerprint is always identified the same way while different
   // probes draw different reference subsets (matching the paper's
   // randomized behaviour in aggregate).
+  obs::ScopedSpan tiebreak_span("sentinel_stage_tie_break");
   const auto t1 = Clock::now();
   std::uint64_t probe_hash = 0xcbf29ce484222325ull;
   for (const auto& packet : full.packets()) {
@@ -281,6 +297,14 @@ IdentificationResult DeviceIdentifier::Identify(
     }
   }
   result.discrimination_time = Clock::now() - t1;
+  if (tiebreak_span.enabled()) {
+    tiebreak_span.AddArg("candidates",
+                         std::to_string(result.matched_types.size()));
+    tiebreak_span.AddArg("edit_distances",
+                         std::to_string(result.edit_distance_count));
+    tiebreak_span.AddArg("best_label", std::to_string(best_label));
+  }
+  tiebreak_span.End();
   if (handles_.discrimination_ns != nullptr) {
     handles_.discrimination_ns->Observe(
         static_cast<double>(result.discrimination_time.count()));

@@ -55,6 +55,13 @@ struct IdentificationResult {
   std::optional<int> type;
   /// Types whose classifier accepted the fingerprint (pre-discrimination).
   std::vector<int> matched_types;
+  /// Full bank-scan provenance: every trained type's label and its
+  /// classifier's positive-class probability, in bank order, plus the
+  /// acceptance threshold in force — what `sentinelctl explain` and the
+  /// flight recorder show as per-classifier votes.
+  std::vector<int> bank_labels;
+  std::vector<double> bank_probabilities;
+  double acceptance_threshold = 0.0;
   /// Dissimilarity scores per matched type (empty if <= 1 match).
   std::vector<double> dissimilarity_scores;
   /// Number of edit-distance computations performed.

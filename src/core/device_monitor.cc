@@ -30,20 +30,44 @@ std::optional<CompletedCapture> DeviceMonitor::Observe(
   obs::ScopedTimer capture_timer(handles_.capture_ns);
   if (handles_.packets_total != nullptr) handles_.packets_total->Increment();
   auto [it, inserted] = states_.try_emplace(packet.src_mac, config_);
-  if (inserted && handles_.tracked != nullptr)
-    handles_.tracked->Set(static_cast<double>(states_.size()));
   DeviceState& state = it->second;
+  if (inserted) {
+    if (handles_.tracked != nullptr)
+      handles_.tracked->Set(static_cast<double>(states_.size()));
+    if (tracer_ != nullptr) {
+      state.trace_id = tracer_->NewTraceId();
+      tracer_->LabelTrace(state.trace_id,
+                          "device " + packet.src_mac.ToString());
+    }
+    if (recorder_ != nullptr) {
+      recorder_->SetTraceId(packet.src_mac, state.trace_id);
+      recorder_->Record(packet.src_mac,
+                        {.kind = obs::DeviceEventKind::kFirstSeen,
+                         .timestamp_ns = packet.timestamp_ns});
+    }
+  }
   if (state.fingerprinted) return std::nullopt;
 
-  if (state.tracker.Offer(packet)) {
+  obs::ScopedSpan capture_span(tracer_, "sentinel_stage_capture",
+                               state.trace_id);
+  const bool accepted = state.tracker.Offer(packet);
+  if (recorder_ != nullptr) {
+    recorder_->Record(packet.src_mac,
+                      {.kind = obs::DeviceEventKind::kPacketObserved,
+                       .timestamp_ns = packet.timestamp_ns,
+                       .flag = accepted});
+  }
+  if (accepted) {
     state.vectors.push_back(state.extractor.Extract(packet));
     if (!state.tracker.Done()) return std::nullopt;
     // max_packets reached: the phase ends with this packet included.
     capture_timer.Stop();  // fingerprint assembly is its own stage
+    capture_span.End();
     return Finish(packet.src_mac, state);
   }
   // The packet arrived after the idle gap: the setup phase ended before it.
   capture_timer.Stop();
+  capture_span.End();
   return Finish(packet.src_mac, state);
 }
 
@@ -64,16 +88,35 @@ void DeviceMonitor::Forget(const net::MacAddress& mac) {
 
 CompletedCapture DeviceMonitor::Finish(const net::MacAddress& mac,
                                        DeviceState& state) {
+  obs::ScopedSpan fingerprint_span(tracer_, "sentinel_stage_fingerprint",
+                                   state.trace_id);
   obs::ScopedTimer fingerprint_timer(handles_.fingerprint_ns);
   state.fingerprinted = true;
   CompletedCapture capture;
   capture.device_mac = mac;
   capture.packet_count = state.vectors.size();
+  capture.trace_id = state.trace_id;
   capture.full = features::Fingerprint::FromPacketVectors(state.vectors);
   capture.fixed = features::FixedFingerprint::FromFingerprint(capture.full);
   state.vectors.clear();
   state.vectors.shrink_to_fit();
   if (handles_.captures_total != nullptr) handles_.captures_total->Increment();
+  if (fingerprint_span.enabled()) {
+    fingerprint_span.AddArg("packets", std::to_string(capture.packet_count));
+    fingerprint_span.AddArg("f_rows", std::to_string(capture.full.size()));
+    fingerprint_span.AddArg(
+        "f_prime_packets", std::to_string(capture.fixed.packet_count()));
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(mac,
+                      {.kind = obs::DeviceEventKind::kCaptureComplete,
+                       .value = static_cast<double>(capture.packet_count),
+                       .extra = static_cast<double>(capture.full.size())});
+    recorder_->Record(
+        mac, {.kind = obs::DeviceEventKind::kFingerprintReady,
+              .value = static_cast<double>(capture.full.size()),
+              .extra = static_cast<double>(capture.fixed.packet_count())});
+  }
   SENTINEL_LOG_DEBUG("monitor", "capture_complete",
                      {"mac", mac.ToString()},
                      {"packets", capture.packet_count});

@@ -11,7 +11,9 @@
 
 #include "capture/setup_phase.h"
 #include "features/fingerprint.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sentinel::core {
 
@@ -21,6 +23,10 @@ struct CompletedCapture {
   features::Fingerprint full;
   features::FixedFingerprint fixed;
   std::size_t packet_count = 0;
+  /// The device's provenance trace (0 when the monitor has no tracer);
+  /// downstream stages open their spans on it so one trace id follows the
+  /// device from first packet to installed rule.
+  obs::TraceId trace_id = 0;
 };
 
 class DeviceMonitor {
@@ -59,12 +65,29 @@ class DeviceMonitor {
   /// no clock reads.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches decision-provenance tracing: each newly seen MAC is assigned
+  /// its own trace id (labelled "device <mac>") and per-packet capture /
+  /// fingerprint-assembly spans join it. nullptr detaches — untraced runs
+  /// take one branch per site and stay bit-identical.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Attaches the per-device flight recorder journaling first-seen,
+  /// setup-phase packet accept/reject and capture/fingerprint completion.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  /// Trace id assigned to `mac` (0 when unknown or untraced).
+  [[nodiscard]] obs::TraceId trace_id(const net::MacAddress& mac) const {
+    const auto it = states_.find(mac);
+    return it == states_.end() ? 0 : it->second.trace_id;
+  }
+
  private:
   struct DeviceState {
     capture::SetupPhaseTracker tracker;
     features::FeatureExtractor extractor;
     std::vector<features::PacketFeatureVector> vectors;
     bool fingerprinted = false;
+    obs::TraceId trace_id = 0;
 
     explicit DeviceState(const capture::SetupPhaseConfig& config)
         : tracker(config) {}
@@ -83,6 +106,8 @@ class DeviceMonitor {
   capture::SetupPhaseConfig config_;
   std::unordered_map<net::MacAddress, DeviceState> states_;
   MonitorMetrics handles_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace sentinel::core

@@ -2,6 +2,7 @@
 
 #include "obs/log.h"
 #include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace sentinel::core {
 
@@ -30,6 +31,13 @@ void EnforcementEngine::set_metrics(obs::MetricsRegistry* registry) {
 }
 
 void EnforcementEngine::Install(EnforcementRule rule) {
+  // Context-only span: nests under the module's per-device root span when
+  // one is active (the engine itself needs no tracer wiring).
+  obs::ScopedSpan enforce_span("sentinel_stage_enforce");
+  if (enforce_span.enabled()) {
+    enforce_span.AddArg("mac", rule.device_mac.ToString());
+    enforce_span.AddArg("level", ToString(rule.level));
+  }
   obs::ScopedTimer enforce_timer(handles_.enforce_ns);
   if (handles_.rules_strict_total != nullptr) {
     switch (rule.level) {

@@ -79,6 +79,18 @@ class SecurityGateway {
     engine_.set_metrics(registry);
   }
 
+  /// Attaches decision-provenance tracing across the gateway: the Sentinel
+  /// module (and its monitor) assign one trace id per device and the
+  /// capture → fingerprint → identify → tie-break → enforce spans all nest
+  /// under it. nullptr detaches; untraced runs stay bit-identical.
+  void set_tracer(obs::Tracer* tracer) { module_->set_tracer(tracer); }
+  /// Attaches the per-device flight recorder journaling every device's
+  /// identification story (served by `sentinelctl serve` under
+  /// /devices/<mac> and rendered by `sentinelctl explain`).
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    module_->set_flight_recorder(recorder);
+  }
+
  private:
   SecurityGatewayConfig config_;
   sdn::SoftwareSwitch switch_;

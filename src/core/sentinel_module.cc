@@ -1,7 +1,9 @@
 #include "core/sentinel_module.h"
 
+#include "core/decision_journal.h"
 #include "obs/log.h"
 #include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace sentinel::core {
 
@@ -79,6 +81,12 @@ SentinelModule::Verdict SentinelModule::OnPacketIn(
       handles_.drops_total->Increment();
       handles_.incidents_total->Increment();
     }
+    if (recorder_ != nullptr) {
+      recorder_->Record(packet.src_mac,
+                        {.kind = obs::DeviceEventKind::kIncident,
+                         .timestamp_ns = packet.timestamp_ns,
+                         .label = decision.reason});
+    }
     SENTINEL_LOG_INFO("module", "flow_denied",
                       {"mac", packet.src_mac.ToString()},
                       {"reason", decision.reason});
@@ -117,12 +125,22 @@ void SentinelModule::FlushIdle(std::uint64_t now_ns) {
 }
 
 void SentinelModule::HandleCompletedCapture(const CompletedCapture& capture) {
+  // Root span of the device's identification story: the identify span, the
+  // identifier's tie-break span and the engine's enforce span all nest
+  // under it on the trace id the monitor assigned at first sight.
+  obs::ScopedSpan device_span(tracer_, "sentinel_identification",
+                              capture.trace_id);
+  if (device_span.enabled())
+    device_span.AddArg("mac", capture.device_mac.ToString());
   obs::ScopedTimer identify_timer(handles_.identify_ns);
+  obs::ScopedSpan identify_span("sentinel_stage_identify");
   const AssessmentResult assessment =
       service_.Assess(capture.full, capture.fixed);
+  identify_span.End();
   identify_timer.Stop();  // rule installation is the enforce stage
   if (handles_.identifications_total != nullptr)
     handles_.identifications_total->Increment();
+  JournalAssessment(recorder_, capture.device_mac, assessment);
   SENTINEL_LOG_INFO("module", "device_identified",
                     {"mac", capture.device_mac.ToString()},
                     {"type", assessment.type_identifier},
@@ -143,6 +161,8 @@ void SentinelModule::HandleCompletedCapture(const CompletedCapture& capture) {
 
 void SentinelModule::InstallDropRule(sdn::SoftwareSwitch& sw,
                                      const net::ParsedPacket& packet) {
+  obs::ScopedSpan span(tracer_, "sentinel_flow_install",
+                       monitor_.trace_id(packet.src_mac));
   sdn::FlowRule rule;
   rule.priority = config_.drop_priority;
   rule.match.eth_src = packet.src_mac;
@@ -154,11 +174,20 @@ void SentinelModule::InstallDropRule(sdn::SoftwareSwitch& sw,
   const EnforcementRule* enforcement = engine_.Find(packet.src_mac);
   rule.cookie = enforcement ? enforcement->Hash() : 0;
   rule.actions = {};  // drop
+  if (recorder_ != nullptr) {
+    recorder_->Record(packet.src_mac,
+                      {.kind = obs::DeviceEventKind::kFlowRuleInstalled,
+                       .timestamp_ns = packet.timestamp_ns,
+                       .label = "drop -> " + packet.dst_mac.ToString()});
+  }
+  if (span.enabled()) span.AddArg("action", "drop");
   sdn::Controller::InstallRule(sw, std::move(rule));
 }
 
 void SentinelModule::InstallWanAllowRule(sdn::SoftwareSwitch& sw,
                                          const net::ParsedPacket& packet) {
+  obs::ScopedSpan span(tracer_, "sentinel_flow_install",
+                       monitor_.trace_id(packet.src_mac));
   sdn::FlowRule rule;
   rule.priority = config_.allow_priority;
   rule.match.eth_src = packet.src_mac;
@@ -166,6 +195,13 @@ void SentinelModule::InstallWanAllowRule(sdn::SoftwareSwitch& sw,
   const EnforcementRule* enforcement = engine_.Find(packet.src_mac);
   rule.cookie = enforcement ? enforcement->Hash() : 0;
   rule.actions = {sdn::ActionOutput{config_.wan_port}};
+  if (recorder_ != nullptr) {
+    recorder_->Record(packet.src_mac,
+                      {.kind = obs::DeviceEventKind::kFlowRuleInstalled,
+                       .timestamp_ns = packet.timestamp_ns,
+                       .label = "allow wan -> " + packet.dst_ip->v4().ToString()});
+  }
+  if (span.enabled()) span.AddArg("action", "allow_wan");
   sdn::Controller::InstallRule(sw, std::move(rule));
 }
 

@@ -90,6 +90,22 @@ class SentinelModule : public sdn::ControllerModule {
   /// incident / identification counters. nullptr detaches everything.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches decision-provenance tracing and propagates it to the
+  /// embedded DeviceMonitor: each identified device gets one trace id
+  /// under which the capture → fingerprint → identify → tie-break →
+  /// enforce spans nest. nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    monitor_.set_tracer(tracer);
+  }
+  /// Attaches the per-device flight recorder (propagated to the monitor);
+  /// the module journals classifier votes, tie-break scores, verdicts,
+  /// flow-rule installs and incidents into it. nullptr detaches.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+    monitor_.set_flight_recorder(recorder);
+  }
+
  private:
   void HandleCompletedCapture(const CompletedCapture& capture);
   void InstallDropRule(sdn::SoftwareSwitch& sw,
@@ -114,6 +130,8 @@ class SentinelModule : public sdn::ControllerModule {
   std::function<void(const IncidentEvent&)> on_incident_;
   std::uint64_t drops_installed_ = 0;
   ModuleMetrics handles_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace sentinel::core

@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace sentinel::ml {
 
 std::vector<Fold> StratifiedKFold(const std::vector<int>& labels,
@@ -41,7 +43,14 @@ std::vector<Fold> StratifiedKFold(const std::vector<int>& labels,
 
 void ForEachFold(const std::vector<Fold>& folds, util::ThreadPool* pool,
                  const std::function<void(std::size_t)>& fn) {
-  util::ParallelFor(pool, folds.size(), fn);
+  // Carry any active trace context into the pool workers so the per-fold
+  // training/evaluation spans nest under the caller's span (e.g. the
+  // `sentinel_evaluate` root opened by `sentinelctl evaluate --trace-out`).
+  const obs::TraceContext trace_parent = obs::CurrentTraceContext();
+  util::ParallelFor(pool, folds.size(), [&](std::size_t f) {
+    obs::ScopedTraceContext trace_carry(trace_parent);
+    fn(f);
+  });
 }
 
 }  // namespace sentinel::ml

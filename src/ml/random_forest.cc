@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace sentinel::ml {
@@ -25,6 +26,9 @@ void RandomForest::Train(const Dataset& data, const RandomForestConfig& config,
           ? &metrics->GetHistogram("sentinel_ml_forest_train_ns",
                                    "whole-forest training time")
           : nullptr);
+  obs::ScopedSpan forest_span("sentinel_ml_forest_train");
+  if (forest_span.enabled())
+    forest_span.AddArg("trees", std::to_string(config.tree_count));
   trees_.clear();
   trees_.resize(config.tree_count);
   class_count_ = data.class_count();

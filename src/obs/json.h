@@ -1,0 +1,37 @@
+// Minimal JSON string escaping shared by the observability exporters
+// (metrics registry, span tracer, flight recorder). Escapes the two
+// mandatory characters plus control bytes; everything else passes through
+// verbatim (all emitted keys are ASCII, values may carry arbitrary bytes).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace sentinel::obs {
+
+inline void AppendJsonEscaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+inline std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  AppendJsonEscaped(out, s);
+  return out;
+}
+
+}  // namespace sentinel::obs

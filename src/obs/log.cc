@@ -23,7 +23,8 @@ LogLevel InitThresholdFromEnv() {
 bool NeedsQuoting(const std::string& value) {
   if (value.empty()) return true;
   for (const char c : value) {
-    if (c == ' ' || c == '=' || c == '"' || c == '\n' || c == '\t')
+    if (c == ' ' || c == '=' || c == '"' || c == '\\' || c == '\n' ||
+        c == '\t')
       return true;
   }
   return false;

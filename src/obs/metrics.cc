@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/json.h"
+
 namespace sentinel::obs {
 
 namespace {
@@ -29,23 +31,6 @@ std::string FormatBound(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%g", v);
   return buf;
-}
-
-void AppendJsonString(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  out += '"';
 }
 
 }  // namespace
@@ -184,7 +169,7 @@ std::string MetricsRegistry::RenderJson() const {
   for (const auto& [name, counter] : counters_) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    AppendJsonString(out, name);
+    AppendJsonEscaped(out, name);
     out += ": " + std::to_string(counter.value->Value());
   }
   out += first ? "},\n" : "\n  },\n";
@@ -193,7 +178,7 @@ std::string MetricsRegistry::RenderJson() const {
   for (const auto& [name, gauge] : gauges_) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    AppendJsonString(out, name);
+    AppendJsonEscaped(out, name);
     out += ": " + FormatDouble(gauge.value->Value());
   }
   out += first ? "},\n" : "\n  },\n";
@@ -203,7 +188,7 @@ std::string MetricsRegistry::RenderJson() const {
     const auto snap = histogram.value->Read();
     out += first ? "\n    " : ",\n    ";
     first = false;
-    AppendJsonString(out, name);
+    AppendJsonEscaped(out, name);
     out += ": {\"count\": " + std::to_string(snap.count) +
            ", \"sum\": " + FormatDouble(snap.sum) +
            ", \"mean\": " + FormatDouble(snap.Mean()) +

@@ -142,4 +142,22 @@ class MetricsRegistry {
 MetricsRegistry* DefaultRegistry();
 void SetDefaultRegistry(MetricsRegistry* registry);
 
+/// RAII swap of the process-wide default registry: installs `registry` for
+/// the scope and restores whatever was installed before, even on early
+/// return or exception. The standard way for tests and benches to attach a
+/// registry without leaking it into later code.
+class ScopedDefaultRegistry {
+ public:
+  explicit ScopedDefaultRegistry(MetricsRegistry* registry)
+      : previous_(DefaultRegistry()) {
+    SetDefaultRegistry(registry);
+  }
+  ~ScopedDefaultRegistry() { SetDefaultRegistry(previous_); }
+  ScopedDefaultRegistry(const ScopedDefaultRegistry&) = delete;
+  ScopedDefaultRegistry& operator=(const ScopedDefaultRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
 }  // namespace sentinel::obs

@@ -1,0 +1,185 @@
+#include "obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "obs/log.h"
+
+namespace sentinel::obs {
+
+namespace {
+
+std::string HttpResponse(int status, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string NotFound() {
+  return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
+                      "not found\n");
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(const MetricsRegistry* registry,
+                                 const FlightRecorder* recorder,
+                                 TelemetryServerConfig config)
+    : registry_(registry), recorder_(recorder), config_(config) {}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::Start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr =
+      htonl(config_.bind_any ? INADDR_ANY : INADDR_LOOPBACK);
+  address.sin_port = htons(config_.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("bind port " + std::to_string(config_.port) +
+                             ": " + error);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("listen: " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  SENTINEL_LOG_INFO("telemetry", "listening", {"port", port_});
+}
+
+void TelemetryServer::Serve(std::size_t max_requests) {
+  const int fd = listen_fd_.load(std::memory_order_acquire);
+  if (fd < 0) {
+    // A concurrent Stop() may have already retired the socket; that is a
+    // clean shutdown, not a usage error.
+    if (stopping_.load(std::memory_order_acquire)) return;
+    throw std::runtime_error("TelemetryServer::Serve before Start");
+  }
+  std::size_t served = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int connection = ::accept(fd, nullptr, nullptr);
+    if (connection < 0) {
+      if (errno == EINTR) continue;
+      break;  // Stop() closed the listen socket
+    }
+    ServeConnection(connection);
+    ::close(connection);
+    if (max_requests > 0 && ++served >= max_requests) break;
+  }
+}
+
+void TelemetryServer::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::ServeConnection(int connection_fd) {
+  // Read until the end of the request headers (or a 4 KiB cap — the
+  // request line is all that matters and hostile peers get cut off).
+  std::string request;
+  char buffer[1024];
+  while (request.size() < 4096 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(connection_fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  std::string method;
+  std::string path;
+  const std::size_t first_space = line.find(' ');
+  if (first_space != std::string::npos) {
+    method = line.substr(0, first_space);
+    const std::size_t second_space = line.find(' ', first_space + 1);
+    path = line.substr(first_space + 1,
+                       second_space == std::string::npos
+                           ? std::string::npos
+                           : second_space - first_space - 1);
+  }
+  std::string response;
+  if (method != "GET") {
+    response = HttpResponse(405, "Method Not Allowed",
+                            "text/plain; charset=utf-8",
+                            "only GET is supported\n");
+  } else {
+    response = HandlePath(path);
+  }
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n = ::send(connection_fd, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  SENTINEL_LOG_DEBUG("telemetry", "request", {"path", path},
+                     {"bytes", response.size()});
+}
+
+std::string TelemetryServer::HandlePath(const std::string& path) const {
+  if (path == "/healthz") {
+    return HttpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n");
+  }
+  if (path == "/metrics") {
+    const std::string body =
+        registry_ == nullptr ? std::string() : registry_->RenderPrometheus();
+    return HttpResponse(200, "OK",
+                        "text/plain; version=0.0.4; charset=utf-8", body);
+  }
+  if (path == "/devices") {
+    std::string body = "{\"devices\": [";
+    if (recorder_ != nullptr) {
+      bool first = true;
+      for (const auto& mac : recorder_->Devices()) {
+        body += first ? "" : ", ";
+        first = false;
+        AppendJsonEscaped(body, mac.ToString());
+      }
+    }
+    body += "]}\n";
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  constexpr const char* kDevicePrefix = "/devices/";
+  if (path.rfind(kDevicePrefix, 0) == 0) {
+    const auto mac =
+        net::MacAddress::Parse(path.substr(std::strlen(kDevicePrefix)));
+    if (!mac.has_value() || recorder_ == nullptr || !recorder_->Known(*mac))
+      return NotFound();
+    return HttpResponse(200, "OK", "application/json",
+                        recorder_->RenderJson(*mac));
+  }
+  return NotFound();
+}
+
+}  // namespace sentinel::obs

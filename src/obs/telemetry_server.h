@@ -1,0 +1,71 @@
+// Minimal blocking HTTP/1.1 endpoint for live telemetry scraping
+// (`sentinelctl serve --listen <port>`). Three routes:
+//   GET /healthz          -> 200 "ok"
+//   GET /metrics          -> Prometheus text exposition of the registry
+//   GET /devices          -> JSON list of journalled device MACs
+//   GET /devices/<mac>    -> the device's flight-recorder journal as JSON
+// Anything else is 404. One connection is served at a time (a scrape is a
+// few kilobytes; Prometheus polls every few seconds — concurrency buys
+// nothing here and a single blocking loop cannot leak threads). Stop()
+// from any thread unblocks Serve(). POSIX sockets only, loopback by
+// default; no third-party dependencies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace sentinel::obs {
+
+struct TelemetryServerConfig {
+  /// TCP port to bind; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Bind all interfaces instead of loopback (off: scrape locally or
+  /// through a reverse proxy).
+  bool bind_any = false;
+};
+
+class TelemetryServer {
+ public:
+  /// Either source may be nullptr; the matching routes then serve empty
+  /// documents. Both must outlive the server.
+  TelemetryServer(const MetricsRegistry* registry,
+                  const FlightRecorder* recorder,
+                  TelemetryServerConfig config = {});
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds and listens; throws std::runtime_error on failure. After this
+  /// returns, port() is the bound port.
+  void Start();
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Blocking accept loop; returns after Stop() (or, when
+  /// `max_requests` > 0, after serving that many requests — tests).
+  void Serve(std::size_t max_requests = 0);
+
+  /// Thread-safe; unblocks a concurrent Serve().
+  void Stop();
+
+  /// Routes one request path to a full HTTP response (status line,
+  /// headers, body). Exposed so tests can cover routing without sockets.
+  [[nodiscard]] std::string HandlePath(const std::string& path) const;
+
+ private:
+  void ServeConnection(int connection_fd);
+
+  const MetricsRegistry* registry_;
+  const FlightRecorder* recorder_;
+  TelemetryServerConfig config_;
+  std::uint16_t port_ = 0;
+  /// Atomic so Stop() can race Serve() from another thread; -1 when not
+  /// listening. Stop() exchanges to -1 so the fd is closed exactly once.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace sentinel::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 #include "util/check.h"
 
 namespace sentinel::sdn {
@@ -58,6 +60,7 @@ void FlowTable::set_metrics(obs::MetricsRegistry* registry) {
 }
 
 std::uint64_t FlowTable::Add(FlowRule rule, std::uint64_t now_ns) {
+  obs::ScopedSpan span("sentinel_flowtable_add");
   rule.installed_at_ns = now_ns;
   if (handles_.installed_total != nullptr)
     handles_.installed_total->Increment();

@@ -1,0 +1,155 @@
+// Unit tests for the per-device flight recorder: ring bounds, device
+// eviction, the JSON journal and the human-readable Explain narrative.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/address.h"
+#include "obs/flight_recorder.h"
+
+namespace sentinel::obs {
+namespace {
+
+net::MacAddress Mac(std::uint8_t last) {
+  return net::MacAddress({0x02, 0x00, 0x00, 0x00, 0x00, last});
+}
+
+TEST(FlightRecorderTest, UnknownDeviceIsEmpty) {
+  FlightRecorder recorder;
+  EXPECT_FALSE(recorder.Known(Mac(1)));
+  EXPECT_TRUE(recorder.Devices().empty());
+  EXPECT_TRUE(recorder.Events(Mac(1)).empty());
+  EXPECT_EQ(recorder.total_events(Mac(1)), 0u);
+  EXPECT_EQ(recorder.trace_id(Mac(1)), 0u);
+}
+
+TEST(FlightRecorderTest, RecordsEventsInOrder) {
+  FlightRecorder recorder;
+  recorder.Record(Mac(1), {.kind = DeviceEventKind::kFirstSeen,
+                           .timestamp_ns = 10});
+  recorder.Record(Mac(1), {.kind = DeviceEventKind::kPacketObserved,
+                           .timestamp_ns = 20,
+                           .flag = true});
+  EXPECT_TRUE(recorder.Known(Mac(1)));
+  const auto events = recorder.Events(Mac(1));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, DeviceEventKind::kFirstSeen);
+  EXPECT_EQ(events[1].kind, DeviceEventKind::kPacketObserved);
+  EXPECT_TRUE(events[1].flag);
+  EXPECT_EQ(recorder.total_events(Mac(1)), 2u);
+}
+
+TEST(FlightRecorderTest, RingKeepsNewestEventsWhenFull) {
+  FlightRecorder recorder({.events_per_device = 4, .max_devices = 8});
+  for (int i = 0; i < 6; ++i) {
+    recorder.Record(Mac(1),
+                    {.kind = DeviceEventKind::kPacketObserved,
+                     .timestamp_ns = static_cast<std::uint64_t>(i)});
+  }
+  const auto events = recorder.Events(Mac(1));
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().timestamp_ns, 2u);  // 0 and 1 overwritten
+  EXPECT_EQ(events.back().timestamp_ns, 5u);
+  EXPECT_EQ(recorder.total_events(Mac(1)), 6u);
+}
+
+TEST(FlightRecorderTest, EvictsLeastRecentlyUpdatedDevice) {
+  FlightRecorder recorder({.events_per_device = 8, .max_devices = 2});
+  recorder.Record(Mac(1), {.kind = DeviceEventKind::kFirstSeen});
+  recorder.Record(Mac(2), {.kind = DeviceEventKind::kFirstSeen});
+  // Touch 1 so 2 becomes the eviction candidate.
+  recorder.Record(Mac(1), {.kind = DeviceEventKind::kPacketObserved});
+  recorder.Record(Mac(3), {.kind = DeviceEventKind::kFirstSeen});
+  EXPECT_TRUE(recorder.Known(Mac(1)));
+  EXPECT_FALSE(recorder.Known(Mac(2)));
+  EXPECT_TRUE(recorder.Known(Mac(3)));
+  EXPECT_EQ(recorder.Devices().size(), 2u);
+}
+
+TEST(FlightRecorderTest, DevicesListedInFirstSeenOrder) {
+  FlightRecorder recorder;
+  recorder.Record(Mac(3), {.kind = DeviceEventKind::kFirstSeen});
+  recorder.Record(Mac(1), {.kind = DeviceEventKind::kFirstSeen});
+  recorder.Record(Mac(3), {.kind = DeviceEventKind::kPacketObserved});
+  const auto devices = recorder.Devices();
+  ASSERT_EQ(devices.size(), 2u);
+  EXPECT_EQ(devices[0], Mac(3));
+  EXPECT_EQ(devices[1], Mac(1));
+}
+
+TEST(FlightRecorderTest, TraceIdAssociatesJournal) {
+  FlightRecorder recorder;
+  recorder.SetTraceId(Mac(1), 77);
+  EXPECT_EQ(recorder.trace_id(Mac(1)), 77u);
+  EXPECT_NE(recorder.RenderJson(Mac(1)).find("\"trace_id\": 77"),
+            std::string::npos);
+}
+
+TEST(FlightRecorderTest, RenderJsonCarriesEventFields) {
+  FlightRecorder recorder;
+  recorder.Record(Mac(1), {.kind = DeviceEventKind::kClassifierVote,
+                           .label = "HueBridge",
+                           .value = 0.9,
+                           .extra = 0.35,
+                           .flag = true});
+  const std::string json = recorder.RenderJson(Mac(1));
+  EXPECT_NE(json.find("\"mac\": \"02:00:00:00:00:01\""), std::string::npos);
+  EXPECT_NE(json.find("\"classifier_vote\""), std::string::npos);
+  EXPECT_NE(json.find("\"HueBridge\""), std::string::npos);
+  EXPECT_NE(json.find("\"events_total\": 1"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ExplainNarratesTheVerdict) {
+  FlightRecorder recorder;
+  const auto mac = Mac(1);
+  recorder.SetTraceId(mac, 5);
+  recorder.Record(mac, {.kind = DeviceEventKind::kFirstSeen});
+  recorder.Record(mac, {.kind = DeviceEventKind::kPacketObserved,
+                        .flag = true});
+  recorder.Record(mac, {.kind = DeviceEventKind::kCaptureComplete,
+                        .value = 12,
+                        .extra = 10});
+  recorder.Record(mac, {.kind = DeviceEventKind::kClassifierVote,
+                        .label = "HueBridge",
+                        .value = 0.92,
+                        .extra = 0.35,
+                        .flag = true});
+  recorder.Record(mac, {.kind = DeviceEventKind::kClassifierVote,
+                        .label = "Aria",
+                        .value = 0.10,
+                        .extra = 0.35,
+                        .flag = false});
+  recorder.Record(mac, {.kind = DeviceEventKind::kTieBreakScore,
+                        .label = "HueBridge",
+                        .value = 1.25});
+  recorder.Record(mac, {.kind = DeviceEventKind::kVerdict,
+                        .label = "HueBridge",
+                        .flag = true});
+  recorder.Record(mac, {.kind = DeviceEventKind::kVulnerabilityHit,
+                        .label = "CVE-2020-1234",
+                        .value = 7.5});
+  recorder.Record(mac, {.kind = DeviceEventKind::kEnforcementLevel,
+                        .label = "restricted",
+                        .value = 2});
+  const std::string story = recorder.Explain(mac);
+  EXPECT_NE(story.find("02:00:00:00:00:01"), std::string::npos);
+  EXPECT_NE(story.find("first seen"), std::string::npos);
+  EXPECT_NE(story.find("classifier votes"), std::string::npos);
+  EXPECT_NE(story.find("[accept] HueBridge"), std::string::npos);
+  EXPECT_NE(story.find("[reject] Aria"), std::string::npos);
+  EXPECT_NE(story.find("tie-break"), std::string::npos);
+  EXPECT_NE(story.find("verdict: HueBridge"), std::string::npos);
+  EXPECT_NE(story.find("CVE-2020-1234"), std::string::npos);
+  EXPECT_NE(story.find("restricted"), std::string::npos);
+}
+
+TEST(DeviceEventKindNameTest, StableExportNames) {
+  EXPECT_STREQ(DeviceEventKindName(DeviceEventKind::kFirstSeen),
+               "first_seen");
+  EXPECT_STREQ(DeviceEventKindName(DeviceEventKind::kClassifierVote),
+               "classifier_vote");
+  EXPECT_STREQ(DeviceEventKindName(DeviceEventKind::kIncident), "incident");
+}
+
+}  // namespace
+}  // namespace sentinel::obs

@@ -192,6 +192,28 @@ TEST_F(LogCaptureTest, FieldsFormatAndQuote) {
   EXPECT_NE(lines_[0].find("name=\"two words\""), std::string::npos);
 }
 
+TEST_F(LogCaptureTest, ValuesWithStructuralCharactersAreQuoted) {
+  SetLogThreshold(LogLevel::kInfo);
+  SENTINEL_LOG_INFO("test", "quoting", {"eq", "a=b"}, {"empty", ""},
+                    {"tab", "a\tb"});
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("eq=\"a=b\""), std::string::npos);
+  EXPECT_NE(lines_[0].find("empty=\"\""), std::string::npos);
+  EXPECT_NE(lines_[0].find("tab=\"a\tb\""), std::string::npos);
+}
+
+TEST_F(LogCaptureTest, QuotesBackslashesAndNewlinesAreEscaped) {
+  SetLogThreshold(LogLevel::kInfo);
+  SENTINEL_LOG_INFO("test", "escaping", {"q", "say \"hi\""},
+                    {"bs", "a\\b"}, {"nl", "two\nlines"});
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("q=\"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(lines_[0].find("bs=\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(lines_[0].find("nl=\"two\\nlines\""), std::string::npos);
+  // The physical log line itself must stay single-line.
+  EXPECT_EQ(lines_[0].find('\n'), std::string::npos);
+}
+
 TEST(LogLevelTest, ParseNamesAndUnknowns) {
   EXPECT_EQ(ParseLogLevel("trace"), LogLevel::kTrace);
   EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
@@ -233,13 +255,75 @@ TEST(RegistryConcurrencyTest, ParallelForHammersOneRegistry) {
             2 * kTasks * kIters);
 }
 
-TEST(DefaultRegistryTest, InstallAndReset) {
+TEST(DefaultRegistryTest, ScopedInstallAndRestore) {
   EXPECT_EQ(DefaultRegistry(), nullptr);
   MetricsRegistry registry;
-  SetDefaultRegistry(&registry);
-  EXPECT_EQ(DefaultRegistry(), &registry);
-  SetDefaultRegistry(nullptr);
+  {
+    ScopedDefaultRegistry scoped(&registry);
+    EXPECT_EQ(DefaultRegistry(), &registry);
+  }
   EXPECT_EQ(DefaultRegistry(), nullptr);
+}
+
+TEST(DefaultRegistryTest, ScopedSwapsRestoreInNestingOrder) {
+  MetricsRegistry outer_registry;
+  MetricsRegistry inner_registry;
+  ScopedDefaultRegistry outer(&outer_registry);
+  {
+    ScopedDefaultRegistry inner(&inner_registry);
+    EXPECT_EQ(DefaultRegistry(), &inner_registry);
+  }
+  EXPECT_EQ(DefaultRegistry(), &outer_registry);
+}
+
+// Exposition edge cases: the scrape format is a wire contract, so pin the
+// corners a refactor could silently bend.
+
+TEST(RegistryTest, EmptyHistogramStillRendersInfBucket) {
+  MetricsRegistry registry;
+  registry.GetHistogram("sentinel_idle_ns", "never observed", {10.0});
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("sentinel_idle_ns_bucket{le=\"10\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("sentinel_idle_ns_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("sentinel_idle_ns_sum 0"), std::string::npos);
+  EXPECT_NE(text.find("sentinel_idle_ns_count 0"), std::string::npos);
+}
+
+TEST(RegistryTest, InfBucketCountsObservationsBeyondAllBounds) {
+  MetricsRegistry registry;
+  auto& h = registry.GetHistogram("sentinel_tail_ns", "tail", {1.0});
+  h.Observe(1e18);  // beyond every finite bound
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("sentinel_tail_ns_bucket{le=\"1\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("sentinel_tail_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, RendersLexicographicOrderWithinEachKind) {
+  // The exposition groups by kind (counters, gauges, histograms); within
+  // each group names must come out lexicographically no matter the
+  // registration order, so scrapes diff cleanly.
+  MetricsRegistry registry;
+  registry.GetCounter("sentinel_zz_total").Increment();
+  registry.GetCounter("sentinel_aa_total").Increment();
+  registry.GetGauge("sentinel_z_level").Set(1.0);
+  registry.GetGauge("sentinel_a_level").Set(1.0);
+  registry.GetHistogram("sentinel_z_ns").Observe(1.0);
+  registry.GetHistogram("sentinel_a_ns").Observe(1.0);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_LT(text.find("# TYPE sentinel_aa_total"),
+            text.find("# TYPE sentinel_zz_total"));
+  EXPECT_LT(text.find("# TYPE sentinel_a_level"),
+            text.find("# TYPE sentinel_z_level"));
+  EXPECT_LT(text.find("# TYPE sentinel_a_ns"),
+            text.find("# TYPE sentinel_z_ns"));
+  // Kind groups themselves hold a fixed order: counters, gauges,
+  // histograms.
+  EXPECT_LT(text.find("sentinel_zz_total"), text.find("sentinel_a_level"));
+  EXPECT_LT(text.find("sentinel_z_level"), text.find("sentinel_a_ns"));
 }
 
 }  // namespace

@@ -1,0 +1,124 @@
+// Tests for the telemetry HTTP endpoint: socketless routing through
+// HandlePath() plus one real loopback round-trip on an ephemeral port.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/address.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/telemetry_server.h"
+
+namespace sentinel::obs {
+namespace {
+
+net::MacAddress Mac(std::uint8_t last) {
+  return net::MacAddress({0x02, 0x00, 0x00, 0x00, 0x00, last});
+}
+
+TEST(TelemetryRoutesTest, HealthzAlwaysOk) {
+  TelemetryServer server(nullptr, nullptr);
+  const std::string response = server.HandlePath("/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("ok\n"), std::string::npos);
+}
+
+TEST(TelemetryRoutesTest, MetricsRendersPrometheusText) {
+  MetricsRegistry registry;
+  registry.GetCounter("sentinel_served_total", "requests").Increment(3);
+  TelemetryServer server(&registry, nullptr);
+  const std::string response = server.HandlePath("/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("sentinel_served_total 3"), std::string::npos);
+}
+
+TEST(TelemetryRoutesTest, MetricsWithoutRegistryIsEmptyBody) {
+  TelemetryServer server(nullptr, nullptr);
+  const std::string response = server.HandlePath("/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 0"), std::string::npos);
+}
+
+TEST(TelemetryRoutesTest, DevicesListAndJournal) {
+  FlightRecorder recorder;
+  recorder.Record(Mac(9), {.kind = DeviceEventKind::kFirstSeen});
+  recorder.Record(Mac(9), {.kind = DeviceEventKind::kVerdict,
+                           .label = "HueBridge",
+                           .flag = true});
+  TelemetryServer server(nullptr, &recorder);
+  const std::string list = server.HandlePath("/devices");
+  EXPECT_NE(list.find("application/json"), std::string::npos);
+  EXPECT_NE(list.find("\"02:00:00:00:00:09\""), std::string::npos);
+  const std::string journal = server.HandlePath("/devices/02:00:00:00:00:09");
+  EXPECT_NE(journal.find("200 OK"), std::string::npos);
+  EXPECT_NE(journal.find("\"verdict\""), std::string::npos);
+  EXPECT_NE(journal.find("\"HueBridge\""), std::string::npos);
+}
+
+TEST(TelemetryRoutesTest, UnknownRoutesAre404) {
+  FlightRecorder recorder;
+  recorder.Record(Mac(9), {.kind = DeviceEventKind::kFirstSeen});
+  TelemetryServer server(nullptr, &recorder);
+  EXPECT_NE(server.HandlePath("/nope").find("404"), std::string::npos);
+  // Journalled recorder, but a MAC it has never seen.
+  EXPECT_NE(server.HandlePath("/devices/02:00:00:00:00:01").find("404"),
+            std::string::npos);
+  // Syntactically invalid MAC.
+  EXPECT_NE(server.HandlePath("/devices/not-a-mac").find("404"),
+            std::string::npos);
+  // No recorder wired at all.
+  TelemetryServer bare(nullptr, nullptr);
+  EXPECT_NE(bare.HandlePath("/devices/02:00:00:00:00:09").find("404"),
+            std::string::npos);
+}
+
+TEST(TelemetryServerTest, LoopbackRoundTripOnEphemeralPort) {
+  MetricsRegistry registry;
+  registry.GetCounter("sentinel_live_total", "live").Increment(7);
+  TelemetryServer server(&registry, nullptr);
+  server.Start();
+  ASSERT_NE(server.port(), 0);
+  std::thread serving([&] { server.Serve(/*max_requests=*/1); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  serving.join();
+  server.Stop();
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("sentinel_live_total 7"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, StopUnblocksServe) {
+  TelemetryServer server(nullptr, nullptr);
+  server.Start();
+  std::thread serving([&] { server.Serve(); });
+  server.Stop();
+  serving.join();  // must return promptly once the listen fd is closed
+}
+
+}  // namespace
+}  // namespace sentinel::obs

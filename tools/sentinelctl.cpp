@@ -11,6 +11,10 @@
 //   sentinelctl identify <model.bin> <capture.pcap>
 //       Identify every device in a capture and print the assessment
 //       (isolation level, allowlist, advisories).
+//   sentinelctl explain <model.bin> <capture.pcap> [mac]
+//       Identify like above, then print each device's flight-recorder
+//       journal: every classifier's vote, all tie-break scores, the
+//       verdict, advisories and the enforcement level.
 //   sentinelctl fingerprint <capture.pcap>
 //       Dump the fingerprint matrices F extracted from a capture.
 //   sentinelctl evaluate [--episodes N] [--reps R] [--seed S] [--out f.md]
@@ -19,10 +23,16 @@
 //   sentinelctl stats [--episodes N] [--seed S] [--json]
 //       Exercise the full gateway pipeline on simulated episodes and dump
 //       the collected metrics registry.
+//   sentinelctl serve [--listen PORT] [--episodes N] [--seed S]
+//       Exercise the gateway pipeline like `stats`, then serve live
+//       telemetry over HTTP: /healthz, /metrics (Prometheus text),
+//       /devices and /devices/<mac> (flight-recorder JSON).
 //
 // `train`, `identify`, `evaluate` and `stats` accept
 // `--metrics-out <file>` to write the run's metrics registry (Prometheus
-// text, or JSON with `--json`).
+// text, or JSON with `--json`). `train`, `identify`, `explain` and
+// `evaluate` accept `--trace-out <file>` to write the run's spans as
+// Chrome-trace-event JSON (loads in Perfetto / chrome://tracing).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -31,16 +41,21 @@
 
 #include "capture/setup_phase.h"
 #include "capture/trace.h"
+#include "core/decision_journal.h"
 #include "core/device_identifier.h"
 #include "core/device_monitor.h"
 #include "core/gateway.h"
+#include "core/security_service.h"
 #include "core/vulnerability_db.h"
 #include "devices/environment.h"
 #include "devices/simulator.h"
 #include "eval/experiment.h"
 #include "net/pcap.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "obs/telemetry_server.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -56,6 +71,8 @@ struct Options {
   bool json = false;
   std::string out_path;
   std::string metrics_out;
+  std::string trace_out;
+  std::uint16_t listen_port = 0;
 };
 
 /// Writes the run's metrics to --metrics-out when requested.
@@ -66,6 +83,15 @@ void DumpMetrics(const obs::MetricsRegistry& registry,
   std::printf("wrote metrics (%s) to %s\n",
               options.json ? "json" : "prometheus",
               options.metrics_out.c_str());
+}
+
+/// Writes the run's span trace to --trace-out when requested.
+void DumpTrace(const obs::Tracer& tracer, const Options& options) {
+  if (options.trace_out.empty()) return;
+  tracer.WriteChromeJson(options.trace_out);
+  std::printf("wrote %llu spans (chrome trace json) to %s\n",
+              static_cast<unsigned long long>(tracer.recorded()),
+              options.trace_out.c_str());
 }
 
 Options ParseOptions(int argc, char** argv, int first) {
@@ -92,6 +118,12 @@ Options ParseOptions(int argc, char** argv, int first) {
       options.out_path = next_value();
     } else if (arg == "--metrics-out") {
       options.metrics_out = next_value();
+    } else if (arg == "--trace-out") {
+      options.trace_out = next_value();
+    } else if (arg == "--listen") {
+      const unsigned long port = std::stoul(next_value());
+      if (port > 65535) throw std::runtime_error("--listen: port > 65535");
+      options.listen_port = static_cast<std::uint16_t>(port);
     } else if (arg.rfind("--", 0) == 0) {
       throw std::runtime_error("unknown option " + arg);
     } else {
@@ -141,16 +173,20 @@ int CmdTrain(const Options& options) {
     train.push_back(core::LabelledFingerprint{
         &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
   obs::MetricsRegistry registry;
-  if (!options.metrics_out.empty()) obs::SetDefaultRegistry(&registry);
+  obs::Tracer tracer;
   core::DeviceIdentifier identifier;
   {
+    obs::ScopedDefaultRegistry scoped_registry(
+        options.metrics_out.empty() ? nullptr : &registry);
     util::ThreadPool pool;  // auto-attaches to the default registry
     identifier.set_thread_pool(&pool);
     if (!options.metrics_out.empty()) identifier.set_metrics(&registry);
+    obs::ScopedSpan train_span(
+        options.trace_out.empty() ? nullptr : &tracer, "sentinel_train");
     identifier.Train(train);
+    train_span.End();
     identifier.set_thread_pool(nullptr);
   }
-  obs::SetDefaultRegistry(nullptr);
   identifier.SaveToFile(path);
   std::printf("trained %zu per-type classifiers -> %s (%.1f KiB in memory)\n",
               identifier.type_count(), path.c_str(),
@@ -158,6 +194,7 @@ int CmdTrain(const Options& options) {
   std::printf("mean out-of-bag accuracy of the binary classifiers: %.3f\n",
               identifier.MeanOobAccuracy());
   DumpMetrics(registry, options);
+  DumpTrace(tracer, options);
   return 0;
 }
 
@@ -186,73 +223,63 @@ int CmdRecord(const Options& options) {
   return 0;
 }
 
-int CmdIdentify(const Options& options) {
-  if (options.positional.size() < 2)
-    throw std::runtime_error("identify: need <model.bin> <capture.pcap>");
-  auto identifier =
-      core::DeviceIdentifier::LoadFromFile(options.positional[0]);
-  const auto db = core::VulnerabilityDb::SeedFromCatalog();
+/// One device's outcome from RunIdentificationPipeline.
+struct IdentifiedDevice {
+  net::MacAddress mac;
+  std::size_t packet_count = 0;
+  core::AssessmentResult assessment;
+};
 
-  // The capture flows through the same pipeline stages the live gateway
-  // runs — monitor (capture + fingerprint), identifier, enforcement-rule
-  // installation — so --metrics-out reports the full stage breakdown.
-  obs::MetricsRegistry registry;
-  obs::MetricsRegistry* metrics =
-      options.metrics_out.empty() ? nullptr : &registry;
-  core::DeviceMonitor monitor;
-  core::EnforcementEngine engine(net::MacAddress({0x02, 0, 0x5e, 0, 0, 1}),
-                                 net::Ipv4Address(192, 168, 1, 1));
+/// Streams a pcap through the same pipeline stages the live gateway runs —
+/// monitor (capture + fingerprint), Security Service assessment,
+/// enforcement-rule installation — with optional tracing and per-device
+/// flight recording. Shared by `identify` and `explain` so both tell the
+/// same decision story.
+std::vector<IdentifiedDevice> RunIdentificationPipeline(
+    core::SecurityService& service, const std::string& pcap_path,
+    core::EnforcementEngine& engine, core::DeviceMonitor& monitor,
+    obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+    obs::FlightRecorder* recorder) {
+  monitor.set_tracer(tracer);
+  monitor.set_flight_recorder(recorder);
   obs::Histogram* stage_identify_ns = nullptr;
   if (metrics != nullptr) {
     monitor.set_metrics(metrics);
     engine.set_metrics(metrics);
-    identifier.set_metrics(metrics);
+    service.set_metrics(metrics);
     stage_identify_ns = &metrics->GetHistogram(
         "sentinel_stage_identify_ns",
         "device-type identification time (Security Service assessment)");
   }
 
+  std::vector<IdentifiedDevice> out;
   const auto HandleCapture = [&](const core::CompletedCapture& capture) {
     if (capture.packet_count < 4) return;  // too little traffic to judge
+    // Root span of the device's identification story: identify, tie-break
+    // and enforce all nest under the trace id the monitor assigned.
+    obs::ScopedSpan device_span(tracer, "sentinel_identification",
+                                capture.trace_id);
+    if (device_span.enabled())
+      device_span.AddArg("mac", capture.device_mac.ToString());
     obs::ScopedTimer identify_timer(stage_identify_ns);
-    const auto result = identifier.Identify(capture.full, capture.fixed);
+    obs::ScopedSpan identify_span("sentinel_stage_identify");
+    const auto assessment = service.Assess(capture.full, capture.fixed);
+    identify_span.End();
     identify_timer.Stop();
+    core::JournalAssessment(recorder, capture.device_mac, assessment);
 
     core::EnforcementRule rule;
     rule.device_mac = capture.device_mac;
-    std::printf("%s: %zu packets", capture.device_mac.ToString().c_str(),
-                capture.packet_count);
-    if (!result.IsKnown()) {
-      std::printf(" -> UNKNOWN device-type (isolation: strict)\n");
-      engine.Install(std::move(rule));  // strict by default
-      return;
-    }
-    const auto& info = devices::GetDeviceType(*result.type);
-    const auto advisories = db.Query(info.identifier);
-    rule.device_type = info.identifier;
-    std::printf(" -> %s (%s)\n", info.identifier.c_str(), info.model.c_str());
-    if (advisories.empty()) {
-      std::printf("   no known vulnerabilities -> isolation: trusted\n");
-      rule.level = core::IsolationLevel::kTrusted;
-    } else {
-      std::printf("   %zu advisories -> isolation: restricted, allowlist:\n",
-                  advisories.size());
-      rule.level = core::IsolationLevel::kRestricted;
-      devices::NetworkEnvironment environment;
-      for (const auto& endpoint : info.cloud_endpoints) {
-        std::printf("     %s\n", endpoint.c_str());
-        rule.allowed_endpoint_names.push_back(endpoint);
-        rule.allowed_endpoints.push_back(
-            environment.ResolveEndpoint(endpoint));
-      }
-      for (const auto& advisory : advisories)
-        std::printf("     %s (CVSS %.1f)\n", advisory.cve_id.c_str(),
-                    advisory.cvss_score);
-    }
+    rule.level = assessment.level;
+    rule.device_type = assessment.type_identifier;
+    rule.allowed_endpoints = assessment.allowed_endpoints;
+    rule.allowed_endpoint_names = assessment.allowed_endpoint_names;
     engine.Install(std::move(rule));
+    out.push_back(
+        IdentifiedDevice{capture.device_mac, capture.packet_count, assessment});
   };
 
-  capture::Trace trace(net::ReadPcapFile(options.positional[1]));
+  capture::Trace trace(net::ReadPcapFile(pcap_path));
   trace.SortByTime();
   std::uint64_t last_ns = 0;
   for (const auto& packet : trace.Parse()) {
@@ -264,7 +291,93 @@ int CmdIdentify(const Options& options) {
        monitor.FlushIdle(last_ns + 60'000'000'000ull)) {
     HandleCapture(capture);
   }
+  return out;
+}
+
+/// Loads <model.bin> into an in-process Security Service seeded with the
+/// catalog vulnerability database.
+core::SecurityService LoadSecurityService(const std::string& model_path,
+                                          obs::MetricsRegistry* metrics) {
+  auto identifier = core::DeviceIdentifier::LoadFromFile(model_path);
+  if (metrics != nullptr) identifier.set_metrics(metrics);
+  return core::SecurityService(std::move(identifier),
+                               core::VulnerabilityDb::SeedFromCatalog());
+}
+
+void PrintAssessment(const IdentifiedDevice& device) {
+  std::printf("%s: %zu packets", device.mac.ToString().c_str(),
+              device.packet_count);
+  const auto& assessment = device.assessment;
+  if (!assessment.type.has_value()) {
+    std::printf(" -> UNKNOWN device-type (isolation: %s)\n",
+                core::ToString(assessment.level).c_str());
+    return;
+  }
+  const auto& info = devices::GetDeviceType(*assessment.type);
+  std::printf(" -> %s (%s)\n", info.identifier.c_str(), info.model.c_str());
+  if (assessment.advisories.empty()) {
+    std::printf("   no known vulnerabilities -> isolation: %s\n",
+                core::ToString(assessment.level).c_str());
+  } else {
+    std::printf("   %zu advisories -> isolation: %s, allowlist:\n",
+                assessment.advisories.size(),
+                core::ToString(assessment.level).c_str());
+    for (const auto& endpoint : assessment.allowed_endpoint_names)
+      std::printf("     %s\n", endpoint.c_str());
+    for (const auto& advisory : assessment.advisories)
+      std::printf("     %s (CVSS %.1f)\n", advisory.cve_id.c_str(),
+                  advisory.cvss_score);
+  }
+  if (assessment.requires_user_notification)
+    std::printf("   NOTE: uncontrollable side channel -> notify the user\n");
+}
+
+int CmdIdentify(const Options& options) {
+  if (options.positional.size() < 2)
+    throw std::runtime_error("identify: need <model.bin> <capture.pcap>");
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics =
+      options.metrics_out.empty() ? nullptr : &registry;
+  obs::Tracer tracer;
+  obs::Tracer* trace_sink = options.trace_out.empty() ? nullptr : &tracer;
+  auto service = LoadSecurityService(options.positional[0], metrics);
+  core::DeviceMonitor monitor;
+  core::EnforcementEngine engine(net::MacAddress({0x02, 0, 0x5e, 0, 0, 1}),
+                                 net::Ipv4Address(192, 168, 1, 1));
+  const auto devices_seen = RunIdentificationPipeline(
+      service, options.positional[1], engine, monitor, metrics, trace_sink,
+      nullptr);
+  for (const auto& device : devices_seen) PrintAssessment(device);
   DumpMetrics(registry, options);
+  DumpTrace(tracer, options);
+  return 0;
+}
+
+int CmdExplain(const Options& options) {
+  if (options.positional.size() < 2)
+    throw std::runtime_error("explain: need <model.bin> <capture.pcap> [mac]");
+  obs::Tracer tracer;
+  obs::Tracer* trace_sink = options.trace_out.empty() ? nullptr : &tracer;
+  obs::FlightRecorder recorder;
+  auto service = LoadSecurityService(options.positional[0], nullptr);
+  core::DeviceMonitor monitor;
+  core::EnforcementEngine engine(net::MacAddress({0x02, 0, 0x5e, 0, 0, 1}),
+                                 net::Ipv4Address(192, 168, 1, 1));
+  RunIdentificationPipeline(service, options.positional[1], engine, monitor,
+                            nullptr, trace_sink, &recorder);
+  if (options.positional.size() >= 3) {
+    const auto mac = net::MacAddress::Parse(options.positional[2]);
+    if (!mac.has_value())
+      throw std::runtime_error("explain: bad mac '" + options.positional[2] +
+                               "'");
+    if (!recorder.Known(*mac))
+      throw std::runtime_error("explain: no journal for " + mac->ToString());
+    std::fputs(recorder.Explain(*mac).c_str(), stdout);
+  } else {
+    for (const auto& mac : recorder.Devices())
+      std::fputs(recorder.Explain(mac).c_str(), stdout);
+  }
+  DumpTrace(tracer, options);
   return 0;
 }
 
@@ -299,12 +412,16 @@ int CmdEvaluate(const Options& options) {
   obs::MetricsRegistry registry;
   obs::MetricsRegistry* metrics =
       options.metrics_out.empty() ? nullptr : &registry;
-  if (metrics != nullptr) obs::SetDefaultRegistry(metrics);
+  obs::Tracer tracer;
   const auto outcome = [&] {
+    obs::ScopedDefaultRegistry scoped_registry(metrics);
     util::ThreadPool pool;  // auto-attaches to the default registry
+    // Root span for the whole protocol; per-fold training spans nest under
+    // it because ForEachFold carries the trace context into the pool.
+    obs::ScopedSpan evaluate_span(
+        options.trace_out.empty() ? nullptr : &tracer, "sentinel_evaluate");
     return eval::RunCrossValidation(dataset, config, &pool, metrics);
   }();
-  obs::SetDefaultRegistry(nullptr);
   for (std::size_t t = 0; t < devices::DeviceTypeCount(); ++t) {
     std::printf("%-20s %.3f\n",
                 devices::GetDeviceType(static_cast<int>(t)).identifier.c_str(),
@@ -346,7 +463,37 @@ int CmdEvaluate(const Options& options) {
     std::printf("wrote %s\n", options.out_path.c_str());
   }
   DumpMetrics(registry, options);
+  DumpTrace(tracer, options);
   return 0;
+}
+
+/// Trains a Security Service and streams `demo_devices` simulated setup
+/// episodes through a fully wired Security Gateway. Shared by `stats`
+/// (dump the registry afterwards) and `serve` (keep serving it).
+void StreamDemoEpisodes(core::SecurityGateway& gateway,
+                        const Options& options) {
+  constexpr sdn::PortId kDevicePort = 10;
+  gateway.AttachWan([](const net::Frame&) {});
+  gateway.AttachPort(kDevicePort, [](const net::Frame&) {});
+
+  const std::size_t demo_devices =
+      std::min<std::size_t>(devices::DeviceTypeCount(), 5);
+  std::printf("streaming %zu device setup episodes through the gateway...\n",
+              demo_devices);
+  devices::DeviceSimulator simulator(options.seed + 1);
+  for (std::size_t t = 0; t < demo_devices; ++t) {
+    const auto episode =
+        simulator.RunSetupEpisode(static_cast<devices::DeviceTypeId>(t));
+    for (const auto& frame : episode.trace.frames()) {
+      const auto packet = net::ParseFrame(frame);
+      const auto port = packet.src_mac == episode.device_mac
+                            ? kDevicePort
+                            : gateway.config().wan_port;
+      gateway.Ingress(port, frame);
+    }
+    const auto last = episode.trace.frames().back().timestamp_ns;
+    gateway.sentinel().FlushIdle(last + 60'000'000'000ull);
+  }
 }
 
 int CmdStats(const Options& options) {
@@ -354,7 +501,7 @@ int CmdStats(const Options& options) {
   // simulated setup episodes through a fully wired Security Gateway, and
   // dump everything the metrics registry collected along the way.
   obs::MetricsRegistry registry;
-  obs::SetDefaultRegistry(&registry);
+  obs::ScopedDefaultRegistry scoped_registry(&registry);
 
   std::printf("training security service (%zu episodes/type, seed %llu)...\n",
               options.episodes,
@@ -379,34 +526,57 @@ int CmdStats(const Options& options) {
 
   core::SecurityGateway gateway(service);
   gateway.set_metrics(&registry);
-  constexpr sdn::PortId kDevicePort = 10;
-  gateway.AttachWan([](const net::Frame&) {});
-  gateway.AttachPort(kDevicePort, [](const net::Frame&) {});
-
-  const std::size_t demo_devices =
-      std::min<std::size_t>(devices::DeviceTypeCount(), 5);
-  std::printf("streaming %zu device setup episodes through the gateway...\n",
-              demo_devices);
-  devices::DeviceSimulator simulator(options.seed + 1);
-  for (std::size_t t = 0; t < demo_devices; ++t) {
-    const auto episode =
-        simulator.RunSetupEpisode(static_cast<devices::DeviceTypeId>(t));
-    for (const auto& frame : episode.trace.frames()) {
-      const auto packet = net::ParseFrame(frame);
-      const auto port = packet.src_mac == episode.device_mac
-                            ? kDevicePort
-                            : gateway.config().wan_port;
-      gateway.Ingress(port, frame);
-    }
-    const auto last = episode.trace.frames().back().timestamp_ns;
-    gateway.sentinel().FlushIdle(last + 60'000'000'000ull);
-  }
-  obs::SetDefaultRegistry(nullptr);
+  StreamDemoEpisodes(gateway, options);
 
   const std::string rendered =
       options.json ? registry.RenderJson() : registry.RenderPrometheus();
   std::fputs(rendered.c_str(), stdout);
   DumpMetrics(registry, options);
+  return 0;
+}
+
+int CmdServe(const Options& options) {
+  // Live telemetry: run the `stats` demo pipeline with a flight recorder
+  // attached, then serve the registry and the per-device journals over
+  // HTTP until interrupted.
+  obs::MetricsRegistry registry;
+  obs::ScopedDefaultRegistry scoped_registry(&registry);
+  obs::FlightRecorder recorder;
+
+  std::printf("training security service (%zu episodes/type, seed %llu)...\n",
+              options.episodes,
+              static_cast<unsigned long long>(options.seed));
+  const auto dataset =
+      devices::GenerateFingerprintDataset(options.episodes, options.seed);
+  std::vector<core::LabelledFingerprint> train;
+  train.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    train.push_back(core::LabelledFingerprint{
+        &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+  core::DeviceIdentifier identifier;
+  {
+    util::ThreadPool pool;  // auto-attaches to the default registry
+    identifier.set_thread_pool(&pool);
+    identifier.set_metrics(&registry);
+    identifier.Train(train);
+    identifier.set_thread_pool(nullptr);
+  }
+  core::SecurityService service(std::move(identifier),
+                                core::VulnerabilityDb::SeedFromCatalog());
+
+  core::SecurityGateway gateway(service);
+  gateway.set_metrics(&registry);
+  gateway.set_flight_recorder(&recorder);
+  StreamDemoEpisodes(gateway, options);
+
+  obs::TelemetryServer server(&registry, &recorder,
+                              {.port = options.listen_port});
+  server.Start();
+  std::printf("serving telemetry on http://127.0.0.1:%u\n"
+              "  /healthz  /metrics  /devices  /devices/<mac>\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  server.Serve();  // blocks until the process is interrupted
   return 0;
 }
 
@@ -426,6 +596,10 @@ int Usage() {
       "  identify <model.bin> <capture.pcap>\n"
       "      Run captures through monitoring, identification and\n"
       "      enforcement; print each device's assessment.\n"
+      "  explain <model.bin> <capture.pcap> [mac]\n"
+      "      Identify, then print each device's flight-recorder journal:\n"
+      "      classifier votes, tie-break scores, verdict, advisories and\n"
+      "      the enforcement level.\n"
       "  fingerprint <capture.pcap>\n"
       "      Dump the fingerprint matrices F extracted from a capture.\n"
       "  evaluate [--episodes N] [--reps R] [--seed S] [--out report.md]\n"
@@ -433,10 +607,16 @@ int Usage() {
       "  stats [--episodes N] [--seed S] [--json]\n"
       "      Exercise the full gateway pipeline on simulated episodes and\n"
       "      dump the collected metrics registry.\n"
+      "  serve [--listen PORT] [--episodes N] [--seed S]\n"
+      "      Run the stats pipeline, then serve /healthz, /metrics,\n"
+      "      /devices and /devices/<mac> over HTTP on 127.0.0.1\n"
+      "      (an ephemeral port is chosen and printed when PORT is 0).\n"
       "\n"
       "train/identify/evaluate/stats also accept --metrics-out <file>\n"
-      "(Prometheus text; JSON with --json). Set SENTINEL_LOG=info|debug for\n"
-      "structured logs on stderr; SENTINEL_THREADS caps the worker pool.\n");
+      "(Prometheus text; JSON with --json); train/identify/explain/evaluate\n"
+      "accept --trace-out <file> for Chrome-trace-event JSON (Perfetto).\n"
+      "Set SENTINEL_LOG=info|debug for structured logs on stderr;\n"
+      "SENTINEL_THREADS caps the worker pool.\n");
   return 2;
 }
 
@@ -451,9 +631,11 @@ int main(int argc, char** argv) {
     if (command == "train") return CmdTrain(options);
     if (command == "record") return CmdRecord(options);
     if (command == "identify") return CmdIdentify(options);
+    if (command == "explain") return CmdExplain(options);
     if (command == "fingerprint") return CmdFingerprint(options);
     if (command == "evaluate") return CmdEvaluate(options);
     if (command == "stats") return CmdStats(options);
+    if (command == "serve") return CmdServe(options);
     return Usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sentinelctl %s: %s\n", command.c_str(),
