@@ -54,6 +54,14 @@ void DeviceIdentifier::set_metrics(obs::MetricsRegistry* registry) {
   handles_.tiebreak_total = &registry->GetCounter(
       "sentinel_identifier_tiebreak_total",
       "equal-dissimilarity tie-break coin flips");
+  handles_.editdist_pruned = &registry->GetCounter(
+      "sentinel_identifier_editdist_pruned_total",
+      "edit-distance computations skipped because the candidate provably "
+      "could not beat the best tie-break score");
+  handles_.bank_early_exit = &registry->GetCounter(
+      "sentinel_bank_early_exit_total",
+      "bank-scan classifier evaluations that stopped early because the "
+      "remaining trees' probability bounds had decided the verdict");
   handles_.types = &registry->GetGauge(
       "sentinel_identifier_types", "device-types in the trained bank");
   handles_.types->Set(static_cast<double>(types_.size()));
@@ -89,6 +97,21 @@ void DeviceIdentifier::TrainOne(
   entry.references.clear();
   entry.references.reserve(positives.size());
   for (const auto& example : positives) entry.references.push_back(*example.full);
+  CompileEntry(entry);
+}
+
+void DeviceIdentifier::CompileEntry(PerType& entry) {
+  entry.flat = ml::FlatForest::Compile(entry.classifier);
+  // Pre-intern the discrimination references against a per-type table so
+  // identification only interns the probe (a read-only lookup) per
+  // candidate; id equality against these sequences is still equivalent to
+  // packet equality, so every edit distance is unchanged.
+  entry.reference_table.Clear();
+  entry.reference_ids.assign(entry.references.size(), {});
+  for (std::size_t i = 0; i < entry.references.size(); ++i) {
+    entry.reference_table.Intern(entry.references[i].packets(),
+                                 entry.reference_ids[i]);
+  }
 }
 
 void DeviceIdentifier::Train(const std::vector<LabelledFingerprint>& examples) {
@@ -182,6 +205,13 @@ void DeviceIdentifier::AddType(
 }
 
 IdentificationResult DeviceIdentifier::Identify(
+    const features::Fingerprint& full,
+    const features::FixedFingerprint& fixed) const {
+  return fast_path_ ? IdentifyFast(full, fixed)
+                    : IdentifyReference(full, fixed);
+}
+
+IdentificationResult DeviceIdentifier::IdentifyReference(
     const features::Fingerprint& full,
     const features::FixedFingerprint& fixed) const {
   IdentificationResult result;
@@ -327,6 +357,268 @@ IdentificationResult DeviceIdentifier::Identify(
   return result;
 }
 
+void DeviceIdentifier::ScanBankFast(std::span<const double> row,
+                                    IdentificationResult& result) const {
+  result.bank_probabilities.assign(types_.size(), 0.0);
+  result.bank_labels.reserve(types_.size());
+  // A single-probe scan is a few microseconds of work per type; waking
+  // pool workers for per-index claims costs more than it saves at every
+  // bank size the throughput bench measures (8-128 types), so the
+  // per-call scan stays on the calling thread. Parallel identification
+  // throughput comes from IdentifyBatch (one pooled sweep over many
+  // probes) or from callers running concurrent Identify() calls — the
+  // method is const and thread-safe.
+  util::ThreadPool* const scan_pool = nullptr;
+  if (bank_early_exit_) {
+    std::vector<std::uint8_t> accepted(types_.size(), 0);
+    std::vector<std::uint8_t> exited(types_.size(), 0);
+    util::ParallelFor(scan_pool, types_.size(), [&](std::size_t k) {
+      const auto verdict = types_[k].flat.PositiveProbaThreshold(
+          row, config_.acceptance_threshold);
+      result.bank_probabilities[k] = verdict.probability;
+      accepted[k] = verdict.accepted ? 1 : 0;
+      exited[k] = verdict.early_exit ? 1 : 0;
+    });
+    std::uint64_t early_exits = 0;
+    for (std::size_t k = 0; k < types_.size(); ++k) {
+      result.bank_labels.push_back(types_[k].label);
+      if (accepted[k] != 0) result.matched_types.push_back(types_[k].label);
+      early_exits += exited[k];
+    }
+    if (handles_.bank_early_exit != nullptr && early_exits > 0)
+      handles_.bank_early_exit->Increment(early_exits);
+    return;
+  }
+  util::ParallelFor(scan_pool, types_.size(), [&](std::size_t k) {
+    result.bank_probabilities[k] = types_[k].flat.PositiveProba(row);
+  });
+  for (std::size_t k = 0; k < types_.size(); ++k) {
+    result.bank_labels.push_back(types_[k].label);
+    if (result.bank_probabilities[k] >= config_.acceptance_threshold)
+      result.matched_types.push_back(types_[k].label);
+  }
+}
+
+void DeviceIdentifier::DiscriminateFast(
+    const features::Fingerprint& full, IdentificationResult& result,
+    features::EditDistanceScratch& scratch) const {
+  obs::ScopedSpan tiebreak_span("sentinel_stage_tie_break");
+  const auto t1 = Clock::now();
+  std::uint64_t probe_hash = 0xcbf29ce484222325ull;
+  for (const auto& packet : full.packets()) {
+    for (const auto value : packet) {
+      probe_hash = (probe_hash ^ value) * 0x100000001b3ull;
+    }
+  }
+  ml::Rng reference_rng(probe_hash);
+  double best_score = std::numeric_limits<double>::infinity();
+  int best_label = result.matched_types.front();
+  std::size_t best_take = 1;
+  std::size_t pruned_references = 0;
+  for (const int label : result.matched_types) {
+    const auto entry_it =
+        std::find_if(types_.begin(), types_.end(),
+                     [label](const PerType& e) { return e.label == label; });
+    const auto& references = entry_it->references;
+    const std::size_t take =
+        std::min(config_.discrimination_references, references.size());
+    // The reference picks consume the RNG exactly as the reference
+    // implementation does, pruned or not — the per-probe determinism
+    // contract hinges on this stream never diverging.
+    std::vector<std::size_t> indices(references.size());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    for (std::size_t i = 0; i < take; ++i) {
+      std::uniform_int_distribution<std::size_t> pick(i, indices.size() - 1);
+      std::swap(indices[i], indices[pick(reference_rng)]);
+    }
+    // References accumulate sequentially so each one sees the candidate's
+    // running score: a reference whose certified distance lower bound
+    // already pushes the candidate strictly above the best score ends the
+    // candidate (it can neither win nor tie), skipping the remaining
+    // distance computations. Non-pruned distances are bit-identical to
+    // NormalizedEditDistance and summed in the same order, so a candidate
+    // that completes has exactly the reference implementation's score —
+    // ties (and their coin flips) are preserved, and the eventual winner
+    // is never pruned (pruning certifies a score above the then-current
+    // best, which only ever decreases).
+    // Intern the probe against this type's frozen reference table (see
+    // CompileEntry): the references' id forms are precomputed, so the DP
+    // compares one id per cell with no per-reference interning work.
+    entry_it->reference_table.InternReadOnly(full.packets(), scratch.overflow,
+                                             scratch.ids_a);
+    const std::span<const std::uint32_t> probe_ids(scratch.ids_a);
+    double score = 0.0;
+    bool pruned = false;
+    for (std::size_t i = 0; i < take; ++i) {
+      const auto& reference_ids = entry_it->reference_ids[indices[i]];
+      const auto outcome = features::PrunedNormalizedEditDistance(
+          probe_ids, std::span<const std::uint32_t>(reference_ids), score,
+          best_score, scratch);
+      score += outcome.value;
+      if (outcome.pruned) {
+        pruned = true;
+        pruned_references += take - i;
+        break;
+      }
+      ++result.edit_distance_count;
+    }
+    // For pruned candidates this records the certified lower bound the
+    // candidate was eliminated at, not the exact score.
+    result.dissimilarity_scores.push_back(score);
+    if (pruned) continue;
+    if (score < best_score) {
+      best_score = score;
+      best_label = label;
+      best_take = std::max<std::size_t>(1, take);
+    } else if (score == best_score) {
+      if (handles_.tiebreak_total != nullptr)
+        handles_.tiebreak_total->Increment();
+      std::uniform_int_distribution<int> coin(0, 1);
+      if (coin(reference_rng) == 1) best_label = label;
+    }
+  }
+  result.discrimination_time = Clock::now() - t1;
+  if (tiebreak_span.enabled()) {
+    tiebreak_span.AddArg("candidates",
+                         std::to_string(result.matched_types.size()));
+    tiebreak_span.AddArg("edit_distances",
+                         std::to_string(result.edit_distance_count));
+    tiebreak_span.AddArg("pruned", std::to_string(pruned_references));
+    tiebreak_span.AddArg("best_label", std::to_string(best_label));
+  }
+  tiebreak_span.End();
+  if (handles_.discrimination_ns != nullptr) {
+    handles_.discrimination_ns->Observe(
+        static_cast<double>(result.discrimination_time.count()));
+    handles_.edit_distance_total->Increment(result.edit_distance_count);
+    if (pruned_references > 0)
+      handles_.editdist_pruned->Increment(pruned_references);
+  }
+  if (best_score / static_cast<double>(best_take) >
+      config_.rejection_distance) {
+    if (handles_.unknown_total != nullptr) handles_.unknown_total->Increment();
+    SENTINEL_LOG_DEBUG("identifier", "identified", {"outcome", "rejected"},
+                       {"matches", result.matched_types.size()},
+                       {"best_score", best_score});
+    return;  // new device-type
+  }
+  result.type = best_label;
+  SENTINEL_LOG_DEBUG("identifier", "identified", {"outcome", "known"},
+                     {"label", best_label},
+                     {"matches", result.matched_types.size()});
+}
+
+IdentificationResult DeviceIdentifier::IdentifyFast(
+    const features::Fingerprint& full,
+    const features::FixedFingerprint& fixed) const {
+  IdentificationResult result;
+  result.acceptance_threshold = config_.acceptance_threshold;
+  // F' is already a contiguous double array — the compiled bank consumes
+  // it in place, with no per-probe ToVector() allocation.
+  const std::span<const double> row(fixed.values());
+
+  obs::ScopedSpan bank_span("sentinel_identifier_bank_scan");
+  const auto t0 = Clock::now();
+  ScanBankFast(row, result);
+  result.classification_time = Clock::now() - t0;
+  if (bank_span.enabled()) {
+    bank_span.AddArg("types", std::to_string(types_.size()));
+    bank_span.AddArg("matches", std::to_string(result.matched_types.size()));
+  }
+  bank_span.End();
+  if (handles_.identify_total != nullptr) {
+    handles_.identify_total->Increment();
+    handles_.accepts_total->Increment(result.matched_types.size());
+    handles_.classification_ns->Observe(
+        static_cast<double>(result.classification_time.count()));
+    if (result.matched_types.size() > 1)
+      handles_.multi_match_total->Increment();
+  }
+
+  if (result.matched_types.empty()) {
+    if (handles_.unknown_total != nullptr) handles_.unknown_total->Increment();
+    SENTINEL_LOG_DEBUG("identifier", "identified", {"outcome", "unknown"},
+                       {"matches", std::size_t{0}});
+    return result;  // unknown device-type
+  }
+
+  thread_local features::EditDistanceScratch scratch;
+  DiscriminateFast(full, result, scratch);
+  return result;
+}
+
+std::vector<IdentificationResult> DeviceIdentifier::IdentifyBatch(
+    std::span<const FingerprintRef> probes) const {
+  std::vector<IdentificationResult> results(probes.size());
+  if (probes.empty()) return results;
+  if (!fast_path_) {
+    for (std::size_t r = 0; r < probes.size(); ++r)
+      results[r] = IdentifyReference(*probes[r].full, *probes[r].fixed);
+    return results;
+  }
+
+  // One bank sweep over all probes: per type, a single batched pass whose
+  // tree arena stays cache-hot across the whole probe matrix.
+  const std::size_t rows = probes.size();
+  std::vector<double> matrix(rows * features::kFPrimeDim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto& values = probes[r].fixed->values();
+    std::copy(values.begin(), values.end(),
+              matrix.begin() +
+                  static_cast<std::ptrdiff_t>(r * features::kFPrimeDim));
+  }
+  obs::ScopedSpan bank_span("sentinel_identifier_bank_scan");
+  const auto t0 = Clock::now();
+  std::vector<double> proba(types_.size() * rows, 0.0);
+  util::ParallelFor(pool_, types_.size(), [&](std::size_t k) {
+    types_[k].flat.PositiveProbaBatch(
+        matrix, features::kFPrimeDim,
+        std::span<double>(proba).subspan(k * rows, rows));
+  });
+  const auto scan_time = Clock::now() - t0;
+  if (bank_span.enabled()) {
+    bank_span.AddArg("types", std::to_string(types_.size()));
+    bank_span.AddArg("probes", std::to_string(rows));
+  }
+  bank_span.End();
+  const auto scan_share =
+      std::chrono::nanoseconds(scan_time.count() / static_cast<long>(rows));
+
+  // Stage 2 is independent per probe (each draws its picks and coins from
+  // its own probe-hash-seeded RNG), so probes discriminate in parallel;
+  // metrics handles are atomic.
+  util::ParallelFor(pool_, rows, [&](std::size_t r) {
+    IdentificationResult& result = results[r];
+    result.acceptance_threshold = config_.acceptance_threshold;
+    result.bank_probabilities.resize(types_.size());
+    result.bank_labels.reserve(types_.size());
+    for (std::size_t k = 0; k < types_.size(); ++k) {
+      const double p = proba[k * rows + r];
+      result.bank_probabilities[k] = p;
+      result.bank_labels.push_back(types_[k].label);
+      if (p >= config_.acceptance_threshold)
+        result.matched_types.push_back(types_[k].label);
+    }
+    result.classification_time = scan_share;
+    if (handles_.identify_total != nullptr) {
+      handles_.identify_total->Increment();
+      handles_.accepts_total->Increment(result.matched_types.size());
+      handles_.classification_ns->Observe(
+          static_cast<double>(result.classification_time.count()));
+      if (result.matched_types.size() > 1)
+        handles_.multi_match_total->Increment();
+    }
+    if (result.matched_types.empty()) {
+      if (handles_.unknown_total != nullptr)
+        handles_.unknown_total->Increment();
+      return;
+    }
+    thread_local features::EditDistanceScratch scratch;
+    DiscriminateFast(*probes[r].full, result, scratch);
+  });
+  return results;
+}
+
 // Model bundle format: 'S''I''D' ver(1) | config | u32 type_count |
 // per type: i32 label, RandomForest, u32 reference_count, references.
 void DeviceIdentifier::Save(net::ByteWriter& w) const {
@@ -371,6 +663,7 @@ DeviceIdentifier DeviceIdentifier::Load(net::ByteReader& r) {
     entry.references.reserve(reference_count);
     for (std::uint32_t i = 0; i < reference_count; ++i)
       entry.references.push_back(features::DecodeFingerprint(r));
+    CompileEntry(entry);
     identifier.labels_.push_back(entry.label);
     identifier.types_.push_back(std::move(entry));
   }
@@ -421,6 +714,10 @@ std::size_t DeviceIdentifier::MemoryBytes() const {
   std::size_t total = sizeof(*this) + labels_.capacity() * sizeof(int);
   for (const auto& entry : types_) {
     total += entry.classifier.MemoryBytes();
+    total += entry.flat.MemoryBytes();
+    total += entry.reference_table.MemoryBytes();
+    for (const auto& ids : entry.reference_ids)
+      total += ids.capacity() * sizeof(std::uint32_t);
     for (const auto& reference : entry.references) {
       total += reference.size() * sizeof(features::PacketFeatureVector);
     }

@@ -11,11 +11,13 @@
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "features/edit_distance.h"
 #include "features/fingerprint.h"
+#include "ml/flat_forest.h"
 #include "ml/random_forest.h"
 #include "obs/metrics.h"
 #include "util/thread_pool.h"
@@ -120,10 +122,59 @@ class DeviceIdentifier {
   void AddType(int label, const std::vector<LabelledFingerprint>& examples,
                const std::vector<LabelledFingerprint>& negatives);
 
-  /// Identifies one fingerprint.
+  /// Routes Identify() through the compiled fast path (arena-flattened
+  /// classifier bank + pruned edit-distance tie-break, the default) or the
+  /// reference implementation. Verdicts, bank probabilities, matched-type
+  /// lists and the winning dissimilarity score are bit-identical either
+  /// way (differentially tested); only dissimilarity scores of candidates
+  /// that provably lost may differ (the fast path records a certified
+  /// lower bound instead of finishing the computation), along with
+  /// edit_distance_count.
+  void set_fast_path(bool on) { fast_path_ = on; }
+  [[nodiscard]] bool fast_path() const { return fast_path_; }
+
+  /// Opt-in stage-1 early exit: stop scanning a classifier's trees once
+  /// the accept/reject verdict is certain from the remaining trees'
+  /// probability bounds. Verdicts (and therefore identifications) stay
+  /// exact, but the recorded bank_probabilities become certified bounds
+  /// rather than exact probabilities whenever a scan exits early — hence
+  /// off by default, where recorded probabilities are bit-identical to
+  /// the reference. Only affects the fast path.
+  void set_bank_early_exit(bool on) { bank_early_exit_ = on; }
+  [[nodiscard]] bool bank_early_exit() const { return bank_early_exit_; }
+
+  /// Identifies one fingerprint (through the fast path unless
+  /// set_fast_path(false)).
   [[nodiscard]] IdentificationResult Identify(
       const features::Fingerprint& full,
       const features::FixedFingerprint& fixed) const;
+
+  /// The pre-fast-path implementation, kept verbatim for A/B comparison,
+  /// differential testing and honest benchmarking. Identify() with
+  /// set_fast_path(false) routes here.
+  [[nodiscard]] IdentificationResult IdentifyReference(
+      const features::Fingerprint& full,
+      const features::FixedFingerprint& fixed) const;
+
+  /// One probe of a batched identification: both fingerprint forms, owned
+  /// by the caller for the duration of the call.
+  struct FingerprintRef {
+    const features::Fingerprint* full = nullptr;
+    const features::FixedFingerprint* fixed = nullptr;
+  };
+
+  /// Batched identification: scans the whole bank over a row-major matrix
+  /// of all probes' F' vectors (one PositiveProbaBatch sweep per type, the
+  /// arena staying cache-hot across probes), then discriminates the probes
+  /// in parallel on the thread pool. Each result is bit-identical to the
+  /// corresponding per-call Identify() on the default fast path — every
+  /// probe derives its reference picks and tie-break coins from its own
+  /// probe-hash-seeded RNG stream, so batching cannot reorder them. The
+  /// batch always uses the exact batched scan (bank_early_exit does not
+  /// apply). classification_time is reported as the probe's even share of
+  /// the one batched scan.
+  [[nodiscard]] std::vector<IdentificationResult> IdentifyBatch(
+      std::span<const FingerprintRef> probes) const;
 
   [[nodiscard]] std::size_t type_count() const { return types_.size(); }
   /// Mean out-of-bag accuracy across the per-type classifiers — a model
@@ -145,9 +196,25 @@ class DeviceIdentifier {
   struct PerType {
     int label = 0;
     ml::RandomForest classifier;
+    /// Arena-compiled form of `classifier`, rebuilt after every Train /
+    /// AddType / Load (never serialized — Save() bytes are untouched by
+    /// compilation).
+    ml::FlatForest flat;
     /// Training fingerprints retained as discrimination references.
     std::vector<features::Fingerprint> references;
+    /// Interned forms of `references`, built alongside `flat`: each
+    /// reference's packets as dense ids over a per-type frozen table.
+    /// DiscriminateFast interns only the probe (lookup-only) against this
+    /// table per candidate, so the per-reference interning work that would
+    /// otherwise repeat on every identification happens once here.
+    features::PacketInterner reference_table;
+    std::vector<std::vector<std::uint32_t>> reference_ids;
   };
+
+  /// Compiles `entry`'s runtime acceleration structures (arena forest +
+  /// interned references) from its trained state. Called after TrainOne /
+  /// AddType / Load; never affects serialized bytes.
+  static void CompileEntry(PerType& entry);
 
   /// Trains one per-type binary classifier. Rows are the pre-flattened F'
   /// vectors of the positives / candidate negatives (flattening is hoisted
@@ -171,8 +238,25 @@ class DeviceIdentifier {
     obs::Counter* accepts_total = nullptr;
     obs::Counter* edit_distance_total = nullptr;
     obs::Counter* tiebreak_total = nullptr;
+    obs::Counter* editdist_pruned = nullptr;
+    obs::Counter* bank_early_exit = nullptr;
     obs::Gauge* types = nullptr;
   };
+
+  /// Fast-path stage 1 for one probe: fills bank_labels /
+  /// bank_probabilities / matched_types via the compiled bank.
+  void ScanBankFast(std::span<const double> row,
+                    IdentificationResult& result) const;
+  /// Fast-path stage 2 (pruned tie-break) for one probe whose
+  /// matched_types is non-empty. Sequential over candidates and
+  /// references (the pruning budget accumulates left to right), so it is
+  /// thread-pool independent and safe to run per-probe in IdentifyBatch.
+  void DiscriminateFast(const features::Fingerprint& full,
+                        IdentificationResult& result,
+                        features::EditDistanceScratch& scratch) const;
+  [[nodiscard]] IdentificationResult IdentifyFast(
+      const features::Fingerprint& full,
+      const features::FixedFingerprint& fixed) const;
 
   IdentifierConfig config_;
   std::vector<PerType> types_;
@@ -180,6 +264,8 @@ class DeviceIdentifier {
   util::ThreadPool* pool_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   IdentifierMetrics handles_;
+  bool fast_path_ = true;
+  bool bank_early_exit_ = false;
 };
 
 }  // namespace sentinel::core

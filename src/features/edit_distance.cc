@@ -1,6 +1,7 @@
 #include "features/edit_distance.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "util/check.h"
@@ -47,6 +48,209 @@ double NormalizedEditDistance(const Fingerprint& a, const Fingerprint& b) {
       << "edit distance " << d << " exceeds longer fingerprint length "
       << longest;
   return static_cast<double>(d) / static_cast<double>(longest);
+}
+
+void PacketInterner::Intern(std::span<const PacketFeatureVector> packets,
+                            std::vector<std::uint32_t>& out) {
+  out.clear();
+  out.reserve(packets.size());
+  for (const auto& packet : packets) {
+    std::uint32_t id = 0;
+    for (; id < keys_.size(); ++id) {
+      if (keys_[id] == packet) break;
+    }
+    if (id == keys_.size()) keys_.push_back(packet);
+    out.push_back(id);
+  }
+}
+
+void PacketInterner::InternReadOnly(
+    std::span<const PacketFeatureVector> packets,
+    std::vector<PacketFeatureVector>& overflow,
+    std::vector<std::uint32_t>& out) const {
+  overflow.clear();
+  out.clear();
+  out.reserve(packets.size());
+  const std::uint32_t table = static_cast<std::uint32_t>(keys_.size());
+  for (const auto& packet : packets) {
+    std::uint32_t id = 0;
+    for (; id < table; ++id) {
+      if (keys_[id] == packet) break;
+    }
+    if (id < table) {
+      out.push_back(id);
+      continue;
+    }
+    // Unknown to the frozen table: id past its end, equal unknown packets
+    // mapped to one id so id equality stays equivalent to packet equality.
+    std::uint32_t extra = 0;
+    for (; extra < overflow.size(); ++extra) {
+      if (overflow[extra] == packet) break;
+    }
+    if (extra == overflow.size()) overflow.push_back(packet);
+    out.push_back(table + extra);
+  }
+}
+
+namespace {
+
+// Shared banded program: T is either PacketFeatureVector (direct) or an
+// interned id (std::uint32_t). Only equality of elements is consumed, so
+// both instantiations compute the same distances.
+template <typename T>
+BoundedDistance BoundedEditDistanceImpl(std::span<const T> a,
+                                        std::span<const T> b,
+                                        std::size_t cutoff,
+                                        EditDistanceScratch& scratch) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0) return {m, m > cutoff};
+  if (m == 0) return {n, n > cutoff};
+  // Length-difference lower bound: every alignment needs at least
+  // |n - m| insertions or deletions.
+  const std::size_t diff = n > m ? n - m : m - n;
+  if (diff > cutoff) return {diff, true};
+
+  // Banded three-row OSA program. kInf marks cells outside the |i-j| <=
+  // cutoff band: their true distance is >= |i-j| > cutoff, so clamping
+  // them to cutoff+1 preserves exactness for any result <= cutoff (values
+  // along a DP path never decrease, so a path through a clamped cell ends
+  // > cutoff and is never selected when the true distance is in band).
+  const std::size_t kInf = cutoff + 1;
+  scratch.prev2.assign(m + 1, kInf);
+  scratch.prev.assign(m + 1, kInf);
+  scratch.cur.assign(m + 1, kInf);
+  auto& prev2 = scratch.prev2;
+  auto& prev = scratch.prev;
+  auto& cur = scratch.cur;
+  for (std::size_t j = 0; j <= std::min(m, cutoff); ++j) prev[j] = j;
+  std::size_t prev_min = 0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t lo = i > cutoff ? i - cutoff : 1;
+    const std::size_t hi = std::min(m, i + cutoff);
+    cur[0] = i <= cutoff ? i : kInf;
+    // Band edges the recurrence may read before they are written this
+    // round (insertion at j = lo, and the next rows' prev/prev2 reads just
+    // outside their own windows) are pinned to the out-of-band sentinel.
+    if (lo > 1) cur[lo - 1] = kInf;
+    std::size_t row_min = cur[0];
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const std::size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      std::size_t v = std::min({prev[j] + 1,        // deletion
+                                cur[j - 1] + 1,     // insertion
+                                prev[j - 1] + cost  // substitution
+      });
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        v = std::min(v, prev2[j - 2] + cost);  // transposition
+      }
+      v = std::min(v, kInf);
+      cur[j] = v;
+      row_min = std::min(row_min, v);
+    }
+    if (hi < m) cur[hi + 1] = kInf;
+    // Every cell of a later row is a min over this row and the previous
+    // one plus non-negative costs (same-row chains ground at the column-0
+    // head, itself > cutoff once i > cutoff), so two consecutive all-
+    // exceeding rows certify the final distance exceeds the cutoff.
+    if (row_min > cutoff && prev_min > cutoff) return {kInf, true};
+    prev_min = row_min;
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  const std::size_t d = prev[m];
+  return {d, d > cutoff};
+}
+
+// Cutoff selection shared by the two PrunedNormalizedEditDistance
+// overloads; Distance is invoked with the chosen cutoff only when pruning
+// cannot already be decided from the lengths alone.
+template <typename Distance>
+PrunedNormalized PrunedNormalizedImpl(std::size_t longest,
+                                      double partial_score, double best_score,
+                                      Distance&& bounded_distance) {
+  if (longest == 0) return {0.0, false};
+  const double denominator = static_cast<double>(longest);
+  // useful(d): could an exact distance of d still keep the candidate's
+  // score at or below best (a win or a tie)? Evaluated with the exact
+  // floating-point expressions the caller's accumulation performs —
+  // division and addition are monotone in d, so the predicate is monotone
+  // and the pruning decision is certain, not approximate.
+  const auto useful = [&](std::size_t d) {
+    return partial_score + static_cast<double>(d) / denominator <= best_score;
+  };
+  std::size_t cutoff;
+  if (!(best_score < std::numeric_limits<double>::infinity())) {
+    cutoff = longest;  // no best yet — full, exact computation
+  } else if (!useful(0)) {
+    // Even a zero distance leaves the candidate above best: skip the
+    // computation entirely (the returned 0 keeps the caller's running
+    // score unchanged, which is already certified above best).
+    return {0.0, true};
+  } else {
+    // Seed at the real-arithmetic crossover, then settle onto the largest
+    // useful distance with the exact predicate (at most a step or two).
+    double guess = (best_score - partial_score) * denominator;
+    if (!(guess >= 0.0)) guess = 0.0;
+    if (guess > denominator) guess = denominator;
+    cutoff = static_cast<std::size_t>(guess);
+    while (cutoff < longest && useful(cutoff + 1)) ++cutoff;
+    while (cutoff > 0 && !useful(cutoff)) --cutoff;
+  }
+  const BoundedDistance bounded = bounded_distance(cutoff);
+  if (!bounded.exceeded) {
+    SENTINEL_CHECK(bounded.distance <= longest)
+        << "edit distance " << bounded.distance
+        << " exceeds longer fingerprint length " << longest;
+    return {static_cast<double>(bounded.distance) / denominator, false};
+  }
+  // True distance >= cutoff + 1 and useful(cutoff + 1) is false, so the
+  // candidate's score stays strictly above best whatever the exact value
+  // is; report the certified normalized lower bound.
+  return {static_cast<double>(cutoff + 1) / denominator, true};
+}
+
+}  // namespace
+
+BoundedDistance BoundedEditDistance(std::span<const PacketFeatureVector> a,
+                                    std::span<const PacketFeatureVector> b,
+                                    std::size_t cutoff,
+                                    EditDistanceScratch& scratch) {
+  return BoundedEditDistanceImpl(a, b, cutoff, scratch);
+}
+
+BoundedDistance BoundedEditDistance(std::span<const std::uint32_t> a,
+                                    std::span<const std::uint32_t> b,
+                                    std::size_t cutoff,
+                                    EditDistanceScratch& scratch) {
+  return BoundedEditDistanceImpl(a, b, cutoff, scratch);
+}
+
+PrunedNormalized PrunedNormalizedEditDistance(const Fingerprint& a,
+                                              const Fingerprint& b,
+                                              double partial_score,
+                                              double best_score,
+                                              EditDistanceScratch& scratch) {
+  return PrunedNormalizedImpl(
+      std::max(a.size(), b.size()), partial_score, best_score,
+      [&](std::size_t cutoff) {
+        return BoundedEditDistanceImpl(
+            std::span<const PacketFeatureVector>(a.packets()),
+            std::span<const PacketFeatureVector>(b.packets()), cutoff,
+            scratch);
+      });
+}
+
+PrunedNormalized PrunedNormalizedEditDistance(std::span<const std::uint32_t> a,
+                                              std::span<const std::uint32_t> b,
+                                              double partial_score,
+                                              double best_score,
+                                              EditDistanceScratch& scratch) {
+  return PrunedNormalizedImpl(
+      std::max(a.size(), b.size()), partial_score, best_score,
+      [&](std::size_t cutoff) {
+        return BoundedEditDistanceImpl(a, b, cutoff, scratch);
+      });
 }
 
 }  // namespace sentinel::features

@@ -4,10 +4,25 @@
 // features match. The variant implemented is optimal string alignment
 // (insertion, deletion, substitution, immediate transposition), exactly the
 // operation set the paper lists.
+//
+// Two implementations share the recurrence:
+//  - EditDistance / NormalizedEditDistance: the reference full dynamic
+//    program (allocates its rows per call).
+//  - BoundedEditDistance / PrunedNormalizedEditDistance: the fast path —
+//    a length-difference lower bound plus Ukkonen band pruning around the
+//    diagonal (cells with |i - j| > cutoff cannot lie on any alignment of
+//    cost <= cutoff because d(i, j) >= |i - j|), with caller-owned scratch
+//    rows so repeated calls allocate nothing. When the distance is within
+//    the cutoff the banded program returns the exact value (bit-identical
+//    to the reference); otherwise it reports "exceeded" with a certified
+//    lower bound, which is what lets the identifier's tie-break skip
+//    reference fingerprints that cannot beat the current best candidate.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "features/fingerprint.h"
 
@@ -20,5 +35,110 @@ std::size_t EditDistance(std::span<const PacketFeatureVector> a,
 /// Distance normalized by the length of the longer sequence, in [0, 1].
 /// Two empty fingerprints have distance 0.
 double NormalizedEditDistance(const Fingerprint& a, const Fingerprint& b);
+
+/// Reusable dynamic-program rows for the bounded edit distance. One
+/// workspace per thread; repeated calls reuse the grown capacity.
+struct EditDistanceScratch {
+  std::vector<std::size_t> prev2, prev, cur;
+  /// Interned id forms of the two sequences (see PacketInterner).
+  std::vector<std::uint32_t> ids_a, ids_b;
+  /// Distinct unknown packets met during a read-only intern.
+  std::vector<PacketFeatureVector> overflow;
+};
+
+/// Maps packet feature vectors to dense ids such that two packets get the
+/// same id iff they are equal — after interning, the edit-distance DP
+/// compares single integers per cell instead of 23-word arrays (three
+/// array comparisons per cell once transpositions are checked), without
+/// changing any distance. Lookup is a linear scan: fingerprints hold at
+/// most a few dozen distinct packets, where a scan over contiguous keys
+/// beats hashing.
+class PacketInterner {
+ public:
+  void Clear() { keys_.clear(); }
+  /// Appends unknown packets to the key table and writes one id per input
+  /// packet. Ids from earlier Intern() calls on the same (un-Cleared)
+  /// table stay valid and comparable.
+  void Intern(std::span<const PacketFeatureVector> packets,
+              std::vector<std::uint32_t>& out);
+  /// Lookup-only interning against the frozen table (the identifier
+  /// pre-interns each type's references at bank-build time, then interns
+  /// the probe this way per candidate — const, so concurrent probes can
+  /// share the table). Packets absent from the table get consistent ids
+  /// past its end, deduplicated through the caller's `overflow` scratch.
+  void InternReadOnly(std::span<const PacketFeatureVector> packets,
+                      std::vector<PacketFeatureVector>& overflow,
+                      std::vector<std::uint32_t>& out) const;
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] std::size_t MemoryBytes() const {
+    return keys_.capacity() * sizeof(PacketFeatureVector);
+  }
+
+ private:
+  std::vector<PacketFeatureVector> keys_;
+};
+
+struct BoundedDistance {
+  /// Exact OSA distance when !exceeded (bit-identical to EditDistance);
+  /// a certified lower bound on it when exceeded.
+  std::size_t distance = 0;
+  /// True iff the true distance is > cutoff.
+  bool exceeded = false;
+};
+
+/// Banded OSA distance: exact for distances <= cutoff, early-out
+/// otherwise. cutoff >= max(a.size, b.size) degenerates to the full
+/// (always-exact) program.
+BoundedDistance BoundedEditDistance(std::span<const PacketFeatureVector> a,
+                                    std::span<const PacketFeatureVector> b,
+                                    std::size_t cutoff,
+                                    EditDistanceScratch& scratch);
+
+/// Same program over interned id sequences (see PacketInterner): both
+/// spans must have been interned against one shared table, making id
+/// equality equivalent to packet equality — the returned distance is then
+/// identical to the packet-level one.
+BoundedDistance BoundedEditDistance(std::span<const std::uint32_t> a,
+                                    std::span<const std::uint32_t> b,
+                                    std::size_t cutoff,
+                                    EditDistanceScratch& scratch);
+
+struct PrunedNormalized {
+  /// !pruned: bit-identical to NormalizedEditDistance(a, b). pruned: a
+  /// certified lower bound L on it such that fl(partial_score + L) >
+  /// best_score under the caller's left-to-right summation — adding it to
+  /// the candidate's running score provably keeps the candidate above the
+  /// best score, ties included.
+  double value = 0.0;
+  bool pruned = false;
+};
+
+/// Normalized edit distance with tie-break budget pruning. The caller is
+/// accumulating `partial_score` (sum of earlier reference distances, all
+/// >= 0) for a candidate competing against `best_score`; this reference
+/// can only matter if the candidate's final score could still be <=
+/// best_score. The cutoff translation into the integer distance domain is
+/// done with the exact floating-point comparisons the caller will perform
+/// (monotone in the distance), so the pruning decision is certain: a
+/// pruned reference could never have produced a score <= best_score, and
+/// in particular never a tie (the identifier's tie-break RNG stream is
+/// therefore unchanged). best_score = +infinity disables pruning.
+PrunedNormalized PrunedNormalizedEditDistance(const Fingerprint& a,
+                                              const Fingerprint& b,
+                                              double partial_score,
+                                              double best_score,
+                                              EditDistanceScratch& scratch);
+
+/// Id-sequence variant, for callers that interned both fingerprints
+/// against one shared PacketInterner table (the identifier pre-interns
+/// each type's references once and the probe per candidate via
+/// InternReadOnly). Contract is identical to the fingerprint overload; id
+/// sequences preserve lengths, so normalization divides by the same
+/// longer length.
+PrunedNormalized PrunedNormalizedEditDistance(std::span<const std::uint32_t> a,
+                                              std::span<const std::uint32_t> b,
+                                              double partial_score,
+                                              double best_score,
+                                              EditDistanceScratch& scratch);
 
 }  // namespace sentinel::features

@@ -35,7 +35,13 @@ void DecisionTree::Train(const Dataset& data,
   importances_.assign(data.feature_count(), 0.0);
   total_training_samples_ = indices.size();
   std::vector<std::size_t> idx(indices.begin(), indices.end());
-  Build(data, idx, 0, idx.size(), config, 0, rng);
+  BuildScratch scratch;
+  scratch.values.reserve(idx.size());
+  scratch.left_counts.resize(static_cast<std::size_t>(class_count_));
+  scratch.total_counts.resize(static_cast<std::size_t>(class_count_));
+  scratch.leaf_counts.resize(static_cast<std::size_t>(class_count_));
+  scratch.features.resize(data.feature_count());
+  Build(data, idx, 0, idx.size(), config, 0, rng, scratch);
   double sum = 0.0;
   for (const double v : importances_) sum += v;
   if (sum > 0.0) {
@@ -51,10 +57,12 @@ void DecisionTree::Train(const Dataset& data, const DecisionTreeConfig& config,
 }
 
 std::int32_t DecisionTree::MakeLeaf(const Dataset& data,
-                                    std::span<const std::size_t> idx) {
+                                    std::span<const std::size_t> idx,
+                                    BuildScratch& scratch) {
   Node leaf;
   leaf.proba_offset = static_cast<std::int32_t>(leaf_probas_.size());
-  std::vector<std::size_t> counts(static_cast<std::size_t>(class_count_), 0);
+  auto& counts = scratch.leaf_counts;
+  std::fill(counts.begin(), counts.end(), std::size_t{0});
   for (std::size_t i : idx) counts[static_cast<std::size_t>(data.label(i))]++;
   std::size_t best = 0;
   for (std::size_t c = 0; c < counts.size(); ++c) {
@@ -71,7 +79,8 @@ std::int32_t DecisionTree::Build(const Dataset& data,
                                  std::vector<std::size_t>& indices,
                                  std::size_t begin, std::size_t end,
                                  const DecisionTreeConfig& config,
-                                 std::size_t depth, Rng& rng) {
+                                 std::size_t depth, Rng& rng,
+                                 BuildScratch& scratch) {
   depth_ = std::max(depth_, depth);
   const std::size_t n = end - begin;
   auto idx = std::span<const std::size_t>(indices).subspan(begin, n);
@@ -86,7 +95,7 @@ std::int32_t DecisionTree::Build(const Dataset& data,
   }
   if (pure || n < config.min_samples_split ||
       (config.max_depth != 0 && depth >= config.max_depth)) {
-    return MakeLeaf(data, idx);
+    return MakeLeaf(data, idx, scratch);
   }
 
   const std::size_t d = data.feature_count();
@@ -97,7 +106,7 @@ std::int32_t DecisionTree::Build(const Dataset& data,
   mtry = std::min(mtry, d);
 
   // Sample mtry distinct candidate features (partial Fisher-Yates).
-  std::vector<std::size_t> features(d);
+  auto& features = scratch.features;
   std::iota(features.begin(), features.end(), std::size_t{0});
   for (std::size_t i = 0; i < mtry; ++i) {
     std::uniform_int_distribution<std::size_t> pick(i, d - 1);
@@ -111,12 +120,14 @@ std::int32_t DecisionTree::Build(const Dataset& data,
   } best;
 
   const std::size_t k = static_cast<std::size_t>(class_count_);
-  std::vector<std::size_t> total_counts(k, 0);
+  auto& total_counts = scratch.total_counts;
+  std::fill(total_counts.begin(), total_counts.end(), std::size_t{0});
   for (std::size_t i : idx) total_counts[static_cast<std::size_t>(data.label(i))]++;
   const double parent_gini = GiniFromCounts(total_counts, n);
 
-  std::vector<std::pair<double, int>> values(n);  // (feature value, label)
-  std::vector<std::size_t> left_counts(k);
+  auto& values = scratch.values;  // (feature value, label)
+  values.resize(n);
+  auto& left_counts = scratch.left_counts;
 
   for (std::size_t fi = 0; fi < mtry; ++fi) {
     const std::size_t f = features[fi];
@@ -165,7 +176,7 @@ std::int32_t DecisionTree::Build(const Dataset& data,
   // interactions yield no first-split gain yet become separable deeper
   // down. Nodes whose candidate features are all constant never reach
   // here (best.gain stays -1), so recursion always shrinks the node.
-  if (best.gain < 0.0) return MakeLeaf(data, idx);
+  if (best.gain < 0.0) return MakeLeaf(data, idx, scratch);
 
   // Partition indices in place around the chosen split.
   auto mid_it = std::partition(
@@ -174,7 +185,7 @@ std::int32_t DecisionTree::Build(const Dataset& data,
       [&](std::size_t i) { return data.row(i)[best.feature] <= best.threshold; });
   const std::size_t mid =
       static_cast<std::size_t>(mid_it - indices.begin());
-  if (mid == begin || mid == end) return MakeLeaf(data, idx);
+  if (mid == begin || mid == end) return MakeLeaf(data, idx, scratch);
 
   // Mean-decrease-in-impurity credit for the chosen split.
   importances_[best.feature] +=
@@ -187,9 +198,9 @@ std::int32_t DecisionTree::Build(const Dataset& data,
       static_cast<std::int32_t>(best.feature);
   nodes_[static_cast<std::size_t>(node_id)].threshold = best.threshold;
   const std::int32_t left =
-      Build(data, indices, begin, mid, config, depth + 1, rng);
+      Build(data, indices, begin, mid, config, depth + 1, rng, scratch);
   const std::int32_t right =
-      Build(data, indices, mid, end, config, depth + 1, rng);
+      Build(data, indices, mid, end, config, depth + 1, rng, scratch);
   nodes_[static_cast<std::size_t>(node_id)].left = left;
   nodes_[static_cast<std::size_t>(node_id)].right = right;
   return node_id;
@@ -237,7 +248,8 @@ std::span<const double> DecisionTree::PredictProba(
 
 std::size_t DecisionTree::MemoryBytes() const {
   return nodes_.capacity() * sizeof(Node) +
-         leaf_probas_.capacity() * sizeof(double) + sizeof(*this);
+         leaf_probas_.capacity() * sizeof(double) +
+         importances_.capacity() * sizeof(double) + sizeof(*this);
 }
 
 // Serialization format (big-endian):

@@ -25,6 +25,17 @@ struct DecisionTreeConfig {
 
 class DecisionTree {
  public:
+  struct Node {
+    // Internal node: feature/threshold valid, children indices set.
+    // Leaf: left == -1; proba_offset points into leaf_probas_.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t proba_offset = -1;
+    std::int32_t majority = 0;
+  };
+
   /// Trains on the examples of `data` selected by `indices` (with
   /// repetitions allowed, as bootstrap sampling produces).
   void Train(const Dataset& data, std::span<const std::size_t> indices,
@@ -64,23 +75,31 @@ class DecisionTree {
   /// malformed input.
   static DecisionTree Load(net::ByteReader& r);
 
+  /// Read-only structural access for arena compilation (FlatForest lays the
+  /// node table and leaf probabilities out into its SoA arena).
+  [[nodiscard]] std::span<const Node> nodes() const { return nodes_; }
+  [[nodiscard]] std::span<const double> leaf_probas() const {
+    return leaf_probas_;
+  }
+
  private:
-  struct Node {
-    // Internal node: feature/threshold valid, children indices set.
-    // Leaf: left == -1; proba_offset points into leaf_probas_.
-    std::int32_t left = -1;
-    std::int32_t right = -1;
-    std::int32_t feature = -1;
-    double threshold = 0.0;
-    std::int32_t proba_offset = -1;
-    std::int32_t majority = 0;
+  /// Per-Train() scratch reused across every Build() recursion: the
+  /// (value, label) sort buffer, the split class tallies and the candidate
+  /// feature permutation would otherwise be heap-allocated once per node.
+  struct BuildScratch {
+    std::vector<std::pair<double, int>> values;  // (feature value, label)
+    std::vector<std::size_t> left_counts;
+    std::vector<std::size_t> total_counts;
+    std::vector<std::size_t> features;
+    std::vector<std::size_t> leaf_counts;
   };
 
   std::int32_t Build(const Dataset& data, std::vector<std::size_t>& indices,
                      std::size_t begin, std::size_t end,
                      const DecisionTreeConfig& config, std::size_t depth,
-                     Rng& rng);
-  std::int32_t MakeLeaf(const Dataset& data, std::span<const std::size_t> idx);
+                     Rng& rng, BuildScratch& scratch);
+  std::int32_t MakeLeaf(const Dataset& data, std::span<const std::size_t> idx,
+                        BuildScratch& scratch);
 
   std::vector<Node> nodes_;
   std::vector<double> leaf_probas_;

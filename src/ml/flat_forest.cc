@@ -1,0 +1,279 @@
+#include "ml/flat_forest.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace sentinel::ml {
+
+namespace {
+
+/// Margin covering floating-point accumulation error in the early-exit
+/// bound test. The running sum and the suffix bounds each carry error of
+/// order tree_count * eps (leaf values are in [0, 1]); 1e-9 per tree
+/// dwarfs that by six orders of magnitude while staying far below any
+/// probability granularity that could matter, so an inconclusive bound
+/// simply means the scan keeps evaluating trees — exactness is never at
+/// risk, only pruning opportunity.
+constexpr double kBoundMarginPerTree = 1e-9;
+
+}  // namespace
+
+FlatForest FlatForest::Compile(const RandomForest& forest) {
+  SENTINEL_CHECK(forest.trained()) << "Compile on an untrained forest";
+  FlatForest flat;
+  flat.class_count_ = forest.class_count();
+  const auto& trees = forest.trees();
+
+  std::size_t total_nodes = 0;
+  std::size_t total_probas = 0;
+  for (const auto& tree : trees) {
+    total_nodes += tree.nodes().size();
+    total_probas += tree.leaf_probas().size();
+  }
+  flat.feature_.reserve(total_nodes);
+  flat.threshold_.reserve(total_nodes);
+  flat.left_.reserve(total_nodes);
+  flat.right_.reserve(total_nodes);
+  flat.probas_.reserve(total_probas);
+  flat.roots_.reserve(trees.size());
+
+  const std::size_t k = static_cast<std::size_t>(flat.class_count_);
+  std::vector<double> min_pos(trees.size(), 0.0);
+  std::vector<double> max_pos(trees.size(), 0.0);
+
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    const auto nodes = trees[t].nodes();
+    const auto probas = trees[t].leaf_probas();
+    const std::int32_t node_base =
+        static_cast<std::int32_t>(flat.feature_.size());
+    const std::int32_t proba_base =
+        static_cast<std::int32_t>(flat.probas_.size());
+    flat.roots_.push_back(node_base);  // tree roots are node 0 of each tree
+    double tree_min = std::numeric_limits<double>::infinity();
+    double tree_max = -std::numeric_limits<double>::infinity();
+    for (const auto& node : nodes) {
+      if (node.left == -1) {  // leaf
+        flat.feature_.push_back(-1);
+        flat.threshold_.push_back(0.0);
+        flat.left_.push_back(proba_base + node.proba_offset);
+        flat.right_.push_back(node.majority);
+        if (k >= 2) {
+          const double p =
+              probas[static_cast<std::size_t>(node.proba_offset) + 1];
+          tree_min = std::min(tree_min, p);
+          tree_max = std::max(tree_max, p);
+        }
+      } else {
+        flat.feature_.push_back(node.feature);
+        flat.threshold_.push_back(node.threshold);
+        flat.left_.push_back(node_base + node.left);
+        flat.right_.push_back(node_base + node.right);
+      }
+    }
+    flat.probas_.insert(flat.probas_.end(), probas.begin(), probas.end());
+    if (k >= 2) {
+      min_pos[t] = tree_min;
+      max_pos[t] = tree_max;
+    }
+  }
+
+  // Suffix bounds for the threshold early exit, accumulated back-to-front.
+  flat.suffix_min_pos_.assign(trees.size() + 1, 0.0);
+  flat.suffix_max_pos_.assign(trees.size() + 1, 0.0);
+  for (std::size_t t = trees.size(); t-- > 0;) {
+    flat.suffix_min_pos_[t] = flat.suffix_min_pos_[t + 1] + min_pos[t];
+    flat.suffix_max_pos_[t] = flat.suffix_max_pos_[t + 1] + max_pos[t];
+  }
+  return flat;
+}
+
+std::size_t FlatForest::LeafIndex(std::span<const double> row,
+                                  std::size_t node) const {
+  while (feature_[node] >= 0) {
+    SENTINEL_DCHECK_BOUNDS(feature_[node], row.size());
+    node = row[static_cast<std::size_t>(feature_[node])] <= threshold_[node]
+               ? static_cast<std::size_t>(left_[node])
+               : static_cast<std::size_t>(right_[node]);
+    SENTINEL_DCHECK_BOUNDS(node, feature_.size());
+  }
+  return node;
+}
+
+int FlatForest::Predict(std::span<const double> row) const {
+  SENTINEL_CHECK(compiled()) << "Predict on an uncompiled forest";
+  const std::size_t k = static_cast<std::size_t>(class_count_);
+  std::vector<std::size_t> votes(k, 0);
+  const std::size_t tree_total = roots_.size();
+  for (std::size_t t = 0; t < tree_total; ++t) {
+    const std::size_t leaf =
+        LeafIndex(row, static_cast<std::size_t>(roots_[t]));
+    const auto label = static_cast<std::size_t>(right_[leaf]);
+    SENTINEL_CHECK_BOUNDS(label, votes.size());
+    votes[label]++;
+    // Early exit: once the leader's margin over every other class exceeds
+    // the remaining tree count, no vote pattern can change the argmax (a
+    // trailing class can gain at most `remaining` votes, ending strictly
+    // below the leader, so the lowest-index tie rule never engages).
+    const std::size_t remaining = tree_total - t - 1;
+    std::size_t leader = 0;
+    for (std::size_t c = 1; c < k; ++c)
+      if (votes[c] > votes[leader]) leader = c;
+    std::size_t runner_up = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == leader) continue;
+      runner_up = std::max(runner_up, votes[c]);
+    }
+    if (votes[leader] - runner_up > remaining)
+      return static_cast<int>(leader);
+  }
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < k; ++c)
+    if (votes[c] > votes[best]) best = c;
+  return static_cast<int>(best);
+}
+
+void FlatForest::PredictProba(std::span<const double> row,
+                              std::span<double> out) const {
+  SENTINEL_CHECK(compiled()) << "PredictProba on an uncompiled forest";
+  const std::size_t k = static_cast<std::size_t>(class_count_);
+  SENTINEL_CHECK(out.size() == k)
+      << "PredictProba out size " << out.size() << " != class count " << k;
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const std::int32_t root : roots_) {
+    const std::size_t leaf = LeafIndex(row, static_cast<std::size_t>(root));
+    const std::size_t offset = static_cast<std::size_t>(left_[leaf]);
+    for (std::size_t c = 0; c < k; ++c) out[c] += probas_[offset + c];
+  }
+  for (double& v : out) v /= static_cast<double>(roots_.size());
+}
+
+std::vector<double> FlatForest::PredictProba(
+    std::span<const double> row) const {
+  std::vector<double> out(static_cast<std::size_t>(class_count_), 0.0);
+  PredictProba(row, out);
+  return out;
+}
+
+double FlatForest::PositiveProba(std::span<const double> row) const {
+  SENTINEL_CHECK(compiled()) << "PositiveProba on an uncompiled forest";
+  if (class_count_ < 2) return 0.0;
+  // Accumulates only the class-1 leaf entries, in tree order — the same
+  // doubles the reference PredictProba sums into slot 1, so the result is
+  // bit-identical to RandomForest::PositiveProba.
+  double sum = 0.0;
+  for (const std::int32_t root : roots_) {
+    const std::size_t leaf = LeafIndex(row, static_cast<std::size_t>(root));
+    sum += probas_[static_cast<std::size_t>(left_[leaf]) + 1];
+  }
+  return sum / static_cast<double>(roots_.size());
+}
+
+void FlatForest::PredictProbaBatch(std::span<const double> matrix,
+                                   std::size_t row_width,
+                                   std::span<double> out) const {
+  SENTINEL_CHECK(compiled()) << "PredictProbaBatch on an uncompiled forest";
+  SENTINEL_CHECK(row_width > 0 && matrix.size() % row_width == 0)
+      << "matrix size " << matrix.size() << " not a multiple of row width "
+      << row_width;
+  const std::size_t rows = matrix.size() / row_width;
+  const std::size_t k = static_cast<std::size_t>(class_count_);
+  SENTINEL_CHECK(out.size() == rows * k)
+      << "out size " << out.size() << " != rows * classes " << rows * k;
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const std::int32_t root : roots_) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t leaf =
+          LeafIndex(matrix.subspan(r * row_width, row_width),
+                    static_cast<std::size_t>(root));
+      const std::size_t offset = static_cast<std::size_t>(left_[leaf]);
+      double* row_out = &out[r * k];
+      for (std::size_t c = 0; c < k; ++c) row_out[c] += probas_[offset + c];
+    }
+  }
+  const double denominator = static_cast<double>(roots_.size());
+  for (double& v : out) v /= denominator;
+}
+
+void FlatForest::PositiveProbaBatch(std::span<const double> matrix,
+                                    std::size_t row_width,
+                                    std::span<double> out) const {
+  SENTINEL_CHECK(compiled()) << "PositiveProbaBatch on an uncompiled forest";
+  SENTINEL_CHECK(row_width > 0 && matrix.size() % row_width == 0)
+      << "matrix size " << matrix.size() << " not a multiple of row width "
+      << row_width;
+  const std::size_t rows = matrix.size() / row_width;
+  SENTINEL_CHECK(out.size() == rows)
+      << "out size " << out.size() << " != row count " << rows;
+  std::fill(out.begin(), out.end(), 0.0);
+  if (class_count_ < 2) return;
+  for (const std::int32_t root : roots_) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t leaf =
+          LeafIndex(matrix.subspan(r * row_width, row_width),
+                    static_cast<std::size_t>(root));
+      out[r] += probas_[static_cast<std::size_t>(left_[leaf]) + 1];
+    }
+  }
+  const double denominator = static_cast<double>(roots_.size());
+  for (double& v : out) v /= denominator;
+}
+
+FlatForest::ThresholdVerdict FlatForest::PositiveProbaThreshold(
+    std::span<const double> row, double threshold) const {
+  SENTINEL_CHECK(compiled())
+      << "PositiveProbaThreshold on an uncompiled forest";
+  ThresholdVerdict verdict;
+  if (class_count_ < 2) {
+    verdict.probability = 0.0;
+    verdict.accepted = verdict.probability >= threshold;
+    return verdict;
+  }
+  const std::size_t tree_total = roots_.size();
+  const double denominator = static_cast<double>(tree_total);
+  const double margin = kBoundMarginPerTree * denominator;
+  double sum = 0.0;
+  for (std::size_t t = 0; t < tree_total; ++t) {
+    const std::size_t leaf =
+        LeafIndex(row, static_cast<std::size_t>(roots_[t]));
+    sum += probas_[static_cast<std::size_t>(left_[leaf]) + 1];
+    verdict.trees_evaluated = static_cast<std::uint32_t>(t + 1);
+    if (t + 1 == tree_total) break;  // full scan — exact probability below
+    // Certified final-probability bounds: the remaining trees contribute
+    // between their per-tree minimum and maximum class-1 leaf values
+    // (precomputed suffix sums); the margin absorbs every floating-point
+    // rounding difference between these bound expressions and the exact
+    // sequential accumulation the reference performs.
+    const double upper = (sum + suffix_max_pos_[t + 1] + margin) / denominator;
+    if (upper < threshold) {
+      verdict.accepted = false;
+      verdict.early_exit = true;
+      verdict.probability = upper;
+      return verdict;
+    }
+    const double lower = (sum + suffix_min_pos_[t + 1] - margin) / denominator;
+    if (lower >= threshold) {
+      verdict.accepted = true;
+      verdict.early_exit = true;
+      verdict.probability = lower;
+      return verdict;
+    }
+  }
+  verdict.probability = sum / denominator;
+  verdict.accepted = verdict.probability >= threshold;
+  return verdict;
+}
+
+std::size_t FlatForest::MemoryBytes() const {
+  return feature_.capacity() * sizeof(std::int32_t) +
+         threshold_.capacity() * sizeof(double) +
+         left_.capacity() * sizeof(std::int32_t) +
+         right_.capacity() * sizeof(std::int32_t) +
+         probas_.capacity() * sizeof(double) +
+         roots_.capacity() * sizeof(std::int32_t) +
+         suffix_min_pos_.capacity() * sizeof(double) +
+         suffix_max_pos_.capacity() * sizeof(double) + sizeof(*this);
+}
+
+}  // namespace sentinel::ml

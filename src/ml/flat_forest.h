@@ -1,0 +1,122 @@
+// Arena-compiled Random Forest evaluator — the identification fast path's
+// stage-1 engine. Compile() flattens a trained RandomForest into one
+// contiguous structure-of-arrays node arena (separate feature / threshold /
+// child arrays, leaves resolved to offsets into a shared probability
+// table, trees laid out back-to-back in tree order), so scanning a
+// classifier bank walks cache-linear arrays instead of chasing 40-byte
+// Node structs across per-tree vectors.
+//
+// Determinism contract: every evaluation visits leaves in the same tree
+// order as the reference RandomForest and accumulates the same doubles
+// with the same operations, so Predict / PredictProba / PositiveProba are
+// bit-identical to the reference implementations (differentially tested in
+// tests/ml/test_flat_forest.cc). The threshold early-exit variant returns
+// an exact accept/reject verdict but only a certified probability *bound*
+// when it exits early — callers that need the exact probability use
+// PositiveProba.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/random_forest.h"
+
+namespace sentinel::ml {
+
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  /// Flattens `forest` (which must be trained) into the arena. The source
+  /// forest is not retained; recompile after retraining or loading.
+  static FlatForest Compile(const RandomForest& forest);
+
+  [[nodiscard]] bool compiled() const { return !roots_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const { return roots_.size(); }
+  [[nodiscard]] int class_count() const { return class_count_; }
+  [[nodiscard]] std::size_t node_count() const { return feature_.size(); }
+  /// Heap footprint of the arena (all SoA arrays + bound tables).
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+  /// Majority-vote prediction, bit-identical to RandomForest::Predict.
+  /// Stops scanning trees once the vote margin exceeds the number of
+  /// remaining trees (the winner is then decided regardless of how the
+  /// rest vote, including the argmax lowest-index tie rule).
+  [[nodiscard]] int Predict(std::span<const double> row) const;
+
+  /// Mean leaf class-frequency estimate, accumulated in tree order into
+  /// `out` (size class_count). Bit-identical to RandomForest::PredictProba.
+  void PredictProba(std::span<const double> row, std::span<double> out) const;
+  [[nodiscard]] std::vector<double> PredictProba(
+      std::span<const double> row) const;
+
+  /// Probability of class 1, bit-identical to RandomForest::PositiveProba
+  /// (which sums the same class-1 leaf entries in the same tree order).
+  [[nodiscard]] double PositiveProba(std::span<const double> row) const;
+
+  /// Batch variant over a row-major matrix (`row_width` doubles per row).
+  /// Writes one class_count-wide probability block per row into `out`
+  /// (size = rows * class_count). Trees iterate in the outer loop so the
+  /// arena stays cache-hot across rows; each row's accumulation still
+  /// happens in tree order, keeping every row bit-identical to the
+  /// single-row PredictProba.
+  void PredictProbaBatch(std::span<const double> matrix, std::size_t row_width,
+                         std::span<double> out) const;
+
+  /// Positive-class-only batch variant: out[r] = PositiveProba(row r),
+  /// bit-identical per row.
+  void PositiveProbaBatch(std::span<const double> matrix,
+                          std::size_t row_width, std::span<double> out) const;
+
+  /// Outcome of a threshold-gated scan (the classifier-bank accept test).
+  struct ThresholdVerdict {
+    /// Exact: equals (PositiveProba(row) >= threshold) always, whether or
+    /// not the scan exited early.
+    bool accepted = false;
+    /// True when the scan stopped before the last tree because the
+    /// remaining trees' certified positive-probability bounds could no
+    /// longer change the verdict.
+    bool early_exit = false;
+    /// Exact PositiveProba when !early_exit. On an early exit: a certified
+    /// bound consistent with the verdict — an upper bound (< threshold)
+    /// for rejects, a lower bound (>= threshold) for accepts.
+    double probability = 0.0;
+    std::uint32_t trees_evaluated = 0;
+  };
+
+  /// Accept test with tree-vote early exit. After each tree the running
+  /// class-1 sum is combined with precomputed per-tree suffix bounds on
+  /// the remaining trees' class-1 leaf values (plus an epsilon covering
+  /// floating-point accumulation error); when even the optimistic bound
+  /// cannot reach the threshold — or the pessimistic one already clears
+  /// it — the verdict is decided and the scan stops. Forests with fewer
+  /// than two classes reject (PositiveProba is 0 there).
+  [[nodiscard]] ThresholdVerdict PositiveProbaThreshold(
+      std::span<const double> row, double threshold) const;
+
+ private:
+  [[nodiscard]] std::size_t LeafIndex(std::span<const double> row,
+                                      std::size_t node) const;
+
+  // SoA node arena. For node i:
+  //   feature_[i] >= 0: internal — threshold_[i] splits, children at
+  //     left_[i] / right_[i] (absolute arena indices);
+  //   feature_[i] == -1: leaf — left_[i] is the absolute offset of its
+  //     class_count-wide block in probas_, right_[i] its majority label.
+  std::vector<std::int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<double> probas_;
+  /// Root node index per tree, in tree order.
+  std::vector<std::int32_t> roots_;
+  /// suffix_min_pos_[t] / suffix_max_pos_[t]: sum over trees u >= t of the
+  /// smallest / largest class-1 leaf value of tree u (0 when class_count
+  /// < 2). Size tree_count + 1; entry [tree_count] is 0.
+  std::vector<double> suffix_min_pos_;
+  std::vector<double> suffix_max_pos_;
+  int class_count_ = 0;
+};
+
+}  // namespace sentinel::ml

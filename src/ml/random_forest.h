@@ -58,6 +58,10 @@ class RandomForest {
 
   [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
   [[nodiscard]] bool trained() const { return !trees_.empty(); }
+  /// Read-only tree access for arena compilation (see ml/flat_forest.h).
+  [[nodiscard]] const std::vector<DecisionTree>& trees() const {
+    return trees_;
+  }
   [[nodiscard]] int class_count() const { return class_count_; }
   [[nodiscard]] std::size_t MemoryBytes() const;
 

@@ -1,0 +1,221 @@
+// Differential tests for the identification fast path: the compiled-bank
+// scan with pruned tie-break must be bit-identical to the reference
+// implementation on every verdict-relevant output, IdentifyBatch must
+// match per-call Identify exactly, and compilation must never perturb the
+// serialized model bundle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/device_identifier.h"
+#include "devices/simulator.h"
+#include "net/byte_io.h"
+#include "util/thread_pool.h"
+
+namespace sentinel {
+namespace {
+
+std::vector<core::LabelledFingerprint> ToExamples(
+    const devices::FingerprintDataset& dataset) {
+  std::vector<core::LabelledFingerprint> examples;
+  examples.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    examples.push_back(core::LabelledFingerprint{
+        &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+  }
+  return examples;
+}
+
+std::vector<std::uint8_t> SaveBank(const core::DeviceIdentifier& identifier) {
+  net::ByteWriter w;
+  identifier.Save(w);
+  const auto bytes = w.bytes();
+  return {bytes.begin(), bytes.end()};
+}
+
+core::DeviceIdentifier TrainedIdentifier(
+    const devices::FingerprintDataset& dataset) {
+  core::DeviceIdentifier identifier;
+  identifier.Train(ToExamples(dataset));
+  return identifier;
+}
+
+// Everything the fast path promises bit-identical: the verdict, the
+// candidate set, the full bank provenance and the winner's score.
+// (Dissimilarity scores of provably-losing candidates and
+// edit_distance_count may legitimately differ under pruning.)
+void ExpectVerdictEqual(const core::IdentificationResult& fast,
+                        const core::IdentificationResult& reference) {
+  EXPECT_EQ(fast.type, reference.type);
+  EXPECT_EQ(fast.matched_types, reference.matched_types);
+  EXPECT_EQ(fast.bank_labels, reference.bank_labels);
+  ASSERT_EQ(fast.bank_probabilities.size(),
+            reference.bank_probabilities.size());
+  for (std::size_t k = 0; k < fast.bank_probabilities.size(); ++k)
+    EXPECT_EQ(fast.bank_probabilities[k], reference.bank_probabilities[k]);
+  EXPECT_EQ(fast.acceptance_threshold, reference.acceptance_threshold);
+  ASSERT_EQ(fast.dissimilarity_scores.size(),
+            reference.dissimilarity_scores.size());
+  if (fast.type.has_value()) {
+    // The winner is never pruned, so its recorded score is exact. Map the
+    // winning label back to its candidate slot to compare scores.
+    for (std::size_t c = 0; c < fast.matched_types.size(); ++c) {
+      if (fast.matched_types[c] == *fast.type) {
+        EXPECT_EQ(fast.dissimilarity_scores[c],
+                  reference.dissimilarity_scores[c]);
+      }
+    }
+  }
+  // Pruned candidates record a certified lower bound, never more than the
+  // exact score.
+  for (std::size_t c = 0; c < fast.dissimilarity_scores.size(); ++c)
+    EXPECT_LE(fast.dissimilarity_scores[c], reference.dissimilarity_scores[c]);
+}
+
+TEST(IdentifyFastPath, MatchesReferenceOnEveryProbe) {
+  const auto dataset = devices::GenerateFingerprintDataset(6, 2026);
+  auto identifier = TrainedIdentifier(dataset);
+  // Fresh probes the bank has not seen verbatim, plus the training set
+  // itself (which provokes multi-matches and exact ties between
+  // same-hardware siblings — the pruning danger zone).
+  const auto probes = devices::GenerateFingerprintDataset(3, 777);
+  for (const auto* set : {&probes, &dataset}) {
+    for (std::size_t i = 0; i < set->size(); ++i) {
+      identifier.set_fast_path(true);
+      const auto fast =
+          identifier.Identify(set->fingerprints[i], set->fixed[i]);
+      identifier.set_fast_path(false);
+      const auto reference =
+          identifier.Identify(set->fingerprints[i], set->fixed[i]);
+      ExpectVerdictEqual(fast, reference);
+    }
+  }
+}
+
+TEST(IdentifyFastPath, BatchMatchesPerCallIdentify) {
+  const auto dataset = devices::GenerateFingerprintDataset(5, 11);
+  auto identifier = TrainedIdentifier(dataset);
+  const auto probes = devices::GenerateFingerprintDataset(4, 99);
+
+  std::vector<core::DeviceIdentifier::FingerprintRef> refs;
+  refs.reserve(probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    refs.push_back({&probes.fingerprints[i], &probes.fixed[i]});
+  const auto batch = identifier.IdentifyBatch(refs);
+  ASSERT_EQ(batch.size(), probes.size());
+
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto single =
+        identifier.Identify(probes.fingerprints[i], probes.fixed[i]);
+    EXPECT_EQ(batch[i].type, single.type);
+    EXPECT_EQ(batch[i].matched_types, single.matched_types);
+    EXPECT_EQ(batch[i].bank_labels, single.bank_labels);
+    ASSERT_EQ(batch[i].bank_probabilities.size(),
+              single.bank_probabilities.size());
+    for (std::size_t k = 0; k < single.bank_probabilities.size(); ++k)
+      EXPECT_EQ(batch[i].bank_probabilities[k], single.bank_probabilities[k]);
+    // Stage 2 runs the same pruned code on the same RNG stream in both
+    // entry points: scores and counts match exactly, not just verdicts.
+    EXPECT_EQ(batch[i].dissimilarity_scores, single.dissimilarity_scores);
+    EXPECT_EQ(batch[i].edit_distance_count, single.edit_distance_count);
+  }
+}
+
+TEST(IdentifyFastPath, BatchMatchesAcrossThreadCounts) {
+  const auto dataset = devices::GenerateFingerprintDataset(4, 21);
+  auto identifier = TrainedIdentifier(dataset);
+  const auto probes = devices::GenerateFingerprintDataset(3, 5);
+  std::vector<core::DeviceIdentifier::FingerprintRef> refs;
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    refs.push_back({&probes.fingerprints[i], &probes.fixed[i]});
+
+  const auto sequential = identifier.IdentifyBatch(refs);
+  util::ThreadPool pool(4);
+  identifier.set_thread_pool(&pool);
+  const auto pooled = identifier.IdentifyBatch(refs);
+  identifier.set_thread_pool(nullptr);
+
+  ASSERT_EQ(sequential.size(), pooled.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].type, pooled[i].type);
+    EXPECT_EQ(sequential[i].matched_types, pooled[i].matched_types);
+    EXPECT_EQ(sequential[i].dissimilarity_scores,
+              pooled[i].dissimilarity_scores);
+    EXPECT_EQ(sequential[i].edit_distance_count,
+              pooled[i].edit_distance_count);
+  }
+}
+
+TEST(IdentifyFastPath, BankEarlyExitPreservesVerdicts) {
+  const auto dataset = devices::GenerateFingerprintDataset(5, 31);
+  auto identifier = TrainedIdentifier(dataset);
+  const auto probes = devices::GenerateFingerprintDataset(3, 8);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    identifier.set_bank_early_exit(false);
+    const auto exact =
+        identifier.Identify(probes.fingerprints[i], probes.fixed[i]);
+    identifier.set_bank_early_exit(true);
+    const auto early =
+        identifier.Identify(probes.fingerprints[i], probes.fixed[i]);
+    identifier.set_bank_early_exit(false);
+    // Early exit trades exact recorded probabilities for speed, but the
+    // verdict-relevant outputs must be untouched.
+    EXPECT_EQ(early.type, exact.type);
+    EXPECT_EQ(early.matched_types, exact.matched_types);
+    EXPECT_EQ(early.bank_labels, exact.bank_labels);
+    EXPECT_EQ(early.dissimilarity_scores, exact.dissimilarity_scores);
+    // Recorded bounds must be consistent with each classifier's verdict.
+    for (std::size_t k = 0; k < early.bank_probabilities.size(); ++k) {
+      const bool accepted = early.bank_probabilities[k] >=
+                            early.acceptance_threshold;
+      const bool exact_accepted =
+          exact.bank_probabilities[k] >= exact.acceptance_threshold;
+      EXPECT_EQ(accepted, exact_accepted);
+    }
+  }
+}
+
+TEST(IdentifyFastPath, SavedBytesUnchangedByCompiledBank) {
+  const auto dataset = devices::GenerateFingerprintDataset(4, 41);
+  auto identifier = TrainedIdentifier(dataset);
+  const auto bytes = SaveBank(identifier);
+
+  // A reloaded identifier (which recompiles its bank) must serialize to
+  // the same bytes and answer identically through both paths.
+  net::ByteReader r(bytes);
+  auto reloaded = core::DeviceIdentifier::Load(r);
+  EXPECT_EQ(SaveBank(reloaded), bytes);
+
+  const auto probes = devices::GenerateFingerprintDataset(2, 4);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto original =
+        identifier.Identify(probes.fingerprints[i], probes.fixed[i]);
+    const auto loaded =
+        reloaded.Identify(probes.fingerprints[i], probes.fixed[i]);
+    EXPECT_EQ(original.type, loaded.type);
+    EXPECT_EQ(original.matched_types, loaded.matched_types);
+    reloaded.set_fast_path(false);
+    const auto loaded_reference =
+        reloaded.Identify(probes.fingerprints[i], probes.fixed[i]);
+    reloaded.set_fast_path(true);
+    ExpectVerdictEqual(loaded, loaded_reference);
+  }
+}
+
+TEST(IdentifyFastPath, PruningCountersFire) {
+  const auto dataset = devices::GenerateFingerprintDataset(6, 51);
+  obs::MetricsRegistry registry;
+  core::DeviceIdentifier identifier;
+  identifier.set_metrics(&registry);
+  identifier.Train(ToExamples(dataset));
+  identifier.set_bank_early_exit(true);
+  // Training fingerprints multi-match heavily, exercising both stage-1
+  // early exits and stage-2 pruning.
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    (void)identifier.Identify(dataset.fingerprints[i], dataset.fixed[i]);
+  const auto& early = registry.GetCounter("sentinel_bank_early_exit_total", "");
+  EXPECT_GT(early.Value(), 0u);
+}
+
+}  // namespace
+}  // namespace sentinel

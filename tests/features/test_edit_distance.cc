@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <random>
 
 namespace sentinel::features {
@@ -155,6 +158,173 @@ TEST_P(EditDistanceProperties, MetricAxiomsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceProperties,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// ---- Bounded / pruned fast path ---------------------------------------------
+
+TEST(BoundedEditDistance, AgreesWithReferenceAcrossAllCutoffs) {
+  std::mt19937_64 rng(424242);
+  std::uniform_int_distribution<std::size_t> len_dist(0, 24);
+  std::uniform_int_distribution<std::uint32_t> tag_dist(1, 4);
+  EditDistanceScratch scratch;
+
+  auto random_seq = [&] {
+    std::vector<PacketFeatureVector> s(len_dist(rng));
+    for (auto& v : s) v = Vec(tag_dist(rng));
+    return s;
+  };
+
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto a = random_seq();
+    const auto b = random_seq();
+    const std::size_t exact = EditDistance(a, b);
+    const std::size_t max_len = std::max(a.size(), b.size());
+    for (std::size_t cutoff = 0; cutoff <= max_len + 2; ++cutoff) {
+      const auto bounded = BoundedEditDistance(a, b, cutoff, scratch);
+      EXPECT_EQ(bounded.exceeded, exact > cutoff)
+          << "exact=" << exact << " cutoff=" << cutoff;
+      if (bounded.exceeded) {
+        // A certified lower bound above the cutoff.
+        EXPECT_GT(bounded.distance, cutoff);
+        EXPECT_LE(bounded.distance, exact);
+      } else {
+        EXPECT_EQ(bounded.distance, exact);
+      }
+    }
+  }
+}
+
+TEST(BoundedEditDistance, LengthDifferencePrunesWithoutDpWork) {
+  EditDistanceScratch scratch;
+  const auto a = Seq({1, 2, 3, 4, 5, 6, 7, 8});
+  const auto b = Seq({1, 2});
+  const auto bounded = BoundedEditDistance(a, b, 3, scratch);
+  EXPECT_TRUE(bounded.exceeded);
+  EXPECT_EQ(bounded.distance, 6u);  // the exact length difference
+}
+
+TEST(PrunedNormalizedEditDistance, InfiniteBestNeverPrunes) {
+  std::mt19937_64 rng(9);
+  std::uniform_int_distribution<std::size_t> len_dist(0, 18);
+  std::uniform_int_distribution<std::uint32_t> tag_dist(1, 5);
+  EditDistanceScratch scratch;
+  for (int iter = 0; iter < 40; ++iter) {
+    std::vector<PacketFeatureVector> sa(len_dist(rng)), sb(len_dist(rng));
+    for (auto& v : sa) v = Vec(tag_dist(rng));
+    for (auto& v : sb) v = Vec(tag_dist(rng));
+    const auto fa = Fingerprint::FromPacketVectors(sa);
+    const auto fb = Fingerprint::FromPacketVectors(sb);
+    const auto out = PrunedNormalizedEditDistance(
+        fa, fb, 1.25, std::numeric_limits<double>::infinity(), scratch);
+    EXPECT_FALSE(out.pruned);
+    EXPECT_EQ(out.value, NormalizedEditDistance(fa, fb));  // bitwise
+  }
+}
+
+TEST(PrunedNormalizedEditDistance, ExactWhenCompetitiveBoundWhenNot) {
+  std::mt19937_64 rng(1717);
+  std::uniform_int_distribution<std::size_t> len_dist(1, 18);
+  std::uniform_int_distribution<std::uint32_t> tag_dist(1, 4);
+  std::uniform_real_distribution<double> partial_dist(0.0, 2.0);
+  std::uniform_real_distribution<double> best_dist(0.0, 2.5);
+  EditDistanceScratch scratch;
+  std::size_t pruned_seen = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<PacketFeatureVector> sa(len_dist(rng)), sb(len_dist(rng));
+    for (auto& v : sa) v = Vec(tag_dist(rng));
+    for (auto& v : sb) v = Vec(tag_dist(rng));
+    const auto fa = Fingerprint::FromPacketVectors(sa);
+    const auto fb = Fingerprint::FromPacketVectors(sb);
+    const double exact = NormalizedEditDistance(fa, fb);
+    const double partial = partial_dist(rng);
+    const double best = best_dist(rng);
+    const auto out =
+        PrunedNormalizedEditDistance(fa, fb, partial, best, scratch);
+    if (out.pruned) {
+      ++pruned_seen;
+      // Certified: the candidate's running score ends strictly above best
+      // whatever the exact distance is, so ties are impossible.
+      EXPECT_GT(partial + out.value, best);
+      EXPECT_LE(out.value, exact);
+      EXPECT_GT(partial + exact, best);
+    } else {
+      EXPECT_EQ(out.value, exact);  // bitwise
+      EXPECT_LE(partial + exact, best);
+    }
+  }
+  EXPECT_GT(pruned_seen, 0u);
+}
+
+TEST(PrunedNormalizedEditDistance, ExactTieIsNeverPruned) {
+  // d = 2 over longer length 4: normalized 0.5 is exactly representable,
+  // so partial 0 + 0.5 == best 0.5 is a true floating-point tie — the
+  // pruner must fully evaluate it (the identifier's tie-break coin flip
+  // depends on ties surviving).
+  EditDistanceScratch scratch;
+  const auto fa = Fingerprint::FromPacketVectors(Seq({1, 2, 3, 4}));
+  const auto fb = Fingerprint::FromPacketVectors(Seq({1, 9, 8, 4}));
+  ASSERT_DOUBLE_EQ(NormalizedEditDistance(fa, fb), 0.5);
+  const auto out = PrunedNormalizedEditDistance(fa, fb, 0.0, 0.5, scratch);
+  EXPECT_FALSE(out.pruned);
+  EXPECT_EQ(out.value, 0.5);
+  // One representable step below the tie, the same pair must prune.
+  const double below =
+      std::nextafter(0.5, 0.0);
+  const auto pruned = PrunedNormalizedEditDistance(fa, fb, 0.0, below, scratch);
+  EXPECT_TRUE(pruned.pruned);
+  EXPECT_GT(pruned.value, below);
+}
+
+TEST(PacketInterner, ReadOnlyInterningPreservesDistances) {
+  std::mt19937 rng(604);
+  std::uniform_int_distribution<std::uint32_t> tag(0, 5);  // force collisions
+  std::uniform_int_distribution<std::size_t> len(0, 14);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<PacketFeatureVector> reference, probe;
+    for (std::size_t i = 0, n = len(rng); i < n; ++i)
+      reference.push_back(Vec(tag(rng)));
+    for (std::size_t i = 0, n = len(rng); i < n; ++i)
+      probe.push_back(Vec(tag(rng)));
+
+    PacketInterner table;
+    std::vector<std::uint32_t> reference_ids;
+    table.Intern(reference, reference_ids);
+    const std::size_t frozen = table.size();
+
+    std::vector<PacketFeatureVector> overflow;
+    std::vector<std::uint32_t> probe_ids;
+    table.InternReadOnly(probe, overflow, probe_ids);
+
+    // The frozen table is untouched, probe packets unknown to it get ids
+    // past its end, and id equality still mirrors packet equality — so the
+    // id-level distance equals the packet-level one.
+    EXPECT_EQ(table.size(), frozen);
+    ASSERT_EQ(probe_ids.size(), probe.size());
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+      for (std::size_t j = 0; j < reference.size(); ++j) {
+        EXPECT_EQ(probe_ids[i] == reference_ids[j],
+                  probe[i] == reference[j]);
+      }
+      for (std::size_t j = 0; j < probe.size(); ++j) {
+        EXPECT_EQ(probe_ids[i] == probe_ids[j], probe[i] == probe[j]);
+      }
+    }
+    EditDistanceScratch scratch;
+    const std::size_t cutoff = std::max(probe.size(), reference.size());
+    const auto ids = BoundedEditDistance(
+        std::span<const std::uint32_t>(probe_ids),
+        std::span<const std::uint32_t>(reference_ids), cutoff, scratch);
+    EXPECT_FALSE(ids.exceeded);
+    EXPECT_EQ(ids.distance, EditDistance(probe, reference));
+  }
+}
+
+TEST(PrunedNormalizedEditDistance, EmptyPairIsZeroAndUnpruned) {
+  EditDistanceScratch scratch;
+  const Fingerprint empty;
+  const auto out = PrunedNormalizedEditDistance(empty, empty, 0.3, 0.1, scratch);
+  EXPECT_FALSE(out.pruned);
+  EXPECT_EQ(out.value, 0.0);
+}
 
 }  // namespace
 }  // namespace sentinel::features

@@ -1,0 +1,187 @@
+// Differential tests for the arena-compiled forest evaluator: every
+// FlatForest output must be bit-identical to its source RandomForest
+// (the identification fast path's correctness rests on this).
+#include "ml/flat_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ml/dataset.h"
+#include "ml/random_forest.h"
+#include "net/byte_io.h"
+
+namespace sentinel::ml {
+namespace {
+
+// Overlapping two-class blobs: probabilities land strictly between 0 and 1
+// so threshold tests exercise both verdicts and the inconclusive middle.
+Dataset OverlappingBlobs(std::size_t per_class, std::uint64_t seed) {
+  Rng rng(seed);
+  std::normal_distribution<double> noise(0.0, 1.5);
+  Dataset data(2);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.Add({0.0 + noise(rng), 0.0 + noise(rng)}, 0);
+    data.Add({2.0 + noise(rng), 2.0 + noise(rng)}, 1);
+  }
+  return data;
+}
+
+Dataset ThreeClassBlobs(std::size_t per_class, std::uint64_t seed) {
+  Rng rng(seed);
+  std::normal_distribution<double> noise(0.0, 1.2);
+  Dataset data(2);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.Add({0.0 + noise(rng), 0.0 + noise(rng)}, 0);
+    data.Add({3.0 + noise(rng), 0.0 + noise(rng)}, 1);
+    data.Add({0.0 + noise(rng), 3.0 + noise(rng)}, 2);
+  }
+  return data;
+}
+
+std::vector<std::vector<double>> RandomRows(std::size_t count,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::uniform_real_distribution<double> u(-2.0, 5.0);
+  std::vector<std::vector<double>> rows(count);
+  for (auto& row : rows) row = {u(rng), u(rng)};
+  return rows;
+}
+
+RandomForest TrainForest(const Dataset& data, std::uint64_t seed) {
+  RandomForestConfig config;
+  config.tree_count = 20;
+  config.seed = seed;
+  RandomForest forest;
+  forest.Train(data, config);
+  return forest;
+}
+
+TEST(FlatForest, PredictionsBitIdenticalToReference) {
+  const auto forest = TrainForest(OverlappingBlobs(60, 7), 3);
+  const auto flat = FlatForest::Compile(forest);
+  ASSERT_TRUE(flat.compiled());
+  EXPECT_EQ(flat.tree_count(), forest.tree_count());
+  EXPECT_EQ(flat.class_count(), forest.class_count());
+  for (const auto& row : RandomRows(200, 99)) {
+    EXPECT_EQ(flat.Predict(row), forest.Predict(row));
+    const auto reference = forest.PredictProba(row);
+    const auto fast = flat.PredictProba(row);
+    ASSERT_EQ(fast.size(), reference.size());
+    for (std::size_t c = 0; c < reference.size(); ++c)
+      EXPECT_EQ(fast[c], reference[c]);  // bitwise, not approximate
+    EXPECT_EQ(flat.PositiveProba(row), forest.PositiveProba(row));
+  }
+}
+
+TEST(FlatForest, MultiClassPredictMatchesIncludingTies) {
+  const auto forest = TrainForest(ThreeClassBlobs(40, 11), 5);
+  const auto flat = FlatForest::Compile(forest);
+  // Ambiguous rows between the blobs provoke near-tied votes, covering the
+  // early-exit margin logic and the lowest-index argmax tie rule.
+  for (const auto& row : RandomRows(300, 123)) {
+    EXPECT_EQ(flat.Predict(row), forest.Predict(row));
+  }
+}
+
+TEST(FlatForest, BatchMatchesPerRowBitwise) {
+  const auto forest = TrainForest(OverlappingBlobs(50, 13), 9);
+  const auto flat = FlatForest::Compile(forest);
+  const auto rows = RandomRows(64, 321);
+  const std::size_t width = rows.front().size();
+  std::vector<double> matrix;
+  matrix.reserve(rows.size() * width);
+  for (const auto& row : rows)
+    matrix.insert(matrix.end(), row.begin(), row.end());
+
+  const std::size_t k = static_cast<std::size_t>(flat.class_count());
+  std::vector<double> batch_proba(rows.size() * k, -1.0);
+  flat.PredictProbaBatch(matrix, width, batch_proba);
+  std::vector<double> batch_pos(rows.size(), -1.0);
+  flat.PositiveProbaBatch(matrix, width, batch_pos);
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto single = flat.PredictProba(rows[r]);
+    for (std::size_t c = 0; c < k; ++c)
+      EXPECT_EQ(batch_proba[r * k + c], single[c]);
+    EXPECT_EQ(batch_pos[r], flat.PositiveProba(rows[r]));
+    EXPECT_EQ(batch_pos[r], forest.PositiveProba(rows[r]));
+  }
+}
+
+TEST(FlatForest, ThresholdVerdictAlwaysMatchesExactComparison) {
+  const auto forest = TrainForest(OverlappingBlobs(60, 17), 21);
+  const auto flat = FlatForest::Compile(forest);
+  std::size_t early_exits = 0;
+  for (const auto& row : RandomRows(150, 777)) {
+    const double exact = forest.PositiveProba(row);
+    for (const double threshold :
+         {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95, exact}) {
+      const auto verdict = flat.PositiveProbaThreshold(row, threshold);
+      EXPECT_EQ(verdict.accepted, exact >= threshold)
+          << "exact=" << exact << " threshold=" << threshold;
+      EXPECT_GE(verdict.trees_evaluated, 1u);
+      EXPECT_LE(verdict.trees_evaluated, flat.tree_count());
+      if (verdict.early_exit) {
+        ++early_exits;
+        // The reported probability is a certified bound consistent with
+        // the verdict.
+        if (verdict.accepted) {
+          EXPECT_GE(verdict.probability, threshold);
+        } else {
+          EXPECT_LT(verdict.probability, threshold);
+        }
+      } else {
+        EXPECT_EQ(verdict.probability, exact);
+        EXPECT_EQ(verdict.trees_evaluated, flat.tree_count());
+      }
+    }
+  }
+  // Extreme thresholds decide after very few trees; the optimisation must
+  // actually fire on this data.
+  EXPECT_GT(early_exits, 0u);
+}
+
+TEST(FlatForest, CompileDoesNotChangeSavedBytes) {
+  auto forest = TrainForest(OverlappingBlobs(40, 23), 31);
+  net::ByteWriter before;
+  forest.Save(before);
+  const auto flat = FlatForest::Compile(forest);
+  (void)flat;
+  net::ByteWriter after;
+  forest.Save(after);
+  ASSERT_EQ(before.bytes().size(), after.bytes().size());
+  EXPECT_TRUE(std::equal(before.bytes().begin(), before.bytes().end(),
+                         after.bytes().begin()));
+}
+
+TEST(FlatForest, LoadedForestCompilesToSameAnswers) {
+  const auto forest = TrainForest(OverlappingBlobs(40, 29), 37);
+  net::ByteWriter w;
+  forest.Save(w);
+  net::ByteReader r(w.bytes());
+  const auto loaded = RandomForest::Load(r);
+  const auto flat = FlatForest::Compile(loaded);
+  for (const auto& row : RandomRows(100, 555)) {
+    EXPECT_EQ(flat.Predict(row), forest.Predict(row));
+    EXPECT_EQ(flat.PositiveProba(row), forest.PositiveProba(row));
+  }
+}
+
+TEST(FlatForest, MemoryBytesCoversArena) {
+  const auto forest = TrainForest(OverlappingBlobs(40, 41), 43);
+  const auto flat = FlatForest::Compile(forest);
+  // At minimum the node arrays and probability table must be accounted.
+  const std::size_t floor = flat.node_count() * (2 * sizeof(std::int32_t) +
+                                                 sizeof(double));
+  EXPECT_GT(flat.MemoryBytes(), floor);
+}
+
+TEST(FlatForestDeathTest, CompileRejectsUntrainedForest) {
+  RandomForest untrained;
+  EXPECT_DEATH((void)FlatForest::Compile(untrained),
+               "Compile on an untrained forest");
+}
+
+}  // namespace
+}  // namespace sentinel::ml
