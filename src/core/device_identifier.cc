@@ -570,11 +570,21 @@ std::vector<IdentificationResult> DeviceIdentifier::IdentifyBatch(
   obs::ScopedSpan bank_span("sentinel_identifier_bank_scan");
   const auto t0 = Clock::now();
   std::vector<double> proba(types_.size() * rows, 0.0);
-  util::ParallelFor(pool_, types_.size(), [&](std::size_t k) {
-    types_[k].flat.PositiveProbaBatch(
-        matrix, features::kFPrimeDim,
-        std::span<double>(proba).subspan(k * rows, rows));
-  });
+  // Work grain: a dispatched task should scan at least ~2k probe rows —
+  // below that, pool dispatch costs more than the scan itself (small banks
+  // with few probes used to lose throughput going 1t -> 8t). Each index
+  // scans `rows` probes, so the grain is expressed in types-per-task.
+  constexpr std::size_t kMinScanEvalsPerTask = 2048;
+  const std::size_t scan_grain =
+      std::max<std::size_t>(1, kMinScanEvalsPerTask / std::max<std::size_t>(rows, 1));
+  util::ParallelFor(
+      pool_, types_.size(),
+      [&](std::size_t k) {
+        types_[k].flat.PositiveProbaBatch(
+            matrix, features::kFPrimeDim,
+            std::span<double>(proba).subspan(k * rows, rows));
+      },
+      scan_grain);
   const auto scan_time = Clock::now() - t0;
   if (bank_span.enabled()) {
     bank_span.AddArg("types", std::to_string(types_.size()));
@@ -586,7 +596,9 @@ std::vector<IdentificationResult> DeviceIdentifier::IdentifyBatch(
 
   // Stage 2 is independent per probe (each draws its picks and coins from
   // its own probe-hash-seeded RNG), so probes discriminate in parallel;
-  // metrics handles are atomic.
+  // metrics handles are atomic. Chunks of 16 probes amortize dispatch —
+  // small batches run sequentially on the caller.
+  constexpr std::size_t kMinRowsPerTask = 16;
   util::ParallelFor(pool_, rows, [&](std::size_t r) {
     IdentificationResult& result = results[r];
     result.acceptance_threshold = config_.acceptance_threshold;
@@ -615,7 +627,7 @@ std::vector<IdentificationResult> DeviceIdentifier::IdentifyBatch(
     }
     thread_local features::EditDistanceScratch scratch;
     DiscriminateFast(*probes[r].full, result, scratch);
-  });
+  }, kMinRowsPerTask);
   return results;
 }
 

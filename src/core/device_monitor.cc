@@ -2,8 +2,31 @@
 
 #include "obs/log.h"
 #include "obs/scoped_timer.h"
+#include "util/shard.h"
 
 namespace sentinel::core {
+
+namespace {
+/// How far from the cold end of the recency list the eviction walk looks
+/// for a fingerprinted (cheap-to-drop) session before falling back to the
+/// strict LRU victim.
+constexpr std::size_t kEvictionScanDepth = 8;
+}  // namespace
+
+DeviceMonitor::DeviceMonitor(DeviceMonitorOptions options)
+    : config_(options.setup),
+      max_sessions_per_shard_(options.max_sessions_per_shard) {
+  const std::size_t shard_count =
+      util::NormalizeShardCount(options.shard_count);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+DeviceMonitor::Shard& DeviceMonitor::ShardFor(
+    const net::MacAddress& mac) const {
+  return *shards_[util::ShardIndexFor(mac.ToUint64(), shards_.size())];
+}
 
 void DeviceMonitor::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
@@ -20,20 +43,63 @@ void DeviceMonitor::set_metrics(obs::MetricsRegistry* registry) {
       "sentinel_monitor_packets_total", "packets observed by the monitor");
   handles_.captures_total = &registry->GetCounter(
       "sentinel_monitor_captures_total", "setup-phase captures completed");
+  handles_.evicted_total = &registry->GetCounter(
+      "sentinel_monitor_session_evicted_total",
+      "device sessions evicted by the bounded-memory LRU tier");
   handles_.tracked = &registry->GetGauge(
       "sentinel_monitor_tracked_devices", "distinct MACs currently tracked");
-  handles_.tracked->Set(static_cast<double>(states_.size()));
+  handles_.tracked->Set(static_cast<double>(tracked_count()));
+}
+
+void DeviceMonitor::SetTrackedGauge() const {
+  if (handles_.tracked != nullptr)
+    handles_.tracked->Set(static_cast<double>(tracked_count()));
+}
+
+bool DeviceMonitor::EvictOneSession(Shard& shard) {
+  if (shard.lru.empty()) return false;
+  // Prefer a fingerprinted session near the cold end: its capture buffers
+  // are already freed and re-observing it just restarts a capture, whereas
+  // evicting a mid-capture device loses setup packets outright.
+  auto victim = std::prev(shard.lru.end());
+  std::size_t scanned = 0;
+  for (auto it = std::prev(shard.lru.end());
+       scanned < kEvictionScanDepth; ++scanned) {
+    const auto state_it = shard.states.find(*it);
+    if (state_it != shard.states.end() && state_it->second.fingerprinted) {
+      victim = it;
+      break;
+    }
+    if (it == shard.lru.begin()) break;
+    --it;
+  }
+  const net::MacAddress mac = *victim;
+  shard.states.erase(mac);
+  shard.lru.erase(victim);
+  tracked_count_.fetch_sub(1, std::memory_order_relaxed);
+  evicted_.fetch_add(1, std::memory_order_relaxed);
+  if (handles_.evicted_total != nullptr) handles_.evicted_total->Increment();
+  return true;
 }
 
 std::optional<CompletedCapture> DeviceMonitor::Observe(
     const net::ParsedPacket& packet) {
   obs::ScopedTimer capture_timer(handles_.capture_ns);
   if (handles_.packets_total != nullptr) handles_.packets_total->Increment();
-  auto [it, inserted] = states_.try_emplace(packet.src_mac, config_);
+  Shard& shard = ShardFor(packet.src_mac);
+  std::unique_lock lock(shard.mutex);
+  auto [it, inserted] = shard.states.try_emplace(packet.src_mac, config_);
   DeviceState& state = it->second;
   if (inserted) {
-    if (handles_.tracked != nullptr)
-      handles_.tracked->Set(static_cast<double>(states_.size()));
+    shard.lru.push_front(packet.src_mac);
+    state.lru_pos = shard.lru.begin();
+    tracked_count_.fetch_add(1, std::memory_order_relaxed);
+    if (max_sessions_per_shard_ > 0) {
+      while (shard.states.size() > max_sessions_per_shard_ &&
+             EvictOneSession(shard)) {
+      }
+    }
+    SetTrackedGauge();
     if (tracer_ != nullptr) {
       state.trace_id = tracer_->NewTraceId();
       tracer_->LabelTrace(state.trace_id,
@@ -45,6 +111,8 @@ std::optional<CompletedCapture> DeviceMonitor::Observe(
                         {.kind = obs::DeviceEventKind::kFirstSeen,
                          .timestamp_ns = packet.timestamp_ns});
     }
+  } else {
+    shard.lru.splice(shard.lru.begin(), shard.lru, state.lru_pos);
   }
   if (state.fingerprinted) return std::nullopt;
 
@@ -73,17 +141,48 @@ std::optional<CompletedCapture> DeviceMonitor::Observe(
 
 std::vector<CompletedCapture> DeviceMonitor::FlushIdle(std::uint64_t now_ns) {
   std::vector<CompletedCapture> out;
-  for (auto& [mac, state] : states_) {
-    if (state.fingerprinted || state.vectors.empty()) continue;
-    if (state.tracker.CheckIdle(now_ns)) out.push_back(Finish(mac, state));
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock lock(shard.mutex);
+    for (auto& [mac, state] : shard.states) {
+      if (state.fingerprinted || state.vectors.empty()) continue;
+      if (state.tracker.CheckIdle(now_ns)) out.push_back(Finish(mac, state));
+    }
   }
   return out;
 }
 
 void DeviceMonitor::Forget(const net::MacAddress& mac) {
-  states_.erase(mac);
-  if (handles_.tracked != nullptr)
-    handles_.tracked->Set(static_cast<double>(states_.size()));
+  Shard& shard = ShardFor(mac);
+  {
+    std::unique_lock lock(shard.mutex);
+    const auto it = shard.states.find(mac);
+    if (it == shard.states.end()) return;
+    shard.lru.erase(it->second.lru_pos);
+    shard.states.erase(it);
+    tracked_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  SetTrackedGauge();
+}
+
+bool DeviceMonitor::IsKnown(const net::MacAddress& mac) const {
+  const Shard& shard = ShardFor(mac);
+  std::unique_lock lock(shard.mutex);
+  return shard.states.contains(mac);
+}
+
+bool DeviceMonitor::IsCollecting(const net::MacAddress& mac) const {
+  const Shard& shard = ShardFor(mac);
+  std::unique_lock lock(shard.mutex);
+  const auto it = shard.states.find(mac);
+  return it != shard.states.end() && !it->second.fingerprinted;
+}
+
+obs::TraceId DeviceMonitor::trace_id(const net::MacAddress& mac) const {
+  const Shard& shard = ShardFor(mac);
+  std::unique_lock lock(shard.mutex);
+  const auto it = shard.states.find(mac);
+  return it == shard.states.end() ? 0 : it->second.trace_id;
 }
 
 CompletedCapture DeviceMonitor::Finish(const net::MacAddress& mac,

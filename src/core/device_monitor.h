@@ -2,9 +2,19 @@
 // monitoring" + "Fingerprinting" blocks): tracks every MAC seen on the
 // network, collects the setup-phase packets of new devices, and emits a
 // fingerprint once the setup phase ends.
+//
+// Fleet scale: session state is sharded by device MAC (util/shard.h) with a
+// per-shard lock, and optionally bounded — a per-shard LRU cap evicts the
+// least-recently-active session, preferring already-fingerprinted devices
+// (whose capture buffers are long freed) over ones mid-capture. Defaults
+// (one shard, no cap) reproduce the seed behavior exactly.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -29,13 +39,26 @@ struct CompletedCapture {
   obs::TraceId trace_id = 0;
 };
 
+struct DeviceMonitorOptions {
+  capture::SetupPhaseConfig setup{};
+  /// Session-table shards; rounded up to a power of two.
+  std::size_t shard_count = 1;
+  /// Bounded-memory tier: maximum device sessions per shard; 0 (default)
+  /// disables eviction. Evicts the least-recently-active session,
+  /// preferring fingerprinted ones.
+  std::size_t max_sessions_per_shard = 0;
+};
+
 class DeviceMonitor {
  public:
   explicit DeviceMonitor(capture::SetupPhaseConfig config = {})
-      : config_(config) {}
+      : DeviceMonitor(DeviceMonitorOptions{.setup = config}) {}
+  explicit DeviceMonitor(DeviceMonitorOptions options);
 
   /// Feeds one packet (already attributed to its source device by MAC).
   /// Returns a capture when this packet completes a device's setup phase.
+  /// Thread-safe per shard; attach tracer/recorder only in single-threaded
+  /// runs (they are driven under the shard lock).
   std::optional<CompletedCapture> Observe(const net::ParsedPacket& packet);
 
   /// Clock-driven flush: returns captures of devices whose setup phase
@@ -46,23 +69,25 @@ class DeviceMonitor {
   /// appearance is fingerprinted anew.
   void Forget(const net::MacAddress& mac);
 
-  [[nodiscard]] bool IsKnown(const net::MacAddress& mac) const {
-    return states_.contains(mac);
-  }
+  [[nodiscard]] bool IsKnown(const net::MacAddress& mac) const;
   /// True while the device's setup phase is still being captured (known
   /// but not yet fingerprinted).
-  [[nodiscard]] bool IsCollecting(const net::MacAddress& mac) const {
-    const auto it = states_.find(mac);
-    return it != states_.end() && !it->second.fingerprinted;
+  [[nodiscard]] bool IsCollecting(const net::MacAddress& mac) const;
+  [[nodiscard]] std::size_t tracked_count() const {
+    return tracked_count_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::size_t tracked_count() const { return states_.size(); }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Sessions evicted by the bounded-memory tier so far.
+  [[nodiscard]] std::uint64_t evicted_total() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
 
   /// Attaches capture/fingerprint telemetry: the `sentinel_stage_capture_ns`
   /// histogram (per-packet setup-phase bookkeeping + feature extraction),
   /// the `sentinel_stage_fingerprint_ns` histogram (fingerprint assembly
-  /// when a setup phase completes), packet/capture counters and the
-  /// tracked-devices gauge. nullptr detaches; the uninstrumented path takes
-  /// no clock reads.
+  /// when a setup phase completes), packet/capture/eviction counters and
+  /// the tracked-devices gauge. nullptr detaches; the uninstrumented path
+  /// takes no clock reads.
   void set_metrics(obs::MetricsRegistry* registry);
 
   /// Attaches decision-provenance tracing: each newly seen MAC is assigned
@@ -76,10 +101,7 @@ class DeviceMonitor {
     recorder_ = recorder;
   }
   /// Trace id assigned to `mac` (0 when unknown or untraced).
-  [[nodiscard]] obs::TraceId trace_id(const net::MacAddress& mac) const {
-    const auto it = states_.find(mac);
-    return it == states_.end() ? 0 : it->second.trace_id;
-  }
+  [[nodiscard]] obs::TraceId trace_id(const net::MacAddress& mac) const;
 
  private:
   struct DeviceState {
@@ -88,9 +110,17 @@ class DeviceMonitor {
     std::vector<features::PacketFeatureVector> vectors;
     bool fingerprinted = false;
     obs::TraceId trace_id = 0;
+    /// Position in the shard's recency list (front = most recent packet).
+    std::list<net::MacAddress>::iterator lru_pos;
 
     explicit DeviceState(const capture::SetupPhaseConfig& config)
         : tracker(config) {}
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<net::MacAddress, DeviceState> states;
+    std::list<net::MacAddress> lru;
   };
 
   struct MonitorMetrics {
@@ -98,13 +128,22 @@ class DeviceMonitor {
     obs::Histogram* fingerprint_ns = nullptr;
     obs::Counter* packets_total = nullptr;
     obs::Counter* captures_total = nullptr;
+    obs::Counter* evicted_total = nullptr;
     obs::Gauge* tracked = nullptr;
   };
 
+  [[nodiscard]] Shard& ShardFor(const net::MacAddress& mac) const;
+  /// Evicts one session (LRU, preferring fingerprinted). Lock held.
+  /// Returns true if a session was evicted.
+  bool EvictOneSession(Shard& shard);
   CompletedCapture Finish(const net::MacAddress& mac, DeviceState& state);
+  void SetTrackedGauge() const;
 
   capture::SetupPhaseConfig config_;
-  std::unordered_map<net::MacAddress, DeviceState> states_;
+  std::size_t max_sessions_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> tracked_count_{0};
+  std::atomic<std::uint64_t> evicted_{0};
   MonitorMetrics handles_;
   obs::Tracer* tracer_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;

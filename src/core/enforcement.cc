@@ -1,10 +1,31 @@
 #include "core/enforcement.h"
 
+#include <mutex>
+
 #include "obs/log.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
+#include "util/shard.h"
 
 namespace sentinel::core {
+
+EnforcementEngine::EnforcementEngine(net::MacAddress gateway_mac,
+                                     net::Ipv4Address gateway_ip,
+                                     EnforcementOptions options)
+    : gateway_mac_(gateway_mac),
+      gateway_ip_(gateway_ip),
+      max_rules_per_shard_(options.max_rules_per_shard) {
+  const std::size_t shard_count =
+      util::NormalizeShardCount(options.shard_count);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+EnforcementEngine::Shard& EnforcementEngine::ShardFor(
+    const net::MacAddress& mac) const {
+  return *shards_[util::ShardIndexFor(mac.ToUint64(), shards_.size())];
+}
 
 void EnforcementEngine::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
@@ -25,9 +46,12 @@ void EnforcementEngine::set_metrics(obs::MetricsRegistry* registry) {
       "enforcement rules installed at trusted isolation");
   handles_.denied_total = &registry->GetCounter(
       "sentinel_enforce_denied_total", "flows denied by policy evaluation");
+  handles_.evicted_total = &registry->GetCounter(
+      "sentinel_enforce_rules_evicted_total",
+      "enforcement rules evicted by the bounded-memory LRU tier");
   handles_.rules = &registry->GetGauge(
       "sentinel_enforce_rules", "devices in the enforcement-rule cache");
-  handles_.rules->Set(static_cast<double>(rules_.size()));
+  handles_.rules->Set(static_cast<double>(rule_count()));
 }
 
 void EnforcementEngine::Install(EnforcementRule rule) {
@@ -56,28 +80,83 @@ void EnforcementEngine::Install(EnforcementRule rule) {
                     {"mac", rule.device_mac.ToString()},
                     {"type", rule.device_type},
                     {"level", ToString(rule.level)});
-  rules_[rule.device_mac] = std::move(rule);
+
+  const net::MacAddress mac = rule.device_mac;
+  Shard& shard = ShardFor(mac);
+  std::size_t evicted_here = 0;
+  {
+    std::unique_lock lock(shard.mutex);
+    const auto it = shard.rules.find(mac);
+    if (it != shard.rules.end()) {
+      it->second.rule = std::move(rule);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    } else {
+      shard.lru.push_front(mac);
+      shard.rules.emplace(mac, Entry{std::move(rule), shard.lru.begin()});
+      rule_count_.fetch_add(1, std::memory_order_relaxed);
+      if (max_rules_per_shard_ > 0) {
+        while (shard.rules.size() > max_rules_per_shard_) {
+          shard.rules.erase(shard.lru.back());
+          shard.lru.pop_back();
+          rule_count_.fetch_sub(1, std::memory_order_relaxed);
+          ++evicted_here;
+        }
+      }
+    }
+  }
+  if (evicted_here > 0) {
+    evicted_.fetch_add(evicted_here, std::memory_order_relaxed);
+    if (handles_.evicted_total != nullptr)
+      handles_.evicted_total->Increment(evicted_here);
+  }
   if (handles_.rules != nullptr)
-    handles_.rules->Set(static_cast<double>(rules_.size()));
+    handles_.rules->Set(static_cast<double>(rule_count()));
 }
 
 bool EnforcementEngine::Remove(const net::MacAddress& mac) {
-  const bool removed = rules_.erase(mac) > 0;
+  Shard& shard = ShardFor(mac);
+  bool removed = false;
+  {
+    std::unique_lock lock(shard.mutex);
+    const auto it = shard.rules.find(mac);
+    if (it != shard.rules.end()) {
+      shard.lru.erase(it->second.lru_pos);
+      shard.rules.erase(it);
+      rule_count_.fetch_sub(1, std::memory_order_relaxed);
+      removed = true;
+    }
+  }
   if (removed && handles_.rules != nullptr)
-    handles_.rules->Set(static_cast<double>(rules_.size()));
+    handles_.rules->Set(static_cast<double>(rule_count()));
   return removed;
 }
 
 const EnforcementRule* EnforcementEngine::Find(
     const net::MacAddress& mac) const {
-  const auto it = rules_.find(mac);
-  return it == rules_.end() ? nullptr : &it->second;
+  const Shard& shard = ShardFor(mac);
+  std::shared_lock lock(shard.mutex);
+  const auto it = shard.rules.find(mac);
+  return it == shard.rules.end() ? nullptr : &it->second.rule;
+}
+
+EnforcementEngine::RuleProbe EnforcementEngine::Probe(
+    const net::MacAddress& mac,
+    const std::optional<net::Ipv4Address>& endpoint) const {
+  const Shard& shard = ShardFor(mac);
+  std::shared_lock lock(shard.mutex);
+  const auto it = shard.rules.find(mac);
+  if (it == shard.rules.end()) return RuleProbe{};
+  RuleProbe probe;
+  probe.has_rule = true;
+  probe.level = it->second.rule.level;
+  if (endpoint.has_value())
+    probe.endpoint_allowed = it->second.rule.AllowsEndpoint(*endpoint);
+  return probe;
 }
 
 IsolationLevel EnforcementEngine::EffectiveLevel(
     const net::MacAddress& mac) const {
-  const EnforcementRule* rule = Find(mac);
-  return rule == nullptr ? IsolationLevel::kStrict : rule->level;
+  return Probe(mac, std::nullopt).level;
 }
 
 bool EnforcementEngine::IsInfrastructure(
@@ -105,25 +184,28 @@ Decision EnforcementEngine::Authorize(const net::ParsedPacket& packet) const {
     return {.allow = true, .reason = "infrastructure traffic"};
   }
 
-  const IsolationLevel src_level = EffectiveLevel(packet.src_mac);
-  const EnforcementRule* src_rule = Find(packet.src_mac);
-  const auto decided_by =
-      src_rule ? std::optional<net::MacAddress>(packet.src_mac) : std::nullopt;
-
   // Remote (Internet) destination?
   const bool is_public = packet.dst_ip && packet.dst_ip->IsV4() &&
                          !packet.dst_ip->v4().IsPrivate() &&
                          !packet.dst_ip->v4().IsMulticast() &&
                          packet.dst_ip->v4() != net::Ipv4Address::Broadcast();
+
+  const RuleProbe src = Probe(
+      packet.src_mac, is_public ? std::optional<net::Ipv4Address>(
+                                      packet.dst_ip->v4())
+                                : std::nullopt);
+  const auto decided_by =
+      src.has_rule ? std::optional<net::MacAddress>(packet.src_mac)
+                   : std::nullopt;
+
   if (is_public) {
-    switch (src_level) {
+    switch (src.level) {
       case IsolationLevel::kTrusted:
         return {.allow = true,
                 .reason = "trusted device, full Internet access",
                 .decided_by = decided_by};
       case IsolationLevel::kRestricted:
-        if (src_rule != nullptr &&
-            src_rule->AllowsEndpoint(packet.dst_ip->v4())) {
+        if (src.endpoint_allowed) {
           return {.allow = true,
                   .reason = "restricted device, allowlisted endpoint",
                   .decided_by = decided_by};
@@ -158,9 +240,9 @@ Decision EnforcementEngine::Authorize(const net::ParsedPacket& packet) const {
 
   // Device-to-device: both ends must share an overlay (Fig. 3).
   const IsolationLevel dst_level = EffectiveLevel(packet.dst_mac);
-  if (OverlayOf(src_level) == OverlayOf(dst_level)) {
+  if (OverlayOf(src.level) == OverlayOf(dst_level)) {
     return {.allow = true,
-            .reason = OverlayOf(src_level) == Overlay::kTrusted
+            .reason = OverlayOf(src.level) == Overlay::kTrusted
                           ? "both devices in trusted network"
                           : "both devices in untrusted network",
             .decided_by = decided_by};
@@ -173,10 +255,16 @@ Decision EnforcementEngine::Authorize(const net::ParsedPacket& packet) const {
 
 std::size_t EnforcementEngine::MemoryBytes() const {
   std::size_t total = sizeof(*this);
-  // unordered_map buckets + nodes.
-  total += rules_.bucket_count() * sizeof(void*);
-  for (const auto& [mac, rule] : rules_) {
-    total += sizeof(mac) + rule.MemoryBytes() + 2 * sizeof(void*);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::shared_lock lock(shard.mutex);
+    total += sizeof(Shard);
+    // unordered_map buckets + nodes, plus the recency list's nodes.
+    total += shard.rules.bucket_count() * sizeof(void*);
+    for (const auto& [mac, entry] : shard.rules) {
+      total += sizeof(mac) + entry.rule.MemoryBytes() + 2 * sizeof(void*);
+      total += sizeof(net::MacAddress) + 2 * sizeof(void*);
+    }
   }
   return total;
 }

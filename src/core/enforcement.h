@@ -10,11 +10,22 @@
 // Devices without a rule (still being fingerprinted) are treated as
 // strict-by-default so a compromised device cannot attack before
 // identification completes.
+//
+// Fleet scale: the rule cache is sharded by device MAC (util/shard.h) with
+// per-shard reader/writer locks — Authorize() takes shared locks only — and
+// optionally bounded by a per-shard LRU cap over installation recency.
+// Defaults (one shard, no cap) reproduce the seed behavior exactly.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/isolation.h"
 #include "net/frame.h"
@@ -30,22 +41,36 @@ struct Decision {
   std::optional<net::MacAddress> decided_by;
 };
 
+struct EnforcementOptions {
+  /// Rule-cache shards; rounded up to a power of two. 1 (default) keeps
+  /// the seed's single-shard behavior.
+  std::size_t shard_count = 1;
+  /// Bounded-memory tier: maximum device rules per shard; installs past
+  /// the cap evict the least-recently-installed rule. 0 disables eviction.
+  std::size_t max_rules_per_shard = 0;
+};
+
 class EnforcementEngine {
  public:
-  explicit EnforcementEngine(net::MacAddress gateway_mac,
-                             net::Ipv4Address gateway_ip)
-      : gateway_mac_(gateway_mac), gateway_ip_(gateway_ip) {}
+  EnforcementEngine(net::MacAddress gateway_mac, net::Ipv4Address gateway_ip,
+                    EnforcementOptions options = {});
 
   /// Installs (or replaces) the enforcement rule for a device.
   void Install(EnforcementRule rule);
   /// Removes a device's rule; returns true if one existed.
   bool Remove(const net::MacAddress& mac);
+  /// Single-writer API: the returned pointer is valid only until the next
+  /// Install/Remove. Concurrent policy checks should go through
+  /// Authorize()/EffectiveLevel(), which copy state out under the lock.
   [[nodiscard]] const EnforcementRule* Find(const net::MacAddress& mac) const;
-  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+  [[nodiscard]] std::size_t rule_count() const {
+    return rule_count_.load(std::memory_order_relaxed);
+  }
 
   /// Policy check for one packet. Infrastructure traffic (ARP, EAPoL,
   /// ICMPv6 ND, DHCP, and DNS/NTP to the gateway) is always permitted so
-  /// devices can associate and be fingerprinted.
+  /// devices can associate and be fingerprinted. Safe to call concurrently
+  /// with Install/Remove (reader locks; no rule pointers escape).
   [[nodiscard]] Decision Authorize(const net::ParsedPacket& packet) const;
 
   /// Isolation level effective for a device (strict when no rule exists).
@@ -57,11 +82,17 @@ class EnforcementEngine {
 
   [[nodiscard]] net::MacAddress gateway_mac() const { return gateway_mac_; }
   [[nodiscard]] net::Ipv4Address gateway_ip() const { return gateway_ip_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Rules evicted by the bounded-memory tier so far.
+  [[nodiscard]] std::uint64_t evicted_total() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
 
   /// Attaches enforcement telemetry: the `sentinel_stage_enforce_ns`
   /// histogram (rule installation time), per-isolation-level install
-  /// counters, the denied-flows counter, and the rule-cache size gauge.
-  /// nullptr detaches; the uninstrumented path takes no clock reads.
+  /// counters, the denied-flows counter, the eviction counter, and the
+  /// rule-cache size gauge. nullptr detaches; the uninstrumented path
+  /// takes no clock reads.
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
@@ -71,14 +102,42 @@ class EnforcementEngine {
     obs::Counter* rules_restricted_total = nullptr;
     obs::Counter* rules_trusted_total = nullptr;
     obs::Counter* denied_total = nullptr;
+    obs::Counter* evicted_total = nullptr;
     obs::Gauge* rules = nullptr;
   };
 
+  /// One rule plus its position in the shard's recency list (front = most
+  /// recently installed).
+  struct Entry {
+    EnforcementRule rule;
+    std::list<net::MacAddress>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<net::MacAddress, Entry> rules;
+    std::list<net::MacAddress> lru;
+  };
+
+  /// Copy-out snapshot of a device's rule taken under the shard's reader
+  /// lock — everything Authorize() needs without letting a pointer escape.
+  struct RuleProbe {
+    bool has_rule = false;
+    IsolationLevel level = IsolationLevel::kStrict;
+    bool endpoint_allowed = false;
+  };
+  [[nodiscard]] RuleProbe Probe(
+      const net::MacAddress& mac,
+      const std::optional<net::Ipv4Address>& endpoint) const;
+
+  [[nodiscard]] Shard& ShardFor(const net::MacAddress& mac) const;
   [[nodiscard]] bool IsInfrastructure(const net::ParsedPacket& packet) const;
 
   net::MacAddress gateway_mac_;
   net::Ipv4Address gateway_ip_;
-  std::unordered_map<net::MacAddress, EnforcementRule> rules_;
+  std::size_t max_rules_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> rule_count_{0};
+  std::atomic<std::uint64_t> evicted_{0};
   EnforcementMetrics handles_;
 };
 

@@ -5,9 +5,9 @@ namespace sentinel::core {
 SecurityGateway::SecurityGateway(SecurityServiceClient& service,
                                  SecurityGatewayConfig config)
     : config_(config),
-      switch_("security-gateway"),
-      controller_(/*learning_switch=*/true),
-      engine_(config.gateway_mac, config.gateway_ip) {
+      switch_("security-gateway", config.flow_table),
+      controller_(config.controller),
+      engine_(config.gateway_mac, config.gateway_ip, config.enforcement) {
   if (config.enable_services) {
     GatewayServicesConfig services_config;
     services_config.mac = config.gateway_mac;

@@ -19,6 +19,12 @@ struct SecurityGatewayConfig {
   net::Ipv4Address gateway_ip = net::Ipv4Address(192, 168, 1, 1);
   sdn::PortId wan_port = 1;
   SentinelModuleConfig module;
+  /// Fleet-scale knobs: shard counts and bounded-memory caps for the
+  /// MAC-keyed datapath state. Defaults (one shard, no caps) keep the
+  /// single-tenant behavior bit-identical.
+  sdn::FlowTableOptions flow_table;
+  sdn::ControllerOptions controller;
+  EnforcementOptions enforcement;
   /// When true the gateway also runs its network services (DHCP, DNS, NTP,
   /// ARP/ICMP responder) on the datapath, answering devices directly. Off
   /// by default for deployments where an existing router keeps those roles.
@@ -75,6 +81,7 @@ class SecurityGateway {
   /// results.
   void set_metrics(obs::MetricsRegistry* registry) {
     switch_.set_metrics(registry);
+    controller_.set_metrics(registry);
     module_->set_metrics(registry);
     engine_.set_metrics(registry);
   }

@@ -13,7 +13,10 @@ SentinelModule::SentinelModule(SecurityServiceClient& service,
     : service_(service),
       engine_(engine),
       config_(config),
-      monitor_(config.setup) {
+      monitor_(DeviceMonitorOptions{
+          .setup = config.setup,
+          .shard_count = config.monitor_shard_count,
+          .max_sessions_per_shard = config.max_sessions_per_shard}) {
   infrastructure_.insert(engine_.gateway_mac());
 }
 

@@ -24,6 +24,10 @@ struct SentinelModuleConfig {
   std::uint16_t drop_priority = 100;
   std::uint16_t allow_priority = 50;
   capture::SetupPhaseConfig setup;
+  /// Device-session table shards (rounded up to a power of two).
+  std::size_t monitor_shard_count = 1;
+  /// Bounded-memory tier for device sessions (per shard; 0 = unbounded).
+  std::size_t max_sessions_per_shard = 0;
 };
 
 /// Notification issued when a device has been identified and its

@@ -1,0 +1,261 @@
+#include "netsim/churn.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "util/shard.h"
+
+namespace sentinel::netsim {
+
+namespace {
+
+using util::Mix64;
+
+/// Deterministic generator for the scenario's stochastic choices.
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return Mix64(state);
+  }
+  double NextUnit() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+};
+
+net::MacAddress MacForIndex(std::uint64_t i) {
+  // Locally administered unicast range so fleet MACs never collide with
+  // the gateway's or the catalog simulator's.
+  return net::MacAddress({0x02, 0xc4,
+                          static_cast<std::uint8_t>(i >> 24),
+                          static_cast<std::uint8_t>(i >> 16),
+                          static_cast<std::uint8_t>(i >> 8),
+                          static_cast<std::uint8_t>(i)});
+}
+
+net::Ipv4Address IpForIndex(std::uint64_t i) {
+  return net::Ipv4Address(10, static_cast<std::uint8_t>((i >> 16) & 0xff),
+                          static_cast<std::uint8_t>((i >> 8) & 0xff),
+                          static_cast<std::uint8_t>(i & 0xff));
+}
+
+/// A deterministic public endpoint (vendor cloud stand-in) per device.
+net::Ipv4Address CloudForIndex(std::uint64_t i) {
+  return net::Ipv4Address(52, 8, static_cast<std::uint8_t>((i >> 8) & 0xff),
+                          static_cast<std::uint8_t>(i & 0xff));
+}
+
+net::Frame MakeUdp(std::uint64_t ts_ns, const net::MacAddress& src,
+                   const net::MacAddress& dst, net::Ipv4Address sip,
+                   net::Ipv4Address dip, std::uint16_t dport,
+                   std::uint16_t payload_byte) {
+  net::UdpDatagram udp;
+  udp.src_port = 49152;
+  udp.dst_port = dport;
+  udp.payload = {static_cast<std::uint8_t>(payload_byte),
+                 static_cast<std::uint8_t>(payload_byte >> 8), 0x5a};
+  return net::BuildUdp4Frame(ts_ns, src, dst, sip, dip, udp);
+}
+
+struct ActiveDevice {
+  std::uint64_t index = 0;
+  std::uint64_t leave_ns = 0;
+};
+
+constexpr std::uint64_t kJoinIntervalNs = 250'000'000;  // 4 joins/s
+constexpr std::uint64_t kPacketSpacingNs = 400'000'000;  // < idle gap
+constexpr std::size_t kSetupBurst = 8;  // >= SetupPhaseConfig::min_packets
+
+}  // namespace
+
+core::AssessmentResult ScriptedAssessor::Assess(
+    const features::Fingerprint& full,
+    const features::FixedFingerprint& fixed) {
+  // Hash the fixed fingerprint's contents so the verdict depends only on
+  // the device's traffic, never on call order.
+  std::uint64_t h = seed_;
+  for (const double v : fixed.values()) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    h = Mix64(h ^ bits);
+  }
+  h = Mix64(h ^ full.size());
+
+  core::AssessmentResult result;
+  const std::uint64_t kind = h % 4;
+  if (kind == 0) {
+    // Unknown device-type: strict by default, no identification.
+    result.level = core::IsolationLevel::kStrict;
+    return result;
+  }
+  result.type = static_cast<devices::DeviceTypeId>(h % 1024);
+  result.type_identifier = "churn-type-" + std::to_string(h % 1024);
+  if (kind == 1) {
+    result.level = core::IsolationLevel::kTrusted;
+  } else if (kind == 2) {
+    result.level = core::IsolationLevel::kRestricted;
+    result.allowed_endpoints = {CloudForIndex(h)};
+    result.allowed_endpoint_names = {"cloud." + std::to_string(h % 997)};
+  } else {
+    result.level = core::IsolationLevel::kStrict;
+  }
+  return result;
+}
+
+ChurnReport RunChurnScenario(const ChurnConfig& config,
+                             core::SecurityServiceClient& service) {
+  ChurnReport report;
+  core::SecurityGateway gateway(service, config.gateway);
+  const std::size_t port_count = std::max<std::size_t>(config.port_count, 1);
+  const sdn::PortId wan_port = gateway.config().wan_port;
+
+  // Frame sinks just count; delivery contents are covered elsewhere.
+  std::uint64_t delivered = 0;
+  gateway.AttachWan([&](const net::Frame&) { ++delivered; });
+  for (std::size_t p = 0; p < port_count; ++p) {
+    const auto port = static_cast<sdn::PortId>(wan_port + 1 + p);
+    gateway.AttachPort(port, [&](const net::Frame&) { ++delivered; });
+  }
+  gateway.sentinel().OnIdentification(
+      [&](const core::IdentificationEvent&) { ++report.identifications; });
+  gateway.sentinel().OnIncident(
+      [&](const core::IncidentEvent&) { ++report.incidents; });
+
+  Lcg rng{Mix64(config.seed ^ 0xc0ffee)};
+  std::deque<ActiveDevice> active;
+  std::vector<std::uint64_t> departed;  // candidates for re-join
+  std::uint64_t next_index = 1;
+  std::uint64_t frame_seq = 0;
+  const net::MacAddress gateway_mac = gateway.config().gateway_mac;
+  const net::Ipv4Address gateway_ip = gateway.config().gateway_ip;
+
+  const auto port_for = [&](std::uint64_t index) {
+    return static_cast<sdn::PortId>(wan_port + 1 + (Mix64(index) % port_count));
+  };
+  const auto inject = [&](std::uint64_t index, const net::Frame& frame) {
+    const bool forwarded = gateway.Ingress(port_for(index), frame);
+    ++report.frames_injected;
+    report.verdict_hash ^= Mix64((frame_seq << 1 | (forwarded ? 1u : 0u)) ^
+                                 Mix64(index * 0x9e3779b97f4a7c15ull));
+    ++frame_seq;
+  };
+
+  std::vector<std::uint64_t> all_indices;
+  for (std::size_t s = 0; s < config.session_count; ++s) {
+    const std::uint64_t now = static_cast<std::uint64_t>(s) * kJoinIntervalNs +
+                              1'000'000'000ull;
+
+    // Departures that came due, oldest first.
+    while (!active.empty() &&
+           (active.front().leave_ns <= now ||
+            active.size() >= config.device_count)) {
+      const ActiveDevice leaver = active.front();
+      active.pop_front();
+      const net::MacAddress mac = MacForIndex(leaver.index);
+      if (rng.NextUnit() < config.refingerprint_fraction) {
+        // The device will be fingerprinted anew on re-join; its flow rules
+        // go with it (port disconnect cleanup).
+        gateway.sentinel().monitor().Forget(mac);
+        gateway.datapath().flow_table().RemoveByMac(mac);
+      }
+      departed.push_back(leaver.index);
+    }
+
+    // Join: mostly fresh devices, sometimes a departed one returning.
+    std::uint64_t index;
+    if (!departed.empty() && rng.NextUnit() < 0.25) {
+      const std::size_t pick = rng.Next() % departed.size();
+      index = departed[pick];
+      departed[pick] = departed.back();
+      departed.pop_back();
+    } else {
+      index = next_index++;
+      all_indices.push_back(index);
+    }
+    ++report.sessions_started;
+    const std::uint64_t lifetime =
+        (4 + rng.Next() % 60) * kJoinIntervalNs * 2;
+    active.push_back(ActiveDevice{index, now + lifetime});
+
+    const net::MacAddress mac = MacForIndex(index);
+    const net::Ipv4Address ip = IpForIndex(index);
+    const net::Ipv4Address cloud = CloudForIndex(index);
+
+    // Setup burst: enough packets to satisfy the setup phase, mixing
+    // cloud-bound, gateway-bound and broadcast traffic.
+    for (std::size_t k = 0; k < kSetupBurst; ++k) {
+      const std::uint64_t ts = now + k * kPacketSpacingNs;
+      net::Frame frame;
+      if (k % 3 == 0) {
+        frame = MakeUdp(ts, mac, gateway_mac, ip, cloud, 443,
+                        static_cast<std::uint16_t>(k));
+      } else if (k % 3 == 1) {
+        frame = MakeUdp(ts, mac, gateway_mac, ip, gateway_ip, 53,
+                        static_cast<std::uint16_t>(k));
+      } else {
+        frame = MakeUdp(ts, mac, net::MacAddress::Broadcast(), ip,
+                        net::Ipv4Address::Broadcast(), 1900,
+                        static_cast<std::uint16_t>(k));
+      }
+      inject(index, frame);
+    }
+
+    // Chatter from earlier joiners keeps their rules warm and exercises
+    // installed allow/drop paths.
+    const std::uint64_t chatter_base =
+        now + kSetupBurst * kPacketSpacingNs;
+    for (std::size_t c = 0; c < config.chatter_packets && !active.empty();
+         ++c) {
+      const ActiveDevice& talker = active[rng.Next() % active.size()];
+      const net::MacAddress tmac = MacForIndex(talker.index);
+      inject(talker.index,
+             MakeUdp(chatter_base + c * 1'000'000, tmac, gateway_mac,
+                     IpForIndex(talker.index), CloudForIndex(talker.index),
+                     443, static_cast<std::uint16_t>(c + 7)));
+    }
+
+    // Let overdue setup phases fingerprint + identify. The idle gap is 5s
+    // of sim time, so sessions complete a few joins after their burst.
+    gateway.sentinel().FlushIdle(now);
+    // Periodic datapath housekeeping (rule timeouts).
+    if (s % 64 == 0) gateway.datapath().ExpireFlows(now);
+  }
+
+  const std::uint64_t end_ns =
+      static_cast<std::uint64_t>(config.session_count) * kJoinIntervalNs +
+      3'600'000'000'000ull;
+  gateway.sentinel().FlushIdle(end_ns);
+  report.sim_duration_ns = end_ns;
+
+  // Final-state hash: flow rules in installation order, then every
+  // device's effective isolation level (XOR, order-insensitive).
+  std::uint64_t rule_hash = 0x5eed;
+  for (const sdn::FlowRule* rule : gateway.datapath().flow_table().Rules()) {
+    std::uint64_t h = Mix64(rule->priority * 0x100000001b3ull ^ rule->cookie);
+    if (rule->match.eth_src) h = Mix64(h ^ rule->match.eth_src->ToUint64());
+    if (rule->match.eth_dst) h = Mix64(h ^ rule->match.eth_dst->ToUint64());
+    h = Mix64(h ^ (rule->actions.empty() ? 0xdead : rule->actions.size()));
+    rule_hash = Mix64(rule_hash ^ h);  // chained: order matters
+  }
+  for (const std::uint64_t index : all_indices) {
+    const auto level =
+        gateway.enforcement().EffectiveLevel(MacForIndex(index));
+    rule_hash ^= Mix64(index * 31 + static_cast<std::uint64_t>(level));
+  }
+  report.rule_hash = rule_hash;
+
+  report.tracked_devices = gateway.sentinel().monitor().tracked_count();
+  report.enforcement_rules = gateway.enforcement().rule_count();
+  report.flow_rules = gateway.datapath().flow_table().size();
+  report.learned_macs = gateway.controller().learned_mac_count();
+  report.gateway_memory_bytes = gateway.MemoryBytes();
+  report.flow_evictions = gateway.datapath().flow_table().evicted_total();
+  report.monitor_evictions = gateway.sentinel().monitor().evicted_total();
+  report.controller_evictions = gateway.controller().macs_evicted_total();
+  report.enforcement_evictions = gateway.enforcement().evicted_total();
+  return report;
+}
+
+}  // namespace sentinel::netsim

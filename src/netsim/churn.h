@@ -1,0 +1,97 @@
+// Fleet-churn scenario: devices joining, chattering, leaving and
+// re-fingerprinting against a Security Gateway for hours of simulated
+// time. This is the workload behind the ROADMAP's serving-scale question —
+// does the gateway's MAC-keyed state (monitor sessions, learned MACs, flow
+// rules, enforcement rules) stay bounded and its behavior deterministic
+// while the device population turns over continuously?
+//
+// Everything is deterministic: a fixed seed drives joins, lifetimes,
+// traffic interleaving and the scripted assessor, so two runs with
+// different shard counts (and eviction disabled) must produce identical
+// verdict and rule-set hashes — the differential the soak bench and the
+// CI smoke job assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/gateway.h"
+
+namespace sentinel::netsim {
+
+/// Deterministic stand-in for the IoT Security Service: assesses a
+/// fingerprint to a type/level derived from a hash of the device's fixed
+/// fingerprint. No forests, no training — cheap enough for 100k+ joins —
+/// while still driving the full identify -> enforce -> flow-rule path.
+class ScriptedAssessor : public core::SecurityServiceClient {
+ public:
+  explicit ScriptedAssessor(std::uint64_t seed = 1) : seed_(seed) {}
+
+  core::AssessmentResult Assess(
+      const features::Fingerprint& full,
+      const features::FixedFingerprint& fixed) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+struct ChurnConfig {
+  /// Steady-state active population; joins beyond it displace leavers.
+  std::size_t device_count = 256;
+  /// Total join events over the scenario (>= device_count). Re-joins of
+  /// departed devices count here too.
+  std::size_t session_count = 2048;
+  /// Device-sourced frames injected per session on top of the setup burst.
+  std::size_t chatter_packets = 6;
+  /// Fraction (0..1) of leavers whose session is forgotten on departure,
+  /// so a re-join runs the whole fingerprint pipeline again.
+  double refingerprint_fraction = 0.5;
+  /// Physical gateway ports the fleet hashes onto.
+  std::size_t port_count = 32;
+  std::uint64_t seed = 7;
+  /// Gateway knobs — shard counts and eviction caps ride through here.
+  core::SecurityGatewayConfig gateway;
+};
+
+struct ChurnReport {
+  /// XOR-accumulated hash over every injected frame's forwarding outcome.
+  /// Order-insensitive, so it is comparable across shard counts even
+  /// though map iteration orders differ internally.
+  std::uint64_t verdict_hash = 0;
+  /// Chained hash over the final flow-rule set in installation order plus
+  /// every device's effective isolation level.
+  std::uint64_t rule_hash = 0;
+
+  std::uint64_t frames_injected = 0;
+  std::uint64_t sessions_started = 0;
+  std::uint64_t identifications = 0;
+  std::uint64_t incidents = 0;
+  /// Simulated wall clock covered by the scenario.
+  std::uint64_t sim_duration_ns = 0;
+
+  // Final state sizes.
+  std::size_t tracked_devices = 0;
+  std::size_t enforcement_rules = 0;
+  std::size_t flow_rules = 0;
+  std::size_t learned_macs = 0;
+  std::size_t gateway_memory_bytes = 0;
+
+  // Bounded-memory tier activity.
+  std::uint64_t flow_evictions = 0;
+  std::uint64_t monitor_evictions = 0;
+  std::uint64_t controller_evictions = 0;
+  std::uint64_t enforcement_evictions = 0;
+
+  [[nodiscard]] std::uint64_t total_evictions() const {
+    return flow_evictions + monitor_evictions + controller_evictions +
+           enforcement_evictions;
+  }
+};
+
+/// Runs the churn scenario against a freshly built gateway. `service` may
+/// be any assessor; pass a ScriptedAssessor for large fleets or a trained
+/// core::SecurityService for full-fidelity identification.
+ChurnReport RunChurnScenario(const ChurnConfig& config,
+                             core::SecurityServiceClient& service);
+
+}  // namespace sentinel::netsim

@@ -4,12 +4,24 @@
 // custom module for Floodlight SDN controller to perform network
 // monitoring tasks, fingerprint generation and to manage communications
 // with IoT Security Service."
+//
+// Fleet scale: the learning-switch MAC table is sharded by MAC
+// (util/shard.h) with per-shard locks, and optionally bounded — a per-shard
+// LRU cap evicts the least-recently-learned station so a gateway tracking
+// churning fleets (ROADMAP: 1M+ MACs) holds bounded memory. Defaults (one
+// shard, no cap) reproduce the seed behavior exactly.
 #pragma once
 
+#include <cstdint>
+#include <list>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sdn/switch.h"
 
 namespace sentinel::sdn {
@@ -34,12 +46,23 @@ class ControllerModule {
                              const net::ParsedPacket& packet) = 0;
 };
 
+struct ControllerOptions {
+  bool learning_switch = true;
+  /// Learned-MAC table shards; rounded up to a power of two.
+  std::size_t shard_count = 1;
+  /// Bounded-memory tier: maximum learned stations per shard; 0 (default)
+  /// disables eviction. Evicts the least-recently-learned MAC.
+  std::size_t max_learned_macs_per_shard = 0;
+};
+
 /// A simple synchronous controller: learning-switch forwarding by default,
 /// with a module chain consulted first.
 class Controller {
  public:
-  explicit Controller(bool learning_switch = true)
-      : learning_switch_(learning_switch) {}
+  Controller() : Controller(ControllerOptions{}) {}
+  explicit Controller(bool learning_switch)
+      : Controller(ControllerOptions{.learning_switch = learning_switch}) {}
+  explicit Controller(ControllerOptions options);
 
   /// Registers a module; modules run in registration order.
   void AddModule(std::shared_ptr<ControllerModule> module) {
@@ -48,7 +71,9 @@ class Controller {
 
   /// Entry point invoked by switches on table miss. Applies modules, then
   /// (optionally) MAC-learning forwarding: learned destination -> output +
-  /// install exact flow, unknown -> flood.
+  /// install exact flow, unknown -> flood. Safe to call concurrently once
+  /// the module chain is registered (module handlers own their internal
+  /// synchronization; the MAC table locks per shard).
   void OnPacketIn(SoftwareSwitch& sw, PortId in_port, const net::Frame& frame);
 
   /// Installs a rule into the switch's table (FlowMod).
@@ -56,15 +81,44 @@ class Controller {
     sw.flow_table().Add(std::move(rule));
   }
 
-  [[nodiscard]] const std::unordered_map<std::uint64_t, PortId>& mac_table()
-      const {
-    return mac_to_port_;
+  /// Snapshot of the learned MAC -> port table (copies; the live table is
+  /// sharded and lock-protected).
+  [[nodiscard]] std::unordered_map<std::uint64_t, PortId> mac_table() const;
+  [[nodiscard]] std::size_t learned_mac_count() const;
+  /// Stations evicted by the bounded-memory tier so far.
+  [[nodiscard]] std::uint64_t macs_evicted_total() const {
+    return evicted_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches the `sentinel_controller_mac_evicted_total` counter and the
+  /// `sentinel_controller_learned_macs` gauge. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
+  /// Learned station, plus its position in the shard's recency list
+  /// (front = most recently learned).
+  struct MacEntry {
+    PortId port = 0;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+  struct MacShard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::uint64_t, MacEntry> macs;
+    std::list<std::uint64_t> lru;
+  };
+
+  [[nodiscard]] MacShard& ShardFor(std::uint64_t mac) const;
+  /// Records src_mac -> port, refreshing recency and evicting past the cap.
+  void Learn(std::uint64_t mac, PortId port);
+  [[nodiscard]] std::optional<PortId> LookupPort(std::uint64_t mac) const;
+
   std::vector<std::shared_ptr<ControllerModule>> modules_;
   bool learning_switch_;
-  std::unordered_map<std::uint64_t, PortId> mac_to_port_;
+  std::size_t max_learned_macs_per_shard_;
+  std::vector<std::unique_ptr<MacShard>> mac_shards_;
+  std::atomic<std::uint64_t> evicted_{0};
+  obs::Counter* evicted_metric_ = nullptr;
+  obs::Gauge* learned_gauge_ = nullptr;
 };
 
 }  // namespace sentinel::sdn

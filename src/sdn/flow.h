@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "util/relaxed_counter.h"
 
 namespace sentinel::sdn {
 
@@ -74,11 +75,20 @@ struct FlowRule {
   std::uint64_t idle_timeout_ns = 0;
   std::uint64_t hard_timeout_ns = 0;
 
-  // Counters maintained by the switch.
-  mutable std::uint64_t packet_count = 0;
-  mutable std::uint64_t byte_count = 0;
+  // Counters maintained by the datapath. Relaxed atomics: the flow table's
+  // match path updates them under a *shared* shard lock, so concurrent
+  // ingress threads hitting the same rule must not race.
+  util::RelaxedCounter packet_count;
+  util::RelaxedCounter byte_count;
   mutable std::uint64_t installed_at_ns = 0;
-  mutable std::uint64_t last_hit_ns = 0;
+  util::RelaxedCounter last_hit_ns;
+
+  /// Rule id assigned by the owning FlowTable on install (0 before). Stable
+  /// across FlowMod replacement; orders Rules() by installation.
+  mutable std::uint64_t id = 0;
+  /// FlowTable bookkeeping: the rule's position in its shard's storage slab
+  /// (enables O(1) swap-remove). Meaningless outside the table.
+  mutable std::uint32_t table_index = 0;
 
   /// True when the rule has timed out as of `now_ns`.
   [[nodiscard]] bool IsExpired(std::uint64_t now_ns) const {
@@ -86,8 +96,9 @@ struct FlowRule {
         now_ns - installed_at_ns >= hard_timeout_ns)
       return true;
     if (idle_timeout_ns != 0) {
+      const std::uint64_t last_hit = last_hit_ns.load();
       const std::uint64_t reference =
-          last_hit_ns != 0 ? last_hit_ns : installed_at_ns;
+          last_hit != 0 ? last_hit : installed_at_ns;
       if (now_ns >= reference && now_ns - reference >= idle_timeout_ns)
         return true;
     }

@@ -1,0 +1,210 @@
+#include "sdn/flow_match_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/shard.h"
+
+namespace sentinel::sdn {
+
+namespace {
+
+constexpr std::size_t kInitialCapacity = 16;
+constexpr double kMaxLoadFactor = 0.7;
+// Robin-hood keeps the probe-distance variance tiny at 0.7 load, but a
+// pathological key set could still push a chain long — grow instead of
+// letting chains crawl.
+constexpr std::uint16_t kMaxProbeDistance = 200;
+
+inline std::uint64_t PairHash(std::uint64_t src, std::uint64_t dst) {
+  return sentinel::util::Mix64(src * 0x9e3779b97f4a7c15ull ^ dst);
+}
+
+/// True when the rule's match is exactly {eth_src, eth_dst}: the pair-key
+/// equality a cache probe establishes already implies Matches() for any
+/// packet/port, so the hot path can skip the rule->match read.
+inline bool TrivialMatch(const FlowRule& rule) {
+  const FlowMatch& m = rule.match;
+  return m.eth_src && m.eth_dst && !m.in_port && !m.eth_type && !m.ip_src &&
+         !m.ip_dst && !m.ip_proto && !m.tp_src && !m.tp_dst;
+}
+
+}  // namespace
+
+std::uint32_t FlowMatchCache::Find(std::uint64_t src, std::uint64_t dst) const {
+  if (size_ == 0) return kNone;
+  std::uint64_t i = PairHash(src, dst) & mask_;
+  std::uint16_t dist = 1;
+  for (;;) {
+    const Slot& slot = slots_[i];
+    // Empty slot, or a resident that sits closer to home than we are — a
+    // robin-hood invariant violation if our key were present. Miss.
+    if (slot.dist < dist) return kNone;
+    if (slot.dist == dist && slot.src == src && slot.dst == dst)
+      return static_cast<std::uint32_t>(i);
+    i = (i + 1) & mask_;
+    ++dist;
+  }
+}
+
+void FlowMatchCache::InsertSlot(Slot entry) {
+  std::uint64_t i = PairHash(entry.src, entry.dst) & mask_;
+  entry.dist = 1;
+  for (;;) {
+    Slot& slot = slots_[i];
+    if (slot.dist == 0) {
+      slot = entry;
+      return;
+    }
+    if (slot.dist < entry.dist) {
+      // Robin hood: the incoming entry is poorer (further from home) than
+      // the resident — swap and keep walking with the displaced entry.
+      std::swap(slot, entry);
+    }
+    i = (i + 1) & mask_;
+    ++entry.dist;
+    if (entry.dist >= kMaxProbeDistance) {
+      Grow();
+      InsertSlot(entry);
+      return;
+    }
+  }
+}
+
+void FlowMatchCache::Grow() {
+  const std::size_t new_capacity =
+      slots_.empty() ? kInitialCapacity : slots_.size() * 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_capacity, Slot{});
+  mask_ = new_capacity - 1;
+  for (const Slot& slot : old)
+    if (slot.dist != 0) InsertSlot(slot);
+}
+
+void FlowMatchCache::Insert(std::uint64_t src, std::uint64_t dst,
+                            FlowRule* rule) {
+  const std::uint32_t index = Find(src, dst);
+  if (index != kNone) {
+    // Existing pair: slot the rule into its priority position. The head
+    // stays the highest-priority rule; ties keep insertion order (the
+    // incoming rule goes after equal-priority residents), matching the
+    // stable upper_bound insert the seed's per-pair vectors used.
+    Slot& slot = slots_[index];
+    bool demoted = false;
+    if (rule->priority > slot.head->priority) {
+      std::swap(rule, slot.head);
+      slot.flags = TrivialMatch(*slot.head) ? kHeadTrivial : 0;
+      demoted = true;
+    }
+    if (slot.more == kNone) {
+      if (free_buckets_.empty()) {
+        slot.more = static_cast<std::uint32_t>(buckets_.size());
+        buckets_.emplace_back();
+      } else {
+        slot.more = free_buckets_.back();
+        free_buckets_.pop_back();
+      }
+    }
+    auto& bucket = buckets_[slot.more];
+    const auto by_priority = [](const FlowRule* a, const FlowRule* b) {
+      return a->priority > b->priority;
+    };
+    // A freshly inserted rule goes after equal-priority residents
+    // (insertion order); a demoted ex-head predates every resident of its
+    // priority, so it goes before them — both preserve the stable order
+    // the seed's per-pair vectors kept.
+    const auto pos =
+        demoted
+            ? std::lower_bound(bucket.begin(), bucket.end(), rule, by_priority)
+            : std::upper_bound(bucket.begin(), bucket.end(), rule, by_priority);
+    bucket.insert(pos, rule);
+    return;
+  }
+
+  if (slots_.empty() ||
+      static_cast<double>(size_ + 1) >
+          kMaxLoadFactor * static_cast<double>(slots_.size())) {
+    Grow();
+  }
+  InsertSlot(Slot{src, dst, rule, kNone, 0,
+                  TrivialMatch(*rule) ? kHeadTrivial : std::uint16_t{0}});
+  ++size_;
+}
+
+void FlowMatchCache::Remove(std::uint64_t src, std::uint64_t dst,
+                            const FlowRule* rule) {
+  const std::uint32_t index = Find(src, dst);
+  if (index == kNone) return;
+
+  Slot& slot = slots_[index];
+  if (slot.head == rule) {
+    if (slot.more != kNone && !buckets_[slot.more].empty()) {
+      auto& bucket = buckets_[slot.more];
+      slot.head = bucket.front();
+      slot.flags = TrivialMatch(*slot.head) ? kHeadTrivial : 0;
+      bucket.erase(bucket.begin());
+      if (bucket.empty()) {
+        free_buckets_.push_back(slot.more);
+        slot.more = kNone;
+      }
+      return;
+    }
+  } else {
+    if (slot.more == kNone) return;  // unknown rule
+    auto& bucket = buckets_[slot.more];
+    const auto it = std::find(bucket.begin(), bucket.end(), rule);
+    if (it == bucket.end()) return;  // unknown rule
+    bucket.erase(it);
+    if (bucket.empty()) {
+      free_buckets_.push_back(slot.more);
+      slot.more = kNone;
+    }
+    return;
+  }
+
+  // Last rule for the pair: erase the slot with backward-shift compaction
+  // (no tombstones — every entry after the hole that is not at its home
+  // slot moves one back, shortening its probe distance).
+  std::uint64_t hole = index;
+  for (;;) {
+    const std::uint64_t next = (hole + 1) & mask_;
+    if (slots_[next].dist <= 1) break;  // empty or at home: chain ends
+    slots_[hole] = slots_[next];
+    --slots_[hole].dist;
+    hole = next;
+  }
+  slots_[hole] = Slot{};
+  --size_;
+}
+
+std::uint32_t FlowMatchCache::NextOccupied(std::uint32_t start) const {
+  if (size_ == 0) return kNone;
+  const std::size_t capacity = slots_.size();
+  std::uint64_t i = start & mask_;
+  for (std::size_t n = 0; n < capacity; ++n) {
+    if (slots_[i].dist != 0) return static_cast<std::uint32_t>(i);
+    i = (i + 1) & mask_;
+  }
+  return kNone;
+}
+
+void FlowMatchCache::Clear() {
+  slots_.clear();
+  buckets_.clear();
+  free_buckets_.clear();
+  size_ = 0;
+  mask_ = 0;
+}
+
+std::size_t FlowMatchCache::MemoryBytes() const {
+  std::size_t total = sizeof(*this);
+  total += slots_.capacity() * sizeof(Slot);
+  total += buckets_.capacity() * sizeof(std::vector<FlowRule*>);
+  for (const auto& bucket : buckets_)
+    total += bucket.capacity() * sizeof(FlowRule*);
+  total += free_buckets_.capacity() * sizeof(std::uint32_t);
+  return total;
+}
+
+}  // namespace sentinel::sdn

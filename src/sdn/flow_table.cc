@@ -1,19 +1,13 @@
 #include "sdn/flow_table.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "obs/trace.h"
-
 #include "util/check.h"
+#include "util/shard.h"
 
 namespace sentinel::sdn {
-
-FlowTable::MacPairKey FlowTable::ExactKey(const FlowMatch& match) {
-  SENTINEL_CHECK(match.eth_src.has_value() && match.eth_dst.has_value())
-      << "exact-match rule indexed without both MAC operands: "
-      << match.ToString();
-  return MacPairKey{match.eth_src->ToUint64(), match.eth_dst->ToUint64()};
-}
 
 namespace {
 
@@ -26,11 +20,55 @@ void InsertByPriority(std::vector<FlowRule*>& rules, FlowRule* rule) {
   rules.insert(pos, rule);
 }
 
-void Erase(std::vector<FlowRule*>& rules, const FlowRule* rule) {
-  rules.erase(std::remove(rules.begin(), rules.end(), rule), rules.end());
+/// MAC operands of an exact rule, checked: the index depends on
+/// IsExactOnMacs() implying both MACs are set.
+std::pair<std::uint64_t, std::uint64_t> ExactKey(const FlowMatch& match) {
+  SENTINEL_CHECK(match.eth_src.has_value() && match.eth_dst.has_value())
+      << "exact-match rule indexed without both MAC operands: "
+      << match.ToString();
+  return {match.eth_src->ToUint64(), match.eth_dst->ToUint64()};
+}
+
+/// Recency of a rule for the approximate-LRU tier: its last hit, falling
+/// back to its installation stamp.
+std::uint64_t Recency(const FlowRule& rule) {
+  return std::max(rule.last_hit_ns.load(), rule.installed_at_ns);
+}
+
+constexpr std::size_t kEvictionSamples = 8;
+
+std::uint64_t Lcg(std::uint64_t x) {
+  return x * 6364136223846793005ull + 1442695040888963407ull;
+}
+
+/// In-place FlowMod replacement (identical match + priority).
+void ReplaceRule(FlowRule& existing, FlowRule&& incoming,
+                 std::uint64_t now_ns) {
+  existing.actions = std::move(incoming.actions);
+  existing.cookie = incoming.cookie;
+  existing.idle_timeout_ns = incoming.idle_timeout_ns;
+  existing.hard_timeout_ns = incoming.hard_timeout_ns;
+  existing.installed_at_ns = now_ns;
 }
 
 }  // namespace
+
+FlowTable::FlowTable(FlowTableOptions options)
+    : max_exact_rules_per_shard_(options.max_exact_rules_per_shard) {
+  const std::size_t shard_count =
+      util::NormalizeShardCount(options.shard_count);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Deterministic per-shard sampling stream for the eviction sweep.
+    shard->sweep_state = util::Mix64(0x51f0u ^ i);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+FlowTable::Shard& FlowTable::ShardFor(std::uint64_t src_mac) const {
+  return *shards_[util::ShardIndexFor(src_mac, shards_.size())];
+}
 
 void FlowTable::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
@@ -41,7 +79,7 @@ void FlowTable::set_metrics(obs::MetricsRegistry* registry) {
       "sentinel_flowtable_lookups_total", "flow-table lookups");
   handles_.hash_hits_total = &registry->GetCounter(
       "sentinel_flowtable_hash_hits_total",
-      "lookups resolved by the exact-match MAC-pair hash index");
+      "lookups resolved by the exact-match MAC-pair cache");
   handles_.linear_hits_total = &registry->GetCounter(
       "sentinel_flowtable_linear_hits_total",
       "lookups resolved by the priority-ordered wildcard scan");
@@ -54,9 +92,64 @@ void FlowTable::set_metrics(obs::MetricsRegistry* registry) {
   handles_.expired_total = &registry->GetCounter(
       "sentinel_flowtable_expired_total",
       "flow rules removed by idle/hard timeout");
+  handles_.evicted_total = &registry->GetCounter(
+      "sentinel_flowtable_evicted_total",
+      "exact rules evicted by the bounded-memory LRU tier");
   handles_.rules = &registry->GetGauge(
       "sentinel_flowtable_rules", "flow rules currently in the table");
-  handles_.rules->Set(static_cast<double>(rules_.size()));
+  handles_.rules->Set(static_cast<double>(size()));
+}
+
+void FlowTable::SetRulesGauge() const {
+  if (handles_.rules != nullptr)
+    handles_.rules->Set(static_cast<double>(size()));
+}
+
+void FlowTable::EraseExact(Shard& shard, FlowRule* rule) {
+  const auto [src, dst] = ExactKey(rule->match);
+  shard.cache.Remove(src, dst, rule);
+  const std::uint32_t i = rule->table_index;
+  const std::uint32_t last =
+      static_cast<std::uint32_t>(shard.rules.size() - 1);
+  if (i != last) {
+    std::swap(shard.rules[i], shard.rules[last]);
+    shard.rules[i]->table_index = i;
+  }
+  shard.rules.pop_back();
+  rule_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t FlowTable::EvictOnePair(Shard& shard) {
+  if (shard.cache.empty()) return 0;
+  std::uint32_t victim = FlowMatchCache::kNone;
+  std::uint64_t victim_recency = ~std::uint64_t{0};
+  for (std::size_t k = 0; k < kEvictionSamples; ++k) {
+    shard.sweep_state = Lcg(shard.sweep_state);
+    const std::uint32_t slot = shard.cache.NextOccupied(
+        static_cast<std::uint32_t>(shard.sweep_state >> 32));
+    if (slot == FlowMatchCache::kNone) break;
+    // A pair is as recent as its most recently touched rule.
+    std::uint64_t recency = Recency(*shard.cache.head(slot));
+    if (const auto* overflow = shard.cache.overflow(slot)) {
+      for (const FlowRule* rule : *overflow)
+        recency = std::max(recency, Recency(*rule));
+    }
+    if (recency < victim_recency) {
+      victim_recency = recency;
+      victim = slot;
+    }
+  }
+  if (victim == FlowMatchCache::kNone) return 0;
+
+  std::vector<FlowRule*> doomed;
+  doomed.push_back(shard.cache.head(victim));
+  if (const auto* overflow = shard.cache.overflow(victim))
+    doomed.insert(doomed.end(), overflow->begin(), overflow->end());
+  for (FlowRule* rule : doomed) EraseExact(shard, rule);
+  evicted_.fetch_add(doomed.size(), std::memory_order_relaxed);
+  if (handles_.evicted_total != nullptr)
+    handles_.evicted_total->Increment(doomed.size());
+  return doomed.size();
 }
 
 std::uint64_t FlowTable::Add(FlowRule rule, std::uint64_t now_ns) {
@@ -64,169 +157,377 @@ std::uint64_t FlowTable::Add(FlowRule rule, std::uint64_t now_ns) {
   rule.installed_at_ns = now_ns;
   if (handles_.installed_total != nullptr)
     handles_.installed_total->Increment();
-  // FlowMod replace semantics.
-  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
-    if (it->match == rule.match && it->priority == rule.priority) {
-      it->actions = std::move(rule.actions);
-      it->cookie = rule.cookie;
-      it->idle_timeout_ns = rule.idle_timeout_ns;
-      it->hard_timeout_ns = rule.hard_timeout_ns;
-      it->installed_at_ns = now_ns;
-      return next_id_++;
+
+  if (rule.match.IsExactOnMacs()) {
+    const auto [src, dst] = ExactKey(rule.match);
+    Shard& shard = ShardFor(src);
+    std::unique_lock lock(shard.mutex);
+    // FlowMod replace semantics: an identical (match, priority) rule can
+    // only live in this pair's bucket.
+    const std::uint32_t slot = shard.cache.Find(src, dst);
+    if (slot != FlowMatchCache::kNone) {
+      FlowRule* head = shard.cache.head(slot);
+      if (head->match == rule.match && head->priority == rule.priority) {
+        ReplaceRule(*head, std::move(rule), now_ns);
+        return next_id_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (const auto* overflow = shard.cache.overflow(slot)) {
+        for (FlowRule* existing : *overflow) {
+          if (existing->match == rule.match &&
+              existing->priority == rule.priority) {
+            ReplaceRule(*existing, std::move(rule), now_ns);
+            return next_id_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+    if (max_exact_rules_per_shard_ > 0) {
+      while (shard.rules.size() >= max_exact_rules_per_shard_ &&
+             EvictOnePair(shard) > 0) {
+      }
+    }
+    const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    auto owned = std::make_unique<FlowRule>(std::move(rule));
+    owned->id = id;
+    owned->table_index = static_cast<std::uint32_t>(shard.rules.size());
+    shard.cache.Insert(src, dst, owned.get());
+    shard.rules.push_back(std::move(owned));
+    rule_count_.fetch_add(1, std::memory_order_relaxed);
+    SetRulesGauge();
+    return id;
+  }
+
+  std::unique_lock lock(wildcard_mutex_);
+  for (const auto& existing : wildcard_storage_) {
+    if (existing->match == rule.match && existing->priority == rule.priority) {
+      ReplaceRule(*existing, std::move(rule), now_ns);
+      return next_id_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  rules_.push_back(std::move(rule));
-  FlowRule* stored = &rules_.back();
-  if (stored->match.IsExactOnMacs()) {
-    InsertByPriority(exact_index_[ExactKey(stored->match)], stored);
-  } else {
-    InsertByPriority(wildcard_rules_, stored);
-  }
-  if (handles_.rules != nullptr)
-    handles_.rules->Set(static_cast<double>(rules_.size()));
-  return next_id_++;
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto owned = std::make_unique<FlowRule>(std::move(rule));
+  owned->id = id;
+  owned->table_index = static_cast<std::uint32_t>(wildcard_storage_.size());
+  InsertByPriority(wildcard_rules_, owned.get());
+  wildcard_storage_.push_back(std::move(owned));
+  rule_count_.fetch_add(1, std::memory_order_relaxed);
+  wildcard_count_.fetch_add(1, std::memory_order_relaxed);
+  SetRulesGauge();
+  return id;
 }
 
 std::size_t FlowTable::RemoveByCookie(std::uint64_t cookie) {
   std::size_t removed = 0;
-  for (auto it = rules_.begin(); it != rules_.end();) {
-    if (it->cookie != cookie) {
-      ++it;
-      continue;
-    }
-    if (it->match.IsExactOnMacs()) {
-      auto index_it = exact_index_.find(ExactKey(it->match));
-      if (index_it != exact_index_.end()) {
-        Erase(index_it->second, &*it);
-        if (index_it->second.empty()) exact_index_.erase(index_it);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock lock(shard.mutex);
+    for (std::size_t i = 0; i < shard.rules.size();) {
+      if (shard.rules[i]->cookie == cookie) {
+        EraseExact(shard, shard.rules[i].get());
+        ++removed;  // swap-remove: revisit index i
+      } else {
+        ++i;
       }
-    } else {
-      Erase(wildcard_rules_, &*it);
     }
-    it = rules_.erase(it);
-    ++removed;
   }
-  if (removed > 0 && handles_.rules != nullptr)
-    handles_.rules->Set(static_cast<double>(rules_.size()));
+  {
+    std::unique_lock lock(wildcard_mutex_);
+    for (std::size_t i = 0; i < wildcard_storage_.size();) {
+      if (wildcard_storage_[i]->cookie == cookie) {
+        FlowRule* rule = wildcard_storage_[i].get();
+        wildcard_rules_.erase(
+            std::remove(wildcard_rules_.begin(), wildcard_rules_.end(), rule),
+            wildcard_rules_.end());
+        wildcard_storage_.erase(wildcard_storage_.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+        rule_count_.fetch_sub(1, std::memory_order_relaxed);
+        wildcard_count_.fetch_sub(1, std::memory_order_relaxed);
+        ++removed;
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (removed > 0) SetRulesGauge();
   return removed;
 }
 
 std::size_t FlowTable::RemoveByMac(const net::MacAddress& mac) {
   std::size_t removed = 0;
-  for (auto it = rules_.begin(); it != rules_.end();) {
-    const bool hit = (it->match.eth_src && *it->match.eth_src == mac) ||
-                     (it->match.eth_dst && *it->match.eth_dst == mac);
-    if (!hit) {
-      ++it;
-      continue;
-    }
-    if (it->match.IsExactOnMacs()) {
-      auto index_it = exact_index_.find(ExactKey(it->match));
-      if (index_it != exact_index_.end()) {
-        Erase(index_it->second, &*it);
-        if (index_it->second.empty()) exact_index_.erase(index_it);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock lock(shard.mutex);
+    for (std::size_t i = 0; i < shard.rules.size();) {
+      const FlowMatch& match = shard.rules[i]->match;
+      const bool hit = (match.eth_src && *match.eth_src == mac) ||
+                       (match.eth_dst && *match.eth_dst == mac);
+      if (hit) {
+        EraseExact(shard, shard.rules[i].get());
+        ++removed;
+      } else {
+        ++i;
       }
-    } else {
-      Erase(wildcard_rules_, &*it);
     }
-    it = rules_.erase(it);
-    ++removed;
   }
-  if (removed > 0 && handles_.rules != nullptr)
-    handles_.rules->Set(static_cast<double>(rules_.size()));
+  {
+    std::unique_lock lock(wildcard_mutex_);
+    for (std::size_t i = 0; i < wildcard_storage_.size();) {
+      const FlowMatch& match = wildcard_storage_[i]->match;
+      const bool hit = (match.eth_src && *match.eth_src == mac) ||
+                       (match.eth_dst && *match.eth_dst == mac);
+      if (hit) {
+        FlowRule* rule = wildcard_storage_[i].get();
+        wildcard_rules_.erase(
+            std::remove(wildcard_rules_.begin(), wildcard_rules_.end(), rule),
+            wildcard_rules_.end());
+        wildcard_storage_.erase(wildcard_storage_.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+        rule_count_.fetch_sub(1, std::memory_order_relaxed);
+        wildcard_count_.fetch_sub(1, std::memory_order_relaxed);
+        ++removed;
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (removed > 0) SetRulesGauge();
   return removed;
 }
 
 std::size_t FlowTable::ExpireRules(std::uint64_t now_ns) {
   std::size_t removed = 0;
-  for (auto it = rules_.begin(); it != rules_.end();) {
-    if (!it->IsExpired(now_ns)) {
-      ++it;
-      continue;
-    }
-    if (it->match.IsExactOnMacs()) {
-      auto index_it = exact_index_.find(ExactKey(it->match));
-      if (index_it != exact_index_.end()) {
-        Erase(index_it->second, &*it);
-        if (index_it->second.empty()) exact_index_.erase(index_it);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock lock(shard.mutex);
+    for (std::size_t i = 0; i < shard.rules.size();) {
+      if (shard.rules[i]->IsExpired(now_ns)) {
+        EraseExact(shard, shard.rules[i].get());
+        ++removed;
+      } else {
+        ++i;
       }
-    } else {
-      Erase(wildcard_rules_, &*it);
     }
-    it = rules_.erase(it);
-    ++removed;
+  }
+  {
+    std::unique_lock lock(wildcard_mutex_);
+    for (std::size_t i = 0; i < wildcard_storage_.size();) {
+      if (wildcard_storage_[i]->IsExpired(now_ns)) {
+        FlowRule* rule = wildcard_storage_[i].get();
+        wildcard_rules_.erase(
+            std::remove(wildcard_rules_.begin(), wildcard_rules_.end(), rule),
+            wildcard_rules_.end());
+        wildcard_storage_.erase(wildcard_storage_.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+        rule_count_.fetch_sub(1, std::memory_order_relaxed);
+        wildcard_count_.fetch_sub(1, std::memory_order_relaxed);
+        ++removed;
+      } else {
+        ++i;
+      }
+    }
   }
   if (removed > 0 && handles_.expired_total != nullptr)
     handles_.expired_total->Increment(removed);
-  if (removed > 0 && handles_.rules != nullptr)
-    handles_.rules->Set(static_cast<double>(rules_.size()));
+  if (removed > 0) SetRulesGauge();
   return removed;
 }
 
 void FlowTable::Clear() {
-  rules_.clear();
-  wildcard_rules_.clear();
-  exact_index_.clear();
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock lock(shard.mutex);
+    shard.rules.clear();
+    shard.cache.Clear();
+  }
+  {
+    std::unique_lock lock(wildcard_mutex_);
+    wildcard_storage_.clear();
+    wildcard_rules_.clear();
+  }
+  rule_count_.store(0, std::memory_order_relaxed);
+  wildcard_count_.store(0, std::memory_order_relaxed);
   if (handles_.rules != nullptr) handles_.rules->Set(0.0);
 }
 
 const FlowRule* FlowTable::Lookup(const net::ParsedPacket& packet,
                                   PortId in_port) const {
-  ++stats_.lookups;
   if (handles_.lookups_total != nullptr) handles_.lookups_total->Increment();
   const FlowRule* best = nullptr;
 
-  const MacPairKey key{packet.src_mac.ToUint64(), packet.dst_mac.ToUint64()};
-  const auto it = exact_index_.find(key);
-  if (it != exact_index_.end()) {
-    for (const FlowRule* rule : it->second) {
-      if (rule->match.Matches(packet, in_port)) {
-        best = rule;
-        ++stats_.hash_hits;
-        if (handles_.hash_hits_total != nullptr)
-          handles_.hash_hits_total->Increment();
-        break;  // sorted by priority
+  const std::uint64_t src = packet.src_mac.ToUint64();
+  const std::uint64_t dst = packet.dst_mac.ToUint64();
+  const Shard& shard = ShardFor(src);
+  shard.stats.lookups.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock shard_lock(shard.mutex);
+  const std::uint32_t slot = shard.cache.Find(src, dst);
+  if (slot != FlowMatchCache::kNone) {
+    const FlowRule* head = shard.cache.head(slot);
+    // head_trivial: the pair-key equality Find() established already is
+    // the whole match — skip the rule->match read (one fewer dependent
+    // cache miss on the per-packet path).
+    if (shard.cache.head_trivial(slot) ||
+        head->match.Matches(packet, in_port)) {
+      best = head;
+    } else if (const auto* overflow = shard.cache.overflow(slot)) {
+      for (const FlowRule* rule : *overflow) {
+        if (rule->match.Matches(packet, in_port)) {
+          best = rule;
+          break;  // sorted by priority
+        }
       }
+    }
+    if (best != nullptr) {
+      shard.stats.hash_hits.fetch_add(1, std::memory_order_relaxed);
+      if (handles_.hash_hits_total != nullptr)
+        handles_.hash_hits_total->Increment();
     }
   }
 
   // Wildcard rules are sorted by descending priority, so the scan can stop
-  // as soon as remaining priorities cannot beat the exact-match hit.
-  for (const FlowRule* rule : wildcard_rules_) {
-    if (best && rule->priority <= best->priority) break;
-    if (rule->match.Matches(packet, in_port)) {
-      best = rule;
-      ++stats_.linear_hits;
-      if (handles_.linear_hits_total != nullptr)
-        handles_.linear_hits_total->Increment();
-      break;
+  // as soon as remaining priorities cannot beat the exact-match hit. The
+  // tier (and its lock) is skipped outright while no wildcard rule exists.
+  if (wildcard_count_.load(std::memory_order_relaxed) > 0) {
+    std::shared_lock wildcard_lock(wildcard_mutex_);
+    for (const FlowRule* rule : wildcard_rules_) {
+      if (best && rule->priority <= best->priority) break;
+      if (rule->match.Matches(packet, in_port)) {
+        best = rule;
+        shard.stats.linear_hits.fetch_add(1, std::memory_order_relaxed);
+        if (handles_.linear_hits_total != nullptr)
+          handles_.linear_hits_total->Increment();
+        break;
+      }
     }
   }
 
   if (best == nullptr) {
-    ++stats_.misses;
+    shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
     if (handles_.misses_total != nullptr) handles_.misses_total->Increment();
   }
   return best;
 }
 
+FlowTable::MatchResult FlowTable::Match(const net::ParsedPacket& packet,
+                                        PortId in_port, std::uint64_t now_ns,
+                                        std::size_t frame_bytes) const {
+  if (handles_.lookups_total != nullptr) handles_.lookups_total->Increment();
+  MatchResult result;
+  const FlowRule* best = nullptr;
+
+  const std::uint64_t src = packet.src_mac.ToUint64();
+  const std::uint64_t dst = packet.dst_mac.ToUint64();
+  const Shard& shard = ShardFor(src);
+  shard.stats.lookups.fetch_add(1, std::memory_order_relaxed);
+  // The shard lock stays held until the copy-out below: the winning rule
+  // cannot be freed by a concurrent Remove/Expire while its actions are
+  // read.
+  std::shared_lock shard_lock(shard.mutex);
+  const std::uint32_t slot = shard.cache.Find(src, dst);
+  if (slot != FlowMatchCache::kNone) {
+    const FlowRule* head = shard.cache.head(slot);
+    // head_trivial: the pair-key equality Find() established already is
+    // the whole match — skip the rule->match read (one fewer dependent
+    // cache miss on the per-packet path).
+    if (shard.cache.head_trivial(slot) ||
+        head->match.Matches(packet, in_port)) {
+      best = head;
+    } else if (const auto* overflow = shard.cache.overflow(slot)) {
+      for (const FlowRule* rule : *overflow) {
+        if (rule->match.Matches(packet, in_port)) {
+          best = rule;
+          break;
+        }
+      }
+    }
+    if (best != nullptr) {
+      shard.stats.hash_hits.fetch_add(1, std::memory_order_relaxed);
+      if (handles_.hash_hits_total != nullptr)
+        handles_.hash_hits_total->Increment();
+    }
+  }
+
+  std::shared_lock wildcard_lock(wildcard_mutex_, std::defer_lock);
+  if (wildcard_count_.load(std::memory_order_relaxed) > 0) {
+    wildcard_lock.lock();
+    for (const FlowRule* rule : wildcard_rules_) {
+      if (best && rule->priority <= best->priority) break;
+      if (rule->match.Matches(packet, in_port)) {
+        best = rule;
+        shard.stats.linear_hits.fetch_add(1, std::memory_order_relaxed);
+        if (handles_.linear_hits_total != nullptr)
+          handles_.linear_hits_total->Increment();
+        break;
+      }
+    }
+  }
+
+  if (best == nullptr) {
+    shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
+    if (handles_.misses_total != nullptr) handles_.misses_total->Increment();
+    return result;
+  }
+
+  best->packet_count.Add(1);
+  best->byte_count.Add(frame_bytes);
+  best->last_hit_ns.store(now_ns);
+  result.matched = true;
+  result.drop = best->IsDrop();
+  result.priority = best->priority;
+  result.rule_id = best->id;
+  result.action_count = best->actions.size();
+  const std::size_t inline_count =
+      std::min(best->actions.size(), result.actions.size());
+  for (std::size_t i = 0; i < inline_count; ++i)
+    result.actions[i] = best->actions[i];
+  for (std::size_t i = inline_count; i < best->actions.size(); ++i)
+    result.extra_actions.push_back(best->actions[i]);
+  return result;
+}
+
 std::vector<const FlowRule*> FlowTable::Rules() const {
   std::vector<const FlowRule*> out;
-  out.reserve(rules_.size());
-  for (const auto& rule : rules_) out.push_back(&rule);
+  out.reserve(size());
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::shared_lock lock(shard.mutex);
+    for (const auto& rule : shard.rules) out.push_back(rule.get());
+  }
+  {
+    std::shared_lock lock(wildcard_mutex_);
+    for (const auto& rule : wildcard_storage_) out.push_back(rule.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlowRule* a, const FlowRule* b) { return a->id < b->id; });
   return out;
+}
+
+FlowTable::Stats FlowTable::stats() const {
+  Stats s;
+  for (const auto& shard_ptr : shards_) {
+    const ShardStats& stats = shard_ptr->stats;
+    s.lookups += stats.lookups.load(std::memory_order_relaxed);
+    s.hash_hits += stats.hash_hits.load(std::memory_order_relaxed);
+    s.linear_hits += stats.linear_hits.load(std::memory_order_relaxed);
+    s.misses += stats.misses.load(std::memory_order_relaxed);
+  }
+  return s;
 }
 
 std::size_t FlowTable::MemoryBytes() const {
   std::size_t total = sizeof(*this);
-  for (const auto& rule : rules_)
-    total += rule.MemoryBytes() + 2 * sizeof(void*);  // list node overhead
-  total += wildcard_rules_.capacity() * sizeof(FlowRule*);
-  // unordered_map: buckets + one node per entry.
-  total += exact_index_.bucket_count() * sizeof(void*);
-  for (const auto& [key, rules] : exact_index_) {
-    total += sizeof(key) + sizeof(void*) * 2 +
-             rules.capacity() * sizeof(FlowRule*);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::shared_lock lock(shard.mutex);
+    total += sizeof(Shard);
+    total += shard.rules.capacity() * sizeof(std::unique_ptr<FlowRule>);
+    for (const auto& rule : shard.rules) total += rule->MemoryBytes();
+    total += shard.cache.MemoryBytes();
+  }
+  {
+    std::shared_lock lock(wildcard_mutex_);
+    total += wildcard_storage_.capacity() * sizeof(std::unique_ptr<FlowRule>);
+    for (const auto& rule : wildcard_storage_) total += rule->MemoryBytes();
+    total += wildcard_rules_.capacity() * sizeof(FlowRule*);
   }
   return total;
 }

@@ -1,24 +1,61 @@
-// Priority flow table with an exact-match hash cache.
+// Sharded priority flow table with an open-addressing exact-match cache.
 //
 // The paper stores enforcement rules "in a hash table structure to minimize
 // the lookup time as the enforcement rule cache grows" (Sect. V). The table
-// here mirrors an OVS-style two-tier datapath: a hash index over
-// (src MAC, dst MAC) pairs resolves the common exact-match rules in O(1),
-// and a priority-ordered linear table handles wildcard rules.
+// mirrors an OVS-style two-tier datapath — an exact-match cache over
+// (src MAC, dst MAC) pairs resolves the common rules in O(1), a
+// priority-ordered linear tier handles wildcard rules — and pushes it to
+// fleet scale (ROADMAP: 1M+ tracked MACs under churn):
+//
+//   * Exact-match state is sharded N ways by the source MAC (top bits of
+//     the mixed 48-bit value, util/shard.h). Each shard owns its rules, its
+//     FlowMatchCache (flat SoA robin-hood index, flow_match_cache.h) and a
+//     shared_mutex, so the per-packet match path takes one reader lock on
+//     one shard. Shard count 1 reproduces the seed behavior bit-for-bit.
+//   * Wildcard rules (few, policy-level) live in a single priority-sorted
+//     tier behind their own reader/writer lock.
+//   * An optional bounded-memory tier caps exact rules per shard: adds past
+//     the cap evict the least-recently-hit MAC pair, chosen by a
+//     deterministic clock-sampled sweep over the cache's contiguous slot
+//     array (Redis-style approximate LRU, no hot-path bookkeeping beyond
+//     the last-hit stamp the datapath already writes).
+//
+// Concurrency: Lookup()/Match() take shared locks; Add/Remove*/Expire take
+// exclusive locks. Match() copies the winning rule's verdict and actions
+// out under the lock and bumps its hit counters atomically, so concurrent
+// ingress never holds a rule pointer across a mutation. Lookup() returns a
+// raw pointer for single-writer callers (tests, benches); the pointer is
+// valid only until the next mutating call.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "sdn/flow.h"
+#include "sdn/flow_match_cache.h"
 
 namespace sentinel::sdn {
 
+struct FlowTableOptions {
+  /// Number of exact-match shards; rounded up to a power of two. 1 (the
+  /// default) keeps the seed's single-shard behavior.
+  std::size_t shard_count = 1;
+  /// Bounded-memory tier: maximum exact-match rules held per shard; adds
+  /// beyond the cap evict the least-recently-hit MAC pair first. 0 (the
+  /// default) disables eviction.
+  std::size_t max_exact_rules_per_shard = 0;
+};
+
 class FlowTable {
  public:
+  FlowTable() : FlowTable(FlowTableOptions{}) {}
+  explicit FlowTable(FlowTableOptions options);
+
   /// Installs a rule. Rules with identical match and priority are replaced
   /// (OpenFlow FlowMod semantics). Returns the rule id. `now_ns` stamps
   /// the installation time for timeout handling.
@@ -37,17 +74,52 @@ class FlowTable {
   void Clear();
 
   /// Highest-priority rule matching the packet, or nullptr. Exact-MAC
-  /// rules are served from the hash cache first.
+  /// rules are served from the per-shard match cache first. Single-writer
+  /// API: the returned pointer is valid only until the next mutating call.
   [[nodiscard]] const FlowRule* Lookup(const net::ParsedPacket& packet,
                                        PortId in_port) const;
 
-  [[nodiscard]] std::size_t size() const { return rules_.size(); }
-  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  /// Copy-out match result for concurrent ingress: verdict, priority and
+  /// the winning rule's actions, captured under the shard's reader lock.
+  struct MatchResult {
+    bool matched = false;
+    bool drop = false;
+    std::uint16_t priority = 0;
+    std::uint64_t rule_id = 0;
+    std::size_t action_count = 0;
+    /// First actions inline (rules almost never carry more than two);
+    /// overflow spills to `extra_actions`.
+    std::array<FlowAction, 4> actions{};
+    std::vector<FlowAction> extra_actions;
+
+    [[nodiscard]] const FlowAction& action(std::size_t i) const {
+      return i < actions.size() ? actions[i] : extra_actions[i - actions.size()];
+    }
+  };
+
+  /// Matches `packet` and, on a hit, bumps the winning rule's hit counters
+  /// (packet count, bytes, last-hit stamp) before copying its actions out.
+  /// Safe to call from many threads concurrently with Add/Expire/Remove.
+  MatchResult Match(const net::ParsedPacket& packet, PortId in_port,
+                    std::uint64_t now_ns, std::size_t frame_bytes) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return rule_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  /// All rules in installation order (ascending rule id). Single-writer
+  /// API: pointers are valid only until the next mutating call.
   [[nodiscard]] std::vector<const FlowRule*> Rules() const;
 
   /// Real memory footprint of the table and its index — the quantity
   /// Fig. 6c tracks as the rule cache grows.
   [[nodiscard]] std::size_t MemoryBytes() const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Exact rules evicted by the bounded-memory tier so far.
+  [[nodiscard]] std::uint64_t evicted_total() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
 
   // Lookup statistics (cache effectiveness, Table IV-adjacent reporting).
   struct Stats {
@@ -56,12 +128,12 @@ class FlowTable {
     std::uint64_t linear_hits = 0;
     std::uint64_t misses = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const;
 
   /// Mirrors the Stats counters (lookups, hash/linear hits, misses) plus
-  /// installed/expired totals and a table-size gauge into `registry`.
-  /// nullptr detaches. Registry counters accumulate across tables sharing
-  /// one registry; the local Stats struct stays per-table.
+  /// installed/expired/evicted totals and a table-size gauge into
+  /// `registry`. nullptr detaches. Registry counters accumulate across
+  /// tables sharing one registry; the local Stats stay per-table.
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
@@ -72,32 +144,55 @@ class FlowTable {
     obs::Counter* misses_total = nullptr;
     obs::Counter* installed_total = nullptr;
     obs::Counter* expired_total = nullptr;
+    obs::Counter* evicted_total = nullptr;
     obs::Gauge* rules = nullptr;
   };
 
-  struct MacPairKey {
-    std::uint64_t src = 0;
-    std::uint64_t dst = 0;
-    friend bool operator==(const MacPairKey&, const MacPairKey&) = default;
-  };
-  /// Hash-index key for an exact-match rule. Checks the key invariant the
-  /// index depends on: IsExactOnMacs() implies both MAC operands are set.
-  static MacPairKey ExactKey(const FlowMatch& match);
-  struct MacPairHash {
-    std::size_t operator()(const MacPairKey& k) const noexcept {
-      return std::hash<std::uint64_t>{}(k.src * 0x9e3779b97f4a7c15ull ^ k.dst);
-    }
+  /// Lookup counters, one padded block per shard so concurrent ingress
+  /// threads never contend on a shared stats cache line.
+  struct alignas(64) ShardStats {
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> hash_hits{0};
+    std::atomic<std::uint64_t> linear_hits{0};
+    std::atomic<std::uint64_t> misses{0};
   };
 
-  // Rules owned in a stable-address list; indices reference into it.
-  std::list<FlowRule> rules_;
-  /// Wildcard (non-exact) rules sorted by descending priority.
+  /// One exact-match shard: rule storage slab (stable addresses, O(1)
+  /// swap-remove via FlowRule::table_index), the flat probe cache, and the
+  /// eviction sweep cursor.
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::vector<std::unique_ptr<FlowRule>> rules;
+    FlowMatchCache cache;
+    std::uint64_t sweep_state = 0;
+    mutable ShardStats stats;
+  };
+
+  [[nodiscard]] Shard& ShardFor(std::uint64_t src_mac) const;
+  /// Removes `rule` from `shard` (cache + slab). Exclusive lock held.
+  void EraseExact(Shard& shard, FlowRule* rule);
+  /// Evicts the least-recently-hit sampled MAC pair. Exclusive lock held.
+  /// Returns rules evicted.
+  std::size_t EvictOnePair(Shard& shard);
+  void SetRulesGauge() const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t max_exact_rules_per_shard_ = 0;
+
+  // Wildcard (non-exact) tier: owned storage + pointers sorted by
+  // descending priority.
+  mutable std::shared_mutex wildcard_mutex_;
+  std::vector<std::unique_ptr<FlowRule>> wildcard_storage_;
   std::vector<FlowRule*> wildcard_rules_;
-  /// Exact-match cache: MAC pair -> rules sorted by descending priority.
-  std::unordered_map<MacPairKey, std::vector<FlowRule*>, MacPairHash>
-      exact_index_;
-  std::uint64_t next_id_ = 1;
-  mutable Stats stats_;
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> rule_count_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  /// Wildcard rule count, readable without the wildcard lock: the match
+  /// path skips that tier entirely (lock and all) while it is empty — the
+  /// overwhelmingly common state for a gateway datapath.
+  std::atomic<std::size_t> wildcard_count_{0};
+
   TableMetrics handles_;
 };
 

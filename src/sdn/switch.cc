@@ -5,8 +5,9 @@
 
 namespace sentinel::sdn {
 
-SoftwareSwitch::SoftwareSwitch(std::string datapath_id)
-    : datapath_id_(std::move(datapath_id)) {}
+SoftwareSwitch::SoftwareSwitch(std::string datapath_id,
+                               FlowTableOptions table_options)
+    : datapath_id_(std::move(datapath_id)), table_(table_options) {}
 
 void SoftwareSwitch::set_metrics(obs::MetricsRegistry* registry) {
   table_.set_metrics(registry);
@@ -54,8 +55,12 @@ bool SoftwareSwitch::Inject(PortId in_port, const net::Frame& frame) {
     return false;
   }
 
-  const FlowRule* rule = table_.Lookup(packet, in_port);
-  if (rule == nullptr) {
+  // Copy-out match: the table bumps the winning rule's hit counters and
+  // releases its locks before any action runs, so output callbacks that
+  // re-enter Inject() (netsim delivery is synchronous) never hold a lock.
+  const FlowTable::MatchResult match =
+      table_.Match(packet, in_port, frame.timestamp_ns, frame.size());
+  if (!match.matched) {
     ++counters_.packet_ins;
     if (handles_.packet_ins_total != nullptr)
       handles_.packet_ins_total->Increment();
@@ -65,16 +70,14 @@ bool SoftwareSwitch::Inject(PortId in_port, const net::Frame& frame) {
     return true;
   }
 
-  rule->packet_count++;
-  rule->byte_count += frame.size();
-  rule->last_hit_ns = frame.timestamp_ns;
-  if (rule->IsDrop()) {
+  if (match.drop) {
     ++counters_.dropped;
     if (handles_.dropped_total != nullptr) handles_.dropped_total->Increment();
     return false;
   }
   bool forwarded = false;
-  for (const auto& action : rule->actions) {
+  for (std::size_t i = 0; i < match.action_count; ++i) {
+    const FlowAction& action = match.action(i);
     if (const auto* out = std::get_if<ActionOutput>(&action)) {
       Output(out->port, in_port, frame);
       forwarded = true;

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "sdn/flow_table.h"
+#include "util/relaxed_counter.h"
 
 namespace sentinel::sdn {
 
@@ -21,7 +22,8 @@ class Controller;  // see controller.h
 /// the controller as packet-in events.
 class SoftwareSwitch {
  public:
-  explicit SoftwareSwitch(std::string datapath_id = "sgw-ovs");
+  explicit SoftwareSwitch(std::string datapath_id = "sgw-ovs",
+                          FlowTableOptions table_options = {});
 
   /// Attaches a port. Delivering to an unattached port is a no-op.
   void AttachPort(PortId port, PortOutput output);
@@ -32,6 +34,11 @@ class SoftwareSwitch {
 
   /// Processes an incoming frame on `in_port`. Returns true if the frame
   /// was forwarded (or flooded), false if dropped or malformed.
+  ///
+  /// Thread-safety: concurrent Inject() calls are safe once the topology is
+  /// static (no concurrent AttachPort/DetachPort/SetController) — the flow
+  /// table match is lock-protected and copy-out, and the counters are
+  /// relaxed atomics. Misses punt to the controller on the calling thread.
   bool Inject(PortId in_port, const net::Frame& frame);
 
   /// OpenFlow PacketOut: emits `frame` on `out_port` (or kPortFlood to all
@@ -48,13 +55,15 @@ class SoftwareSwitch {
   [[nodiscard]] const FlowTable& flow_table() const { return table_; }
   [[nodiscard]] const std::string& datapath_id() const { return datapath_id_; }
 
+  // Relaxed atomics: Inject() may run from many ingress threads at once
+  // (the flow table serializes rule state per shard; these are statistics).
   struct Counters {
-    std::uint64_t received = 0;
-    std::uint64_t forwarded = 0;
-    std::uint64_t flooded = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t packet_ins = 0;
-    std::uint64_t malformed = 0;
+    util::RelaxedCounter received;
+    util::RelaxedCounter forwarded;
+    util::RelaxedCounter flooded;
+    util::RelaxedCounter dropped;
+    util::RelaxedCounter packet_ins;
+    util::RelaxedCounter malformed;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 

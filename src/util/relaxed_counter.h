@@ -1,0 +1,52 @@
+// Copyable relaxed-atomic counters for per-object statistics that are
+// updated on concurrent read paths (flow-rule hit counts, switch datapath
+// counters). std::atomic is neither copyable nor movable, which would take
+// value semantics away from the structs embedding these; the wrappers copy
+// by snapshotting the current value. All operations are memory_order_relaxed
+// — they are statistics, not synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sentinel::util {
+
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter() = default;
+  constexpr RelaxedCounter(std::uint64_t v) : value_(v) {}  // NOLINT(*-explicit-*)
+  RelaxedCounter(const RelaxedCounter& other) : value_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    store(other.load());
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t v) {
+    store(v);
+    return *this;
+  }
+
+  void Add(std::uint64_t n = 1) const {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void store(std::uint64_t v) const {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t load() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const { return load(); }  // NOLINT(*-explicit-*)
+
+  RelaxedCounter& operator++() {
+    Add(1);
+    return *this;
+  }
+  RelaxedCounter& operator+=(std::uint64_t n) {
+    Add(n);
+    return *this;
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace sentinel::util

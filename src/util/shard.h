@@ -1,0 +1,49 @@
+// MAC-keyed shard routing for the fleet-scale gateway state (ROADMAP item
+// "Gateway at fleet scale"). Every hot gateway structure — the flow table's
+// exact-match cache, the enforcement-rule cache, device-monitor sessions,
+// the controller's learned-MAC table — is keyed by MAC address, so they all
+// shard the same way: mix the 48-bit MAC value through a 64-bit finalizer
+// and take the top bits as the shard index. Using the *top* bits keeps the
+// routing stable under shard-count doubling (shard(hash, 2N) refines
+// shard(hash, N)) and independent of each container's own bucket hashing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sentinel::util {
+
+/// splitmix64 finalizer: full-avalanche mix so adjacent MAC values (vendors
+/// allocate sequentially) spread uniformly across shards.
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Rounds `requested` up to the nearest power of two (minimum 1), the shard
+/// counts the `>> k` routing below supports.
+constexpr std::size_t NormalizeShardCount(std::size_t requested) {
+  std::size_t n = 1;
+  while (n < requested && n < (std::size_t{1} << 16)) n <<= 1;
+  return n;
+}
+
+/// log2 of a power-of-two shard count.
+constexpr unsigned ShardShift(std::size_t shard_count) {
+  unsigned bits = 0;
+  while ((std::size_t{1} << bits) < shard_count) ++bits;
+  return bits;
+}
+
+/// Shard index for a MAC-derived key: mac_hash mixed, then the top bits
+/// select among `shard_count` (power of two) shards.
+constexpr std::size_t ShardIndexFor(std::uint64_t mac_key,
+                                    std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(Mix64(mac_key) >>
+                                  (64 - ShardShift(shard_count)));
+}
+
+}  // namespace sentinel::util

@@ -116,11 +116,12 @@ namespace {
 // hazard). The function object lives here so late-running helpers never
 // touch a reference into the caller's (possibly unwound) frame.
 struct ParallelForState {
-  explicit ParallelForState(std::size_t total_count,
-                            std::function<void(std::size_t)> body)
-      : total(total_count), fn(std::move(body)) {}
+  ParallelForState(std::size_t total_count, std::size_t grain_size,
+                   std::function<void(std::size_t)> body)
+      : total(total_count), grain(grain_size), fn(std::move(body)) {}
 
   const std::size_t total;
+  const std::size_t grain;
   std::function<void(std::size_t)> fn;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> finished{0};
@@ -130,16 +131,19 @@ struct ParallelForState {
   std::exception_ptr error;  // guarded by mutex; first exception wins
 };
 
-// Claims and runs indices until the range is exhausted. Every claimed
-// index increments `finished` exactly once, whether it ran, was skipped
-// after an error, or threw itself.
+// Claims and runs chunks of `grain` indices until the range is exhausted.
+// Every claimed index counts toward `finished` exactly once, whether it
+// ran, was skipped after an error, or threw itself (an exception mid-chunk
+// skips the chunk's remaining indices, like any post-error index).
 void ExecuteRange(ParallelForState& state) {
   for (;;) {
-    const std::size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= state.total) return;
+    const std::size_t begin =
+        state.next.fetch_add(state.grain, std::memory_order_relaxed);
+    if (begin >= state.total) return;
+    const std::size_t end = std::min(begin + state.grain, state.total);
     if (!state.aborted.load(std::memory_order_relaxed)) {
       try {
-        state.fn(i);
+        for (std::size_t i = begin; i < end; ++i) state.fn(i);
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(state.mutex);
@@ -148,7 +152,8 @@ void ExecuteRange(ParallelForState& state) {
         state.aborted.store(true, std::memory_order_relaxed);
       }
     }
-    if (state.finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+    const std::size_t chunk = end - begin;
+    if (state.finished.fetch_add(chunk, std::memory_order_acq_rel) + chunk ==
         state.total) {
       // Wake the caller; the lock orders the notify against its wait.
       std::lock_guard<std::mutex> lock(state.mutex);
@@ -160,17 +165,23 @@ void ExecuteRange(ParallelForState& state) {
 }  // namespace
 
 void ParallelFor(ThreadPool* pool, std::size_t count,
-                 std::function<void(std::size_t)> fn) {
+                 std::function<void(std::size_t)> fn,
+                 std::size_t min_grain) {
   if (count == 0) return;
-  if (pool == nullptr || pool->thread_count() <= 1 || count == 1) {
+  if (min_grain == 0) min_grain = 1;
+  if (pool == nullptr || pool->thread_count() <= 1 || count == 1 ||
+      count <= min_grain) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
 
-  auto state = std::make_shared<ParallelForState>(count, std::move(fn));
-  // The caller is one worker; enqueue at most count - 1 helpers. Helpers
-  // that run after the range is drained exit immediately.
-  const std::size_t helpers = std::min(pool->thread_count(), count - 1);
+  auto state =
+      std::make_shared<ParallelForState>(count, min_grain, std::move(fn));
+  // The caller is one worker; enqueue at most enough helpers to give every
+  // thread (caller included) one chunk. Helpers that run after the range
+  // is drained exit immediately.
+  const std::size_t chunks = (count + min_grain - 1) / min_grain;
+  const std::size_t helpers = std::min(pool->thread_count(), chunks - 1);
   for (std::size_t h = 0; h < helpers; ++h)
     pool->Submit([state] { ExecuteRange(*state); });
 

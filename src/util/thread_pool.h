@@ -90,8 +90,16 @@ class ThreadPool {
 /// call returns only after every index has completed. The first exception
 /// thrown by fn aborts the remaining (unclaimed) indices and is rethrown
 /// here. Safe to call from inside a pool worker (see header comment).
+///
+/// `min_grain` is the minimum number of indices worth dispatching to a
+/// thread. When count <= min_grain the loop runs sequentially (skipping
+/// pool dispatch entirely — submitting tasks costs more than a small batch
+/// does); larger counts are claimed in min_grain-sized chunks so cheap
+/// per-index bodies amortize the shared-counter and scheduling traffic.
+/// The default of 1 preserves index-at-a-time claiming.
 void ParallelFor(ThreadPool* pool, std::size_t count,
-                 std::function<void(std::size_t)> fn);
+                 std::function<void(std::size_t)> fn,
+                 std::size_t min_grain = 1);
 
 /// Maps fn over items, returning results in input order. R must be
 /// default-constructible (results are written into a pre-sized vector).

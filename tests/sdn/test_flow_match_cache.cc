@@ -1,0 +1,251 @@
+// Unit tests for the open-addressing exact-match index: robin-hood probe
+// invariants, backward-shift deletion, overflow buckets, the trivial-head
+// flag, and a randomized differential against a naive map-of-vectors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "sdn/flow_match_cache.h"
+
+namespace sentinel::sdn {
+namespace {
+
+net::MacAddress Mac(std::uint64_t v) {
+  return net::MacAddress({0x02, static_cast<std::uint8_t>(v >> 32),
+                          static_cast<std::uint8_t>(v >> 24),
+                          static_cast<std::uint8_t>(v >> 16),
+                          static_cast<std::uint8_t>(v >> 8),
+                          static_cast<std::uint8_t>(v)});
+}
+
+/// Owns rules with stable addresses (the cache stores raw pointers).
+class RulePool {
+ public:
+  FlowRule* Make(std::uint64_t src, std::uint64_t dst,
+                 std::uint16_t priority) {
+    FlowRule& rule = rules_.emplace_back();
+    rule.id = ++next_id_;
+    rule.priority = priority;
+    rule.match.eth_src = Mac(src);
+    rule.match.eth_dst = Mac(dst);
+    return &rule;
+  }
+
+ private:
+  std::deque<FlowRule> rules_;
+  std::uint64_t next_id_ = 0;
+};
+
+TEST(FlowMatchCache, InsertFindRemoveRoundTrip) {
+  RulePool pool;
+  FlowMatchCache cache;
+  EXPECT_TRUE(cache.empty());
+  EXPECT_EQ(cache.Find(1, 2), FlowMatchCache::kNone);
+
+  FlowRule* rule = pool.Make(1, 2, 10);
+  cache.Insert(1, 2, rule);
+  const std::uint32_t slot = cache.Find(1, 2);
+  ASSERT_NE(slot, FlowMatchCache::kNone);
+  EXPECT_EQ(cache.head(slot), rule);
+  EXPECT_EQ(cache.slot_src(slot), 1u);
+  EXPECT_EQ(cache.slot_dst(slot), 2u);
+  EXPECT_EQ(cache.overflow(slot), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  // (dst, src) is a different pair.
+  EXPECT_EQ(cache.Find(2, 1), FlowMatchCache::kNone);
+
+  cache.Remove(1, 2, rule);
+  EXPECT_EQ(cache.Find(1, 2), FlowMatchCache::kNone);
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(FlowMatchCache, HeadIsHighestPriorityAndTiesKeepInsertionOrder) {
+  RulePool pool;
+  FlowMatchCache cache;
+  FlowRule* low = pool.Make(1, 2, 5);
+  FlowRule* high = pool.Make(1, 2, 50);
+  FlowRule* mid_a = pool.Make(1, 2, 20);
+  FlowRule* mid_b = pool.Make(1, 2, 20);
+
+  cache.Insert(1, 2, low);
+  cache.Insert(1, 2, high);
+  cache.Insert(1, 2, mid_a);
+  cache.Insert(1, 2, mid_b);
+
+  const std::uint32_t slot = cache.Find(1, 2);
+  ASSERT_NE(slot, FlowMatchCache::kNone);
+  EXPECT_EQ(cache.head(slot), high);
+  // One pair regardless of how many rules share it.
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto* overflow = cache.overflow(slot);
+  ASSERT_NE(overflow, nullptr);
+  const std::vector<FlowRule*> expected = {mid_a, mid_b, low};
+  EXPECT_EQ(*overflow, expected);
+
+  // Removing the head promotes the best overflow rule.
+  cache.Remove(1, 2, high);
+  const std::uint32_t slot2 = cache.Find(1, 2);
+  ASSERT_NE(slot2, FlowMatchCache::kNone);
+  EXPECT_EQ(cache.head(slot2), mid_a);
+}
+
+TEST(FlowMatchCache, TrivialHeadFlagTracksHeadChanges) {
+  RulePool pool;
+  FlowMatchCache cache;
+
+  // Pure {eth_src, eth_dst} match: trivial.
+  FlowRule* trivial = pool.Make(1, 2, 10);
+  cache.Insert(1, 2, trivial);
+  EXPECT_TRUE(cache.head_trivial(cache.Find(1, 2)));
+
+  // A higher-priority rule that also matches on ip_proto takes the head:
+  // the flag must drop, since key equality no longer implies a match.
+  FlowRule* narrow = pool.Make(1, 2, 99);
+  narrow->match.ip_proto = 17;
+  cache.Insert(1, 2, narrow);
+  std::uint32_t slot = cache.Find(1, 2);
+  EXPECT_EQ(cache.head(slot), narrow);
+  EXPECT_FALSE(cache.head_trivial(slot));
+
+  // Removing the narrow head promotes the trivial rule; flag returns.
+  cache.Remove(1, 2, narrow);
+  slot = cache.Find(1, 2);
+  EXPECT_EQ(cache.head(slot), trivial);
+  EXPECT_TRUE(cache.head_trivial(slot));
+
+  // Fresh insert of a non-trivial rule starts with the flag clear.
+  FlowRule* ported = pool.Make(3, 4, 10);
+  ported->match.in_port = 7;
+  cache.Insert(3, 4, ported);
+  EXPECT_FALSE(cache.head_trivial(cache.Find(3, 4)));
+}
+
+TEST(FlowMatchCache, GrowPreservesAllEntries) {
+  RulePool pool;
+  FlowMatchCache cache;
+  std::vector<FlowRule*> rules;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    rules.push_back(pool.Make(i, i + 1, 10));
+    cache.Insert(i, i + 1, rules.back());
+  }
+  EXPECT_EQ(cache.size(), 5000u);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const std::uint32_t slot = cache.Find(i, i + 1);
+    ASSERT_NE(slot, FlowMatchCache::kNone) << i;
+    EXPECT_EQ(cache.head(slot), rules[i]);
+  }
+}
+
+TEST(FlowMatchCache, BackwardShiftKeepsProbeChainsIntact) {
+  RulePool pool;
+  FlowMatchCache cache;
+  // Dense enough that probe chains overlap, then carve holes everywhere
+  // and verify every survivor is still findable (tombstone schemes pass
+  // this trivially; backward-shift must re-home displaced entries).
+  std::vector<FlowRule*> rules;
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    rules.push_back(pool.Make(i, 9000 + i, 10));
+    cache.Insert(i, 9000 + i, rules.back());
+  }
+  for (std::uint64_t i = 0; i < 1024; i += 3)
+    cache.Remove(i, 9000 + i, rules[i]);
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    const std::uint32_t slot = cache.Find(i, 9000 + i);
+    if (i % 3 == 0) {
+      EXPECT_EQ(slot, FlowMatchCache::kNone) << i;
+    } else {
+      ASSERT_NE(slot, FlowMatchCache::kNone) << i;
+      EXPECT_EQ(cache.head(slot), rules[i]);
+    }
+  }
+}
+
+TEST(FlowMatchCache, NextOccupiedWrapsAndHandlesEmpty) {
+  RulePool pool;
+  FlowMatchCache cache;
+  EXPECT_EQ(cache.NextOccupied(0), FlowMatchCache::kNone);
+
+  cache.Insert(42, 43, pool.Make(42, 43, 10));
+  const std::uint32_t only = cache.Find(42, 43);
+  // From any start (including past the slot) the sweep lands on the only
+  // occupied slot.
+  for (std::uint32_t start = 0; start < cache.capacity(); ++start)
+    EXPECT_EQ(cache.NextOccupied(start), only) << start;
+}
+
+TEST(FlowMatchCache, ForEachSlotVisitsEveryPairOnce) {
+  RulePool pool;
+  FlowMatchCache cache;
+  for (std::uint64_t i = 0; i < 100; ++i)
+    cache.Insert(i, 1, pool.Make(i, 1, 10));
+  std::vector<std::uint64_t> seen;
+  cache.ForEachSlot([&](std::uint32_t slot) {
+    seen.push_back(cache.slot_src(slot));
+  });
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(FlowMatchCache, RandomizedDifferentialAgainstMapOfVectors) {
+  RulePool pool;
+  FlowMatchCache cache;
+  // Reference: (src, dst) -> rules sorted by descending priority, stable.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<FlowRule*>>
+      reference;
+  std::mt19937_64 rng(0xf1005eed);
+
+  const auto ref_insert = [&](std::uint64_t s, std::uint64_t d,
+                              FlowRule* rule) {
+    auto& vec = reference[{s, d}];
+    const auto pos = std::upper_bound(
+        vec.begin(), vec.end(), rule,
+        [](const FlowRule* a, const FlowRule* b) {
+          return a->priority > b->priority;
+        });
+    vec.insert(pos, rule);
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t src = rng() % 64;
+    const std::uint64_t dst = 100 + rng() % 64;
+    if (rng() % 3 != 0) {
+      FlowRule* rule =
+          pool.Make(src, dst, static_cast<std::uint16_t>(rng() % 8));
+      cache.Insert(src, dst, rule);
+      ref_insert(src, dst, rule);
+    } else {
+      auto it = reference.find({src, dst});
+      if (it == reference.end() || it->second.empty()) continue;
+      FlowRule* victim = it->second[rng() % it->second.size()];
+      cache.Remove(src, dst, victim);
+      auto& vec = it->second;
+      vec.erase(std::find(vec.begin(), vec.end(), victim));
+      if (vec.empty()) reference.erase(it);
+    }
+  }
+
+  EXPECT_EQ(cache.size(), reference.size());
+  for (const auto& [key, vec] : reference) {
+    const std::uint32_t slot = cache.Find(key.first, key.second);
+    ASSERT_NE(slot, FlowMatchCache::kNone);
+    EXPECT_EQ(cache.head(slot), vec.front());
+    const auto* overflow = cache.overflow(slot);
+    if (vec.size() == 1) {
+      EXPECT_TRUE(overflow == nullptr || overflow->empty());
+    } else {
+      ASSERT_NE(overflow, nullptr);
+      const std::vector<FlowRule*> rest(vec.begin() + 1, vec.end());
+      EXPECT_EQ(*overflow, rest);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sentinel::sdn
