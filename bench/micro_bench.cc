@@ -14,6 +14,9 @@
 #include "ml/random_forest.h"
 #include "net/pcap.h"
 #include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/quality.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sdn/flow_table.h"
 #include "util/thread_pool.h"
@@ -234,6 +237,27 @@ void BM_TraceOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->Arg(2);
 
+// Cost of the quality monitor at a verdict site (same contract as
+// BM_TraceOverhead): 0 = detached — the single null-pointer branch every
+// Identify() pays with no monitor attached; 1 = attached Record() of one
+// verdict against a bound type (a handful of relaxed atomic bumps).
+void BM_QualityRecord(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  obs::MetricsRegistry registry;
+  obs::QualityMonitor monitor(&registry);
+  monitor.BindTypes({0, 1, 2});
+  obs::QualityMonitor* attached = mode == 0 ? nullptr : &monitor;
+  const obs::QualitySample sample{.top_label = 1,
+                                  .top1_probability = 0.9,
+                                  .top2_probability = 0.4,
+                                  .best_dissimilarity = 1.25};
+  for (auto _ : state) {
+    if (attached != nullptr) attached->Record(sample);
+    benchmark::DoNotOptimize(attached);
+  }
+}
+BENCHMARK(BM_QualityRecord)->Arg(0)->Arg(1);
+
 // Journal append cost: the flight recorder takes a mutex and copies one
 // event into a per-device ring (never on the per-packet fast path when
 // detached, which is a null check).
@@ -247,6 +271,34 @@ void BM_FlightRecorderRecord(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlightRecorderRecord);
+
+// One sampler tick of the time-series store: snapshotting every registered
+// instrument into its ring. range(0) = registered scalar series count
+// (half counters, half gauges) plus one 20-bucket histogram — the shape of
+// the serve loop's periodic Sample(), whose cost must stay flat so a 1 s
+// cadence never competes with the identification path.
+void BM_TimeseriesSample(benchmark::State& state) {
+  const auto series = static_cast<std::size_t>(state.range(0));
+  obs::MetricsRegistry registry;
+  for (std::size_t i = 0; i < series / 2; ++i) {
+    registry.GetCounter("sentinel_bench_c" + std::to_string(i))
+        .Increment(i + 1);
+    registry.GetGauge("sentinel_bench_g" + std::to_string(i))
+        .Set(static_cast<double>(i));
+  }
+  std::vector<double> bounds;
+  for (int i = 1; i <= 20; ++i) bounds.push_back(0.05 * i);
+  auto& histogram =
+      registry.GetHistogram("sentinel_bench_margin", "", bounds);
+  for (int i = 0; i < 1024; ++i) histogram.Observe(0.001 * (i % 1000));
+  obs::TimeSeriesStore store(&registry);
+  std::int64_t now_ns = 0;
+  for (auto _ : state) {
+    store.Sample(now_ns += 1'000'000);
+    benchmark::DoNotOptimize(store.samples_taken());
+  }
+}
+BENCHMARK(BM_TimeseriesSample)->Arg(8)->Arg(64)->Arg(256);
 
 }  // namespace
 

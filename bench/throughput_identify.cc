@@ -21,6 +21,8 @@
 #include "core/device_identifier.h"
 #include "devices/simulator.h"
 #include "features/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/quality.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -217,6 +219,77 @@ int main(int argc, char** argv) {
     rows.push_back(row);
   }
 
+  // Quality-monitor overhead guard: attaching the quality monitor must not
+  // meaningfully tax the single-probe path — Record() is a handful of
+  // relaxed atomic bumps per finished verdict, and detached it is a single
+  // null-pointer branch. Measured on the 31-type catalog bank; attached
+  // throughput must stay within 2% of detached.
+  double quality_off_ips = 0.0;
+  double quality_on_ips = 0.0;
+  {
+    const auto train = Widen(train_base, 31);
+    const auto probes = Widen(probe_base, 31);
+    DeviceIdentifier identifier;
+    identifier.set_thread_pool(&pool);
+    identifier.Train(ToExamples(train));
+    identifier.set_thread_pool(nullptr);
+    const std::size_t loops = 4;
+    const auto run_looped = [&] {
+      for (std::size_t l = 0; l < loops; ++l)
+        for (std::size_t i = 0; i < probes.size(); ++i)
+          (void)identifier.Identify(probes.fingerprints[i], probes.fixed[i]);
+    };
+    sentinel::obs::MetricsRegistry registry;
+    sentinel::obs::QualityMonitor monitor(&registry);
+    // Paired-slice median: timing a detached block and then an attached
+    // block lets CPU frequency drift masquerade as overhead, and even
+    // interleaved best-of is thrown by sustained throttling episodes.
+    // Instead each pair times the two modes back to back (near-identical
+    // conditions), and the *median* of the per-pair on/off ratios discards
+    // pairs a preemption spike landed in.
+    std::vector<double> ratios;
+    std::vector<double> off_secs;
+    const auto timed = [&](sentinel::obs::QualityMonitor* attached) {
+      identifier.set_quality_monitor(attached);
+      const auto t0 = Clock::now();
+      run_looped();
+      return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+    run_looped();  // warmup
+    for (std::size_t pair = 0; pair < 65; ++pair) {
+      // Alternating order inside the pair cancels any systematic cost of
+      // running first vs second (cache state, frequency ramp).
+      double off = 0.0;
+      double on = 0.0;
+      if (pair % 2 == 0) {
+        off = timed(nullptr);
+        on = timed(&monitor);
+      } else {
+        on = timed(&monitor);
+        off = timed(nullptr);
+      }
+      ratios.push_back(on / off);
+      off_secs.push_back(off);
+    }
+    identifier.set_quality_monitor(nullptr);
+    std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
+                     ratios.end());
+    const double median_ratio = ratios[ratios.size() / 2];
+    const auto looped_probes = static_cast<double>(probes.size() * loops);
+    quality_off_ips =
+        looped_probes / *std::min_element(off_secs.begin(), off_secs.end());
+    quality_on_ips = quality_off_ips / median_ratio;
+    const double overhead_pct =
+        100.0 * (1.0 - quality_on_ips / quality_off_ips);
+    std::printf(
+        "quality monitor (31 types, 1t): detached %.0f id/s, attached %.0f "
+        "id/s, overhead %.2f%%\n",
+        quality_off_ips, quality_on_ips, overhead_pct);
+    SENTINEL_CHECK(overhead_pct <= 2.0)
+        << "quality monitor costs " << overhead_pct
+        << "% single-probe throughput (budget: 2%)";
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     SENTINEL_CHECK(f != nullptr) << "cannot write " << json_path;
@@ -236,7 +309,14 @@ int main(int argc, char** argv) {
           row.fast_early_exit_1t, row.fast_8t, row.batch_1t, row.batch_8t,
           row.fast_1t / row.reference_1t, r + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(
+        f,
+        "  \"quality_monitor\": {\"types\": 31, \"detached_1t\": %.1f, "
+        "\"attached_1t\": %.1f, \"overhead_pct\": %.2f}\n",
+        quality_off_ips, quality_on_ips,
+        100.0 * (1.0 - quality_on_ips / quality_off_ips));
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }

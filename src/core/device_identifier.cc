@@ -67,6 +67,43 @@ void DeviceIdentifier::set_metrics(obs::MetricsRegistry* registry) {
   handles_.types->Set(static_cast<double>(types_.size()));
 }
 
+void DeviceIdentifier::set_quality_monitor(obs::QualityMonitor* monitor) {
+  quality_ = monitor;
+  if (quality_ != nullptr && !labels_.empty()) quality_->BindTypes(labels_);
+}
+
+void DeviceIdentifier::RecordQuality(const IdentificationResult& result) const {
+  if (quality_ == nullptr) return;
+  obs::QualitySample sample;
+  // First-max scan keeps the top-1/top-2 pick deterministic under equal
+  // probabilities.
+  double top1 = 0.0;
+  double top2 = 0.0;
+  int top_label = -1;
+  for (std::size_t k = 0; k < result.bank_probabilities.size(); ++k) {
+    const double p = result.bank_probabilities[k];
+    if (top_label < 0 || p > top1) {
+      top2 = top1;
+      top1 = p;
+      top_label = result.bank_labels[k];
+    } else if (p > top2) {
+      top2 = p;
+    }
+  }
+  sample.top_label = result.type.has_value() ? *result.type : top_label;
+  sample.top1_probability = top1;
+  sample.top2_probability = top2;
+  sample.unknown = !result.IsKnown();
+  sample.multi_match = result.matched_types.size() > 1;
+  sample.tie_break_count = result.tie_break_count;
+  double best = std::numeric_limits<double>::quiet_NaN();
+  for (const double score : result.dissimilarity_scores) {
+    if (std::isnan(best) || score < best) best = score;
+  }
+  sample.best_dissimilarity = best;
+  quality_->Record(sample);
+}
+
 void DeviceIdentifier::TrainOne(
     PerType& entry, const std::vector<LabelledFingerprint>& positives,
     const std::vector<const std::vector<double>*>& positive_rows,
@@ -171,6 +208,7 @@ void DeviceIdentifier::Train(const std::vector<LabelledFingerprint>& examples) {
   labels_ = std::move(ordered_labels);
   if (handles_.types != nullptr)
     handles_.types->Set(static_cast<double>(types_.size()));
+  if (quality_ != nullptr) quality_->BindTypes(labels_);
   SENTINEL_LOG_INFO("identifier", "bank_trained", {"types", types_.size()},
                     {"examples", examples.size()});
 }
@@ -200,6 +238,7 @@ void DeviceIdentifier::AddType(
   labels_.push_back(label);
   if (handles_.types != nullptr)
     handles_.types->Set(static_cast<double>(types_.size()));
+  if (quality_ != nullptr) quality_->BindTypes(labels_);
   SENTINEL_LOG_INFO("identifier", "type_added", {"label", label},
                     {"types", types_.size()});
 }
@@ -207,8 +246,10 @@ void DeviceIdentifier::AddType(
 IdentificationResult DeviceIdentifier::Identify(
     const features::Fingerprint& full,
     const features::FixedFingerprint& fixed) const {
-  return fast_path_ ? IdentifyFast(full, fixed)
-                    : IdentifyReference(full, fixed);
+  IdentificationResult result = fast_path_ ? IdentifyFast(full, fixed)
+                                           : IdentifyReference(full, fixed);
+  RecordQuality(result);
+  return result;
 }
 
 IdentificationResult DeviceIdentifier::IdentifyReference(
@@ -320,6 +361,7 @@ IdentificationResult DeviceIdentifier::IdentifyReference(
       best_label = label;
       best_take = std::max<std::size_t>(1, take);
     } else if (score == best_score) {
+      ++result.tie_break_count;
       if (handles_.tiebreak_total != nullptr)
         handles_.tiebreak_total->Increment();
       std::uniform_int_distribution<int> coin(0, 1);
@@ -471,6 +513,7 @@ void DeviceIdentifier::DiscriminateFast(
       best_label = label;
       best_take = std::max<std::size_t>(1, take);
     } else if (score == best_score) {
+      ++result.tie_break_count;
       if (handles_.tiebreak_total != nullptr)
         handles_.tiebreak_total->Increment();
       std::uniform_int_distribution<int> coin(0, 1);
@@ -552,8 +595,10 @@ std::vector<IdentificationResult> DeviceIdentifier::IdentifyBatch(
   std::vector<IdentificationResult> results(probes.size());
   if (probes.empty()) return results;
   if (!fast_path_) {
-    for (std::size_t r = 0; r < probes.size(); ++r)
+    for (std::size_t r = 0; r < probes.size(); ++r) {
       results[r] = IdentifyReference(*probes[r].full, *probes[r].fixed);
+      RecordQuality(results[r]);
+    }
     return results;
   }
 
@@ -623,10 +668,12 @@ std::vector<IdentificationResult> DeviceIdentifier::IdentifyBatch(
     if (result.matched_types.empty()) {
       if (handles_.unknown_total != nullptr)
         handles_.unknown_total->Increment();
+      RecordQuality(result);
       return;
     }
     thread_local features::EditDistanceScratch scratch;
     DiscriminateFast(*probes[r].full, result, scratch);
+    RecordQuality(result);
   }, kMinRowsPerTask);
   return results;
 }

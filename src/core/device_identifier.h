@@ -20,6 +20,7 @@
 #include "ml/flat_forest.h"
 #include "ml/random_forest.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "util/thread_pool.h"
 
 namespace sentinel::core {
@@ -68,6 +69,10 @@ struct IdentificationResult {
   std::vector<double> dissimilarity_scores;
   /// Number of edit-distance computations performed.
   std::size_t edit_distance_count = 0;
+  /// Equal-dissimilarity tie-break coin flips taken while discriminating
+  /// (identical on the fast and reference paths — pruning never eliminates
+  /// a tie or the winner).
+  std::size_t tie_break_count = 0;
   std::chrono::nanoseconds classification_time{0};
   std::chrono::nanoseconds discrimination_time{0};
 
@@ -109,6 +114,18 @@ class DeviceIdentifier {
   /// classification, so results are identical with metrics on or off.
   void set_metrics(obs::MetricsRegistry* registry);
   [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Attaches the model-quality monitor: every Identify()/IdentifyBatch()
+  /// verdict is reduced to a QualitySample (top-1 vs top-2 margin,
+  /// tie-break count, unknown flag, winning dissimilarity) and recorded.
+  /// Runtime wiring like the registry — never serialized, purely
+  /// read-side, so verdicts and Save() bytes are bit-identical with a
+  /// monitor attached or not. Binds the monitor to the trained label list
+  /// now and again after every Train()/AddType().
+  void set_quality_monitor(obs::QualityMonitor* monitor);
+  [[nodiscard]] obs::QualityMonitor* quality_monitor() const {
+    return quality_;
+  }
 
   /// Trains one classifier per distinct label in `examples` and stores
   /// reference fingerprints for discrimination. Labels may be sparse; the
@@ -258,11 +275,17 @@ class DeviceIdentifier {
       const features::Fingerprint& full,
       const features::FixedFingerprint& fixed) const;
 
+  /// Reduces a finished result to a QualitySample and records it on the
+  /// attached monitor (single branch when detached). Read-only: never
+  /// mutates the result or feeds back into identification.
+  void RecordQuality(const IdentificationResult& result) const;
+
   IdentifierConfig config_;
   std::vector<PerType> types_;
   std::vector<int> labels_;
   util::ThreadPool* pool_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::QualityMonitor* quality_ = nullptr;
   IdentifierMetrics handles_;
   bool fast_path_ = true;
   bool bank_early_exit_ = false;

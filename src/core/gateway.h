@@ -97,6 +97,12 @@ class SecurityGateway {
   void set_flight_recorder(obs::FlightRecorder* recorder) {
     module_->set_flight_recorder(recorder);
   }
+  /// Attaches the model-quality monitor to the Sentinel module (assessment
+  /// outcomes). The identifier-level wiring lives on the SecurityService
+  /// the gateway talks to, which the caller owns.
+  void set_quality_monitor(obs::QualityMonitor* monitor) {
+    module_->set_quality_monitor(monitor);
+  }
 
  private:
   SecurityGatewayConfig config_;

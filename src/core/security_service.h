@@ -78,6 +78,11 @@ class SecurityService : public SecurityServiceClient {
   void set_metrics(obs::MetricsRegistry* registry) {
     identifier_.set_metrics(registry);
   }
+  /// Forwards the model-quality monitor to the embedded identifier so
+  /// every Assess() verdict feeds the quality/drift plane.
+  void set_quality_monitor(obs::QualityMonitor* monitor) {
+    identifier_.set_quality_monitor(monitor);
+  }
   [[nodiscard]] const VulnerabilityDb& vulnerability_db() const { return db_; }
   [[nodiscard]] const IncidentRegistry& incidents() const {
     return incidents_;

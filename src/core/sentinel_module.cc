@@ -143,6 +143,8 @@ void SentinelModule::HandleCompletedCapture(const CompletedCapture& capture) {
   identify_timer.Stop();  // rule installation is the enforce stage
   if (handles_.identifications_total != nullptr)
     handles_.identifications_total->Increment();
+  if (quality_ != nullptr)
+    quality_->RecordAssessmentOutcome(assessment.type.has_value());
   JournalAssessment(recorder_, capture.device_mac, assessment);
   SENTINEL_LOG_INFO("module", "device_identified",
                     {"mac", capture.device_mac.ToString()},

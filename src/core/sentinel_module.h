@@ -11,6 +11,7 @@
 #include "core/enforcement.h"
 #include "core/security_service.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "sdn/controller.h"
 
 namespace sentinel::core {
@@ -110,6 +111,15 @@ class SentinelModule : public sdn::ControllerModule {
     monitor_.set_flight_recorder(recorder);
   }
 
+  /// Attaches the model-quality monitor: the module records each
+  /// gateway-level assessment outcome (known vs unknown/isolated) on it.
+  /// Identification-level samples are recorded by the identifier itself —
+  /// wire the monitor there too (SecurityService::set_quality_monitor).
+  /// nullptr detaches; pure read-side, verdicts unchanged.
+  void set_quality_monitor(obs::QualityMonitor* monitor) {
+    quality_ = monitor;
+  }
+
  private:
   void HandleCompletedCapture(const CompletedCapture& capture);
   void InstallDropRule(sdn::SoftwareSwitch& sw,
@@ -136,6 +146,7 @@ class SentinelModule : public sdn::ControllerModule {
   ModuleMetrics handles_;
   obs::Tracer* tracer_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::QualityMonitor* quality_ = nullptr;
 };
 
 }  // namespace sentinel::core

@@ -1,0 +1,236 @@
+#include "netsim/drift.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "devices/simulator.h"
+#include "features/packet_features.h"
+#include "obs/log.h"
+#include "util/check.h"
+#include "util/shard.h"
+
+namespace sentinel::netsim {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Applies the firmware shift to one episode fingerprint: every packet's
+/// size feature scales by (1 + shift), then both fingerprint forms are
+/// rebuilt exactly as the feature extractor would have built them.
+std::pair<features::Fingerprint, features::FixedFingerprint> ShiftFingerprint(
+    const features::Fingerprint& base, double shift) {
+  auto packets = base.packets();
+  for (auto& packet : packets) {
+    packet[features::kFeatPacketSize] = static_cast<std::uint32_t>(
+        static_cast<double>(packet[features::kFeatPacketSize]) *
+        (1.0 + shift));
+  }
+  auto full = features::Fingerprint::FromPacketVectors(packets);
+  auto fixed = features::FixedFingerprint::FromFingerprint(full);
+  return {std::move(full), std::move(fixed)};
+}
+
+std::string PsiSeries(int label) {
+  return "sentinel_quality_psi{type=\"" + std::to_string(label) + "\"}";
+}
+
+}  // namespace
+
+DriftReport RunDriftScenario(const DriftConfig& config,
+                             util::ThreadPool* pool) {
+  SENTINEL_CHECK(config.bank_types >= 2) << "need at least two trained types";
+  SENTINEL_CHECK(config.drifted_type != config.control_type)
+      << "drifted and control type must differ";
+  SENTINEL_CHECK(static_cast<std::size_t>(config.drifted_type) <
+                     config.bank_types &&
+                 static_cast<std::size_t>(config.control_type) <
+                     config.bank_types)
+      << "monitored types must be in the trained bank";
+  SENTINEL_CHECK(config.warmup_windows < config.drift_start_window)
+      << "baseline must pin before the drift starts";
+  SENTINEL_CHECK(config.drift_start_window < config.windows)
+      << "drift must start inside the scenario";
+
+  // Train the bank on clean factory-firmware episodes.
+  const auto dataset =
+      devices::GenerateFingerprintDataset(config.train_episodes, config.seed);
+  std::vector<core::LabelledFingerprint> examples;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (static_cast<std::size_t>(dataset.labels[i]) >= config.bank_types)
+      continue;
+    examples.push_back(
+        {&dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+  }
+  core::DeviceIdentifier identifier(core::IdentifierConfig{
+      .seed = config.seed});
+  identifier.set_thread_pool(pool);
+  identifier.Train(examples);
+
+  // Telemetry plane (absent entirely when detached — the differential half
+  // of the bit-identical contract).
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::QualityMonitor> monitor;
+  std::unique_ptr<obs::TimeSeriesStore> store;
+  std::unique_ptr<obs::AlertEngine> engine;
+  if (config.attach_monitor) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+    monitor = std::make_unique<obs::QualityMonitor>(registry.get(),
+                                                    config.quality);
+    identifier.set_quality_monitor(monitor.get());
+    store = std::make_unique<obs::TimeSeriesStore>(
+        registry.get(),
+        obs::TimeSeriesConfig{.capacity = config.windows + 4});
+    engine = std::make_unique<obs::AlertEngine>(store.get(), registry.get());
+    for (const int label : {config.drifted_type, config.control_type}) {
+      obs::AlertRule rule;
+      rule.name = "psi_type_" + std::to_string(label);
+      rule.series = PsiSeries(label);
+      rule.input = obs::AlertRule::Input::kValue;
+      rule.op = obs::AlertRule::Op::kGt;
+      rule.threshold = config.psi_threshold;
+      rule.for_ns = static_cast<std::int64_t>(config.for_windows *
+                                              config.window_period_ns);
+      rule.window = 1;
+      engine->AddRule(rule);
+    }
+  }
+
+  DriftReport report;
+  devices::DeviceSimulator simulator(util::Mix64(config.seed ^ 0x5eedf00dull));
+  const std::string drifted_rule = "psi_type_" +
+                                   std::to_string(config.drifted_type);
+
+  for (std::size_t w = 0; w < config.windows; ++w) {
+    const double shift =
+        w < config.drift_start_window
+            ? 0.0
+            : config.max_feature_shift *
+                  static_cast<double>(w - config.drift_start_window + 1) /
+                  static_cast<double>(config.windows -
+                                      config.drift_start_window);
+
+    // Fresh setup episodes for both monitored types, drift applied to one.
+    std::vector<features::Fingerprint> fulls;
+    std::vector<features::FixedFingerprint> fixeds;
+    std::vector<int> truths;
+    fulls.reserve(2 * config.probes_per_window);
+    for (std::size_t p = 0; p < config.probes_per_window; ++p) {
+      for (const int label : {config.drifted_type, config.control_type}) {
+        const auto episode = simulator.RunSetupEpisode(
+            static_cast<devices::DeviceTypeId>(label));
+        auto full = devices::DeviceSimulator::ExtractFingerprint(episode);
+        if (label == config.drifted_type && shift > 0.0) {
+          auto shifted = ShiftFingerprint(full, shift);
+          fulls.push_back(std::move(shifted.first));
+          fixeds.push_back(std::move(shifted.second));
+        } else {
+          fixeds.push_back(features::FixedFingerprint::FromFingerprint(full));
+          fulls.push_back(std::move(full));
+        }
+        truths.push_back(label);
+      }
+    }
+    std::vector<core::DeviceIdentifier::FingerprintRef> refs;
+    refs.reserve(fulls.size());
+    for (std::size_t i = 0; i < fulls.size(); ++i)
+      refs.push_back({&fulls[i], &fixeds[i]});
+    const auto results = identifier.IdentifyBatch(refs);
+
+    DriftWindow window;
+    window.window = w;
+    window.feature_shift = shift;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const int verdict =
+          results[i].type.has_value() ? *results[i].type : -1;
+      report.verdict_hash = util::Mix64(
+          report.verdict_hash * 0x9e3779b97f4a7c15ull +
+          static_cast<std::uint64_t>(verdict + 2));
+      ++report.probes_identified;
+      if (verdict == truths[i]) {
+        if (truths[i] == config.drifted_type) ++window.drifted_correct;
+        if (truths[i] == config.control_type) ++window.control_correct;
+      }
+    }
+
+    if (config.attach_monitor) {
+      if (w + 1 == config.warmup_windows) monitor->PinBaseline();
+      monitor->UpdateDrift();
+      const auto t =
+          static_cast<std::int64_t>((w + 1) * config.window_period_ns);
+      store->Sample(t);
+      engine->Evaluate(t);
+      window.psi_drifted = monitor->Psi(config.drifted_type);
+      window.psi_control = monitor->Psi(config.control_type);
+      for (const auto& status : engine->Status()) {
+        const bool is_drifted = status.rule.name == drifted_rule;
+        if (is_drifted) {
+          window.drifted_state = status.state;
+          if (status.state == obs::AlertState::kPending &&
+              report.pending_window < 0)
+            report.pending_window = static_cast<int>(w);
+          if (status.state == obs::AlertState::kFiring &&
+              report.firing_window < 0)
+            report.firing_window = static_cast<int>(w);
+        } else {
+          window.control_state = status.state;
+          if (status.state != obs::AlertState::kOk)
+            report.control_stayed_ok = false;
+        }
+      }
+    }
+    report.trajectory.push_back(window);
+  }
+
+  if (report.firing_window >= 0) {
+    report.detection_latency_windows =
+        report.firing_window - static_cast<int>(config.drift_start_window);
+  }
+  SENTINEL_LOG_INFO("drift", "scenario_done",
+                    {"probes", report.probes_identified},
+                    {"pending_window", report.pending_window},
+                    {"firing_window", report.firing_window},
+                    {"control_ok", report.control_stayed_ok});
+  return report;
+}
+
+std::string DriftReport::ToJson() const {
+  std::string out = "{\n  \"pending_window\": " +
+                    std::to_string(pending_window) +
+                    ",\n  \"firing_window\": " + std::to_string(firing_window) +
+                    ",\n  \"detection_latency_windows\": " +
+                    std::to_string(detection_latency_windows) +
+                    ",\n  \"control_stayed_ok\": " +
+                    (control_stayed_ok ? "true" : "false") +
+                    ",\n  \"probes_identified\": " +
+                    std::to_string(probes_identified) +
+                    ",\n  \"verdict_hash\": " + std::to_string(verdict_hash) +
+                    ",\n  \"windows\": [";
+  bool first = true;
+  for (const DriftWindow& w : trajectory) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"window\": " + std::to_string(w.window) +
+           ", \"shift\": " + FormatDouble(w.feature_shift) +
+           ", \"psi_drifted\": " + FormatDouble(w.psi_drifted) +
+           ", \"psi_control\": " + FormatDouble(w.psi_control) +
+           ", \"drifted_state\": \"" +
+           obs::AlertStateName(w.drifted_state) + "\"" +
+           ", \"control_state\": \"" + obs::AlertStateName(w.control_state) +
+           "\"" + ", \"drifted_correct\": " +
+           std::to_string(w.drifted_correct) +
+           ", \"control_correct\": " + std::to_string(w.control_correct) +
+           "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sentinel::netsim

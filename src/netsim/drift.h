@@ -1,0 +1,108 @@
+// Firmware-drift scenario: the end-to-end validation of the quality/drift
+// telemetry plane (ISSUE 7, ROADMAP item 4's "does drift trigger
+// re-identification?" question).
+//
+// One device type's post-update firmware gradually shifts its traffic
+// shape (every packet's size feature scales by a ramping factor — the kind
+// of change a new TLS stack or chattier cloud protocol causes), while a
+// control type keeps shipping factory firmware. Both keep joining the
+// network window after window; every probe runs through the real trained
+// identifier with the QualityMonitor attached, the TimeSeriesStore samples
+// the registry once per window, and an AlertEngine rule watches each
+// type's `sentinel_quality_psi{type=...}` gauge.
+//
+// The scenario is deterministic end to end: episodes come from the seeded
+// simulator, verdicts from the thread-count-invariant identifier, and the
+// PSI inputs are commutative atomic bucket counts — so the PSI trajectory,
+// the alert-state sequence and the verdict hash are identical across runs
+// and across thread pools. The expected outcome (asserted by
+// tests/netsim/test_drift.cc and reported in EXPERIMENTS.md): the drifted
+// type's alert walks ok -> pending -> firing in a fixed window, the
+// control type never leaves ok.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/device_identifier.h"
+#include "obs/alerts.h"
+#include "obs/quality.h"
+#include "obs/timeseries.h"
+#include "util/thread_pool.h"
+
+namespace sentinel::netsim {
+
+struct DriftConfig {
+  /// Catalog types in the trained bank (labels 0..bank_types-1).
+  std::size_t bank_types = 6;
+  /// Training episodes per type.
+  std::size_t train_episodes = 6;
+  /// The type whose firmware drifts and the unaffected control.
+  int drifted_type = 2;
+  int control_type = 5;
+  /// Windows before the PSI baseline is pinned (clean-traffic warmup).
+  /// Long enough that the baseline captures the natural bucket mix of
+  /// clean traffic — a degenerate baseline makes every later-appearing
+  /// bucket read as drift.
+  std::size_t warmup_windows = 6;
+  /// Total observation windows (including warmup).
+  std::size_t windows = 18;
+  /// Setup episodes identified per type per window.
+  std::size_t probes_per_window = 16;
+  /// First window (0-based) in which the firmware shift applies; the shift
+  /// then ramps linearly to max_feature_shift at the final window.
+  std::size_t drift_start_window = 8;
+  /// Peak relative shift of the packet-size feature (0.35 = +35%).
+  double max_feature_shift = 0.35;
+  /// Simulated wall-clock per window (drives alert for_duration).
+  std::uint64_t window_period_ns = 1'000'000'000;
+  /// Alert rule: PSI above this for `for_windows` consecutive windows.
+  double psi_threshold = 0.25;
+  std::size_t for_windows = 2;
+  std::uint64_t seed = 1717;
+  /// When false the quality monitor / store / alert engine are never
+  /// created — the differential half of the attached-vs-detached
+  /// bit-identical contract (verdict_hash must not change).
+  bool attach_monitor = true;
+  obs::QualityMonitorConfig quality;
+};
+
+/// One window of the scenario's telemetry readout.
+struct DriftWindow {
+  std::size_t window = 0;
+  double feature_shift = 0.0;  // relative shift applied this window
+  double psi_drifted = 0.0;
+  double psi_control = 0.0;
+  obs::AlertState drifted_state = obs::AlertState::kOk;
+  obs::AlertState control_state = obs::AlertState::kOk;
+  /// Probes of each type identified as their true type this window.
+  std::size_t drifted_correct = 0;
+  std::size_t control_correct = 0;
+};
+
+struct DriftReport {
+  std::vector<DriftWindow> trajectory;
+  /// First window (0-based) each state was reached for the drifted type's
+  /// rule; -1 if never.
+  int pending_window = -1;
+  int firing_window = -1;
+  /// True iff the control type's rule stayed ok through every window.
+  bool control_stayed_ok = true;
+  /// Windows from the first drifted probe to the firing transition
+  /// (detection latency); -1 if the alert never fired.
+  int detection_latency_windows = -1;
+  /// Chained hash over every verdict in probe order — identical across
+  /// runs, thread counts and attach_monitor settings.
+  std::uint64_t verdict_hash = 0;
+  std::size_t probes_identified = 0;
+
+  [[nodiscard]] std::string ToJson() const;
+};
+
+/// Runs the scenario. `pool` (nullable) parallelizes training and batched
+/// identification; the report is bit-identical with or without it.
+DriftReport RunDriftScenario(const DriftConfig& config,
+                             util::ThreadPool* pool = nullptr);
+
+}  // namespace sentinel::netsim

@@ -1,0 +1,255 @@
+#include "obs/alerts.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "util/check.h"
+
+namespace sentinel::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const char* InputName(AlertRule::Input input) {
+  switch (input) {
+    case AlertRule::Input::kValue:
+      return "value";
+    case AlertRule::Input::kRate:
+      return "rate";
+    case AlertRule::Input::kDelta:
+      return "delta";
+  }
+  return "value";
+}
+
+}  // namespace
+
+const char* AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kOk:
+      return "ok";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+  }
+  return "ok";
+}
+
+AlertEngine::AlertEngine(const TimeSeriesStore* store,
+                         MetricsRegistry* registry)
+    : store_(store), registry_(registry) {
+  SENTINEL_CHECK(store_ != nullptr) << "alert engine needs a series store";
+  if (registry_ != nullptr) {
+    transitions_total_ = &registry_->GetCounter(
+        "sentinel_alerts_transitions_total", "alert rule state transitions");
+  }
+}
+
+void AlertEngine::AddRule(const AlertRule& rule) {
+  SENTINEL_CHECK(!rule.name.empty() && !rule.series.empty())
+      << "alert rule needs a name and a series";
+  SENTINEL_CHECK(rule.window >= 1) << rule.name << ": window must be >= 1";
+  std::lock_guard<std::mutex> lock(mutex_);
+  RuleSlot slot;
+  slot.rule = rule;
+  if (registry_ != nullptr) {
+    slot.state_gauge = &registry_->GetGauge(
+        "sentinel_alert_state{rule=\"" + rule.name + "\"}",
+        "alert rule state: 0 ok, 1 pending, 2 firing");
+    slot.state_gauge->Set(0.0);
+  }
+  rules_.push_back(std::move(slot));
+}
+
+std::size_t AlertEngine::rule_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rules_.size();
+}
+
+std::size_t AlertEngine::LoadRules(const std::string& text) {
+  std::size_t added = 0;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    std::istringstream fields(line);
+    std::string token;
+    if (!(fields >> token) || token[0] == '#') continue;
+    const auto fail = [&](const std::string& what) {
+      throw std::runtime_error("alert rules line " +
+                               std::to_string(line_number) + ": " + what);
+    };
+    if (token != "alert") fail("expected 'alert', got '" + token + "'");
+    AlertRule rule;
+    if (!(fields >> rule.name)) fail("missing rule name");
+    bool have_series = false;
+    bool have_threshold = false;
+    while (fields >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) fail("expected key=value, got '" + token + "'");
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      try {
+        if (key == "series") {
+          rule.series = value;
+          have_series = true;
+        } else if (key == "input") {
+          if (value == "value") {
+            rule.input = AlertRule::Input::kValue;
+          } else if (value == "rate") {
+            rule.input = AlertRule::Input::kRate;
+          } else if (value == "delta") {
+            rule.input = AlertRule::Input::kDelta;
+          } else {
+            fail("unknown input '" + value + "'");
+          }
+        } else if (key == "op") {
+          if (value == "gt") {
+            rule.op = AlertRule::Op::kGt;
+          } else if (value == "lt") {
+            rule.op = AlertRule::Op::kLt;
+          } else {
+            fail("unknown op '" + value + "'");
+          }
+        } else if (key == "threshold") {
+          rule.threshold = std::stod(value);
+          have_threshold = true;
+        } else if (key == "for") {
+          rule.for_ns = static_cast<std::int64_t>(std::stod(value) * 1e9);
+        } else if (key == "window") {
+          rule.window = static_cast<std::size_t>(std::stoul(value));
+        } else {
+          fail("unknown key '" + key + "'");
+        }
+      } catch (const std::invalid_argument&) {
+        fail("bad number in '" + token + "'");
+      } catch (const std::out_of_range&) {
+        fail("number out of range in '" + token + "'");
+      }
+    }
+    if (!have_series) fail("rule '" + rule.name + "' missing series=");
+    if (!have_threshold) fail("rule '" + rule.name + "' missing threshold=");
+    AddRule(rule);
+    ++added;
+  }
+  return added;
+}
+
+std::size_t AlertEngine::LoadRulesFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open alert rules file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return LoadRules(text.str());
+}
+
+void AlertEngine::Transition(RuleSlot& slot, AlertState next,
+                             double value) {
+  if (slot.state == next) return;
+  SENTINEL_LOG_INFO("alerts", "transition", {"rule", slot.rule.name},
+                    {"series", slot.rule.series},
+                    {"from", AlertStateName(slot.state)},
+                    {"to", AlertStateName(next)}, {"value", value},
+                    {"threshold", slot.rule.threshold});
+  slot.state = next;
+  if (next == AlertState::kOk) slot.since_ns = 0;
+  if (transitions_total_ != nullptr) transitions_total_->Increment();
+  if (slot.state_gauge != nullptr)
+    slot.state_gauge->Set(next == AlertState::kOk        ? 0.0
+                          : next == AlertState::kPending ? 1.0
+                                                         : 2.0);
+}
+
+void AlertEngine::Evaluate(std::int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (RuleSlot& slot : rules_) {
+    const TimeSeriesStore::WindowStats stats =
+        store_->Window(slot.rule.series, slot.rule.window);
+    slot.last_samples = stats.samples;
+    if (stats.samples == 0) {
+      // No telemetry (yet) for this series: not an alert.
+      slot.last_value = 0.0;
+      Transition(slot, AlertState::kOk, 0.0);
+      continue;
+    }
+    double value = stats.last;
+    if (slot.rule.input == AlertRule::Input::kRate) value = stats.rate_per_s;
+    if (slot.rule.input == AlertRule::Input::kDelta) value = stats.delta;
+    slot.last_value = value;
+    const bool condition = slot.rule.op == AlertRule::Op::kGt
+                               ? value > slot.rule.threshold
+                               : value < slot.rule.threshold;
+    if (!condition) {
+      Transition(slot, AlertState::kOk, value);
+      continue;
+    }
+    if (slot.state == AlertState::kOk) {
+      slot.since_ns = now_ns;
+      Transition(slot, AlertState::kPending, value);
+    }
+    if (slot.state == AlertState::kPending &&
+        now_ns - slot.since_ns >= slot.rule.for_ns) {
+      Transition(slot, AlertState::kFiring, value);
+    }
+  }
+}
+
+std::vector<AlertEngine::RuleStatus> AlertEngine::Status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RuleStatus> out;
+  out.reserve(rules_.size());
+  for (const RuleSlot& slot : rules_) {
+    RuleStatus status;
+    status.rule = slot.rule;
+    status.state = slot.state;
+    status.since_ns = slot.since_ns;
+    status.last_value = slot.last_value;
+    status.last_samples = slot.last_samples;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::string AlertEngine::RenderJson() const {
+  const std::vector<RuleStatus> statuses = Status();
+  std::size_t pending = 0;
+  std::size_t firing = 0;
+  std::string out = "{\n  \"rules\": [";
+  bool first = true;
+  for (const RuleStatus& status : statuses) {
+    if (status.state == AlertState::kPending) ++pending;
+    if (status.state == AlertState::kFiring) ++firing;
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"name\": " + JsonQuote(status.rule.name) +
+           ", \"series\": " + JsonQuote(status.rule.series) +
+           ", \"input\": " + JsonQuote(InputName(status.rule.input)) +
+           ", \"op\": " +
+           JsonQuote(status.rule.op == AlertRule::Op::kGt ? "gt" : "lt") +
+           ", \"threshold\": " + FormatDouble(status.rule.threshold) +
+           ", \"for_s\": " +
+           FormatDouble(static_cast<double>(status.rule.for_ns) * 1e-9) +
+           ", \"window\": " + std::to_string(status.rule.window) +
+           ", \"state\": " + JsonQuote(AlertStateName(status.state)) +
+           ", \"since_ns\": " + std::to_string(status.since_ns) +
+           ", \"value\": " + FormatDouble(status.last_value) +
+           ", \"samples\": " + std::to_string(status.last_samples) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"pending\": " + std::to_string(pending) +
+         ",\n  \"firing\": " + std::to_string(firing) + "\n}\n";
+  return out;
+}
+
+}  // namespace sentinel::obs

@@ -1,0 +1,115 @@
+// Alert rule engine over the time-series store: Prometheus-style
+// `threshold` + `for_duration` semantics on any sampled series.
+//
+// Each rule names a series, an input transform (the windowed value, rate or
+// delta), a comparison and a hold duration. Evaluate(now_ns) — called by
+// the sampler right after TimeSeriesStore::Sample — walks every rule:
+//
+//   condition false              -> ok      (pending/firing reset)
+//   condition true, held < for   -> pending (since first true evaluation)
+//   condition true, held >= for  -> firing
+//
+// A rule whose series does not exist (yet) or has no samples evaluates to
+// ok — absence of telemetry is not an alert. Every state transition emits
+// one structured log line (`alerts` component) and increments
+// `sentinel_alerts_transitions_total`, and the full rule state is
+// exposable as JSON for the /alerts endpoint.
+//
+// Rules load from a small line-based config file:
+//
+//   # comment
+//   alert high_unknown_rate series=sentinel_identifier_unknown_total
+//         input=rate op=gt threshold=0.5 for=30 window=10
+//
+// (one rule per line; `for` in seconds, `window` in samples; input
+// defaults to value, window to 10.) Evaluation takes the engine mutex, so Status()/RenderJson()
+// scrapers never observe a half-updated rule.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace sentinel::obs {
+
+struct AlertRule {
+  enum class Input { kValue, kRate, kDelta };
+  enum class Op { kGt, kLt };
+
+  std::string name;
+  std::string series;
+  Input input = Input::kValue;
+  Op op = Op::kGt;
+  double threshold = 0.0;
+  /// How long the condition must hold before pending escalates to firing.
+  std::int64_t for_ns = 0;
+  /// Samples of the series consulted per evaluation.
+  std::size_t window = 10;
+};
+
+enum class AlertState { kOk, kPending, kFiring };
+
+[[nodiscard]] const char* AlertStateName(AlertState state);
+
+class AlertEngine {
+ public:
+  /// `store` must outlive the engine. `registry` (optional) receives the
+  /// transition counter and per-rule state gauges.
+  explicit AlertEngine(const TimeSeriesStore* store,
+                       MetricsRegistry* registry = nullptr);
+
+  void AddRule(const AlertRule& rule);
+  [[nodiscard]] std::size_t rule_count() const;
+
+  /// Parses `text` (the rules-file format above) and adds every rule.
+  /// Throws std::runtime_error naming the offending line on a syntax
+  /// error. Returns the number of rules added.
+  std::size_t LoadRules(const std::string& text);
+  std::size_t LoadRulesFile(const std::string& path);
+
+  /// Evaluates every rule against the store. Call after each
+  /// TimeSeriesStore::Sample with the same timestamp.
+  void Evaluate(std::int64_t now_ns);
+
+  struct RuleStatus {
+    AlertRule rule;
+    AlertState state = AlertState::kOk;
+    /// Timestamp of the first true evaluation of the current episode
+    /// (pending/firing only).
+    std::int64_t since_ns = 0;
+    /// The input value at the last evaluation (0 before any evaluation).
+    double last_value = 0.0;
+    std::size_t last_samples = 0;
+  };
+
+  [[nodiscard]] std::vector<RuleStatus> Status() const;
+
+  /// {"rules": [{"name": ..., "state": "firing", ...}, ...],
+  ///  "firing": N, "pending": N}.
+  [[nodiscard]] std::string RenderJson() const;
+
+ private:
+  struct RuleSlot {
+    AlertRule rule;
+    AlertState state = AlertState::kOk;
+    std::int64_t since_ns = 0;
+    double last_value = 0.0;
+    std::size_t last_samples = 0;
+    Gauge* state_gauge = nullptr;  // 0 ok / 1 pending / 2 firing
+  };
+
+  void Transition(RuleSlot& slot, AlertState next, double value);
+
+  const TimeSeriesStore* const store_;
+  MetricsRegistry* const registry_;
+  Counter* transitions_total_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::vector<RuleSlot> rules_;
+};
+
+}  // namespace sentinel::obs

@@ -1,0 +1,39 @@
+#include "obs/build_info.h"
+
+namespace sentinel::obs {
+
+const std::string& BuildVersion() {
+  static const std::string kVersion =
+#if defined(SENTINEL_VERSION)
+      SENTINEL_VERSION;
+#else
+      "dev";
+#endif
+  return kVersion;
+}
+
+const std::string& BuildCompiler() {
+  static const std::string kCompiler =
+#if defined(__clang__)
+      std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+      std::string("gcc ") + __VERSION__;
+#else
+      "unknown";
+#endif
+  return kCompiler;
+}
+
+StandardMetrics RegisterStandardMetrics(MetricsRegistry& registry) {
+  Gauge& info = registry.GetGauge(
+      "sentinel_build_info{version=\"" + BuildVersion() + "\",compiler=\"" +
+          BuildCompiler() + "\"}",
+      "build metadata; value is always 1");
+  info.Set(1.0);
+  StandardMetrics handles;
+  handles.uptime_seconds = &registry.GetGauge(
+      "sentinel_uptime_seconds", "seconds since this process registered");
+  return handles;
+}
+
+}  // namespace sentinel::obs

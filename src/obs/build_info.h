@@ -1,0 +1,31 @@
+// Standard process-level metrics every exposition should carry:
+// `sentinel_build_info{version=...,compiler=...}` (constant 1, the usual
+// Prometheus idiom for attaching build metadata to a scrape) and
+// `sentinel_uptime_seconds`, which the caller's sampler keeps current via
+// the returned gauge handle.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sentinel::obs {
+
+struct StandardMetrics {
+  /// Update with seconds-since-start at each sampling tick.
+  Gauge* uptime_seconds = nullptr;
+};
+
+/// The version string baked into sentinel_build_info (the project version
+/// from CMake when available, "dev" otherwise).
+[[nodiscard]] const std::string& BuildVersion();
+
+/// A short compiler identification ("gcc 13.2.0" style).
+[[nodiscard]] const std::string& BuildCompiler();
+
+/// Registers sentinel_build_info (set to 1) and sentinel_uptime_seconds
+/// (set to 0) in `registry` and returns the handles the caller keeps
+/// updating. Idempotent per registry.
+StandardMetrics RegisterStandardMetrics(MetricsRegistry& registry);
+
+}  // namespace sentinel::obs

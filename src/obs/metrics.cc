@@ -33,6 +33,34 @@ std::string FormatBound(double v) {
   return buf;
 }
 
+// `name` may encode Prometheus labels inline (`name{key="value"}`); HELP
+// and TYPE lines must carry only the base name.
+std::string_view BaseName(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return std::string_view(name).substr(
+      0, brace == std::string::npos ? name.size() : brace);
+}
+
+// Splices a histogram sample suffix before any inline label block and merges
+// an optional extra label, so labelled histograms render valid sample names:
+// m{type="3"} + "_bucket" + le="x"  ->  m_bucket{type="3",le="x"}.
+std::string SpliceSuffix(const std::string& name, const char* suffix,
+                         const std::string& extra_label = "") {
+  const std::size_t brace = name.find('{');
+  std::string out;
+  if (brace == std::string::npos) {
+    out = name + suffix;
+    if (!extra_label.empty()) out += "{" + extra_label + "}";
+    return out;
+  }
+  out = name.substr(0, brace) + suffix + name.substr(brace);
+  if (!extra_label.empty()) {
+    out.back() = ',';
+    out += extra_label + "}";
+  }
+  return out;
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
@@ -131,33 +159,61 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *slot.value;
 }
 
+void MetricsRegistry::VisitInstruments(
+    const std::function<void(const std::string&, const Counter&)>& counter_fn,
+    const std::function<void(const std::string&, const Gauge&)>& gauge_fn,
+    const std::function<void(const std::string&, const Histogram&)>&
+        histogram_fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counter_fn) {
+    for (const auto& [name, counter] : counters_) counter_fn(name, *counter.value);
+  }
+  if (gauge_fn) {
+    for (const auto& [name, gauge] : gauges_) gauge_fn(name, *gauge.value);
+  }
+  if (histogram_fn) {
+    for (const auto& [name, histogram] : histograms_)
+      histogram_fn(name, *histogram.value);
+  }
+}
+
 std::string MetricsRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
+  // Labelled series (`name{...}`) sharing a base name sit adjacent in the
+  // lexicographic map; their HELP/TYPE header renders once per base.
+  std::string_view previous_base;
+  const auto header = [&](const std::string& name, const std::string& help,
+                          const char* type) {
+    const std::string_view base = BaseName(name);
+    if (base == previous_base) return;
+    previous_base = base;
+    if (!help.empty())
+      out += "# HELP " + std::string(base) + " " + help + "\n";
+    out += "# TYPE " + std::string(base) + " " + type + "\n";
+  };
   for (const auto& [name, counter] : counters_) {
-    if (!counter.help.empty())
-      out += "# HELP " + name + " " + counter.help + "\n";
-    out += "# TYPE " + name + " counter\n";
+    header(name, counter.help, "counter");
     out += name + " " + std::to_string(counter.value->Value()) + "\n";
   }
+  previous_base = {};
   for (const auto& [name, gauge] : gauges_) {
-    if (!gauge.help.empty()) out += "# HELP " + name + " " + gauge.help + "\n";
-    out += "# TYPE " + name + " gauge\n";
+    header(name, gauge.help, "gauge");
     out += name + " " + FormatDouble(gauge.value->Value()) + "\n";
   }
+  previous_base = {};
   for (const auto& [name, histogram] : histograms_) {
-    if (!histogram.help.empty())
-      out += "# HELP " + name + " " + histogram.help + "\n";
-    out += "# TYPE " + name + " histogram\n";
+    header(name, histogram.help, "histogram");
     const auto snap = histogram.value->Read();
     for (const auto& [bound, cumulative] : snap.buckets) {
       const std::string le =
           std::isinf(bound) ? "+Inf" : FormatBound(bound);
-      out += name + "_bucket{le=\"" + le + "\"} " +
+      out += SpliceSuffix(name, "_bucket", "le=\"" + le + "\"") + " " +
              std::to_string(cumulative) + "\n";
     }
-    out += name + "_sum " + FormatDouble(snap.sum) + "\n";
-    out += name + "_count " + std::to_string(snap.count) + "\n";
+    out += SpliceSuffix(name, "_sum") + " " + FormatDouble(snap.sum) + "\n";
+    out += SpliceSuffix(name, "_count") + " " + std::to_string(snap.count) +
+           "\n";
   }
   return out;
 }

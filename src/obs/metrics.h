@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -114,7 +115,21 @@ class MetricsRegistry {
                           const std::string& help = "",
                           std::vector<double> bounds = {});
 
+  /// Enumerates every registered instrument (in lexicographic name order)
+  /// under the registry mutex. The references handed to the callbacks stay
+  /// valid for the registry's lifetime, so consumers that snapshot
+  /// instruments periodically (the time-series store) can cache them and
+  /// touch only atomics on later visits. Any callback may be null.
+  void VisitInstruments(
+      const std::function<void(const std::string&, const Counter&)>& counter_fn,
+      const std::function<void(const std::string&, const Gauge&)>& gauge_fn,
+      const std::function<void(const std::string&, const Histogram&)>&
+          histogram_fn) const;
+
   /// Prometheus text exposition format, metrics in lexicographic order.
+  /// Names may carry an inline label block (`name{key="value"}`); the HELP
+  /// and TYPE header lines then use the base name, emitted once per base
+  /// even when several labelled series share it.
   [[nodiscard]] std::string RenderPrometheus() const;
   /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
   [[nodiscard]] std::string RenderJson() const;

@@ -1,0 +1,175 @@
+// Model-quality monitor: turns each identification verdict into per-type
+// quality signals (accept-score margin top-1 vs top-2, tie-break frequency,
+// unknown/reject rate, edit-distance tie-break score distributions) and
+// runs a deterministic drift detector over them.
+//
+// Drift detection is the population-stability index between a *pinned
+// baseline* and the live window of each type's quality distributions:
+//
+//   PSI = sum_i (p_i - q_i) * ln(p_i / q_i)
+//
+// where q is the bucket distribution observed up to the moment
+// PinBaseline() was called and p is the distribution of everything observed
+// since (both epsilon-floored before normalizing). Each type's reported
+// PSI is the max over its two channels — the accept-margin histogram and
+// the tie-break dissimilarity histogram. Both matter: a traffic-shape
+// change (new firmware) often leaves the random-forest feature votes
+// intact while blowing up the edit distance, so the margin channel alone
+// is blind to it; a classifier-confusion regression moves margins while
+// distances stay put. The inputs are plain bucket counts of deterministic
+// verdict quantities, so for a fixed probe stream the PSI trajectory is
+// bit-reproducible across runs and thread counts. Conventional reading:
+// < 0.1 stable, 0.1-0.25 moderate shift, > 0.25 drifted.
+//
+// The monitor is pure read-side instrumentation: it only consumes finished
+// IdentificationResults and never feeds anything back into the identifier,
+// so verdicts and serialized model bytes are bit-identical with a monitor
+// attached or not. Record() touches only atomics after an acquire-load of
+// an immutable per-bank index, making it safe from concurrent
+// IdentifyBatch workers.
+//
+// All instruments register in the provided MetricsRegistry under
+// `sentinel_quality_*`; per-type series carry an inline Prometheus label
+// (`sentinel_quality_psi{type="3"}`), which also makes them samplable by
+// the TimeSeriesStore and alertable by the AlertEngine for free.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sentinel::obs {
+
+struct QualityMonitorConfig {
+  /// Bucket bounds for the accept-margin histograms (margins live in
+  /// [-1, 1]; negative only when the bank is empty). Empty = default grid
+  /// of 0.05-wide buckets over [0, 1].
+  std::vector<double> margin_bounds;
+  /// Bucket bounds for the tie-break dissimilarity histograms (scores live
+  /// in [0, 5]). Empty = default grid of 0.25-wide buckets.
+  std::vector<double> dissimilarity_bounds;
+  /// Additive floor applied to each bucket probability before the PSI log
+  /// ratio, so empty buckets cannot produce infinities.
+  double psi_epsilon = 1e-4;
+  /// A channel's live window must hold at least this many observations
+  /// before UpdateDrift() computes a PSI for it (it reports 0 until then).
+  /// PSI is very noisy on thin live windows — a ~10%-mass bucket has a
+  /// ~20% chance of being entirely absent from 16 samples, which alone
+  /// reads as PSI ~0.6 — so this floor is what keeps a handful of early
+  /// probes from faking a drift signal.
+  std::uint64_t min_window_observations = 32;
+};
+
+/// One identification verdict, reduced to the quality plane's inputs.
+struct QualitySample {
+  /// Label the probe keyed to: the verdict type when known, else the
+  /// bank's top-probability label (-1 when the bank is empty).
+  int top_label = -1;
+  double top1_probability = 0.0;
+  double top2_probability = 0.0;
+  bool unknown = false;
+  bool multi_match = false;
+  std::uint64_t tie_break_count = 0;
+  /// Winning (lowest) dissimilarity score; NaN when discrimination did not
+  /// run.
+  double best_dissimilarity = 0.0;
+};
+
+class QualityMonitor {
+ public:
+  /// `registry` must outlive the monitor; all quality series register
+  /// there.
+  explicit QualityMonitor(MetricsRegistry* registry,
+                          QualityMonitorConfig config = {});
+
+  /// Publishes the per-type slot index for `labels` (the identifier's
+  /// trained label list). Called by DeviceIdentifier on attach and after
+  /// every Train()/AddType(); idempotent, and previously bound labels keep
+  /// their accumulated state. Samples for labels not (yet) bound count
+  /// only toward the global totals.
+  void BindTypes(const std::vector<int>& labels);
+
+  /// Records one verdict. Lock-free (atomics only); safe from concurrent
+  /// identification threads.
+  void Record(const QualitySample& sample);
+
+  /// Records a gateway-level assessment outcome (SentinelModule verdicts,
+  /// post enforcement mapping).
+  void RecordAssessmentOutcome(bool known);
+
+  /// Pins the current per-type margin and dissimilarity histograms as the
+  /// PSI baseline. Everything observed afterwards forms the live window.
+  void PinBaseline();
+  [[nodiscard]] bool baseline_pinned() const;
+
+  /// Recomputes each bound type's PSI (max over the margin and
+  /// dissimilarity channels) from its pinned baseline and updates the
+  /// `sentinel_quality_psi{type=...}` gauges. No-op before PinBaseline().
+  void UpdateDrift();
+
+  /// Last computed PSI for `label`; 0 before UpdateDrift() or for unbound
+  /// labels.
+  [[nodiscard]] double Psi(int label) const;
+
+  /// {"totals": {...}, "baseline_pinned": b, "types": {"3": {...}, ...}}.
+  [[nodiscard]] std::string RenderJson() const;
+
+ private:
+  struct TypeSlot {
+    int label = 0;
+    Counter* identifications = nullptr;  // probes keyed to this type
+    Counter* rejected = nullptr;         // ... that were still rejected
+    Counter* tiebreaks = nullptr;
+    Histogram* margin = nullptr;
+    Histogram* dissimilarity = nullptr;
+    Gauge* psi_gauge = nullptr;
+    /// Cumulative bucket counts of each channel at PinBaseline() time.
+    Histogram::Snapshot baseline_margin;
+    Histogram::Snapshot baseline_dissimilarity;
+    bool has_baseline = false;
+    std::atomic<double> psi{0.0};
+  };
+
+  /// Immutable label -> slot index published to Record() via an atomic
+  /// pointer; rebuilt (never mutated) by BindTypes. Sorted by label, so
+  /// the per-verdict lookup is a binary search over one or two contiguous
+  /// cache lines rather than a tree walk — Record() sits on the identify
+  /// hot path and pays this on every verdict.
+  using Index = std::vector<std::pair<int, TypeSlot*>>;
+
+  TypeSlot* FindSlot(int label) const {
+    const Index* index = index_.load(std::memory_order_acquire);
+    if (index == nullptr) return nullptr;
+    const auto it = std::lower_bound(
+        index->begin(), index->end(), label,
+        [](const auto& entry, int want) { return entry.first < want; });
+    return it != index->end() && it->first == label ? it->second : nullptr;
+  }
+
+  MetricsRegistry* const registry_;
+  const QualityMonitorConfig config_;
+
+  // Global (bank-wide) instruments, resolved once at construction.
+  Counter* identifications_total_;
+  Counter* unknown_total_;
+  Counter* multi_match_total_;
+  Counter* tiebreak_total_;
+  Counter* assessments_total_;
+  Counter* assessments_unknown_total_;
+  Histogram* margin_all_;
+
+  mutable std::mutex mutex_;  // guards slots_/retired_/bind+pin, not Record
+  std::vector<std::unique_ptr<TypeSlot>> slots_;
+  std::vector<std::unique_ptr<Index>> retired_;  // old indices stay readable
+  std::atomic<const Index*> index_{nullptr};
+  std::atomic<bool> baseline_pinned_{false};
+};
+
+}  // namespace sentinel::obs

@@ -128,14 +128,7 @@ void TelemetryServer::ServeConnection(int connection_fd) {
                            ? std::string::npos
                            : second_space - first_space - 1);
   }
-  std::string response;
-  if (method != "GET") {
-    response = HttpResponse(405, "Method Not Allowed",
-                            "text/plain; charset=utf-8",
-                            "only GET is supported\n");
-  } else {
-    response = HandlePath(path);
-  }
+  const std::string response = HandleRequest(method, path);
   std::size_t sent = 0;
   while (sent < response.size()) {
     const ssize_t n = ::send(connection_fd, response.data() + sent,
@@ -147,6 +140,15 @@ void TelemetryServer::ServeConnection(int connection_fd) {
                      {"bytes", response.size()});
 }
 
+std::string TelemetryServer::HandleRequest(const std::string& method,
+                                           const std::string& path) const {
+  if (method != "GET") {
+    return HttpResponse(405, "Method Not Allowed", "text/plain; charset=utf-8",
+                        "only GET is supported\n");
+  }
+  return HandlePath(path);
+}
+
 std::string TelemetryServer::HandlePath(const std::string& path) const {
   if (path == "/healthz") {
     return HttpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n");
@@ -156,6 +158,27 @@ std::string TelemetryServer::HandlePath(const std::string& path) const {
         registry_ == nullptr ? std::string() : registry_->RenderPrometheus();
     return HttpResponse(200, "OK",
                         "text/plain; version=0.0.4; charset=utf-8", body);
+  }
+  if (path == "/metrics.json") {
+    const std::string body =
+        registry_ == nullptr ? std::string("{}\n") : registry_->RenderJson();
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  if (path == "/timeseries") {
+    const std::string body =
+        timeseries_ == nullptr ? std::string("{}\n")
+                               : timeseries_->RenderJson(timeseries_window_);
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  if (path == "/quality") {
+    const std::string body =
+        quality_ == nullptr ? std::string("{}\n") : quality_->RenderJson();
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  if (path == "/alerts") {
+    const std::string body =
+        alerts_ == nullptr ? std::string("{}\n") : alerts_->RenderJson();
+    return HttpResponse(200, "OK", "application/json", body);
   }
   if (path == "/devices") {
     std::string body = "{\"devices\": [";

@@ -1,7 +1,12 @@
 // Minimal blocking HTTP/1.1 endpoint for live telemetry scraping
-// (`sentinelctl serve --listen <port>`). Three routes:
+// (`sentinelctl serve --listen <port>`). Routes (GET only; every other
+// method is 405 at the routing layer):
 //   GET /healthz          -> 200 "ok"
 //   GET /metrics          -> Prometheus text exposition of the registry
+//   GET /metrics.json     -> the registry's JSON exposition
+//   GET /timeseries       -> windowed stats of every sampled series (JSON)
+//   GET /quality          -> model-quality monitor state (JSON)
+//   GET /alerts           -> alert rule states (JSON)
 //   GET /devices          -> JSON list of journalled device MACs
 //   GET /devices/<mac>    -> the device's flight-recorder journal as JSON
 // Anything else is 404. One connection is served at a time (a scrape is a
@@ -15,8 +20,11 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/alerts.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
+#include "obs/timeseries.h"
 
 namespace sentinel::obs {
 
@@ -51,8 +59,24 @@ class TelemetryServer {
   /// Thread-safe; unblocks a concurrent Serve().
   void Stop();
 
-  /// Routes one request path to a full HTTP response (status line,
-  /// headers, body). Exposed so tests can cover routing without sockets.
+  /// Optional consumers behind /timeseries, /quality and /alerts; each
+  /// route serves "{}" until its source is attached. All must outlive the
+  /// server. Attach before Start() — the accept loop reads these without
+  /// synchronization.
+  void set_timeseries(const TimeSeriesStore* store,
+                      std::size_t window_samples = 60) {
+    timeseries_ = store;
+    timeseries_window_ = window_samples;
+  }
+  void set_quality(const QualityMonitor* monitor) { quality_ = monitor; }
+  void set_alerts(const AlertEngine* engine) { alerts_ = engine; }
+
+  /// Routes one (method, path) request to a full HTTP response (status
+  /// line, headers, body); non-GET methods get the 405 here, so the whole
+  /// method-routing surface is testable without sockets.
+  [[nodiscard]] std::string HandleRequest(const std::string& method,
+                                          const std::string& path) const;
+  /// GET shorthand for HandleRequest.
   [[nodiscard]] std::string HandlePath(const std::string& path) const;
 
  private:
@@ -60,6 +84,10 @@ class TelemetryServer {
 
   const MetricsRegistry* registry_;
   const FlightRecorder* recorder_;
+  const TimeSeriesStore* timeseries_ = nullptr;
+  std::size_t timeseries_window_ = 60;
+  const QualityMonitor* quality_ = nullptr;
+  const AlertEngine* alerts_ = nullptr;
   TelemetryServerConfig config_;
   std::uint16_t port_ = 0;
   /// Atomic so Stop() can race Serve() from another thread; -1 when not

@@ -1,0 +1,142 @@
+// End-to-end validation of the quality/drift telemetry plane: the
+// firmware-drift scenario must deterministically walk the drifted type's
+// alert ok -> pending -> firing while the control type stays quiet, with
+// bit-identical results across runs, thread counts and monitor attachment
+// — and attaching the monitor must not perturb verdicts or model bytes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/device_identifier.h"
+#include "devices/simulator.h"
+#include "net/byte_io.h"
+#include "netsim/drift.h"
+#include "obs/metrics.h"
+#include "obs/quality.h"
+#include "util/thread_pool.h"
+
+namespace sentinel::netsim {
+namespace {
+
+// One shared small configuration keeps the suite fast; the shape mirrors
+// the defaults (warmup, then a linear ramp on one type). probes_per_window
+// stays at the default 16 — a thinner baseline under-samples the clean
+// bucket mix and the PSI detector (correctly) reads the gap as drift.
+DriftConfig SmallConfig() {
+  DriftConfig config;
+  config.bank_types = 6;
+  config.train_episodes = 4;
+  config.warmup_windows = 6;
+  config.drift_start_window = 8;
+  config.windows = 14;
+  return config;
+}
+
+TEST(DriftScenarioTest, DriftedTypeWalksOkPendingFiring) {
+  const DriftReport report = RunDriftScenario(SmallConfig());
+  ASSERT_EQ(report.trajectory.size(), 14u);
+
+  // Before the drift starts everything is quiet.
+  for (std::size_t w = 0; w < 8; ++w) {
+    EXPECT_EQ(report.trajectory[w].drifted_state, obs::AlertState::kOk)
+        << "window " << w;
+    EXPECT_DOUBLE_EQ(report.trajectory[w].feature_shift, 0.0);
+  }
+  // The alert escalates in order and sticks.
+  ASSERT_GE(report.pending_window, 8);
+  ASSERT_GT(report.firing_window, report.pending_window);
+  EXPECT_EQ(report.trajectory.back().drifted_state, obs::AlertState::kFiring);
+  EXPECT_EQ(report.detection_latency_windows, report.firing_window - 8);
+  // for_windows=2 means firing cannot precede pending by less than that.
+  EXPECT_GE(report.firing_window - report.pending_window,
+            static_cast<int>(SmallConfig().for_windows));
+
+  // The drifted type's PSI keeps climbing past the threshold; the control
+  // type never alerts and stays in the conventional "stable" band.
+  EXPECT_GT(report.trajectory.back().psi_drifted,
+            SmallConfig().psi_threshold);
+  EXPECT_TRUE(report.control_stayed_ok);
+  for (const DriftWindow& w : report.trajectory) {
+    EXPECT_EQ(w.control_state, obs::AlertState::kOk) << "window " << w.window;
+    EXPECT_LT(w.psi_control, SmallConfig().psi_threshold);
+  }
+}
+
+TEST(DriftScenarioTest, ReportIsDeterministicAcrossRuns) {
+  const DriftReport first = RunDriftScenario(SmallConfig());
+  const DriftReport second = RunDriftScenario(SmallConfig());
+  EXPECT_EQ(first.verdict_hash, second.verdict_hash);
+  EXPECT_EQ(first.ToJson(), second.ToJson());
+}
+
+TEST(DriftScenarioTest, ReportIsDeterministicAcrossThreadCounts) {
+  const DriftReport serial = RunDriftScenario(SmallConfig());
+  util::ThreadPool two(2);
+  const DriftReport with_two = RunDriftScenario(SmallConfig(), &two);
+  util::ThreadPool eight(8);
+  const DriftReport with_eight = RunDriftScenario(SmallConfig(), &eight);
+  EXPECT_EQ(serial.ToJson(), with_two.ToJson());
+  EXPECT_EQ(serial.ToJson(), with_eight.ToJson());
+}
+
+TEST(DriftScenarioTest, DetachedMonitorLeavesVerdictsBitIdentical) {
+  DriftConfig detached = SmallConfig();
+  detached.attach_monitor = false;
+  const DriftReport with_monitor = RunDriftScenario(SmallConfig());
+  const DriftReport without_monitor = RunDriftScenario(detached);
+  EXPECT_EQ(with_monitor.verdict_hash, without_monitor.verdict_hash);
+  EXPECT_EQ(with_monitor.probes_identified,
+            without_monitor.probes_identified);
+  // And the detached run reports no telemetry at all.
+  EXPECT_EQ(without_monitor.firing_window, -1);
+  for (const DriftWindow& w : without_monitor.trajectory)
+    EXPECT_DOUBLE_EQ(w.psi_drifted, 0.0);
+}
+
+TEST(DriftScenarioTest, AttachedMonitorLeavesModelBytesBitIdentical) {
+  const auto dataset = devices::GenerateFingerprintDataset(3, 99);
+  std::vector<core::LabelledFingerprint> examples;
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    examples.push_back(
+        {&dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+
+  const auto train_and_save = [&](bool attach) {
+    core::DeviceIdentifier identifier(core::IdentifierConfig{.seed = 7});
+    obs::MetricsRegistry registry;
+    obs::QualityMonitor monitor(&registry);
+    if (attach) identifier.set_quality_monitor(&monitor);
+    identifier.Train(examples);
+    if (attach) {
+      // Exercise the read-side plumbing before serializing.
+      (void)identifier.Identify(dataset.fingerprints[0], dataset.fixed[0]);
+      monitor.PinBaseline();
+      monitor.UpdateDrift();
+    }
+    net::ByteWriter writer;
+    identifier.Save(writer);
+    const auto bytes = writer.bytes();
+    return std::vector<std::uint8_t>(bytes.begin(), bytes.end());
+  };
+
+  EXPECT_EQ(train_and_save(true), train_and_save(false));
+}
+
+TEST(DriftScenarioTest, JsonReportIsWellFormedAndComplete) {
+  const DriftReport report = RunDriftScenario(SmallConfig());
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"firing_window\": " +
+                      std::to_string(report.firing_window)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"control_stayed_ok\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"drifted_state\": \"firing\""), std::string::npos);
+  EXPECT_NE(json.find("\"psi_drifted\""), std::string::npos);
+  // One JSON object per window.
+  std::size_t windows = 0;
+  for (std::size_t at = json.find("\"window\":"); at != std::string::npos;
+       at = json.find("\"window\":", at + 1))
+    ++windows;
+  EXPECT_EQ(windows, report.trajectory.size());
+}
+
+}  // namespace
+}  // namespace sentinel::netsim

@@ -1,0 +1,253 @@
+// Tests for the alert rule engine: threshold + for_duration state machine,
+// the three input transforms, the rules-file parser, and Evaluate racing
+// Status/RenderJson scrapers (the thread-sanitizer shape).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/alerts.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace sentinel::obs {
+namespace {
+
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+AlertRule GaugeAbove(const std::string& series, double threshold,
+                     std::int64_t for_ns) {
+  AlertRule rule;
+  rule.name = "r_" + series;
+  rule.series = series;
+  rule.op = AlertRule::Op::kGt;
+  rule.threshold = threshold;
+  rule.for_ns = for_ns;
+  rule.window = 1;
+  return rule;
+}
+
+AlertState StateOf(const AlertEngine& engine, const std::string& name) {
+  for (const auto& status : engine.Status())
+    if (status.rule.name == name) return status.state;
+  ADD_FAILURE() << "no rule named " << name;
+  return AlertState::kOk;
+}
+
+TEST(AlertEngineTest, OkPendingFiringAndReset) {
+  MetricsRegistry registry;
+  auto& gauge = registry.GetGauge("g", "gauge");
+  TimeSeriesStore store(&registry);
+  AlertEngine engine(&store, &registry);
+  engine.AddRule(GaugeAbove("g", 5.0, 2 * kSecond));
+
+  const auto step = [&](std::int64_t t, double value) {
+    gauge.Set(value);
+    store.Sample(t);
+    engine.Evaluate(t);
+  };
+
+  step(1 * kSecond, 1.0);
+  EXPECT_EQ(StateOf(engine, "r_g"), AlertState::kOk);
+  step(2 * kSecond, 9.0);  // condition true, held 0 s
+  EXPECT_EQ(StateOf(engine, "r_g"), AlertState::kPending);
+  step(3 * kSecond, 9.0);  // held 1 s < 2 s
+  EXPECT_EQ(StateOf(engine, "r_g"), AlertState::kPending);
+  step(4 * kSecond, 9.0);  // held 2 s >= 2 s
+  EXPECT_EQ(StateOf(engine, "r_g"), AlertState::kFiring);
+  step(5 * kSecond, 1.0);  // condition clears
+  EXPECT_EQ(StateOf(engine, "r_g"), AlertState::kOk);
+  // A fresh violation starts a fresh pending episode.
+  step(6 * kSecond, 9.0);
+  EXPECT_EQ(StateOf(engine, "r_g"), AlertState::kPending);
+
+  // ok -> pending -> firing -> ok -> pending: four transitions.
+  EXPECT_EQ(
+      registry.GetCounter("sentinel_alerts_transitions_total", "").Value(),
+      4u);
+}
+
+TEST(AlertEngineTest, ZeroForDurationFiresImmediately) {
+  MetricsRegistry registry;
+  auto& gauge = registry.GetGauge("g", "gauge");
+  TimeSeriesStore store(&registry);
+  AlertEngine engine(&store);
+  engine.AddRule(GaugeAbove("g", 0.5, 0));
+  gauge.Set(1.0);
+  store.Sample(kSecond);
+  engine.Evaluate(kSecond);
+  EXPECT_EQ(StateOf(engine, "r_g"), AlertState::kFiring);
+}
+
+TEST(AlertEngineTest, MissingSeriesIsOk) {
+  MetricsRegistry registry;
+  TimeSeriesStore store(&registry);
+  AlertEngine engine(&store);
+  engine.AddRule(GaugeAbove("never_registered", 0.0, 0));
+  store.Sample(kSecond);
+  engine.Evaluate(kSecond);
+  EXPECT_EQ(StateOf(engine, "r_never_registered"), AlertState::kOk);
+}
+
+TEST(AlertEngineTest, RateAndDeltaInputs) {
+  MetricsRegistry registry;
+  auto& counter = registry.GetCounter("c_total", "counter");
+  TimeSeriesStore store(&registry);
+  AlertEngine engine(&store);
+
+  AlertRule rate;
+  rate.name = "hot_rate";
+  rate.series = "c_total";
+  rate.input = AlertRule::Input::kRate;
+  rate.op = AlertRule::Op::kGt;
+  rate.threshold = 5.0;  // per second
+  rate.window = 3;
+  engine.AddRule(rate);
+
+  AlertRule stalled;
+  stalled.name = "stalled";
+  stalled.series = "c_total";
+  stalled.input = AlertRule::Input::kDelta;
+  stalled.op = AlertRule::Op::kLt;
+  stalled.threshold = 1.0;
+  stalled.window = 3;
+  engine.AddRule(stalled);
+
+  const auto step = [&](std::int64_t t, std::uint64_t increment) {
+    counter.Increment(increment);
+    store.Sample(t);
+    engine.Evaluate(t);
+  };
+
+  step(1 * kSecond, 0);
+  step(2 * kSecond, 10);  // 10/s over the window
+  EXPECT_EQ(StateOf(engine, "hot_rate"), AlertState::kFiring);
+  EXPECT_EQ(StateOf(engine, "stalled"), AlertState::kOk);
+  step(3 * kSecond, 0);
+  step(4 * kSecond, 0);
+  step(5 * kSecond, 0);  // window now flat: delta 0 < 1
+  EXPECT_EQ(StateOf(engine, "hot_rate"), AlertState::kOk);
+  EXPECT_EQ(StateOf(engine, "stalled"), AlertState::kFiring);
+}
+
+TEST(AlertEngineTest, StateGaugesTrackStates) {
+  MetricsRegistry registry;
+  auto& gauge = registry.GetGauge("g", "gauge");
+  TimeSeriesStore store(&registry);
+  AlertEngine engine(&store, &registry);
+  engine.AddRule(GaugeAbove("g", 5.0, 0));
+  auto& state_gauge =
+      registry.GetGauge("sentinel_alert_state{rule=\"r_g\"}", "");
+  EXPECT_DOUBLE_EQ(state_gauge.Value(), 0.0);
+  gauge.Set(9.0);
+  store.Sample(kSecond);
+  engine.Evaluate(kSecond);
+  EXPECT_DOUBLE_EQ(state_gauge.Value(), 2.0);  // firing
+}
+
+TEST(AlertRulesParserTest, ParsesFullRuleLines) {
+  MetricsRegistry registry;
+  TimeSeriesStore store(&registry);
+  AlertEngine engine(&store);
+  const std::size_t added = engine.LoadRules(
+      "# comment\n"
+      "\n"
+      "alert hot series=requests_total input=rate op=gt threshold=0.5 "
+      "for=30 window=10\n"
+      "alert cold series=depth input=value op=lt threshold=2\n");
+  EXPECT_EQ(added, 2u);
+  EXPECT_EQ(engine.rule_count(), 2u);
+
+  const auto status = engine.Status();
+  ASSERT_EQ(status.size(), 2u);
+  EXPECT_EQ(status[0].rule.name, "hot");
+  EXPECT_EQ(status[0].rule.series, "requests_total");
+  EXPECT_EQ(status[0].rule.input, AlertRule::Input::kRate);
+  EXPECT_EQ(status[0].rule.op, AlertRule::Op::kGt);
+  EXPECT_DOUBLE_EQ(status[0].rule.threshold, 0.5);
+  EXPECT_EQ(status[0].rule.for_ns, 30 * kSecond);
+  EXPECT_EQ(status[0].rule.window, 10u);
+  // Defaults: input=value, op=gt, for=0, window=10.
+  EXPECT_EQ(status[1].rule.input, AlertRule::Input::kValue);
+  EXPECT_EQ(status[1].rule.op, AlertRule::Op::kLt);
+  EXPECT_EQ(status[1].rule.for_ns, 0);
+}
+
+TEST(AlertRulesParserTest, RejectsMalformedLinesWithLineNumber) {
+  MetricsRegistry registry;
+  TimeSeriesStore store(&registry);
+  AlertEngine engine(&store);
+  const auto expect_throw = [&](const std::string& text) {
+    try {
+      engine.LoadRules(text);
+      ADD_FAILURE() << "accepted: " << text;
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("line"), std::string::npos)
+          << error.what();
+    }
+  };
+  expect_throw("rule x series=s threshold=1\n");           // not "alert"
+  expect_throw("alert x series=s\n");                      // no threshold
+  expect_throw("alert x threshold=1\n");                   // no series
+  expect_throw("alert x series=s threshold=1 bogus=2\n");  // unknown key
+  expect_throw("alert x series=s threshold=1 input=sqrt\n");
+  expect_throw("alert\n");  // no name
+  EXPECT_EQ(engine.rule_count(), 0u);  // nothing partially added
+}
+
+TEST(AlertEngineTest, RenderJsonCountsStates) {
+  MetricsRegistry registry;
+  auto& gauge = registry.GetGauge("g", "gauge");
+  TimeSeriesStore store(&registry);
+  AlertEngine engine(&store);
+  engine.AddRule(GaugeAbove("g", 5.0, 0));
+  engine.AddRule(GaugeAbove("never", 5.0, 0));
+  gauge.Set(9.0);
+  store.Sample(kSecond);
+  engine.Evaluate(kSecond);
+  const std::string json = engine.RenderJson();
+  EXPECT_NE(json.find("\"firing\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"pending\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"state\": \"firing\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\": \"ok\""), std::string::npos);
+}
+
+// One evaluator thread racing scraper threads — the thread-sanitizer shape:
+// Evaluate() and Status()/RenderJson() serialize on the engine mutex while
+// the sampler's store writes race the store reads lock-free.
+TEST(AlertEngineTest, EvaluateVersusScrapersHammer) {
+  MetricsRegistry registry;
+  auto& gauge = registry.GetGauge("g", "gauge");
+  TimeSeriesStore store(&registry, {.capacity = 16});
+  AlertEngine engine(&store, &registry);
+  engine.AddRule(GaugeAbove("g", 0.5, 2 * kSecond));
+
+  std::atomic<bool> stop{false};
+  std::thread evaluator([&] {
+    std::int64_t now = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      gauge.Set((now / kSecond) % 5 == 0 ? 0.0 : 1.0);
+      store.Sample(now += kSecond);
+      engine.Evaluate(now);
+    }
+  });
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        const auto status = engine.Status();
+        ASSERT_EQ(status.size(), 1u);
+        (void)engine.RenderJson();
+      }
+    });
+  }
+  for (auto& scraper : scrapers) scraper.join();
+  stop.store(true, std::memory_order_relaxed);
+  evaluator.join();
+}
+
+}  // namespace
+}  // namespace sentinel::obs

@@ -1,5 +1,6 @@
 // Tests for the telemetry HTTP endpoint: socketless routing through
-// HandlePath() plus one real loopback round-trip on an ephemeral port.
+// HandleRequest()/HandlePath() — method handling, the JSON routes, edge
+// cases — plus real loopback round-trips on an ephemeral port.
 #include <gtest/gtest.h>
 
 #include <netinet/in.h>
@@ -11,9 +12,12 @@
 #include <thread>
 
 #include "net/address.h"
+#include "obs/alerts.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/telemetry_server.h"
+#include "obs/timeseries.h"
 
 namespace sentinel::obs {
 namespace {
@@ -79,6 +83,77 @@ TEST(TelemetryRoutesTest, UnknownRoutesAre404) {
             std::string::npos);
 }
 
+TEST(TelemetryRoutesTest, NonGetMethodsAre405) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", "c").Increment();
+  TelemetryServer server(&registry, nullptr);
+  for (const char* method : {"POST", "PUT", "DELETE", "HEAD", "PATCH"}) {
+    const std::string response = server.HandleRequest(method, "/metrics");
+    EXPECT_NE(response.find("405"), std::string::npos) << method;
+    EXPECT_EQ(response.find("sentinel"), std::string::npos) << method;
+  }
+  // The same path through the GET spelling still works.
+  EXPECT_NE(server.HandleRequest("GET", "/metrics").find("200 OK"),
+            std::string::npos);
+}
+
+TEST(TelemetryRoutesTest, MetricsJsonRoute) {
+  MetricsRegistry registry;
+  registry.GetCounter("sentinel_served_total", "requests").Increment(3);
+  TelemetryServer server(&registry, nullptr);
+  const std::string response = server.HandlePath("/metrics.json");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("\"sentinel_served_total\""), std::string::npos);
+
+  // Without a registry the route degrades to an empty JSON document.
+  TelemetryServer bare(nullptr, nullptr);
+  EXPECT_NE(bare.HandlePath("/metrics.json").find("{}"), std::string::npos);
+}
+
+TEST(TelemetryRoutesTest, ObservabilityRoutesServeAttachedSources) {
+  MetricsRegistry registry;
+  registry.GetGauge("g", "gauge").Set(4.0);
+  TimeSeriesStore store(&registry);
+  store.Sample(1'000'000'000);
+  QualityMonitor quality(&registry);
+  AlertEngine alerts(&store);
+
+  TelemetryServer server(&registry, nullptr);
+  // Before attachment every route serves an empty JSON document.
+  for (const char* path : {"/timeseries", "/quality", "/alerts"}) {
+    const std::string response = server.HandlePath(path);
+    EXPECT_NE(response.find("200 OK"), std::string::npos) << path;
+    EXPECT_NE(response.find("{}"), std::string::npos) << path;
+  }
+  server.set_timeseries(&store, /*window_samples=*/30);
+  server.set_quality(&quality);
+  server.set_alerts(&alerts);
+  EXPECT_NE(server.HandlePath("/timeseries").find("\"g\""),
+            std::string::npos);
+  EXPECT_NE(server.HandlePath("/timeseries").find("\"window\": 30"),
+            std::string::npos);
+  EXPECT_NE(server.HandlePath("/quality").find("\"totals\""),
+            std::string::npos);
+  EXPECT_NE(server.HandlePath("/alerts").find("\"rules\""),
+            std::string::npos);
+}
+
+TEST(TelemetryRoutesTest, MalformedDevicePathsAre404) {
+  FlightRecorder recorder;
+  recorder.Record(Mac(9), {.kind = DeviceEventKind::kFirstSeen});
+  TelemetryServer server(nullptr, &recorder);
+  for (const char* path :
+       {"/devices/", "/devices/02:00", "/devices/02:00:00:00:00:09/extra",
+        "/devices/02:00:00:00:00:0g", "/devices/..", "/DEVICES/x"}) {
+    EXPECT_NE(server.HandlePath(path).find("404"), std::string::npos)
+        << path;
+  }
+  // Near-miss prefixes of valid routes stay 404 too.
+  EXPECT_NE(server.HandlePath("/metricsx").find("404"), std::string::npos);
+  EXPECT_NE(server.HandlePath("/healthz2").find("404"), std::string::npos);
+}
+
 TEST(TelemetryServerTest, LoopbackRoundTripOnEphemeralPort) {
   MetricsRegistry registry;
   registry.GetCounter("sentinel_live_total", "live").Increment(7);
@@ -110,6 +185,61 @@ TEST(TelemetryServerTest, LoopbackRoundTripOnEphemeralPort) {
   server.Stop();
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
   EXPECT_NE(response.find("sentinel_live_total 7"), std::string::npos);
+}
+
+/// Sends one raw request to `server` (already Start()ed, Serve()ing one
+/// request on another thread) and returns the full response.
+std::string RawRoundTrip(const TelemetryServer& server,
+                         const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(TelemetryServerTest, PostOverSocketIs405) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry, nullptr);
+  server.Start();
+  std::thread serving([&] { server.Serve(/*max_requests=*/1); });
+  const std::string response =
+      RawRoundTrip(server, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  serving.join();
+  server.Stop();
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_NE(response.find("only GET"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, OversizedRequestLineIsCutOffNotServed) {
+  MetricsRegistry registry;
+  registry.GetCounter("sentinel_secret_total", "s").Increment();
+  TelemetryServer server(&registry, nullptr);
+  server.Start();
+  std::thread serving([&] { server.Serve(/*max_requests=*/1); });
+  // A request line far beyond the 4 KiB header cap: the server must cut it
+  // off and answer (404), never hang or serve the metrics body.
+  const std::string response = RawRoundTrip(
+      server,
+      "GET /" + std::string(8192, 'a') + " HTTP/1.1\r\nHost: x\r\n\r\n");
+  serving.join();
+  server.Stop();
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_EQ(response.find("sentinel_secret_total"), std::string::npos);
 }
 
 TEST(TelemetryServerTest, StopUnblocksServe) {

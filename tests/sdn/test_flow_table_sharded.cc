@@ -204,10 +204,12 @@ TEST(ShardedFlowTable, ConcurrentIngressWithMutations) {
 
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> hits{0};
+  std::atomic<int> ready{0};
   std::vector<std::thread> readers;
   for (int t = 0; t < 4; ++t) {
     readers.emplace_back([&, t] {
       std::mt19937_64 rng(0xabc + t);
+      bool first = true;
       while (!stop.load(std::memory_order_relaxed)) {
         const std::uint64_t i = rng() % kPairs;
         const auto result =
@@ -217,9 +219,20 @@ TEST(ShardedFlowTable, ConcurrentIngressWithMutations) {
           EXPECT_FALSE(result.drop);
           EXPECT_GE(result.action_count, 1u);
         }
+        if (first) {
+          // The first pass ran against the fully populated table (the
+          // writer waits for it), so it is a guaranteed hit — without this
+          // handshake an overloaded box can finish the whole churn loop
+          // and set `stop` before any reader thread is scheduled.
+          EXPECT_TRUE(result.matched);
+          ready.fetch_add(1, std::memory_order_release);
+          first = false;
+        }
       }
     });
   }
+  while (ready.load(std::memory_order_acquire) < 4)
+    std::this_thread::yield();
 
   // Writer: churn installs, removals and expiries under the readers.
   std::mt19937_64 rng(0xdef);

@@ -24,9 +24,18 @@
 //       Exercise the full gateway pipeline on simulated episodes and dump
 //       the collected metrics registry.
 //   sentinelctl serve [--listen PORT] [--episodes N] [--seed S]
+//                     [--rules FILE] [--sample-interval SEC]
 //       Exercise the gateway pipeline like `stats`, then serve live
 //       telemetry over HTTP: /healthz, /metrics (Prometheus text),
-//       /devices and /devices/<mac> (flight-recorder JSON).
+//       /metrics.json, /timeseries (windowed series), /quality (drift
+//       monitor), /alerts (rule engine), /devices and /devices/<mac>
+//       (flight-recorder JSON). A sampler thread snapshots the registry
+//       and evaluates the alert rules every --sample-interval seconds.
+//   sentinelctl alerts [--seed S] [--json]
+//       Run the firmware-drift scenario: one trained type's traffic
+//       shape gradually shifts while a control type stays clean; print
+//       the per-window PSI trajectory and the drifted type's alert
+//       walking ok -> pending -> firing.
 //
 // `train`, `identify`, `evaluate` and `stats` accept
 // `--metrics-out <file>` to write the run's metrics registry (Prometheus
@@ -34,9 +43,12 @@
 // `evaluate` accept `--trace-out <file>` to write the run's spans as
 // Chrome-trace-event JSON (loads in Perfetto / chrome://tracing).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "capture/setup_phase.h"
@@ -51,10 +63,15 @@
 #include "devices/simulator.h"
 #include "eval/experiment.h"
 #include "net/pcap.h"
+#include "netsim/drift.h"
+#include "obs/alerts.h"
+#include "obs/build_info.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/scoped_timer.h"
 #include "obs/telemetry_server.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -66,13 +83,16 @@ struct Options {
   std::size_t episodes = 20;
   std::size_t reps = 10;
   std::uint64_t seed = 42;
+  bool seed_set = false;
   bool standby = false;
   bool updated = false;
   bool json = false;
   std::string out_path;
   std::string metrics_out;
   std::string trace_out;
+  std::string rules_path;
   std::uint16_t listen_port = 0;
+  std::size_t sample_interval = 1;
 };
 
 /// Writes the run's metrics to --metrics-out when requested.
@@ -108,6 +128,7 @@ Options ParseOptions(int argc, char** argv, int first) {
       options.reps = std::stoul(next_value());
     } else if (arg == "--seed") {
       options.seed = std::stoull(next_value());
+      options.seed_set = true;
     } else if (arg == "--standby") {
       options.standby = true;
     } else if (arg == "--updated") {
@@ -124,6 +145,12 @@ Options ParseOptions(int argc, char** argv, int first) {
       const unsigned long port = std::stoul(next_value());
       if (port > 65535) throw std::runtime_error("--listen: port > 65535");
       options.listen_port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--rules") {
+      options.rules_path = next_value();
+    } else if (arg == "--sample-interval") {
+      options.sample_interval = std::stoul(next_value());
+      if (options.sample_interval == 0)
+        throw std::runtime_error("--sample-interval: must be >= 1 second");
     } else if (arg.rfind("--", 0) == 0) {
       throw std::runtime_error("unknown option " + arg);
     } else {
@@ -536,12 +563,15 @@ int CmdStats(const Options& options) {
 }
 
 int CmdServe(const Options& options) {
-  // Live telemetry: run the `stats` demo pipeline with a flight recorder
-  // attached, then serve the registry and the per-device journals over
-  // HTTP until interrupted.
+  // Live telemetry: run the `stats` demo pipeline with the full
+  // observability plane attached (flight recorder, quality monitor,
+  // time-series store, alert engine), then serve everything over HTTP
+  // until interrupted while a sampler thread keeps the windows fresh.
   obs::MetricsRegistry registry;
   obs::ScopedDefaultRegistry scoped_registry(&registry);
   obs::FlightRecorder recorder;
+  const obs::StandardMetrics standard = obs::RegisterStandardMetrics(registry);
+  obs::QualityMonitor quality(&registry);
 
   std::printf("training security service (%zu episodes/type, seed %llu)...\n",
               options.episodes,
@@ -563,21 +593,123 @@ int CmdServe(const Options& options) {
   }
   core::SecurityService service(std::move(identifier),
                                 core::VulnerabilityDb::SeedFromCatalog());
+  service.set_quality_monitor(&quality);
 
   core::SecurityGateway gateway(service);
   gateway.set_metrics(&registry);
   gateway.set_flight_recorder(&recorder);
+  gateway.set_quality_monitor(&quality);
   StreamDemoEpisodes(gateway, options);
+  // The demo traffic becomes the drift baseline; everything identified
+  // while serving forms the live window the PSI gauges compare against.
+  quality.PinBaseline();
+
+  obs::TimeSeriesStore store(&registry);
+  obs::AlertEngine alerts(&store, &registry);
+  if (!options.rules_path.empty()) {
+    const std::size_t loaded = alerts.LoadRulesFile(options.rules_path);
+    std::printf("loaded %zu alert rules from %s\n", loaded,
+                options.rules_path.c_str());
+  } else {
+    // Built-in demo rules: overall unknown-verdict pressure plus one drift
+    // rule per trained type's PSI gauge.
+    alerts.LoadRules(
+        "alert high_unknown_rate series=sentinel_quality_unknown_total "
+        "input=rate op=gt threshold=0.5 for=30 window=10\n");
+    std::vector<int> labels;
+    for (const int label : dataset.labels)
+      if (std::find(labels.begin(), labels.end(), label) == labels.end())
+        labels.push_back(label);
+    std::sort(labels.begin(), labels.end());
+    for (const int label : labels) {
+      obs::AlertRule rule;
+      rule.name = "psi_type_" + std::to_string(label);
+      rule.series = "sentinel_quality_psi{type=\"" + std::to_string(label) +
+                    "\"}";
+      rule.op = obs::AlertRule::Op::kGt;
+      rule.threshold = 0.25;
+      rule.for_ns = 60'000'000'000;
+      rule.window = 1;
+      alerts.AddRule(rule);
+    }
+  }
 
   obs::TelemetryServer server(&registry, &recorder,
                               {.port = options.listen_port});
+  server.set_timeseries(&store);
+  server.set_quality(&quality);
+  server.set_alerts(&alerts);
+
+  std::atomic<bool> stop{false};
+  const auto started = std::chrono::steady_clock::now();
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto now = std::chrono::steady_clock::now();
+      standard.uptime_seconds->Set(
+          std::chrono::duration<double>(now - started).count());
+      quality.UpdateDrift();
+      const auto now_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now.time_since_epoch())
+              .count();
+      store.Sample(now_ns);
+      alerts.Evaluate(now_ns);
+      for (std::size_t tick = 0; tick < options.sample_interval * 10 &&
+                                 !stop.load(std::memory_order_relaxed);
+           ++tick)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
   server.Start();
   std::printf("serving telemetry on http://127.0.0.1:%u\n"
-              "  /healthz  /metrics  /devices  /devices/<mac>\n",
+              "  /healthz  /metrics  /metrics.json  /timeseries  /quality\n"
+              "  /alerts  /devices  /devices/<mac>\n",
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
   server.Serve();  // blocks until the process is interrupted
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
   return 0;
+}
+
+int CmdAlerts(const Options& options) {
+  // Firmware-drift scenario: one trained type's packet sizes gradually
+  // shift (a simulated firmware update changing the traffic shape) while a
+  // control type stays clean. Shows the PSI detector and the alert engine
+  // catching the drift deterministically.
+  netsim::DriftConfig config;
+  if (options.seed_set) config.seed = options.seed;
+  util::ThreadPool pool;
+  const netsim::DriftReport report = netsim::RunDriftScenario(config, &pool);
+  if (options.json) {
+    std::fputs(report.ToJson().c_str(), stdout);
+    return 0;
+  }
+  std::printf("firmware-drift scenario: type %d drifts from window %zu, "
+              "type %d is the control (seed %llu)\n\n",
+              config.drifted_type, config.drift_start_window,
+              config.control_type,
+              static_cast<unsigned long long>(config.seed));
+  std::printf("%-7s %-7s %-12s %-12s %-9s %-9s %-7s %-7s\n", "window",
+              "shift", "psi_drift", "psi_ctrl", "drifted", "control", "acc_d",
+              "acc_c");
+  for (const netsim::DriftWindow& w : report.trajectory) {
+    std::printf("%-7zu %-7.3f %-12.4f %-12.4f %-9s %-9s %zu/%-5zu %zu/%zu\n",
+                w.window, w.feature_shift, w.psi_drifted, w.psi_control,
+                obs::AlertStateName(w.drifted_state),
+                obs::AlertStateName(w.control_state), w.drifted_correct,
+                config.probes_per_window, w.control_correct,
+                config.probes_per_window);
+  }
+  std::printf("\npending at window: %d\nfiring at window: %d\n"
+              "detection latency: %d windows after drift onset\n"
+              "control stayed ok: %s\nverdict hash: %llu\n",
+              report.pending_window, report.firing_window,
+              report.detection_latency_windows,
+              report.control_stayed_ok ? "yes" : "NO",
+              static_cast<unsigned long long>(report.verdict_hash));
+  return report.firing_window >= 0 && report.control_stayed_ok ? 0 : 1;
 }
 
 int Usage() {
@@ -607,10 +739,19 @@ int Usage() {
       "  stats [--episodes N] [--seed S] [--json]\n"
       "      Exercise the full gateway pipeline on simulated episodes and\n"
       "      dump the collected metrics registry.\n"
-      "  serve [--listen PORT] [--episodes N] [--seed S]\n"
+      "  serve [--listen PORT] [--episodes N] [--seed S] [--rules FILE]\n"
+      "        [--sample-interval SEC]\n"
       "      Run the stats pipeline, then serve /healthz, /metrics,\n"
-      "      /devices and /devices/<mac> over HTTP on 127.0.0.1\n"
-      "      (an ephemeral port is chosen and printed when PORT is 0).\n"
+      "      /metrics.json, /timeseries, /quality, /alerts, /devices and\n"
+      "      /devices/<mac> over HTTP on 127.0.0.1 (an ephemeral port is\n"
+      "      chosen and printed when PORT is 0). A sampler thread windows\n"
+      "      the registry and evaluates alert rules (loaded from --rules,\n"
+      "      see examples/alerts.rules) every --sample-interval seconds.\n"
+      "  alerts [--seed S] [--json]\n"
+      "      Run the firmware-drift scenario: one type's traffic shape\n"
+      "      ramps away from its baseline while a control type stays\n"
+      "      clean; print the per-window PSI trajectory and the alert\n"
+      "      walking ok -> pending -> firing.\n"
       "\n"
       "train/identify/evaluate/stats also accept --metrics-out <file>\n"
       "(Prometheus text; JSON with --json); train/identify/explain/evaluate\n"
@@ -636,6 +777,7 @@ int main(int argc, char** argv) {
     if (command == "evaluate") return CmdEvaluate(options);
     if (command == "stats") return CmdStats(options);
     if (command == "serve") return CmdServe(options);
+    if (command == "alerts") return CmdAlerts(options);
     return Usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sentinelctl %s: %s\n", command.c_str(),
