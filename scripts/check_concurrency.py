@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Lock-discipline and atomic-ordering lint (DESIGN.md "Concurrency contracts").
+
+Enforces, over src/, tools/, bench/ and examples/:
+
+  1. No naked standard locking primitives. std::mutex, std::shared_mutex,
+     std::recursive_mutex, std::timed_mutex, std::condition_variable(_any),
+     std::lock_guard, std::unique_lock, std::shared_lock and
+     std::scoped_lock may appear only inside the capability-annotated
+     wrapper layer (src/util/mutex.h). Everything else must use
+     sentinel::Mutex / SharedMutex / MutexLock / WriterLock / ReaderLock /
+     CondVar so clang's -Wthread-safety can see every acquisition.
+
+  2. Every std::atomic member/variable declaration carries a `// ordering:`
+     justification comment on the declaration line or within the preceding
+     comment block, so the chosen memory order is an explained decision,
+     not a default.
+
+  3. Every atomic operation spells its memory_order explicitly:
+     .load() / .store(v) / fetch_add(v) / exchange(v) / compare_exchange(…)
+     without a memory_order argument are rejected (seq_cst-by-omission),
+     as are the operator shorthands (++ / -- / += / -= / = ) on atomics.
+
+Exit status 0 when clean, 1 with file:line diagnostics otherwise.
+
+Usage:
+  check_concurrency.py [--root DIR] [paths...]   # lint (default: the tree)
+  check_concurrency.py --self-test               # prove the lint catches
+                                                 # the seeded violations in
+                                                 # scripts/testdata/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SCAN_DIRS = ("src", "tools", "bench", "examples")
+EXTENSIONS = {".h", ".hpp", ".cc", ".cpp"}
+
+# The wrapper layer itself is the one place the std primitives may live.
+PRIMITIVE_ALLOWLIST = {"src/util/mutex.h"}
+
+NAKED_PRIMITIVE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"timed_mutex|shared_timed_mutex|condition_variable|condition_variable_any|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+)
+
+ATOMIC_DECL = re.compile(r"\bstd::atomic\s*<")
+# A declaration, not a type mention: ends in an identifier + initializer or
+# semicolon, or is the element type of an owned array. Parameter lists and
+# local references to atomics (`std::atomic<T>* row = ...`) are use sites,
+# not declarations needing their own justification.
+ATOMIC_DECL_EXCLUDE = re.compile(
+    r"make_unique|static_cast|using\s|typedef\s|template\s*<|[*&]\s*\w+\s*="
+    r"|std::atomic\s*<[^<>]*>\s*[&*]"  # reference/pointer params and locals
+)
+ORDERING_COMMENT = re.compile(r"//.*\bordering:")
+
+ATOMIC_OP = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\("
+)
+
+LINE_COMMENT = re.compile(r"//.*$")
+STRING_LIT = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_code_noise(line: str) -> str:
+    """Drops string literals and // comments so matches hit real code."""
+    return LINE_COMMENT.sub("", STRING_LIT.sub('""', line))
+
+
+def balanced_call(lines: list[str], start: int, open_pos: int,
+                  max_span: int = 8) -> str:
+    """Joins lines from the '(' at (start, open_pos) until its match."""
+    depth = 0
+    collected: list[str] = []
+    for offset in range(max_span):
+        if start + offset >= len(lines):
+            break
+        text = strip_code_noise(lines[start + offset])
+        begin = open_pos if offset == 0 else 0
+        for i in range(begin, len(text)):
+            ch = text[i]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    collected.append(text[begin:i + 1])
+                    return "\n".join(collected)
+        collected.append(text[begin:])
+    return "\n".join(collected)  # unbalanced: caller judges what it has
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list[str]:
+    problems: list[str] = []
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as err:
+        return [f"{rel}: unreadable: {err}"]
+
+    for idx, raw in enumerate(lines):
+        code = strip_code_noise(raw)
+        lineno = idx + 1
+
+        if rel not in PRIMITIVE_ALLOWLIST:
+            match = NAKED_PRIMITIVE.search(code)
+            if match:
+                problems.append(
+                    f"{rel}:{lineno}: naked std::{match.group(1)} — use the "
+                    "sentinel::Mutex wrapper layer (src/util/mutex.h)")
+
+        if ATOMIC_DECL.search(code) and not ATOMIC_DECL_EXCLUDE.search(code):
+            # Accept the justification on the declaration line or in the
+            # comment block directly above. The walk-up also skips earlier
+            # atomic declarations so one `ordering: … (both)/(all N)` block
+            # can justify a group of adjacent members.
+            justified = ORDERING_COMMENT.search(raw) is not None
+            back = idx - 1
+            while not justified and back >= 0:
+                above = lines[back].strip()
+                if ORDERING_COMMENT.search(above):
+                    justified = True
+                elif above.startswith(("//", "/*", "*", "#if", "#endif")) or \
+                        ATOMIC_DECL.search(strip_code_noise(above)):
+                    back -= 1
+                else:
+                    break
+            if not justified:
+                problems.append(
+                    f"{rel}:{lineno}: std::atomic declaration without a "
+                    "`// ordering:` justification comment")
+
+        for match in ATOMIC_OP.finditer(code):
+            call = balanced_call(lines, idx, match.end() - 1)
+            if "memory_order" not in call:
+                problems.append(
+                    f"{rel}:{lineno}: atomic .{match.group(1)}() without an "
+                    "explicit std::memory_order argument")
+
+    return problems
+
+
+def collect_files(root: pathlib.Path,
+                  paths: list[str]) -> list[tuple[pathlib.Path, str]]:
+    targets: list[tuple[pathlib.Path, str]] = []
+    bases = [root / d for d in SCAN_DIRS] if not paths else \
+        [pathlib.Path(p) if pathlib.Path(p).is_absolute() else root / p
+         for p in paths]
+    for base in bases:
+        if base.is_file():
+            targets.append((base, base.relative_to(root).as_posix()
+                            if base.is_relative_to(root) else str(base)))
+            continue
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in EXTENSIONS and path.is_file():
+                rel = path.relative_to(root).as_posix() \
+                    if path.is_relative_to(root) else str(path)
+                targets.append((path, rel))
+    return targets
+
+
+def run_lint(root: pathlib.Path, paths: list[str]) -> int:
+    problems: list[str] = []
+    files = collect_files(root, paths)
+    for path, rel in files:
+        problems.extend(lint_file(path, rel))
+    for problem in problems:
+        print(problem)
+    print(f"check_concurrency: {len(files)} files, {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+def self_test(root: pathlib.Path) -> int:
+    """The seeded-violation fixtures must each trip their intended rule."""
+    fixture_dir = root / "scripts" / "testdata" / "concurrency_violations"
+    expectations = {
+        "naked_mutex.cc": "naked std::",
+        "default_order.cc": "without an explicit std::memory_order",
+        "unjustified_atomic.cc": "`// ordering:` justification",
+    }
+    clean = root / "scripts" / "testdata" / "concurrency_clean.cc"
+    failures: list[str] = []
+
+    for name, needle in expectations.items():
+        path = fixture_dir / name
+        found = lint_file(path, name)
+        if not any(needle in p for p in found):
+            failures.append(
+                f"fixture {name}: expected a '{needle}' diagnostic, "
+                f"got {found or 'nothing'}")
+
+    found = lint_file(clean, clean.name)
+    if found:
+        failures.append(f"fixture {clean.name}: expected clean, got {found}")
+
+    for failure in failures:
+        print(f"self-test FAILED: {failure}")
+    print(f"check_concurrency --self-test: "
+          f"{len(expectations) + 1} fixtures, {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the script's parent repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the lint trips on the seeded fixtures")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint instead of the "
+                             "default tree (src tools bench examples)")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root).resolve() if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    if args.self_test:
+        return self_test(root)
+    return run_lint(root, args.paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

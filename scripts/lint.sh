@@ -5,16 +5,24 @@
 #   2. clang-tidy (root .clang-tidy, tests/.clang-tidy overlay) over src/
 #      and fuzz/, using a compile_commands.json export
 #   3. cppcheck (warning+performance+portability, .cppcheck-suppressions)
+#   4. check_concurrency.py — lock discipline (wrapper-only mutexes) and
+#      atomic memory-order hygiene, plus its --self-test over the seeded
+#      violation fixtures (DESIGN.md "Concurrency contracts")
 #
 # Usage:
-#   scripts/lint.sh            # run everything available
-#   scripts/lint.sh --format   # just the format check
-#   scripts/lint.sh --tidy     # just clang-tidy
-#   scripts/lint.sh --cppcheck # just cppcheck
+#   scripts/lint.sh                # run everything available
+#   scripts/lint.sh --format       # just the format check
+#   scripts/lint.sh --tidy         # just clang-tidy
+#   scripts/lint.sh --cppcheck     # just cppcheck
+#   scripts/lint.sh --concurrency  # just the concurrency lint
+#
+# Every tool reports one `lint: <tool>: ok|FAILED|skipped` summary line at
+# the end so CI logs show the whole suite's outcome at a glance.
 #
 # Tools that are not installed are skipped with a warning so the script is
 # useful on minimal toolchains; set SENTINEL_LINT_STRICT=1 (CI does) to
-# turn a missing tool into a failure instead.
+# turn a missing tool into a failure instead. python3 is required for the
+# concurrency lint (present on any dev box; CI installs it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,15 +31,21 @@ BUILD_DIR="${SENTINEL_LINT_BUILD_DIR:-build-lint}"
 MODE="${1:-all}"
 MODE="${MODE#--}"
 FAILED=0
+SUMMARY=()
 
 have() { command -v "$1" > /dev/null 2>&1; }
+
+# record <tool> <ok|FAILED|skipped>
+record() { SUMMARY+=("lint: $1: $2"); }
 
 skip_or_fail() {
   if [[ "$STRICT" == "1" ]]; then
     echo "lint: $1 not found and SENTINEL_LINT_STRICT=1" >&2
+    record "$1" "FAILED (not installed)"
     FAILED=1
   else
     echo "lint: $1 not found; skipping (set SENTINEL_LINT_STRICT=1 to fail)" >&2
+    record "$1" "skipped (not installed)"
   fi
 }
 
@@ -43,8 +57,11 @@ cxx_sources() {
 run_format() {
   if ! have clang-format; then skip_or_fail clang-format; return; fi
   echo "== clang-format =="
-  if ! cxx_sources | xargs clang-format --dry-run -Werror; then
+  if cxx_sources | xargs clang-format --dry-run -Werror; then
+    record clang-format ok
+  else
     echo "lint: formatting violations (fix with: cxx_sources | xargs clang-format -i)" >&2
+    record clang-format FAILED
     FAILED=1
   fi
 }
@@ -58,8 +75,11 @@ run_tidy() {
   fi
   # Analyze the library and fuzz sources; tests inherit the overlay config
   # but are not gated (gtest macros generate too much noise to block on).
-  if ! git ls-files -- 'src/**/*.cc' 'fuzz/*.cc' |
+  if git ls-files -- 'src/**/*.cc' 'fuzz/*.cc' |
     xargs clang-tidy -p "$BUILD_DIR" --quiet; then
+    record clang-tidy ok
+  else
+    record clang-tidy FAILED
     FAILED=1
   fi
 }
@@ -67,9 +87,28 @@ run_tidy() {
 run_cppcheck() {
   if ! have cppcheck; then skip_or_fail cppcheck; return; fi
   echo "== cppcheck =="
-  if ! cppcheck --enable=warning,performance,portability --std=c++20 \
+  if cppcheck --enable=warning,performance,portability --std=c++20 \
     --language=c++ --error-exitcode=1 --inline-suppr --quiet \
     --suppressions-list=.cppcheck-suppressions -I src src fuzz; then
+    record cppcheck ok
+  else
+    record cppcheck FAILED
+    FAILED=1
+  fi
+}
+
+run_concurrency() {
+  if ! have python3; then skip_or_fail python3; return; fi
+  echo "== check_concurrency =="
+  local ok=1
+  # Self-test first: a lint that no longer trips on the seeded violations
+  # is silently useless, which is worse than a failing one.
+  python3 scripts/check_concurrency.py --self-test || ok=0
+  python3 scripts/check_concurrency.py || ok=0
+  if [[ "$ok" == "1" ]]; then
+    record check_concurrency ok
+  else
+    record check_concurrency FAILED
     FAILED=1
   fi
 }
@@ -78,16 +117,21 @@ case "$MODE" in
   format) run_format ;;
   tidy) run_tidy ;;
   cppcheck) run_cppcheck ;;
+  concurrency) run_concurrency ;;
   all)
     run_format
     run_tidy
     run_cppcheck
+    run_concurrency
     ;;
   *)
-    echo "usage: scripts/lint.sh [--format|--tidy|--cppcheck]" >&2
+    echo "usage: scripts/lint.sh [--format|--tidy|--cppcheck|--concurrency]" >&2
     exit 2
     ;;
 esac
+
+echo "== summary =="
+for line in "${SUMMARY[@]}"; do echo "$line"; done
 
 if [[ "$FAILED" != "0" ]]; then
   echo "lint: FAILED" >&2

@@ -1,0 +1,24 @@
+// Self-test control: a file that follows every rule of
+// scripts/check_concurrency.py. Keep this lint-clean — the --self-test mode
+// asserts zero diagnostics here, guarding against the lint regressing into
+// false positives (a lint nobody can satisfy gets disabled, not fixed).
+#include <atomic>
+#include <cstdint>
+
+namespace good {
+
+struct Stats {
+  // ordering: relaxed — an eventually consistent event count; no other
+  // memory is published through it. The comment block above a declaration
+  // also satisfies the lint:
+  std::atomic<std::uint64_t> hits{0};
+
+  void Hit() { hits.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t Read() const {
+    // Split calls keep their order on the continuation line.
+    return hits.load(
+        std::memory_order_relaxed);
+  }
+};
+
+}  // namespace good

@@ -1,0 +1,20 @@
+// Seeded violation: atomic operations relying on the seq_cst default.
+// check_concurrency.py must flag each call below.
+#include <atomic>
+#include <cstdint>
+
+namespace bad {
+
+// ordering: relaxed — fixture counter (the declaration itself is fine).
+std::atomic<std::uint64_t> g_counter{0};
+
+std::uint64_t ReadDefault() {
+  return g_counter.load();  // violation: implicit memory_order
+}
+
+void WriteDefault(std::uint64_t v) {
+  g_counter.store(v);       // violation: implicit memory_order
+  g_counter.fetch_add(1);   // violation: implicit memory_order
+}
+
+}  // namespace bad

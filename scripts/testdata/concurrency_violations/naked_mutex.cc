@@ -1,0 +1,24 @@
+// Seeded violation: naked standard locking primitives outside the wrapper
+// layer. check_concurrency.py must reject every line below.
+#include <mutex>
+#include <shared_mutex>
+
+namespace bad {
+
+struct Table {
+  mutable std::mutex mutex;             // violation: naked std::mutex
+  mutable std::shared_mutex rw_mutex;   // violation: naked std::shared_mutex
+  int value = 0;
+
+  int Read() const {
+    std::lock_guard<std::mutex> lock(mutex);  // violation: naked lock_guard
+    return value;
+  }
+
+  void Write(int v) {
+    std::unique_lock lock(mutex);  // violation: naked unique_lock
+    value = v;
+  }
+};
+
+}  // namespace bad

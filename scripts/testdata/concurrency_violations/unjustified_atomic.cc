@@ -1,0 +1,14 @@
+// Seeded violation: a std::atomic member declared without a `// ordering:`
+// justification comment. check_concurrency.py must flag the declaration.
+#include <atomic>
+#include <cstdint>
+
+namespace bad {
+
+struct Stats {
+  std::atomic<std::uint64_t> hits{0};  // violation: no ordering rationale
+
+  void Hit() { hits.fetch_add(1, std::memory_order_relaxed); }
+};
+
+}  // namespace bad

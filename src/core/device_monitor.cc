@@ -87,7 +87,7 @@ std::optional<CompletedCapture> DeviceMonitor::Observe(
   obs::ScopedTimer capture_timer(handles_.capture_ns);
   if (handles_.packets_total != nullptr) handles_.packets_total->Increment();
   Shard& shard = ShardFor(packet.src_mac);
-  std::unique_lock lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto [it, inserted] = shard.states.try_emplace(packet.src_mac, config_);
   DeviceState& state = it->second;
   if (inserted) {
@@ -143,7 +143,7 @@ std::vector<CompletedCapture> DeviceMonitor::FlushIdle(std::uint64_t now_ns) {
   std::vector<CompletedCapture> out;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (auto& [mac, state] : shard.states) {
       if (state.fingerprinted || state.vectors.empty()) continue;
       if (state.tracker.CheckIdle(now_ns)) out.push_back(Finish(mac, state));
@@ -155,7 +155,7 @@ std::vector<CompletedCapture> DeviceMonitor::FlushIdle(std::uint64_t now_ns) {
 void DeviceMonitor::Forget(const net::MacAddress& mac) {
   Shard& shard = ShardFor(mac);
   {
-    std::unique_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.states.find(mac);
     if (it == shard.states.end()) return;
     shard.lru.erase(it->second.lru_pos);
@@ -167,20 +167,20 @@ void DeviceMonitor::Forget(const net::MacAddress& mac) {
 
 bool DeviceMonitor::IsKnown(const net::MacAddress& mac) const {
   const Shard& shard = ShardFor(mac);
-  std::unique_lock lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return shard.states.contains(mac);
 }
 
 bool DeviceMonitor::IsCollecting(const net::MacAddress& mac) const {
   const Shard& shard = ShardFor(mac);
-  std::unique_lock lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.states.find(mac);
   return it != shard.states.end() && !it->second.fingerprinted;
 }
 
 obs::TraceId DeviceMonitor::trace_id(const net::MacAddress& mac) const {
   const Shard& shard = ShardFor(mac);
-  std::unique_lock lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.states.find(mac);
   return it == shard.states.end() ? 0 : it->second.trace_id;
 }

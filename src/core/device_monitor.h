@@ -14,7 +14,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +23,8 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::core {
 
@@ -118,9 +119,11 @@ class DeviceMonitor {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<net::MacAddress, DeviceState> states;
-    std::list<net::MacAddress> lru;
+    mutable Mutex mutex;
+    std::unordered_map<net::MacAddress, DeviceState> states
+        SENTINEL_GUARDED_BY(mutex);
+    /// Recency order, front = most recent packet.
+    std::list<net::MacAddress> lru SENTINEL_GUARDED_BY(mutex);
   };
 
   struct MonitorMetrics {
@@ -133,15 +136,18 @@ class DeviceMonitor {
   };
 
   [[nodiscard]] Shard& ShardFor(const net::MacAddress& mac) const;
-  /// Evicts one session (LRU, preferring fingerprinted). Lock held.
-  /// Returns true if a session was evicted.
-  bool EvictOneSession(Shard& shard);
+  /// Evicts one session (LRU, preferring fingerprinted). Returns true if a
+  /// session was evicted.
+  bool EvictOneSession(Shard& shard) SENTINEL_REQUIRES(shard.mutex);
   CompletedCapture Finish(const net::MacAddress& mac, DeviceState& state);
   void SetTrackedGauge() const;
 
   capture::SetupPhaseConfig config_;
   std::size_t max_sessions_per_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // ordering: relaxed (both) — cross-shard counters read for telemetry and
+  // capacity accounting only; each mutation happens under some shard lock,
+  // and readers only want an eventually consistent total.
   std::atomic<std::size_t> tracked_count_{0};
   std::atomic<std::uint64_t> evicted_{0};
   MonitorMetrics handles_;

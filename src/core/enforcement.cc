@@ -1,7 +1,5 @@
 #include "core/enforcement.h"
 
-#include <mutex>
-
 #include "obs/log.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -85,7 +83,7 @@ void EnforcementEngine::Install(EnforcementRule rule) {
   Shard& shard = ShardFor(mac);
   std::size_t evicted_here = 0;
   {
-    std::unique_lock lock(shard.mutex);
+    WriterLock lock(shard.mutex);
     const auto it = shard.rules.find(mac);
     if (it != shard.rules.end()) {
       it->second.rule = std::move(rule);
@@ -117,7 +115,7 @@ bool EnforcementEngine::Remove(const net::MacAddress& mac) {
   Shard& shard = ShardFor(mac);
   bool removed = false;
   {
-    std::unique_lock lock(shard.mutex);
+    WriterLock lock(shard.mutex);
     const auto it = shard.rules.find(mac);
     if (it != shard.rules.end()) {
       shard.lru.erase(it->second.lru_pos);
@@ -134,7 +132,7 @@ bool EnforcementEngine::Remove(const net::MacAddress& mac) {
 const EnforcementRule* EnforcementEngine::Find(
     const net::MacAddress& mac) const {
   const Shard& shard = ShardFor(mac);
-  std::shared_lock lock(shard.mutex);
+  ReaderLock lock(shard.mutex);
   const auto it = shard.rules.find(mac);
   return it == shard.rules.end() ? nullptr : &it->second.rule;
 }
@@ -143,7 +141,7 @@ EnforcementEngine::RuleProbe EnforcementEngine::Probe(
     const net::MacAddress& mac,
     const std::optional<net::Ipv4Address>& endpoint) const {
   const Shard& shard = ShardFor(mac);
-  std::shared_lock lock(shard.mutex);
+  ReaderLock lock(shard.mutex);
   const auto it = shard.rules.find(mac);
   if (it == shard.rules.end()) return RuleProbe{};
   RuleProbe probe;
@@ -257,7 +255,7 @@ std::size_t EnforcementEngine::MemoryBytes() const {
   std::size_t total = sizeof(*this);
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::shared_lock lock(shard.mutex);
+    ReaderLock lock(shard.mutex);
     total += sizeof(Shard);
     // unordered_map buckets + nodes, plus the recency list's nodes.
     total += shard.rules.bucket_count() * sizeof(void*);

@@ -22,7 +22,6 @@
 #include <list>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +29,8 @@
 #include "core/isolation.h"
 #include "net/frame.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::core {
 
@@ -113,9 +114,11 @@ class EnforcementEngine {
     std::list<net::MacAddress>::iterator lru_pos;
   };
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<net::MacAddress, Entry> rules;
-    std::list<net::MacAddress> lru;
+    mutable SharedMutex mutex;
+    std::unordered_map<net::MacAddress, Entry> rules
+        SENTINEL_GUARDED_BY(mutex);
+    /// Installation recency, front = most recently installed.
+    std::list<net::MacAddress> lru SENTINEL_GUARDED_BY(mutex);
   };
 
   /// Copy-out snapshot of a device's rule taken under the shard's reader
@@ -136,6 +139,9 @@ class EnforcementEngine {
   net::Ipv4Address gateway_ip_;
   std::size_t max_rules_per_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // ordering: relaxed (both) — cross-shard telemetry counters; mutations
+  // happen under a shard's writer lock and readers only want an eventually
+  // consistent total, never an ordering edge.
   std::atomic<std::size_t> rule_count_{0};
   std::atomic<std::uint64_t> evicted_{0};
   EnforcementMetrics handles_;

@@ -59,7 +59,7 @@ void AlertEngine::AddRule(const AlertRule& rule) {
   SENTINEL_CHECK(!rule.name.empty() && !rule.series.empty())
       << "alert rule needs a name and a series";
   SENTINEL_CHECK(rule.window >= 1) << rule.name << ": window must be >= 1";
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   RuleSlot slot;
   slot.rule = rule;
   if (registry_ != nullptr) {
@@ -72,7 +72,7 @@ void AlertEngine::AddRule(const AlertRule& rule) {
 }
 
 std::size_t AlertEngine::rule_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return rules_.size();
 }
 
@@ -172,7 +172,7 @@ void AlertEngine::Transition(RuleSlot& slot, AlertState next,
 }
 
 void AlertEngine::Evaluate(std::int64_t now_ns) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (RuleSlot& slot : rules_) {
     const TimeSeriesStore::WindowStats stats =
         store_->Window(slot.rule.series, slot.rule.window);
@@ -206,7 +206,7 @@ void AlertEngine::Evaluate(std::int64_t now_ns) {
 }
 
 std::vector<AlertEngine::RuleStatus> AlertEngine::Status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<RuleStatus> out;
   out.reserve(rules_.size());
   for (const RuleSlot& slot : rules_) {

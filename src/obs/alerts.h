@@ -27,12 +27,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::obs {
 
@@ -102,14 +103,15 @@ class AlertEngine {
     Gauge* state_gauge = nullptr;  // 0 ok / 1 pending / 2 firing
   };
 
-  void Transition(RuleSlot& slot, AlertState next, double value);
+  void Transition(RuleSlot& slot, AlertState next, double value)
+      SENTINEL_REQUIRES(mutex_);
 
   const TimeSeriesStore* const store_;
   MetricsRegistry* const registry_;
   Counter* transitions_total_ = nullptr;
 
-  mutable std::mutex mutex_;
-  std::vector<RuleSlot> rules_;
+  mutable Mutex mutex_;
+  std::vector<RuleSlot> rules_ SENTINEL_GUARDED_BY(mutex_);
 };
 
 }  // namespace sentinel::obs

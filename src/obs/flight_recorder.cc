@@ -77,7 +77,7 @@ FlightRecorder::DeviceJournal& FlightRecorder::JournalFor(
 }
 
 void FlightRecorder::Record(const net::MacAddress& mac, DeviceEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   DeviceJournal& journal = JournalFor(mac);
   if (journal.ring.size() < config_.events_per_device) {
     journal.ring.push_back(std::move(event));
@@ -90,23 +90,23 @@ void FlightRecorder::Record(const net::MacAddress& mac, DeviceEvent event) {
 
 void FlightRecorder::SetTraceId(const net::MacAddress& mac,
                                 TraceId trace_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   JournalFor(mac).trace_id = trace_id;
 }
 
 TraceId FlightRecorder::trace_id(const net::MacAddress& mac) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = journals_.find(mac);
   return it == journals_.end() ? 0 : it->second.trace_id;
 }
 
 bool FlightRecorder::Known(const net::MacAddress& mac) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return journals_.contains(mac);
 }
 
 std::vector<net::MacAddress> FlightRecorder::Devices() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::uint64_t, net::MacAddress>> ordered;
   ordered.reserve(journals_.size());
   for (const auto& [mac, journal] : journals_) {
@@ -121,7 +121,7 @@ std::vector<net::MacAddress> FlightRecorder::Devices() const {
 
 std::vector<DeviceEvent> FlightRecorder::Events(
     const net::MacAddress& mac) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = journals_.find(mac);
   if (it == journals_.end()) return {};
   const DeviceJournal& journal = it->second;
@@ -136,7 +136,7 @@ std::vector<DeviceEvent> FlightRecorder::Events(
 }
 
 std::uint64_t FlightRecorder::total_events(const net::MacAddress& mac) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = journals_.find(mac);
   return it == journals_.end() ? 0 : it->second.total;
 }

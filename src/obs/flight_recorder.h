@@ -17,13 +17,14 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/address.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::obs {
 
@@ -99,12 +100,14 @@ class FlightRecorder {
     std::uint64_t total = 0;
   };
 
-  DeviceJournal& JournalFor(const net::MacAddress& mac);
+  DeviceJournal& JournalFor(const net::MacAddress& mac)
+      SENTINEL_REQUIRES(mutex_);
 
   FlightRecorderConfig config_;
-  mutable std::mutex mutex_;
-  std::unordered_map<net::MacAddress, DeviceJournal> journals_;
-  std::uint64_t sequence_ = 0;
+  mutable Mutex mutex_;
+  std::unordered_map<net::MacAddress, DeviceJournal> journals_
+      SENTINEL_GUARDED_BY(mutex_);
+  std::uint64_t sequence_ SENTINEL_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace sentinel::obs

@@ -4,16 +4,21 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::obs {
 
 namespace {
 
+// ordering: relaxed — the threshold is an independent scalar config value;
+// no other memory is published through it (the first-caller CAS only
+// resolves init races, any winner is acceptable).
 std::atomic<int> g_threshold{-1};  // -1 = not yet initialized from env
 
-std::mutex g_sink_mutex;
-std::function<void(std::string_view)> g_sink;  // guarded by g_sink_mutex
+sentinel::Mutex g_sink_mutex;
+std::function<void(std::string_view)> g_sink SENTINEL_GUARDED_BY(g_sink_mutex);
 
 LogLevel InitThresholdFromEnv() {
   const char* env = std::getenv("SENTINEL_LOG");
@@ -118,7 +123,7 @@ void Log(LogLevel level, std::string_view component, std::string_view event,
     AppendValue(line, field.value);
   }
 
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   if (g_sink) {
     g_sink(line);
   } else {
@@ -127,7 +132,7 @@ void Log(LogLevel level, std::string_view component, std::string_view event,
 }
 
 void SetLogSink(std::function<void(std::string_view)> sink) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   g_sink = std::move(sink);
 }
 

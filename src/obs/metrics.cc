@@ -67,7 +67,9 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (bounds_.empty()) bounds_ = DefaultLatencyBoundsNs();
   std::sort(bounds_.begin(), bounds_.end());
   buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
-  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    // ordering: relaxed — pre-publication zeroing in the constructor.
+    buckets_[i].store(0, std::memory_order_relaxed);
 }
 
 void Histogram::Observe(double value) {
@@ -127,7 +129,7 @@ const std::vector<double>& Histogram::DefaultLatencyBoundsNs() {
 
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sentinel::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot.value) {
     slot.help = help;
@@ -138,7 +140,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sentinel::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot.value) {
     slot.help = help;
@@ -150,7 +152,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name,
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sentinel::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot.value) {
     slot.help = help;
@@ -164,7 +166,7 @@ void MetricsRegistry::VisitInstruments(
     const std::function<void(const std::string&, const Gauge&)>& gauge_fn,
     const std::function<void(const std::string&, const Histogram&)>&
         histogram_fn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sentinel::MutexLock lock(mutex_);
   if (counter_fn) {
     for (const auto& [name, counter] : counters_) counter_fn(name, *counter.value);
   }
@@ -178,7 +180,7 @@ void MetricsRegistry::VisitInstruments(
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sentinel::MutexLock lock(mutex_);
   std::string out;
   // Labelled series (`name{...}`) sharing a base name sit adjacent in the
   // lexicographic map; their HELP/TYPE header renders once per base.
@@ -219,7 +221,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sentinel::MutexLock lock(mutex_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -279,6 +281,9 @@ void MetricsRegistry::WriteFile(const std::string& path, bool json) const {
 }
 
 namespace {
+// ordering: release on install / acquire on read — a front end builds the
+// registry, then publishes the pointer; consumers that observe it must see
+// the fully constructed object.
 std::atomic<MetricsRegistry*> g_default_registry{nullptr};
 }  // namespace
 

@@ -23,9 +23,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::obs {
 
@@ -40,6 +42,8 @@ class Counter {
   }
 
  private:
+  // ordering: relaxed — a monotonic event count; readers want an eventual
+  // total, never an ordering edge with other memory.
   std::atomic<std::uint64_t> value_{0};
 };
 
@@ -58,6 +62,8 @@ class Gauge {
   }
 
  private:
+  // ordering: relaxed — last-writer-wins sample; no cross-field invariant
+  // hangs off it, so no ordering edge is needed.
   std::atomic<double> value_{0.0};
 };
 
@@ -93,6 +99,9 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;
+  // ordering: relaxed (all four) — each bucket/aggregate is independently
+  // monotonic; Read() tolerates a torn-across-fields snapshot by design
+  // (Prometheus scrape semantics), so no acquire/release pairing exists.
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds + Inf
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
@@ -144,10 +153,11 @@ class MetricsRegistry {
     std::unique_ptr<T> value;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Named<Counter>> counters_;
-  std::map<std::string, Named<Gauge>> gauges_;
-  std::map<std::string, Named<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, Named<Counter>> counters_ SENTINEL_GUARDED_BY(mutex_);
+  std::map<std::string, Named<Gauge>> gauges_ SENTINEL_GUARDED_BY(mutex_);
+  std::map<std::string, Named<Histogram>> histograms_
+      SENTINEL_GUARDED_BY(mutex_);
 };
 
 /// Process-wide default registry: nullptr (observability off) unless a

@@ -89,7 +89,7 @@ QualityMonitor::QualityMonitor(MetricsRegistry* registry,
 }
 
 void QualityMonitor::BindTypes(const std::vector<int>& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto next = std::make_unique<Index>();
   const Index* current = index_.load(std::memory_order_relaxed);
   if (current != nullptr) *next = *current;
@@ -165,7 +165,7 @@ void QualityMonitor::RecordAssessmentOutcome(bool known) {
 }
 
 void QualityMonitor::PinBaseline() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& slot : slots_) {
     slot->baseline_margin = slot->margin->Read();
     slot->baseline_dissimilarity = slot->dissimilarity->Read();
@@ -181,7 +181,7 @@ bool QualityMonitor::baseline_pinned() const {
 }
 
 void QualityMonitor::UpdateDrift() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& slot : slots_) {
     if (!slot->has_baseline) continue;
     const auto channel_psi = [&](const Histogram& live,
@@ -207,7 +207,7 @@ double QualityMonitor::Psi(int label) const {
 }
 
 std::string QualityMonitor::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\n  \"totals\": {";
   out += "\n    \"identifications\": " +
          std::to_string(identifications_total_->Value());

@@ -38,12 +38,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::obs {
 
@@ -134,6 +135,9 @@ class QualityMonitor {
     Histogram::Snapshot baseline_margin;
     Histogram::Snapshot baseline_dissimilarity;
     bool has_baseline = false;
+    // ordering: relaxed — last-computed PSI sample read by scrapers; the
+    // mutex serializes the writers (UpdateDrift), readers take any recent
+    // value.
     std::atomic<double> psi{0.0};
   };
 
@@ -165,10 +169,16 @@ class QualityMonitor {
   Counter* assessments_unknown_total_;
   Histogram* margin_all_;
 
-  mutable std::mutex mutex_;  // guards slots_/retired_/bind+pin, not Record
-  std::vector<std::unique_ptr<TypeSlot>> slots_;
-  std::vector<std::unique_ptr<Index>> retired_;  // old indices stay readable
+  mutable Mutex mutex_;  // guards slots_/retired_/bind+pin, not Record
+  std::vector<std::unique_ptr<TypeSlot>> slots_ SENTINEL_GUARDED_BY(mutex_);
+  // Old indices stay readable by in-flight Record() calls.
+  std::vector<std::unique_ptr<Index>> retired_ SENTINEL_GUARDED_BY(mutex_);
+  // ordering: release on publish (BindTypes builds the new Index fully,
+  // then swaps the pointer) / acquire in FindSlot — Record() must see the
+  // complete vector behind the pointer without taking mutex_.
   std::atomic<const Index*> index_{nullptr};
+  // ordering: relaxed — an idempotent latch flag; writers run under
+  // mutex_, readers only branch on it for reporting.
   std::atomic<bool> baseline_pinned_{false};
 };
 

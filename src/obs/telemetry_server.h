@@ -92,7 +92,12 @@ class TelemetryServer {
   std::uint16_t port_ = 0;
   /// Atomic so Stop() can race Serve() from another thread; -1 when not
   /// listening. Stop() exchanges to -1 so the fd is closed exactly once.
+  // ordering: release on publish (socket fully configured before the
+  // accept loop may read it) / acquire on read; Stop()'s acq_rel exchange
+  // both claims the fd for close() and observes the listener's state.
   std::atomic<int> listen_fd_{-1};
+  // ordering: release on Stop / acquire in the accept loop — the loop must
+  // observe the stop flag no later than the fd teardown it pairs with.
   std::atomic<bool> stopping_{false};
 };
 

@@ -35,12 +35,15 @@ TimeSeriesStore::Series::Series(Kind kind_in, std::size_t capacity,
       sums(bucket_count_in == 0
                ? nullptr
                : std::make_unique<std::atomic<double>[]>(capacity)) {
+  // ordering: relaxed (all) — pre-publication zeroing; the store's head_
+  // release fence publishes the rings before any reader can index them.
   for (std::size_t i = 0; i < capacity; ++i) {
-    times[i] = 0;
-    values[i] = 0.0;
-    if (sums) sums[i] = 0.0;
+    times[i].store(0, std::memory_order_relaxed);
+    values[i].store(0.0, std::memory_order_relaxed);
+    if (sums) sums[i].store(0.0, std::memory_order_relaxed);
   }
-  for (std::size_t i = 0; i < capacity * bucket_count; ++i) buckets[i] = 0;
+  for (std::size_t i = 0; i < capacity * bucket_count; ++i)
+    buckets[i].store(0, std::memory_order_relaxed);
 }
 
 TimeSeriesStore::TimeSeriesStore(const MetricsRegistry* registry,
@@ -55,7 +58,7 @@ TimeSeriesStore::Series& TimeSeriesStore::Ensure(const std::string& name,
                                                  Kind kind,
                                                  std::size_t bucket_count,
                                                  std::uint64_t first_sample) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = series_[name];
   if (!slot) {
     slot = std::make_unique<Series>(kind, config_.capacity, bucket_count,
@@ -66,7 +69,7 @@ TimeSeriesStore::Series& TimeSeriesStore::Ensure(const std::string& name,
 
 const TimeSeriesStore::Series* TimeSeriesStore::Find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = series_.find(name);
   return it == series_.end() ? nullptr : it->second.get();
 }
@@ -124,7 +127,7 @@ void TimeSeriesStore::WindowRange(const Series& series, std::size_t window,
 }
 
 std::vector<std::string> TimeSeriesStore::SeriesNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(series_.size());
   for (const auto& [name, series] : series_) names.push_back(name);

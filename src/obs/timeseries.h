@@ -36,11 +36,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::obs {
 
@@ -129,6 +130,9 @@ class TimeSeriesStore {
     const Kind kind;
     /// Global sample index at which this series first appeared.
     const std::uint64_t first_sample;
+    // ordering: relaxed (times/values/buckets/sums) — single-writer ring
+    // slots; publication is ordered by the store's head_ release/acquire
+    // pair, not per-slot edges. See the file comment.
     std::unique_ptr<std::atomic<std::int64_t>[]> times;  // [capacity]
     std::unique_ptr<std::atomic<double>[]> values;       // [capacity]
 
@@ -136,7 +140,9 @@ class TimeSeriesStore {
     const std::size_t bucket_count;
     std::vector<double> bounds;  // finite bounds + +Inf, fixed at discovery
     /// Cumulative per-bound counts, [capacity * bucket_count], slot-major.
+    // ordering: relaxed — see times/values above.
     std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    // ordering: relaxed — see times/values above.
     std::unique_ptr<std::atomic<double>[]> sums;  // [capacity]
   };
 
@@ -158,10 +164,15 @@ class TimeSeriesStore {
   const MetricsRegistry* const registry_;
   const TimeSeriesConfig config_;
 
+  // ordering: release on advance (after every series slot of the sample is
+  // written) / acquire on read — head is the publication fence that makes
+  // the relaxed ring-slot writes of sample H visible to readers that
+  // observed head > H. See the file comment.
   std::atomic<std::uint64_t> head_{0};
 
-  mutable std::mutex mutex_;  // guards series_ (the map, not the rings)
-  std::map<std::string, std::unique_ptr<Series>> series_;
+  mutable Mutex mutex_;  // guards series_ (the map, not the rings)
+  std::map<std::string, std::unique_ptr<Series>> series_
+      SENTINEL_GUARDED_BY(mutex_);
 };
 
 }  // namespace sentinel::obs

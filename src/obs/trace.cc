@@ -15,6 +15,8 @@ namespace {
 /// Small dense thread ids for trace exports (std::thread::id renders as an
 /// opaque hash; Chrome tracks want small stable integers).
 std::uint32_t CurrentThreadNumber() {
+  // ordering: relaxed — a pure id ticket; ids only need to be distinct,
+  // nothing is published through them.
   static std::atomic<std::uint32_t> next{1};
   thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
@@ -52,12 +54,12 @@ void Tracer::Record(SpanRecord record) {
 }
 
 void Tracer::LabelTrace(TraceId trace_id, std::string label) {
-  std::lock_guard<std::mutex> lock(label_mutex_);
+  MutexLock lock(label_mutex_);
   trace_labels_[trace_id] = std::move(label);
 }
 
 std::string Tracer::TraceLabel(TraceId trace_id) const {
-  std::lock_guard<std::mutex> lock(label_mutex_);
+  MutexLock lock(label_mutex_);
   const auto it = trace_labels_.find(trace_id);
   return it == trace_labels_.end() ? std::string() : it->second;
 }
@@ -103,7 +105,7 @@ std::string Tracer::RenderChromeJson() const {
   // One metadata event per trace id names its pid track (Perfetto groups
   // events by pid, so every device reads as its own process lane).
   {
-    std::lock_guard<std::mutex> lock(label_mutex_);
+    MutexLock lock(label_mutex_);
     for (const auto& [trace_id, label] : trace_labels_) {
       out += first ? "\n" : ",\n";
       first = false;

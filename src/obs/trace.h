@@ -29,9 +29,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::obs {
 
@@ -99,18 +101,28 @@ class Tracer {
   struct Slot {
     /// 0 = empty, 1 = claimed (writer or snapshot), 2 = published.
     /// Mutable so the claim protocol also serves const snapshots.
+    // ordering: acquire on the claiming exchange / release on publish —
+    // state is the per-slot lock that orders `record` between a writer
+    // and a concurrent snapshot; see Record()/Snapshot().
     mutable std::atomic<std::uint32_t> state{0};
-    SpanRecord record;
+    SpanRecord record;  // protected by the state claim protocol above
   };
 
   std::size_t capacity_;
   std::unique_ptr<Slot[]> slots_;
+  // ordering: relaxed fetch_add to claim a sequence (slot contents are
+  // ordered by Slot::state, not by the ticket) / acquire in Snapshot so
+  // the ring walk starts at a head no older than the published slots.
   std::atomic<std::uint64_t> next_{0};
+  // ordering: relaxed — statistics counter only.
   std::atomic<std::uint64_t> recorded_{0};
+  // ordering: relaxed — id generators; uniqueness needs atomicity only.
   std::atomic<std::uint64_t> next_trace_id_{1};
+  // ordering: relaxed — id generator, as above.
   std::atomic<std::uint64_t> next_span_id_{1};
-  mutable std::mutex label_mutex_;
-  std::map<TraceId, std::string> trace_labels_;
+  mutable Mutex label_mutex_;
+  std::map<TraceId, std::string> trace_labels_
+      SENTINEL_GUARDED_BY(label_mutex_);
 };
 
 /// The calling thread's innermost active span: tracer + (trace, span) ids.

@@ -1,7 +1,6 @@
 #include "sdn/controller.h"
 
-#include <mutex>
-
+#include "util/mutex.h"
 #include "util/shard.h"
 
 namespace sentinel::sdn {
@@ -37,7 +36,7 @@ void Controller::set_metrics(obs::MetricsRegistry* registry) {
 
 void Controller::Learn(std::uint64_t mac, PortId port) {
   MacShard& shard = ShardFor(mac);
-  std::unique_lock lock(shard.mutex);
+  WriterLock lock(shard.mutex);
   const auto it = shard.macs.find(mac);
   if (it != shard.macs.end()) {
     it->second.port = port;
@@ -55,7 +54,7 @@ void Controller::Learn(std::uint64_t mac, PortId port) {
       ++evicted_here;
     }
   }
-  lock.unlock();
+  lock.Unlock();
   if (evicted_here > 0) {
     evicted_.fetch_add(evicted_here, std::memory_order_relaxed);
     if (evicted_metric_ != nullptr) evicted_metric_->Increment(evicted_here);
@@ -66,7 +65,7 @@ void Controller::Learn(std::uint64_t mac, PortId port) {
 
 std::optional<PortId> Controller::LookupPort(std::uint64_t mac) const {
   const MacShard& shard = ShardFor(mac);
-  std::shared_lock lock(shard.mutex);
+  ReaderLock lock(shard.mutex);
   const auto it = shard.macs.find(mac);
   if (it == shard.macs.end()) return std::nullopt;
   return it->second.port;
@@ -76,7 +75,7 @@ std::unordered_map<std::uint64_t, PortId> Controller::mac_table() const {
   std::unordered_map<std::uint64_t, PortId> out;
   out.reserve(learned_mac_count());
   for (const auto& shard_ptr : mac_shards_) {
-    std::shared_lock lock(shard_ptr->mutex);
+    ReaderLock lock(shard_ptr->mutex);
     for (const auto& [mac, entry] : shard_ptr->macs) out.emplace(mac, entry.port);
   }
   return out;
@@ -85,7 +84,7 @@ std::unordered_map<std::uint64_t, PortId> Controller::mac_table() const {
 std::size_t Controller::learned_mac_count() const {
   std::size_t total = 0;
   for (const auto& shard_ptr : mac_shards_) {
-    std::shared_lock lock(shard_ptr->mutex);
+    ReaderLock lock(shard_ptr->mutex);
     total += shard_ptr->macs.size();
   }
   return total;

@@ -16,13 +16,14 @@
 #include <list>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "sdn/switch.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::sdn {
 
@@ -102,9 +103,9 @@ class Controller {
     std::list<std::uint64_t>::iterator lru_pos;
   };
   struct MacShard {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<std::uint64_t, MacEntry> macs;
-    std::list<std::uint64_t> lru;
+    mutable SharedMutex mutex;
+    std::unordered_map<std::uint64_t, MacEntry> macs SENTINEL_GUARDED_BY(mutex);
+    std::list<std::uint64_t> lru SENTINEL_GUARDED_BY(mutex);
   };
 
   [[nodiscard]] MacShard& ShardFor(std::uint64_t mac) const;
@@ -116,6 +117,7 @@ class Controller {
   bool learning_switch_;
   std::size_t max_learned_macs_per_shard_;
   std::vector<std::unique_ptr<MacShard>> mac_shards_;
+  // ordering: relaxed — statistics counter (macs_evicted_total()).
   std::atomic<std::uint64_t> evicted_{0};
   obs::Counter* evicted_metric_ = nullptr;
   obs::Gauge* learned_gauge_ = nullptr;

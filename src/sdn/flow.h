@@ -96,7 +96,7 @@ struct FlowRule {
         now_ns - installed_at_ns >= hard_timeout_ns)
       return true;
     if (idle_timeout_ns != 0) {
-      const std::uint64_t last_hit = last_hit_ns.load();
+      const std::uint64_t last_hit = last_hit_ns.Load();
       const std::uint64_t reference =
           last_hit != 0 ? last_hit : installed_at_ns;
       if (now_ns >= reference && now_ns - reference >= idle_timeout_ns)

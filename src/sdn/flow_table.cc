@@ -1,7 +1,8 @@
 #include "sdn/flow_table.h"
 
 #include <algorithm>
-#include <mutex>
+
+#include "util/mutex.h"
 
 #include "obs/trace.h"
 #include "util/check.h"
@@ -32,7 +33,7 @@ std::pair<std::uint64_t, std::uint64_t> ExactKey(const FlowMatch& match) {
 /// Recency of a rule for the approximate-LRU tier: its last hit, falling
 /// back to its installation stamp.
 std::uint64_t Recency(const FlowRule& rule) {
-  return std::max(rule.last_hit_ns.load(), rule.installed_at_ns);
+  return std::max(rule.last_hit_ns.Load(), rule.installed_at_ns);
 }
 
 constexpr std::size_t kEvictionSamples = 8;
@@ -161,7 +162,7 @@ std::uint64_t FlowTable::Add(FlowRule rule, std::uint64_t now_ns) {
   if (rule.match.IsExactOnMacs()) {
     const auto [src, dst] = ExactKey(rule.match);
     Shard& shard = ShardFor(src);
-    std::unique_lock lock(shard.mutex);
+    WriterLock lock(shard.mutex);
     // FlowMod replace semantics: an identical (match, priority) rule can
     // only live in this pair's bucket.
     const std::uint32_t slot = shard.cache.Find(src, dst);
@@ -197,7 +198,7 @@ std::uint64_t FlowTable::Add(FlowRule rule, std::uint64_t now_ns) {
     return id;
   }
 
-  std::unique_lock lock(wildcard_mutex_);
+  WriterLock lock(wildcard_mutex_);
   for (const auto& existing : wildcard_storage_) {
     if (existing->match == rule.match && existing->priority == rule.priority) {
       ReplaceRule(*existing, std::move(rule), now_ns);
@@ -220,7 +221,7 @@ std::size_t FlowTable::RemoveByCookie(std::uint64_t cookie) {
   std::size_t removed = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock lock(shard.mutex);
+    WriterLock lock(shard.mutex);
     for (std::size_t i = 0; i < shard.rules.size();) {
       if (shard.rules[i]->cookie == cookie) {
         EraseExact(shard, shard.rules[i].get());
@@ -231,7 +232,7 @@ std::size_t FlowTable::RemoveByCookie(std::uint64_t cookie) {
     }
   }
   {
-    std::unique_lock lock(wildcard_mutex_);
+    WriterLock lock(wildcard_mutex_);
     for (std::size_t i = 0; i < wildcard_storage_.size();) {
       if (wildcard_storage_[i]->cookie == cookie) {
         FlowRule* rule = wildcard_storage_[i].get();
@@ -256,7 +257,7 @@ std::size_t FlowTable::RemoveByMac(const net::MacAddress& mac) {
   std::size_t removed = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock lock(shard.mutex);
+    WriterLock lock(shard.mutex);
     for (std::size_t i = 0; i < shard.rules.size();) {
       const FlowMatch& match = shard.rules[i]->match;
       const bool hit = (match.eth_src && *match.eth_src == mac) ||
@@ -270,7 +271,7 @@ std::size_t FlowTable::RemoveByMac(const net::MacAddress& mac) {
     }
   }
   {
-    std::unique_lock lock(wildcard_mutex_);
+    WriterLock lock(wildcard_mutex_);
     for (std::size_t i = 0; i < wildcard_storage_.size();) {
       const FlowMatch& match = wildcard_storage_[i]->match;
       const bool hit = (match.eth_src && *match.eth_src == mac) ||
@@ -298,7 +299,7 @@ std::size_t FlowTable::ExpireRules(std::uint64_t now_ns) {
   std::size_t removed = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock lock(shard.mutex);
+    WriterLock lock(shard.mutex);
     for (std::size_t i = 0; i < shard.rules.size();) {
       if (shard.rules[i]->IsExpired(now_ns)) {
         EraseExact(shard, shard.rules[i].get());
@@ -309,7 +310,7 @@ std::size_t FlowTable::ExpireRules(std::uint64_t now_ns) {
     }
   }
   {
-    std::unique_lock lock(wildcard_mutex_);
+    WriterLock lock(wildcard_mutex_);
     for (std::size_t i = 0; i < wildcard_storage_.size();) {
       if (wildcard_storage_[i]->IsExpired(now_ns)) {
         FlowRule* rule = wildcard_storage_[i].get();
@@ -335,12 +336,12 @@ std::size_t FlowTable::ExpireRules(std::uint64_t now_ns) {
 void FlowTable::Clear() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock lock(shard.mutex);
+    WriterLock lock(shard.mutex);
     shard.rules.clear();
     shard.cache.Clear();
   }
   {
-    std::unique_lock lock(wildcard_mutex_);
+    WriterLock lock(wildcard_mutex_);
     wildcard_storage_.clear();
     wildcard_rules_.clear();
   }
@@ -358,7 +359,7 @@ const FlowRule* FlowTable::Lookup(const net::ParsedPacket& packet,
   const std::uint64_t dst = packet.dst_mac.ToUint64();
   const Shard& shard = ShardFor(src);
   shard.stats.lookups.fetch_add(1, std::memory_order_relaxed);
-  std::shared_lock shard_lock(shard.mutex);
+  ReaderLock shard_lock(shard.mutex);
   const std::uint32_t slot = shard.cache.Find(src, dst);
   if (slot != FlowMatchCache::kNone) {
     const FlowRule* head = shard.cache.head(slot);
@@ -387,7 +388,7 @@ const FlowRule* FlowTable::Lookup(const net::ParsedPacket& packet,
   // as soon as remaining priorities cannot beat the exact-match hit. The
   // tier (and its lock) is skipped outright while no wildcard rule exists.
   if (wildcard_count_.load(std::memory_order_relaxed) > 0) {
-    std::shared_lock wildcard_lock(wildcard_mutex_);
+    ReaderLock wildcard_lock(wildcard_mutex_);
     for (const FlowRule* rule : wildcard_rules_) {
       if (best && rule->priority <= best->priority) break;
       if (rule->match.Matches(packet, in_port)) {
@@ -421,7 +422,7 @@ FlowTable::MatchResult FlowTable::Match(const net::ParsedPacket& packet,
   // The shard lock stays held until the copy-out below: the winning rule
   // cannot be freed by a concurrent Remove/Expire while its actions are
   // read.
-  std::shared_lock shard_lock(shard.mutex);
+  ReaderLock shard_lock(shard.mutex);
   const std::uint32_t slot = shard.cache.Find(src, dst);
   if (slot != FlowMatchCache::kNone) {
     const FlowRule* head = shard.cache.head(slot);
@@ -446,19 +447,19 @@ FlowTable::MatchResult FlowTable::Match(const net::ParsedPacket& packet,
     }
   }
 
-  std::shared_lock wildcard_lock(wildcard_mutex_, std::defer_lock);
+  // The wildcard tier (and its lock) is skipped while empty; when a scan
+  // is needed the reader lock must span the copy-out too, since `best` may
+  // point into wildcard storage.
   if (wildcard_count_.load(std::memory_order_relaxed) > 0) {
-    wildcard_lock.lock();
-    for (const FlowRule* rule : wildcard_rules_) {
-      if (best && rule->priority <= best->priority) break;
-      if (rule->match.Matches(packet, in_port)) {
-        best = rule;
-        shard.stats.linear_hits.fetch_add(1, std::memory_order_relaxed);
-        if (handles_.linear_hits_total != nullptr)
-          handles_.linear_hits_total->Increment();
-        break;
-      }
+    ReaderLock wildcard_lock(wildcard_mutex_);
+    best = FindWildcard(packet, in_port, best, shard);
+    if (best == nullptr) {
+      shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
+      if (handles_.misses_total != nullptr) handles_.misses_total->Increment();
+      return result;
     }
+    FillMatchResult(*best, now_ns, frame_bytes, result);
+    return result;
   }
 
   if (best == nullptr) {
@@ -466,22 +467,42 @@ FlowTable::MatchResult FlowTable::Match(const net::ParsedPacket& packet,
     if (handles_.misses_total != nullptr) handles_.misses_total->Increment();
     return result;
   }
-
-  best->packet_count.Add(1);
-  best->byte_count.Add(frame_bytes);
-  best->last_hit_ns.store(now_ns);
-  result.matched = true;
-  result.drop = best->IsDrop();
-  result.priority = best->priority;
-  result.rule_id = best->id;
-  result.action_count = best->actions.size();
-  const std::size_t inline_count =
-      std::min(best->actions.size(), result.actions.size());
-  for (std::size_t i = 0; i < inline_count; ++i)
-    result.actions[i] = best->actions[i];
-  for (std::size_t i = inline_count; i < best->actions.size(); ++i)
-    result.extra_actions.push_back(best->actions[i]);
+  FillMatchResult(*best, now_ns, frame_bytes, result);
   return result;
+}
+
+const FlowRule* FlowTable::FindWildcard(const net::ParsedPacket& packet,
+                                        PortId in_port, const FlowRule* best,
+                                        const Shard& shard) const {
+  for (const FlowRule* rule : wildcard_rules_) {
+    if (best && rule->priority <= best->priority) break;
+    if (rule->match.Matches(packet, in_port)) {
+      shard.stats.linear_hits.fetch_add(1, std::memory_order_relaxed);
+      if (handles_.linear_hits_total != nullptr)
+        handles_.linear_hits_total->Increment();
+      return rule;
+    }
+  }
+  return best;
+}
+
+void FlowTable::FillMatchResult(const FlowRule& best, std::uint64_t now_ns,
+                                std::size_t frame_bytes,
+                                MatchResult& result) {
+  best.packet_count.Add(1);
+  best.byte_count.Add(frame_bytes);
+  best.last_hit_ns.Store(now_ns);
+  result.matched = true;
+  result.drop = best.IsDrop();
+  result.priority = best.priority;
+  result.rule_id = best.id;
+  result.action_count = best.actions.size();
+  const std::size_t inline_count =
+      std::min(best.actions.size(), result.actions.size());
+  for (std::size_t i = 0; i < inline_count; ++i)
+    result.actions[i] = best.actions[i];
+  for (std::size_t i = inline_count; i < best.actions.size(); ++i)
+    result.extra_actions.push_back(best.actions[i]);
 }
 
 std::vector<const FlowRule*> FlowTable::Rules() const {
@@ -489,11 +510,11 @@ std::vector<const FlowRule*> FlowTable::Rules() const {
   out.reserve(size());
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::shared_lock lock(shard.mutex);
+    ReaderLock lock(shard.mutex);
     for (const auto& rule : shard.rules) out.push_back(rule.get());
   }
   {
-    std::shared_lock lock(wildcard_mutex_);
+    ReaderLock lock(wildcard_mutex_);
     for (const auto& rule : wildcard_storage_) out.push_back(rule.get());
   }
   std::sort(out.begin(), out.end(),
@@ -517,14 +538,14 @@ std::size_t FlowTable::MemoryBytes() const {
   std::size_t total = sizeof(*this);
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::shared_lock lock(shard.mutex);
+    ReaderLock lock(shard.mutex);
     total += sizeof(Shard);
     total += shard.rules.capacity() * sizeof(std::unique_ptr<FlowRule>);
     for (const auto& rule : shard.rules) total += rule->MemoryBytes();
     total += shard.cache.MemoryBytes();
   }
   {
-    std::shared_lock lock(wildcard_mutex_);
+    ReaderLock lock(wildcard_mutex_);
     total += wildcard_storage_.capacity() * sizeof(std::unique_ptr<FlowRule>);
     for (const auto& rule : wildcard_storage_) total += rule->MemoryBytes();
     total += wildcard_rules_.capacity() * sizeof(FlowRule*);

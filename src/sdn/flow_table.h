@@ -32,12 +32,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "sdn/flow.h"
 #include "sdn/flow_match_cache.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::sdn {
 
@@ -151,6 +152,8 @@ class FlowTable {
   /// Lookup counters, one padded block per shard so concurrent ingress
   /// threads never contend on a shared stats cache line.
   struct alignas(64) ShardStats {
+    // ordering: relaxed (all four) — per-shard statistics; stats() sums a
+    // racy-but-monotonic snapshot, no other memory hangs off them.
     std::atomic<std::uint64_t> lookups{0};
     std::atomic<std::uint64_t> hash_hits{0};
     std::atomic<std::uint64_t> linear_hits{0};
@@ -161,19 +164,29 @@ class FlowTable {
   /// swap-remove via FlowRule::table_index), the flat probe cache, and the
   /// eviction sweep cursor.
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::vector<std::unique_ptr<FlowRule>> rules;
-    FlowMatchCache cache;
-    std::uint64_t sweep_state = 0;
-    mutable ShardStats stats;
+    mutable SharedMutex mutex;
+    std::vector<std::unique_ptr<FlowRule>> rules SENTINEL_GUARDED_BY(mutex);
+    FlowMatchCache cache SENTINEL_GUARDED_BY(mutex);
+    std::uint64_t sweep_state SENTINEL_GUARDED_BY(mutex) = 0;
+    mutable ShardStats stats;  // lock-free, see ShardStats
   };
 
   [[nodiscard]] Shard& ShardFor(std::uint64_t src_mac) const;
   /// Removes `rule` from `shard` (cache + slab). Exclusive lock held.
-  void EraseExact(Shard& shard, FlowRule* rule);
+  void EraseExact(Shard& shard, FlowRule* rule)
+      SENTINEL_REQUIRES(shard.mutex);
   /// Evicts the least-recently-hit sampled MAC pair. Exclusive lock held.
   /// Returns rules evicted.
-  std::size_t EvictOnePair(Shard& shard);
+  std::size_t EvictOnePair(Shard& shard) SENTINEL_REQUIRES(shard.mutex);
+  /// Wildcard scan half of Match(): returns the winner (may still be
+  /// `best`), bumping the linear-hit stats on a wildcard win.
+  const FlowRule* FindWildcard(const net::ParsedPacket& packet, PortId in_port,
+                               const FlowRule* best, const Shard& shard) const
+      SENTINEL_REQUIRES_SHARED(wildcard_mutex_);
+  /// Copy-out half of Match(): bumps the winner's hit counters and fills
+  /// `result`. The caller still holds the lock covering `best`.
+  static void FillMatchResult(const FlowRule& best, std::uint64_t now_ns,
+                              std::size_t frame_bytes, MatchResult& result);
   void SetRulesGauge() const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -181,16 +194,25 @@ class FlowTable {
 
   // Wildcard (non-exact) tier: owned storage + pointers sorted by
   // descending priority.
-  mutable std::shared_mutex wildcard_mutex_;
-  std::vector<std::unique_ptr<FlowRule>> wildcard_storage_;
-  std::vector<FlowRule*> wildcard_rules_;
+  mutable SharedMutex wildcard_mutex_;
+  std::vector<std::unique_ptr<FlowRule>> wildcard_storage_
+      SENTINEL_GUARDED_BY(wildcard_mutex_);
+  std::vector<FlowRule*> wildcard_rules_ SENTINEL_GUARDED_BY(wildcard_mutex_);
 
+  // ordering: relaxed — a unique-id ticket; ids must be distinct, never
+  // ordered against other memory.
   std::atomic<std::uint64_t> next_id_{1};
+  // ordering: relaxed — size()/gauge reporting; mutations happen under the
+  // shard/wildcard locks, the atomic only serves lock-free readers.
   std::atomic<std::size_t> rule_count_{0};
+  // ordering: relaxed — statistics counter (evicted_total()).
   std::atomic<std::uint64_t> evicted_{0};
   /// Wildcard rule count, readable without the wildcard lock: the match
   /// path skips that tier entirely (lock and all) while it is empty — the
   /// overwhelmingly common state for a gateway datapath.
+  // ordering: relaxed — an emptiness hint; a stale non-zero read just
+  // takes the lock, a transition to non-zero is published by the
+  // wildcard_mutex_ release the writer pairs with.
   std::atomic<std::size_t> wildcard_count_{0};
 
   TableMetrics handles_;

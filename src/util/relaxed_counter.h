@@ -15,26 +15,26 @@ class RelaxedCounter {
  public:
   constexpr RelaxedCounter() = default;
   constexpr RelaxedCounter(std::uint64_t v) : value_(v) {}  // NOLINT(*-explicit-*)
-  RelaxedCounter(const RelaxedCounter& other) : value_(other.load()) {}
+  RelaxedCounter(const RelaxedCounter& other) : value_(other.Load()) {}
   RelaxedCounter& operator=(const RelaxedCounter& other) {
-    store(other.load());
+    Store(other.Load());
     return *this;
   }
   RelaxedCounter& operator=(std::uint64_t v) {
-    store(v);
+    Store(v);
     return *this;
   }
 
   void Add(std::uint64_t n = 1) const {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
-  void store(std::uint64_t v) const {
+  void Store(std::uint64_t v) const {
     value_.store(v, std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t load() const {
+  [[nodiscard]] std::uint64_t Load() const {
     return value_.load(std::memory_order_relaxed);
   }
-  operator std::uint64_t() const { return load(); }  // NOLINT(*-explicit-*)
+  operator std::uint64_t() const { return Load(); }  // NOLINT(*-explicit-*)
 
   RelaxedCounter& operator++() {
     Add(1);
@@ -46,6 +46,8 @@ class RelaxedCounter {
   }
 
  private:
+  // ordering: relaxed — per-object statistics; the class exists to name
+  // and confine this idiom (see the file comment), never to synchronize.
   mutable std::atomic<std::uint64_t> value_{0};
 };
 

@@ -1,0 +1,106 @@
+// Macro layer over Clang's thread-safety (capability) attributes.
+//
+// These macros turn the repo's locking invariants into compiler-checked
+// contracts: a clang build with -Wthread-safety -Werror (CMake option
+// SENTINEL_THREAD_SAFETY, on by default for clang; CI job thread-safety)
+// rejects any access to a SENTINEL_GUARDED_BY field without its lock held,
+// any relock, and any shared-vs-exclusive mix-up. Under GCC and other
+// compilers every macro expands to nothing, so the annotations cost
+// nothing anywhere and gate only where clang can prove them.
+//
+// Conventions (see DESIGN.md "Concurrency contracts"):
+//   * Every mutex-protected field carries SENTINEL_GUARDED_BY(mutex_); data
+//     reached through a pointer adds SENTINEL_PT_GUARDED_BY.
+//   * Private helpers that expect a lock already held are annotated
+//     SENTINEL_REQUIRES / SENTINEL_REQUIRES_SHARED instead of re-locking.
+//   * Public entry points that must NOT be called with a lock held (they
+//     take it themselves) use SENTINEL_EXCLUDES to catch self-deadlock.
+//   * Only the sentinel::Mutex / sentinel::SharedMutex wrappers
+//     (util/mutex.h) are lockable: naked std primitives are rejected by
+//     scripts/check_concurrency.py.
+#pragma once
+
+// clang-format off
+#if defined(__clang__) && !defined(SWIG)
+#define SENTINEL_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SENTINEL_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a capability (lockable). `x` names the capability kind
+/// in diagnostics, e.g. SENTINEL_CAPABILITY("mutex").
+#define SENTINEL_CAPABILITY(x) \
+  SENTINEL_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (MutexLock / ReaderLock / WriterLock).
+#define SENTINEL_SCOPED_CAPABILITY \
+  SENTINEL_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read or written while holding `x` (exclusively for
+/// writes; shared suffices for reads).
+#define SENTINEL_GUARDED_BY(x) \
+  SENTINEL_THREAD_ANNOTATION__(guarded_by(x))
+
+/// The data a pointer/smart-pointer field points at is protected by `x`
+/// (the pointer itself may be read freely).
+#define SENTINEL_PT_GUARDED_BY(x) \
+  SENTINEL_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering declarations for deadlock detection.
+#define SENTINEL_ACQUIRED_BEFORE(...) \
+  SENTINEL_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define SENTINEL_ACQUIRED_AFTER(...) \
+  SENTINEL_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Caller must already hold the capability exclusively (…_SHARED: at least
+/// shared). The function neither acquires nor releases it.
+#define SENTINEL_REQUIRES(...) \
+  SENTINEL_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define SENTINEL_REQUIRES_SHARED(...) \
+  SENTINEL_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define SENTINEL_ACQUIRE(...) \
+  SENTINEL_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define SENTINEL_ACQUIRE_SHARED(...) \
+  SENTINEL_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller holds. _GENERIC releases
+/// either mode (scoped-lock destructors).
+#define SENTINEL_RELEASE(...) \
+  SENTINEL_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define SENTINEL_RELEASE_SHARED(...) \
+  SENTINEL_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define SENTINEL_RELEASE_GENERIC(...) \
+  SENTINEL_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the return
+/// value that means "acquired".
+#define SENTINEL_TRY_ACQUIRE(...) \
+  SENTINEL_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define SENTINEL_TRY_ACQUIRE_SHARED(...) \
+  SENTINEL_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must be called WITHOUT the capability held (it acquires it
+/// itself, or would deadlock/reorder otherwise).
+#define SENTINEL_EXCLUDES(...) \
+  SENTINEL_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis (and, in debug builds, the runtime — see
+/// Mutex::AssertHeld) that the capability is held at this point.
+#define SENTINEL_ASSERT_CAPABILITY(x) \
+  SENTINEL_THREAD_ANNOTATION__(assert_capability(x))
+#define SENTINEL_ASSERT_SHARED_CAPABILITY(x) \
+  SENTINEL_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// The function returns a reference to the named capability (accessors that
+/// expose a shard's lock).
+#define SENTINEL_RETURN_CAPABILITY(x) \
+  SENTINEL_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant.
+#define SENTINEL_NO_THREAD_SAFETY_ANALYSIS \
+  SENTINEL_THREAD_ANNOTATION__(no_thread_safety_analysis)
+// clang-format on

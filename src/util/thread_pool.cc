@@ -60,10 +60,10 @@ void ThreadPool::AttachMetrics(obs::MetricsRegistry* registry) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -84,20 +84,20 @@ void ThreadPool::Submit(std::function<void()> task) {
     };
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     if (metrics_.queue_depth != nullptr)
       metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -123,12 +123,19 @@ struct ParallelForState {
   const std::size_t total;
   const std::size_t grain;
   std::function<void(std::size_t)> fn;
+  // ordering: relaxed — next is a pure work-claiming ticket; the claimed
+  // indices are disjoint, and fn's writes are published by `finished`.
   std::atomic<std::size_t> next{0};
+  // ordering: acq_rel on add / acquire on the caller's re-check — the
+  // release half publishes every completed fn(i)'s writes, the acquire
+  // half (plus the cv mutex) lets the joining caller read them.
   std::atomic<std::size_t> finished{0};
+  // ordering: relaxed — a best-effort skip flag; exactness is not needed,
+  // the error slot below is the synchronized source of truth.
   std::atomic<bool> aborted{false};
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::exception_ptr error;  // guarded by mutex; first exception wins
+  Mutex mutex;
+  CondVar cv;
+  std::exception_ptr error SENTINEL_GUARDED_BY(mutex);  // first wins
 };
 
 // Claims and runs chunks of `grain` indices until the range is exhausted.
@@ -146,7 +153,7 @@ void ExecuteRange(ParallelForState& state) {
         for (std::size_t i = begin; i < end; ++i) state.fn(i);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(state.mutex);
+          MutexLock lock(state.mutex);
           if (!state.error) state.error = std::current_exception();
         }
         state.aborted.store(true, std::memory_order_relaxed);
@@ -156,8 +163,8 @@ void ExecuteRange(ParallelForState& state) {
     if (state.finished.fetch_add(chunk, std::memory_order_acq_rel) + chunk ==
         state.total) {
       // Wake the caller; the lock orders the notify against its wait.
-      std::lock_guard<std::mutex> lock(state.mutex);
-      state.cv.notify_all();
+      MutexLock lock(state.mutex);
+      state.cv.NotifyAll();
     }
   }
 }
@@ -187,10 +194,9 @@ void ParallelFor(ThreadPool* pool, std::size_t count,
 
   ExecuteRange(*state);
   {
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->cv.wait(lock, [&] {
-      return state->finished.load(std::memory_order_acquire) == state->total;
-    });
+    MutexLock lock(state->mutex);
+    while (state->finished.load(std::memory_order_acquire) != state->total)
+      state->cv.Wait(state->mutex);
     if (state->error) std::rethrow_exception(state->error);
   }
 }

@@ -20,15 +20,15 @@
 // turn.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sentinel::util {
 
@@ -76,11 +76,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  PoolMetrics metrics_;  // all-null when no registry is attached
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SENTINEL_GUARDED_BY(mutex_);
+  bool stopping_ SENTINEL_GUARDED_BY(mutex_) = false;
+  PoolMetrics metrics_;  // all-null when no registry is attached; written
+                         // only by AttachMetrics before the pool is shared
 };
 
 /// Invokes fn(i) for every i in [0, count). With a null pool (or a pool of

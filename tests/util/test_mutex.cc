@@ -1,0 +1,218 @@
+// Contract tests for the capability-annotated mutex wrappers
+// (util/mutex.h): try-lock semantics, shared/exclusive interplay on
+// SharedMutex, scoped-guard early release, CondVar signaling, and the
+// debug AssertHeld() runtime check (both polarities; the failing side is a
+// death test, active only in debug builds where the owner is tracked).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace sentinel {
+namespace {
+
+// Runs fn on a fresh thread and joins, so try-lock probes never see the
+// probing thread's own ownership.
+template <typename Fn>
+auto OnOtherThread(Fn fn) {
+  decltype(fn()) result{};
+  std::thread worker([&] { result = fn(); });
+  worker.join();
+  return result;
+}
+
+TEST(Mutex, TryLockFailsWhileHeldElsewhere) {
+  Mutex mu;
+  mu.Lock();
+  EXPECT_FALSE(OnOtherThread([&] { return mu.TryLock(); }));
+  mu.Unlock();
+  EXPECT_TRUE(OnOtherThread([&] {
+    if (!mu.TryLock()) return false;
+    mu.Unlock();
+    return true;
+  }));
+}
+
+TEST(Mutex, MutexLockReleasesOnScopeExit) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    EXPECT_FALSE(OnOtherThread([&] { return mu.TryLock(); }));
+  }
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(Mutex, MutexLockEarlyUnlock) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    lock.Unlock();  // released mid-scope; the destructor must not re-unlock
+    EXPECT_TRUE(mu.TryLock());
+    mu.Unlock();
+  }
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SharedMutex, ReadersShareWritersExclude) {
+  SharedMutex mu;
+
+  mu.LockShared();
+  // A second reader gets in alongside the first...
+  EXPECT_TRUE(OnOtherThread([&] {
+    if (!mu.TryLockShared()) return false;
+    mu.UnlockShared();
+    return true;
+  }));
+  // ...but a writer does not.
+  EXPECT_FALSE(OnOtherThread([&] { return mu.TryLock(); }));
+  mu.UnlockShared();
+
+  mu.Lock();
+  // An exclusive holder excludes both flavors.
+  EXPECT_FALSE(OnOtherThread([&] { return mu.TryLockShared(); }));
+  EXPECT_FALSE(OnOtherThread([&] { return mu.TryLock(); }));
+  mu.Unlock();
+}
+
+TEST(SharedMutex, ScopedGuardsMirrorLockFlavors) {
+  SharedMutex mu;
+  {
+    ReaderLock lock(mu);
+    EXPECT_TRUE(OnOtherThread([&] {
+      if (!mu.TryLockShared()) return false;
+      mu.UnlockShared();
+      return true;
+    }));
+    EXPECT_FALSE(OnOtherThread([&] { return mu.TryLock(); }));
+  }
+  {
+    WriterLock lock(mu);
+    EXPECT_FALSE(OnOtherThread([&] { return mu.TryLockShared(); }));
+    lock.Unlock();  // early release
+    EXPECT_TRUE(OnOtherThread([&] {
+      if (!mu.TryLockShared()) return false;
+      mu.UnlockShared();
+      return true;
+    }));
+  }
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(Mutex, AssertHeldPassesForOwner) {
+  Mutex mu;
+  MutexLock lock(mu);
+  mu.AssertHeld();  // must not abort
+}
+
+TEST(SharedMutex, AssertHeldPassesForExclusiveOwner) {
+  SharedMutex mu;
+  WriterLock lock(mu);
+  mu.AssertHeld();  // must not abort
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+// The death tests re-execute the binary ("threadsafe" style) because the
+// tests themselves spawn threads, which the default fork-style forbids.
+class MutexDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(MutexDeathTest, AssertHeldAbortsWhenNotHeld) {
+  Mutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "AssertHeld");
+}
+
+TEST_F(MutexDeathTest, AssertHeldAbortsForNonOwningThread) {
+  Mutex mu;
+  MutexLock lock(mu);
+  std::thread killer([&] { EXPECT_DEATH(mu.AssertHeld(), "AssertHeld"); });
+  killer.join();
+}
+
+TEST_F(MutexDeathTest, SharedMutexAssertHeldRequiresExclusive) {
+  SharedMutex mu;
+  ReaderLock lock(mu);
+  // Shared ownership is not exclusive ownership.
+  EXPECT_DEATH(mu.AssertHeld(), "AssertHeld");
+}
+#endif  // !NDEBUG && GTEST_HAS_DEATH_TEST
+
+TEST(CondVar, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVar, WaitForTimesOutWithoutSignal) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_FALSE(cv.WaitFor(mu, std::chrono::milliseconds(10),
+                          [] { return false; }));
+}
+
+TEST(CondVar, PredicateWaitSeesEventualState) {
+  Mutex mu;
+  CondVar cv;
+  int stage = 0;
+
+  std::thread producer([&] {
+    for (int target = 1; target <= 3; ++target) {
+      MutexLock lock(mu);
+      stage = target;
+      cv.NotifyAll();
+    }
+  });
+
+  {
+    MutexLock lock(mu);
+    cv.Wait(mu, [&] { return stage == 3; });
+    EXPECT_EQ(stage, 3);
+  }
+  producer.join();
+}
+
+TEST(Mutex, ContendedCounterStaysConsistent) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -5,13 +5,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace sentinel::util {
@@ -21,19 +20,19 @@ TEST(ThreadPool, SubmitRunsTasks) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.thread_count(), 3u);
 
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
   int completed = 0;
   constexpr int kTasks = 20;
   for (int i = 0; i < kTasks; ++i) {
     pool.Submit([&] {
-      std::lock_guard<std::mutex> lock(mutex);
-      if (++completed == kTasks) cv.notify_all();
+      MutexLock lock(mutex);
+      if (++completed == kTasks) cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(mutex);
-  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
-                          [&] { return completed == kTasks; }));
+  MutexLock lock(mutex);
+  ASSERT_TRUE(cv.WaitFor(mutex, std::chrono::seconds(30),
+                         [&] { return completed == kTasks; }));
 }
 
 TEST(ThreadPool, ZeroThreadsClampsToOne) {

@@ -1,0 +1,23 @@
+// compile-fail: unlocks a mutex that is not held (and leaves a locked
+// mutex held at end of scope). -Wthread-safety must reject both.
+#include "util/mutex.h"
+
+namespace {
+
+sentinel::Mutex g_mutex;
+
+void UnlockNotHeld() {
+  g_mutex.Unlock();  // error: releasing a capability that is not held
+}
+
+void LockWithoutUnlock() {
+  g_mutex.Lock();
+}  // error: capability still held at end of function
+
+}  // namespace
+
+int main() {
+  LockWithoutUnlock();
+  UnlockNotHeld();
+  return 0;
+}

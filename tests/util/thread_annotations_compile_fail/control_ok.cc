@@ -1,0 +1,65 @@
+// Positive control: disciplined use of every wrapper that must keep
+// compiling under -Wthread-safety -Werror. If this fixture starts
+// failing, the harness (include paths, flags, wrapper annotations) is
+// broken and the WILL_FAIL results of the sibling fixtures mean nothing.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) {
+    sentinel::MutexLock lock(mutex_);
+    value_ = v;
+    cv_.NotifyAll();
+  }
+
+  [[nodiscard]] int WaitNonZero() {
+    sentinel::MutexLock lock(mutex_);
+    while (value_ == 0) cv_.Wait(mutex_);
+    return value_;
+  }
+
+  void SetLocked(int v) SENTINEL_REQUIRES(mutex_) { value_ = v; }
+
+  void Reset() {
+    mutex_.Lock();
+    SetLocked(0);
+    mutex_.Unlock();
+  }
+
+ private:
+  sentinel::Mutex mutex_;
+  sentinel::CondVar cv_;
+  int value_ SENTINEL_GUARDED_BY(mutex_) = 0;
+};
+
+class SharedGuarded {
+ public:
+  [[nodiscard]] int Read() const {
+    sentinel::ReaderLock lock(mutex_);
+    return value_;
+  }
+
+  void Write(int v) {
+    sentinel::WriterLock lock(mutex_);
+    value_ = v;
+  }
+
+ private:
+  mutable sentinel::SharedMutex mutex_;
+  int value_ SENTINEL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded guarded;
+  guarded.Set(1);
+  guarded.Reset();
+  guarded.Set(2);
+  SharedGuarded shared;
+  shared.Write(guarded.WaitNonZero());
+  return shared.Read();
+}

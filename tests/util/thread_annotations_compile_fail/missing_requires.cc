@@ -1,0 +1,27 @@
+// compile-fail: calls a SENTINEL_REQUIRES(mutex_) method without holding
+// the mutex. -Wthread-safety must reject the call site.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Table {
+ public:
+  void RebuildLocked() SENTINEL_REQUIRES(mutex_) { ++generation_; }
+
+  void Rebuild() {
+    RebuildLocked();  // error: calling RebuildLocked requires mutex_
+  }
+
+ private:
+  sentinel::Mutex mutex_;
+  int generation_ SENTINEL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table table;
+  table.Rebuild();
+  return 0;
+}

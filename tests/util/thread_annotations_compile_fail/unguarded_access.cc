@@ -1,0 +1,28 @@
+// compile-fail: reads and writes a SENTINEL_GUARDED_BY field without
+// holding its mutex. -Wthread-safety must reject both accesses.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // error: writing value_ requires holding mutex_
+  }
+  [[nodiscard]] int Read() const {
+    return value_;  // error: reading value_ requires holding mutex_
+  }
+
+ private:
+  mutable sentinel::Mutex mutex_;
+  int value_ SENTINEL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Read();
+}

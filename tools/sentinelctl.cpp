@@ -640,6 +640,8 @@ int CmdServe(const Options& options) {
   server.set_quality(&quality);
   server.set_alerts(&alerts);
 
+  // ordering: relaxed — a stop flag polled every 100 ms; the join below is
+  // the synchronization point, the flag only needs eventual visibility.
   std::atomic<bool> stop{false};
   const auto started = std::chrono::steady_clock::now();
   std::thread sampler([&] {
