@@ -289,6 +289,8 @@ int main(int argc, char** argv) {
       json_path = argv[i + 1];
   }
 
+  sentinel::bench::MetricsSession session(argc, argv);
+
   sentinel::bench::Header(
       "Gateway state at fleet scale: sharded flow table + churn soak",
       "Sect. V keeps enforcement rules in a hash table 'to minimize the "
@@ -489,6 +491,8 @@ int main(int argc, char** argv) {
         report.gateway_memory_bytes,
         static_cast<unsigned long long>(report.total_evictions()), soak_s,
         identical ? "identical" : "DIVERGED");
+    std::fprintf(f, ",\n  \"observability\": %s\n",
+                 session.ObservabilityJson().c_str());
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());

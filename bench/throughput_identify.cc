@@ -127,6 +127,8 @@ int main(int argc, char** argv) {
       json_path = argv[i + 1];
   }
 
+  sentinel::bench::MetricsSession session(argc, argv);
+
   sentinel::bench::Header(
       "Identification throughput: reference vs compiled fast path",
       "Sect. VII reports identification cost dominated by the classifier "
@@ -290,6 +292,71 @@ int main(int argc, char** argv) {
         << "% single-probe throughput (budget: 2%)";
   }
 
+  // Enabled-profiler overhead guard: the hot identification path crosses
+  // SENTINEL_PROFILE_SCOPE on every call, so an installed profiler must
+  // cost at most the same 2% budget as the quality monitor. Same
+  // paired-slice-median protocol: each pair times attached and detached
+  // back to back in alternating order, and the median per-pair ratio
+  // discards pairs hit by preemption or frequency drift.
+  double profiler_off_ips = 0.0;
+  double profiler_on_ips = 0.0;
+  {
+    const auto train = Widen(train_base, 31);
+    const auto probes = Widen(probe_base, 31);
+    DeviceIdentifier identifier;
+    identifier.set_thread_pool(&pool);
+    identifier.Train(ToExamples(train));
+    identifier.set_thread_pool(nullptr);
+    const std::size_t loops = 4;
+    const auto run_looped = [&] {
+      for (std::size_t l = 0; l < loops; ++l)
+        for (std::size_t i = 0; i < probes.size(); ++i)
+          (void)identifier.Identify(probes.fingerprints[i], probes.fixed[i]);
+    };
+    sentinel::obs::Profiler gate_profiler;
+    std::vector<double> ratios;
+    std::vector<double> off_secs;
+    const auto timed = [&](sentinel::obs::Profiler* attached) {
+      sentinel::obs::Profiler::SetCurrent(attached);
+      const auto t0 = Clock::now();
+      run_looped();
+      return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+    run_looped();  // warmup
+    for (std::size_t pair = 0; pair < 65; ++pair) {
+      double off = 0.0;
+      double on = 0.0;
+      if (pair % 2 == 0) {
+        off = timed(nullptr);
+        on = timed(&gate_profiler);
+      } else {
+        on = timed(&gate_profiler);
+        off = timed(nullptr);
+      }
+      ratios.push_back(on / off);
+      off_secs.push_back(off);
+    }
+    // Put the session profiler back so the rest of the run (and the
+    // observability summary below) keeps accumulating.
+    sentinel::obs::Profiler::SetCurrent(session.profiler());
+    std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
+                     ratios.end());
+    const double median_ratio = ratios[ratios.size() / 2];
+    const auto looped_probes = static_cast<double>(probes.size() * loops);
+    profiler_off_ips =
+        looped_probes / *std::min_element(off_secs.begin(), off_secs.end());
+    profiler_on_ips = profiler_off_ips / median_ratio;
+    const double overhead_pct =
+        100.0 * (1.0 - profiler_on_ips / profiler_off_ips);
+    std::printf(
+        "profiler (31 types, 1t): detached %.0f id/s, attached %.0f id/s, "
+        "overhead %.2f%%\n",
+        profiler_off_ips, profiler_on_ips, overhead_pct);
+    SENTINEL_CHECK(overhead_pct <= 2.0)
+        << "enabled profiler costs " << overhead_pct
+        << "% single-probe throughput (budget: 2%)";
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     SENTINEL_CHECK(f != nullptr) << "cannot write " << json_path;
@@ -313,9 +380,17 @@ int main(int argc, char** argv) {
     std::fprintf(
         f,
         "  \"quality_monitor\": {\"types\": 31, \"detached_1t\": %.1f, "
-        "\"attached_1t\": %.1f, \"overhead_pct\": %.2f}\n",
+        "\"attached_1t\": %.1f, \"overhead_pct\": %.2f},\n",
         quality_off_ips, quality_on_ips,
         100.0 * (1.0 - quality_on_ips / quality_off_ips));
+    std::fprintf(
+        f,
+        "  \"profiler\": {\"types\": 31, \"detached_1t\": %.1f, "
+        "\"attached_1t\": %.1f, \"overhead_pct\": %.2f},\n",
+        profiler_off_ips, profiler_on_ips,
+        100.0 * (1.0 - profiler_on_ips / profiler_off_ips));
+    std::fprintf(f, "  \"observability\": %s\n",
+                 session.ObservabilityJson().c_str());
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());

@@ -185,6 +185,10 @@ def self_test(root: pathlib.Path) -> int:
         "naked_mutex.cc": "naked std::",
         "default_order.cc": "without an explicit std::memory_order",
         "unjustified_atomic.cc": "`// ordering:` justification",
+        # The profiler's lock-free shapes (index-link publish/traverse,
+        # slot-claim CAS, atomic histogram arrays) with their orders and
+        # justifications stripped.
+        "profiler_publication.cc": "without an explicit std::memory_order",
     }
     clean = root / "scripts" / "testdata" / "concurrency_clean.cc"
     failures: list[str] = []

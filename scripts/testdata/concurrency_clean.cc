@@ -3,6 +3,7 @@
 // asserts zero diagnostics here, guarding against the lint regressing into
 // false positives (a lint nobody can satisfy gets disabled, not fixed).
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 namespace good {
@@ -20,5 +21,39 @@ struct Stats {
         std::memory_order_relaxed);
   }
 };
+
+// The profiler's lock-free publication shapes (obs/profiler.h,
+// util/lock_telemetry.h) must pass as written: release-published index
+// links traversed with acquire, a slot-claim CAS, and atomic histogram
+// arrays.
+struct FrameNode {
+  // ordering: release on link (the owner publishes a fully initialised
+  // node by storing its index) / acquire on traversal from the snapshot
+  // thread. Index 0 doubles as "no link".
+  std::atomic<std::uint32_t> first_child{0};
+  // ordering: relaxed — monotonic per-bucket statistics; exporters take
+  // scrape-consistent values, no cross-bucket invariant exists.
+  std::atomic<std::uint64_t> buckets[4]{};
+
+  [[nodiscard]] std::uint32_t Child() const {
+    return first_child.load(std::memory_order_acquire);
+  }
+  void Publish(std::uint32_t index) {
+    first_child.store(index, std::memory_order_release);
+  }
+  void Count(std::size_t b) {
+    buckets[b].fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+// ordering: acq_rel CAS — release publishes the claimed slot on success,
+// acquire reads the winner's value on failure (both via the same edge).
+inline std::atomic<const char*> g_slot{nullptr};
+
+inline bool Claim(const char* name) {
+  const char* expected = nullptr;
+  return g_slot.compare_exchange_strong(expected, name,
+                                        std::memory_order_acq_rel);
+}
 
 }  // namespace good

@@ -1,0 +1,33 @@
+// Seeded violation: the profiler's publication patterns done wrong — a
+// lock-free registration CAS and an index-link publish/traverse pair all
+// relying on the seq_cst default, plus an atomic array declared without a
+// `// ordering:` justification. check_concurrency.py must flag each.
+#include <atomic>
+#include <cstdint>
+
+namespace bad {
+
+struct Node {
+  // ordering: release on link / acquire on traversal (decl itself is fine).
+  std::atomic<std::uint32_t> first_child{0};
+  std::atomic<std::uint64_t> buckets[4]{};  // violation: no ordering rationale
+};
+
+inline std::uint32_t Traverse(const Node& node) {
+  return node.first_child.load();  // violation: implicit memory_order
+}
+
+inline void Publish(Node& node, std::uint32_t index) {
+  node.first_child.store(index);  // violation: implicit memory_order
+}
+
+// ordering: acq_rel CAS claims the slot (decl itself is fine).
+inline std::atomic<const char*> g_slot{nullptr};
+
+inline bool Claim(const char* name) {
+  const char* expected = nullptr;
+  // violation: compare_exchange without an explicit memory_order
+  return g_slot.compare_exchange_strong(expected, name);
+}
+
+}  // namespace bad

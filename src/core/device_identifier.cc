@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "obs/log.h"
+#include "obs/profiler.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
 
@@ -255,6 +256,7 @@ IdentificationResult DeviceIdentifier::Identify(
 IdentificationResult DeviceIdentifier::IdentifyReference(
     const features::Fingerprint& full,
     const features::FixedFingerprint& fixed) const {
+  SENTINEL_PROFILE_SCOPE("identify.reference");
   IdentificationResult result;
   result.acceptance_threshold = config_.acceptance_threshold;
   const auto row = fixed.ToVector();
@@ -554,6 +556,7 @@ void DeviceIdentifier::DiscriminateFast(
 IdentificationResult DeviceIdentifier::IdentifyFast(
     const features::Fingerprint& full,
     const features::FixedFingerprint& fixed) const {
+  SENTINEL_PROFILE_SCOPE("identify.fast");
   IdentificationResult result;
   result.acceptance_threshold = config_.acceptance_threshold;
   // F' is already a contiguous double array — the compiled bank consumes
@@ -592,6 +595,7 @@ IdentificationResult DeviceIdentifier::IdentifyFast(
 
 std::vector<IdentificationResult> DeviceIdentifier::IdentifyBatch(
     std::span<const FingerprintRef> probes) const {
+  SENTINEL_PROFILE_SCOPE("identify.batch");
   std::vector<IdentificationResult> results(probes.size());
   if (probes.empty()) return results;
   if (!fast_path_) {

@@ -1,6 +1,7 @@
 #include "core/device_monitor.h"
 
 #include "obs/log.h"
+#include "obs/profiler.h"
 #include "obs/scoped_timer.h"
 #include "util/shard.h"
 
@@ -85,6 +86,7 @@ bool DeviceMonitor::EvictOneSession(Shard& shard) {
 std::optional<CompletedCapture> DeviceMonitor::Observe(
     const net::ParsedPacket& packet) {
   obs::ScopedTimer capture_timer(handles_.capture_ns);
+  SENTINEL_PROFILE_SCOPE("capture.observe");
   if (handles_.packets_total != nullptr) handles_.packets_total->Increment();
   Shard& shard = ShardFor(packet.src_mac);
   MutexLock lock(shard.mutex);
@@ -165,6 +167,23 @@ void DeviceMonitor::Forget(const net::MacAddress& mac) {
   SetTrackedGauge();
 }
 
+std::size_t DeviceMonitor::MemoryBytes() const {
+  std::size_t total = sizeof(*this);
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    total += sizeof(Shard);
+    total += shard->states.bucket_count() * sizeof(void*);
+    for (const auto& [mac, state] : shard->states) {
+      total += sizeof(mac) + sizeof(state) + 2 * sizeof(void*);
+      total += state.vectors.capacity() *
+               sizeof(features::PacketFeatureVector);
+      // lru list node: mac + prev/next pointers.
+      total += sizeof(net::MacAddress) + 2 * sizeof(void*);
+    }
+  }
+  return total;
+}
+
 bool DeviceMonitor::IsKnown(const net::MacAddress& mac) const {
   const Shard& shard = ShardFor(mac);
   MutexLock lock(shard.mutex);
@@ -190,6 +209,7 @@ CompletedCapture DeviceMonitor::Finish(const net::MacAddress& mac,
   obs::ScopedSpan fingerprint_span(tracer_, "sentinel_stage_fingerprint",
                                    state.trace_id);
   obs::ScopedTimer fingerprint_timer(handles_.fingerprint_ns);
+  SENTINEL_PROFILE_SCOPE("fingerprint.assemble");
   state.fingerprinted = true;
   CompletedCapture capture;
   capture.device_mac = mac;

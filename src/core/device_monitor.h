@@ -83,6 +83,11 @@ class DeviceMonitor {
     return evicted_.load(std::memory_order_relaxed);
   }
 
+  /// Estimated bytes held by the session tables (shards, tracked-device
+  /// state, capture buffers). Takes each shard lock in turn; scrape
+  /// path, not packet path.
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
   /// Attaches capture/fingerprint telemetry: the `sentinel_stage_capture_ns`
   /// histogram (per-packet setup-phase bookkeeping + feature extraction),
   /// the `sentinel_stage_fingerprint_ns` histogram (fingerprint assembly
@@ -119,7 +124,7 @@ class DeviceMonitor {
   };
 
   struct Shard {
-    mutable Mutex mutex;
+    mutable Mutex mutex{"monitor.session_shard"};
     std::unordered_map<net::MacAddress, DeviceState> states
         SENTINEL_GUARDED_BY(mutex);
     /// Recency order, front = most recent packet.

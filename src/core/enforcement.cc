@@ -1,6 +1,7 @@
 #include "core/enforcement.h"
 
 #include "obs/log.h"
+#include "obs/profiler.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
 #include "util/shard.h"
@@ -61,6 +62,7 @@ void EnforcementEngine::Install(EnforcementRule rule) {
     enforce_span.AddArg("level", ToString(rule.level));
   }
   obs::ScopedTimer enforce_timer(handles_.enforce_ns);
+  SENTINEL_PROFILE_SCOPE("enforce.install");
   if (handles_.rules_strict_total != nullptr) {
     switch (rule.level) {
       case IsolationLevel::kStrict:

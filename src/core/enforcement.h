@@ -114,7 +114,7 @@ class EnforcementEngine {
     std::list<net::MacAddress>::iterator lru_pos;
   };
   struct Shard {
-    mutable SharedMutex mutex;
+    mutable SharedMutex mutex{"enforcement.rule_shard"};
     std::unordered_map<net::MacAddress, Entry> rules
         SENTINEL_GUARDED_BY(mutex);
     /// Installation recency, front = most recently installed.

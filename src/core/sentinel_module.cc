@@ -2,6 +2,7 @@
 
 #include "core/decision_journal.h"
 #include "obs/log.h"
+#include "obs/profiler.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
 
@@ -46,6 +47,7 @@ void SentinelModule::set_metrics(obs::MetricsRegistry* registry) {
 SentinelModule::Verdict SentinelModule::OnPacketIn(
     sdn::SoftwareSwitch& sw, sdn::PortId in_port, const net::Frame& frame,
     const net::ParsedPacket& packet) {
+  SENTINEL_PROFILE_SCOPE("pipeline.packet");
   // Frames sourced by the gateway/upstream infrastructure are neither
   // fingerprinted nor policed; default forwarding applies.
   if (infrastructure_.contains(packet.src_mac)) {
@@ -128,6 +130,7 @@ void SentinelModule::FlushIdle(std::uint64_t now_ns) {
 }
 
 void SentinelModule::HandleCompletedCapture(const CompletedCapture& capture) {
+  SENTINEL_PROFILE_SCOPE("pipeline.identify_enforce");
   // Root span of the device's identification story: the identify span, the
   // identifier's tie-break span and the engine's enforce span all nest
   // under it on the trace id the monitor assigned at first sight.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/profiler.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -27,6 +28,7 @@ void RandomForest::Train(const Dataset& data, const RandomForestConfig& config,
                                    "whole-forest training time")
           : nullptr);
   obs::ScopedSpan forest_span("sentinel_ml_forest_train");
+  SENTINEL_PROFILE_SCOPE("ml.forest_train");
   if (forest_span.enabled())
     forest_span.AddArg("trees", std::to_string(config.tree_count));
   trees_.clear();

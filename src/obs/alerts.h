@@ -110,7 +110,7 @@ class AlertEngine {
   MetricsRegistry* const registry_;
   Counter* transitions_total_ = nullptr;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"obs.alerts"};
   std::vector<RuleSlot> rules_ SENTINEL_GUARDED_BY(mutex_);
 };
 

@@ -104,7 +104,7 @@ class FlightRecorder {
       SENTINEL_REQUIRES(mutex_);
 
   FlightRecorderConfig config_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"obs.flight_recorder"};
   std::unordered_map<net::MacAddress, DeviceJournal> journals_
       SENTINEL_GUARDED_BY(mutex_);
   std::uint64_t sequence_ SENTINEL_GUARDED_BY(mutex_) = 0;

@@ -17,7 +17,7 @@ namespace {
 // resolves init races, any winner is acceptable).
 std::atomic<int> g_threshold{-1};  // -1 = not yet initialized from env
 
-sentinel::Mutex g_sink_mutex;
+sentinel::Mutex g_sink_mutex{"obs.log_sink"};
 std::function<void(std::string_view)> g_sink SENTINEL_GUARDED_BY(g_sink_mutex);
 
 LogLevel InitThresholdFromEnv() {

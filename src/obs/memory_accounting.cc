@@ -1,0 +1,161 @@
+#include "obs/memory_accounting.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace sentinel::obs {
+
+void MemoryAccounting::Registration::Release() {
+  if (registry_ == nullptr) return;
+  registry_->Unregister(id_);
+  registry_ = nullptr;
+}
+
+MemoryAccounting::Registration MemoryAccounting::Register(std::string path,
+                                                          Sampler sampler) {
+  MutexLock lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  entries_[id] = Entry{std::move(path), std::move(sampler)};
+  return Registration(this, id);
+}
+
+void MemoryAccounting::Unregister(std::uint64_t id) {
+  MutexLock lock(mutex_);
+  entries_.erase(id);
+}
+
+std::vector<MemoryAccounting::Component> MemoryAccounting::Sample() const {
+  std::map<std::string, std::size_t> merged;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [id, entry] : entries_) {
+      merged[entry.path] += entry.sampler ? entry.sampler() : 0;
+    }
+  }
+  std::vector<Component> components;
+  components.reserve(merged.size());
+  for (const auto& [path, bytes] : merged) {
+    components.push_back(Component{path, bytes});
+  }
+  return components;
+}
+
+std::size_t MemoryAccounting::TotalBytes() const {
+  std::size_t total = 0;
+  for (const Component& component : Sample()) total += component.bytes;
+  return total;
+}
+
+std::size_t MemoryAccounting::component_count() const {
+  MutexLock lock(mutex_);
+  return entries_.size();
+}
+
+namespace {
+
+MemoryAccounting::Node* FindOrAddChild(MemoryAccounting::Node& parent,
+                                       const std::string& name) {
+  for (MemoryAccounting::Node& child : parent.children) {
+    if (child.name == name) return &child;
+  }
+  parent.children.emplace_back();
+  parent.children.back().name = name;
+  return &parent.children.back();
+}
+
+std::size_t FinishTotals(MemoryAccounting::Node& node) {
+  std::sort(node.children.begin(), node.children.end(),
+            [](const MemoryAccounting::Node& a,
+               const MemoryAccounting::Node& b) { return a.name < b.name; });
+  node.total_bytes = node.self_bytes;
+  for (MemoryAccounting::Node& child : node.children) {
+    node.total_bytes += FinishTotals(child);
+  }
+  return node.total_bytes;
+}
+
+void AppendNodeJson(std::string& out, const MemoryAccounting::Node& node) {
+  out += "{\"name\":";
+  AppendJsonEscaped(out, node.name);
+  out += ",\"self_bytes\":" + std::to_string(node.self_bytes);
+  out += ",\"total_bytes\":" + std::to_string(node.total_bytes);
+  out += ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i != 0) out += ',';
+    AppendNodeJson(out, node.children[i]);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+MemoryAccounting::Node MemoryAccounting::Tree() const {
+  Node root;
+  root.name = "(total)";
+  for (const Component& component : Sample()) {
+    Node* node = &root;
+    std::size_t start = 0;
+    while (start <= component.path.size()) {
+      const std::size_t slash = component.path.find('/', start);
+      const std::size_t end =
+          slash == std::string::npos ? component.path.size() : slash;
+      if (end > start) {
+        node = FindOrAddChild(*node, component.path.substr(start, end - start));
+      }
+      if (slash == std::string::npos) break;
+      start = slash + 1;
+    }
+    node->self_bytes += component.bytes;
+  }
+  FinishTotals(root);
+  return root;
+}
+
+std::string MemoryAccounting::RenderJson() const {
+  const std::vector<Component> components = Sample();
+  std::size_t total = 0;
+  for (const Component& component : components) total += component.bytes;
+
+  std::string out;
+  out.reserve(512);
+  out += "{\"total_bytes\":" + std::to_string(total);
+  out += ",\"rss_bytes\":" + std::to_string(ProcessResidentBytes());
+  out += ",\"components\":[";
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"path\":";
+    AppendJsonEscaped(out, components[i].path);
+    out += ",\"bytes\":" + std::to_string(components[i].bytes) + "}";
+  }
+  out += "],\"tree\":";
+  AppendNodeJson(out, Tree());
+  out += "}";
+  return out;
+}
+
+std::size_t ProcessResidentBytes() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long long size_pages = 0;     // NOLINT(runtime/int)
+  unsigned long long resident_pages = 0; // NOLINT(runtime/int)
+  const int fields =
+      std::fscanf(statm, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(statm);
+  if (fields != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);  // NOLINT(runtime/int)
+  if (page <= 0) return 0;
+  return static_cast<std::size_t>(resident_pages) *
+         static_cast<std::size_t>(page);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace sentinel::obs

@@ -1,0 +1,135 @@
+// Unified memory attribution: a registry federating the `MemoryBytes()`
+// estimators scattered across the gateway (model banks, flow tables,
+// match caches, session tables, interners) into one live component tree.
+//
+// Components register a named sampler — a callback returning their
+// current byte estimate — under a slash-separated path such as
+// "identifier/model_bank" or "gateway/switch/flow_table". Sampling walks
+// every registered callback and rolls the results up by path segment, so
+// /memory answers both "how big is the whole gateway" and "which shard
+// family grew" from one scrape. Registration is RAII: the returned
+// Registration unregisters in its destructor, so a component that dies
+// simply vanishes from the next sample instead of dangling.
+//
+// Contract:
+// - Samplers run under the registry mutex on the scrape path (never
+//   per-packet); they should be cheap and must not re-enter the
+//   registry. They may take their component's own locks — the existing
+//   MemoryBytes() implementations already do.
+// - Registrations must not outlive the registry (the usual member-order
+//   discipline: the registry outlives the components it observes).
+// - The numbers are the components' own estimates — heap bookkeeping
+//   overhead is not modelled, exactly as with the raw MemoryBytes()
+//   calls this replaces. ProcessResidentBytes() (the OS view) is
+//   reported alongside for the gap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace sentinel::obs {
+
+class MemoryAccounting {
+ public:
+  using Sampler = std::function<std::size_t()>;
+
+  MemoryAccounting() = default;
+  MemoryAccounting(const MemoryAccounting&) = delete;
+  MemoryAccounting& operator=(const MemoryAccounting&) = delete;
+
+  /// RAII handle; unregisters on destruction. Default-constructed or
+  /// moved-from handles are inert.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept
+        : registry_(other.registry_), id_(other.id_) {
+      other.registry_ = nullptr;
+    }
+    Registration& operator=(Registration&& other) noexcept {
+      if (this != &other) {
+        Release();
+        registry_ = other.registry_;
+        id_ = other.id_;
+        other.registry_ = nullptr;
+      }
+      return *this;
+    }
+    ~Registration() { Release(); }
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+
+    [[nodiscard]] bool active() const { return registry_ != nullptr; }
+    void Release();
+
+   private:
+    friend class MemoryAccounting;
+    Registration(MemoryAccounting* registry, std::uint64_t id)
+        : registry_(registry), id_(id) {}
+
+    MemoryAccounting* registry_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  /// Registers `sampler` under `path` ("a/b/c"). Multiple samplers may
+  /// share a path; their bytes add up.
+  [[nodiscard]] Registration Register(std::string path, Sampler sampler);
+
+  /// One registered component's current estimate.
+  struct Component {
+    std::string path;
+    std::size_t bytes = 0;
+  };
+
+  /// Samples every registered component, sorted by path (same-path
+  /// samplers merged). Runs the samplers under the registry mutex.
+  [[nodiscard]] std::vector<Component> Sample() const;
+
+  /// Path-segment rollup of Sample(). `self_bytes` is what samplers
+  /// registered exactly at this path reported; `total_bytes` adds all
+  /// descendants.
+  struct Node {
+    std::string name;
+    std::size_t self_bytes = 0;
+    std::size_t total_bytes = 0;
+    std::vector<Node> children;  // sorted by name
+  };
+  [[nodiscard]] Node Tree() const;
+
+  /// Sum over all components.
+  [[nodiscard]] std::size_t TotalBytes() const;
+
+  [[nodiscard]] std::size_t component_count() const;
+
+  /// {"total_bytes": N, "rss_bytes": R, "components": [{"path", "bytes"},
+  ///  ...], "tree": {recursive nodes}}. Serves /memory and the diag
+  /// bundle.
+  [[nodiscard]] std::string RenderJson() const;
+
+ private:
+  friend class Registration;
+
+  void Unregister(std::uint64_t id);
+
+  struct Entry {
+    std::string path;
+    Sampler sampler;
+  };
+
+  mutable Mutex mutex_{"obs.memory_accounting"};
+  std::map<std::uint64_t, Entry> entries_ SENTINEL_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ SENTINEL_GUARDED_BY(mutex_) = 1;
+};
+
+/// Resident-set size of the calling process in bytes (/proc/self/statm);
+/// 0 where unavailable.
+[[nodiscard]] std::size_t ProcessResidentBytes();
+
+}  // namespace sentinel::obs

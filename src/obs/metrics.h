@@ -153,7 +153,7 @@ class MetricsRegistry {
     std::unique_ptr<T> value;
   };
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"metrics.registry"};
   std::map<std::string, Named<Counter>> counters_ SENTINEL_GUARDED_BY(mutex_);
   std::map<std::string, Named<Gauge>> gauges_ SENTINEL_GUARDED_BY(mutex_);
   std::map<std::string, Named<Histogram>> histograms_

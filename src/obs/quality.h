@@ -169,7 +169,8 @@ class QualityMonitor {
   Counter* assessments_unknown_total_;
   Histogram* margin_all_;
 
-  mutable Mutex mutex_;  // guards slots_/retired_/bind+pin, not Record
+  // guards slots_/retired_/bind+pin, not Record
+  mutable Mutex mutex_{"obs.quality"};
   std::vector<std::unique_ptr<TypeSlot>> slots_ SENTINEL_GUARDED_BY(mutex_);
   // Old indices stay readable by in-flight Record() calls.
   std::vector<std::unique_ptr<Index>> retired_ SENTINEL_GUARDED_BY(mutex_);

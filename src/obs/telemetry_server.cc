@@ -9,6 +9,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/build_info.h"
 #include "obs/json.h"
 #include "obs/log.h"
 
@@ -69,6 +70,7 @@ void TelemetryServer::Start() {
       0) {
     port_ = ntohs(bound.sin_port);
   }
+  start_ns_ = ProfileNowNs();
   listen_fd_.store(fd, std::memory_order_release);
   SENTINEL_LOG_INFO("telemetry", "listening", {"port", port_});
 }
@@ -151,7 +153,38 @@ std::string TelemetryServer::HandleRequest(const std::string& method,
 
 std::string TelemetryServer::HandlePath(const std::string& path) const {
   if (path == "/healthz") {
-    return HttpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n");
+    // Structured health document; "status":"ok" keeps the plain-text
+    // smoke check (`grep ok`) working.
+    std::string body = "{\"status\":\"ok\"";
+    body += ",\"version\":" + JsonQuote(BuildVersion());
+    body += ",\"compiler\":" + JsonQuote(BuildCompiler());
+    const std::uint64_t uptime_s =
+        start_ns_ == 0 ? 0 : (ProfileNowNs() - start_ns_) / 1000000000ULL;
+    body += ",\"uptime_seconds\":" + std::to_string(uptime_s);
+    body += ",\"sampler\":{\"attached\":";
+    body += timeseries_ == nullptr ? "false" : "true";
+    if (timeseries_ != nullptr) {
+      body += ",\"samples\":" + std::to_string(timeseries_->samples_taken());
+      body += ",\"capacity\":" + std::to_string(timeseries_->capacity());
+    }
+    body += "},\"alerts\":{\"attached\":";
+    body += alerts_ == nullptr ? "false" : "true";
+    if (alerts_ != nullptr) {
+      std::size_t firing = 0;
+      std::size_t pending = 0;
+      const auto statuses = alerts_->Status();
+      for (const auto& status : statuses) {
+        if (status.state == AlertState::kFiring) ++firing;
+        if (status.state == AlertState::kPending) ++pending;
+      }
+      body += ",\"rules\":" + std::to_string(statuses.size());
+      body += ",\"firing\":" + std::to_string(firing);
+      body += ",\"pending\":" + std::to_string(pending);
+    }
+    body += "},\"profiler\":{\"attached\":";
+    body += profiler_ == nullptr ? "false" : "true";
+    body += "}}\n";
+    return HttpResponse(200, "OK", "application/json", body);
   }
   if (path == "/metrics") {
     const std::string body =
@@ -178,6 +211,25 @@ std::string TelemetryServer::HandlePath(const std::string& path) const {
   if (path == "/alerts") {
     const std::string body =
         alerts_ == nullptr ? std::string("{}\n") : alerts_->RenderJson();
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  if (path == "/profile") {
+    const std::string body =
+        profiler_ == nullptr ? std::string("{}\n") : profiler_->RenderJson();
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  if (path == "/profile.collapsed") {
+    const std::string body =
+        profiler_ == nullptr ? std::string() : profiler_->RenderCollapsed();
+    return HttpResponse(200, "OK", "text/plain; charset=utf-8", body);
+  }
+  if (path == "/locks") {
+    return HttpResponse(200, "OK", "application/json",
+                        RenderLockContentionJson());
+  }
+  if (path == "/memory") {
+    const std::string body =
+        memory_ == nullptr ? std::string("{}\n") : memory_->RenderJson();
     return HttpResponse(200, "OK", "application/json", body);
   }
   if (path == "/devices") {

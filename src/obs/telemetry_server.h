@@ -1,12 +1,17 @@
 // Minimal blocking HTTP/1.1 endpoint for live telemetry scraping
 // (`sentinelctl serve --listen <port>`). Routes (GET only; every other
 // method is 405 at the routing layer):
-//   GET /healthz          -> 200 "ok"
+//   GET /healthz          -> structured health JSON ("status": "ok",
+//                            build info, uptime, sampler + alert summary)
 //   GET /metrics          -> Prometheus text exposition of the registry
 //   GET /metrics.json     -> the registry's JSON exposition
 //   GET /timeseries       -> windowed stats of every sampled series (JSON)
 //   GET /quality          -> model-quality monitor state (JSON)
 //   GET /alerts           -> alert rule states (JSON)
+//   GET /profile          -> merged profiler self/total-time tree (JSON)
+//   GET /profile.collapsed-> collapsed-stack lines (flamegraph input)
+//   GET /locks            -> per-site lock-contention telemetry (JSON)
+//   GET /memory           -> unified memory-attribution tree (JSON)
 //   GET /devices          -> JSON list of journalled device MACs
 //   GET /devices/<mac>    -> the device's flight-recorder journal as JSON
 // Anything else is 404. One connection is served at a time (a scrape is a
@@ -22,7 +27,9 @@
 
 #include "obs/alerts.h"
 #include "obs/flight_recorder.h"
+#include "obs/memory_accounting.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/quality.h"
 #include "obs/timeseries.h"
 
@@ -70,6 +77,10 @@ class TelemetryServer {
   }
   void set_quality(const QualityMonitor* monitor) { quality_ = monitor; }
   void set_alerts(const AlertEngine* engine) { alerts_ = engine; }
+  /// Sources behind /profile(.collapsed) and /memory; "{}" until
+  /// attached, like the other optional sources.
+  void set_profiler(const Profiler* profiler) { profiler_ = profiler; }
+  void set_memory(const MemoryAccounting* memory) { memory_ = memory; }
 
   /// Routes one (method, path) request to a full HTTP response (status
   /// line, headers, body); non-GET methods get the 405 here, so the whole
@@ -88,7 +99,11 @@ class TelemetryServer {
   std::size_t timeseries_window_ = 60;
   const QualityMonitor* quality_ = nullptr;
   const AlertEngine* alerts_ = nullptr;
+  const Profiler* profiler_ = nullptr;
+  const MemoryAccounting* memory_ = nullptr;
   TelemetryServerConfig config_;
+  /// Monotonic ns at Start(); 0 before. /healthz derives uptime from it.
+  std::uint64_t start_ns_ = 0;
   std::uint16_t port_ = 0;
   /// Atomic so Stop() can race Serve() from another thread; -1 when not
   /// listening. Stop() exchanges to -1 so the fd is closed exactly once.

@@ -170,7 +170,8 @@ class TimeSeriesStore {
   // observed head > H. See the file comment.
   std::atomic<std::uint64_t> head_{0};
 
-  mutable Mutex mutex_;  // guards series_ (the map, not the rings)
+  // guards series_ (the map, not the rings)
+  mutable Mutex mutex_{"obs.timeseries"};
   std::map<std::string, std::unique_ptr<Series>> series_
       SENTINEL_GUARDED_BY(mutex_);
 };

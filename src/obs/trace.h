@@ -120,7 +120,7 @@ class Tracer {
   std::atomic<std::uint64_t> next_trace_id_{1};
   // ordering: relaxed — id generator, as above.
   std::atomic<std::uint64_t> next_span_id_{1};
-  mutable Mutex label_mutex_;
+  mutable Mutex label_mutex_{"obs.trace_labels"};
   std::map<TraceId, std::string> trace_labels_
       SENTINEL_GUARDED_BY(label_mutex_);
 };

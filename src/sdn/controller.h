@@ -103,7 +103,7 @@ class Controller {
     std::list<std::uint64_t>::iterator lru_pos;
   };
   struct MacShard {
-    mutable SharedMutex mutex;
+    mutable SharedMutex mutex{"controller.mac_shard"};
     std::unordered_map<std::uint64_t, MacEntry> macs SENTINEL_GUARDED_BY(mutex);
     std::list<std::uint64_t> lru SENTINEL_GUARDED_BY(mutex);
   };

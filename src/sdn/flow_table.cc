@@ -4,6 +4,7 @@
 
 #include "util/mutex.h"
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/shard.h"
@@ -411,6 +412,7 @@ const FlowRule* FlowTable::Lookup(const net::ParsedPacket& packet,
 FlowTable::MatchResult FlowTable::Match(const net::ParsedPacket& packet,
                                         PortId in_port, std::uint64_t now_ns,
                                         std::size_t frame_bytes) const {
+  SENTINEL_PROFILE_SCOPE("flow.match");
   if (handles_.lookups_total != nullptr) handles_.lookups_total->Increment();
   MatchResult result;
   const FlowRule* best = nullptr;

@@ -164,7 +164,7 @@ class FlowTable {
   /// swap-remove via FlowRule::table_index), the flat probe cache, and the
   /// eviction sweep cursor.
   struct Shard {
-    mutable SharedMutex mutex;
+    mutable SharedMutex mutex{"flow_table.shard"};
     std::vector<std::unique_ptr<FlowRule>> rules SENTINEL_GUARDED_BY(mutex);
     FlowMatchCache cache SENTINEL_GUARDED_BY(mutex);
     std::uint64_t sweep_state SENTINEL_GUARDED_BY(mutex) = 0;
@@ -194,7 +194,7 @@ class FlowTable {
 
   // Wildcard (non-exact) tier: owned storage + pointers sorted by
   // descending priority.
-  mutable SharedMutex wildcard_mutex_;
+  mutable SharedMutex wildcard_mutex_{"flow_table.wildcard"};
   std::vector<std::unique_ptr<FlowRule>> wildcard_storage_
       SENTINEL_GUARDED_BY(wildcard_mutex_);
   std::vector<FlowRule*> wildcard_rules_ SENTINEL_GUARDED_BY(wildcard_mutex_);

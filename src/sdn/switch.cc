@@ -1,5 +1,6 @@
 #include "sdn/switch.h"
 
+#include "obs/profiler.h"
 #include "obs/scoped_timer.h"
 #include "sdn/controller.h"
 
@@ -43,6 +44,7 @@ void SoftwareSwitch::DetachPort(PortId port) { ports_.erase(port); }
 
 bool SoftwareSwitch::Inject(PortId in_port, const net::Frame& frame) {
   obs::ScopedTimer ingress_timer(handles_.ingress_ns);
+  SENTINEL_PROFILE_SCOPE("switch.inject");
   ++counters_.received;
   if (handles_.received_total != nullptr) handles_.received_total->Increment();
   net::ParsedPacket packet;

@@ -19,6 +19,15 @@
 //   sentinel::ReaderLock   — scoped shared lock of a SharedMutex
 //   sentinel::CondVar      — condition variable bound to Mutex at the
 //                            call site (Wait requires the capability)
+//
+// Contention telemetry (DESIGN.md "Performance observability"): a mutex
+// constructed with a site name — Mutex mu{"flow_table.shard"} — feeds the
+// named lock site in util/lock_telemetry.h whenever an acquire has to
+// wait: contended-acquire count, total wait nanoseconds and a log4 wait
+// histogram, all relaxed atomics. The slow path is detected with one
+// try_lock, so an uncontended named acquire pays a branch and one relaxed
+// increment; unnamed mutexes pay a single pointer test. Compiled out
+// entirely (no member, no branch) when SENTINEL_LOCK_TELEMETRY is off.
 #pragma once
 
 #include <condition_variable>
@@ -27,6 +36,7 @@
 #include <thread>
 
 #include "util/check.h"
+#include "util/lock_telemetry.h"
 #include "util/thread_annotations.h"
 
 namespace sentinel {
@@ -37,10 +47,30 @@ namespace sentinel {
 class SENTINEL_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Names this mutex's contention-telemetry site. Mutexes guarding the
+  /// same logical resource (e.g. shards of one table) share a site name.
+#if defined(SENTINEL_LOCK_TELEMETRY)
+  explicit Mutex(const char* site) : site_(RegisterLockSite(site)) {}
+#else
+  explicit Mutex(const char* /*site*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
   void Lock() SENTINEL_ACQUIRE() {
+#if defined(SENTINEL_LOCK_TELEMETRY)
+    if (site_ != nullptr && LockTelemetryEnabled()) {
+      // ordering: relaxed — statistics only; see LockSiteStats.
+      site_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+      if (!mu_.try_lock()) {
+        const std::uint64_t wait_start_ns = LockNowNs();
+        mu_.lock();
+        RecordLockWait(site_, LockNowNs() - wait_start_ns);
+      }
+      DebugSetOwner();
+      return;
+    }
+#endif
     mu_.lock();
     DebugSetOwner();
   }
@@ -70,6 +100,9 @@ class SENTINEL_CAPABILITY("mutex") Mutex {
   friend class CondVar;
 
   std::mutex mu_;
+#if defined(SENTINEL_LOCK_TELEMETRY)
+  LockSiteStats* site_ = nullptr;  // named-site telemetry; null = untracked
+#endif
 #if !defined(NDEBUG)
   // ordering: relaxed — owner_ is only written while mu_ is held, so the
   // mutex itself orders all well-formed accesses; the atomic exists so the
@@ -97,10 +130,30 @@ class SENTINEL_CAPABILITY("mutex") Mutex {
 class SENTINEL_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  /// Names this mutex's contention-telemetry site (see Mutex). Writer and
+  /// reader waits both feed the same site.
+#if defined(SENTINEL_LOCK_TELEMETRY)
+  explicit SharedMutex(const char* site) : site_(RegisterLockSite(site)) {}
+#else
+  explicit SharedMutex(const char* /*site*/) {}
+#endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
   void Lock() SENTINEL_ACQUIRE() {
+#if defined(SENTINEL_LOCK_TELEMETRY)
+    if (site_ != nullptr && LockTelemetryEnabled()) {
+      // ordering: relaxed — statistics only; see LockSiteStats.
+      site_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+      if (!mu_.try_lock()) {
+        const std::uint64_t wait_start_ns = LockNowNs();
+        mu_.lock();
+        RecordLockWait(site_, LockNowNs() - wait_start_ns);
+      }
+      DebugSetOwner();
+      return;
+    }
+#endif
     mu_.lock();
     DebugSetOwner();
   }
@@ -116,7 +169,21 @@ class SENTINEL_CAPABILITY("shared_mutex") SharedMutex {
     return true;
   }
 
-  void LockShared() SENTINEL_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void LockShared() SENTINEL_ACQUIRE_SHARED() {
+#if defined(SENTINEL_LOCK_TELEMETRY)
+    if (site_ != nullptr && LockTelemetryEnabled()) {
+      // ordering: relaxed — statistics only; see LockSiteStats.
+      site_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+      if (!mu_.try_lock_shared()) {
+        const std::uint64_t wait_start_ns = LockNowNs();
+        mu_.lock_shared();
+        RecordLockWait(site_, LockNowNs() - wait_start_ns);
+      }
+      return;
+    }
+#endif
+    mu_.lock_shared();
+  }
   void UnlockShared() SENTINEL_RELEASE_SHARED() { mu_.unlock_shared(); }
   [[nodiscard]] bool TryLockShared() SENTINEL_TRY_ACQUIRE_SHARED(true) {
     return mu_.try_lock_shared();
@@ -134,6 +201,9 @@ class SENTINEL_CAPABILITY("shared_mutex") SharedMutex {
 
  private:
   std::shared_mutex mu_;
+#if defined(SENTINEL_LOCK_TELEMETRY)
+  LockSiteStats* site_ = nullptr;  // named-site telemetry; null = untracked
+#endif
 #if !defined(NDEBUG)
   // ordering: relaxed — written only under the exclusive lock; atomic only
   // to keep the failing-AssertHeld read defined. See Mutex::owner_.

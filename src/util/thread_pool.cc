@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/log.h"
+#include "obs/profiler.h"
 #include "obs/scoped_timer.h"
 
 namespace sentinel::util {
@@ -133,7 +134,7 @@ struct ParallelForState {
   // ordering: relaxed — a best-effort skip flag; exactness is not needed,
   // the error slot below is the synchronized source of truth.
   std::atomic<bool> aborted{false};
-  Mutex mutex;
+  Mutex mutex{"thread_pool.parallel_for"};
   CondVar cv;
   std::exception_ptr error SENTINEL_GUARDED_BY(mutex);  // first wins
 };
@@ -149,6 +150,7 @@ void ExecuteRange(ParallelForState& state) {
     if (begin >= state.total) return;
     const std::size_t end = std::min(begin + state.grain, state.total);
     if (!state.aborted.load(std::memory_order_relaxed)) {
+      SENTINEL_PROFILE_SCOPE("thread_pool.parallel_chunk");
       try {
         for (std::size_t i = begin; i < end; ++i) state.fn(i);
       } catch (...) {

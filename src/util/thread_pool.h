@@ -76,7 +76,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  Mutex mutex_;
+  Mutex mutex_{"thread_pool.queue"};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ SENTINEL_GUARDED_BY(mutex_);
   bool stopping_ SENTINEL_GUARDED_BY(mutex_) = false;

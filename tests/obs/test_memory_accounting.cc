@@ -1,0 +1,146 @@
+// Unit tests for the unified memory-attribution registry
+// (obs/memory_accounting.h): RAII registration lifecycle, same-path
+// merging, the slash-path rollup tree and the /memory JSON exposition.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "obs/memory_accounting.h"
+
+namespace sentinel::obs {
+namespace {
+
+const MemoryAccounting::Node* FindChild(const MemoryAccounting::Node& node,
+                                        const std::string& name) {
+  for (const auto& child : node.children)
+    if (child.name == name) return &child;
+  return nullptr;
+}
+
+TEST(MemoryAccountingTest, EmptyRegistry) {
+  MemoryAccounting memory;
+  EXPECT_EQ(memory.component_count(), 0u);
+  EXPECT_EQ(memory.TotalBytes(), 0u);
+  EXPECT_TRUE(memory.Sample().empty());
+  EXPECT_TRUE(memory.Tree().children.empty());
+  const std::string json = memory.RenderJson();
+  EXPECT_NE(json.find("\"total_bytes\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"components\":[]"), std::string::npos);
+}
+
+TEST(MemoryAccountingTest, RegistrationIsRaii) {
+  MemoryAccounting memory;
+  {
+    const auto registration =
+        memory.Register("a/b", [] { return std::size_t{10}; });
+    EXPECT_TRUE(registration.active());
+    EXPECT_EQ(memory.component_count(), 1u);
+    EXPECT_EQ(memory.TotalBytes(), 10u);
+  }
+  EXPECT_EQ(memory.component_count(), 0u);
+  EXPECT_EQ(memory.TotalBytes(), 0u);
+}
+
+TEST(MemoryAccountingTest, MoveTransfersOwnership) {
+  MemoryAccounting memory;
+  auto first = memory.Register("x", [] { return std::size_t{1}; });
+  MemoryAccounting::Registration second(std::move(first));
+  EXPECT_FALSE(first.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(second.active());
+  EXPECT_EQ(memory.component_count(), 1u);
+  MemoryAccounting::Registration third;
+  third = std::move(second);
+  EXPECT_EQ(memory.component_count(), 1u);
+  third.Release();
+  EXPECT_FALSE(third.active());
+  EXPECT_EQ(memory.component_count(), 0u);
+  third.Release();  // double release is inert
+}
+
+TEST(MemoryAccountingTest, MoveAssignReleasesPreviousTarget) {
+  MemoryAccounting memory;
+  auto a = memory.Register("a", [] { return std::size_t{1}; });
+  auto b = memory.Register("b", [] { return std::size_t{2}; });
+  EXPECT_EQ(memory.component_count(), 2u);
+  a = std::move(b);  // a's original registration must unregister
+  EXPECT_EQ(memory.component_count(), 1u);
+  EXPECT_EQ(memory.TotalBytes(), 2u);
+}
+
+TEST(MemoryAccountingTest, SamePathSamplersMerge) {
+  MemoryAccounting memory;
+  const auto shard0 =
+      memory.Register("table/shards", [] { return std::size_t{100}; });
+  const auto shard1 =
+      memory.Register("table/shards", [] { return std::size_t{24}; });
+  const auto components = memory.Sample();
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0].path, "table/shards");
+  EXPECT_EQ(components[0].bytes, 124u);
+  EXPECT_EQ(memory.component_count(), 2u);
+}
+
+TEST(MemoryAccountingTest, SampleIsLiveAndSortedByPath) {
+  MemoryAccounting memory;
+  std::size_t live = 5;
+  const auto z = memory.Register("z", [&live] { return live; });
+  const auto a = memory.Register("a", [] { return std::size_t{1}; });
+  auto components = memory.Sample();
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0].path, "a");
+  EXPECT_EQ(components[1].bytes, 5u);
+  live = 50;  // samplers are callbacks, not cached values
+  components = memory.Sample();
+  EXPECT_EQ(components[1].bytes, 50u);
+}
+
+TEST(MemoryAccountingTest, TreeRollsUpByPathSegment) {
+  MemoryAccounting memory;
+  const auto r1 =
+      memory.Register("gateway/switch/flow_table", [] { return std::size_t{100}; });
+  const auto r2 =
+      memory.Register("gateway/switch/match_cache", [] { return std::size_t{30}; });
+  const auto r3 = memory.Register("gateway/monitor", [] { return std::size_t{7}; });
+  const auto r4 = memory.Register("gateway", [] { return std::size_t{1}; });
+  const auto root = memory.Tree();
+  EXPECT_EQ(root.total_bytes, 138u);
+  const auto* gateway = FindChild(root, "gateway");
+  ASSERT_NE(gateway, nullptr);
+  EXPECT_EQ(gateway->self_bytes, 1u);  // registered exactly at "gateway"
+  EXPECT_EQ(gateway->total_bytes, 138u);
+  const auto* sw = FindChild(*gateway, "switch");
+  ASSERT_NE(sw, nullptr);
+  EXPECT_EQ(sw->self_bytes, 0u);
+  EXPECT_EQ(sw->total_bytes, 130u);
+  ASSERT_EQ(sw->children.size(), 2u);
+  EXPECT_EQ(sw->children[0].name, "flow_table");
+  EXPECT_EQ(sw->children[1].name, "match_cache");
+  const auto* monitor = FindChild(*gateway, "monitor");
+  ASSERT_NE(monitor, nullptr);
+  EXPECT_EQ(monitor->total_bytes, 7u);
+}
+
+TEST(MemoryAccountingTest, RenderJsonShape) {
+  MemoryAccounting memory;
+  const auto r = memory.Register("bank/\"quoted\"",
+                                 [] { return std::size_t{42}; });
+  const std::string json = memory.RenderJson();
+  EXPECT_NE(json.find("\"total_bytes\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"rss_bytes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"bank/\\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"tree\":"), std::string::npos);
+}
+
+TEST(MemoryAccountingTest, ProcessResidentBytesIsPlausible) {
+#ifdef __linux__
+  const std::size_t rss = ProcessResidentBytes();
+  EXPECT_GT(rss, 0u);
+  EXPECT_LT(rss, std::size_t{1} << 40);  // under a terabyte
+#else
+  EXPECT_EQ(ProcessResidentBytes(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace sentinel::obs

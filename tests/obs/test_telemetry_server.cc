@@ -30,7 +30,34 @@ TEST(TelemetryRoutesTest, HealthzAlwaysOk) {
   TelemetryServer server(nullptr, nullptr);
   const std::string response = server.HandlePath("/healthz");
   EXPECT_NE(response.find("200 OK"), std::string::npos);
-  EXPECT_NE(response.find("ok\n"), std::string::npos);
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+  // Contains "ok" as a substring so plain-text smoke checks keep passing.
+  EXPECT_NE(response.find("ok"), std::string::npos);
+}
+
+TEST(TelemetryRoutesTest, HealthzReportsBuildAndSourceStatus) {
+  MetricsRegistry registry;
+  TimeSeriesStore store(&registry);
+  store.Sample(1'000'000'000);
+  store.Sample(2'000'000'000);
+  AlertEngine alerts(&store);
+  alerts.AddRule({.name = "r1", .series = "nope"});
+
+  TelemetryServer server(&registry, nullptr);
+  // Detached sources report attached:false and no counts.
+  const std::string bare = server.HandlePath("/healthz");
+  EXPECT_NE(bare.find("\"sampler\":{\"attached\":false}"), std::string::npos);
+  EXPECT_NE(bare.find("\"version\":"), std::string::npos);
+  EXPECT_NE(bare.find("\"compiler\":"), std::string::npos);
+  EXPECT_NE(bare.find("\"uptime_seconds\":0"), std::string::npos);
+
+  server.set_timeseries(&store);
+  server.set_alerts(&alerts);
+  const std::string full = server.HandlePath("/healthz");
+  EXPECT_NE(full.find("\"samples\":2"), std::string::npos);
+  EXPECT_NE(full.find("\"rules\":1"), std::string::npos);
+  EXPECT_NE(full.find("\"firing\":0"), std::string::npos);
+  EXPECT_NE(full.find("\"pending\":0"), std::string::npos);
 }
 
 TEST(TelemetryRoutesTest, MetricsRendersPrometheusText) {
@@ -137,6 +164,36 @@ TEST(TelemetryRoutesTest, ObservabilityRoutesServeAttachedSources) {
             std::string::npos);
   EXPECT_NE(server.HandlePath("/alerts").find("\"rules\""),
             std::string::npos);
+}
+
+TEST(TelemetryRoutesTest, ProfileMemoryAndLockRoutes) {
+  TelemetryServer server(nullptr, nullptr);
+  // Detached profiler/memory sources degrade to empty JSON documents.
+  EXPECT_NE(server.HandlePath("/profile").find("{}"), std::string::npos);
+  EXPECT_NE(server.HandlePath("/memory").find("{}"), std::string::npos);
+  EXPECT_NE(server.HandlePath("/profile.collapsed").find("200 OK"),
+            std::string::npos);
+  // /locks needs no source: the site table is process-wide.
+  const std::string locks = server.HandlePath("/locks");
+  EXPECT_NE(locks.find("200 OK"), std::string::npos);
+  EXPECT_NE(locks.find("\"sites\""), std::string::npos);
+
+  Profiler profiler;
+  MemoryAccounting memory;
+  const auto registration =
+      memory.Register("test/component", [] { return std::size_t{64}; });
+  server.set_profiler(&profiler);
+  server.set_memory(&memory);
+  {
+    ScopedProfiler install(&profiler);
+    SENTINEL_PROFILE_SCOPE("route_frame");
+  }
+  const std::string profile = server.HandlePath("/profile");
+  EXPECT_NE(profile.find("application/json"), std::string::npos);
+  EXPECT_NE(profile.find("\"route_frame\""), std::string::npos);
+  const std::string mem = server.HandlePath("/memory");
+  EXPECT_NE(mem.find("\"test/component\""), std::string::npos);
+  EXPECT_NE(mem.find("\"total_bytes\":64"), std::string::npos);
 }
 
 TEST(TelemetryRoutesTest, MalformedDevicePathsAre404) {

@@ -36,6 +36,15 @@
 //       shape gradually shifts while a control type stays clean; print
 //       the per-window PSI trajectory and the drifted type's alert
 //       walking ok -> pending -> firing.
+//   sentinelctl profile [--episodes N] [--seed S] [--json] [--out f]
+//       Run the stats pipeline with the in-process profiler attached and
+//       print the merged self/total-time frame tree (JSON with --json;
+//       --out writes collapsed stacks for flamegraph.pl / speedscope).
+//   sentinelctl diag <output-dir> [--episodes N] [--seed S]
+//       Run the stats pipeline with the full observability plane
+//       attached and write a debug bundle: metrics (Prometheus + JSON),
+//       profile (JSON + collapsed), lock contention, memory attribution,
+//       time series, quality, alerts, trace and build info.
 //
 // `train`, `identify`, `evaluate` and `stats` accept
 // `--metrics-out <file>` to write the run's metrics registry (Prometheus
@@ -47,6 +56,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,7 +78,9 @@
 #include "obs/alerts.h"
 #include "obs/build_info.h"
 #include "obs/flight_recorder.h"
+#include "obs/memory_accounting.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/quality.h"
 #include "obs/scoped_timer.h"
 #include "obs/telemetry_server.h"
@@ -505,8 +518,11 @@ void StreamDemoEpisodes(core::SecurityGateway& gateway,
 
   const std::size_t demo_devices =
       std::min<std::size_t>(devices::DeviceTypeCount(), 5);
-  std::printf("streaming %zu device setup episodes through the gateway...\n",
-              demo_devices);
+  // Progress chatter goes to stderr so `profile --json` and `diag` keep
+  // stdout parseable.
+  std::fprintf(stderr,
+               "streaming %zu device setup episodes through the gateway...\n",
+               demo_devices);
   devices::DeviceSimulator simulator(options.seed + 1);
   for (std::size_t t = 0; t < demo_devices; ++t) {
     const auto episode =
@@ -521,6 +537,62 @@ void StreamDemoEpisodes(core::SecurityGateway& gateway,
     const auto last = episode.trace.frames().back().timestamp_ns;
     gateway.sentinel().FlushIdle(last + 60'000'000'000ull);
   }
+}
+
+/// Trains the demo Security Service the stats/serve/profile/diag
+/// commands all exercise: a classifier bank over the catalog dataset.
+core::SecurityService TrainDemoService(const Options& options,
+                                       obs::MetricsRegistry* registry) {
+  // Progress goes to stderr: `profile --json` and `diag` callers own stdout.
+  std::fprintf(stderr,
+               "training security service (%zu episodes/type, seed %llu)...\n",
+               options.episodes,
+               static_cast<unsigned long long>(options.seed));
+  const auto dataset =
+      devices::GenerateFingerprintDataset(options.episodes, options.seed);
+  std::vector<core::LabelledFingerprint> train;
+  train.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    train.push_back(core::LabelledFingerprint{
+        &dataset.fingerprints[i], &dataset.fixed[i], dataset.labels[i]});
+  core::DeviceIdentifier identifier;
+  {
+    util::ThreadPool pool;  // auto-attaches to the default registry
+    identifier.set_thread_pool(&pool);
+    if (registry != nullptr) identifier.set_metrics(registry);
+    identifier.Train(train);
+    identifier.set_thread_pool(nullptr);
+  }
+  return core::SecurityService(std::move(identifier),
+                               core::VulnerabilityDb::SeedFromCatalog());
+}
+
+/// Registers the gateway's component-level MemoryBytes() estimators in
+/// `memory`. The returned registrations must not outlive the components.
+std::vector<obs::MemoryAccounting::Registration> RegisterGatewayMemory(
+    obs::MemoryAccounting& memory, core::SecurityGateway& gateway,
+    core::SecurityService& service) {
+  std::vector<obs::MemoryAccounting::Registration> registrations;
+  registrations.push_back(memory.Register(
+      "gateway/datapath",
+      [&gateway] { return gateway.datapath().MemoryBytes(); }));
+  registrations.push_back(memory.Register(
+      "gateway/enforcement",
+      [&gateway] { return gateway.enforcement().MemoryBytes(); }));
+  registrations.push_back(memory.Register(
+      "gateway/monitor_sessions",
+      [&gateway] { return gateway.sentinel().monitor().MemoryBytes(); }));
+  registrations.push_back(memory.Register(
+      "service/identifier",
+      [&service] { return service.identifier().MemoryBytes(); }));
+  return registrations;
+}
+
+void WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("cannot write " + path);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
 }
 
 int CmdStats(const Options& options) {
@@ -569,6 +641,11 @@ int CmdServe(const Options& options) {
   // until interrupted while a sampler thread keeps the windows fresh.
   obs::MetricsRegistry registry;
   obs::ScopedDefaultRegistry scoped_registry(&registry);
+  // Install the profiler before training so the whole pipeline — model
+  // build, demo episodes and everything served afterwards — lands in one
+  // frame tree behind /profile.
+  obs::Profiler profiler;
+  obs::ScopedProfiler scoped_profiler(&profiler);
   obs::FlightRecorder recorder;
   const obs::StandardMetrics standard = obs::RegisterStandardMetrics(registry);
   obs::QualityMonitor quality(&registry);
@@ -634,11 +711,19 @@ int CmdServe(const Options& options) {
     }
   }
 
+  // Live memory attribution behind /memory: the gateway's component
+  // estimators, sampled on scrape.
+  obs::MemoryAccounting memory;
+  const auto memory_registrations =
+      RegisterGatewayMemory(memory, gateway, service);
+
   obs::TelemetryServer server(&registry, &recorder,
                               {.port = options.listen_port});
   server.set_timeseries(&store);
   server.set_quality(&quality);
   server.set_alerts(&alerts);
+  server.set_profiler(&profiler);
+  server.set_memory(&memory);
 
   // ordering: relaxed — a stop flag polled every 100 ms; the join below is
   // the synchronization point, the flag only needs eventual visibility.
@@ -666,7 +751,8 @@ int CmdServe(const Options& options) {
   server.Start();
   std::printf("serving telemetry on http://127.0.0.1:%u\n"
               "  /healthz  /metrics  /metrics.json  /timeseries  /quality\n"
-              "  /alerts  /devices  /devices/<mac>\n",
+              "  /alerts  /profile  /profile.collapsed  /locks  /memory\n"
+              "  /devices  /devices/<mac>\n",
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
   server.Serve();  // blocks until the process is interrupted
@@ -714,6 +800,95 @@ int CmdAlerts(const Options& options) {
   return report.firing_window >= 0 && report.control_stayed_ok ? 0 : 1;
 }
 
+int CmdProfile(const Options& options) {
+  // Where does the pipeline's time go: run the stats demo (train + stream
+  // episodes) with the in-process profiler installed and print the merged
+  // self/total-time frame tree.
+  obs::MetricsRegistry registry;
+  obs::ScopedDefaultRegistry scoped_registry(&registry);
+  obs::Profiler profiler;
+  obs::ScopedProfiler scoped_profiler(&profiler);
+
+  auto service = TrainDemoService(options, &registry);
+  core::SecurityGateway gateway(service);
+  gateway.set_metrics(&registry);
+  StreamDemoEpisodes(gateway, options);
+
+  if (options.json) {
+    std::fputs(profiler.RenderJson().c_str(), stdout);
+    std::printf("\n");
+  } else {
+    std::fputs(profiler.RenderText().c_str(), stdout);
+  }
+  if (!options.out_path.empty()) {
+    WriteTextFile(options.out_path, profiler.RenderCollapsed());
+    std::fprintf(stderr, "wrote collapsed stacks (flamegraph input) to %s\n",
+                 options.out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdDiag(const Options& options) {
+  // Debug bundle: run the stats demo with the whole observability plane
+  // attached and write every exposition into <output-dir>.
+  if (options.positional.empty())
+    throw std::runtime_error("diag: missing <output-dir>");
+  const std::string dir = options.positional[0];
+  std::filesystem::create_directories(dir);
+
+  obs::MetricsRegistry registry;
+  obs::ScopedDefaultRegistry scoped_registry(&registry);
+  obs::Profiler profiler;
+  obs::ScopedProfiler scoped_profiler(&profiler);
+  obs::FlightRecorder recorder;
+  obs::Tracer tracer;
+  obs::QualityMonitor quality(&registry);
+
+  auto service = TrainDemoService(options, &registry);
+  service.set_quality_monitor(&quality);
+  core::SecurityGateway gateway(service);
+  gateway.set_metrics(&registry);
+  gateway.set_flight_recorder(&recorder);
+  gateway.set_quality_monitor(&quality);
+  gateway.set_tracer(&tracer);  // single-threaded demo stream
+  StreamDemoEpisodes(gateway, options);
+
+  obs::MemoryAccounting memory;
+  const auto memory_registrations =
+      RegisterGatewayMemory(memory, gateway, service);
+
+  obs::TimeSeriesStore store(&registry);
+  obs::AlertEngine alerts(&store, &registry);
+  for (std::int64_t tick = 1; tick <= 3; ++tick) {
+    store.Sample(tick * 1'000'000'000);
+    alerts.Evaluate(tick * 1'000'000'000);
+  }
+
+  const std::vector<std::pair<std::string, std::string>> bundle = {
+      {"metrics.prom", registry.RenderPrometheus()},
+      {"metrics.json", registry.RenderJson()},
+      {"profile.json", profiler.RenderJson()},
+      {"profile.collapsed", profiler.RenderCollapsed()},
+      {"locks.json", obs::RenderLockContentionJson()},
+      {"memory.json", memory.RenderJson()},
+      {"timeseries.json", store.RenderJson(/*window=*/60)},
+      {"quality.json", quality.RenderJson()},
+      {"alerts.json", alerts.RenderJson()},
+      {"trace.json", tracer.RenderChromeJson()},
+      {"build.txt", "version " + obs::BuildVersion() + "\ncompiler " +
+                        obs::BuildCompiler() + "\n"},
+  };
+  for (const auto& [name, content] : bundle) {
+    WriteTextFile(dir + "/" + name, content);
+  }
+  std::printf("wrote %zu-file debug bundle to %s\n", bundle.size(),
+              dir.c_str());
+  for (const auto& [name, content] : bundle) {
+    std::printf("  %-18s %8zu bytes\n", name.c_str(), content.size());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -754,6 +929,15 @@ int Usage() {
       "      ramps away from its baseline while a control type stays\n"
       "      clean; print the per-window PSI trajectory and the alert\n"
       "      walking ok -> pending -> firing.\n"
+      "  profile [--episodes N] [--seed S] [--json] [--out stacks.txt]\n"
+      "      Run the stats pipeline with the in-process profiler attached\n"
+      "      and print the merged self/total-time frame tree (--json for\n"
+      "      JSON; --out writes collapsed stacks for flamegraph tools).\n"
+      "  diag <output-dir> [--episodes N] [--seed S]\n"
+      "      Run the stats pipeline with the full observability plane\n"
+      "      attached and write a debug bundle (metrics, profile, lock\n"
+      "      contention, memory attribution, time series, quality,\n"
+      "      alerts, trace, build info) into <output-dir>.\n"
       "\n"
       "train/identify/evaluate/stats also accept --metrics-out <file>\n"
       "(Prometheus text; JSON with --json); train/identify/explain/evaluate\n"
@@ -780,6 +964,8 @@ int main(int argc, char** argv) {
     if (command == "stats") return CmdStats(options);
     if (command == "serve") return CmdServe(options);
     if (command == "alerts") return CmdAlerts(options);
+    if (command == "profile") return CmdProfile(options);
+    if (command == "diag") return CmdDiag(options);
     return Usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sentinelctl %s: %s\n", command.c_str(),
