@@ -357,6 +357,72 @@ int main(int argc, char** argv) {
         << "% single-probe throughput (budget: 2%)";
   }
 
+  // Multithreaded-dispatch guard: on this container nproc is 1, so the
+  // 8-thread per-call mode cannot beat single-threaded — every fan-out
+  // buys zero parallelism and pays wake-ups and context switches. That
+  // fast_8t <= fast_1t at 16-128 types is therefore *expected* here, not
+  // a regression; what must hold is that the dispatch machinery's tax is
+  // bounded. Same paired-slice-median protocol as the overhead gates
+  // above: each pair times pooled and unpooled back to back in
+  // alternating order, and the median per-pair ratio discards pairs hit
+  // by preemption or frequency drift.
+  double mt_1t_ips = 0.0;
+  double mt_8t_ips = 0.0;
+  {
+    const auto train = Widen(train_base, 31);
+    const auto probes = Widen(probe_base, 31);
+    DeviceIdentifier identifier;
+    identifier.set_thread_pool(&pool);
+    identifier.Train(ToExamples(train));
+    identifier.set_thread_pool(nullptr);
+    const std::size_t loops = 4;
+    const auto run_looped = [&] {
+      for (std::size_t l = 0; l < loops; ++l)
+        for (std::size_t i = 0; i < probes.size(); ++i)
+          (void)identifier.Identify(probes.fingerprints[i], probes.fixed[i]);
+    };
+    std::vector<double> ratios;  // pooled time / unpooled time
+    std::vector<double> unpooled_secs;
+    const auto timed = [&](sentinel::util::ThreadPool* attached) {
+      identifier.set_thread_pool(attached);
+      const auto t0 = Clock::now();
+      run_looped();
+      return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+    run_looped();  // warmup
+    for (std::size_t pair = 0; pair < 65; ++pair) {
+      double unpooled = 0.0;
+      double pooled = 0.0;
+      if (pair % 2 == 0) {
+        unpooled = timed(nullptr);
+        pooled = timed(&pool);
+      } else {
+        pooled = timed(&pool);
+        unpooled = timed(nullptr);
+      }
+      ratios.push_back(pooled / unpooled);
+      unpooled_secs.push_back(unpooled);
+    }
+    identifier.set_thread_pool(nullptr);
+    std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
+                     ratios.end());
+    const double median_ratio = ratios[ratios.size() / 2];
+    const auto looped_probes = static_cast<double>(probes.size() * loops);
+    mt_1t_ips = looped_probes / *std::min_element(unpooled_secs.begin(),
+                                                  unpooled_secs.end());
+    mt_8t_ips = mt_1t_ips / median_ratio;
+    std::printf(
+        "mt dispatch (31 types): 1t %.0f id/s, 8t %.0f id/s, 8t/1t %.2fx "
+        "(single-core host: <= 1.0x expected)\n",
+        mt_1t_ips, mt_8t_ips, mt_8t_ips / mt_1t_ips);
+    // One-sided floor only: 8t may lose to 1t on one core, but if pooled
+    // dispatch costs more than ~60% of throughput the fan-out path itself
+    // has regressed (oversized tasks, lock churn, lost wakeups).
+    SENTINEL_CHECK(mt_8t_ips >= 0.4 * mt_1t_ips)
+        << "pooled per-call dispatch at " << mt_8t_ips / mt_1t_ips
+        << "x single-threaded (floor: 0.4x)";
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     SENTINEL_CHECK(f != nullptr) << "cannot write " << json_path;
@@ -389,6 +455,14 @@ int main(int argc, char** argv) {
         "\"attached_1t\": %.1f, \"overhead_pct\": %.2f},\n",
         profiler_off_ips, profiler_on_ips,
         100.0 * (1.0 - profiler_on_ips / profiler_off_ips));
+    std::fprintf(
+        f,
+        "  \"mt_dispatch\": {\"types\": 31, \"fast_1t\": %.1f, "
+        "\"fast_8t\": %.1f, \"ratio_8t_over_1t\": %.2f, \"floor\": 0.4, "
+        "\"note\": \"single-core container: pooled fan-out buys no "
+        "parallelism, so 8t <= 1t is expected; the floor bounds dispatch "
+        "overhead, not speedup\"},\n",
+        mt_1t_ips, mt_8t_ips, mt_8t_ips / mt_1t_ips);
     std::fprintf(f, "  \"observability\": %s\n",
                  session.ObservabilityJson().c_str());
     std::fprintf(f, "}\n");

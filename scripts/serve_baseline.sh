@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the committed serving-path load baseline: builds the
+# load_serve bench in Release and writes BENCH_serve.json at the
+# repository root. The bench asserts the tentpole criteria itself
+# (served verdicts bit-identical to per-call Identify; batched QPS at
+# saturation >= 2x the per-call baseline; moderate-load p99 within the
+# configured latency bound).
+#   scripts/serve_baseline.sh [--quick]
+# --quick (the CI smoke mode) shrinks request counts and relaxes the
+# speedup floor — tiny runs on a loaded CI core are noisy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+for arg in "$@"; do
+  if [[ "$arg" == "--quick" ]]; then QUICK="--quick"; fi
+done
+
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-bench -j --target load_serve
+./build-bench/bench/load_serve ${QUICK} --json BENCH_serve.json

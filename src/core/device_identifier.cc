@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "features/fingerprint_codec.h"
-#include <cstdio>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -150,6 +149,38 @@ void DeviceIdentifier::CompileEntry(PerType& entry) {
     entry.reference_table.Intern(entry.references[i].packets(),
                                  entry.reference_ids[i]);
   }
+  // Index the frozen table so probe interning is one expected-O(1) probe
+  // per packet instead of a linear scan.
+  entry.reference_table.Freeze();
+}
+
+void DeviceIdentifier::CompileServeIndex() {
+  serve_.table.Clear();
+  serve_.reference_ids.assign(types_.size(), {});
+  serve_.reference_bags.assign(types_.size(), {});
+  for (std::size_t k = 0; k < types_.size(); ++k) {
+    auto& ids = serve_.reference_ids[k];
+    ids.assign(types_[k].references.size(), {});
+    for (std::size_t i = 0; i < types_[k].references.size(); ++i) {
+      serve_.table.Intern(types_[k].references[i].packets(), ids[i]);
+    }
+  }
+  serve_.table.Freeze();
+  for (std::size_t k = 0; k < types_.size(); ++k) {
+    auto& bags = serve_.reference_bags[k];
+    bags.assign(serve_.reference_ids[k].size(), {});
+    for (std::size_t i = 0; i < serve_.reference_ids[k].size(); ++i) {
+      auto sorted = serve_.reference_ids[k][i];
+      std::sort(sorted.begin(), sorted.end());
+      auto& bag = bags[i];
+      for (std::size_t j = 0; j < sorted.size();) {
+        std::size_t run = j + 1;
+        while (run < sorted.size() && sorted[run] == sorted[j]) ++run;
+        bag.emplace_back(sorted[j], static_cast<std::uint32_t>(run - j));
+        j = run;
+      }
+    }
+  }
 }
 
 void DeviceIdentifier::Train(const std::vector<LabelledFingerprint>& examples) {
@@ -207,11 +238,20 @@ void DeviceIdentifier::Train(const std::vector<LabelledFingerprint>& examples) {
     types_[j] = std::move(entry);
   });
   labels_ = std::move(ordered_labels);
+  RebuildLabelIndex();
+  CompileServeIndex();
   if (handles_.types != nullptr)
     handles_.types->Set(static_cast<double>(types_.size()));
   if (quality_ != nullptr) quality_->BindTypes(labels_);
   SENTINEL_LOG_INFO("identifier", "bank_trained", {"types", types_.size()},
                     {"examples", examples.size()});
+}
+
+void DeviceIdentifier::RebuildLabelIndex() {
+  label_index_.clear();
+  label_index_.reserve(types_.size());
+  for (std::size_t k = 0; k < types_.size(); ++k)
+    label_index_.emplace(types_[k].label, k);
 }
 
 void DeviceIdentifier::AddType(
@@ -237,6 +277,8 @@ void DeviceIdentifier::AddType(
            static_cast<std::uint64_t>(label) + 1);
   types_.push_back(std::move(entry));
   labels_.push_back(label);
+  RebuildLabelIndex();
+  CompileServeIndex();
   if (handles_.types != nullptr)
     handles_.types->Set(static_cast<double>(types_.size()));
   if (quality_ != nullptr) quality_->BindTypes(labels_);
@@ -319,7 +361,7 @@ IdentificationResult DeviceIdentifier::IdentifyReference(
       probe_hash = (probe_hash ^ value) * 0x100000001b3ull;
     }
   }
-  ml::Rng reference_rng(probe_hash);
+  ml::SmallRng reference_rng(probe_hash);
   double best_score = std::numeric_limits<double>::infinity();
   int best_label = result.matched_types.front();
   std::size_t best_take = 1;
@@ -454,7 +496,7 @@ void DeviceIdentifier::DiscriminateFast(
       probe_hash = (probe_hash ^ value) * 0x100000001b3ull;
     }
   }
-  ml::Rng reference_rng(probe_hash);
+  ml::SmallRng reference_rng(probe_hash);
   double best_score = std::numeric_limits<double>::infinity();
   int best_label = result.matched_types.front();
   std::size_t best_take = 1;
@@ -682,6 +724,224 @@ std::vector<IdentificationResult> DeviceIdentifier::IdentifyBatch(
   return results;
 }
 
+void DeviceIdentifier::DiscriminateServe(const features::Fingerprint& full,
+                                         IdentificationResult& result,
+                                         ServeScratch& scratch) const {
+  std::uint64_t probe_hash = 0xcbf29ce484222325ull;
+  for (const auto& packet : full.packets()) {
+    for (const auto value : packet) {
+      probe_hash = (probe_hash ^ value) * 0x100000001b3ull;
+    }
+  }
+  ml::SmallRng reference_rng(probe_hash);
+  // One probe intern against the cross-type serve table covers every
+  // candidate (id equality over the shared table is equivalent to packet
+  // equality, so every distance below is unchanged), and one Myers
+  // pattern over the probe serves every reference comparison. Both use
+  // persistently-zeroed scratch restored before returning.
+  serve_.table.InternReadOnly(full.packets(), scratch.ed.overflow,
+                              scratch.ed.ids_a);
+  const std::span<const std::uint32_t> probe_ids(scratch.ed.ids_a);
+  const std::size_t table = serve_.table.size();
+  // Myers bit-parallel Levenshtein over the probe as pattern: an exact
+  // upper bound on each OSA distance (OSA only adds transposition to
+  // Levenshtein's operation set), capping the banded program at the true
+  // distance's width. Fingerprints are capped well under 64 packets, so
+  // the build only declines on adversarial input.
+  const bool myers_ok = features::BuildMyersPatternSparse(
+      probe_ids, table + scratch.ed.overflow.size(), scratch.ed);
+  // Probe id histogram for the bag bounds. Overflow ids (absent from
+  // every reference) cannot contribute to any bag intersection, so only
+  // table ids are counted.
+  if (scratch.counts.size() < table) scratch.counts.resize(table, 0);
+  for (const std::uint32_t id : probe_ids) {
+    if (id < table) ++scratch.counts[id];
+  }
+  double best_score = std::numeric_limits<double>::infinity();
+  int best_label = result.matched_types.front();
+  std::size_t best_take = 1;
+  std::size_t pruned_references = 0;
+  for (const int label : result.matched_types) {
+    const std::size_t slot = label_index_.at(label);
+    const PerType& entry = types_[slot];
+    const auto& references = entry.references;
+    const std::size_t take =
+        std::min(config_.discrimination_references, references.size());
+    // The picks consume the RNG exactly as DiscriminateFast does — the
+    // shared per-probe determinism contract hinges on this stream never
+    // diverging.
+    auto& indices = scratch.indices;
+    indices.resize(references.size());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    for (std::size_t i = 0; i < take; ++i) {
+      std::uniform_int_distribution<std::size_t> pick(i, indices.size() - 1);
+      std::swap(indices[i], indices[pick(reference_rng)]);
+    }
+    const auto& serve_ids = serve_.reference_ids[slot];
+    // Per-reference bag lower bounds (every alignment keeps at most
+    // |multiset intersection| elements; each unkept element of the
+    // longer side costs at least one operation) and whole-candidate
+    // pre-prune: the normalized bounds summed with the exact division
+    // and left-to-right addition order of the score accumulation below
+    // (both monotone under rounding) certify a lower bound on the
+    // candidate's final score. Strictly above best means no win and no
+    // tie — the candidate is eliminated without running a single DP,
+    // with the RNG picks already consumed and no coin owed, so the
+    // tie-break stream matches DiscriminateFast exactly.
+    auto& bag_lb = scratch.bag_lb;
+    bag_lb.assign(take, 0);
+    double bound_sum = 0.0;
+    for (std::size_t i = 0; i < take; ++i) {
+      std::size_t overlap = 0;
+      for (const auto& [id, count] : serve_.reference_bags[slot][indices[i]]) {
+        overlap += std::min<std::size_t>(count, scratch.counts[id]);
+      }
+      const std::size_t longest =
+          std::max(probe_ids.size(), serve_ids[indices[i]].size());
+      bag_lb[i] = longest - overlap;
+      if (longest > 0) {
+        bound_sum += static_cast<double>(bag_lb[i]) /
+                     static_cast<double>(longest);
+      }
+    }
+    if (bound_sum > best_score) {
+      pruned_references += take;
+      // Bound-grade provenance: the certified lower bound the
+      // candidate was eliminated at, like the pruned path below.
+      result.dissimilarity_scores.push_back(bound_sum);
+      continue;
+    }
+    double score = 0.0;
+    bool pruned = false;
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::span<const std::uint32_t> reference_span(
+          serve_ids[indices[i]]);
+      const std::size_t upper =
+          myers_ok ? features::MyersDistance(probe_ids.size(), reference_span,
+                                             scratch.ed)
+                   : std::numeric_limits<std::size_t>::max();
+      const auto outcome = features::PrunedNormalizedEditDistance(
+          probe_ids, reference_span, bag_lb[i], upper, score, best_score,
+          scratch.ed);
+      score += outcome.value;
+      if (outcome.pruned) {
+        pruned = true;
+        pruned_references += take - i;
+        break;
+      }
+      ++result.edit_distance_count;
+    }
+    // For pruned candidates this records the certified lower bound the
+    // candidate was eliminated at, not the exact score.
+    result.dissimilarity_scores.push_back(score);
+    if (pruned) continue;
+    if (score < best_score) {
+      best_score = score;
+      best_label = label;
+      best_take = std::max<std::size_t>(1, take);
+    } else if (score == best_score) {
+      ++result.tie_break_count;
+      if (handles_.tiebreak_total != nullptr)
+        handles_.tiebreak_total->Increment();
+      std::uniform_int_distribution<int> coin(0, 1);
+      if (coin(reference_rng) == 1) best_label = label;
+    }
+  }
+  // Restore the all-zero invariants for the next probe on this scratch.
+  for (const std::uint32_t id : probe_ids) {
+    if (id < table) scratch.counts[id] = 0;
+  }
+  if (myers_ok) features::ClearMyersPattern(probe_ids, scratch.ed);
+  if (handles_.edit_distance_total != nullptr) {
+    handles_.edit_distance_total->Increment(result.edit_distance_count);
+    if (pruned_references > 0)
+      handles_.editdist_pruned->Increment(pruned_references);
+  }
+  if (best_score / static_cast<double>(best_take) >
+      config_.rejection_distance) {
+    if (handles_.unknown_total != nullptr) handles_.unknown_total->Increment();
+    return;  // new device-type
+  }
+  result.type = best_label;
+}
+
+std::vector<IdentificationResult> DeviceIdentifier::IdentifyBatchServe(
+    std::span<const FingerprintRef> probes) const {
+  SENTINEL_PROFILE_SCOPE("identify.batch_serve");
+  const std::size_t rows = probes.size();
+  std::vector<IdentificationResult> results(rows);
+  if (rows == 0) return results;
+  if (!fast_path_) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      results[r] = IdentifyReference(*probes[r].full, *probes[r].fixed);
+      RecordQuality(results[r]);
+    }
+    return results;
+  }
+
+  // Row-major F' matrix, same layout as IdentifyBatch.
+  std::vector<double> matrix(rows * features::kFPrimeDim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto& values = probes[r].fixed->values();
+    std::copy(values.begin(), values.end(),
+              matrix.begin() +
+                  static_cast<std::ptrdiff_t>(r * features::kFPrimeDim));
+  }
+
+  // Stage 1: type-outer threshold sweep — one arena stays cache-hot
+  // across the whole probe matrix while each row's scan still stops as
+  // soon as the certified tree-suffix bounds decide its verdict. The
+  // accept set is exact; recorded probabilities are bounds on early exit.
+  for (std::size_t r = 0; r < rows; ++r) {
+    results[r].acceptance_threshold = config_.acceptance_threshold;
+    results[r].bank_probabilities.resize(types_.size());
+    results[r].bank_labels.reserve(types_.size());
+  }
+  const std::span<const double> flat_matrix(matrix);
+  std::uint64_t early_exits = 0;
+  for (std::size_t k = 0; k < types_.size(); ++k) {
+    const PerType& entry = types_[k];
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto verdict = entry.flat.PositiveProbaThreshold(
+          flat_matrix.subspan(r * features::kFPrimeDim,
+                              features::kFPrimeDim),
+          config_.acceptance_threshold);
+      results[r].bank_probabilities[k] = verdict.probability;
+      results[r].bank_labels.push_back(entry.label);
+      if (verdict.accepted) results[r].matched_types.push_back(entry.label);
+      if (verdict.early_exit) ++early_exits;
+    }
+  }
+  if (handles_.bank_early_exit != nullptr && early_exits > 0)
+    handles_.bank_early_exit->Increment(early_exits);
+
+  // Stage 2: sequential per probe (the serving drain owns one core) with
+  // one shared scratch across the whole batch.
+  ServeScratch scratch;
+  std::uint64_t accepts = 0;
+  std::uint64_t multi = 0;
+  std::uint64_t unknown = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    IdentificationResult& result = results[r];
+    accepts += result.matched_types.size();
+    if (result.matched_types.size() > 1) ++multi;
+    if (result.matched_types.empty()) {
+      ++unknown;
+      RecordQuality(result);
+      continue;
+    }
+    DiscriminateServe(*probes[r].full, result, scratch);
+    RecordQuality(result);
+  }
+  if (handles_.identify_total != nullptr) {
+    handles_.identify_total->Increment(rows);
+    handles_.accepts_total->Increment(accepts);
+    if (multi > 0) handles_.multi_match_total->Increment(multi);
+    if (unknown > 0) handles_.unknown_total->Increment(unknown);
+  }
+  return results;
+}
+
 // Model bundle format: 'S''I''D' ver(1) | config | u32 type_count |
 // per type: i32 label, RandomForest, u32 reference_count, references.
 void DeviceIdentifier::Save(net::ByteWriter& w) const {
@@ -730,6 +990,8 @@ DeviceIdentifier DeviceIdentifier::Load(net::ByteReader& r) {
     identifier.labels_.push_back(entry.label);
     identifier.types_.push_back(std::move(entry));
   }
+  identifier.RebuildLabelIndex();
+  identifier.CompileServeIndex();
   return identifier;
 }
 
@@ -785,6 +1047,13 @@ std::size_t DeviceIdentifier::MemoryBytes() const {
       total += reference.size() * sizeof(features::PacketFeatureVector);
     }
   }
+  total += serve_.table.MemoryBytes();
+  for (const auto& per_type : serve_.reference_ids)
+    for (const auto& ids : per_type)
+      total += ids.capacity() * sizeof(std::uint32_t);
+  for (const auto& per_type : serve_.reference_bags)
+    for (const auto& bag : per_type)
+      total += bag.capacity() * sizeof(std::pair<std::uint32_t, std::uint32_t>);
   return total;
 }
 

@@ -13,6 +13,8 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "features/edit_distance.h"
@@ -193,6 +195,25 @@ class DeviceIdentifier {
   [[nodiscard]] std::vector<IdentificationResult> IdentifyBatch(
       std::span<const FingerprintRef> probes) const;
 
+  /// Serving-grade batch identification: the kernel behind the always-on
+  /// server's micro-batched drain. Verdict-grade fields — type,
+  /// matched_types, tie_break_count and every dissimilarity score of a
+  /// candidate that completed discrimination (the winner always does) —
+  /// are bit-identical to Identify()/IdentifyBatch() on the default fast
+  /// path: the stage-1 accept test is exact (threshold early exit decides
+  /// the same verdict from certified tree-suffix bounds) and stage-2
+  /// pruning only ever eliminates candidates provably unable to win or
+  /// tie, leaving the probe-hash-seeded RNG stream untouched. Provenance
+  /// differs in grade, not meaning: bank_probabilities are certified
+  /// bounds when a scan exits early (as with set_bank_early_exit),
+  /// pruned losers may record lower bounds reached before the DP was
+  /// entered (a cheap bag-of-packets bound prunes most of them), and the
+  /// per-stage timings are zero — the serving loop takes no per-probe
+  /// clock reads. Runs sequentially on the calling thread (the drain
+  /// thread of a one-core gateway), never touching the thread pool.
+  [[nodiscard]] std::vector<IdentificationResult> IdentifyBatchServe(
+      std::span<const FingerprintRef> probes) const;
+
   [[nodiscard]] std::size_t type_count() const { return types_.size(); }
   /// Mean out-of-bag accuracy across the per-type classifiers — a model
   /// quality estimate available right after training, without a held-out
@@ -228,10 +249,35 @@ class DeviceIdentifier {
     std::vector<std::vector<std::uint32_t>> reference_ids;
   };
 
+  /// Cross-type serve index: one interner spanning every type's
+  /// references, so DiscriminateServe interns a probe once per probe
+  /// (instead of once per candidate type) and builds one Myers pattern
+  /// reused across all candidates. Id equality over the shared table is
+  /// still equivalent to packet equality, so every edit distance is
+  /// unchanged. Rebuilt by CompileServeIndex(); never serialized.
+  struct ServeIndex {
+    features::PacketInterner table;
+    /// Per types_ slot, per reference: its packets as ids in `table`'s
+    /// space (same sequences as PerType::reference_ids, different ids).
+    std::vector<std::vector<std::vector<std::uint32_t>>> reference_ids;
+    /// Per types_ slot, per reference: its interned ids as a sorted
+    /// (id, count) multiset. The serve path intersects a probe's id
+    /// histogram with these bags to certify the OSA lower bound
+    /// max(n, m) - |bag intersection| before committing to a DP (every
+    /// kept element of an alignment consumes one occurrence from each
+    /// side).
+    std::vector<std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>>
+        reference_bags;
+  };
+
   /// Compiles `entry`'s runtime acceleration structures (arena forest +
   /// interned references) from its trained state. Called after TrainOne /
   /// AddType / Load; never affects serialized bytes.
   static void CompileEntry(PerType& entry);
+
+  /// Rebuilds serve_ from types_. Called (sequentially) after Train /
+  /// AddType / Load, alongside RebuildLabelIndex.
+  void CompileServeIndex();
 
   /// Trains one per-type binary classifier. Rows are the pre-flattened F'
   /// vectors of the positives / candidate negatives (flattening is hoisted
@@ -275,14 +321,44 @@ class DeviceIdentifier {
       const features::Fingerprint& full,
       const features::FixedFingerprint& fixed) const;
 
+  /// Reusable buffers for the serving-grade batch kernel: one instance
+  /// serves a whole batch with no per-probe or per-candidate allocation.
+  struct ServeScratch {
+    features::EditDistanceScratch ed;
+    /// Fisher-Yates index buffer for reference picks.
+    std::vector<std::size_t> indices;
+    /// Probe packet-id histogram over the serve table, kept all-zero
+    /// between probes (each probe zeroes exactly the ids it touched).
+    std::vector<std::uint32_t> counts;
+    /// Per-chosen-reference bag lower bounds for the current candidate.
+    std::vector<std::size_t> bag_lb;
+  };
+
+  /// Serving-grade stage 2: DiscriminateFast's exact control flow (same
+  /// RNG stream, same pruning certificates, same ties and coins) with the
+  /// per-candidate type lookup through label_index_, scratch-buffer reuse
+  /// instead of per-candidate allocation, bag-bound pre-DP pruning, and
+  /// no clock reads or spans.
+  void DiscriminateServe(const features::Fingerprint& full,
+                         IdentificationResult& result,
+                         ServeScratch& scratch) const;
+
   /// Reduces a finished result to a QualitySample and records it on the
   /// attached monitor (single branch when detached). Read-only: never
   /// mutates the result or feeds back into identification.
   void RecordQuality(const IdentificationResult& result) const;
 
+  /// Rebuilds label_index_ from types_; called after Train / AddType /
+  /// Load (runtime acceleration only, never serialized).
+  void RebuildLabelIndex();
+
   IdentifierConfig config_;
   std::vector<PerType> types_;
+  ServeIndex serve_;
   std::vector<int> labels_;
+  /// label -> index into types_, so discrimination resolves a candidate
+  /// without a linear scan over the bank.
+  std::unordered_map<int, std::size_t> label_index_;
   util::ThreadPool* pool_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::QualityMonitor* quality_ = nullptr;

@@ -50,8 +50,28 @@ double NormalizedEditDistance(const Fingerprint& a, const Fingerprint& b) {
   return static_cast<double>(d) / static_cast<double>(longest);
 }
 
+namespace {
+
+constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+
+std::uint64_t HashPacket(const PacketFeatureVector& packet) {
+  // FNV-1a over the feature words: equal packets hash equal, and every
+  // index hit is still verified by full packet equality, so hash quality
+  // only affects probe length, never ids.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint32_t value : packet) {
+    h = (h ^ value) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 void PacketInterner::Intern(std::span<const PacketFeatureVector> packets,
                             std::vector<std::uint32_t>& out) {
+  // Growing the table invalidates any previously built index.
+  slots_.clear();
+  slot_mask_ = 0;
   out.clear();
   out.reserve(packets.size());
   for (const auto& packet : packets) {
@@ -64,6 +84,43 @@ void PacketInterner::Intern(std::span<const PacketFeatureVector> packets,
   }
 }
 
+void PacketInterner::Freeze() {
+  slots_.clear();
+  slot_mask_ = 0;
+  if (keys_.empty()) return;
+  std::size_t capacity = 8;
+  while (capacity < keys_.size() * 2) capacity *= 2;
+  slots_.assign(capacity, kEmptySlot);
+  slot_mask_ = static_cast<std::uint32_t>(capacity - 1);
+  for (std::uint32_t id = 0; id < keys_.size(); ++id) {
+    std::uint32_t slot =
+        static_cast<std::uint32_t>(HashPacket(keys_[id])) & slot_mask_;
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & slot_mask_;
+    slots_[slot] = id;
+  }
+}
+
+std::uint32_t PacketInterner::LookupLinear(
+    const PacketFeatureVector& packet) const {
+  std::uint32_t id = 0;
+  for (; id < keys_.size(); ++id) {
+    if (keys_[id] == packet) break;
+  }
+  return id;  // keys_.size() when absent
+}
+
+std::uint32_t PacketInterner::LookupIndexed(
+    const PacketFeatureVector& packet) const {
+  std::uint32_t slot =
+      static_cast<std::uint32_t>(HashPacket(packet)) & slot_mask_;
+  while (true) {
+    const std::uint32_t id = slots_[slot];
+    if (id == kEmptySlot) return static_cast<std::uint32_t>(keys_.size());
+    if (keys_[id] == packet) return id;
+    slot = (slot + 1) & slot_mask_;
+  }
+}
+
 void PacketInterner::InternReadOnly(
     std::span<const PacketFeatureVector> packets,
     std::vector<PacketFeatureVector>& overflow,
@@ -72,11 +129,10 @@ void PacketInterner::InternReadOnly(
   out.clear();
   out.reserve(packets.size());
   const std::uint32_t table = static_cast<std::uint32_t>(keys_.size());
+  const bool indexed = !slots_.empty();
   for (const auto& packet : packets) {
-    std::uint32_t id = 0;
-    for (; id < table; ++id) {
-      if (keys_[id] == packet) break;
-    }
+    const std::uint32_t id =
+        indexed ? LookupIndexed(packet) : LookupLinear(packet);
     if (id < table) {
       out.push_back(id);
       continue;
@@ -90,6 +146,66 @@ void PacketInterner::InternReadOnly(
     if (extra == overflow.size()) overflow.push_back(packet);
     out.push_back(table + extra);
   }
+}
+
+bool BuildMyersPattern(std::span<const std::uint32_t> ids,
+                       std::size_t id_space, EditDistanceScratch& scratch) {
+  if (ids.size() > 64) return false;
+  scratch.peq.assign(id_space, 0);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] < id_space) scratch.peq[ids[i]] |= std::uint64_t{1} << i;
+  }
+  return true;
+}
+
+bool BuildMyersPatternSparse(std::span<const std::uint32_t> ids,
+                             std::size_t id_space,
+                             EditDistanceScratch& scratch) {
+  if (ids.size() > 64) return false;
+  if (scratch.peq.size() < id_space) scratch.peq.resize(id_space, 0);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] < id_space) scratch.peq[ids[i]] |= std::uint64_t{1} << i;
+  }
+  return true;
+}
+
+void ClearMyersPattern(std::span<const std::uint32_t> ids,
+                       EditDistanceScratch& scratch) {
+  for (const std::uint32_t id : ids) {
+    if (id < scratch.peq.size()) scratch.peq[id] = 0;
+  }
+}
+
+std::size_t MyersDistance(std::size_t pattern_length,
+                          std::span<const std::uint32_t> text,
+                          const EditDistanceScratch& scratch) {
+  const std::size_t n = pattern_length;
+  if (n == 0) return text.size();
+  SENTINEL_CHECK(n <= 64) << "Myers pattern length " << n << " exceeds 64";
+  // Myers 1999 bit-vector Levenshtein as formulated by Hyyro 2001: Pv/Mv
+  // track the +1/-1 vertical deltas of the current DP column; score is the
+  // column's last cell, i.e. d(pattern, text[0..j]).
+  std::uint64_t pv = ~std::uint64_t{0};
+  std::uint64_t mv = 0;
+  std::size_t score = n;
+  const std::uint64_t high = std::uint64_t{1} << (n - 1);
+  for (const std::uint32_t c : text) {
+    const std::uint64_t eq = c < scratch.peq.size() ? scratch.peq[c] : 0;
+    const std::uint64_t xv = eq | mv;
+    const std::uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    std::uint64_t ph = mv | ~(xh | pv);
+    std::uint64_t mh = pv & xh;
+    if (ph & high) {
+      ++score;
+    } else if (mh & high) {
+      --score;
+    }
+    ph = (ph << 1) | 1;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
 }
 
 namespace {
@@ -167,6 +283,8 @@ BoundedDistance BoundedEditDistanceImpl(std::span<const T> a,
 // cannot already be decided from the lengths alone.
 template <typename Distance>
 PrunedNormalized PrunedNormalizedImpl(std::size_t longest,
+                                      std::size_t external_lower_bound,
+                                      std::size_t external_upper_bound,
                                       double partial_score, double best_score,
                                       Distance&& bounded_distance) {
   if (longest == 0) return {0.0, false};
@@ -197,7 +315,31 @@ PrunedNormalized PrunedNormalizedImpl(std::size_t longest,
     while (cutoff < longest && useful(cutoff + 1)) ++cutoff;
     while (cutoff > 0 && !useful(cutoff)) --cutoff;
   }
-  const BoundedDistance bounded = bounded_distance(cutoff);
+  // A caller-certified lower bound above the cutoff decides pruning
+  // without running the DP: the true distance is >= bound >= cutoff + 1,
+  // which is exactly the certificate the banded program's early-out
+  // reports. A sound bound never exceeds longest, so when pruning is
+  // disabled (cutoff == longest) this branch cannot fire.
+  if (external_lower_bound > cutoff) {
+    return {static_cast<double>(cutoff + 1) /
+                static_cast<double>(longest),
+            true};
+  }
+  // Pinched bounds determine the distance outright: lower == upper means
+  // the true distance IS that value, and it is <= cutoff (the lower-bound
+  // branch above did not fire), so the banded program would have returned
+  // exactly this.
+  if (external_lower_bound == external_upper_bound &&
+      external_upper_bound <= longest) {
+    return {static_cast<double>(external_upper_bound) / denominator, false};
+  }
+  // A certified upper bound below the budget cutoff narrows the band to
+  // the true distance's width: the result is in band by construction, so
+  // the program below returns the exact distance either way.
+  const std::size_t run_cutoff = std::min(cutoff, external_upper_bound);
+  const BoundedDistance bounded = bounded_distance(run_cutoff);
+  SENTINEL_CHECK(!bounded.exceeded || run_cutoff == cutoff)
+      << "banded program exceeded a certified upper bound " << run_cutoff;
   if (!bounded.exceeded) {
     SENTINEL_CHECK(bounded.distance <= longest)
         << "edit distance " << bounded.distance
@@ -232,7 +374,8 @@ PrunedNormalized PrunedNormalizedEditDistance(const Fingerprint& a,
                                               double best_score,
                                               EditDistanceScratch& scratch) {
   return PrunedNormalizedImpl(
-      std::max(a.size(), b.size()), partial_score, best_score,
+      std::max(a.size(), b.size()), 0,
+      std::numeric_limits<std::size_t>::max(), partial_score, best_score,
       [&](std::size_t cutoff) {
         return BoundedEditDistanceImpl(
             std::span<const PacketFeatureVector>(a.packets()),
@@ -247,7 +390,37 @@ PrunedNormalized PrunedNormalizedEditDistance(std::span<const std::uint32_t> a,
                                               double best_score,
                                               EditDistanceScratch& scratch) {
   return PrunedNormalizedImpl(
-      std::max(a.size(), b.size()), partial_score, best_score,
+      std::max(a.size(), b.size()), 0,
+      std::numeric_limits<std::size_t>::max(), partial_score, best_score,
+      [&](std::size_t cutoff) {
+        return BoundedEditDistanceImpl(a, b, cutoff, scratch);
+      });
+}
+
+PrunedNormalized PrunedNormalizedEditDistance(std::span<const std::uint32_t> a,
+                                              std::span<const std::uint32_t> b,
+                                              std::size_t external_lower_bound,
+                                              double partial_score,
+                                              double best_score,
+                                              EditDistanceScratch& scratch) {
+  return PrunedNormalizedImpl(
+      std::max(a.size(), b.size()), external_lower_bound,
+      std::numeric_limits<std::size_t>::max(), partial_score, best_score,
+      [&](std::size_t cutoff) {
+        return BoundedEditDistanceImpl(a, b, cutoff, scratch);
+      });
+}
+
+PrunedNormalized PrunedNormalizedEditDistance(std::span<const std::uint32_t> a,
+                                              std::span<const std::uint32_t> b,
+                                              std::size_t external_lower_bound,
+                                              std::size_t external_upper_bound,
+                                              double partial_score,
+                                              double best_score,
+                                              EditDistanceScratch& scratch) {
+  return PrunedNormalizedImpl(
+      std::max(a.size(), b.size()), external_lower_bound,
+      external_upper_bound, partial_score, best_score,
       [&](std::size_t cutoff) {
         return BoundedEditDistanceImpl(a, b, cutoff, scratch);
       });

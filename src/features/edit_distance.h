@@ -44,7 +44,48 @@ struct EditDistanceScratch {
   std::vector<std::uint32_t> ids_a, ids_b;
   /// Distinct unknown packets met during a read-only intern.
   std::vector<PacketFeatureVector> overflow;
+  /// Per-id bit masks for the Myers pattern (see BuildMyersPattern).
+  std::vector<std::uint64_t> peq;
 };
+
+/// Bit-parallel Levenshtein pattern: one position mask per id of the
+/// pattern sequence. Because OSA only adds an operation (transposition)
+/// to Levenshtein's set, Lev(a, b) is a certified UPPER bound on the OSA
+/// distance — the serve path uses it to cap the banded OSA program's
+/// cutoff, shrinking the band to the true distance's width while keeping
+/// the in-band result exact.
+///
+/// Builds masks for `ids` (at most 64 elements) over the id space
+/// [0, id_space); ids >= id_space are permitted in the pattern (they
+/// simply never match any text id below id_space). Reuses scratch.peq.
+/// Returns false (leaving scratch untouched) when ids.size() > 64.
+bool BuildMyersPattern(std::span<const std::uint32_t> ids,
+                       std::size_t id_space, EditDistanceScratch& scratch);
+
+/// Sparse build for large id spaces: instead of zeroing all of peq it
+/// relies on peq being all-zero at entry (the state ClearMyersPattern
+/// restores), grows it zero-filled to id_space if needed, and ORs in only
+/// the pattern ids' bits — O(|ids|) once peq has reached the space's
+/// size. Callers must pair every successful build with a
+/// ClearMyersPattern over the same ids before the next sparse build.
+/// Returns false (leaving peq untouched) when ids.size() > 64.
+bool BuildMyersPatternSparse(std::span<const std::uint32_t> ids,
+                             std::size_t id_space,
+                             EditDistanceScratch& scratch);
+
+/// Zeroes the pattern ids' masks, restoring the all-zero invariant
+/// BuildMyersPatternSparse depends on.
+void ClearMyersPattern(std::span<const std::uint32_t> ids,
+                       EditDistanceScratch& scratch);
+
+/// Exact Levenshtein distance between the pattern prepared by the last
+/// BuildMyersPattern on `scratch` (length `pattern_length`, which must
+/// match) and `text`, whose ids must all lie below the id_space the
+/// pattern was built with. O(|text|) word operations (Myers 1999 /
+/// Hyyro 2001).
+std::size_t MyersDistance(std::size_t pattern_length,
+                          std::span<const std::uint32_t> text,
+                          const EditDistanceScratch& scratch);
 
 /// Maps packet feature vectors to dense ids such that two packets get the
 /// same id iff they are equal — after interning, the edit-distance DP
@@ -55,12 +96,23 @@ struct EditDistanceScratch {
 /// beats hashing.
 class PacketInterner {
  public:
-  void Clear() { keys_.clear(); }
+  void Clear() {
+    keys_.clear();
+    slots_.clear();
+    slot_mask_ = 0;
+  }
   /// Appends unknown packets to the key table and writes one id per input
   /// packet. Ids from earlier Intern() calls on the same (un-Cleared)
-  /// table stay valid and comparable.
+  /// table stay valid and comparable. Invalidates a previous Freeze().
   void Intern(std::span<const PacketFeatureVector> packets,
               std::vector<std::uint32_t>& out);
+  /// Builds an open-addressing hash index over the current key table so
+  /// InternReadOnly does one expected-O(1) probe per packet instead of a
+  /// linear scan over the keys. Ids are unchanged (every index hit is
+  /// verified by full packet equality against the key it points at), so
+  /// freezing is purely an access-path optimization. Call again after any
+  /// further Intern().
+  void Freeze();
   /// Lookup-only interning against the frozen table (the identifier
   /// pre-interns each type's references at bank-build time, then interns
   /// the probe this way per candidate — const, so concurrent probes can
@@ -70,12 +122,23 @@ class PacketInterner {
                       std::vector<PacketFeatureVector>& overflow,
                       std::vector<std::uint32_t>& out) const;
   [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] bool frozen() const { return !slots_.empty(); }
   [[nodiscard]] std::size_t MemoryBytes() const {
-    return keys_.capacity() * sizeof(PacketFeatureVector);
+    return keys_.capacity() * sizeof(PacketFeatureVector) +
+           slots_.capacity() * sizeof(std::uint32_t);
   }
 
  private:
+  [[nodiscard]] std::uint32_t LookupLinear(
+      const PacketFeatureVector& packet) const;
+  [[nodiscard]] std::uint32_t LookupIndexed(
+      const PacketFeatureVector& packet) const;
+
   std::vector<PacketFeatureVector> keys_;
+  /// Open-addressing index over keys_ (power-of-two size, linear probing,
+  /// kEmptySlot marks free). Empty until Freeze().
+  std::vector<std::uint32_t> slots_;
+  std::uint32_t slot_mask_ = 0;
 };
 
 struct BoundedDistance {
@@ -137,6 +200,41 @@ PrunedNormalized PrunedNormalizedEditDistance(const Fingerprint& a,
 /// longer length.
 PrunedNormalized PrunedNormalizedEditDistance(std::span<const std::uint32_t> a,
                                               std::span<const std::uint32_t> b,
+                                              double partial_score,
+                                              double best_score,
+                                              EditDistanceScratch& scratch);
+
+/// Id-sequence variant taking an additional caller-certified lower bound
+/// on the absolute (unnormalized) distance — e.g. the bag bound
+/// max(n, m) - |multiset intersection|, valid for OSA because every kept
+/// element of an alignment consumes one occurrence from each side while
+/// insertions and substitutions each cost 1. When the bound alone already
+/// exceeds the budget-derived cutoff the DP is skipped entirely and the
+/// same certified normalized bound the banded program would report is
+/// returned; otherwise behaves exactly like the overload above (in
+/// particular, every non-pruned value is bit-identical). An unsound
+/// `external_lower_bound` (one exceeding the true distance) would break
+/// the pruning certificate — callers own that proof. Pass 0 to disable.
+PrunedNormalized PrunedNormalizedEditDistance(std::span<const std::uint32_t> a,
+                                              std::span<const std::uint32_t> b,
+                                              std::size_t external_lower_bound,
+                                              double partial_score,
+                                              double best_score,
+                                              EditDistanceScratch& scratch);
+
+/// Doubly-bounded variant: additionally takes a caller-certified UPPER
+/// bound on the absolute distance (e.g. the Levenshtein distance from
+/// MyersDistance, which OSA can only improve on). The banded program's
+/// cutoff is capped at the upper bound — the true distance is in band by
+/// construction, so the band narrows to the distance's actual width with
+/// the result still exact. Pruning semantics are unchanged: a reference
+/// is skipped with a certified bound exactly when the lower bound clears
+/// the budget-derived cutoff, and every non-pruned value is bit-identical
+/// to NormalizedEditDistance. Requires lower <= true distance <= upper.
+PrunedNormalized PrunedNormalizedEditDistance(std::span<const std::uint32_t> a,
+                                              std::span<const std::uint32_t> b,
+                                              std::size_t external_lower_bound,
+                                              std::size_t external_upper_bound,
                                               double partial_score,
                                               double best_score,
                                               EditDistanceScratch& scratch);

@@ -9,6 +9,32 @@ namespace sentinel::ml {
 
 using Rng = std::mt19937_64;
 
+/// Constant-cost seedable generator (splitmix64) for short per-item
+/// random streams. std::mt19937_64 pays ~2us of state initialization and
+/// first-twist per construction — three orders of magnitude more than
+/// the handful of draws a discrimination tie-break consumes — so hot
+/// paths that seed a fresh stream per probe use this engine instead.
+/// Satisfies UniformRandomBitGenerator; splitmix64 is a bijective
+/// counter-mix whose full 64-bit output passes BigCrush, more than
+/// enough for reference picks and tie coins.
+class SmallRng {
+ public:
+  using result_type = std::uint64_t;
+  explicit SmallRng(std::uint64_t seed) : state_(seed) {}
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
 /// Derives an independent child seed from a parent seed and a stream index
 /// (splitmix64 finalizer), so parallel components get decorrelated streams.
 constexpr std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t stream) {

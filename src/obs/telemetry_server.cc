@@ -2,34 +2,92 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
+#include <deque>
 #include <stdexcept>
+#include <string_view>
+#include <thread>
 
 #include "obs/build_info.h"
 #include "obs/json.h"
 #include "obs/log.h"
+#include "util/mutex.h"
 
 namespace sentinel::obs {
 
 namespace {
 
+/// Most pipelined requests served per read burst; bounds per-connection
+/// memory against a client that never reads responses.
+constexpr std::size_t kMaxPipeline = 64;
+/// Header-block cap (shared by both serving modes).
+constexpr std::size_t kHeaderCap = 4096;
+
+const char* ReasonFor(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Content Too Large";
+    case 415: return "Unsupported Media Type";
+    case 429: return "Too Many Requests";
+    case 501: return "Not Implemented";
+    default: return "Internal Server Error";
+  }
+}
+
 std::string HttpResponse(int status, const char* reason,
-                         const char* content_type, const std::string& body) {
+                         const char* content_type, const std::string& body,
+                         bool keep_alive = false,
+                         std::uint64_t retry_after_ms = 0) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
                     "\r\nContent-Type: " + content_type +
-                    "\r\nContent-Length: " + std::to_string(body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
+                    "\r\nContent-Length: " + std::to_string(body.size());
+  if (retry_after_ms > 0)
+    out += "\r\nRetry-After: " + std::to_string((retry_after_ms + 999) / 1000);
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                    : "\r\nConnection: close\r\n\r\n";
   out += body;
   return out;
 }
 
-std::string NotFound() {
+std::string NotFound(bool keep_alive = false) {
   return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
-                      "not found\n");
+                      "not found\n", keep_alive);
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t'))
+    text.remove_prefix(1);
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t'))
+    text.remove_suffix(1);
+  return text;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return out;
+}
+
+/// Nagle on an accepted connection interacts with the peer's delayed ACK:
+/// when a pipelined burst is answered in two writes (the burst straddled a
+/// recv chunk), the second small write is held until the client ACKs the
+/// first — and a client that is only reading delays that ACK ~40ms. An
+/// HTTP server always wants its responses on the wire immediately.
+void DisableNagle(int connection_fd) {
+  const int one = 1;
+  ::setsockopt(connection_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 }  // namespace
@@ -59,7 +117,7 @@ void TelemetryServer::Start() {
     throw std::runtime_error("bind port " + std::to_string(config_.port) +
                              ": " + error);
   }
-  if (::listen(fd, 16) != 0) {
+  if (::listen(fd, 64) != 0) {
     const std::string error = std::strerror(errno);
     ::close(fd);
     throw std::runtime_error("listen: " + error);
@@ -83,17 +141,78 @@ void TelemetryServer::Serve(std::size_t max_requests) {
     if (stopping_.load(std::memory_order_acquire)) return;
     throw std::runtime_error("TelemetryServer::Serve before Start");
   }
+  if (config_.serve_threads == 0) {
+    std::size_t served = 0;
+    while (!stopping_.load(std::memory_order_acquire)) {
+      const int connection = ::accept(fd, nullptr, nullptr);
+      if (connection < 0) {
+        if (errno == EINTR) continue;
+        break;  // Stop() closed the listen socket
+      }
+      DisableNagle(connection);
+      ServeConnection(connection);
+      ::close(connection);
+      if (max_requests > 0 && ++served >= max_requests) break;
+    }
+    return;
+  }
+
+  // Pool mode: the accept loop feeds a bounded handoff the connection
+  // handlers drain. All queue state is local — the workers are joined
+  // before Serve returns, so nothing outlives this frame.
+  struct Handoff {
+    sentinel::Mutex mu{"telemetry_server.handoff"};
+    sentinel::CondVar cv;
+    std::deque<int> connections;  // guarded by mu
+    bool closed = false;          // guarded by mu
+  } handoff;
+  std::vector<std::thread> workers;
+  workers.reserve(config_.serve_threads);
+  for (std::size_t i = 0; i < config_.serve_threads; ++i) {
+    workers.emplace_back([this, &handoff] {
+      for (;;) {
+        int connection = -1;
+        {
+          sentinel::MutexLock lock(handoff.mu);
+          handoff.cv.Wait(handoff.mu, [&handoff]() SENTINEL_REQUIRES(
+                                          handoff.mu) {
+            return handoff.closed || !handoff.connections.empty();
+          });
+          if (handoff.connections.empty()) return;  // closed and drained
+          connection = handoff.connections.front();
+          handoff.connections.pop_front();
+        }
+        ServeConnectionLoop(connection);
+        ::close(connection);
+      }
+    });
+  }
   std::size_t served = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
     const int connection = ::accept(fd, nullptr, nullptr);
     if (connection < 0) {
       if (errno == EINTR) continue;
-      break;  // Stop() closed the listen socket
+      break;
     }
-    ServeConnection(connection);
-    ::close(connection);
+    // Bound the handler's blocking recv so Stop() is observed even on an
+    // idle keep-alive connection.
+    timeval timeout{.tv_sec = 0, .tv_usec = 200000};
+    ::setsockopt(connection, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof(timeout));
+    DisableNagle(connection);
+    {
+      sentinel::MutexLock lock(handoff.mu);
+      handoff.connections.push_back(connection);
+    }
+    handoff.cv.NotifyOne();
     if (max_requests > 0 && ++served >= max_requests) break;
   }
+  {
+    sentinel::MutexLock lock(handoff.mu);
+    handoff.closed = true;
+  }
+  handoff.cv.NotifyAll();
+  for (auto& worker : workers) worker.join();
 }
 
 void TelemetryServer::Stop() {
@@ -105,20 +224,116 @@ void TelemetryServer::Stop() {
   }
 }
 
-void TelemetryServer::ServeConnection(int connection_fd) {
-  // Read until the end of the request headers (or a 4 KiB cap — the
-  // request line is all that matters and hostile peers get cut off).
-  std::string request;
-  char buffer[1024];
-  while (request.size() < 4096 &&
-         request.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = ::recv(connection_fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
-    request.append(buffer, static_cast<std::size_t>(n));
+TelemetryServer::ParseStatus TelemetryServer::ParseOneRequest(
+    std::string& buffer, HttpRequest& out) const {
+  const std::size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string::npos)
+    return buffer.size() > kHeaderCap ? ParseStatus::kHeaderOverflow
+                                      : ParseStatus::kNeedMore;
+  if (header_end > kHeaderCap) return ParseStatus::kHeaderOverflow;
+
+  out = HttpRequest{};
+  const std::string_view head(buffer.data(), header_end);
+  std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = header_end;
+  const std::string_view request_line = head.substr(0, line_end);
+  const std::size_t first_space = request_line.find(' ');
+  if (first_space != std::string_view::npos) {
+    out.method = std::string(request_line.substr(0, first_space));
+    const std::size_t second_space =
+        request_line.find(' ', first_space + 1);
+    out.path = std::string(request_line.substr(
+        first_space + 1, second_space == std::string_view::npos
+                             ? std::string_view::npos
+                             : second_space - first_space - 1));
   }
-  const std::size_t line_end = request.find("\r\n");
+
+  std::size_t pos = line_end >= header_end ? header_end : line_end + 2;
+  while (pos < header_end) {
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string_view::npos) next = header_end;
+    const std::string_view header = head.substr(pos, next - pos);
+    pos = next + 2;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string name = ToLower(Trim(header.substr(0, colon)));
+    const std::string_view value = Trim(header.substr(colon + 1));
+    if (name == "content-length") {
+      std::size_t length = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), length);
+      if (ec != std::errc() || ptr != value.data() + value.size()) {
+        // Malformed length: the body boundary is unknowable, so serve
+        // this request bodyless and drop the connection after it.
+        out.close_connection = true;
+      } else {
+        out.has_content_length = true;
+        out.content_length = length;
+      }
+    } else if (name == "transfer-encoding") {
+      out.has_transfer_encoding = true;
+      out.close_connection = true;  // framing not parsed: cannot resync
+    } else if (name == "content-type") {
+      std::string_view media = value;
+      const std::size_t semicolon = media.find(';');
+      if (semicolon != std::string_view::npos)
+        media = Trim(media.substr(0, semicolon));
+      out.content_type = ToLower(media);
+    } else if (name == "connection") {
+      if (ToLower(value).find("close") != std::string::npos)
+        out.close_connection = true;
+    }
+  }
+
+  const std::size_t body_start = header_end + 4;
+  if (out.has_content_length &&
+      out.content_length > config_.max_body_bytes) {
+    // Consume the headers only; the unread body makes the connection
+    // unsynchronizable, so the caller must close after responding 413.
+    buffer.erase(0, body_start);
+    return ParseStatus::kBodyTooLarge;
+  }
+  if (out.has_transfer_encoding) {
+    // Respond 501 without attempting to parse chunked framing.
+    buffer.erase(0, body_start);
+    return ParseStatus::kComplete;
+  }
+  const std::size_t body_len =
+      out.has_content_length ? out.content_length : 0;
+  if (buffer.size() < body_start + body_len) return ParseStatus::kNeedMore;
+  out.body.assign(buffer, body_start, body_len);
+  buffer.erase(0, body_start + body_len);
+  return ParseStatus::kComplete;
+}
+
+bool TelemetryServer::IsPostPath(const std::string& path) const {
+  return std::find(post_paths_.begin(), post_paths_.end(), path) !=
+         post_paths_.end();
+}
+
+bool TelemetryServer::AcceptsContentType(const std::string& media_type) const {
+  return std::find(post_content_types_.begin(), post_content_types_.end(),
+                   media_type) != post_content_types_.end();
+}
+
+void TelemetryServer::SendAll(int connection_fd, const std::string& response) {
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n = ::send(connection_fd, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void TelemetryServer::RespondHeaderOverflow(int connection_fd,
+                                            const std::string& buffer) {
+  // Pre-parser behaviour, kept intact: answer from the (possibly
+  // truncated) request line alone — hostile or broken peers get a plain
+  // routing answer, not a hung connection.
+  const std::size_t line_end = buffer.find("\r\n");
   const std::string line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
+      line_end == std::string::npos ? buffer : buffer.substr(0, line_end);
   std::string method;
   std::string path;
   const std::size_t first_space = line.find(' ');
@@ -130,28 +345,191 @@ void TelemetryServer::ServeConnection(int connection_fd) {
                            ? std::string::npos
                            : second_space - first_space - 1);
   }
-  const std::string response = HandleRequest(method, path);
-  std::size_t sent = 0;
-  while (sent < response.size()) {
-    const ssize_t n = ::send(connection_fd, response.data() + sent,
-                             response.size() - sent, MSG_NOSIGNAL);
+  SendAll(connection_fd, HandleRequest(method, path));
+}
+
+void TelemetryServer::ServeConnection(int connection_fd) {
+  std::string buffer;
+  char chunk[2048];
+  HttpRequest request;
+  ParseStatus status = ParseStatus::kNeedMore;
+  for (;;) {
+    status = ParseOneRequest(buffer, request);
+    if (status != ParseStatus::kNeedMore) break;
+    const ssize_t n = ::recv(connection_fd, chunk, sizeof(chunk), 0);
     if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
+    buffer.append(chunk, static_cast<std::size_t>(n));
   }
-  SENTINEL_LOG_DEBUG("telemetry", "request", {"path", path},
+  if (status == ParseStatus::kNeedMore ||
+      status == ParseStatus::kHeaderOverflow) {
+    RespondHeaderOverflow(connection_fd, buffer);
+    return;
+  }
+  std::string response;
+  if (status == ParseStatus::kBodyTooLarge) {
+    response = HttpResponse(
+        413, ReasonFor(413), "text/plain; charset=utf-8",
+        "body exceeds " + std::to_string(config_.max_body_bytes) +
+            " bytes\n");
+  } else {
+    response = HandleHttpRequest(request);
+  }
+  SendAll(connection_fd, response);
+  SENTINEL_LOG_DEBUG("telemetry", "request", {"path", request.path},
                      {"bytes", response.size()});
+}
+
+void TelemetryServer::ServeConnectionLoop(int connection_fd) {
+  std::string buffer;
+  // Sized so a deep pipelined burst of ~2 KB requests lands in few reads.
+  char chunk[65536];
+  bool close_connection = false;
+  while (!close_connection && !stopping_.load(std::memory_order_acquire)) {
+    // Gather a burst: parse every complete pipelined request already
+    // buffered or already sitting in the kernel receive queue. Only the
+    // first recv blocks; once at least one request is in hand the socket
+    // is drained non-blockingly, so a deep pipelined burst is admitted
+    // whole instead of chunk by chunk — the difference between the
+    // identification drain seeing one batch of W and W/chunk dribbles.
+    std::vector<HttpRequest> burst;
+    ParseStatus status = ParseStatus::kNeedMore;
+    while (burst.size() < kMaxPipeline) {
+      HttpRequest request;
+      status = ParseOneRequest(buffer, request);
+      if (status == ParseStatus::kComplete) {
+        if (request.close_connection) close_connection = true;
+        burst.push_back(std::move(request));
+        if (close_connection) break;
+        continue;
+      }
+      if (status != ParseStatus::kNeedMore) break;  // overflow / too large
+      const ssize_t n = ::recv(connection_fd, chunk, sizeof(chunk),
+                               burst.empty() ? 0 : MSG_DONTWAIT);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!burst.empty()) break;  // socket dry: serve what we have
+        continue;  // recv timeout: re-check stopping_ via the outer loop
+      }
+      if (n <= 0) {
+        close_connection = true;
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    // Phase 1: admit every POST of the burst into the backend before
+    // waiting on any verdict; GETs are answered inline. This is what
+    // turns W pipelined requests into one identification batch.
+    struct PendingSlot {
+      bool pending = false;
+      std::uint64_t request_id = 0;
+      std::string response;
+    };
+    std::vector<PendingSlot> slots;
+    slots.reserve(burst.size());
+    for (auto& request : burst) {
+      const bool keep_alive = !request.close_connection;
+      if (request.method == "POST" && post_routes_ != nullptr &&
+          IsPostPath(request.path) && !request.has_transfer_encoding &&
+          (request.has_content_length || !request.body.empty()) &&
+          request.body.size() <= config_.max_body_bytes &&
+          AcceptsContentType(request.content_type)) {
+        slots.push_back(
+            {.pending = true,
+             .request_id = post_routes_->Submit(
+                 request.path, request.content_type, std::move(request.body))});
+      } else {
+        slots.push_back(
+            {.response = HandleHttpRequestImpl(request, keep_alive)});
+      }
+    }
+
+    // Phase 2: collect verdicts in request order, answer in one send.
+    std::string out;
+    for (auto& slot : slots) {
+      if (!slot.pending) {
+        out += slot.response;
+        continue;
+      }
+      const PostResponse response = post_routes_->Collect(slot.request_id);
+      out += HttpResponse(response.status, ReasonFor(response.status),
+                          response.content_type.c_str(), response.body,
+                          !close_connection, response.retry_after_ms);
+    }
+    if (status == ParseStatus::kHeaderOverflow) {
+      out += HttpResponse(400, ReasonFor(400), "text/plain; charset=utf-8",
+                          "header block too large\n");
+      close_connection = true;
+    } else if (status == ParseStatus::kBodyTooLarge) {
+      out += HttpResponse(
+          413, ReasonFor(413), "text/plain; charset=utf-8",
+          "body exceeds " + std::to_string(config_.max_body_bytes) +
+              " bytes\n");
+      close_connection = true;
+    }
+    if (!out.empty()) SendAll(connection_fd, out);
+  }
+}
+
+std::string TelemetryServer::HandleHttpRequest(
+    const HttpRequest& request) const {
+  return HandleHttpRequestImpl(request, false);
+}
+
+std::string TelemetryServer::HandleHttpRequestImpl(const HttpRequest& request,
+                                                   bool keep_alive) const {
+  const bool alive = keep_alive && !request.close_connection;
+  if (request.method == "GET") return HandlePathImpl(request.path, alive);
+  if (request.method != "POST" || post_routes_ == nullptr ||
+      !IsPostPath(request.path)) {
+    return HttpResponse(405, ReasonFor(405), "text/plain; charset=utf-8",
+                        "only GET is supported\n", alive);
+  }
+  // POST hardening, in rejection order: framing first (501/411/413 —
+  // anything that makes the body unreadable or unreasonable), then the
+  // media-type gate (415), then dispatch.
+  if (request.has_transfer_encoding) {
+    return HttpResponse(501, ReasonFor(501), "text/plain; charset=utf-8",
+                        "Transfer-Encoding is not supported; send "
+                        "Content-Length\n");
+  }
+  if (!request.has_content_length && request.body.empty()) {
+    return HttpResponse(411, ReasonFor(411), "text/plain; charset=utf-8",
+                        "POST requires Content-Length\n");
+  }
+  const std::size_t declared =
+      std::max(request.content_length, request.body.size());
+  if (declared > config_.max_body_bytes) {
+    return HttpResponse(
+        413, ReasonFor(413), "text/plain; charset=utf-8",
+        "body exceeds " + std::to_string(config_.max_body_bytes) +
+            " bytes\n");
+  }
+  if (!AcceptsContentType(request.content_type)) {
+    return HttpResponse(415, ReasonFor(415), "text/plain; charset=utf-8",
+                        "unsupported media type\n", alive);
+  }
+  const std::uint64_t id = post_routes_->Submit(
+      request.path, request.content_type, request.body);
+  const PostResponse response = post_routes_->Collect(id);
+  return HttpResponse(response.status, ReasonFor(response.status),
+                      response.content_type.c_str(), response.body, alive,
+                      response.retry_after_ms);
 }
 
 std::string TelemetryServer::HandleRequest(const std::string& method,
                                            const std::string& path) const {
-  if (method != "GET") {
-    return HttpResponse(405, "Method Not Allowed", "text/plain; charset=utf-8",
-                        "only GET is supported\n");
-  }
-  return HandlePath(path);
+  HttpRequest request;
+  request.method = method;
+  request.path = path;
+  return HandleHttpRequest(request);
 }
 
 std::string TelemetryServer::HandlePath(const std::string& path) const {
+  return HandlePathImpl(path, false);
+}
+
+std::string TelemetryServer::HandlePathImpl(const std::string& path,
+                                            bool keep_alive) const {
   if (path == "/healthz") {
     // Structured health document; "status":"ok" keeps the plain-text
     // smoke check (`grep ok`) working.
@@ -184,53 +562,55 @@ std::string TelemetryServer::HandlePath(const std::string& path) const {
     body += "},\"profiler\":{\"attached\":";
     body += profiler_ == nullptr ? "false" : "true";
     body += "}}\n";
-    return HttpResponse(200, "OK", "application/json", body);
+    return HttpResponse(200, "OK", "application/json", body, keep_alive);
   }
   if (path == "/metrics") {
     const std::string body =
         registry_ == nullptr ? std::string() : registry_->RenderPrometheus();
     return HttpResponse(200, "OK",
-                        "text/plain; version=0.0.4; charset=utf-8", body);
+                        "text/plain; version=0.0.4; charset=utf-8", body,
+                        keep_alive);
   }
   if (path == "/metrics.json") {
     const std::string body =
         registry_ == nullptr ? std::string("{}\n") : registry_->RenderJson();
-    return HttpResponse(200, "OK", "application/json", body);
+    return HttpResponse(200, "OK", "application/json", body, keep_alive);
   }
   if (path == "/timeseries") {
     const std::string body =
         timeseries_ == nullptr ? std::string("{}\n")
                                : timeseries_->RenderJson(timeseries_window_);
-    return HttpResponse(200, "OK", "application/json", body);
+    return HttpResponse(200, "OK", "application/json", body, keep_alive);
   }
   if (path == "/quality") {
     const std::string body =
         quality_ == nullptr ? std::string("{}\n") : quality_->RenderJson();
-    return HttpResponse(200, "OK", "application/json", body);
+    return HttpResponse(200, "OK", "application/json", body, keep_alive);
   }
   if (path == "/alerts") {
     const std::string body =
         alerts_ == nullptr ? std::string("{}\n") : alerts_->RenderJson();
-    return HttpResponse(200, "OK", "application/json", body);
+    return HttpResponse(200, "OK", "application/json", body, keep_alive);
   }
   if (path == "/profile") {
     const std::string body =
         profiler_ == nullptr ? std::string("{}\n") : profiler_->RenderJson();
-    return HttpResponse(200, "OK", "application/json", body);
+    return HttpResponse(200, "OK", "application/json", body, keep_alive);
   }
   if (path == "/profile.collapsed") {
     const std::string body =
         profiler_ == nullptr ? std::string() : profiler_->RenderCollapsed();
-    return HttpResponse(200, "OK", "text/plain; charset=utf-8", body);
+    return HttpResponse(200, "OK", "text/plain; charset=utf-8", body,
+                        keep_alive);
   }
   if (path == "/locks") {
     return HttpResponse(200, "OK", "application/json",
-                        RenderLockContentionJson());
+                        RenderLockContentionJson(), keep_alive);
   }
   if (path == "/memory") {
     const std::string body =
         memory_ == nullptr ? std::string("{}\n") : memory_->RenderJson();
-    return HttpResponse(200, "OK", "application/json", body);
+    return HttpResponse(200, "OK", "application/json", body, keep_alive);
   }
   if (path == "/devices") {
     std::string body = "{\"devices\": [";
@@ -243,18 +623,18 @@ std::string TelemetryServer::HandlePath(const std::string& path) const {
       }
     }
     body += "]}\n";
-    return HttpResponse(200, "OK", "application/json", body);
+    return HttpResponse(200, "OK", "application/json", body, keep_alive);
   }
   constexpr const char* kDevicePrefix = "/devices/";
   if (path.rfind(kDevicePrefix, 0) == 0) {
     const auto mac =
         net::MacAddress::Parse(path.substr(std::strlen(kDevicePrefix)));
     if (!mac.has_value() || recorder_ == nullptr || !recorder_->Known(*mac))
-      return NotFound();
+      return NotFound(keep_alive);
     return HttpResponse(200, "OK", "application/json",
-                        recorder_->RenderJson(*mac));
+                        recorder_->RenderJson(*mac), keep_alive);
   }
-  return NotFound();
+  return NotFound(keep_alive);
 }
 
 }  // namespace sentinel::obs

@@ -1,6 +1,6 @@
-// Minimal blocking HTTP/1.1 endpoint for live telemetry scraping
-// (`sentinelctl serve --listen <port>`). Routes (GET only; every other
-// method is 405 at the routing layer):
+// Minimal blocking HTTP/1.1 endpoint for live telemetry scraping and —
+// when a PostRoutes backend is attached — the always-on identification
+// service (`sentinelctl serve`). GET routes:
 //   GET /healthz          -> structured health JSON ("status": "ok",
 //                            build info, uptime, sampler + alert summary)
 //   GET /metrics          -> Prometheus text exposition of the registry
@@ -14,16 +14,29 @@
 //   GET /memory           -> unified memory-attribution tree (JSON)
 //   GET /devices          -> JSON list of journalled device MACs
 //   GET /devices/<mac>    -> the device's flight-recorder journal as JSON
-// Anything else is 404. One connection is served at a time (a scrape is a
-// few kilobytes; Prometheus polls every few seconds — concurrency buys
-// nothing here and a single blocking loop cannot leak threads). Stop()
-// from any thread unblocks Serve(). POSIX sockets only, loopback by
-// default; no third-party dependencies.
+// POST is 405 everywhere until set_post_routes() registers a backend and
+// its paths (the service registers POST /identify and POST /ingest; see
+// core/identify_server.h). POST requests are hardened at this layer,
+// before any backend sees them: bodies above max_body_bytes get 413
+// without being read, Transfer-Encoding is rejected with 501 (only
+// identity framing is implemented), a POST without Content-Length gets
+// 411, and an unsupported media type gets 415. Anything else is 404.
+//
+// Serving modes: by default one connection is served at a time (a scrape
+// is a few kilobytes; Prometheus polls every few seconds — concurrency
+// buys nothing and a single blocking loop cannot leak threads). With
+// config.serve_threads > 0, Serve() runs that many connection handlers
+// with HTTP/1.1 keep-alive and pipelining: each handler admits every
+// pipelined POST of a read burst into the backend before it waits on the
+// first verdict, which is what lets the identification drain thread form
+// real micro-batches. Stop() from any thread unblocks Serve(). POSIX
+// sockets only, loopback by default; no third-party dependencies.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/alerts.h"
 #include "obs/flight_recorder.h"
@@ -41,6 +54,41 @@ struct TelemetryServerConfig {
   /// Bind all interfaces instead of loopback (off: scrape locally or
   /// through a reverse proxy).
   bool bind_any = false;
+  /// Largest accepted POST body; a request declaring (or growing) more is
+  /// answered 413 and its body is never buffered.
+  std::size_t max_body_bytes = 1 << 20;  // 1 MiB
+  /// Connection-handler threads for Serve(). 0 keeps the classic
+  /// one-connection-at-a-time loop; > 0 enables the keep-alive +
+  /// pipelining pool the identification service runs on.
+  std::size_t serve_threads = 0;
+};
+
+/// Full HTTP response of a POST route backend.
+struct PostResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// When > 0 the response carries a Retry-After header (milliseconds
+  /// rounded up to whole seconds) — overload push-back (429).
+  std::uint64_t retry_after_ms = 0;
+};
+
+/// Two-phase POST backend. Submit() parses and admits one request body —
+/// cheap and non-blocking (overload turns into an immediate 429 at
+/// Collect) — and returns an opaque request id; Collect() blocks until
+/// that request's response is ready and consumes the id. The split lets a
+/// connection handler admit EVERY pipelined request of a read burst
+/// before waiting on the first verdict; admitting-then-waiting one at a
+/// time would cap the identification batch size at the connection count.
+class PostRoutes {
+ public:
+  virtual ~PostRoutes() = default;
+  /// `path` is one of the registered routes; `content_type` has already
+  /// passed the accepted-types gate. Never throws.
+  [[nodiscard]] virtual std::uint64_t Submit(const std::string& path,
+                                             const std::string& content_type,
+                                             std::string body) = 0;
+  [[nodiscard]] virtual PostResponse Collect(std::uint64_t request_id) = 0;
 };
 
 class TelemetryServer {
@@ -60,7 +108,7 @@ class TelemetryServer {
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
   /// Blocking accept loop; returns after Stop() (or, when
-  /// `max_requests` > 0, after serving that many requests — tests).
+  /// `max_requests` > 0, after accepting that many connections — tests).
   void Serve(std::size_t max_requests = 0);
 
   /// Thread-safe; unblocks a concurrent Serve().
@@ -82,16 +130,69 @@ class TelemetryServer {
   void set_profiler(const Profiler* profiler) { profiler_ = profiler; }
   void set_memory(const MemoryAccounting* memory) { memory_ = memory; }
 
-  /// Routes one (method, path) request to a full HTTP response (status
-  /// line, headers, body); non-GET methods get the 405 here, so the whole
-  /// method-routing surface is testable without sockets.
+  /// Registers the POST backend, the paths it serves and the media types
+  /// it accepts (anything else on those paths is 415; POST to any other
+  /// path stays 405). Attach before Start(), like the other sources; the
+  /// backend must outlive the server.
+  void set_post_routes(PostRoutes* routes, std::vector<std::string> paths,
+                       std::vector<std::string> content_types) {
+    post_routes_ = routes;
+    post_paths_ = std::move(paths);
+    post_content_types_ = std::move(content_types);
+  }
+
+  /// One parsed request, ready for routing — the testable-without-sockets
+  /// form both socket paths reduce a connection's bytes to.
+  struct HttpRequest {
+    std::string method;
+    std::string path;
+    /// Media type, lowercased, parameters stripped ("application/json"
+    /// from "Application/JSON; charset=utf-8"); empty when absent.
+    std::string content_type;
+    bool has_transfer_encoding = false;
+    bool has_content_length = false;
+    std::size_t content_length = 0;
+    /// Client sent "Connection: close".
+    bool close_connection = false;
+    std::string body;
+  };
+
+  /// Routes one parsed request to a full HTTP response (status line,
+  /// headers, body), including all POST hardening — the whole
+  /// method/hardening surface is testable without sockets.
+  [[nodiscard]] std::string HandleHttpRequest(const HttpRequest& request) const;
+
+  /// (method, path) shorthand for HandleHttpRequest — the non-GET 405
+  /// lives behind this too.
   [[nodiscard]] std::string HandleRequest(const std::string& method,
                                           const std::string& path) const;
   /// GET shorthand for HandleRequest.
   [[nodiscard]] std::string HandlePath(const std::string& path) const;
 
  private:
+  /// Incremental request parser over a connection's receive buffer.
+  enum class ParseStatus {
+    kComplete,        // one request parsed and consumed from the buffer
+    kNeedMore,        // keep receiving
+    kHeaderOverflow,  // header block exceeded the 4 KiB cap
+    kBodyTooLarge,    // declared Content-Length beyond max_body_bytes
+  };
+  ParseStatus ParseOneRequest(std::string& buffer, HttpRequest& out) const;
+
+  [[nodiscard]] std::string HandleHttpRequestImpl(const HttpRequest& request,
+                                                  bool keep_alive) const;
+  [[nodiscard]] std::string HandlePathImpl(const std::string& path,
+                                           bool keep_alive) const;
+  [[nodiscard]] bool IsPostPath(const std::string& path) const;
+  [[nodiscard]] bool AcceptsContentType(const std::string& media_type) const;
+
+  /// Classic mode: one request, one response, close.
   void ServeConnection(int connection_fd);
+  /// Pool mode: keep-alive + pipelining until the peer closes.
+  void ServeConnectionLoop(int connection_fd);
+  /// Best-effort answer for a connection whose header block blew the cap.
+  void RespondHeaderOverflow(int connection_fd, const std::string& buffer);
+  void SendAll(int connection_fd, const std::string& response);
 
   const MetricsRegistry* registry_;
   const FlightRecorder* recorder_;
@@ -101,6 +202,9 @@ class TelemetryServer {
   const AlertEngine* alerts_ = nullptr;
   const Profiler* profiler_ = nullptr;
   const MemoryAccounting* memory_ = nullptr;
+  PostRoutes* post_routes_ = nullptr;
+  std::vector<std::string> post_paths_;
+  std::vector<std::string> post_content_types_;
   TelemetryServerConfig config_;
   /// Monotonic ns at Start(); 0 before. /healthz derives uptime from it.
   std::uint64_t start_ns_ = 0;

@@ -1,0 +1,249 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cstdint>
+
+namespace sentinel::util {
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor. Every method either
+/// consumes exactly the construct it names or reports failure; nothing
+/// throws and nothing reads past end().
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : cursor_(text.data()),
+        end_(text.data() + text.size()),
+        max_depth_(max_depth) {}
+
+  bool ParseDocument(JsonValue& out) {
+    SkipWhitespace();
+    if (!ParseValue(out, 0)) return false;
+    SkipWhitespace();
+    return cursor_ == end_;  // strict: exactly one value
+  }
+
+ private:
+  [[nodiscard]] bool AtEnd() const { return cursor_ == end_; }
+  [[nodiscard]] char Peek() const { return *cursor_; }
+
+  void SkipWhitespace() {
+    while (cursor_ != end_ && (*cursor_ == ' ' || *cursor_ == '\t' ||
+                               *cursor_ == '\n' || *cursor_ == '\r'))
+      ++cursor_;
+  }
+
+  bool Consume(char expected) {
+    if (AtEnd() || *cursor_ != expected) return false;
+    ++cursor_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (static_cast<std::size_t>(end_ - cursor_) < literal.size())
+      return false;
+    for (std::size_t i = 0; i < literal.size(); ++i)
+      if (cursor_[i] != literal[i]) return false;
+    cursor_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out, std::size_t depth) {
+    if (depth > max_depth_ || AtEnd()) return false;
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return ParseString(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue& out, std::size_t depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++cursor_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (AtEnd() || Peek() != '"' || !ParseString(key)) return false;
+      SkipWhitespace();
+      if (!Consume(':')) return false;
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray(JsonValue& out, std::size_t depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++cursor_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    for (;;) {
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      out.items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    ++cursor_;  // '"'
+    while (!AtEnd()) {
+      const unsigned char c = static_cast<unsigned char>(*cursor_);
+      if (c == '"') {
+        ++cursor_;
+        return true;
+      }
+      if (c < 0x20) return false;  // unescaped control character
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++cursor_;
+        continue;
+      }
+      ++cursor_;  // '\\'
+      if (AtEnd()) return false;
+      const char escape = *cursor_++;
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t code = 0;
+          if (!ParseHex4(code)) return false;
+          // Surrogate pair: a high surrogate must be followed by an
+          // escaped low surrogate; lone surrogates are malformed.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            std::uint32_t low = 0;
+            if (!ConsumeLiteral("\\u") || !ParseHex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) return false;
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return false;
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseHex4(std::uint32_t& out) {
+    if (end_ - cursor_ < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = *cursor_++;
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        return false;
+    }
+    return true;
+  }
+
+  static void AppendUtf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    // Validate the RFC 8259 grammar by hand (from_chars accepts inputs
+    // JSON forbids, e.g. leading '+', and rejects none JSON requires),
+    // then convert the validated span.
+    const char* start = cursor_;
+    if (!AtEnd() && Peek() == '-') ++cursor_;
+    if (AtEnd() || Peek() < '0' || Peek() > '9') return false;
+    if (Peek() == '0') {
+      ++cursor_;  // no leading zeros
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++cursor_;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++cursor_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') return false;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++cursor_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++cursor_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++cursor_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') return false;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++cursor_;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    const auto [ptr, ec] = std::from_chars(start, cursor_, out.number);
+    return ec == std::errc() && ptr == cursor_;
+  }
+
+  const char* cursor_;
+  const char* end_;
+  std::size_t max_depth_;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+std::optional<JsonValue> ParseJson(std::string_view text,
+                                   std::size_t max_depth) {
+  JsonValue out;
+  Parser parser(text, max_depth);
+  if (!parser.ParseDocument(out)) return std::nullopt;
+  return out;
+}
+
+}  // namespace sentinel::util

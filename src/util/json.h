@@ -1,0 +1,62 @@
+// Strict, dependency-free JSON parser for the untrusted request bodies the
+// serving path accepts (`POST /identify` probe fingerprints) and for tools
+// that read the exposition documents back (the load generator checks every
+// served verdict against a local identification).
+//
+// Scope: full RFC 8259 value grammar — objects, arrays, strings (with
+// \uXXXX escapes, encoded back to UTF-8), numbers, booleans, null — parsed
+// into an owning DOM. Strict by design: trailing garbage, unescaped
+// control characters, bare NaN/Infinity, duplicate '.' etc. all fail the
+// parse; a nesting-depth cap bounds stack use on hostile inputs. Parsing
+// never throws — untrusted bytes yield std::nullopt, not exceptions.
+//
+// This is the readable general-purpose parser, and JSON probe bodies go
+// through it. The serving hot path bypasses JSON entirely: saturation
+// traffic posts the binary probe form (raw MAC octets + the SFP
+// fingerprint codec), so DOM cost never bounds the benchmark.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sentinel::util {
+
+/// One parsed JSON value. Plain struct-of-everything rather than a variant:
+/// the documents this repository parses are small (requests, bench
+/// baselines), and flat members keep the accessors trivial to read.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  /// Array elements, in document order (kind == kArray).
+  std::vector<JsonValue> items;
+  /// Object members, in document order; duplicate keys are kept as
+  /// written and Find returns the first (kind == kObject).
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] bool IsNull() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool IsBool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool IsNumber() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool IsString() const { return kind == Kind::kString; }
+  [[nodiscard]] bool IsArray() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool IsObject() const { return kind == Kind::kObject; }
+
+  /// First member named `key`, or nullptr (also for non-objects).
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses `text` as exactly one JSON value (surrounding whitespace
+/// allowed, anything after it is an error). Returns std::nullopt on any
+/// syntax error or when nesting exceeds `max_depth`.
+std::optional<JsonValue> ParseJson(std::string_view text,
+                                   std::size_t max_depth = 64);
+
+}  // namespace sentinel::util

@@ -202,6 +202,97 @@ TEST(IdentifyFastPath, SavedBytesUnchangedByCompiledBank) {
   }
 }
 
+// The serving kernel's bit-identical contract: verdict, candidate set,
+// bank order, tie-break count, and the winner's exact score. Recorded
+// probabilities are bound-grade (threshold early exit) and losing
+// candidates' scores are certified bounds, so those compare by
+// consistency rather than equality.
+void ExpectServeVerdictEqual(const core::IdentificationResult& serve,
+                             const core::IdentificationResult& exact) {
+  EXPECT_EQ(serve.type, exact.type);
+  EXPECT_EQ(serve.matched_types, exact.matched_types);
+  EXPECT_EQ(serve.bank_labels, exact.bank_labels);
+  EXPECT_EQ(serve.acceptance_threshold, exact.acceptance_threshold);
+  EXPECT_EQ(serve.tie_break_count, exact.tie_break_count);
+  ASSERT_EQ(serve.bank_probabilities.size(), exact.bank_probabilities.size());
+  for (std::size_t k = 0; k < serve.bank_probabilities.size(); ++k) {
+    EXPECT_EQ(serve.bank_probabilities[k] >= serve.acceptance_threshold,
+              exact.bank_probabilities[k] >= exact.acceptance_threshold);
+  }
+  ASSERT_EQ(serve.dissimilarity_scores.size(),
+            exact.dissimilarity_scores.size());
+  if (serve.type.has_value()) {
+    for (std::size_t c = 0; c < serve.matched_types.size(); ++c) {
+      if (serve.matched_types[c] == *serve.type) {
+        EXPECT_EQ(serve.dissimilarity_scores[c],
+                  exact.dissimilarity_scores[c]);
+      }
+    }
+  }
+}
+
+TEST(IdentifyBatchServe, MatchesBatchAndPerCallVerdicts) {
+  const auto dataset = devices::GenerateFingerprintDataset(6, 2026);
+  auto identifier = TrainedIdentifier(dataset);
+  // Training fingerprints provoke multi-matches and exact ties; fresh
+  // probes cover the accept/reject boundary.
+  const auto probes = devices::GenerateFingerprintDataset(3, 777);
+  for (const auto* set : {&probes, &dataset}) {
+    std::vector<core::DeviceIdentifier::FingerprintRef> refs;
+    for (std::size_t i = 0; i < set->size(); ++i)
+      refs.push_back({&set->fingerprints[i], &set->fixed[i]});
+    const auto serve = identifier.IdentifyBatchServe(refs);
+    const auto batch = identifier.IdentifyBatch(refs);
+    ASSERT_EQ(serve.size(), set->size());
+    for (std::size_t i = 0; i < set->size(); ++i) {
+      ExpectServeVerdictEqual(serve[i], batch[i]);
+      const auto single =
+          identifier.Identify(set->fingerprints[i], set->fixed[i]);
+      ExpectServeVerdictEqual(serve[i], single);
+    }
+  }
+}
+
+TEST(IdentifyBatchServe, FallsBackToReferencePathWhenFastPathDisabled) {
+  const auto dataset = devices::GenerateFingerprintDataset(4, 13);
+  auto identifier = TrainedIdentifier(dataset);
+  const auto probes = devices::GenerateFingerprintDataset(2, 31);
+  std::vector<core::DeviceIdentifier::FingerprintRef> refs;
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    refs.push_back({&probes.fingerprints[i], &probes.fixed[i]});
+  identifier.set_fast_path(false);
+  const auto serve = identifier.IdentifyBatchServe(refs);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto reference =
+        identifier.Identify(probes.fingerprints[i], probes.fixed[i]);
+    EXPECT_EQ(serve[i].type, reference.type);
+    EXPECT_EQ(serve[i].matched_types, reference.matched_types);
+    EXPECT_EQ(serve[i].dissimilarity_scores, reference.dissimilarity_scores);
+  }
+}
+
+TEST(IdentifyBatchServe, SurvivesSaveLoadRoundTrip) {
+  const auto dataset = devices::GenerateFingerprintDataset(5, 61);
+  auto identifier = TrainedIdentifier(dataset);
+  const auto bytes = SaveBank(identifier);
+  net::ByteReader r(bytes);
+  auto reloaded = core::DeviceIdentifier::Load(r);
+  const auto probes = devices::GenerateFingerprintDataset(2, 9);
+  std::vector<core::DeviceIdentifier::FingerprintRef> refs;
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    refs.push_back({&probes.fingerprints[i], &probes.fixed[i]});
+  const auto original = identifier.IdentifyBatchServe(refs);
+  const auto loaded = reloaded.IdentifyBatchServe(refs);
+  ASSERT_EQ(original.size(), loaded.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].type, loaded[i].type);
+    EXPECT_EQ(original[i].matched_types, loaded[i].matched_types);
+    EXPECT_EQ(original[i].tie_break_count, loaded[i].tie_break_count);
+    EXPECT_EQ(original[i].dissimilarity_scores,
+              loaded[i].dissimilarity_scores);
+  }
+}
+
 TEST(IdentifyFastPath, PruningCountersFire) {
   const auto dataset = devices::GenerateFingerprintDataset(6, 51);
   obs::MetricsRegistry registry;

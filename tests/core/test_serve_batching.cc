@@ -1,0 +1,162 @@
+// Pure unit tests for the serving path's micro-batching building blocks
+// (core/serve_batching.h): every flush rule of AdaptiveBatchPolicy driven
+// with an injected clock — size, deadline, and the sparse-arrival
+// adaptation that separates bursty from steady traffic — plus the
+// admission queue's FIFO and shed-oldest-per-MAC overload semantics.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "core/serve_batching.h"
+
+namespace sentinel::core {
+namespace {
+
+using FlushReason = AdaptiveBatchPolicy::FlushReason;
+
+constexpr std::uint64_t kMs = 1'000'000;  // ns per millisecond
+
+net::MacAddress Mac(std::uint8_t last) {
+  return net::MacAddress(std::array<std::uint8_t, 6>{0, 1, 2, 3, 4, last});
+}
+
+QueuedProbe Probe(std::uint8_t mac_last, std::uint64_t enqueue_ns,
+                  std::uint64_t ticket) {
+  return QueuedProbe{.mac = Mac(mac_last),
+                     .enqueue_ns = enqueue_ns,
+                     .ticket = ticket};
+}
+
+TEST(AdaptiveBatchPolicy, SizeTargetFlushesImmediately) {
+  AdaptiveBatchPolicy policy({.batch_target = 4, .latency_bound_ns = 2 * kMs});
+  const auto decision = policy.Evaluate(/*depth=*/4, /*oldest=*/0, /*now=*/0);
+  EXPECT_TRUE(decision.flush);
+  EXPECT_EQ(decision.reason, FlushReason::kSize);
+  // Over-full counts too.
+  EXPECT_EQ(policy.Evaluate(9, 0, 0).reason, FlushReason::kSize);
+}
+
+TEST(AdaptiveBatchPolicy, DeadlineFlushesAPartialBatch) {
+  AdaptiveBatchPolicy policy({.batch_target = 16, .latency_bound_ns = 2 * kMs});
+  // Before the bound: wait, and the suggested wait is the remaining
+  // deadline (no EWMA observed yet).
+  const auto early = policy.Evaluate(3, /*oldest=*/1000, /*now=*/1000 + kMs);
+  EXPECT_FALSE(early.flush);
+  EXPECT_EQ(early.wait_ns, kMs);
+  // At the bound: flush whatever is queued.
+  const auto due = policy.Evaluate(3, 1000, 1000 + 2 * kMs);
+  EXPECT_TRUE(due.flush);
+  EXPECT_EQ(due.reason, FlushReason::kDeadline);
+}
+
+TEST(AdaptiveBatchPolicy, EwmaUnknownUntilTwoArrivals) {
+  AdaptiveBatchPolicy policy({.batch_target = 16, .latency_bound_ns = 2 * kMs});
+  EXPECT_EQ(policy.ewma_interarrival_ns(), 0u);
+  policy.OnArrival(1000);
+  EXPECT_EQ(policy.ewma_interarrival_ns(), 0u);  // one arrival: no gap yet
+  policy.OnArrival(1000 + 500);
+  EXPECT_EQ(policy.ewma_interarrival_ns(), 500u);  // first gap seeds directly
+}
+
+TEST(AdaptiveBatchPolicy, SteadyFastArrivalsWaitForTheBatchToFill) {
+  AdaptiveBatchPolicy policy({.batch_target = 8,
+                              .latency_bound_ns = 2 * kMs,
+                              .ewma_alpha = 0.2});
+  // Bursty traffic: 10 µs gaps. Filling 7 more slots costs ~70 µs, far
+  // inside the 2 ms bound, so the policy holds out for a full batch and
+  // shortens the sleep to the predicted fill time.
+  std::uint64_t now = 0;
+  for (int i = 0; i < 8; ++i) policy.OnArrival(now += 10'000);
+  const auto decision = policy.Evaluate(/*depth=*/1, /*oldest=*/now, now);
+  EXPECT_FALSE(decision.flush);
+  EXPECT_LE(decision.wait_ns, 7 * 10'000 + 1);
+  EXPECT_LT(decision.wait_ns, 2 * kMs);  // sleeps toward fill, not deadline
+}
+
+TEST(AdaptiveBatchPolicy, SparseArrivalsFlushEarlyInsteadOfIdling) {
+  AdaptiveBatchPolicy policy({.batch_target = 8,
+                              .latency_bound_ns = 2 * kMs,
+                              .ewma_alpha = 0.2});
+  // A trickle: 5 ms between probes. The 7 missing slots would take ~35 ms
+  // against a 2 ms bound — provably unfillable, so serve now at per-call
+  // latency rather than idling to the deadline.
+  std::uint64_t now = 0;
+  for (int i = 0; i < 8; ++i) policy.OnArrival(now += 5 * kMs);
+  const auto decision = policy.Evaluate(/*depth=*/1, /*oldest=*/now, now);
+  EXPECT_TRUE(decision.flush);
+  EXPECT_EQ(decision.reason, FlushReason::kSparse);
+}
+
+TEST(AdaptiveBatchPolicy, AdaptsWhenTrafficTurnsBursty) {
+  AdaptiveBatchPolicy policy({.batch_target = 8,
+                              .latency_bound_ns = 2 * kMs,
+                              .ewma_alpha = 0.2});
+  std::uint64_t now = 0;
+  // Sparse phase first...
+  for (int i = 0; i < 4; ++i) policy.OnArrival(now += 5 * kMs);
+  EXPECT_EQ(policy.Evaluate(1, now, now).reason, FlushReason::kSparse);
+  // ...then a burst: the EWMA chases the 10 µs gaps down until the
+  // predicted fill fits the bound again and batching resumes.
+  for (int i = 0; i < 40; ++i) policy.OnArrival(now += 10'000);
+  const auto adapted = policy.Evaluate(1, now, now);
+  EXPECT_FALSE(adapted.flush);
+}
+
+TEST(AdmissionQueue, FifoOrderAndBoundedPop) {
+  AdmissionQueue queue(/*capacity=*/8);
+  for (std::uint64_t t = 1; t <= 5; ++t) {
+    const auto admission = queue.Push(Probe(static_cast<std::uint8_t>(t),
+                                            /*enqueue_ns=*/t * 100, t));
+    EXPECT_EQ(admission.action, AdmissionQueue::AdmitAction::kAdmitted);
+  }
+  EXPECT_EQ(queue.depth(), 5u);
+  EXPECT_EQ(queue.oldest_enqueue_ns().value(), 100u);
+  auto batch = queue.PopBatch(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].ticket, 1u);
+  EXPECT_EQ(batch[2].ticket, 3u);
+  EXPECT_EQ(queue.oldest_enqueue_ns().value(), 400u);
+  batch = queue.PopBatch(99);  // capped at what is queued
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[1].ticket, 5u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.oldest_enqueue_ns().has_value());
+}
+
+TEST(AdmissionQueue, FullQueueShedsOldestProbeOfSameDevice) {
+  AdmissionQueue queue(3);
+  // Two probes of device 1 (tickets 1 and 3) and one of device 2.
+  EXPECT_EQ(queue.Push(Probe(1, 100, 1)).action,
+            AdmissionQueue::AdmitAction::kAdmitted);
+  EXPECT_EQ(queue.Push(Probe(2, 200, 2)).action,
+            AdmissionQueue::AdmitAction::kAdmitted);
+  EXPECT_EQ(queue.Push(Probe(1, 300, 3)).action,
+            AdmissionQueue::AdmitAction::kAdmitted);
+  // Full. A fresh probe of device 1 sheds the OLDEST device-1 probe
+  // (ticket 1), not the newer one.
+  const auto shed = queue.Push(Probe(1, 400, 4));
+  EXPECT_EQ(shed.action, AdmissionQueue::AdmitAction::kAdmittedAfterShed);
+  EXPECT_EQ(shed.shed_ticket, 1u);
+  EXPECT_EQ(queue.depth(), 3u);
+  // Survivors keep FIFO order; the newcomer queues at the back.
+  const auto batch = queue.PopBatch(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].ticket, 2u);
+  EXPECT_EQ(batch[1].ticket, 3u);
+  EXPECT_EQ(batch[2].ticket, 4u);
+}
+
+TEST(AdmissionQueue, FullQueueRejectsWhenNoSameDeviceVictimExists) {
+  AdmissionQueue queue(2);
+  EXPECT_EQ(queue.Push(Probe(1, 100, 1)).action,
+            AdmissionQueue::AdmitAction::kAdmitted);
+  EXPECT_EQ(queue.Push(Probe(2, 200, 2)).action,
+            AdmissionQueue::AdmitAction::kAdmitted);
+  const auto rejected = queue.Push(Probe(3, 300, 3));
+  EXPECT_EQ(rejected.action, AdmissionQueue::AdmitAction::kRejected);
+  EXPECT_EQ(queue.depth(), 2u);  // rejected probe left no trace
+}
+
+}  // namespace
+}  // namespace sentinel::core

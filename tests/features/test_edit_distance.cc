@@ -326,5 +326,141 @@ TEST(PrunedNormalizedEditDistance, EmptyPairIsZeroAndUnpruned) {
   EXPECT_EQ(out.value, 0.0);
 }
 
+// Reference Levenshtein (no transposition) over id sequences, for
+// validating the bit-parallel implementation.
+std::size_t ReferenceLevenshtein(std::span<const std::uint32_t> a,
+                                 std::span<const std::uint32_t> b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+std::vector<std::uint32_t> RandomIds(std::mt19937& rng, std::size_t max_len,
+                                     std::uint32_t alphabet) {
+  std::uniform_int_distribution<std::size_t> len(0, max_len);
+  std::uniform_int_distribution<std::uint32_t> sym(0, alphabet - 1);
+  std::vector<std::uint32_t> out(len(rng));
+  for (auto& id : out) id = sym(rng);
+  return out;
+}
+
+TEST(MyersDistance, MatchesReferenceLevenshtein) {
+  std::mt19937 rng(711);
+  EditDistanceScratch scratch;
+  for (int round = 0; round < 300; ++round) {
+    const auto a = RandomIds(rng, 40, 7);
+    const auto b = RandomIds(rng, 40, 7);
+    ASSERT_TRUE(BuildMyersPattern(a, 8, scratch));
+    EXPECT_EQ(MyersDistance(a.size(), b, scratch),
+              ReferenceLevenshtein(a, b));
+  }
+}
+
+TEST(MyersDistance, IsAnUpperBoundOnOsaDistance) {
+  // OSA adds transposition to Levenshtein's operation set, so it can only
+  // be cheaper — the property the serve path's cutoff cap relies on.
+  std::mt19937 rng(712);
+  EditDistanceScratch scratch;
+  EditDistanceScratch dp_scratch;
+  for (int round = 0; round < 300; ++round) {
+    const auto a = RandomIds(rng, 20, 4);
+    const auto b = RandomIds(rng, 20, 4);
+    ASSERT_TRUE(BuildMyersPattern(a, 4, scratch));
+    const std::size_t lev = MyersDistance(a.size(), b, scratch);
+    const auto osa = BoundedEditDistance(
+        std::span<const std::uint32_t>(a), std::span<const std::uint32_t>(b),
+        std::max(a.size(), b.size()), dp_scratch);
+    EXPECT_LE(osa.distance, lev);
+  }
+}
+
+TEST(MyersDistance, PatternsLongerThan64Decline) {
+  EditDistanceScratch scratch;
+  const std::vector<std::uint32_t> long_ids(65, 1);
+  EXPECT_FALSE(BuildMyersPattern(long_ids, 8, scratch));
+  EXPECT_FALSE(BuildMyersPatternSparse(long_ids, 8, scratch));
+}
+
+TEST(MyersDistance, SparseBuildMatchesDenseAndClearRestoresZeros) {
+  std::mt19937 rng(713);
+  EditDistanceScratch dense, sparse;
+  for (int round = 0; round < 100; ++round) {
+    const auto a = RandomIds(rng, 30, 9);
+    const auto b = RandomIds(rng, 30, 9);
+    ASSERT_TRUE(BuildMyersPattern(a, 16, dense));
+    ASSERT_TRUE(BuildMyersPatternSparse(a, 16, sparse));
+    EXPECT_EQ(MyersDistance(a.size(), b, sparse),
+              MyersDistance(a.size(), b, dense));
+    ClearMyersPattern(a, sparse);
+    for (const std::uint64_t mask : sparse.peq) EXPECT_EQ(mask, 0u);
+  }
+}
+
+TEST(PrunedNormalizedEditDistance, SoundBoundsNeverChangeTheValue) {
+  // The doubly-bounded overload must be bit-identical to the unbounded
+  // one for every sound (lower <= true <= upper) bound pair, including
+  // the pinched case lower == upper where no DP runs at all.
+  std::mt19937 rng(714);
+  EditDistanceScratch scratch;
+  std::uniform_real_distribution<double> best(0.0, 1.2);
+  for (int round = 0; round < 400; ++round) {
+    const auto a = RandomIds(rng, 14, 5);
+    const auto b = RandomIds(rng, 14, 5);
+    const std::span<const std::uint32_t> sa(a), sb(b);
+    const std::size_t longest = std::max(a.size(), b.size());
+    const std::size_t exact =
+        BoundedEditDistance(sa, sb, longest, scratch).distance;
+    const double best_score = best(rng);
+    const auto plain =
+        PrunedNormalizedEditDistance(sa, sb, 0.0, best_score, scratch);
+    // Exercise loose, tight, and pinched bounds around the true distance.
+    const std::size_t lowers[] = {0, exact / 2, exact};
+    const std::size_t uppers[] = {exact, exact + 1,
+                                  std::numeric_limits<std::size_t>::max()};
+    for (const std::size_t lower : lowers) {
+      for (const std::size_t upper : uppers) {
+        const auto bounded = PrunedNormalizedEditDistance(
+            sa, sb, lower, upper, 0.0, best_score, scratch);
+        EXPECT_EQ(bounded.pruned, plain.pruned);
+        EXPECT_EQ(bounded.value, plain.value);
+      }
+    }
+  }
+}
+
+TEST(PrunedNormalizedEditDistance, BagBoundIsSoundForOsa) {
+  // max(n, m) - |multiset intersection| <= OSA distance: every kept
+  // element of an alignment consumes one occurrence from each side, and
+  // each unkept element of the longer side costs at least one operation.
+  // This is the certificate DiscriminateServe feeds the bounded overload.
+  std::mt19937 rng(715);
+  EditDistanceScratch scratch;
+  for (int round = 0; round < 400; ++round) {
+    const auto a = RandomIds(rng, 16, 4);
+    const auto b = RandomIds(rng, 16, 4);
+    std::size_t overlap = 0;
+    for (std::uint32_t sym = 0; sym < 4; ++sym) {
+      overlap += static_cast<std::size_t>(
+          std::min(std::count(a.begin(), a.end(), sym),
+                   std::count(b.begin(), b.end(), sym)));
+    }
+    const std::size_t longest = std::max(a.size(), b.size());
+    const std::size_t exact =
+        BoundedEditDistance(std::span<const std::uint32_t>(a),
+                            std::span<const std::uint32_t>(b), longest,
+                            scratch)
+            .distance;
+    EXPECT_LE(longest - overlap, exact);
+  }
+}
+
 }  // namespace
 }  // namespace sentinel::features

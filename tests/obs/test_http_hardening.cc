@@ -1,0 +1,288 @@
+// POST request hardening at the telemetry/serving HTTP layer, one test
+// per rejection class (405 unregistered path, 501 Transfer-Encoding,
+// 411 missing length, 413 oversized body, 415 wrong media type), plus
+// the dispatch contract with the two-phase PostRoutes backend: Retry-After
+// rendering, and — over a real socket in pooled mode — a pipelined burst
+// whose requests are all admitted before the first response is collected.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry_server.h"
+
+namespace sentinel::obs {
+namespace {
+
+/// Echo backend that records the Submit/Collect interleaving. Not
+/// thread-safe by itself; the pooled socket test uses one handler thread.
+class FakePostRoutes : public PostRoutes {
+ public:
+  std::uint64_t Submit(const std::string& path,
+                       const std::string& content_type,
+                       std::string body) override {
+    submissions.push_back({path, content_type, std::move(body)});
+    return submissions.size();  // 1-based id
+  }
+
+  PostResponse Collect(std::uint64_t request_id) override {
+    if (submitted_before_first_collect == 0)
+      submitted_before_first_collect = submissions.size();
+    const auto& sub = submissions.at(request_id - 1);
+    if (respond_429) {
+      return {.status = 429,
+              .body = "{\"error\":\"overloaded\"}\n",
+              .retry_after_ms = retry_after_ms};
+    }
+    return {.status = 200,
+            .body = "{\"echo\":\"" + sub.body + "\",\"path\":\"" + sub.path +
+                    "\",\"type\":\"" + sub.content_type + "\"}\n"};
+  }
+
+  struct Submission {
+    std::string path;
+    std::string content_type;
+    std::string body;
+  };
+  std::vector<Submission> submissions;
+  std::size_t submitted_before_first_collect = 0;
+  bool respond_429 = false;
+  std::uint64_t retry_after_ms = 0;
+};
+
+TelemetryServer::HttpRequest Post(const std::string& path,
+                                  const std::string& content_type,
+                                  const std::string& body) {
+  TelemetryServer::HttpRequest request;
+  request.method = "POST";
+  request.path = path;
+  request.content_type = content_type;
+  request.has_content_length = true;
+  request.content_length = body.size();
+  request.body = body;
+  return request;
+}
+
+/// A server with the fake backend on POST /identify (JSON only).
+struct Harness {
+  FakePostRoutes backend;
+  TelemetryServer server{nullptr, nullptr};
+
+  Harness() {
+    server.set_post_routes(&backend, {"/identify"}, {"application/json"});
+  }
+};
+
+TEST(HttpHardeningTest, PostToUnregisteredPathIs405) {
+  Harness h;
+  // Even with a backend attached, paths it never registered stay 405 —
+  // the pre-existing GET-only contract of the telemetry routes.
+  const auto response =
+      h.server.HandleHttpRequest(Post("/metrics", "application/json", "{}"));
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_NE(response.find("only GET"), std::string::npos);
+  EXPECT_TRUE(h.backend.submissions.empty());
+}
+
+TEST(HttpHardeningTest, TransferEncodingIs501) {
+  Harness h;
+  auto request = Post("/identify", "application/json", "{}");
+  request.has_transfer_encoding = true;
+  const auto response = h.server.HandleHttpRequest(request);
+  EXPECT_NE(response.find("HTTP/1.1 501"), std::string::npos);
+  EXPECT_NE(response.find("Transfer-Encoding"), std::string::npos);
+  EXPECT_TRUE(h.backend.submissions.empty());
+}
+
+TEST(HttpHardeningTest, MissingContentLengthIs411) {
+  Harness h;
+  auto request = Post("/identify", "application/json", "");
+  request.has_content_length = false;
+  const auto response = h.server.HandleHttpRequest(request);
+  EXPECT_NE(response.find("HTTP/1.1 411"), std::string::npos);
+  EXPECT_TRUE(h.backend.submissions.empty());
+}
+
+TEST(HttpHardeningTest, OversizedBodyIs413) {
+  FakePostRoutes backend;
+  TelemetryServer server(nullptr, nullptr, {.max_body_bytes = 64});
+  server.set_post_routes(&backend, {"/identify"}, {"application/json"});
+  // Declared length beyond the cap — body itself never buffered.
+  auto declared = Post("/identify", "application/json", "{}");
+  declared.content_length = 1 << 20;
+  EXPECT_NE(server.HandleHttpRequest(declared).find("HTTP/1.1 413"),
+            std::string::npos);
+  // Actual body beyond the cap.
+  const auto grown =
+      Post("/identify", "application/json", std::string(128, 'x'));
+  EXPECT_NE(server.HandleHttpRequest(grown).find("HTTP/1.1 413"),
+            std::string::npos);
+  EXPECT_TRUE(backend.submissions.empty());
+}
+
+TEST(HttpHardeningTest, WrongContentTypeIs415) {
+  Harness h;
+  const auto response = h.server.HandleHttpRequest(
+      Post("/identify", "text/plain", "not json"));
+  EXPECT_NE(response.find("HTTP/1.1 415"), std::string::npos);
+  EXPECT_TRUE(h.backend.submissions.empty());
+}
+
+TEST(HttpHardeningTest, ValidPostDispatchesToBackend) {
+  Harness h;
+  const auto response = h.server.HandleHttpRequest(
+      Post("/identify", "application/json", "{\"mac\":\"x\"}"));
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("\"echo\":\"{\"mac\":\"x\"}\""), std::string::npos)
+      << response;
+  ASSERT_EQ(h.backend.submissions.size(), 1u);
+  EXPECT_EQ(h.backend.submissions[0].path, "/identify");
+  EXPECT_EQ(h.backend.submissions[0].content_type, "application/json");
+}
+
+TEST(HttpHardeningTest, RetryAfterHeaderRoundsUpToWholeSeconds) {
+  Harness h;
+  h.backend.respond_429 = true;
+  h.backend.retry_after_ms = 2500;
+  const auto response = h.server.HandleHttpRequest(
+      Post("/identify", "application/json", "{}"));
+  EXPECT_NE(response.find("HTTP/1.1 429"), std::string::npos);
+  EXPECT_NE(response.find("Retry-After: 3\r\n"), std::string::npos);
+}
+
+/// Sends one blob of raw bytes and reads until the server closes.
+std::string RawRoundTrip(const TelemetryServer& server,
+                         const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string PipelinedPost(const std::string& body, bool close) {
+  return "POST /identify HTTP/1.1\r\nHost: x\r\n"
+         "Content-Type: application/json\r\n"
+         "Content-Length: " +
+         std::to_string(body.size()) + "\r\n" +
+         (close ? "Connection: close\r\n" : "") + "\r\n" + body;
+}
+
+TEST(HttpHardeningTest, PipelinedPostsAdmitAsABurstAndRespondInOrder) {
+  FakePostRoutes backend;
+  TelemetryServer server(nullptr, nullptr, {.serve_threads = 1});
+  server.set_post_routes(&backend, {"/identify"}, {"application/json"});
+  server.Start();
+  std::thread serving([&] { server.Serve(/*max_requests=*/1); });
+  // Three POSTs in one write; the last closes the connection.
+  const std::string response = RawRoundTrip(
+      server, PipelinedPost("{\"n\":1}", false) +
+                  PipelinedPost("{\"n\":2}", false) +
+                  PipelinedPost("{\"n\":3}", true));
+  serving.join();
+  server.Stop();
+  // All three were submitted to the backend before the first Collect —
+  // the property that lets the identification drain form real batches.
+  EXPECT_EQ(backend.submitted_before_first_collect, 3u);
+  // Responses come back in request order.
+  const auto first = response.find("{\"n\":1}");
+  const auto second = response.find("{\"n\":2}");
+  const auto third = response.find("{\"n\":3}");
+  ASSERT_NE(first, std::string::npos) << response;
+  ASSERT_NE(second, std::string::npos);
+  ASSERT_NE(third, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, third);
+  // The burst carries the client's close: every response signals it.
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+}
+
+TEST(HttpHardeningTest, KeepAliveServesSequentialRequestsOnOneConnection) {
+  FakePostRoutes backend;
+  TelemetryServer server(nullptr, nullptr, {.serve_threads = 1});
+  server.set_post_routes(&backend, {"/identify"}, {"application/json"});
+  server.Start();
+  std::thread serving([&] { server.Serve(/*max_requests=*/1); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // Reads until `marker` shows up — small responses arrive in one burst,
+  // but a slow scheduler may split them.
+  const auto recv_until = [&](const std::string& marker) {
+    std::string got;
+    char buffer[4096];
+    while (got.find(marker) == std::string::npos) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) break;
+      got.append(buffer, static_cast<std::size_t>(n));
+    }
+    return got;
+  };
+
+  const std::string one = PipelinedPost("{\"n\":1}", false);
+  ASSERT_EQ(::send(fd, one.data(), one.size(), 0),
+            static_cast<ssize_t>(one.size()));
+  const std::string first = recv_until("{\"n\":1}");
+  // The connection stays open and says so.
+  EXPECT_NE(first.find("Connection: keep-alive"), std::string::npos) << first;
+
+  const std::string two = PipelinedPost("{\"n\":2}", true);
+  ASSERT_EQ(::send(fd, two.data(), two.size(), 0),
+            static_cast<ssize_t>(two.size()));
+  const std::string second = recv_until("{\"n\":2}");
+  EXPECT_NE(second.find("Connection: close"), std::string::npos) << second;
+  ::close(fd);
+  serving.join();
+  server.Stop();
+  EXPECT_EQ(backend.submissions.size(), 2u);
+}
+
+TEST(HttpHardeningTest, HugeDeclaredLengthGets413WithoutBodyUpload) {
+  FakePostRoutes backend;
+  TelemetryServer server(nullptr, nullptr, {.max_body_bytes = 1024});
+  server.set_post_routes(&backend, {"/identify"}, {"application/json"});
+  server.Start();
+  std::thread serving([&] { server.Serve(/*max_requests=*/1); });
+  // Headers only: the server must answer from the declared length alone
+  // instead of waiting for (or buffering) a 10 MB body.
+  const std::string response = RawRoundTrip(
+      server,
+      "POST /identify HTTP/1.1\r\nHost: x\r\n"
+      "Content-Type: application/json\r\nContent-Length: 10485760\r\n\r\n");
+  serving.join();
+  server.Stop();
+  EXPECT_NE(response.find("HTTP/1.1 413"), std::string::npos);
+  EXPECT_TRUE(backend.submissions.empty());
+}
+
+}  // namespace
+}  // namespace sentinel::obs

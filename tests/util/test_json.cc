@@ -1,0 +1,98 @@
+// Strict-parser tests for util/json.h: everything RFC 8259 allows must
+// parse to the right DOM, and everything the serving path must reject —
+// trailing garbage, hostile nesting, malformed numbers and escapes —
+// must come back std::nullopt, never an exception.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+
+namespace sentinel::util {
+namespace {
+
+TEST(JsonParser, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->IsNull());
+  EXPECT_TRUE(ParseJson("true")->boolean);
+  EXPECT_FALSE(ParseJson("false")->boolean);
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number, 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.5e2")->number, -350.0);
+  EXPECT_DOUBLE_EQ(ParseJson("0")->number, 0.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string, "hi");
+}
+
+TEST(JsonParser, ParsesNestedStructure) {
+  const auto doc =
+      ParseJson(R"({"mac":"aa:bb","packets":[[1,2],[3,4]],"deep":{"x":null}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->IsObject());
+  EXPECT_EQ(doc->Find("mac")->string, "aa:bb");
+  const auto* packets = doc->Find("packets");
+  ASSERT_NE(packets, nullptr);
+  ASSERT_EQ(packets->items.size(), 2u);
+  EXPECT_DOUBLE_EQ(packets->items[1].items[0].number, 3.0);
+  EXPECT_TRUE(doc->Find("deep")->Find("x")->IsNull());
+  EXPECT_EQ(doc->Find("absent"), nullptr);
+}
+
+TEST(JsonParser, FindReturnsFirstDuplicateAndNullOffObjects) {
+  const auto doc = ParseJson(R"({"k":1,"k":2})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(doc->Find("k")->number, 1.0);
+  EXPECT_EQ(ParseJson("[1]")->Find("k"), nullptr);
+}
+
+TEST(JsonParser, DecodesEscapes) {
+  EXPECT_EQ(ParseJson(R"("a\"b\\c\/d\n\t")")->string, "a\"b\\c/d\n\t");
+  // é is é (U+00E9) in UTF-8.
+  EXPECT_EQ(ParseJson(R"("café")")->string, "caf\xc3\xa9");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(ParseJson(R"("😀")")->string, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  // Trailing garbage and multi-value documents.
+  EXPECT_FALSE(ParseJson("1 2").has_value());
+  EXPECT_FALSE(ParseJson("{}x").has_value());
+  EXPECT_FALSE(ParseJson("").has_value());
+  // Structural errors.
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").has_value());
+  EXPECT_FALSE(ParseJson("[1,]").has_value());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").has_value());
+  EXPECT_FALSE(ParseJson("{1:2}").has_value());
+  EXPECT_FALSE(ParseJson("[1 2]").has_value());
+  // Bad literals.
+  EXPECT_FALSE(ParseJson("truth").has_value());
+  EXPECT_FALSE(ParseJson("NaN").has_value());
+  EXPECT_FALSE(ParseJson("Infinity").has_value());
+}
+
+TEST(JsonParser, RejectsMalformedNumbers) {
+  EXPECT_FALSE(ParseJson("01").has_value());   // leading zero
+  EXPECT_FALSE(ParseJson("+1").has_value());   // leading plus
+  EXPECT_FALSE(ParseJson("1.").has_value());   // bare decimal point
+  EXPECT_FALSE(ParseJson(".5").has_value());
+  EXPECT_FALSE(ParseJson("1e").has_value());   // empty exponent
+  EXPECT_FALSE(ParseJson("-").has_value());
+}
+
+TEST(JsonParser, RejectsMalformedStrings) {
+  EXPECT_FALSE(ParseJson("\"unterminated").has_value());
+  EXPECT_FALSE(ParseJson("\"bad\\x\"").has_value());
+  EXPECT_FALSE(ParseJson("\"ctrl\x01\"").has_value());
+  EXPECT_FALSE(ParseJson(R"("\u12")").has_value());      // short hex
+  EXPECT_FALSE(ParseJson(R"("\ud83d")").has_value());    // lone high
+  EXPECT_FALSE(ParseJson(R"("\ude00")").has_value());    // lone low
+  EXPECT_FALSE(ParseJson(R"("\ud83dA")").has_value());
+}
+
+TEST(JsonParser, DepthCapBoundsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(ParseJson(deep, /*max_depth=*/64).has_value());
+  EXPECT_TRUE(ParseJson(deep, /*max_depth=*/128).has_value());
+}
+
+}  // namespace
+}  // namespace sentinel::util

@@ -25,12 +25,20 @@
 //       the collected metrics registry.
 //   sentinelctl serve [--listen PORT] [--episodes N] [--seed S]
 //                     [--rules FILE] [--sample-interval SEC]
+//                     [--queue-depth N] [--batch-target N]
+//                     [--latency-bound-ms MS] [--max-body-bytes N]
+//                     [--serve-threads N]
 //       Exercise the gateway pipeline like `stats`, then serve live
 //       telemetry over HTTP: /healthz, /metrics (Prometheus text),
 //       /metrics.json, /timeseries (windowed series), /quality (drift
 //       monitor), /alerts (rule engine), /devices and /devices/<mac>
 //       (flight-recorder JSON). A sampler thread snapshots the registry
 //       and evaluates the alert rules every --sample-interval seconds.
+//       With this PR `serve` is also the always-on identification
+//       service: POST /identify (JSON or binary probe) and POST /ingest
+//       (raw pcap) enqueue into a MAC-keyed admission queue a drain
+//       thread serves in adaptive micro-batches through the batch fast
+//       path, with explicit 429 + Retry-After overload push-back.
 //   sentinelctl alerts [--seed S] [--json]
 //       Run the firmware-drift scenario: one trained type's traffic
 //       shape gradually shifts while a control type stays clean; print
@@ -66,6 +74,7 @@
 #include "capture/trace.h"
 #include "core/decision_journal.h"
 #include "core/device_identifier.h"
+#include "core/identify_server.h"
 #include "core/device_monitor.h"
 #include "core/gateway.h"
 #include "core/security_service.h"
@@ -106,6 +115,12 @@ struct Options {
   std::string rules_path;
   std::uint16_t listen_port = 0;
   std::size_t sample_interval = 1;
+  // `serve` identification-service knobs (see core/identify_server.h).
+  std::size_t queue_depth = 256;
+  std::size_t batch_target = 16;
+  std::uint64_t latency_bound_ms = 2;
+  std::size_t max_body_bytes = 1 << 20;
+  std::size_t serve_threads = 4;
 };
 
 /// Writes the run's metrics to --metrics-out when requested.
@@ -164,6 +179,22 @@ Options ParseOptions(int argc, char** argv, int first) {
       options.sample_interval = std::stoul(next_value());
       if (options.sample_interval == 0)
         throw std::runtime_error("--sample-interval: must be >= 1 second");
+    } else if (arg == "--queue-depth") {
+      options.queue_depth = std::stoul(next_value());
+      if (options.queue_depth == 0)
+        throw std::runtime_error("--queue-depth: must be >= 1");
+    } else if (arg == "--batch-target") {
+      options.batch_target = std::stoul(next_value());
+      if (options.batch_target == 0)
+        throw std::runtime_error("--batch-target: must be >= 1");
+    } else if (arg == "--latency-bound-ms") {
+      options.latency_bound_ms = std::stoull(next_value());
+      if (options.latency_bound_ms == 0)
+        throw std::runtime_error("--latency-bound-ms: must be >= 1");
+    } else if (arg == "--max-body-bytes") {
+      options.max_body_bytes = std::stoul(next_value());
+    } else if (arg == "--serve-threads") {
+      options.serve_threads = std::stoul(next_value());
     } else if (arg.rfind("--", 0) == 0) {
       throw std::runtime_error("unknown option " + arg);
     } else {
@@ -717,13 +748,30 @@ int CmdServe(const Options& options) {
   const auto memory_registrations =
       RegisterGatewayMemory(memory, gateway, service);
 
+  // The identification service proper: POST /identify and /ingest feed a
+  // MAC-keyed admission queue a drain thread serves through the batch
+  // fast path (see core/identify_server.h for the overload semantics).
+  core::IdentifyServer identify_server(
+      &service.identifier(),
+      {.queue_depth = options.queue_depth,
+       .batch = {.batch_target = options.batch_target,
+                 .latency_bound_ns = options.latency_bound_ms * 1'000'000}});
+  identify_server.set_metrics(&registry);
+  identify_server.Start();
+
   obs::TelemetryServer server(&registry, &recorder,
-                              {.port = options.listen_port});
+                              {.port = options.listen_port,
+                               .max_body_bytes = options.max_body_bytes,
+                               .serve_threads = options.serve_threads});
   server.set_timeseries(&store);
   server.set_quality(&quality);
   server.set_alerts(&alerts);
   server.set_profiler(&profiler);
   server.set_memory(&memory);
+  server.set_post_routes(
+      &identify_server, {"/identify", "/ingest"},
+      {"application/json", "application/octet-stream",
+       "application/vnd.tcpdump.pcap"});
 
   // ordering: relaxed — a stop flag polled every 100 ms; the join below is
   // the synchronization point, the flag only needs eventual visibility.
@@ -752,11 +800,18 @@ int CmdServe(const Options& options) {
   std::printf("serving telemetry on http://127.0.0.1:%u\n"
               "  /healthz  /metrics  /metrics.json  /timeseries  /quality\n"
               "  /alerts  /profile  /profile.collapsed  /locks  /memory\n"
-              "  /devices  /devices/<mac>\n",
-              static_cast<unsigned>(server.port()));
+              "  /devices  /devices/<mac>\n"
+              "identification service (batch target %zu, latency bound "
+              "%llu ms, queue %zu):\n"
+              "  POST /identify  (application/json | application/octet-stream)"
+              "\n  POST /ingest    (pcap bytes)\n",
+              static_cast<unsigned>(server.port()), options.batch_target,
+              static_cast<unsigned long long>(options.latency_bound_ms),
+              options.queue_depth);
   std::fflush(stdout);
   server.Serve();  // blocks until the process is interrupted
   stop.store(true, std::memory_order_relaxed);
+  identify_server.Stop();
   sampler.join();
   return 0;
 }
@@ -917,13 +972,23 @@ int Usage() {
       "      Exercise the full gateway pipeline on simulated episodes and\n"
       "      dump the collected metrics registry.\n"
       "  serve [--listen PORT] [--episodes N] [--seed S] [--rules FILE]\n"
-      "        [--sample-interval SEC]\n"
+      "        [--sample-interval SEC] [--queue-depth N] [--batch-target N]\n"
+      "        [--latency-bound-ms MS] [--max-body-bytes N]\n"
+      "        [--serve-threads N]\n"
       "      Run the stats pipeline, then serve /healthz, /metrics,\n"
       "      /metrics.json, /timeseries, /quality, /alerts, /devices and\n"
       "      /devices/<mac> over HTTP on 127.0.0.1 (an ephemeral port is\n"
       "      chosen and printed when PORT is 0). A sampler thread windows\n"
       "      the registry and evaluates alert rules (loaded from --rules,\n"
       "      see examples/alerts.rules) every --sample-interval seconds.\n"
+      "      POST /identify takes one probe (JSON {\"mac\",\"packets\"} or\n"
+      "      binary MAC+fingerprint) and POST /ingest takes raw pcap\n"
+      "      bytes; both feed an admission queue (--queue-depth, 429 +\n"
+      "      Retry-After when full) that a drain thread serves in\n"
+      "      adaptive micro-batches (--batch-target probes or\n"
+      "      --latency-bound-ms, whichever comes first) through the\n"
+      "      batch fast path. --serve-threads connection handlers give\n"
+      "      keep-alive + pipelining; 0 falls back to one-at-a-time.\n"
       "  alerts [--seed S] [--json]\n"
       "      Run the firmware-drift scenario: one type's traffic shape\n"
       "      ramps away from its baseline while a control type stays\n"
