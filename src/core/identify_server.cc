@@ -122,6 +122,9 @@ void IdentifyServer::set_metrics(obs::MetricsRegistry* registry) {
   metrics_.parse_errors = &registry->GetCounter(
       "sentinel_serve_parse_errors_total",
       "POST bodies rejected as malformed (400/415)");
+  metrics_.unknown_routes = &registry->GetCounter(
+      "sentinel_serve_unknown_route_total",
+      "POSTs to a path no route claims (404)");
   metrics_.batch_size = &registry->GetHistogram(
       "sentinel_serve_batch_size", "Probes per flushed batch",
       {1, 2, 4, 8, 16, 32, 64});
@@ -312,12 +315,27 @@ std::uint64_t IdentifyServer::Submit(const std::string& path,
                                      const std::string& content_type,
                                      std::string body) {
   PendingHttp pending;
-  if (path == "/identify") {
-    pending = BuildIdentify(content_type, body);
-  } else if (path == "/ingest") {
-    pending = BuildIngest(content_type, body);
-  } else {
-    pending = ImmediateError(404, "no such POST route");
+  // Submit never throws: a hostile body whose parse escapes the typed
+  // error paths still becomes a 400 collected later, never an exception
+  // unwinding into the connection-handler thread.
+  try {
+    if (path == "/identify") {
+      pending = BuildIdentify(content_type, body);
+    } else if (path == "/ingest") {
+      pending = BuildIngest(content_type, body);
+    } else {
+      {
+        sentinel::MutexLock lock(mu_);
+        ++stats_.unknown_routes;
+      }
+      if (metrics_.unknown_routes) metrics_.unknown_routes->Increment();
+      pending = ImmediateResponse(404, "no such POST route");
+    }
+  } catch (const std::exception& error) {
+    pending =
+        ImmediateError(400, std::string("malformed body: ") + error.what());
+  } catch (...) {
+    pending = ImmediateError(400, "malformed body");
   }
   sentinel::MutexLock lock(mu_);
   const std::uint64_t id = ++next_request_;
@@ -346,13 +364,8 @@ obs::PostResponse IdentifyServer::Collect(std::uint64_t request_id) {
   return {.status = 500, .body = "{\"error\":\"unreachable\"}\n"};
 }
 
-IdentifyServer::PendingHttp IdentifyServer::ImmediateError(
+IdentifyServer::PendingHttp IdentifyServer::ImmediateResponse(
     int status, const std::string& message) {
-  {
-    sentinel::MutexLock lock(mu_);
-    ++stats_.parse_errors;
-  }
-  if (metrics_.parse_errors) metrics_.parse_errors->Increment();
   PendingHttp pending;
   pending.kind = PendingHttp::Kind::kImmediate;
   pending.response.status = status;
@@ -360,6 +373,16 @@ IdentifyServer::PendingHttp IdentifyServer::ImmediateError(
   obs::AppendJsonEscaped(pending.response.body, message);
   pending.response.body += "}\n";
   return pending;
+}
+
+IdentifyServer::PendingHttp IdentifyServer::ImmediateError(
+    int status, const std::string& message) {
+  {
+    sentinel::MutexLock lock(mu_);
+    ++stats_.parse_errors;
+  }
+  if (metrics_.parse_errors) metrics_.parse_errors->Increment();
+  return ImmediateResponse(status, message);
 }
 
 void IdentifyServer::AdmitHttpProbe(const net::MacAddress& mac,
@@ -390,7 +413,9 @@ IdentifyServer::PendingHttp IdentifyServer::BuildIdentify(
     try {
       full = features::ParseFingerprint(
           std::span<const std::uint8_t>(bytes, body.size() - kMacBytes));
-    } catch (const net::CodecError& error) {
+    } catch (const std::exception& error) {
+      // Wider than CodecError on purpose: whatever a hostile byte string
+      // provokes, Submit's never-throws contract turns it into a 400.
       return ImmediateError(400, std::string("bad fingerprint bytes: ") +
                                      error.what());
     }

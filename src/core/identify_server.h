@@ -55,7 +55,11 @@ struct ServeStats {
   std::uint64_t shed = 0;
   std::uint64_t batches = 0;
   std::uint64_t probes_served = 0;
+  /// Bodies rejected as malformed or mistyped (400/415) — routing 404s
+  /// are counted separately below, not here.
   std::uint64_t parse_errors = 0;
+  /// POSTs to a path no route claims (404).
+  std::uint64_t unknown_routes = 0;
   /// Batches by flush reason (the policy's size / deadline / sparse).
   std::uint64_t flush_size = 0;
   std::uint64_t flush_deadline = 0;
@@ -201,6 +205,10 @@ class IdentifyServer : public obs::PostRoutes {
                             const std::string& body);
   PendingHttp BuildIngest(const std::string& content_type,
                           const std::string& body);
+  /// Ready error response; counts nothing — the callers below attribute.
+  static PendingHttp ImmediateResponse(int status,
+                                       const std::string& message);
+  /// ImmediateResponse counted as a malformed body (400/415).
   PendingHttp ImmediateError(int status, const std::string& message);
   /// Admits one parsed fingerprint and appends its HttpProbe record.
   void AdmitHttpProbe(const net::MacAddress& mac, features::Fingerprint full,
@@ -221,6 +229,7 @@ class IdentifyServer : public obs::PostRoutes {
     obs::Counter* batches = nullptr;
     obs::Counter* probes = nullptr;
     obs::Counter* parse_errors = nullptr;
+    obs::Counter* unknown_routes = nullptr;
     obs::Histogram* batch_size = nullptr;
     obs::Histogram* queue_wait_ns = nullptr;
   };

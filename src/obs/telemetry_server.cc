@@ -41,6 +41,7 @@ const char* ReasonFor(int status) {
     case 415: return "Unsupported Media Type";
     case 429: return "Too Many Requests";
     case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
@@ -200,11 +201,26 @@ void TelemetryServer::Serve(std::size_t max_requests) {
     ::setsockopt(connection, SOL_SOCKET, SO_RCVTIMEO, &timeout,
                  sizeof(timeout));
     DisableNagle(connection);
+    bool admitted = false;
     {
       sentinel::MutexLock lock(handoff.mu);
-      handoff.connections.push_back(connection);
+      if (handoff.connections.size() < config_.max_queued_connections) {
+        handoff.connections.push_back(connection);
+        admitted = true;
+      }
     }
-    handoff.cv.NotifyOne();
+    if (admitted) {
+      handoff.cv.NotifyOne();
+    } else {
+      // Every handler is pinned to a live connection and the handoff is
+      // at capacity: push back instead of queueing unboundedly — a queued
+      // connection would sit unanswered for an unbounded time anyway.
+      SendAll(connection,
+              HttpResponse(503, ReasonFor(503), "text/plain; charset=utf-8",
+                           "all connection handlers busy\n",
+                           /*keep_alive=*/false, /*retry_after_ms=*/1000));
+      ::close(connection);
+    }
     if (max_requests > 0 && ++served >= max_requests) break;
   }
   {
@@ -384,6 +400,9 @@ void TelemetryServer::ServeConnectionLoop(int connection_fd) {
   // Sized so a deep pipelined burst of ~2 KB requests lands in few reads.
   char chunk[65536];
   bool close_connection = false;
+  // Consecutive 200 ms recv quiet periods with no complete request; the
+  // idle timeout frees this handler from a silent keep-alive peer.
+  std::size_t idle_periods = 0;
   while (!close_connection && !stopping_.load(std::memory_order_acquire)) {
     // Gather a burst: parse every complete pipelined request already
     // buffered or already sitting in the kernel receive queue. Only the
@@ -406,8 +425,11 @@ void TelemetryServer::ServeConnectionLoop(int connection_fd) {
       const ssize_t n = ::recv(connection_fd, chunk, sizeof(chunk),
                                burst.empty() ? 0 : MSG_DONTWAIT);
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        if (!burst.empty()) break;  // socket dry: serve what we have
-        continue;  // recv timeout: re-check stopping_ via the outer loop
+        // Socket dry (burst in hand) or recv timeout (empty burst): leave
+        // the gather loop either way — an empty burst falls through with
+        // nothing to send and the OUTER loop re-checks stopping_, so
+        // Stop() is observed even on an idle keep-alive connection.
+        break;
       }
       if (n <= 0) {
         close_connection = true;
@@ -415,6 +437,17 @@ void TelemetryServer::ServeConnectionLoop(int connection_fd) {
       }
       buffer.append(chunk, static_cast<std::size_t>(n));
     }
+    if (burst.empty() && status == ParseStatus::kNeedMore &&
+        !close_connection) {
+      // A quiet period on an idle (or stalled mid-request) keep-alive
+      // connection. Bound how long it may pin this handler so a handful
+      // of silent clients cannot starve the pool.
+      if (config_.idle_timeout_periods > 0 &&
+          ++idle_periods >= config_.idle_timeout_periods)
+        break;
+      continue;
+    }
+    idle_periods = 0;
 
     // Phase 1: admit every POST of the burst into the backend before
     // waiting on any verdict; GETs are answered inline. This is what

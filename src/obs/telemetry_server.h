@@ -29,7 +29,11 @@
 // with HTTP/1.1 keep-alive and pipelining: each handler admits every
 // pipelined POST of a read burst into the backend before it waits on the
 // first verdict, which is what lets the identification drain thread form
-// real micro-batches. Stop() from any thread unblocks Serve(). POSIX
+// real micro-batches. A handler owns its connection only while it is
+// live: idle keep-alive connections are closed after a configurable
+// quiet interval, and connections accepted while every handler is busy
+// queue only up to max_queued_connections before the server pushes back
+// with 503 + Retry-After. Stop() from any thread unblocks Serve(). POSIX
 // sockets only, loopback by default; no third-party dependencies.
 #pragma once
 
@@ -61,6 +65,14 @@ struct TelemetryServerConfig {
   /// one-connection-at-a-time loop; > 0 enables the keep-alive +
   /// pipelining pool the identification service runs on.
   std::size_t serve_threads = 0;
+  /// Pool mode: accepted connections waiting for a free handler beyond
+  /// this are answered 503 + Retry-After and closed instead of queueing
+  /// unboundedly behind pinned keep-alive handlers.
+  std::size_t max_queued_connections = 64;
+  /// Pool mode: a keep-alive connection with no request activity for this
+  /// many consecutive 200 ms recv quiet periods is closed, returning its
+  /// handler to the pool (default ~30 s). 0 disables the idle timeout.
+  std::size_t idle_timeout_periods = 150;
 };
 
 /// Full HTTP response of a POST route backend.

@@ -266,6 +266,114 @@ TEST(HttpHardeningTest, KeepAliveServesSequentialRequestsOnOneConnection) {
   EXPECT_EQ(backend.submissions.size(), 2u);
 }
 
+/// Connects and returns the fd (no request sent).
+int ConnectTo(const TelemetryServer& server) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+/// Reads from `fd` until `marker` appears or the peer closes.
+std::string RecvUntil(int fd, const std::string& marker) {
+  std::string got;
+  char buffer[4096];
+  while (got.find(marker) == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    got.append(buffer, static_cast<std::size_t>(n));
+  }
+  return got;
+}
+
+// Regression: a handler parked on an idle keep-alive connection must
+// still observe Stop() — the gather loop used to spin on recv timeouts
+// without ever re-checking stopping_, deadlocking shutdown.
+TEST(HttpHardeningTest, StopUnblocksServeDespiteIdleKeepAliveConnection) {
+  FakePostRoutes backend;
+  // Idle timeout effectively off: only Stop() may free the handler.
+  TelemetryServer server(nullptr, nullptr,
+                         {.serve_threads = 1, .idle_timeout_periods = 100000});
+  server.set_post_routes(&backend, {"/identify"}, {"application/json"});
+  server.Start();
+  std::thread serving([&] { server.Serve(/*max_requests=*/1); });
+  const int fd = ConnectTo(server);
+  const std::string one = PipelinedPost("{\"n\":1}", false);
+  ASSERT_EQ(::send(fd, one.data(), one.size(), 0),
+            static_cast<ssize_t>(one.size()));
+  ASSERT_NE(RecvUntil(fd, "{\"n\":1}").find("Connection: keep-alive"),
+            std::string::npos);
+  // The connection now sits idle, pinning the only handler. Stop() must
+  // unblock Serve() within a recv timeout period; a hang here is the bug.
+  server.Stop();
+  serving.join();
+  ::close(fd);
+}
+
+TEST(HttpHardeningTest, IdleKeepAliveConnectionIsClosedAndHandlerFreed) {
+  FakePostRoutes backend;
+  // Two quiet periods (~400 ms) close an idle connection.
+  TelemetryServer server(nullptr, nullptr,
+                         {.serve_threads = 1, .idle_timeout_periods = 2});
+  server.set_post_routes(&backend, {"/identify"}, {"application/json"});
+  server.Start();
+  std::thread serving([&] { server.Serve(/*max_requests=*/2); });
+  const int fd = ConnectTo(server);
+  const std::string one = PipelinedPost("{\"n\":1}", false);
+  ASSERT_EQ(::send(fd, one.data(), one.size(), 0),
+            static_cast<ssize_t>(one.size()));
+  ASSERT_NE(RecvUntil(fd, "{\"n\":1}").find("Connection: keep-alive"),
+            std::string::npos);
+  // Stay silent: the server must close the connection on its own.
+  EXPECT_EQ(RecvUntil(fd, "never sent"), "");
+  ::close(fd);
+  // The freed handler serves the next client.
+  const std::string response =
+      RawRoundTrip(server, PipelinedPost("{\"n\":2}", true));
+  EXPECT_NE(response.find("{\"n\":2}"), std::string::npos) << response;
+  serving.join();
+  server.Stop();
+}
+
+TEST(HttpHardeningTest, ConnectionsBeyondHandoffCapGet503) {
+  FakePostRoutes backend;
+  // One pinnable handler, one queued connection allowed, idle timeout far
+  // beyond the test's horizon so the handler stays pinned throughout.
+  TelemetryServer server(nullptr, nullptr,
+                         {.serve_threads = 1,
+                          .max_queued_connections = 1,
+                          .idle_timeout_periods = 100000});
+  server.set_post_routes(&backend, {"/identify"}, {"application/json"});
+  server.Start();
+  std::thread serving([&] { server.Serve(/*max_requests=*/3); });
+  // Pin the handler: once the response is back, the handler owns this
+  // connection and the handoff queue is empty.
+  const int pinned = ConnectTo(server);
+  const std::string one = PipelinedPost("{\"n\":1}", false);
+  ASSERT_EQ(::send(pinned, one.data(), one.size(), 0),
+            static_cast<ssize_t>(one.size()));
+  ASSERT_NE(RecvUntil(pinned, "{\"n\":1}").find("keep-alive"),
+            std::string::npos);
+  // Fills the one queue slot (no handler free to serve it)...
+  const int queued = ConnectTo(server);
+  // ...so the next connection is pushed back instead of queueing forever.
+  const int rejected = ConnectTo(server);
+  const std::string response = RecvUntil(rejected, "\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos) << response;
+  EXPECT_NE(response.find("Retry-After:"), std::string::npos) << response;
+  ::close(rejected);
+  // Release the handler so the queued connection drains and Serve exits.
+  ::close(pinned);
+  ::close(queued);
+  serving.join();
+  server.Stop();
+}
+
 TEST(HttpHardeningTest, HugeDeclaredLengthGets413WithoutBodyUpload) {
   FakePostRoutes backend;
   TelemetryServer server(nullptr, nullptr, {.max_body_bytes = 1024});
